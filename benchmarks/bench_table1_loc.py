@@ -1,0 +1,23 @@
+"""Table 1: lines of code per optimization.
+
+The paper's observation: in a representation that exposes dependences
+explicitly, each memory optimization is tiny (tens to a few hundred lines).
+We regenerate the table against our module sizes and assert the shape —
+every pass stays within small multiples of the paper's size.
+"""
+
+from repro.harness.loc import render, table1
+
+from conftest import record
+
+
+def test_table1_loc(benchmark):
+    rows = benchmark(table1)
+    record("table1_loc", render())
+    for row in rows:
+        assert row.our_loc > 0
+        # Python with docstrings vs C++: allow up to ~4x the paper's count,
+        # which still supports "each optimization is small".
+        assert row.our_loc < max(4 * row.paper_loc, 450), (
+            f"{row.optimization} ballooned to {row.our_loc} lines"
+        )

@@ -1,0 +1,21 @@
+"""Table 2: statistics of the compiled programs.
+
+Regenerates the per-benchmark rows (functions, lines, pragmas, dynamic
+work) over the full suite and asserts the inventory matches the paper's
+program list. Benchmarks whole-suite statistics collection.
+"""
+
+from repro.harness.table2 import render, table2
+from repro.programs import all_kernels
+
+from conftest import record
+
+
+def test_table2_statistics(benchmark):
+    rows = benchmark(table2, "all")
+    record("table2_programs", render("all"))
+    assert len(rows) == len(all_kernels()) == 22
+    assert sum(r.pragmas for r in rows) >= 5, "suite must exercise pragmas"
+    assert all(r.dynamic_instructions > 0 for r in rows)
+    total_lines = sum(r.lines for r in rows)
+    assert total_lines > 1500, "suite should be of kernel-suite scale"

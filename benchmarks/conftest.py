@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, asserts its
+qualitative shape, benchmarks a representative operation, and records the
+rendered rows under ``benchmarks/results/`` (they are also printed, visible
+with ``pytest -s`` / in the captured-output section on failure).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

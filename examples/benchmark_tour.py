@@ -1,0 +1,39 @@
+"""A tour of the benchmark suite: Table 2 / Figure 18 / Figure 19 in small.
+
+Compiles a handful of the Table-2 kernels, validates their self-checks at
+every optimization level, and prints the per-kernel static/dynamic memory
+reduction and speedups — the same quantities the full benchmark harness
+(`pytest benchmarks/ --benchmark-only`) regenerates for the whole suite.
+
+Run with:  python examples/benchmark_tour.py
+"""
+
+from repro import compile_minic
+from repro.programs import get_kernel
+from repro.sim.memsys import REALISTIC_2PORT
+
+TOUR = ("adpcm_e", "jpeg_d", "compress", "li")
+
+
+def main() -> None:
+    print(f"{'kernel':10s} {'family':34s} {'none':>9s} {'medium':>9s} "
+          f"{'full':>9s} {'memops':>13s}")
+    for name in TOUR:
+        kernel = get_kernel(name)
+        cycles = {}
+        memops = {}
+        for level in ("none", "medium", "full"):
+            program = compile_minic(kernel.source, kernel.entry,
+                                    opt_level=level)
+            run = program.simulate(list(kernel.args), memsys=REALISTIC_2PORT)
+            kernel.check(run.return_value)  # the built-in self-check
+            cycles[level] = run.cycles
+            memops[level] = run.memory_operations
+        print(f"{kernel.name:10s} {kernel.family:34s} "
+              f"{cycles['none']:9d} {cycles['medium']:9d} {cycles['full']:9d} "
+              f"{memops['none']:6d}->{memops['full']:<6d}")
+    print("\nEvery run passed its golden self-check at every level.")
+
+
+if __name__ == "__main__":
+    main()

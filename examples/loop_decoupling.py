@@ -1,0 +1,53 @@
+"""Loop decoupling and the token generator (paper §6.3, Figures 15-17).
+
+The loop below carries a dependence at distance 3: iteration i reads
+a[i+3], which iteration i+3 overwrites. Loop decoupling slices the loop
+into two independent token loops — the a[i+3] reads run free, the a[i]
+writes draw issue tokens from a tk(3) token generator that holds three
+credits and gains one whenever a read completes. The writes can therefore
+run at most 3 iterations ahead of the reads, which is exactly the legal
+maximum.
+
+Run with:  python examples/loop_decoupling.py
+"""
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+from repro.sim.memsys import REALISTIC_MEMORY
+
+SOURCE = """
+int a[512];
+
+int decoupled(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = a[i + 3] + 1;
+    }
+    return a[n - 1];
+}
+"""
+
+
+def main() -> None:
+    results = {}
+    for level in ("none", "medium", "full"):
+        program = compile_minic(SOURCE, "decoupled", opt_level=level)
+        oracle = program.run_sequential([400])
+        spatial = program.simulate([400], memsys=REALISTIC_MEMORY)
+        assert spatial.return_value == oracle.return_value
+        generators = program.graph.by_kind(N.TokenGenNode)
+        results[level] = spatial.cycles
+        print(f"opt={level:7s} cycles={spatial.cycles:6d} "
+              f"token-generators={[g.label() for g in generators]}")
+
+    print()
+    print(f"decoupling speedup over serialized iterations: "
+          f"{results['none'] / results['full']:.1f}x")
+    print("medium shows no gain: the distance-3 dependence defeats plain")
+    print("monotonicity (§6.2); only decoupling (§6.3) with its tk(3)")
+    print("bound can overlap these iterations safely.")
+
+
+if __name__ == "__main__":
+    main()

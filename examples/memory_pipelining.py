@@ -1,0 +1,60 @@
+"""Loop pipelining with fine-grained synchronization (paper §6, Figure 10).
+
+The classic producer/consumer loop: read a source array, compute, write a
+destination array. With one token circuit per memory object (Figure 11),
+splitting the synchronization lets the source reads run several iterations
+ahead of the destination writes, filling the computation pipeline — the
+Figure 10(b) vs 10(c) contrast, measured here across the paper's memory
+systems.
+
+Run with:  python examples/memory_pipelining.py
+"""
+
+from repro import compile_minic
+from repro.sim.memsys import (
+    PERFECT_MEMORY,
+    REALISTIC_1PORT,
+    REALISTIC_2PORT,
+    REALISTIC_4PORT,
+)
+
+SOURCE = """
+int src[512];
+int dst[512];
+
+int transform(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = (src[i] * 13 + 7) >> 2;
+    }
+    return dst[n - 1];
+}
+"""
+
+
+def main() -> None:
+    systems = [PERFECT_MEMORY, REALISTIC_1PORT, REALISTIC_2PORT,
+               REALISTIC_4PORT]
+    print(f"{'memory system':16s}" + "".join(f"{lvl:>10s}" for lvl in
+                                             ("none", "medium", "full")))
+    for config in systems:
+        cells = []
+        for level in ("none", "medium", "full"):
+            program = compile_minic(SOURCE, "transform", opt_level=level)
+            oracle = program.run_sequential([400])
+            run = program.simulate([400], memsys=config)
+            assert run.return_value == oracle.return_value
+            cells.append(run.cycles)
+        print(f"{config.name:16s}" + "".join(f"{c:10d}" for c in cells))
+    print()
+    print("The medium set already pipelines both arrays (monotone addresses,")
+    print("§6.2): ~6x on the realistic hierarchy, where serialized iterations")
+    print("pay the full memory latency each. This loop issues about one")
+    print("access per cycle, so extra LSQ ports change little — the paper's")
+    print("observation that even small amounts of bandwidth are used")
+    print("effectively by the compiler.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: compile a MiniC function to a spatial dataflow circuit.
+
+Run with:  python examples/quickstart.py
+
+Shows the complete round trip: MiniC source -> Pegasus graph -> dataflow
+simulation, validated against the sequential (program-order) oracle.
+"""
+
+from repro import compile_minic
+from repro.sim.memsys import REALISTIC_MEMORY
+
+SOURCE = """
+int histogram[16];
+
+int build_histogram(int n)
+{
+    int i;
+    int peak = 0;
+    unsigned seed = 2026;
+    for (i = 0; i < 16; i++) histogram[i] = 0;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        histogram[(seed >> 16) & 15] += 1;
+    }
+    for (i = 0; i < 16; i++) {
+        if (histogram[i] > peak) peak = histogram[i];
+    }
+    return peak;
+}
+"""
+
+
+def main() -> None:
+    for level in ("none", "medium", "full"):
+        program = compile_minic(SOURCE, "build_histogram", opt_level=level)
+
+        # The oracle: execute the CFG in program order.
+        oracle = program.run_sequential([500])
+
+        # Spatial execution on the paper's realistic memory hierarchy.
+        spatial = program.simulate([500], memsys=REALISTIC_MEMORY)
+
+        assert spatial.return_value == oracle.return_value
+        counts = program.static_counts()
+        print(f"opt={level:7s} result={spatial.return_value:3d} "
+              f"cycles={spatial.cycles:6d} "
+              f"dynamic-memops={spatial.memory_operations:5d} "
+              f"graph-nodes={counts['nodes']:4d} "
+              f"(loads={counts['loads']}, stores={counts['stores']})")
+    print("\nThe histogram updates alias unpredictably (seed-driven index),")
+    print("so the middle loop stays serialized; the init and scan loops")
+    print("pipeline, which is where the cycle reduction comes from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""The paper's Section 2 motivating example, reproduced.
+
+The program uses a[i] as a temporary; of seven 2003-era compilers only
+CASH and IBM's AIX cc removed all the useless accesses (two stores and one
+load). This example compiles the same function through this repository's
+pipeline and shows the same removal, then demonstrates that behaviour is
+preserved by running both simulators on a driver.
+
+Run with:  python examples/section2_example.py
+"""
+
+from repro import compile_minic
+from repro.harness.section2 import render, SECTION2_SOURCE
+
+DRIVER = SECTION2_SOURCE + """
+unsigned buffer[8];
+unsigned value = 5;
+
+unsigned drive(int i, int use_p)
+{
+    int k;
+    for (k = 0; k < 8; k++) buffer[k] = k + 1;
+    f(use_p ? &value : (unsigned*)0, buffer, i);
+    return buffer[i];
+}
+"""
+
+
+def main() -> None:
+    print(render())
+    print()
+
+    program = compile_minic(DRIVER, "drive", opt_level="full")
+    for args in ([3, 1], [3, 0], [0, 1]):
+        oracle = program.run_sequential(list(args))
+        spatial = program.simulate(list(args))
+        assert oracle.return_value == spatial.return_value
+        print(f"drive{tuple(args)} = {spatial.return_value} "
+              f"(oracle agrees; {spatial.cycles} cycles)")
+
+
+if __name__ == "__main__":
+    main()

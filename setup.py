@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this setup.py lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Pegasus/CASH reproduction: memory optimizations for spatial computation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

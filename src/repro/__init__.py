@@ -1,0 +1,20 @@
+"""repro — a reproduction of CASH/Pegasus spatial computation.
+
+A from-scratch Python implementation of the compiler and evaluation
+infrastructure of Budiu & Goldstein's *Optimizing Memory Accesses for
+Spatial Computation* (the memory subsystem of the ASPLOS 2004 *Spatial
+Computation* line of work): a MiniC frontend, the Pegasus dataflow IR with
+token-based memory SSA, the full set of memory optimizations, loop
+pipelining including loop decoupling with token generators, and dataflow
+plus program-order simulators over a two-level cache memory model.
+
+Entry point: :func:`compile_minic`.
+"""
+
+from repro.api import CompiledProgram, compile_minic, OPT_LEVELS
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["compile_minic", "CompiledProgram", "OPT_LEVELS", "ReproError",
+           "__version__"]

@@ -1,0 +1,95 @@
+"""Command-line driver: compile and run a MiniC file spatially.
+
+Usage::
+
+    python -m repro program.c --entry kernel --args 10 3 --opt full
+    python -m repro program.c --entry kernel --dump-graph out.dot
+    python -m repro program.c --entry kernel --compare   # vs the oracle
+
+Prints the return value, cycle count, and dynamic operation statistics for
+the selected memory system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import compile_minic
+from repro.errors import ReproError
+from repro.pegasus.printer import dump_dot, dump_text
+from repro.sim.memsys import (
+    MemorySystem,
+    PERFECT_MEMORY,
+    REALISTIC_MEMORY,
+)
+
+MEMORY_SYSTEMS = {
+    "perfect": PERFECT_MEMORY,
+    "realistic": REALISTIC_MEMORY,
+    "realistic-1port": REALISTIC_MEMORY.with_ports(1),
+    "realistic-4port": REALISTIC_MEMORY.with_ports(4),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compile MiniC to a spatial dataflow circuit and run it.",
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument("--args", nargs="*", type=int, default=[],
+                        help="integer arguments for the entry function")
+    parser.add_argument("--opt", default="full",
+                        choices=["none", "basic", "medium", "full"])
+    parser.add_argument("--memory", default="perfect",
+                        choices=sorted(MEMORY_SYSTEMS))
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the sequential oracle and check")
+    parser.add_argument("--dump-graph", metavar="FILE",
+                        help="write the Pegasus graph (.dot or .txt)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print static graph statistics")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        with open(options.source) as handle:
+            source = handle.read()
+        program = compile_minic(source, options.entry, opt_level=options.opt,
+                                filename=options.source)
+        if options.dump_graph:
+            dump = (dump_dot(program.graph)
+                    if options.dump_graph.endswith(".dot")
+                    else dump_text(program.graph))
+            with open(options.dump_graph, "w") as handle:
+                handle.write(dump + "\n")
+            print(f"graph written to {options.dump_graph}")
+        config = MEMORY_SYSTEMS[options.memory]
+        result = program.simulate(list(options.args),
+                                  memsys=MemorySystem(config))
+        print(f"result  : {result.return_value}")
+        print(f"cycles  : {result.cycles}  ({config.name} memory)")
+        print(f"memops  : {result.loads} loads, {result.stores} stores, "
+              f"{result.skipped_memops} predicated off")
+        if options.stats:
+            for key, value in program.static_counts().items():
+                print(f"  {key:17s} {value}")
+        if options.compare:
+            oracle = program.run_sequential(list(options.args))
+            status = "MATCH" if oracle.return_value == result.return_value \
+                else "MISMATCH"
+            print(f"oracle  : {oracle.return_value}  [{status}]")
+            if status == "MISMATCH":
+                return 1
+        return 0
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Program analyses backing the optimizations.
+
+- ``locations``/``pointers``: abstract memory locations, read/write sets
+  (§3.3), ``#pragma independent`` connection analysis (§7.1);
+- ``predicates``: boolean algebra over predicate nodes — implication via
+  Shannon expansion (§5.2's post-dominance test);
+- ``reachability``: cached DAG reachability (§5's cycle-freedom test);
+- ``symbolic``: affine address expressions for disambiguation (§4.3);
+- ``induction``: induction variables, monotonicity, dependence distances
+  (§4.3, §6.2, §6.3).
+"""
+
+from repro.analysis.locations import Location, LocationClasses, overlap
+from repro.analysis.pointers import PointerAnalysis
+
+__all__ = ["Location", "LocationClasses", "overlap", "PointerAnalysis"]

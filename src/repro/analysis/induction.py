@@ -1,0 +1,240 @@
+"""Induction-variable analysis on Pegasus loops (§4.3, §6.2, §6.3).
+
+A *basic induction variable* of a loop hyperblock is a data merge whose
+back-edge value is (merge + step) for a constant step — found by chasing
+the back input through its eta and taking the affine form of the eta's
+value in terms of the merge's own output.
+
+From IVs the passes derive:
+
+- §4.3(2): two addresses affine in IVs of equal pace but offset starting
+  values never collide (``never_equal_across_iterations``);
+- §6.2: an address strictly monotone in an IV, advancing at least the
+  access width per iteration, never revisits a location
+  (``is_monotone_non_overlapping``);
+- §6.3: two same-IV addresses at constant byte offset give a dependence
+  distance in iterations (``dependence_distance``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+from repro.analysis.symbolic import AddressAnalysis, Affine
+
+
+@dataclass
+class InductionVariable:
+    merge: N.MergeNode
+    step: int
+    # Affine form of the value entering the loop (None when the entry value
+    # is not analyzable — e.g. several entry edges with different forms).
+    init: Affine | None
+
+    @property
+    def port(self) -> OutPort:
+        return self.merge.out()
+
+    def __repr__(self) -> str:
+        return f"iv({self.merge!r}, step={self.step})"
+
+
+class LoopInduction:
+    """Induction variables and loop-(in)variance for one loop hyperblock."""
+
+    def __init__(self, graph: Graph, hyperblock: int,
+                 addresses: AddressAnalysis | None = None):
+        self.graph = graph
+        self.hyperblock = hyperblock
+        self.addresses = addresses or AddressAnalysis()
+        self.ivs: dict[OutPort, InductionVariable] = {}
+        self.invariant_merges: set[int] = set()
+        self._find()
+
+    # ------------------------------------------------------------------
+
+    def _loop_merges(self) -> list[N.MergeNode]:
+        return [
+            node for node in self.graph.by_kind(N.MergeNode)
+            if node.hyperblock == self.hyperblock and node.back_inputs
+            and node.value_class == N.DATA
+        ]
+
+    def _back_values(self, merge: N.MergeNode) -> list[OutPort]:
+        """Value ports feeding the merge's back inputs (through their etas)."""
+        values = []
+        for slot in sorted(merge.back_inputs):  # excludes the control slot
+            port = merge.inputs[slot]
+            if port is None:
+                return []
+            if isinstance(port.node, N.EtaNode):
+                inner = port.node.value_input
+                if inner is None:
+                    return []
+                values.append(inner)
+            else:
+                values.append(port)
+        return values
+
+    def _entry_values(self, merge: N.MergeNode) -> list[OutPort]:
+        values = []
+        for slot in merge.entry_slots():
+            port = merge.inputs[slot]
+            if port is None:
+                continue
+            if isinstance(port.node, N.EtaNode):
+                inner = port.node.value_input
+                if inner is not None:
+                    values.append(inner)
+                    continue
+            values.append(port)
+        return values
+
+    def _find(self) -> None:
+        for merge in self._loop_merges():
+            back = self._back_values(merge)
+            if not back:
+                continue
+            forms = [self.addresses.affine(v) for v in back]
+            # Invariant: the value circulates unchanged (x -> x).
+            if all(f.single_term() == (merge.out(), 1) and f.const == 0
+                   for f in forms):
+                self.invariant_merges.add(merge.id)
+                continue
+            # Basic IV: back value is merge + step with one common step.
+            steps = set()
+            for form in forms:
+                term = form.single_term()
+                if term is None or term[0] != merge.out() or term[1] != 1:
+                    steps.clear()
+                    break
+                steps.add(form.const)
+            if len(steps) == 1:
+                step = steps.pop()
+                if step != 0:
+                    entries = self._entry_values(merge)
+                    init = None
+                    if len(entries) == 1:
+                        init = self.addresses.affine(entries[0])
+                    self.ivs[merge.out()] = InductionVariable(merge, step, init)
+
+    # ------------------------------------------------------------------
+
+    def is_invariant_port(self, port: OutPort, depth: int = 32) -> bool:
+        """Does this port carry the same value on every loop iteration?"""
+        if depth <= 0:
+            return False
+        node = port.node
+        if isinstance(node, (N.ConstNode, N.ParamNode, N.SymbolAddrNode)):
+            return True
+        if node.hyperblock != self.hyperblock:
+            return True  # produced outside: one value per loop activation
+        if isinstance(node, N.MergeNode):
+            return node.id in self.invariant_merges
+        if isinstance(node, (N.BinOpNode, N.UnOpNode, N.CastNode)):
+            return all(
+                p is not None and self.is_invariant_port(p, depth - 1)
+                for p in node.inputs
+            )
+        return False
+
+    def address_iv_form(self, port: OutPort) -> tuple[InductionVariable, int, Affine] | None:
+        """Decompose an address as (iv, coeff, rest) with rest invariant.
+
+        Returns None unless exactly one IV term appears and every other
+        term is loop-invariant.
+        """
+        form = self.addresses.affine(port)
+        iv_terms = [(k, c) for k, c in form.terms
+                    if isinstance(k, OutPort) and k in self.ivs]
+        if len(iv_terms) != 1:
+            return None
+        key, coeff = iv_terms[0]
+        rest_terms = []
+        for k, c in form.terms:
+            if k == key:
+                continue
+            if isinstance(k, OutPort):
+                if not self.is_invariant_port(k):
+                    return None
+            elif not (isinstance(k, tuple) and k[0] == "object"):
+                return None
+            rest_terms.append((k, c))
+        rest = Affine(const=form.const, terms=tuple(rest_terms))
+        return self.ivs[key], coeff, rest
+
+    # ------------------------------------------------------------------
+    # Dependence facts
+
+    def is_monotone_non_overlapping(self, port: OutPort, width: int) -> bool:
+        """§6.2: does the address advance past itself every iteration?"""
+        decomposition = self.address_iv_form(port)
+        if decomposition is None:
+            return False
+        iv, coeff, _ = decomposition
+        return abs(coeff * iv.step) >= width
+
+    def dependence_distance(self, a: OutPort, width_a: int,
+                            b: OutPort, width_b: int) -> int | None:
+        """§6.3: iterations between conflicting accesses of ``a`` and ``b``.
+
+        Both must be affine in the *same* IV with the same pace; the result
+        is ``d`` such that ``a`` at iteration ``n`` touches the address
+        ``b`` touches at iteration ``n + d``. Returns None when the
+        accesses can never conflict or when the pace is too small for the
+        access widths (partial overlap).
+        """
+        da = self.address_iv_form(a)
+        db = self.address_iv_form(b)
+        if da is None or db is None:
+            return None
+        iv_a, coeff_a, rest_a = da
+        iv_b, coeff_b, rest_b = db
+        if iv_a.merge is not iv_b.merge or coeff_a != coeff_b:
+            return None
+        pace = coeff_a * iv_a.step
+        if pace == 0 or abs(pace) < max(width_a, width_b):
+            return None
+        delta = rest_a.sub(rest_b)
+        if not delta.is_constant:
+            return None
+        if delta.const % pace != 0:
+            return None  # offsets interleave; never the same address
+        return delta.const // pace
+
+    def never_equal_across_iterations(self, a: OutPort, width_a: int,
+                                      b: OutPort, width_b: int) -> bool:
+        """§4.3(2): same pace, starting offset not a multiple of the pace."""
+        da = self.address_iv_form(a)
+        db = self.address_iv_form(b)
+        if da is None or db is None:
+            return False
+        iv_a, coeff_a, rest_a = da
+        iv_b, coeff_b, rest_b = db
+        pace_a = coeff_a * iv_a.step
+        pace_b = coeff_b * iv_b.step
+        if pace_a != pace_b or pace_a == 0:
+            return False
+        pace = abs(pace_a)
+        width = max(width_a, width_b)
+        if pace < width:
+            return False
+        if iv_a.merge is iv_b.merge:
+            delta = rest_a.sub(rest_b)
+            if not delta.is_constant:
+                return False
+            offset = delta.const % pace
+        else:
+            # Distinct IVs advancing in lockstep: compare starting values.
+            if iv_a.init is None or iv_b.init is None:
+                return False
+            start_delta = rest_a.add(iv_a.init.scale(coeff_a)).sub(
+                rest_b.add(iv_b.init.scale(coeff_b)))
+            if not start_delta.is_constant:
+                return False
+            offset = start_delta.const % pace
+        # The residues stay ``offset`` apart forever; they never overlap
+        # when the gap clears the access width in both circular directions.
+        return width <= offset <= pace - width

@@ -1,0 +1,130 @@
+"""Abstract memory locations and their may-overlap relation.
+
+A read/write set (the paper's §3.3, "tags" / "M-lists" elsewhere) is a
+``frozenset`` of :class:`Location`:
+
+- ``object`` — a specific global, string literal, or stack slot;
+- ``param`` — everything reachable through a pointer parameter of the
+  compiled (entry) procedure, about which nothing else is known;
+- ``unknown`` — a pointer the analysis lost track of.
+
+``#pragma independent p q`` (§7.1) removes the (p, q) pair from the overlap
+relation, exactly like the paper's connection analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend import ast
+
+OBJECT = "object"
+PARAM = "param"
+UNKNOWN_KIND = "unknown"
+
+
+@dataclass(frozen=True)
+class Location:
+    kind: str
+    symbol: Optional[ast.Symbol] = None
+
+    def __repr__(self) -> str:
+        if self.kind == UNKNOWN_KIND:
+            return "loc(?)"
+        assert self.symbol is not None
+        return f"loc({self.symbol.name}#{self.symbol.unique_id})"
+
+    @property
+    def is_constant_object(self) -> bool:
+        """May loads from here skip serialization entirely (§4.2)?"""
+        return (self.kind == OBJECT and self.symbol is not None
+                and self.symbol.is_const)
+
+
+UNKNOWN = Location(UNKNOWN_KIND)
+
+
+def object_location(symbol: ast.Symbol) -> Location:
+    return Location(OBJECT, symbol)
+
+
+def param_location(symbol: ast.Symbol) -> Location:
+    return Location(PARAM, symbol)
+
+
+IndependencePairs = frozenset  # of frozenset({Symbol, Symbol})
+
+
+def overlap(a: Location, b: Location,
+            independent: frozenset = frozenset()) -> bool:
+    """May locations ``a`` and ``b`` denote the same address?"""
+    if a.kind == UNKNOWN_KIND or b.kind == UNKNOWN_KIND:
+        return True
+    assert a.symbol is not None and b.symbol is not None
+    if frozenset((a.symbol, b.symbol)) in independent:
+        return False
+    if a.kind == OBJECT and b.kind == OBJECT:
+        return a.symbol is b.symbol
+    # A pointer parameter may point into any object or any other parameter's
+    # referent — unless a pragma said otherwise (handled above).
+    return True
+
+
+def sets_overlap(a: frozenset[Location], b: frozenset[Location],
+                 independent: frozenset = frozenset()) -> bool:
+    """May two read/write sets touch a common address?"""
+    return any(overlap(x, y, independent) for x in a for y in b)
+
+
+class LocationClasses:
+    """Partition of locations into serialization classes.
+
+    Two locations are in the same class when they (transitively) may
+    overlap. Each class gets its own merge/eta token circuit through the
+    hyperblock graph (§6, Figure 11); a memory operation whose read/write
+    set spans several classes synchronizes with each of them.
+    """
+
+    def __init__(self, locations: list[Location],
+                 independent: frozenset = frozenset()):
+        self.locations = list(dict.fromkeys(locations))
+        self.independent = independent
+        self._parent: dict[Location, Location] = {l: l for l in self.locations}
+        for i, first in enumerate(self.locations):
+            for second in self.locations[i + 1:]:
+                if overlap(first, second, independent):
+                    self._union(first, second)
+        roots = dict.fromkeys(self._find(l) for l in self.locations)
+        self._class_ids = {root: index for index, root in enumerate(roots)}
+
+    def _find(self, loc: Location) -> Location:
+        while self._parent[loc] is not loc:
+            self._parent[loc] = self._parent[self._parent[loc]]
+            loc = self._parent[loc]
+        return loc
+
+    def _union(self, a: Location, b: Location) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra is not rb:
+            self._parent[rb] = ra
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._class_ids)
+
+    def class_of(self, loc: Location) -> int:
+        return self._class_ids[self._find(loc)]
+
+    def classes_of_set(self, rwset: frozenset[Location]) -> frozenset[int]:
+        return frozenset(self.class_of(loc) for loc in rwset)
+
+    def members(self, class_id: int) -> list[Location]:
+        return [l for l in self.locations if self.class_of(l) == class_id]
+
+    def __repr__(self) -> str:
+        groups: dict[int, list[Location]] = {}
+        for loc in self.locations:
+            groups.setdefault(self.class_of(loc), []).append(loc)
+        parts = [f"{cid}: {locs}" for cid, locs in sorted(groups.items())]
+        return "LocationClasses(" + "; ".join(parts) + ")"

@@ -1,0 +1,136 @@
+"""Flow-insensitive pointer analysis over the three-address CFG.
+
+Computes, for every temp, the set of abstract locations its value may
+address ("origins"), and from that the read/write set of every memory
+instruction (§3.3). The lattice is small: address arithmetic (add/sub,
+copies, casts) preserves origins; anything else collapses to ``unknown``;
+pointers stored into memory are folded into one bucket that every
+pointer-typed load drains (a one-cell heap abstraction).
+
+``entry_points_to`` lets a harness state what each pointer parameter of the
+compiled procedure points to — the role the paper's manual annotations play
+for inter-procedural precision (§7.1). Without it, a parameter is its own
+opaque root, refinable only by ``#pragma independent``.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.cfg import ir
+from repro.analysis.locations import (
+    UNKNOWN,
+    Location,
+    LocationClasses,
+    object_location,
+    param_location,
+    sets_overlap,
+)
+
+_PRESERVING_BINOPS = frozenset({"add", "sub"})
+
+
+class PointerAnalysis:
+    """Origins, read/write sets, and location classes for one function."""
+
+    def __init__(self, func: ir.Function, globals_: list[ast.Symbol],
+                 entry_points_to: dict[str, list[ast.Symbol]] | None = None):
+        self.func = func
+        self.globals = list(globals_)
+        self.entry_points_to = entry_points_to or {}
+        self.independent = frozenset(
+            frozenset((a, b)) for a, b in func.independent_pairs
+        )
+        self._origins: dict[ir.Temp, frozenset[Location]] = {}
+        self._rwsets: dict[int, frozenset[Location]] = {}
+        self._compute()
+        self.classes = self._build_classes()
+
+    # ------------------------------------------------------------------
+
+    def origins(self, operand: ir.Operand) -> frozenset[Location]:
+        if isinstance(operand, ir.SymAddr):
+            return frozenset({object_location(operand.symbol)})
+        if isinstance(operand, ir.Temp):
+            return self._origins.get(operand, frozenset())
+        return frozenset()
+
+    def rwset(self, instr: ir.Instr) -> frozenset[Location]:
+        """The read/write set of a Load or Store instruction."""
+        assert isinstance(instr, (ir.Load, ir.Store))
+        return self._rwsets[id(instr)]
+
+    def may_interfere(self, a: frozenset[Location], b: frozenset[Location]) -> bool:
+        return sets_overlap(a, b, self.independent)
+
+    def is_immutable_access(self, rwset: frozenset[Location]) -> bool:
+        """True when every location the access may touch is const (§4.2)."""
+        return bool(rwset) and all(loc.is_constant_object for loc in rwset)
+
+    # ------------------------------------------------------------------
+
+    def _compute(self) -> None:
+        seeds: dict[ir.Temp, frozenset[Location]] = {}
+        for symbol, temp in self.func.params:
+            if symbol.type.is_pointer:
+                if symbol.name in self.entry_points_to:
+                    seeds[temp] = frozenset(
+                        object_location(s)
+                        for s in self.entry_points_to[symbol.name]
+                    )
+                else:
+                    seeds[temp] = frozenset({param_location(symbol)})
+        self._origins = dict(seeds)
+        # One-cell heap abstraction for pointers that round-trip memory.
+        memory_bucket: frozenset[Location] = frozenset({UNKNOWN})
+
+        changed = True
+        while changed:
+            changed = False
+            for _, instr in self.func.instructions():
+                update: tuple[ir.Temp, frozenset[Location]] | None = None
+                if isinstance(instr, ir.Copy):
+                    update = (instr.dest, self.origins(instr.src))
+                elif isinstance(instr, ir.CastOp):
+                    update = (instr.dest, self.origins(instr.src))
+                elif isinstance(instr, ir.BinOp):
+                    combined = self.origins(instr.lhs) | self.origins(instr.rhs)
+                    if combined:
+                        if instr.op in _PRESERVING_BINOPS:
+                            update = (instr.dest, combined)
+                        else:
+                            update = (instr.dest, frozenset({UNKNOWN}))
+                elif isinstance(instr, ir.UnOp):
+                    if self.origins(instr.src):
+                        update = (instr.dest, frozenset({UNKNOWN}))
+                elif isinstance(instr, ir.Load):
+                    if instr.type.is_pointer:
+                        update = (instr.dest, memory_bucket)
+                elif isinstance(instr, ir.Store):
+                    stored = self.origins(instr.src)
+                    if stored and not stored <= memory_bucket:
+                        memory_bucket = memory_bucket | stored
+                        changed = True
+                elif isinstance(instr, ir.Call):
+                    if instr.dest is not None and instr.dest.type.is_pointer:
+                        update = (instr.dest, frozenset({UNKNOWN}))
+                if update is not None:
+                    dest, new = update
+                    old = self._origins.get(dest, frozenset())
+                    if not new <= old:
+                        self._origins[dest] = old | new
+                        changed = True
+
+        for _, instr in self.func.instructions():
+            if isinstance(instr, (ir.Load, ir.Store)):
+                rwset = self.origins(instr.addr)
+                if not rwset:
+                    rwset = frozenset({UNKNOWN})
+                self._rwsets[id(instr)] = rwset
+
+    def _build_classes(self) -> LocationClasses:
+        seen: list[Location] = []
+        for rwset in self._rwsets.values():
+            for loc in rwset:
+                seen.append(loc)
+        return LocationClasses(list(dict.fromkeys(seen)), self.independent)

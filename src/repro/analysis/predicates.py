@@ -1,0 +1,207 @@
+"""Boolean algebra over predicate values.
+
+The redundancy eliminations of §5 rest on "elementary boolean
+manipulations" of controlling predicates: store-before-store needs
+``p1 implies p2`` (post-dominance), load-after-store needs ``p_load implies
+(p_s1 or p_s2 ...)`` (Gupta dominance), dead-op removal needs ``p == false``.
+
+Predicates are ordinary graph values (0/1 integers). This module extracts a
+boolean expression for a port — treating ``and``/``or``/``lnot``/constants
+structurally and everything else (comparisons, merged loop values) as opaque
+atoms — and decides validity by exhaustive evaluation over the atoms
+(Shannon expansion). Expressions in practice have a handful of atoms; a
+configurable cap keeps the check linear in graph size overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+from repro.frontend import types as ty
+
+MAX_ATOMS = 12
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """kind: 'const' (value in ``value``), 'atom' (port), 'and'/'or'/'not'."""
+
+    kind: str
+    value: Optional[int] = None
+    atom: Optional[OutPort] = None
+    args: tuple["BoolExpr", ...] = ()
+
+    def atoms(self) -> set[OutPort]:
+        if self.kind == "atom":
+            assert self.atom is not None
+            return {self.atom}
+        result: set[OutPort] = set()
+        for arg in self.args:
+            result |= arg.atoms()
+        return result
+
+    def evaluate(self, assignment: dict[OutPort, bool]) -> bool:
+        if self.kind == "const":
+            return bool(self.value)
+        if self.kind == "atom":
+            assert self.atom is not None
+            return assignment[self.atom]
+        if self.kind == "and":
+            return all(arg.evaluate(assignment) for arg in self.args)
+        if self.kind == "or":
+            return any(arg.evaluate(assignment) for arg in self.args)
+        if self.kind == "not":
+            return not self.args[0].evaluate(assignment)
+        raise ValueError(f"bad BoolExpr kind {self.kind}")
+
+
+TRUE = BoolExpr("const", value=1)
+FALSE = BoolExpr("const", value=0)
+
+
+def extract(port: OutPort, depth: int = 16) -> BoolExpr:
+    """The boolean function computed by ``port``, atoms for opaque parts."""
+    node = port.node
+    if isinstance(node, N.ConstNode):
+        return TRUE if node.value else FALSE
+    if depth <= 0:
+        return BoolExpr("atom", atom=port)
+    if isinstance(node, N.BinOpNode) and node.op in ("and", "or"):
+        lhs = extract(node.inputs[0], depth - 1)  # type: ignore[arg-type]
+        rhs = extract(node.inputs[1], depth - 1)  # type: ignore[arg-type]
+        return BoolExpr(node.op, args=(lhs, rhs))
+    if isinstance(node, N.UnOpNode) and node.op == "lnot":
+        inner = extract(node.inputs[0], depth - 1)  # type: ignore[arg-type]
+        # lnot is boolean negation only over 0/1 inputs; predicates are.
+        return BoolExpr("not", args=(inner,))
+    return BoolExpr("atom", atom=port)
+
+
+def _valid(expr: BoolExpr) -> bool:
+    """Is the expression true under every atom assignment?"""
+    atoms = sorted(expr.atoms(), key=lambda p: (p.node.id, p.index))
+    if len(atoms) > MAX_ATOMS:
+        return False  # conservatively unknown
+    for mask in range(1 << len(atoms)):
+        assignment = {
+            atom: bool(mask >> i & 1) for i, atom in enumerate(atoms)
+        }
+        if not expr.evaluate(assignment):
+            return False
+    return True
+
+
+def implies(p: OutPort, q: OutPort) -> bool:
+    """Is ``p -> q`` valid? (Conservative: False when unknown.)"""
+    return _valid(BoolExpr("or", args=(BoolExpr("not", args=(extract(p),)),
+                                       extract(q))))
+
+
+def implies_any(p: OutPort, qs: list[OutPort]) -> bool:
+    """Is ``p -> (q1 or q2 or ...)`` valid?"""
+    disjunction = FALSE
+    for q in qs:
+        disjunction = BoolExpr("or", args=(disjunction, extract(q)))
+    return _valid(BoolExpr("or", args=(BoolExpr("not", args=(extract(p),)),
+                                       disjunction)))
+
+
+def is_false(p: OutPort) -> bool:
+    return _valid(BoolExpr("not", args=(extract(p),)))
+
+
+def is_true(p: OutPort) -> bool:
+    return _valid(extract(p))
+
+
+def equivalent(p: OutPort, q: OutPort) -> bool:
+    ep, eq = extract(p), extract(q)
+    both = BoolExpr("and", args=(
+        BoolExpr("or", args=(BoolExpr("not", args=(ep,)), eq)),
+        BoolExpr("or", args=(BoolExpr("not", args=(eq,)), ep)),
+    ))
+    return _valid(both)
+
+
+def disjoint(p: OutPort, q: OutPort) -> bool:
+    """Can ``p`` and ``q`` never be true together?"""
+    return _valid(BoolExpr("not", args=(BoolExpr("and",
+                                                 args=(extract(p), extract(q))),)))
+
+
+# ---------------------------------------------------------------------------
+# Predicate construction helpers (with local constant folding)
+
+
+def const_pred(graph: Graph, value: bool, hyperblock: int) -> OutPort:
+    return graph.add(N.ConstNode(1 if value else 0, ty.INT, hyperblock)).out()
+
+
+def _const_of(port: OutPort) -> Optional[int]:
+    if isinstance(port.node, N.ConstNode):
+        return 1 if port.node.value else 0
+    return None
+
+
+def make_not(graph: Graph, port: OutPort, hyperblock: int) -> OutPort:
+    value = _const_of(port)
+    if value is not None:
+        return const_pred(graph, not value, hyperblock)
+    node = port.node
+    if isinstance(node, N.UnOpNode) and node.op == "lnot":
+        inner = node.inputs[0]
+        # lnot(lnot(x)) is x only when x is 0/1; predicate ports are.
+        if inner is not None and _is_boolean(inner):
+            return inner
+    return graph.add(N.UnOpNode("lnot", ty.INT, port, hyperblock)).out()
+
+
+def make_and(graph: Graph, a: OutPort, b: OutPort, hyperblock: int) -> OutPort:
+    if _const_of(a) == 1:
+        return b
+    if _const_of(b) == 1:
+        return a
+    if _const_of(a) == 0 or _const_of(b) == 0:
+        return const_pred(graph, False, hyperblock)
+    if a == b:
+        return a
+    return graph.add(N.BinOpNode("and", ty.INT, a, b, hyperblock)).out()
+
+
+def make_or(graph: Graph, a: OutPort, b: OutPort, hyperblock: int) -> OutPort:
+    if _const_of(a) == 0:
+        return b
+    if _const_of(b) == 0:
+        return a
+    if _const_of(a) == 1 or _const_of(b) == 1:
+        return const_pred(graph, True, hyperblock)
+    if a == b:
+        return a
+    return graph.add(N.BinOpNode("or", ty.INT, a, b, hyperblock)).out()
+
+
+def make_or_all(graph: Graph, ports: list[OutPort], hyperblock: int) -> OutPort:
+    if not ports:
+        return const_pred(graph, False, hyperblock)
+    result = ports[0]
+    for port in ports[1:]:
+        result = make_or(graph, result, port, hyperblock)
+    return result
+
+
+def _is_boolean(port: OutPort) -> bool:
+    """Does this port provably carry only 0/1?"""
+    node = port.node
+    if isinstance(node, N.BinOpNode):
+        return node.op in ("eq", "ne", "lt", "le", "gt", "ge", "and", "or") and (
+            node.op in ("eq", "ne", "lt", "le", "gt", "ge")
+            or all(p is not None and _is_boolean(p) for p in node.inputs)
+        )
+    if isinstance(node, N.UnOpNode):
+        return node.op == "lnot"
+    if isinstance(node, N.ConstNode):
+        return node.value in (0, 1)
+    return False

@@ -1,0 +1,45 @@
+"""Cached reachability over the Pegasus forward DAG.
+
+The paper's §5: "testing for the cycle-free condition is easily
+accomplished with a reachability computation in the Pegasus DAG which
+ignores the back-edges; by caching the results for a batch of
+optimizations, its amortized cost remains linear."
+
+Every node gets one bit; one sweep in reverse topological order computes,
+per node, the bitset of nodes reachable from it through forward edges. The
+cache is valid for one graph snapshot; passes build a fresh instance after
+mutating the graph.
+"""
+
+from __future__ import annotations
+
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+
+
+class Reachability:
+    """Answers "can a value flow from node a to node b (forward edges)?"."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        order = graph.topological_order()
+        self._bit = {node.id: 1 << index for index, node in enumerate(order)}
+        self._reach: dict[int, int] = {}
+        for node in reversed(order):  # consumers before producers
+            mask = self._bit[node.id]
+            for index in range(node.num_outputs):
+                for slot in graph.uses(OutPort(node, index)):
+                    if slot.index in slot.node.back_input_indices():
+                        continue  # ignore loop back edges
+                    mask |= self._reach[slot.node.id]
+            self._reach[node.id] = mask
+
+    def reaches(self, source: N.Node, target: N.Node) -> bool:
+        """Is there a forward path (possibly empty) from source to target?"""
+        return bool(self._reach.get(source.id, 0) & self._bit.get(target.id, 0))
+
+    def any_reaches(self, sources, target: N.Node) -> bool:
+        return any(self.reaches(s, target) for s in sources)
+
+    def port_reaches(self, port: OutPort, target: N.Node) -> bool:
+        return self.reaches(port.node, target)

@@ -1,0 +1,189 @@
+"""Symbolic (affine) address analysis (§4.3 heuristic 1).
+
+An address port is summarized as an affine form ``const + Σ coeff·atom``
+where atoms are opaque ports (parameters, loop merges, load results, …).
+Two addresses provably differ when their difference is a nonzero constant
+at least as large as the access width (accesses are aligned, §5), or when
+they are rooted in distinct memory objects.
+
+Address arithmetic is 64-bit unsigned in the IR; the symbolic reasoning
+ignores wraparound, which is justified exactly where the paper's is:
+well-defined C pointer arithmetic never wraps within an object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import types as ty
+from repro.pegasus.graph import OutPort
+from repro.pegasus import nodes as N
+
+MAX_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class Affine:
+    """const + sum(coeff * atom); atoms are OutPorts or object symbols."""
+
+    const: int = 0
+    terms: tuple[tuple[object, int], ...] = ()  # sorted (atom-key, coeff)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine(const=value)
+
+    @staticmethod
+    def atom(key: object, coeff: int = 1) -> "Affine":
+        return Affine(terms=((key, coeff),) if coeff else ())
+
+    def add(self, other: "Affine") -> "Affine":
+        return self._combine(other, 1)
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self._combine(other, -1)
+
+    def _combine(self, other: "Affine", sign: int) -> "Affine":
+        coeffs: dict[object, int] = dict(self.terms)
+        for key, coeff in other.terms:
+            coeffs[key] = coeffs.get(key, 0) + sign * coeff
+        terms = tuple(sorted(
+            ((key, coeff) for key, coeff in coeffs.items() if coeff != 0),
+            key=lambda item: _term_order(item[0]),
+        ))
+        return Affine(const=self.const + sign * other.const, terms=terms)
+
+    def scale(self, factor: int) -> "Affine":
+        if factor == 0:
+            return Affine.constant(0)
+        terms = tuple((key, coeff * factor) for key, coeff in self.terms)
+        return Affine(const=self.const * factor, terms=terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def single_term(self) -> tuple[object, int] | None:
+        """(atom, coeff) when the form is const + coeff*atom, else None."""
+        if len(self.terms) == 1:
+            return self.terms[0]
+        return None
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for key, coeff in self.terms:
+            parts.append(f"{coeff}*{key}")
+        return " + ".join(parts) if parts else "0"
+
+
+def _term_order(key: object):
+    if isinstance(key, OutPort):
+        return (0, key.node.id, key.index)
+    return (1, str(key))
+
+
+class AddressAnalysis:
+    """Computes (and caches) affine forms of address ports."""
+
+    def __init__(self):
+        self._cache: dict[OutPort, Affine] = {}
+
+    def affine(self, port: OutPort, depth: int = MAX_DEPTH) -> Affine:
+        if port in self._cache:
+            return self._cache[port]
+        result = self._compute(port, depth)
+        self._cache[port] = result
+        return result
+
+    def _compute(self, port: OutPort, depth: int) -> Affine:
+        node = port.node
+        if depth <= 0:
+            return Affine.atom(port)
+        if isinstance(node, N.ConstNode) and isinstance(node.value, int):
+            return Affine.constant(node.value)
+        if isinstance(node, N.SymbolAddrNode):
+            return Affine.atom(("object", node.symbol))
+        if isinstance(node, N.CastNode):
+            # Widening integer casts preserve the value for in-range inputs.
+            if _is_widening(node.from_type, node.to_type):
+                source = node.inputs[0]
+                assert source is not None
+                return self.affine(source, depth - 1)
+            return Affine.atom(port)
+        if isinstance(node, N.BinOpNode) and port.index == 0:
+            lhs_port, rhs_port = node.inputs
+            if lhs_port is None or rhs_port is None:
+                return Affine.atom(port)
+            if node.op == "add":
+                return self.affine(lhs_port, depth - 1).add(
+                    self.affine(rhs_port, depth - 1))
+            if node.op == "sub":
+                return self.affine(lhs_port, depth - 1).sub(
+                    self.affine(rhs_port, depth - 1))
+            if node.op == "mul":
+                lhs = self.affine(lhs_port, depth - 1)
+                rhs = self.affine(rhs_port, depth - 1)
+                if lhs.is_constant:
+                    return rhs.scale(lhs.const)
+                if rhs.is_constant:
+                    return lhs.scale(rhs.const)
+                return Affine.atom(port)
+            if node.op == "shl":
+                rhs = self.affine(rhs_port, depth - 1)
+                if rhs.is_constant and 0 <= rhs.const < 63:
+                    return self.affine(lhs_port, depth - 1).scale(1 << rhs.const)
+                return Affine.atom(port)
+        return Affine.atom(port)
+
+    # ------------------------------------------------------------------
+
+    def difference(self, a: OutPort, b: OutPort) -> Affine:
+        return self.affine(a).sub(self.affine(b))
+
+    def never_same_address(self, a: OutPort, width_a: int,
+                           b: OutPort, width_b: int) -> bool:
+        """Can accesses at ``a`` (width_a) and ``b`` (width_b) never overlap?
+
+        True when the difference is a nonzero constant no smaller than the
+        wider access, or when the two addresses are rooted in different
+        memory objects (distinct objects are disjoint by layout).
+        """
+        fa, fb = self.affine(a), self.affine(b)
+        diff = fa.sub(fb)
+        if diff.is_constant:
+            return abs(diff.const) >= max(width_a, width_b) and diff.const != 0
+        root_a = _object_root(fa)
+        root_b = _object_root(fb)
+        if root_a is not None and root_b is not None and root_a is not root_b:
+            return True
+        return False
+
+    def constant_difference(self, a: OutPort, b: OutPort) -> int | None:
+        diff = self.difference(a, b)
+        return diff.const if diff.is_constant else None
+
+
+def _object_root(form: Affine):
+    """The unique memory-object base of an affine form, if there is one.
+
+    Requires coefficient 1 — the shape valid C pointer arithmetic produces.
+    Distinctness of roots implies disjointness because out-of-object pointer
+    arithmetic is undefined behaviour (the paper's assumption too).
+    """
+    roots = [
+        (key[1], coeff) for key, coeff in form.terms
+        if isinstance(key, tuple) and key[0] == "object"
+    ]
+    if len(roots) == 1 and roots[0][1] == 1:
+        return roots[0][0]
+    return None
+
+
+def _is_widening(from_type: ty.Type, to_type: ty.Type) -> bool:
+    if not (isinstance(from_type, ty.IntType) and isinstance(to_type, ty.IntType)):
+        return False
+    if to_type.size <= from_type.size:
+        return False
+    # Sign-extension and zero-extension both preserve the numeric value of
+    # in-range inputs when the source interpretation matches.
+    return True

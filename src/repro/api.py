@@ -1,0 +1,158 @@
+"""High-level API: MiniC source in, spatial program out.
+
+Typical use::
+
+    from repro import compile_minic
+
+    program = compile_minic(source, entry="kernel", opt_level="full")
+    result = program.simulate([arg0, arg1])
+    oracle = program.run_sequential([arg0, arg1])
+    assert result.return_value == oracle.return_value
+
+``opt_level`` selects the pass pipeline (see :mod:`repro.opt.passes`):
+``none`` builds the raw graph; ``basic`` adds scalar cleanup; ``medium`` is
+the paper's Figure-19 "Medium" set (token removal by disambiguation,
+pointer analysis/pragmas, induction-variable pipelining); ``full`` adds the
+redundancy eliminations of §5, read-only loop splitting (§6.1) and loop
+decoupling (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import parse_program
+from repro.frontend import ast
+from repro.cfg import ir
+from repro.cfg.lower import LoweredProgram, lower_program
+from repro.cfg.inline import inline_program
+from repro.pegasus.builder import BuildResult, build_pegasus
+from repro.pegasus.graph import Graph
+from repro.pegasus.verify import verify_graph
+from repro.sim.dataflow import DataflowResult, DataflowSimulator
+from repro.sim.memory_image import MemoryImage
+from repro.sim.memsys import MemoryConfig, MemorySystem, PERFECT_MEMORY
+from repro.sim.sequential import SequentialInterpreter, SequentialResult
+
+OPT_LEVELS = ("none", "basic", "medium", "full")
+
+
+@dataclass
+class CompiledProgram:
+    """A MiniC program compiled to a Pegasus graph, ready to simulate."""
+
+    source_program: ast.Program
+    lowered: LoweredProgram
+    flat: ir.Function
+    build: BuildResult
+    entry: str
+    opt_level: str
+
+    @property
+    def graph(self) -> Graph:
+        return self.build.graph
+
+    def new_memory(self, extern_elements: int = 1024) -> MemoryImage:
+        """A fresh memory image with globals and stack objects laid out.
+
+        Layout order is globals (program order) then the flattened entry's
+        stack objects, so addresses match between both interpreters and
+        across optimization levels.
+        """
+        image = MemoryImage(extern_elements=extern_elements)
+        for symbol in self.lowered.globals:
+            image.allocate(symbol)
+        for symbol in self.flat.stack_objects:
+            image.allocate(symbol)
+        return image
+
+    def simulate(self, args: list[object] | None = None,
+                 memsys: MemoryConfig | MemorySystem | None = None,
+                 memory: MemoryImage | None = None,
+                 event_limit: int | None = None) -> DataflowResult:
+        """Execute spatially on the dataflow simulator (§7.3)."""
+        if isinstance(memsys, MemoryConfig):
+            memsys = MemorySystem(memsys)
+        simulator = DataflowSimulator(
+            self.graph,
+            memory=memory if memory is not None else self.new_memory(),
+            memsys=memsys or MemorySystem(PERFECT_MEMORY),
+            **({"event_limit": event_limit} if event_limit else {}),
+        )
+        return simulator.run(list(args or []))
+
+    def run_sequential(self, args: list[object] | None = None,
+                       memsys: MemoryConfig | MemorySystem | None = None,
+                       memory: MemoryImage | None = None) -> SequentialResult:
+        """Execute the flattened CFG in program order (the oracle/baseline)."""
+        if isinstance(memsys, MemoryConfig):
+            memsys = MemorySystem(memsys)
+        flat_program = LoweredProgram(functions={self.entry: self.flat},
+                                      globals=self.lowered.globals)
+        interpreter = SequentialInterpreter(
+            flat_program,
+            memory=memory if memory is not None else self.new_memory(),
+            memsys=memsys,
+        )
+        return interpreter.run(self.entry, list(args or []))
+
+    def static_counts(self) -> dict[str, int]:
+        """Static node statistics (loads, stores, total) — Figure 18 lines."""
+        from repro.pegasus import nodes as N
+        stats = self.graph.stats()
+        return {
+            "nodes": len(self.graph),
+            "loads": stats.get("LoadNode", 0),
+            "stores": stats.get("StoreNode", 0),
+            "muxes": stats.get("MuxNode", 0),
+            "combines": stats.get("CombineNode", 0),
+            "token_generators": stats.get("TokenGenNode", 0),
+        }
+
+
+def compile_minic(source: str, entry: str, opt_level: str = "full",
+                  entry_points_to: dict[str, list[str]] | None = None,
+                  filename: str = "<input>",
+                  unroll_limit: int = 0) -> CompiledProgram:
+    """Compile MiniC source text: the whole pipeline in one call.
+
+    ``entry_points_to`` optionally maps pointer-parameter names of the
+    entry function to lists of global-array names they point to (the
+    harness-level stand-in for whole-program pointer analysis, §7.1).
+    ``unroll_limit`` > 1 fully unrolls counted loops of at most that many
+    iterations before lowering (one of CASH's scalar optimizations).
+    """
+    if opt_level not in OPT_LEVELS:
+        raise ValueError(f"opt_level must be one of {OPT_LEVELS}")
+    program = parse_program(source, filename)
+    if unroll_limit > 1:
+        from repro.frontend.unroll import unroll_program
+        unroll_program(program, unroll_limit)
+    lowered = lower_program(program)
+    flat = inline_program(lowered, entry)
+    points_to = _resolve_points_to(entry_points_to, lowered)
+    build = build_pegasus(flat, lowered.globals, points_to)
+    verify_graph(build.graph)
+    if opt_level != "none":
+        from repro.opt.passes import optimize
+        optimize(build, level=opt_level)
+        verify_graph(build.graph)
+    return CompiledProgram(
+        source_program=program,
+        lowered=lowered,
+        flat=flat,
+        build=build,
+        entry=entry,
+        opt_level=opt_level,
+    )
+
+
+def _resolve_points_to(entry_points_to: dict[str, list[str]] | None,
+                       lowered: LoweredProgram) -> dict[str, list[ast.Symbol]] | None:
+    if not entry_points_to:
+        return None
+    by_name = {symbol.name: symbol for symbol in lowered.globals}
+    resolved: dict[str, list[ast.Symbol]] = {}
+    for param, names in entry_points_to.items():
+        resolved[param] = [by_name[name] for name in names]
+    return resolved

@@ -1,0 +1,23 @@
+"""Three-address control-flow-graph middle end.
+
+The AST is lowered to a conventional CFG (``ir``/``lower``); calls are
+flattened by the inliner (spatial computation instantiates every call site
+in hardware, ``inline``); dominators and natural loops are computed
+(``dominators``/``loops``); and blocks are grouped into hyperblocks
+(``hyperblocks``) — the unit over which Pegasus applies predication (§3.1).
+"""
+
+from repro.cfg.ir import Function, BasicBlock
+from repro.cfg.lower import lower_program, LoweredProgram
+from repro.cfg.inline import inline_program
+from repro.cfg.hyperblocks import form_hyperblocks, Hyperblock
+
+__all__ = [
+    "Function",
+    "BasicBlock",
+    "lower_program",
+    "LoweredProgram",
+    "inline_program",
+    "form_hyperblocks",
+    "Hyperblock",
+]

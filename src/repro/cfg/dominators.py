@@ -1,0 +1,55 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from repro.cfg import ir
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a function."""
+
+    def __init__(self, func: ir.Function):
+        self.func = func
+        self.rpo = func.reachable_blocks()
+        self.rpo_index = {block: i for i, block in enumerate(self.rpo)}
+        self.idom: dict[ir.BasicBlock, ir.BasicBlock] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        entry = self.func.entry
+        assert entry is not None
+        preds = self.func.predecessors()
+        self.idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                processed = [p for p in preds[block] if p in self.idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom.get(block) is not new_idom:
+                    self.idom[block] = new_idom
+                    changed = True
+
+    def _intersect(self, a: ir.BasicBlock, b: ir.BasicBlock) -> ir.BasicBlock:
+        while a is not b:
+            while self.rpo_index[a] > self.rpo_index[b]:
+                a = self.idom[a]
+            while self.rpo_index[b] > self.rpo_index[a]:
+                b = self.idom[b]
+        return a
+
+    def dominates(self, a: ir.BasicBlock, b: ir.BasicBlock) -> bool:
+        """Does ``a`` dominate ``b``?"""
+        entry = self.func.entry
+        while True:
+            if b is a:
+                return True
+            if b is entry:
+                return False
+            b = self.idom[b]

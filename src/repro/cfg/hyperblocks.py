@@ -1,0 +1,136 @@
+"""Hyperblock formation (§3.1).
+
+A hyperblock is a maximal single-entry acyclic region of the CFG. CASH
+collects multiple basic blocks into one hyperblock and converts it to
+straight-line predicated code; the remaining control flow is only
+inter-hyperblock transfer (loops and joins of loop exits).
+
+The partition rule used here, on the forward CFG (back edges removed),
+processing blocks in reverse postorder:
+
+- the function entry and every loop header start a new hyperblock;
+- a block joins its predecessors' hyperblock if *all* forward predecessors
+  are in that same hyperblock and the block belongs to the same innermost
+  loop (hyperblocks never span loop boundaries — an iteration boundary is
+  exactly where merge/eta nodes must appear);
+- otherwise it starts a new hyperblock (a join of several regions).
+
+Static structure only is used (no profiling), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg import ir
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.loops import Loop, LoopInfo
+
+
+@dataclass
+class Hyperblock:
+    """An ordered set of basic blocks forming a single-entry acyclic region."""
+
+    id: int
+    entry: ir.BasicBlock
+    blocks: list[ir.BasicBlock] = field(default_factory=list)
+    loop: Loop | None = None  # innermost loop this hyperblock sits in
+
+    @property
+    def is_loop_body(self) -> bool:
+        return self.loop is not None and self.loop.header is self.entry
+
+    def __contains__(self, block: ir.BasicBlock) -> bool:
+        return block in self._block_set
+
+    @property
+    def _block_set(self) -> set[ir.BasicBlock]:
+        return set(self.blocks)
+
+    def __repr__(self) -> str:
+        names = ",".join(b.name for b in self.blocks)
+        return f"Hyperblock#{self.id}({names})"
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass
+class HyperblockPartition:
+    """The full partition plus lookup tables used by the Pegasus builder."""
+
+    func: ir.Function
+    hyperblocks: list[Hyperblock]
+    of_block: dict[ir.BasicBlock, Hyperblock]
+    loop_info: LoopInfo
+    dom: DominatorTree
+
+    def successors(self, hyperblock: Hyperblock) -> list[tuple[ir.BasicBlock, ir.BasicBlock, Hyperblock]]:
+        """Inter-hyperblock edges leaving ``hyperblock``.
+
+        Returns (source block, target block, target hyperblock) triples in
+        deterministic order; includes back edges to the hyperblock itself.
+        """
+        result = []
+        for block in hyperblock.blocks:
+            for succ in block.successors():
+                target = self.of_block[succ]
+                if target is not hyperblock or succ is hyperblock.entry:
+                    result.append((block, succ, target))
+        return result
+
+
+def form_hyperblocks(func: ir.Function) -> HyperblockPartition:
+    """Partition a function's blocks into hyperblocks."""
+    dom = DominatorTree(func)
+    loop_info = LoopInfo(func, dom)
+    back_edges = loop_info.back_edges()
+    rpo = _forward_rpo(func, back_edges)
+
+    of_block: dict[ir.BasicBlock, Hyperblock] = {}
+    hyperblocks: list[Hyperblock] = []
+    preds = func.predecessors()
+
+    for block in rpo:
+        forward_preds = [
+            p for p in preds[block] if (p, block) not in back_edges
+        ]
+        candidate: Hyperblock | None = None
+        if block is not func.entry and not loop_info.is_header(block) and forward_preds:
+            pred_hbs = {of_block[p] for p in forward_preds if p in of_block}
+            if len(pred_hbs) == 1:
+                hb = next(iter(pred_hbs))
+                if hb.loop is loop_info.loop_of(block):
+                    candidate = hb
+        if candidate is None:
+            candidate = Hyperblock(id=len(hyperblocks), entry=block,
+                                   loop=loop_info.loop_of(block))
+            hyperblocks.append(candidate)
+        candidate.blocks.append(block)
+        of_block[block] = candidate
+
+    return HyperblockPartition(func=func, hyperblocks=hyperblocks,
+                               of_block=of_block, loop_info=loop_info, dom=dom)
+
+
+def _forward_rpo(func: ir.Function,
+                 back_edges: set[tuple[ir.BasicBlock, ir.BasicBlock]]):
+    """Reverse postorder over the CFG with back edges removed."""
+    assert func.entry is not None
+    visited: set[ir.BasicBlock] = set()
+    postorder: list[ir.BasicBlock] = []
+
+    def visit(block: ir.BasicBlock) -> None:
+        if block in visited:
+            return
+        visited.add(block)
+        for succ in block.successors():
+            if (block, succ) not in back_edges:
+                visit(succ)
+        postorder.append(block)
+
+    visit(func.entry)
+    return list(reversed(postorder))

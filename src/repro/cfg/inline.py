@@ -1,0 +1,274 @@
+"""Whole-program call flattening.
+
+Spatial computation instantiates every procedure in hardware; CASH compiles
+whole programs to circuits. We realize that model by inlining every call
+into the entry function: each static call site gets its own copy of the
+callee's blocks, temps, and stack objects (one hardware instance per site).
+Recursion therefore cannot be flattened and is rejected with
+:class:`~repro.errors.InlineError`.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+
+from repro.errors import InlineError
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.cfg import ir
+from repro.cfg.lower import LoweredProgram, simplify_cfg
+
+
+def inline_program(program: LoweredProgram, entry: str,
+                   max_instructions: int = 200_000) -> ir.Function:
+    """Return a copy of ``entry`` with every call transitively inlined."""
+    if entry not in program.functions:
+        raise InlineError(f"no function named {entry!r}")
+    _check_no_recursion(program, entry)
+    inliner = _Inliner(program, max_instructions)
+    result = inliner.flatten(entry)
+    simplify_cfg(result)
+    return result
+
+
+def _check_no_recursion(program: LoweredProgram, entry: str) -> None:
+    graph: dict[str, set[str]] = {}
+    for name, func in program.functions.items():
+        callees: set[str] = set()
+        for _, instr in func.instructions():
+            if isinstance(instr, ir.Call):
+                callees.add(instr.callee)
+        graph[name] = callees
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, path: list[str]) -> None:
+        if name not in graph:
+            raise InlineError(
+                f"call to undefined function {name!r} (via {' -> '.join(path)})"
+            )
+        if state.get(name) == 1:
+            return
+        if state.get(name) == 0:
+            cycle = " -> ".join(path + [name])
+            raise InlineError(f"recursive call cycle: {cycle}")
+        state[name] = 0
+        for callee in graph[name]:
+            visit(callee, path + [name])
+        state[name] = 1
+
+    visit(entry, [])
+
+
+class _Inliner:
+    def __init__(self, program: LoweredProgram, max_instructions: int):
+        self.program = program
+        self.max_instructions = max_instructions
+        self.clone_count = 0
+        # Fresh ids for per-call-site clones of callee stack objects; offset
+        # far above frontend-assigned ids so the two ranges never collide.
+        self.next_symbol_id = 1_000_000
+
+    def flatten(self, name: str) -> ir.Function:
+        result = self._clone_function(self.program.functions[name], suffix="")
+        changed = True
+        while changed:
+            changed = False
+            for block in list(result.blocks):
+                for index, instr in enumerate(block.instrs):
+                    if isinstance(instr, ir.Call):
+                        self._inline_call(result, block, index, instr)
+                        changed = True
+                        break
+                if changed:
+                    break
+            total = sum(len(b.instrs) for b in result.blocks)
+            if total > self.max_instructions:
+                raise InlineError(
+                    f"inlined body exceeds {self.max_instructions} instructions"
+                )
+        simplify_cfg(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _clone_function(self, func: ir.Function, suffix: str) -> ir.Function:
+        clone = ir.Function(func.name, func.return_type)
+        clone.independent_pairs = list(func.independent_pairs)
+        temp_map: dict[ir.Temp, ir.Temp] = {}
+        symbol_map: dict[ast.Symbol, ast.Symbol] = {}
+
+        for symbol in func.stack_objects:
+            symbol_map[symbol] = self._clone_symbol(symbol, suffix)
+            clone.stack_objects.append(symbol_map[symbol])
+        clone.independent_pairs = [
+            (symbol_map.get(a, a), symbol_map.get(b, b))
+            for a, b in func.independent_pairs
+        ]
+
+        def map_temp(temp: ir.Temp) -> ir.Temp:
+            if temp not in temp_map:
+                temp_map[temp] = clone.new_temp(temp.type)
+            return temp_map[temp]
+
+        def map_operand(operand: ir.Operand) -> ir.Operand:
+            if isinstance(operand, ir.Temp):
+                return map_temp(operand)
+            if isinstance(operand, ir.SymAddr):
+                return ir.SymAddr(symbol_map.get(operand.symbol, operand.symbol))
+            return operand
+
+        block_map: dict[ir.BasicBlock, ir.BasicBlock] = {}
+        for block in func.blocks:
+            block_map[block] = clone.new_block(block.name.rstrip("0123456789")
+                                               + suffix)
+        for block in func.blocks:
+            target = block_map[block]
+            for instr in block.instrs:
+                target.instrs.append(_remap_instr(instr, map_operand, map_temp))
+            target.terminator = _remap_terminator(block.terminator, map_operand,
+                                                  block_map)
+        for symbol, temp in func.params:
+            clone.params.append((symbol, map_temp(temp)))
+        assert func.entry is not None
+        clone.entry = block_map[func.entry]
+        return clone
+
+    def _clone_symbol(self, symbol: ast.Symbol, suffix: str) -> ast.Symbol:
+        if not suffix:
+            return symbol
+        clone = ast.Symbol(
+            name=f"{symbol.name}{suffix}",
+            type=symbol.type,
+            kind=symbol.kind,
+            is_const=symbol.is_const,
+            address_taken=symbol.address_taken,
+            is_written=symbol.is_written,
+            init_values=_copy.copy(symbol.init_values),
+        )
+        clone.unique_id = self.next_symbol_id
+        self.next_symbol_id += 1
+        return clone
+
+    # ------------------------------------------------------------------
+
+    def _inline_call(self, caller: ir.Function, block: ir.BasicBlock,
+                     index: int, call: ir.Call) -> None:
+        callee = self.program.functions.get(call.callee)
+        if callee is None:
+            raise InlineError(f"call to undefined function {call.callee!r}")
+        self.clone_count += 1
+        suffix = f".{self.clone_count}"
+        body = self._clone_into(caller, callee, suffix)
+
+        # Split the containing block around the call.
+        after = caller.new_block(f"after{suffix}")
+        after.instrs = block.instrs[index + 1:]
+        after.terminator = block.terminator
+        block.instrs = block.instrs[:index]
+        block.terminator = None
+
+        # Bind arguments to the callee's parameter temps.
+        for (symbol, temp), arg in zip(body.params, call.args):
+            block.append(ir.Copy(temp, arg))
+        block.terminator = ir.Jump(body.entry)
+
+        # The cloned body's single Ret becomes a copy + jump to `after`.
+        for body_block in body.blocks:
+            term = body_block.terminator
+            if isinstance(term, ir.Ret):
+                body_block.terminator = None
+                if call.dest is not None:
+                    if term.value is None:
+                        raise InlineError(
+                            f"void function {call.callee} used for its value"
+                        )
+                    body_block.append(ir.Copy(call.dest, term.value))
+                body_block.terminator = ir.Jump(after)
+
+    def _clone_into(self, caller: ir.Function, callee: ir.Function,
+                    suffix: str) -> "_ClonedBody":
+        """Clone the callee's blocks/temps/objects into the caller."""
+        temp_map: dict[ir.Temp, ir.Temp] = {}
+        symbol_map: dict[ast.Symbol, ast.Symbol] = {}
+        for symbol in callee.stack_objects:
+            clone_sym = self._clone_symbol(symbol, suffix)
+            symbol_map[symbol] = clone_sym
+            caller.stack_objects.append(clone_sym)
+        caller.independent_pairs.extend(
+            (symbol_map.get(a, a), symbol_map.get(b, b))
+            for a, b in callee.independent_pairs
+        )
+
+        def map_temp(temp: ir.Temp) -> ir.Temp:
+            if temp not in temp_map:
+                temp_map[temp] = caller.new_temp(temp.type)
+            return temp_map[temp]
+
+        def map_operand(operand: ir.Operand) -> ir.Operand:
+            if isinstance(operand, ir.Temp):
+                return map_temp(operand)
+            if isinstance(operand, ir.SymAddr):
+                return ir.SymAddr(symbol_map.get(operand.symbol, operand.symbol))
+            return operand
+
+        block_map: dict[ir.BasicBlock, ir.BasicBlock] = {}
+        for block in callee.blocks:
+            name = block.name.rstrip("0123456789")
+            block_map[block] = caller.new_block(f"{callee.name}_{name}")
+        for block in callee.blocks:
+            target = block_map[block]
+            for instr in block.instrs:
+                target.instrs.append(_remap_instr(instr, map_operand, map_temp))
+            target.terminator = _remap_terminator(block.terminator, map_operand,
+                                                  block_map)
+        assert callee.entry is not None
+        params = [(symbol, map_temp(temp)) for symbol, temp in callee.params]
+        blocks = [block_map[b] for b in callee.blocks]
+        return _ClonedBody(entry=block_map[callee.entry], blocks=blocks,
+                           params=params)
+
+
+class _ClonedBody:
+    def __init__(self, entry: ir.BasicBlock, blocks: list[ir.BasicBlock],
+                 params: list[tuple[ast.Symbol, ir.Temp]]):
+        self.entry = entry
+        self.blocks = blocks
+        self.params = params
+
+
+def _remap_instr(instr: ir.Instr, map_operand, map_temp) -> ir.Instr:
+    if isinstance(instr, ir.Copy):
+        return ir.Copy(map_temp(instr.dest), map_operand(instr.src))
+    if isinstance(instr, ir.BinOp):
+        return ir.BinOp(map_temp(instr.dest), instr.op, map_operand(instr.lhs),
+                        map_operand(instr.rhs), instr.type)
+    if isinstance(instr, ir.UnOp):
+        return ir.UnOp(map_temp(instr.dest), instr.op, map_operand(instr.src),
+                       instr.type)
+    if isinstance(instr, ir.CastOp):
+        return ir.CastOp(map_temp(instr.dest), map_operand(instr.src),
+                         instr.from_type, instr.to_type)
+    if isinstance(instr, ir.Load):
+        return ir.Load(map_temp(instr.dest), map_operand(instr.addr), instr.type)
+    if isinstance(instr, ir.Store):
+        return ir.Store(map_operand(instr.addr), map_operand(instr.src),
+                        instr.type)
+    if isinstance(instr, ir.Call):
+        dest = map_temp(instr.dest) if instr.dest is not None else None
+        return ir.Call(dest, instr.callee, [map_operand(a) for a in instr.args])
+    raise InlineError(f"cannot clone instruction {instr!r}")
+
+
+def _remap_terminator(term: ir.Terminator | None, map_operand,
+                      block_map) -> ir.Terminator | None:
+    if term is None:
+        return None
+    if isinstance(term, ir.Jump):
+        return ir.Jump(block_map[term.target])
+    if isinstance(term, ir.Branch):
+        return ir.Branch(map_operand(term.cond), block_map[term.if_true],
+                         block_map[term.if_false])
+    if isinstance(term, ir.Ret):
+        value = map_operand(term.value) if term.value is not None else None
+        return ir.Ret(value)
+    raise InlineError(f"cannot clone terminator {term!r}")

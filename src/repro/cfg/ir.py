@@ -1,0 +1,326 @@
+"""The three-address CFG intermediate representation.
+
+Scalars that the paper's flow-insensitive analysis assigns to registers
+(§3.3) live in virtual registers (:class:`Temp`); everything else is
+accessed through explicit :class:`Load`/:class:`Store` instructions against
+named memory objects. This is the representation the Pegasus builder
+consumes and the sequential baseline interpreter executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.utils.ids import IdAllocator
+
+# ---------------------------------------------------------------------------
+# Operands
+
+
+@dataclass(frozen=True)
+class Temp:
+    """A virtual register."""
+
+    id: int
+    type: ty.Type
+
+    def __repr__(self) -> str:
+        return f"t{self.id}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer or float constant."""
+
+    value: Union[int, float]
+    type: ty.Type
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.type}"
+
+
+@dataclass(frozen=True)
+class SymAddr:
+    """The address of a memory object (global, string, or stack slot)."""
+
+    symbol: ast.Symbol
+
+    @property
+    def type(self) -> ty.Type:
+        base = self.symbol.type
+        if isinstance(base, ty.ArrayType):
+            return ty.PointerType(base.element, const=base.const)
+        return ty.PointerType(base, const=self.symbol.is_const)
+
+    def __repr__(self) -> str:
+        return f"&{self.symbol.name}#{self.symbol.unique_id}"
+
+
+Operand = Union[Temp, Const, SymAddr]
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+
+# Binary opcodes. Signed/unsigned behaviour is determined by the result (or
+# operand) type carried on the instruction.
+BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+     "eq", "ne", "lt", "le", "gt", "ge"}
+)
+COMPARISON_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+UNARY_OPS = frozenset({"neg", "bnot", "lnot"})
+
+
+class Instr:
+    """Base class for non-terminator instructions."""
+
+    location = None
+
+    def defs(self) -> Optional[Temp]:
+        return getattr(self, "dest", None)
+
+    def uses(self) -> list[Operand]:
+        raise NotImplementedError
+
+
+@dataclass
+class Copy(Instr):
+    dest: Temp
+    src: Operand
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.src}"
+
+
+@dataclass
+class BinOp(Instr):
+    dest: Temp
+    op: str
+    lhs: Operand
+    rhs: Operand
+    # The type arithmetic is performed in (operand type for comparisons).
+    type: ty.Type = ty.INT
+
+    def uses(self) -> list[Operand]:
+        return [self.lhs, self.rhs]
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.op}.{self.type} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class UnOp(Instr):
+    dest: Temp
+    op: str
+    src: Operand
+    type: ty.Type = ty.INT
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = {self.op}.{self.type} {self.src}"
+
+
+@dataclass
+class CastOp(Instr):
+    dest: Temp
+    src: Operand
+    from_type: ty.Type = ty.INT
+    to_type: ty.Type = ty.INT
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = cast {self.src} : {self.from_type} -> {self.to_type}"
+
+
+@dataclass
+class Load(Instr):
+    dest: Temp
+    addr: Operand
+    type: ty.Type = ty.INT  # type (and width) of the loaded value
+
+    def uses(self) -> list[Operand]:
+        return [self.addr]
+
+    def __repr__(self) -> str:
+        return f"{self.dest} = load.{self.type} [{self.addr}]"
+
+
+@dataclass
+class Store(Instr):
+    addr: Operand
+    src: Operand
+    type: ty.Type = ty.INT
+
+    def uses(self) -> list[Operand]:
+        return [self.addr, self.src]
+
+    def __repr__(self) -> str:
+        return f"store.{self.type} [{self.addr}] = {self.src}"
+
+
+@dataclass
+class Call(Instr):
+    dest: Optional[Temp]
+    callee: str
+    args: list[Operand] = field(default_factory=list)
+
+    def uses(self) -> list[Operand]:
+        return list(self.args)
+
+    def __repr__(self) -> str:
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{prefix}call {self.callee}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+
+
+class Terminator:
+    def successors(self) -> list["BasicBlock"]:
+        raise NotImplementedError
+
+
+@dataclass
+class Jump(Terminator):
+    target: "BasicBlock"
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def __repr__(self) -> str:
+        return f"jump {self.target.name}"
+
+
+@dataclass
+class Branch(Terminator):
+    cond: Operand
+    if_true: "BasicBlock"
+    if_false: "BasicBlock"
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.if_true, self.if_false]
+
+    def __repr__(self) -> str:
+        return f"branch {self.cond} ? {self.if_true.name} : {self.if_false.name}"
+
+
+@dataclass
+class Ret(Terminator):
+    value: Optional[Operand]
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+# ---------------------------------------------------------------------------
+# Blocks and functions
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
+
+    def __init__(self, name: str, block_id: int):
+        self.name = name
+        self.id = block_id
+        self.instrs: list[Instr] = []
+        self.terminator: Terminator | None = None
+
+    def append(self, instr: Instr) -> None:
+        if self.terminator is not None:
+            raise ValueError(f"appending to terminated block {self.name}")
+        self.instrs.append(instr)
+
+    def successors(self) -> list["BasicBlock"]:
+        if self.terminator is None:
+            return []
+        return self.terminator.successors()
+
+    def __repr__(self) -> str:
+        return f"<block {self.name}>"
+
+    def dump(self) -> str:
+        lines = [f"{self.name}:"]
+        for instr in self.instrs:
+            lines.append(f"  {instr!r}")
+        lines.append(f"  {self.terminator!r}")
+        return "\n".join(lines)
+
+
+class Function:
+    """A lowered function: blocks, virtual registers, and memory objects."""
+
+    def __init__(self, name: str, return_type: ty.Type):
+        self.name = name
+        self.return_type = return_type
+        self.blocks: list[BasicBlock] = []
+        self.entry: BasicBlock | None = None
+        # (source symbol, temp holding its incoming value) per parameter.
+        self.params: list[tuple[ast.Symbol, Temp]] = []
+        # Stack objects: locals that must live in memory (arrays,
+        # address-taken scalars). Globals live on the program.
+        self.stack_objects: list[ast.Symbol] = []
+        self.independent_pairs: list[tuple[ast.Symbol, ast.Symbol]] = []
+        self._temp_ids = IdAllocator()
+        self._block_ids = IdAllocator()
+
+    def new_temp(self, type_: ty.Type) -> Temp:
+        return Temp(self._temp_ids.allocate(), type_)
+
+    def new_block(self, hint: str) -> BasicBlock:
+        block = BasicBlock(f"{hint}{self._block_ids.peek()}", self._block_ids.allocate())
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> dict[BasicBlock, list[BasicBlock]]:
+        """Map each block to its predecessor list, in block order."""
+        preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def reachable_blocks(self) -> list[BasicBlock]:
+        """Blocks reachable from entry, in reverse postorder."""
+        assert self.entry is not None
+        visited: set[int] = set()
+        postorder: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            if block.id in visited:
+                return
+            visited.add(block.id)
+            for succ in block.successors():
+                visit(succ)
+            postorder.append(block)
+
+        visit(self.entry)
+        return list(reversed(postorder))
+
+    def remove_unreachable(self) -> None:
+        reachable = {b.id for b in self.reachable_blocks()}
+        self.blocks = [b for b in self.blocks if b.id in reachable]
+
+    def instructions(self) -> Iterator[tuple[BasicBlock, Instr]]:
+        for block in self.blocks:
+            for instr in block.instrs:
+                yield block, instr
+
+    def dump(self) -> str:
+        header = f"function {self.name}({', '.join(s.name for s, _ in self.params)})"
+        return "\n".join([header] + [b.dump() for b in self.blocks])

@@ -1,0 +1,58 @@
+"""Classic backward liveness analysis over temps.
+
+The Pegasus builder needs, at each hyperblock boundary, the set of temps
+whose values must flow across (as merge/eta pairs). Standard worklist
+dataflow: ``live_in(b) = use(b) ∪ (live_out(b) − def(b))``.
+"""
+
+from __future__ import annotations
+
+from repro.cfg import ir
+
+
+class Liveness:
+    def __init__(self, func: ir.Function):
+        self.func = func
+        self.live_in: dict[ir.BasicBlock, frozenset[ir.Temp]] = {}
+        self.live_out: dict[ir.BasicBlock, frozenset[ir.Temp]] = {}
+        self._compute()
+
+    def _block_use_def(self, block: ir.BasicBlock):
+        use: set[ir.Temp] = set()
+        defined: set[ir.Temp] = set()
+        for instr in block.instrs:
+            for operand in instr.uses():
+                if isinstance(operand, ir.Temp) and operand not in defined:
+                    use.add(operand)
+            dest = instr.defs()
+            if dest is not None:
+                defined.add(dest)
+        term = block.terminator
+        if isinstance(term, ir.Branch) and isinstance(term.cond, ir.Temp):
+            if term.cond not in defined:
+                use.add(term.cond)
+        if isinstance(term, ir.Ret) and isinstance(term.value, ir.Temp):
+            if term.value not in defined:
+                use.add(term.value)
+        return use, defined
+
+    def _compute(self) -> None:
+        blocks = self.func.reachable_blocks()
+        use_def = {b: self._block_use_def(b) for b in blocks}
+        live_in: dict[ir.BasicBlock, set[ir.Temp]] = {b: set() for b in blocks}
+        live_out: dict[ir.BasicBlock, set[ir.Temp]] = {b: set() for b in blocks}
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):  # postorder converges fast
+                out: set[ir.Temp] = set()
+                for succ in block.successors():
+                    out |= live_in[succ]
+                use, defined = use_def[block]
+                new_in = use | (out - defined)
+                if out != live_out[block] or new_in != live_in[block]:
+                    live_out[block] = out
+                    live_in[block] = new_in
+                    changed = True
+        self.live_in = {b: frozenset(s) for b, s in live_in.items()}
+        self.live_out = {b: frozenset(s) for b, s in live_out.items()}

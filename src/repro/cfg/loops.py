@@ -1,0 +1,107 @@
+"""Natural loop detection.
+
+The lowering only produces reducible CFGs, so every cycle is a natural loop:
+a back edge ``latch -> header`` where the header dominates the latch. The
+loop body is found by walking predecessors backwards from the latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg import ir
+from repro.cfg.dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    header: ir.BasicBlock
+    latches: list[ir.BasicBlock] = field(default_factory=list)
+    blocks: set[ir.BasicBlock] = field(default_factory=set)
+    parent: "Loop | None" = None
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header.name}, blocks={len(self.blocks)})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class LoopInfo:
+    """All natural loops of a function plus the block -> innermost-loop map."""
+
+    def __init__(self, func: ir.Function, dom: DominatorTree | None = None):
+        self.func = func
+        self.dom = dom or DominatorTree(func)
+        self.loops: list[Loop] = []
+        self.innermost: dict[ir.BasicBlock, Loop | None] = {}
+        self._find_loops()
+        self._nest_loops()
+
+    def _find_loops(self) -> None:
+        preds = self.func.predecessors()
+        by_header: dict[ir.BasicBlock, Loop] = {}
+        for block in self.func.reachable_blocks():
+            for succ in block.successors():
+                if self.dom.dominates(succ, block):
+                    loop = by_header.setdefault(succ, Loop(header=succ))
+                    loop.latches.append(block)
+                    self._collect_body(loop, block, preds)
+        self.loops = list(by_header.values())
+
+    def _collect_body(self, loop: Loop, latch: ir.BasicBlock, preds) -> None:
+        loop.blocks.add(loop.header)
+        stack = [latch]
+        while stack:
+            block = stack.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            stack.extend(preds[block])
+
+    def _nest_loops(self) -> None:
+        # Order loops by body size so the innermost (smallest) wins per block.
+        for block in self.func.blocks:
+            self.innermost[block] = None
+        for loop in sorted(self.loops, key=lambda l: -len(l.blocks)):
+            for block in loop.blocks:
+                inner = self.innermost.get(block)
+                if inner is not None and inner is not loop:
+                    if loop.blocks >= inner.blocks:
+                        continue
+                self.innermost[block] = loop
+        # Parent links: the smallest strictly-enclosing loop.
+        for loop in self.loops:
+            candidates = [
+                other for other in self.loops
+                if other is not loop and loop.blocks < other.blocks
+                and loop.header in other.blocks
+            ]
+            if candidates:
+                loop.parent = min(candidates, key=lambda l: len(l.blocks))
+
+    def loop_of(self, block: ir.BasicBlock) -> Loop | None:
+        return self.innermost.get(block)
+
+    def is_header(self, block: ir.BasicBlock) -> bool:
+        return any(loop.header is block for loop in self.loops)
+
+    def back_edges(self) -> set[tuple[ir.BasicBlock, ir.BasicBlock]]:
+        """All (latch, header) pairs."""
+        edges: set[tuple[ir.BasicBlock, ir.BasicBlock]] = set()
+        for loop in self.loops:
+            for latch in loop.latches:
+                edges.add((latch, loop.header))
+        return edges

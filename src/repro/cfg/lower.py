@@ -1,0 +1,680 @@
+"""AST → three-address CFG lowering.
+
+The lowering implements the paper's register assignment rule (§3.3): local
+scalars whose address is never taken live in virtual registers; all other
+data — arrays, globals, address-taken locals — is manipulated by explicit
+load and store instructions through pointers.
+
+Short-circuit operators and the conditional operator lower to control flow;
+hyperblock formation later re-merges those diamonds and Pegasus predication
+turns them back into straight-line speculative code, exactly as CASH does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.cfg import ir
+
+CMP_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+             "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+
+
+@dataclass
+class LoweredProgram:
+    """All functions lowered to CFGs plus program-level memory objects."""
+
+    functions: dict[str, ir.Function]
+    globals: list[ast.Symbol]
+    source: ast.Program | None = None
+
+    def function(self, name: str) -> ir.Function:
+        if name not in self.functions:
+            raise KeyError(f"no lowered function named {name!r}")
+        return self.functions[name]
+
+
+def lower_program(program: ast.Program) -> LoweredProgram:
+    """Lower every function of a type-checked program."""
+    functions: dict[str, ir.Function] = {}
+    for func in program.functions:
+        functions[func.name] = FunctionLowerer(func).lower()
+    return LoweredProgram(functions=functions, globals=list(program.globals),
+                          source=program)
+
+
+@dataclass
+class _LoopContext:
+    break_target: ir.BasicBlock
+    continue_target: ir.BasicBlock
+
+
+class FunctionLowerer:
+    """Lowers one function definition to an :class:`ir.Function`."""
+
+    def __init__(self, func: ast.FuncDef):
+        self.func = func
+        func_type = func.symbol.type
+        assert isinstance(func_type, ty.FuncType)
+        self.ir = ir.Function(func.name, func_type.return_type)
+        self.ir.independent_pairs = list(func.independent_pairs)
+        self.block: ir.BasicBlock | None = None
+        # Register-resident scalars: symbol -> the temp acting as its register.
+        self.registers: dict[ast.Symbol, ir.Temp] = {}
+        self.loop_stack: list[_LoopContext] = []
+        self.exit_block: ir.BasicBlock | None = None
+        self.ret_temp: ir.Temp | None = None
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> ir.Function:
+        entry = self.ir.new_block("entry")
+        self.ir.entry = entry
+        self.block = entry
+        self.exit_block = self.ir.new_block("exit")
+        if not self.ir.return_type.is_void:
+            self.ret_temp = self.ir.new_temp(self.ir.return_type)
+        self.exit_block.terminator = ir.Ret(self.ret_temp)
+
+        for param in self.func.params:
+            temp = self.ir.new_temp(param.type)
+            self.ir.params.append((param, temp))
+            if self._lives_in_register(param):
+                self.registers[param] = temp
+            else:
+                # Address-taken parameter: spill into a stack slot.
+                self.ir.stack_objects.append(param)
+                self.emit(ir.Store(ir.SymAddr(param), temp, param.type))
+
+        self.lower_block(self.func.body)
+        if self.block is not None and self.block.terminator is None:
+            # Fall off the end: return 0/void.
+            if self.ret_temp is not None:
+                zero = ir.Const(0, self.ir.return_type)
+                self.emit(ir.Copy(self.ret_temp, zero))
+            self.block.terminator = ir.Jump(self.exit_block)
+        self.ir.remove_unreachable()
+        simplify_cfg(self.ir)
+        return self.ir
+
+    def _lives_in_register(self, symbol: ast.Symbol) -> bool:
+        if symbol.kind == "global":
+            return False
+        if isinstance(symbol.type, ty.ArrayType):
+            return False
+        return not symbol.address_taken
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+
+    def emit(self, instr: ir.Instr) -> None:
+        assert self.block is not None, "emitting into a dead region"
+        self.block.append(instr)
+
+    def _start_block(self, block: ir.BasicBlock) -> None:
+        self.block = block
+
+    def _end_block(self, terminator: ir.Terminator) -> None:
+        assert self.block is not None
+        self.block.terminator = terminator
+        self.block = None
+
+    def _new_temp(self, type_: ty.Type) -> ir.Temp:
+        return self.ir.new_temp(type_)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            if self.block is None:
+                return  # unreachable code after break/continue/return
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self.lower_decl(decl)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._end_block(ir.Jump(self.loop_stack[-1].break_target))
+        elif isinstance(stmt, ast.Continue):
+            self._end_block(ir.Jump(self.loop_stack[-1].continue_target))
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:
+            raise LoweringError(f"cannot lower statement {stmt!r}")
+
+    def lower_decl(self, stmt: ast.DeclStmt) -> None:
+        symbol = stmt.symbol
+        if self._lives_in_register(symbol):
+            temp = self._new_temp(symbol.type)
+            self.registers[symbol] = temp
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+                self.emit(ir.Copy(temp, value))
+            else:
+                self.emit(ir.Copy(temp, ir.Const(0, symbol.type)))
+            return
+        self.ir.stack_objects.append(symbol)
+        if isinstance(symbol.type, ty.ArrayType) and symbol.init_values:
+            element = symbol.type.element
+            for index, value in enumerate(symbol.init_values):
+                offset = ir.Const(index * element.size, ty.ULONG)
+                addr = self._new_temp(ty.PointerType(element))
+                self.emit(ir.BinOp(addr, "add", ir.SymAddr(symbol), offset,
+                                   ty.ULONG))
+                self.emit(ir.Store(addr, ir.Const(value, element), element))
+        elif stmt.init is not None:
+            value = self.lower_expr(stmt.init)
+            self.emit(ir.Store(ir.SymAddr(symbol), value, symbol.type))
+
+    def lower_if(self, stmt: ast.If) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_block = self.ir.new_block("then")
+        join_block = self.ir.new_block("join")
+        else_block = self.ir.new_block("else") if stmt.otherwise else join_block
+        self._end_block(ir.Branch(cond, then_block, else_block))
+        self._start_block(then_block)
+        self.lower_stmt(stmt.then)
+        if self.block is not None:
+            self._end_block(ir.Jump(join_block))
+        if stmt.otherwise is not None:
+            self._start_block(else_block)
+            self.lower_stmt(stmt.otherwise)
+            if self.block is not None:
+                self._end_block(ir.Jump(join_block))
+        self._start_block(join_block)
+
+    def lower_while(self, stmt: ast.While) -> None:
+        header = self.ir.new_block("while")
+        body = self.ir.new_block("body")
+        exit_block = self.ir.new_block("endwhile")
+        self._end_block(ir.Jump(header))
+        self._start_block(header)
+        cond = self.lower_expr(stmt.cond)
+        self._end_block(ir.Branch(cond, body, exit_block))
+        self._start_block(body)
+        self.loop_stack.append(_LoopContext(exit_block, header))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if self.block is not None:
+            self._end_block(ir.Jump(header))
+        self._start_block(exit_block)
+
+    def lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.ir.new_block("do")
+        cond_block = self.ir.new_block("docond")
+        exit_block = self.ir.new_block("enddo")
+        self._end_block(ir.Jump(body))
+        self._start_block(body)
+        self.loop_stack.append(_LoopContext(exit_block, cond_block))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if self.block is not None:
+            self._end_block(ir.Jump(cond_block))
+        self._start_block(cond_block)
+        cond = self.lower_expr(stmt.cond)
+        self._end_block(ir.Branch(cond, body, exit_block))
+        self._start_block(exit_block)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self.ir.new_block("for")
+        body = self.ir.new_block("body")
+        step_block = self.ir.new_block("step")
+        exit_block = self.ir.new_block("endfor")
+        self._end_block(ir.Jump(header))
+        self._start_block(header)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            self._end_block(ir.Branch(cond, body, exit_block))
+        else:
+            self._end_block(ir.Jump(body))
+        self._start_block(body)
+        self.loop_stack.append(_LoopContext(exit_block, step_block))
+        self.lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if self.block is not None:
+            self._end_block(ir.Jump(step_block))
+        self._start_block(step_block)
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self._end_block(ir.Jump(header))
+        self._start_block(exit_block)
+
+    def lower_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            value = self.lower_expr(stmt.value)
+            assert self.ret_temp is not None
+            self.emit(ir.Copy(self.ret_temp, value))
+        elif self.ret_temp is not None:
+            self.emit(ir.Copy(self.ret_temp, ir.Const(0, self.ir.return_type)))
+        assert self.exit_block is not None
+        self._end_block(ir.Jump(self.exit_block))
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def lower_expr(self, expr: ast.Expr) -> ir.Operand:
+        method = getattr(self, f"_lower_{type(expr).__name__}", None)
+        if method is None:
+            raise LoweringError(f"cannot lower expression {expr!r}")
+        return method(expr)
+
+    def _lower_IntLit(self, expr: ast.IntLit) -> ir.Operand:
+        assert expr.type is not None
+        return ir.Const(expr.value, expr.type)
+
+    def _lower_FloatLit(self, expr: ast.FloatLit) -> ir.Operand:
+        assert expr.type is not None
+        return ir.Const(expr.value, expr.type)
+
+    def _lower_StringLit(self, expr: ast.StringLit) -> ir.Operand:
+        assert expr.symbol is not None
+        return ir.SymAddr(expr.symbol)
+
+    def _lower_Ident(self, expr: ast.Ident) -> ir.Operand:
+        symbol = expr.symbol
+        assert symbol is not None
+        if symbol in self.registers:
+            return self.registers[symbol]
+        if isinstance(symbol.type, ty.ArrayType):
+            return ir.SymAddr(symbol)  # array decays to its address
+        if isinstance(symbol.type, ty.FuncType):
+            raise LoweringError(f"function {symbol.name} used as a value")
+        dest = self._new_temp(symbol.type)
+        self.emit(ir.Load(dest, ir.SymAddr(symbol), symbol.type))
+        return dest
+
+    def _lower_Unary(self, expr: ast.Unary) -> ir.Operand:
+        if expr.op == "&":
+            addr, _ = self.lower_lvalue(expr.operand)
+            return addr
+        if expr.op == "*":
+            addr = self.lower_expr(expr.operand)
+            assert expr.type is not None
+            if isinstance(expr.type, ty.ArrayType):
+                return addr  # *p on pointer-to-array yields the array address
+            dest = self._new_temp(expr.type)
+            self.emit(ir.Load(dest, addr, expr.type))
+            return dest
+        operand = self.lower_expr(expr.operand)
+        assert expr.type is not None
+        dest = self._new_temp(expr.type)
+        if expr.op == "-":
+            self.emit(ir.UnOp(dest, "neg", operand, expr.type))
+        elif expr.op == "+":
+            return operand
+        elif expr.op == "~":
+            self.emit(ir.UnOp(dest, "bnot", operand, expr.type))
+        elif expr.op == "!":
+            operand_type = expr.operand.type.decay()  # type: ignore[union-attr]
+            self.emit(ir.UnOp(dest, "lnot", operand, operand_type))
+        else:
+            raise LoweringError(f"cannot lower unary {expr.op!r}")
+        return dest
+
+    def _lower_Binary(self, expr: ast.Binary) -> ir.Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+        lhs_type = expr.lhs.type.decay()  # type: ignore[union-attr]
+        rhs_type = expr.rhs.type.decay()  # type: ignore[union-attr]
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        assert expr.type is not None
+        if op in CMP_OPS:
+            # Comparison semantics follow the (common) operand type.
+            operand_type = lhs_type if lhs_type == rhs_type else ty.ULONG
+            dest = self._new_temp(ty.INT)
+            self.emit(ir.BinOp(dest, CMP_OPS[op], lhs, rhs, operand_type))
+            return dest
+        if op in ("+", "-") and lhs_type.is_pointer and rhs_type.is_integer:
+            return self._pointer_offset(lhs, lhs_type, rhs, rhs_type,
+                                        negate=(op == "-"))
+        if op == "+" and lhs_type.is_integer and rhs_type.is_pointer:
+            return self._pointer_offset(rhs, rhs_type, lhs, lhs_type,
+                                        negate=False)
+        if op == "-" and lhs_type.is_pointer and rhs_type.is_pointer:
+            assert isinstance(lhs_type, ty.PointerType)
+            diff = self._new_temp(ty.LONG)
+            self.emit(ir.BinOp(diff, "sub", lhs, rhs, ty.LONG))
+            size = lhs_type.target.size
+            if size == 1:
+                return diff
+            dest = self._new_temp(ty.LONG)
+            self.emit(ir.BinOp(dest, "div", diff, ir.Const(size, ty.LONG),
+                               ty.LONG))
+            return dest
+        dest = self._new_temp(expr.type)
+        self.emit(ir.BinOp(dest, ARITH_OPS[op], lhs, rhs, expr.type))
+        return dest
+
+    def _pointer_offset(self, pointer: ir.Operand, pointer_type: ty.Type,
+                        index: ir.Operand, index_type: ty.Type,
+                        negate: bool) -> ir.Operand:
+        """pointer ± index*sizeof(*pointer), computed in 64-bit arithmetic."""
+        assert isinstance(pointer_type, ty.PointerType)
+        index = self._widen_index(index, index_type)
+        size = pointer_type.target.size
+        scaled = index
+        if size != 1:
+            scaled = self._new_temp(ty.LONG)
+            self.emit(ir.BinOp(scaled, "mul", index, ir.Const(size, ty.LONG),
+                               ty.LONG))
+        dest = self._new_temp(pointer_type)
+        opcode = "sub" if negate else "add"
+        self.emit(ir.BinOp(dest, opcode, pointer, scaled, ty.ULONG))
+        return dest
+
+    def _widen_index(self, index: ir.Operand, index_type: ty.Type) -> ir.Operand:
+        if isinstance(index_type, ty.IntType) and index_type.size != 8:
+            widened = self._new_temp(ty.LONG)
+            self.emit(ir.CastOp(widened, index, index_type, ty.LONG))
+            return widened
+        return index
+
+    def _lower_logical(self, expr: ast.Binary) -> ir.Operand:
+        dest = self._new_temp(ty.INT)
+        rhs_block = self.ir.new_block("sc_rhs")
+        short_block = self.ir.new_block("sc_short")
+        join_block = self.ir.new_block("sc_join")
+        cond = self.lower_expr(expr.lhs)
+        if expr.op == "&&":
+            self._end_block(ir.Branch(cond, rhs_block, short_block))
+            short_value = 0
+        else:
+            self._end_block(ir.Branch(cond, short_block, rhs_block))
+            short_value = 1
+        self._start_block(rhs_block)
+        rhs = self.lower_expr(expr.rhs)
+        rhs_type = expr.rhs.type.decay()  # type: ignore[union-attr]
+        self.emit(ir.BinOp(dest, "ne", rhs, ir.Const(0, rhs_type), rhs_type))
+        self._end_block(ir.Jump(join_block))
+        self._start_block(short_block)
+        self.emit(ir.Copy(dest, ir.Const(short_value, ty.INT)))
+        self._end_block(ir.Jump(join_block))
+        self._start_block(join_block)
+        return dest
+
+    def _lower_Conditional(self, expr: ast.Conditional) -> ir.Operand:
+        assert expr.type is not None
+        dest = self._new_temp(expr.type)
+        then_block = self.ir.new_block("cond_then")
+        else_block = self.ir.new_block("cond_else")
+        join_block = self.ir.new_block("cond_join")
+        cond = self.lower_expr(expr.cond)
+        self._end_block(ir.Branch(cond, then_block, else_block))
+        self._start_block(then_block)
+        self.emit(ir.Copy(dest, self.lower_expr(expr.then)))
+        self._end_block(ir.Jump(join_block))
+        self._start_block(else_block)
+        self.emit(ir.Copy(dest, self.lower_expr(expr.otherwise)))
+        self._end_block(ir.Jump(join_block))
+        self._start_block(join_block)
+        return dest
+
+    def _lower_Index(self, expr: ast.Index) -> ir.Operand:
+        assert expr.type is not None
+        if isinstance(expr.type, ty.ArrayType):
+            addr, _ = self.lower_lvalue(expr)
+            return addr
+        addr, value_type = self.lower_lvalue(expr)
+        dest = self._new_temp(value_type)
+        self.emit(ir.Load(dest, addr, value_type))
+        return dest
+
+    def _lower_Assign(self, expr: ast.Assign) -> ir.Operand:
+        target_type = expr.target.type
+        assert target_type is not None
+        if expr.op == "=":
+            # Evaluate the target address before the value, C-style l-to-r.
+            place = self._lvalue_place(expr.target)
+            value = self.lower_expr(expr.value)
+            self._store_place(place, value, target_type)
+            return value
+        binary_op = expr.op[:-1]
+        place = self._lvalue_place(expr.target)
+        current = self._load_place(place, target_type)
+        rhs_type = expr.value.type.decay()  # type: ignore[union-attr]
+        rhs = self.lower_expr(expr.value)
+        if target_type.is_pointer and binary_op in ("+", "-"):
+            result = self._pointer_offset(current, target_type, rhs, rhs_type,
+                                          negate=(binary_op == "-"))
+            self._store_place(place, result, target_type)
+            return result
+        # Compound assignment computes in the common type, then narrows back.
+        if binary_op in ("<<", ">>"):
+            compute_type = ty.promote(target_type)
+        else:
+            compute_type = ty.usual_arithmetic(target_type, rhs_type)
+        widened = self._convert_operand(current, target_type, compute_type)
+        rhs = self._convert_operand(rhs, rhs_type, compute_type)
+        result = self._new_temp(compute_type)
+        self.emit(ir.BinOp(result, ARITH_OPS[binary_op], widened, rhs,
+                           compute_type))
+        narrowed = self._convert_operand(result, compute_type, target_type)
+        self._store_place(place, narrowed, target_type)
+        return narrowed
+
+    def _lower_IncDec(self, expr: ast.IncDec) -> ir.Operand:
+        target_type = expr.operand.type
+        assert target_type is not None
+        place = self._lvalue_place(expr.operand)
+        old = self._load_place(place, target_type)
+        if target_type.is_pointer:
+            assert isinstance(target_type, ty.PointerType)
+            step = ir.Const(target_type.target.size, ty.LONG)
+            new = self._new_temp(target_type)
+            opcode = "add" if expr.op == "++" else "sub"
+            self.emit(ir.BinOp(new, opcode, old, step, ty.ULONG))
+        else:
+            one = ir.Const(1, target_type)
+            new = self._new_temp(target_type)
+            opcode = "add" if expr.op == "++" else "sub"
+            self.emit(ir.BinOp(new, opcode, old, one, target_type))
+        self._store_place(place, new, target_type)
+        return new if expr.is_prefix else old
+
+    def _lower_Call(self, expr: ast.Call) -> ir.Operand:
+        assert isinstance(expr.callee, ast.Ident)
+        args = [self.lower_expr(arg) for arg in expr.args]
+        assert expr.type is not None
+        if expr.type.is_void:
+            self.emit(ir.Call(None, expr.callee.name, args))
+            return ir.Const(0, ty.INT)
+        dest = self._new_temp(expr.type)
+        self.emit(ir.Call(dest, expr.callee.name, args))
+        return dest
+
+    def _lower_Cast(self, expr: ast.Cast) -> ir.Operand:
+        operand = self.lower_expr(expr.operand)
+        from_type = expr.operand.type.decay()  # type: ignore[union-attr]
+        to_type = expr.target_type
+        if to_type.is_void:
+            return ir.Const(0, ty.INT)
+        return self._convert_operand(operand, from_type, to_type)
+
+    def _lower_Comma(self, expr: ast.Comma) -> ir.Operand:
+        self.lower_expr(expr.lhs)
+        return self.lower_expr(expr.rhs)
+
+    # ------------------------------------------------------------------
+    # Lvalues
+
+    def lower_lvalue(self, expr: ast.Expr) -> tuple[ir.Operand, ty.Type]:
+        """Lower an lvalue (or array) to an address and its value type."""
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            assert symbol is not None
+            if symbol in self.registers:
+                raise LoweringError(
+                    f"address of register symbol {symbol.name} (sema should "
+                    "have spilled it)"
+                )
+            value_type = symbol.type
+            if isinstance(value_type, ty.ArrayType):
+                value_type = value_type.element
+            return ir.SymAddr(symbol), value_type
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            addr = self.lower_expr(expr.operand)
+            pointer_type = expr.operand.type.decay()  # type: ignore[union-attr]
+            assert isinstance(pointer_type, ty.PointerType)
+            return addr, pointer_type.target
+        if isinstance(expr, ast.Index):
+            base = self.lower_expr(expr.base)
+            base_type = expr.base.type.decay()  # type: ignore[union-attr]
+            assert isinstance(base_type, ty.PointerType)
+            index_type = expr.index.type.decay()  # type: ignore[union-attr]
+            index = self.lower_expr(expr.index)
+            addr = self._pointer_offset(base, base_type, index, index_type,
+                                        negate=False)
+            element = base_type.target
+            if isinstance(element, ty.ArrayType):
+                return addr, element.element
+            return addr, element
+        if isinstance(expr, ast.Cast):
+            return self.lower_lvalue(expr.operand)
+        raise LoweringError(f"not an lvalue: {expr!r}")
+
+    def _lvalue_place(self, expr: ast.Expr):
+        """A 'place' is either ('reg', temp) or ('mem', addr, value_type)."""
+        if isinstance(expr, ast.Ident) and expr.symbol in self.registers:
+            return ("reg", self.registers[expr.symbol])
+        addr, value_type = self.lower_lvalue(expr)
+        return ("mem", addr, value_type)
+
+    def _load_place(self, place, value_type: ty.Type) -> ir.Operand:
+        if place[0] == "reg":
+            # Snapshot the register: callers (notably postfix ++/--) keep
+            # using the loaded value after the register is overwritten.
+            snapshot = self._new_temp(value_type)
+            self.emit(ir.Copy(snapshot, place[1]))
+            return snapshot
+        dest = self._new_temp(value_type)
+        self.emit(ir.Load(dest, place[1], value_type))
+        return dest
+
+    def _store_place(self, place, value: ir.Operand, value_type: ty.Type) -> None:
+        if place[0] == "reg":
+            self.emit(ir.Copy(place[1], value))
+        else:
+            self.emit(ir.Store(place[1], value, value_type))
+
+    # ------------------------------------------------------------------
+
+    def _convert_operand(self, operand: ir.Operand, from_type: ty.Type,
+                         to_type: ty.Type) -> ir.Operand:
+        from_type = from_type.decay()
+        to_type = to_type.decay()
+        if from_type == to_type:
+            return operand
+        if isinstance(operand, ir.Const) and isinstance(operand.value, (int, float)):
+            folded = _convert_const(operand.value, to_type)
+            if folded is not None:
+                return ir.Const(folded, to_type)
+        dest = self._new_temp(to_type)
+        self.emit(ir.CastOp(dest, operand, from_type, to_type))
+        return dest
+
+
+def _convert_const(value: int | float, to_type: ty.Type) -> int | float | None:
+    if isinstance(to_type, ty.IntType):
+        return to_type.wrap(int(value))
+    if isinstance(to_type, ty.FloatType):
+        import struct
+        result = float(value)
+        if to_type.size == 4:
+            result = struct.unpack("<f", struct.pack("<f", result))[0]
+        return result
+    if isinstance(to_type, ty.PointerType) and isinstance(value, int):
+        return value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# CFG simplification
+
+
+def simplify_cfg(func: ir.Function) -> None:
+    """Thread trivial jumps, merge linear chains, drop unreachable blocks.
+
+    Keeps the CFG small so hyperblock formation sees the real structure
+    rather than lowering artifacts (empty join blocks and jump chains).
+    """
+    changed = True
+    while changed:
+        changed = False
+        func.remove_unreachable()
+        # Thread jumps through empty forwarding blocks.
+        forward: dict[ir.BasicBlock, ir.BasicBlock] = {}
+        for block in func.blocks:
+            if not block.instrs and isinstance(block.terminator, ir.Jump):
+                forward[block] = block.terminator.target
+
+        def resolve(block: ir.BasicBlock) -> ir.BasicBlock:
+            seen = set()
+            while block in forward and block not in seen:
+                seen.add(block)
+                block = forward[block]
+            return block
+
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, ir.Jump):
+                target = resolve(term.target)
+                if target is not term.target:
+                    term.target = target
+                    changed = True
+            elif isinstance(term, ir.Branch):
+                if resolve(term.if_true) is not term.if_true:
+                    term.if_true = resolve(term.if_true)
+                    changed = True
+                if resolve(term.if_false) is not term.if_false:
+                    term.if_false = resolve(term.if_false)
+                    changed = True
+                if term.if_true is term.if_false:
+                    block.terminator = ir.Jump(term.if_true)
+                    changed = True
+        if func.entry in forward:
+            func.entry = resolve(func.entry)
+            changed = True
+        func.remove_unreachable()
+        # Merge a block into its unique jump successor when that successor
+        # has no other predecessors.
+        preds = func.predecessors()
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, ir.Jump):
+                continue
+            succ = term.target
+            if succ is block or succ is func.entry:
+                continue
+            if len(preds[succ]) != 1:
+                continue
+            block.instrs.extend(succ.instrs)
+            block.terminator = succ.terminator
+            func.blocks.remove(succ)
+            changed = True
+            break  # predecessor map is stale; restart the scan

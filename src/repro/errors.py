@@ -1,0 +1,112 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, the analyses, or the simulators derives
+from :class:`ReproError`, so callers can catch one type at the API boundary.
+The subclasses partition failures by pipeline stage, which keeps diagnostics
+actionable: a :class:`ParseError` points at source text, a
+:class:`PegasusError` points at a malformed graph, a :class:`SimulationError`
+points at run-time behaviour.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceLocation:
+    """A (line, column) position inside a MiniC source file.
+
+    Lines and columns are 1-based, matching what editors display.
+    """
+
+    __slots__ = ("line", "column", "filename")
+
+    def __init__(self, line: int, column: int, filename: str = "<input>"):
+        self.line = line
+        self.column = column
+        self.filename = filename
+
+    def __repr__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.line, self.column, self.filename) == (
+            other.line,
+            other.column,
+            other.filename,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column, self.filename))
+
+
+class FrontendError(ReproError):
+    """An error detected while processing MiniC source text."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid token in the source text."""
+
+
+class ParseError(FrontendError):
+    """Source text does not conform to the MiniC grammar."""
+
+
+class SemanticError(FrontendError):
+    """Well-formed syntax with an invalid meaning (types, scopes, lvalues)."""
+
+
+class LoweringError(ReproError):
+    """AST could not be lowered to the three-address CFG."""
+
+
+class InlineError(ReproError):
+    """Call graph cannot be flattened for spatial compilation (recursion)."""
+
+
+class PegasusError(ReproError):
+    """A Pegasus graph violates a structural invariant."""
+
+
+class OptimizationError(ReproError):
+    """An optimization pass produced or encountered an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The dataflow or sequential simulator hit an invalid run-time state."""
+
+
+class DeadlockError(SimulationError):
+    """The dataflow simulation stopped making progress before completion."""
+
+    def __init__(self, message: str, cycle: int, pending: list[str] | None = None):
+        self.cycle = cycle
+        self.pending = pending or []
+        detail = f" at cycle {cycle}"
+        if self.pending:
+            detail += "; waiting nodes: " + ", ".join(self.pending[:8])
+        super().__init__(message + detail)
+
+
+class MemoryFault(SimulationError):
+    """An out-of-bounds or unmapped memory access during simulation."""
+
+    def __init__(self, message: str, address: int | None = None):
+        self.address = address
+        if address is not None:
+            message = f"{message} (address {address:#x})"
+        super().__init__(message)
+
+
+class WorkloadError(ReproError):
+    """A benchmark program failed its built-in self-check."""

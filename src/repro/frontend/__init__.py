@@ -1,0 +1,15 @@
+"""MiniC frontend: lexer, parser, and semantic analysis.
+
+MiniC is the C subset the reproduction compiles: all integer widths, floats,
+pointers, one-dimensional arrays, functions, the full C expression and
+statement repertoire, simple ``#define`` constants, and the paper's
+``#pragma independent`` annotation (§7.1).
+
+The public entry point is :func:`parse_program`, which returns a type-checked
+:class:`~repro.frontend.ast.Program` ready for CFG lowering.
+"""
+
+from repro.frontend.ast import Program
+from repro.frontend.driver import parse_program
+
+__all__ = ["parse_program", "Program"]

@@ -1,0 +1,360 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain mutable classes (not frozen dataclasses) because semantic
+analysis annotates them in place: every expression receives a ``type`` and
+an ``is_lvalue`` flag, identifiers receive a resolved ``symbol``, and
+implicit conversions are materialized as :class:`Cast` nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SourceLocation
+from repro.frontend.types import Type
+
+# ---------------------------------------------------------------------------
+# Symbols
+
+
+@dataclass
+class Symbol:
+    """A declared name: global, local, parameter, or function.
+
+    ``address_taken`` and ``is_written`` are filled in by semantic analysis;
+    the lowering stage uses them to decide which locals live in registers
+    (the paper's flow-insensitive scalar analysis, §3.3) and the pointer
+    analysis uses them to build read/write sets.
+    """
+
+    name: str
+    type: Type
+    kind: str  # "global" | "local" | "param" | "func"
+    unique_id: int = -1
+    is_const: bool = False
+    address_taken: bool = False
+    is_written: bool = False
+    initializer: Optional["Expr"] = None
+    init_values: Optional[list[object]] = None  # flattened array initializer
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name}#{self.unique_id}:{self.type})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+class Expr:
+    """Base class for expressions; annotated by semantic analysis."""
+
+    def __init__(self, location: SourceLocation | None = None):
+        self.location = location
+        self.type: Type | None = None
+        self.is_lvalue: bool = False
+
+
+class IntLit(Expr):
+    def __init__(self, value: int, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"IntLit({self.value})"
+
+
+class FloatLit(Expr):
+    def __init__(self, value: float, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"FloatLit({self.value})"
+
+
+class StringLit(Expr):
+    """A string literal; becomes an anonymous const char array."""
+
+    def __init__(self, value: str, location=None):
+        super().__init__(location)
+        self.value = value
+        self.symbol: Symbol | None = None  # assigned by sema
+
+    def __repr__(self) -> str:
+        return f"StringLit({self.value!r})"
+
+
+class Ident(Expr):
+    def __init__(self, name: str, location=None):
+        super().__init__(location)
+        self.name = name
+        self.symbol: Symbol | None = None
+
+    def __repr__(self) -> str:
+        return f"Ident({self.name})"
+
+
+class Unary(Expr):
+    """Prefix unary operator: one of ``+ - ! ~ * &``."""
+
+    def __init__(self, op: str, operand: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"Unary({self.op}, {self.operand!r})"
+
+
+class IncDec(Expr):
+    """``++``/``--``, prefix or postfix, desugared during lowering."""
+
+    def __init__(self, op: str, operand: Expr, is_prefix: bool, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+        self.is_prefix = is_prefix
+
+    def __repr__(self) -> str:
+        pos = "pre" if self.is_prefix else "post"
+        return f"IncDec({self.op}{pos}, {self.operand!r})"
+
+
+class Binary(Expr):
+    """Binary operator, including ``&&``/``||`` (short-circuit)."""
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return f"Binary({self.op}, {self.lhs!r}, {self.rhs!r})"
+
+
+class Assign(Expr):
+    """Assignment; ``op`` is ``=`` or a compound operator like ``+=``."""
+
+    def __init__(self, op: str, target: Expr, value: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Assign({self.op}, {self.target!r}, {self.value!r})"
+
+
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise``."""
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+    def __repr__(self) -> str:
+        return f"Conditional({self.cond!r}, {self.then!r}, {self.otherwise!r})"
+
+
+class Index(Expr):
+    """Array subscript ``base[index]``."""
+
+    def __init__(self, base: Expr, index: Expr, location=None):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Index({self.base!r}, {self.index!r})"
+
+
+class Call(Expr):
+    def __init__(self, callee: Expr, args: list[Expr], location=None):
+        super().__init__(location)
+        self.callee = callee
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"Call({self.callee!r}, {self.args!r})"
+
+
+class Cast(Expr):
+    """An explicit or sema-inserted conversion to ``target_type``."""
+
+    def __init__(self, target_type: Type, operand: Expr, location=None,
+                 implicit: bool = False):
+        super().__init__(location)
+        self.target_type = target_type
+        self.operand = operand
+        self.implicit = implicit
+
+    def __repr__(self) -> str:
+        return f"Cast({self.target_type}, {self.operand!r})"
+
+
+class SizeOf(Expr):
+    """``sizeof(type)`` or ``sizeof expr``; folded to a constant by sema."""
+
+    def __init__(self, target: Type | Expr, location=None):
+        super().__init__(location)
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"SizeOf({self.target!r})"
+
+
+class Comma(Expr):
+    def __init__(self, lhs: Expr, rhs: Expr, location=None):
+        super().__init__(location)
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return f"Comma({self.lhs!r}, {self.rhs!r})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+class Stmt:
+    def __init__(self, location: SourceLocation | None = None):
+        self.location = location
+
+
+class Block(Stmt):
+    def __init__(self, stmts: list[Stmt], location=None):
+        super().__init__(location)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: Expr, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+
+class EmptyStmt(Stmt):
+    pass
+
+
+class DeclStmt(Stmt):
+    """A local declaration; one symbol per statement (sema splits lists)."""
+
+    def __init__(self, symbol: Symbol, init: Expr | None, location=None):
+        super().__init__(location)
+        self.symbol = symbol
+        self.init = init
+
+
+class DeclGroup(Stmt):
+    """Several declarations from one source statement (``int a, b;``).
+
+    Unlike a :class:`Block`, a DeclGroup does not open a scope.
+    """
+
+    def __init__(self, decls: list[DeclStmt], location=None):
+        super().__init__(location)
+        self.decls = decls
+
+
+class If(Stmt):
+    def __init__(self, cond: Expr, then: Stmt, otherwise: Stmt | None,
+                 location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Stmt):
+    def __init__(self, cond: Expr, body: Stmt, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    def __init__(self, body: Stmt, cond: Expr, location=None):
+        super().__init__(location)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    def __init__(self, init: Stmt | None, cond: Expr | None,
+                 step: Expr | None, body: Stmt, location=None):
+        super().__init__(location)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    def __init__(self, value: Expr | None, location=None):
+        super().__init__(location)
+        self.value = value
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+
+
+@dataclass
+class FuncDef:
+    """A function definition with its body and scope-level pragmas."""
+
+    name: str
+    symbol: Symbol
+    params: list[Symbol]
+    body: Block
+    location: SourceLocation | None = None
+    # Pairs of parameter/pointer symbols declared independent via
+    # ``#pragma independent`` inside this function (paper §7.1).
+    independent_pairs: list[tuple[Symbol, Symbol]] = field(default_factory=list)
+    # Names from pragmas, resolved to symbols by sema.
+    pragma_names: list[tuple[str, ...]] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    """A parsed, type-checked MiniC translation unit."""
+
+    functions: list[FuncDef]
+    globals: list[Symbol]
+    # Prototypes without bodies (callable only by name resolution; calling
+    # one at run time is an error since there is nothing to execute).
+    extern_functions: list[Symbol] = field(default_factory=list)
+    # String literals hoisted into anonymous const arrays.
+    string_symbols: list[Symbol] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    def global_symbol(self, name: str) -> Symbol:
+        for sym in self.globals:
+            if sym.name == name:
+                return sym
+        raise KeyError(f"no global named {name!r}")

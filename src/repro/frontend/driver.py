@@ -1,0 +1,15 @@
+"""Frontend driver: source text in, type-checked AST out."""
+
+from __future__ import annotations
+
+from repro.frontend.ast import Program
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+
+
+def parse_program(source: str, filename: str = "<input>") -> Program:
+    """Lex, parse, and type-check MiniC source text.
+
+    Raises :class:`~repro.errors.FrontendError` subclasses on invalid input.
+    """
+    return analyze(parse_source(source, filename))

@@ -1,0 +1,307 @@
+"""Lexer and micro-preprocessor for MiniC.
+
+The lexer produces a flat list of :class:`Token` objects. A small
+preprocessing layer handles the three ``#`` directives the benchmarks use:
+
+- ``#define NAME tokens...`` — object-like macros, expanded non-recursively
+  with a depth limit;
+- ``#pragma independent p q ...`` — recorded as a :class:`PragmaIndependent`
+  marker token consumed by the parser (the paper's §7.1 annotation);
+- ``#include ...`` — ignored (MiniC programs are self-contained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.errors import LexError, SourceLocation
+
+MAX_MACRO_DEPTH = 16
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    CHAR_LIT = auto()
+    STRING_LIT = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    PRAGMA_INDEPENDENT = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "float", "double",
+        "signed", "unsigned", "const", "static", "extern",
+        "if", "else", "while", "do", "for", "return", "break", "continue",
+        "sizeof", "struct", "enum",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: object = None
+    # For PRAGMA_INDEPENDENT tokens: the identifier names declared independent.
+    names: tuple[str, ...] = field(default=())
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+class Lexer:
+    """Tokenizes MiniC source text."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.macros: dict[str, list[Token]] = {}
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, expanding macros, and append an EOF token."""
+        raw = list(self._raw_tokens())
+        expanded = self._expand(raw, depth=0)
+        expanded.append(Token(TokenKind.EOF, "", self._loc()))
+        return expanded
+
+    # ------------------------------------------------------------------
+    # Raw scanning
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _raw_tokens(self):
+        line_has_token = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                if ch == "\n":
+                    line_has_token = False
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch == "#" and not line_has_token:
+                directive = self._read_directive()
+                if directive is not None:
+                    yield directive
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                line_has_token = True
+                yield self._read_number()
+            elif ch.isalpha() or ch == "_":
+                line_has_token = True
+                yield self._read_word()
+            elif ch == '"':
+                line_has_token = True
+                yield self._read_string()
+            elif ch == "'":
+                line_has_token = True
+                yield self._read_char()
+            else:
+                line_has_token = True
+                yield self._read_punct()
+
+    def _skip_block_comment(self) -> None:
+        start = self._loc()
+        self._advance()
+        self._advance()
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start)
+
+    def _read_directive(self) -> Token | None:
+        start = self._loc()
+        line_start = self.pos
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+        text = self.source[line_start:self.pos].strip()
+        parts = text.split()
+        if len(parts) >= 2 and parts[0] == "#pragma" and parts[1] == "independent":
+            names = tuple(parts[2:])
+            if len(names) < 2:
+                raise LexError("#pragma independent needs at least two names", start)
+            return Token(TokenKind.PRAGMA_INDEPENDENT, text, start, names=names)
+        if parts and parts[0] == "#define":
+            self._record_macro(text, start)
+            return None
+        if parts and parts[0] in ("#include", "#pragma"):
+            return None
+        raise LexError(f"unsupported preprocessor directive: {text}", start)
+
+    def _record_macro(self, text: str, start: SourceLocation) -> None:
+        body_text = text[len("#define"):].strip()
+        if not body_text:
+            raise LexError("#define needs a name", start)
+        pieces = body_text.split(None, 1)
+        name = pieces[0]
+        if "(" in name:
+            raise LexError("function-like macros are not supported", start)
+        replacement = pieces[1] if len(pieces) > 1 else ""
+        sub = Lexer(replacement, self.filename)
+        self.macros[name] = list(sub._raw_tokens())
+
+    def _read_number(self) -> Token:
+        start = self._loc()
+        begin = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance()
+            self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        digits = self.source[begin:self.pos]
+        suffix_begin = self.pos
+        while self._peek() and self._peek() in "uUlLfF":
+            self._advance()
+        suffix = self.source[suffix_begin:self.pos].lower()
+        text = self.source[begin:self.pos]
+        if is_float or "f" in suffix and not digits.startswith("0x"):
+            if "u" in suffix:
+                raise LexError(f"bad float suffix in {text!r}", start)
+            return Token(TokenKind.FLOAT_LIT, text, start, value=float(digits))
+        value = int(digits, 0)
+        return Token(TokenKind.INT_LIT, text, start, value=(value, suffix))
+
+    def _read_word(self) -> Token:
+        start = self._loc()
+        begin = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[begin:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, start)
+
+    def _read_string(self) -> Token:
+        start = self._loc()
+        self._advance()
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", start)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                chars.append(self._escape(start))
+            else:
+                chars.append(ch)
+        text = "".join(chars)
+        return Token(TokenKind.STRING_LIT, f'"{text}"', start, value=text)
+
+    def _read_char(self) -> Token:
+        start = self._loc()
+        self._advance()
+        if self.pos >= len(self.source):
+            raise LexError("unterminated character literal", start)
+        ch = self._advance()
+        if ch == "\\":
+            ch = self._escape(start)
+        if self.pos >= len(self.source) or self._advance() != "'":
+            raise LexError("unterminated character literal", start)
+        return Token(TokenKind.CHAR_LIT, f"'{ch}'", start, value=ord(ch))
+
+    def _escape(self, start: SourceLocation) -> str:
+        if self.pos >= len(self.source):
+            raise LexError("unterminated escape sequence", start)
+        ch = self._advance()
+        table = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+                 "'": "'", '"': '"'}
+        if ch in table:
+            return table[ch]
+        if ch == "x":
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF" and len(digits) < 2:
+                digits += self._advance()
+            if not digits:
+                raise LexError("bad hex escape", start)
+            return chr(int(digits, 16))
+        raise LexError(f"unknown escape sequence \\{ch}", start)
+
+    def _read_punct(self) -> Token:
+        start = self._loc()
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                for _ in punct:
+                    self._advance()
+                return Token(TokenKind.PUNCT, punct, start)
+        raise LexError(f"unexpected character {self._peek()!r}", start)
+
+    # ------------------------------------------------------------------
+    # Macro expansion
+
+    def _expand(self, tokens: list[Token], depth: int) -> list[Token]:
+        if depth > MAX_MACRO_DEPTH:
+            raise LexError("macro expansion too deep (recursive #define?)")
+        result: list[Token] = []
+        for token in tokens:
+            if token.kind is TokenKind.IDENT and token.text in self.macros:
+                body = self.macros[token.text]
+                relocated = [
+                    Token(t.kind, t.text, token.location, t.value, t.names)
+                    for t in body
+                ]
+                result.extend(self._expand(relocated, depth + 1))
+            else:
+                result.append(token)
+        return result
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list ending in EOF."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,577 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is classic C, restricted to the subset described in
+``frontend/__init__``. The parser builds raw AST nodes; name resolution and
+type checking happen afterwards in :mod:`repro.frontend.sema`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, SourceLocation
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+# Binary operator precedence, higher binds tighter. Assignment, conditional
+# and comma are handled separately because of their associativity rules.
+BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
+)
+
+TYPE_KEYWORDS = frozenset(
+    {"void", "char", "short", "int", "long", "float", "double",
+     "signed", "unsigned", "const"}
+)
+
+
+class Parser:
+    """Parses a token stream into an un-analyzed :class:`ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.functions: list[ast.FuncDef] = []
+        self.globals: list[ast.Symbol] = []
+        self.extern_funcs: list[ast.Symbol] = []
+        self._pending_pragmas: list[tuple[str, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token.kind in (TokenKind.PUNCT, TokenKind.KEYWORD) and token.text == text
+
+    def accept(self, text: str) -> Token | None:
+        if self.at(text):
+            return self.advance()
+        return None
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            token = self.peek()
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.location)
+        return self.advance()
+
+    def _consume_pragmas(self) -> None:
+        while self.peek().kind is TokenKind.PRAGMA_INDEPENDENT:
+            self._pending_pragmas.append(self.advance().names)
+
+    # ------------------------------------------------------------------
+    # Top level
+
+    def parse_program(self) -> ast.Program:
+        while True:
+            self._consume_pragmas()
+            if self.peek().kind is TokenKind.EOF:
+                break
+            self.parse_top_level()
+        return ast.Program(functions=self.functions, globals=self.globals,
+                           extern_functions=self.extern_funcs)
+
+    def parse_top_level(self) -> None:
+        start = self.peek().location
+        storage = self._parse_storage_specifiers()
+        base = self.parse_type_base()
+        # A lone "struct x;"-style declaration is rejected by parse_type_base,
+        # so here we always have declarators.
+        first = True
+        while True:
+            decl_type, name, name_loc = self.parse_declarator(base)
+            if first and self.at("("):
+                self.parse_function(decl_type, name, name_loc, storage)
+                return
+            first = False
+            self._finish_global(decl_type, name, name_loc, storage)
+            if self.accept(","):
+                continue
+            self.expect(";")
+            return
+
+    def _parse_storage_specifiers(self) -> set[str]:
+        storage: set[str] = set()
+        while self.peek().kind is TokenKind.KEYWORD and self.peek().text in (
+            "static", "extern",
+        ):
+            storage.add(self.advance().text)
+        return storage
+
+    def _finish_global(self, decl_type: ty.Type, name: str,
+                       loc: SourceLocation, storage: set[str]) -> None:
+        init: ast.Expr | None = None
+        init_values: list[object] | None = None
+        if self.accept("="):
+            if self.at("{"):
+                init_values = self.parse_array_initializer()
+            else:
+                init = self.parse_assignment()
+        is_const = bool(getattr(decl_type, "const", False))
+        if isinstance(decl_type, _ConstWrapper):
+            decl_type = decl_type.inner
+        symbol = ast.Symbol(name=name, type=decl_type, kind="global",
+                            is_const=is_const, initializer=init,
+                            init_values=init_values)
+        self.globals.append(symbol)
+
+    def parse_array_initializer(self) -> list[object]:
+        self.expect("{")
+        values: list[object] = []
+        if not self.at("}"):
+            while True:
+                expr = self.parse_assignment()
+                values.append(expr)
+                if not self.accept(","):
+                    break
+                if self.at("}"):
+                    break
+        self.expect("}")
+        return values
+
+    def parse_function(self, return_type: ty.Type, name: str,
+                       name_loc: SourceLocation, storage: set[str]) -> None:
+        if isinstance(return_type, _ConstWrapper):
+            return_type = return_type.inner
+        self.expect("(")
+        params: list[ast.Symbol] = []
+        if not self.at(")"):
+            if self.at("void") and self.peek(1).text == ")":
+                self.advance()
+            else:
+                while True:
+                    base = self.parse_type_base()
+                    param_type, pname, ploc = self.parse_declarator(
+                        base, allow_abstract=True
+                    )
+                    if isinstance(param_type, _ConstWrapper):
+                        param_type = param_type.inner
+                    # Array parameters decay to pointers, as in C.
+                    param_type = param_type.decay()
+                    params.append(
+                        ast.Symbol(name=pname or f"__anon{len(params)}",
+                                   type=param_type, kind="param")
+                    )
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        func_type = ty.FuncType(return_type, tuple(p.type for p in params))
+        symbol = ast.Symbol(name=name, type=func_type, kind="func")
+        if self.accept(";"):
+            self.extern_funcs.append(symbol)
+            return
+        pragmas_before = list(self._pending_pragmas)
+        self._pending_pragmas.clear()
+        body = self.parse_block()
+        func = ast.FuncDef(name=name, symbol=symbol, params=params, body=body,
+                           location=name_loc)
+        func.pragma_names.extend(pragmas_before)
+        func.pragma_names.extend(self._collected_body_pragmas)
+        self.functions.append(func)
+
+    # ------------------------------------------------------------------
+    # Types and declarators
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.KEYWORD and token.text in TYPE_KEYWORDS
+
+    def parse_type_base(self) -> ty.Type:
+        """Parse a type specifier sequence (``const unsigned long`` etc.)."""
+        start = self.peek().location
+        const = False
+        signedness: bool | None = None
+        core: str | None = None
+        long_count = 0
+        while self.at_type():
+            word = self.advance().text
+            if word == "const":
+                const = True
+            elif word == "signed":
+                signedness = True
+            elif word == "unsigned":
+                signedness = False
+            elif word == "long":
+                long_count += 1
+                core = core or "int"
+            elif word in ("void", "char", "short", "int", "float", "double"):
+                if core is not None and not (core == "int" and word == "int"):
+                    raise ParseError(f"duplicate type specifier {word!r}", start)
+                core = word
+        if core is None:
+            if signedness is None and long_count == 0:
+                raise ParseError("expected a type", self.peek().location)
+            core = "int"
+        base = self._core_type(core, signedness, long_count, start)
+        if const and isinstance(base, ty.IntType):
+            # const-ness of scalars matters only for immutable-load analysis;
+            # carried on arrays/pointers below, tracked per-symbol for scalars.
+            pass
+        return _ConstWrapper(base, const) if const else base
+
+    def _core_type(self, core: str, signedness: bool | None, long_count: int,
+                   loc: SourceLocation) -> ty.Type:
+        if core == "void":
+            return ty.VOID
+        if core == "float":
+            return ty.FLOAT
+        if core == "double":
+            return ty.DOUBLE
+        if core == "char":
+            return ty.CHAR if signedness in (None, True) else ty.UCHAR
+        if core == "short":
+            return ty.SHORT if signedness in (None, True) else ty.USHORT
+        if long_count >= 1:
+            return ty.LONG if signedness in (None, True) else ty.ULONG
+        if core == "int":
+            return ty.INT if signedness in (None, True) else ty.UINT
+        raise ParseError(f"unsupported type {core!r}", loc)
+
+    def parse_declarator(self, base: ty.Type, allow_abstract: bool = False):
+        """Parse ``*``s, a name, and optional ``[N]`` suffixes."""
+        const = False
+        if isinstance(base, _ConstWrapper):
+            const = True
+            base = base.inner
+        result: ty.Type = base
+        while self.accept("*"):
+            result = ty.PointerType(result, const=const)
+            const = False
+            if self.accept("const"):
+                pass  # const pointer (not pointee); ignored for analysis
+        name: str | None = None
+        loc = self.peek().location
+        if self.peek().kind is TokenKind.IDENT:
+            name = self.advance().text
+        elif not allow_abstract:
+            raise ParseError(
+                f"expected identifier, found {self.peek().text!r}", loc
+            )
+        while self.accept("["):
+            length: int | None = None
+            if not self.at("]"):
+                size_tok = self.peek()
+                if size_tok.kind is not TokenKind.INT_LIT:
+                    raise ParseError("array size must be an integer literal",
+                                     size_tok.location)
+                self.advance()
+                length = size_tok.value[0]  # type: ignore[index]
+            self.expect("]")
+            result = ty.ArrayType(result, length, const=const)
+            const = False
+        if const and not isinstance(result, (ty.ArrayType, ty.PointerType)):
+            # A const scalar: represent via ArrayType/PointerType const flags
+            # elsewhere; for plain scalars sema marks the symbol const.
+            result = _ConstWrapper(result, True)  # unwrapped by callers
+        return result, name, loc
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    @property
+    def _collected_body_pragmas(self) -> list[tuple[str, ...]]:
+        pragmas = list(self._pending_pragmas)
+        self._pending_pragmas.clear()
+        return pragmas
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("{").location
+        stmts: list[ast.Stmt] = []
+        while not self.at("}"):
+            self._consume_pragmas()
+            if self.at("}"):
+                break
+            if self.peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", start)
+            stmts.append(self.parse_statement())
+        self.expect("}")
+        return ast.Block(stmts, start)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if self.at("{"):
+            return self.parse_block()
+        if self.at(";"):
+            self.advance()
+            return ast.EmptyStmt(token.location)
+        if self.at("if"):
+            return self.parse_if()
+        if self.at("while"):
+            return self.parse_while()
+        if self.at("do"):
+            return self.parse_do_while()
+        if self.at("for"):
+            return self.parse_for()
+        if self.at("return"):
+            self.advance()
+            value = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            return ast.Return(value, token.location)
+        if self.at("break"):
+            self.advance()
+            self.expect(";")
+            return ast.Break(token.location)
+        if self.at("continue"):
+            self.advance()
+            self.expect(";")
+            return ast.Continue(token.location)
+        if self.at_type() or self.at("static"):
+            return self.parse_local_decl()
+        expr = self.parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(expr, token.location)
+
+    def parse_local_decl(self) -> ast.Stmt:
+        start = self.peek().location
+        self._parse_storage_specifiers()  # 'static' locals treated as locals
+        base = self.parse_type_base()
+        decls: list[ast.Stmt] = []
+        while True:
+            decl_type, name, loc = self.parse_declarator(base)
+            const = False
+            if isinstance(decl_type, _ConstWrapper):
+                const = True
+                decl_type = decl_type.inner
+            init: ast.Expr | None = None
+            init_values: list[object] | None = None
+            if self.accept("="):
+                if self.at("{"):
+                    init_values = self.parse_array_initializer()
+                else:
+                    init = self.parse_assignment()
+            symbol = ast.Symbol(name=name, type=decl_type, kind="local",
+                                is_const=const, init_values=init_values)
+            decls.append(ast.DeclStmt(symbol, init, loc))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclGroup(decls, start)
+
+    def parse_if(self) -> ast.Stmt:
+        start = self.expect("if").location
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self.parse_statement()
+        otherwise = self.parse_statement() if self.accept("else") else None
+        return ast.If(cond, then, otherwise, start)
+
+    def parse_while(self) -> ast.Stmt:
+        start = self.expect("while").location
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, start)
+
+    def parse_do_while(self) -> ast.Stmt:
+        start = self.expect("do").location
+        body = self.parse_statement()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(body, cond, start)
+
+    def parse_for(self) -> ast.Stmt:
+        start = self.expect("for").location
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.at(";"):
+            if self.at_type():
+                init = self.parse_local_decl()
+            else:
+                init = ast.ExprStmt(self.parse_expression(), start)
+                self.expect(";")
+        else:
+            self.advance()
+        cond = None if self.at(";") else self.parse_expression()
+        self.expect(";")
+        step = None if self.at(")") else self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, start)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.at(","):
+            loc = self.advance().location
+            rhs = self.parse_assignment()
+            expr = ast.Comma(expr, rhs, loc)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_conditional()
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.text in ASSIGN_OPS:
+            self.advance()
+            rhs = self.parse_assignment()
+            return ast.Assign(token.text, lhs, rhs, token.location)
+        return lhs
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.at("?"):
+            loc = self.advance().location
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self.parse_conditional()
+            return ast.Conditional(cond, then, otherwise, loc)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind is not TokenKind.PUNCT:
+                return lhs
+            prec = BINARY_PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, token.location)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT:
+            if token.text in ("+", "-", "!", "~", "*", "&"):
+                self.advance()
+                operand = self.parse_unary()
+                return ast.Unary(token.text, operand, token.location)
+            if token.text in ("++", "--"):
+                self.advance()
+                operand = self.parse_unary()
+                return ast.IncDec(token.text, operand, True, token.location)
+        if self.at("sizeof"):
+            self.advance()
+            if self.at("(") and self._is_type_after_paren():
+                self.expect("(")
+                base = self.parse_type_base()
+                target, _, __ = self.parse_declarator(base, allow_abstract=True)
+                if isinstance(target, _ConstWrapper):
+                    target = target.inner
+                self.expect(")")
+                return ast.SizeOf(target, token.location)
+            operand = self.parse_unary()
+            return ast.SizeOf(operand, token.location)
+        if self.at("(") and self._is_type_after_paren():
+            self.expect("(")
+            base = self.parse_type_base()
+            target, _, __ = self.parse_declarator(base, allow_abstract=True)
+            if isinstance(target, _ConstWrapper):
+                target = target.inner
+            self.expect(")")
+            operand = self.parse_unary()
+            return ast.Cast(target, operand, token.location)
+        return self.parse_postfix()
+
+    def _is_type_after_paren(self) -> bool:
+        after = self.peek(1)
+        return after.kind is TokenKind.KEYWORD and after.text in TYPE_KEYWORDS
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if self.at("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(expr, index, token.location)
+            elif self.at("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = ast.Call(expr, args, token.location)
+            elif self.at("++") or self.at("--"):
+                op = self.advance()
+                expr = ast.IncDec(op.text, expr, False, op.location)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT_LIT:
+            self.advance()
+            value, _suffix = token.value  # type: ignore[misc]
+            return ast.IntLit(value, token.location)
+        if token.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            return ast.FloatLit(token.value, token.location)  # type: ignore[arg-type]
+        if token.kind is TokenKind.CHAR_LIT:
+            self.advance()
+            return ast.IntLit(token.value, token.location)  # type: ignore[arg-type]
+        if token.kind is TokenKind.STRING_LIT:
+            self.advance()
+            return ast.StringLit(token.value, token.location)  # type: ignore[arg-type]
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return ast.Ident(token.text, token.location)
+        if self.at("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.location)
+
+
+class _ConstWrapper(ty.Type):
+    """Internal marker: a const-qualified base type during declarator parsing.
+
+    The parser threads const-ness from the specifier into the declarator
+    (where it lands on a pointer's pointee or an array). A const scalar
+    survives as a wrapper, unwrapped where declarations are finalized.
+    """
+
+    def __init__(self, inner: ty.Type, const: bool):
+        self.inner = inner
+        self.const = const
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.inner.size
+
+    def __str__(self) -> str:
+        return f"const {self.inner}"
+
+
+def parse_tokens(tokens: list[Token]) -> ast.Program:
+    return Parser(tokens).parse_program()
+
+
+def parse_source(source: str, filename: str = "<input>") -> ast.Program:
+    """Parse MiniC source text into an un-analyzed AST."""
+    return parse_tokens(tokenize(source, filename))

@@ -1,0 +1,722 @@
+"""Semantic analysis for MiniC.
+
+A single pass over the AST that:
+
+- resolves identifiers to :class:`~repro.frontend.ast.Symbol` objects with
+  unique ids (scopes nest; shadowing creates distinct symbols);
+- type-checks every expression, inserting implicit :class:`Cast` nodes so
+  that lowering never needs conversion logic of its own;
+- marks lvalues, address-taken symbols, and written symbols — the inputs to
+  the paper's flow-insensitive "which scalars live in registers" analysis
+  (§3.3) and to the pointer analysis;
+- folds ``sizeof`` and constant initializers;
+- hoists string literals into anonymous const char arrays (the immutable
+  objects of §4.2);
+- resolves ``#pragma independent`` name lists to symbol pairs (§7.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError, SourceLocation
+from repro.frontend import ast
+from repro.frontend import types as ty
+
+ARITH_OPS = frozenset({"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"})
+COMPARE_OPS = frozenset({"==", "!=", "<", ">", "<=", ">="})
+LOGICAL_OPS = frozenset({"&&", "||"})
+
+
+class Scope:
+    """A lexical scope mapping names to symbols."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, ast.Symbol] = {}
+
+    def define(self, symbol: ast.Symbol, loc: SourceLocation | None) -> None:
+        if symbol.name in self.names:
+            raise SemanticError(f"redefinition of {symbol.name!r}", loc)
+        self.names[symbol.name] = symbol
+
+    def lookup(self, name: str) -> ast.Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Runs semantic analysis over a parsed program, mutating the AST."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.global_scope = Scope()
+        self.next_id = 0
+        self.current_function: ast.FuncDef | None = None
+        self.loop_depth = 0
+        self.string_count = 0
+        # All locals declared in the current function, for pragma resolution:
+        # #pragma independent may name block-scope locals.
+        self.function_locals: dict[str, list[ast.Symbol]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        for sym in self.program.globals:
+            self._assign_id(sym)
+            self.global_scope.define(sym, None)
+            self._check_global_init(sym)
+        defined = {func.name for func in self.program.functions}
+        for proto in self.program.extern_functions:
+            if proto.name in defined:
+                continue  # the definition's symbol wins
+            self._assign_id(proto)
+            self.global_scope.define(proto, None)
+        for func in self.program.functions:
+            self._assign_id(func.symbol)
+            self.global_scope.define(func.symbol, func.location)
+        for func in self.program.functions:
+            self._analyze_function(func)
+        self.program.globals.extend(self.program.string_symbols)
+        return self.program
+
+    def _assign_id(self, symbol: ast.Symbol) -> None:
+        symbol.unique_id = self.next_id
+        self.next_id += 1
+
+    def _check_global_init(self, sym: ast.Symbol) -> None:
+        if sym.type.is_void or isinstance(sym.type, ty.FuncType):
+            raise SemanticError(f"invalid global type for {sym.name!r}", None)
+        if isinstance(sym.initializer, ast.StringLit):
+            data = sym.initializer.value.encode("latin-1") + b"\0"
+            if not isinstance(sym.type, ty.ArrayType):
+                raise SemanticError(
+                    f"string initializer for non-array {sym.name!r}", None
+                )
+            sym.init_values = list(data)
+            if sym.type.length is None:
+                sym.type = ty.ArrayType(sym.type.element, len(data),
+                                        const=sym.type.const)
+            sym.initializer = None
+            return
+        if sym.initializer is not None:
+            value = fold_const(sym.initializer)
+            if value is None:
+                raise SemanticError(
+                    f"global initializer for {sym.name!r} is not constant", None
+                )
+            sym.init_values = [value]
+            sym.initializer = None
+        elif sym.init_values is not None:
+            folded: list[object] = []
+            for element in sym.init_values:
+                if isinstance(element, ast.Expr):
+                    value = fold_const(element)
+                    if value is None:
+                        raise SemanticError(
+                            f"array initializer for {sym.name!r} is not constant",
+                            None,
+                        )
+                    folded.append(value)
+                else:
+                    folded.append(element)
+            sym.init_values = folded
+            if isinstance(sym.type, ty.ArrayType) and sym.type.length is None:
+                sym.type = ty.ArrayType(sym.type.element, len(folded),
+                                        const=sym.type.const)
+
+    # ------------------------------------------------------------------
+    # Functions
+
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        self.current_function = func
+        self.function_locals = {}
+        scope = Scope(self.global_scope)
+        for param in func.params:
+            self._assign_id(param)
+            scope.define(param, func.location)
+        self._analyze_block(func.body, Scope(scope))
+        self._resolve_pragmas(func, scope)
+        self.current_function = None
+
+    def _resolve_pragmas(self, func: ast.FuncDef, scope: Scope) -> None:
+        for names in func.pragma_names:
+            symbols: list[ast.Symbol] = []
+            for name in names:
+                symbol = scope.lookup(name)
+                if symbol is None:
+                    candidates = self.function_locals.get(name, [])
+                    if len(candidates) == 1:
+                        symbol = candidates[0]
+                    elif len(candidates) > 1:
+                        raise SemanticError(
+                            f"#pragma independent name {name!r} is ambiguous "
+                            f"in {func.name}", func.location,
+                        )
+                if symbol is None:
+                    raise SemanticError(
+                        f"#pragma independent names unknown symbol {name!r} "
+                        f"in {func.name}", func.location,
+                    )
+                symbols.append(symbol)
+            for i, first in enumerate(symbols):
+                for second in symbols[i + 1:]:
+                    func.independent_pairs.append((first, second))
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _analyze_block(self, block: ast.Block, scope: Scope) -> None:
+        for stmt in block.stmts:
+            self._analyze_stmt(stmt, scope)
+
+    def _analyze_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._analyze_block(stmt, Scope(scope))
+        elif isinstance(stmt, ast.DeclStmt):
+            self._analyze_decl(stmt, scope)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._analyze_decl(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._analyze_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self._require_scalar(self._analyze_expr(stmt.cond, scope))
+            self._analyze_stmt(stmt.then, Scope(scope))
+            if stmt.otherwise is not None:
+                self._analyze_stmt(stmt.otherwise, Scope(scope))
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self._require_scalar(self._analyze_expr(stmt.cond, scope))
+            self._in_loop(stmt.body, Scope(scope))
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, Scope(scope))
+            stmt.cond = self._require_scalar(self._analyze_expr(stmt.cond, scope))
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._analyze_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                stmt.cond = self._require_scalar(self._analyze_expr(stmt.cond, inner))
+            if stmt.step is not None:
+                stmt.step = self._analyze_expr(stmt.step, inner)
+            self._in_loop(stmt.body, Scope(inner))
+        elif isinstance(stmt, ast.Return):
+            self._analyze_return(stmt, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{kind} outside of a loop", stmt.location)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:
+            raise SemanticError(f"unknown statement {stmt!r}", stmt.location)
+
+    def _in_loop(self, body: ast.Stmt, scope: Scope) -> None:
+        self.loop_depth += 1
+        try:
+            self._analyze_stmt(body, scope)
+        finally:
+            self.loop_depth -= 1
+
+    def _analyze_decl(self, stmt: ast.DeclStmt, scope: Scope) -> None:
+        symbol = stmt.symbol
+        if symbol.type.is_void:
+            raise SemanticError(f"variable {symbol.name!r} has void type",
+                                stmt.location)
+        self._assign_id(symbol)
+        scope.define(symbol, stmt.location)
+        self.function_locals.setdefault(symbol.name, []).append(symbol)
+        if isinstance(symbol.type, ty.ArrayType) and symbol.init_values is not None:
+            folded: list[object] = []
+            for element in symbol.init_values:
+                if isinstance(element, ast.Expr):
+                    value = fold_const(element)
+                    if value is None:
+                        raise SemanticError(
+                            f"array initializer for {symbol.name!r} must be constant",
+                            stmt.location,
+                        )
+                    folded.append(value)
+                else:
+                    folded.append(element)
+            symbol.init_values = folded
+            if symbol.type.length is None:
+                symbol.type = ty.ArrayType(symbol.type.element, len(folded),
+                                           const=symbol.type.const)
+        if stmt.init is not None:
+            stmt.init = self._analyze_expr(stmt.init, scope)
+            init_type = stmt.init.type
+            assert init_type is not None
+            if not ty.assignable(symbol.type, init_type):
+                if not _is_null_constant(stmt.init, symbol.type):
+                    raise SemanticError(
+                        f"cannot initialize {symbol.type} with {init_type}",
+                        stmt.location,
+                    )
+            stmt.init = self._convert(stmt.init, symbol.type.decay())
+            symbol.is_written = True
+
+    def _analyze_return(self, stmt: ast.Return, scope: Scope) -> None:
+        assert self.current_function is not None
+        func_type = self.current_function.symbol.type
+        assert isinstance(func_type, ty.FuncType)
+        if stmt.value is None:
+            if not func_type.return_type.is_void:
+                raise SemanticError("return without a value in non-void function",
+                                    stmt.location)
+            return
+        if func_type.return_type.is_void:
+            raise SemanticError("return with a value in void function",
+                                stmt.location)
+        stmt.value = self._analyze_expr(stmt.value, scope)
+        assert stmt.value.type is not None
+        if not ty.assignable(func_type.return_type, stmt.value.type):
+            if not _is_null_constant(stmt.value, func_type.return_type):
+                raise SemanticError(
+                    f"cannot return {stmt.value.type} from function returning "
+                    f"{func_type.return_type}", stmt.location,
+                )
+        stmt.value = self._convert(stmt.value, func_type.return_type)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _analyze_expr(self, expr: ast.Expr, scope: Scope) -> ast.Expr:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise SemanticError(f"unknown expression {expr!r}", expr.location)
+        return method(expr, scope)
+
+    def _expr_IntLit(self, expr: ast.IntLit, scope: Scope) -> ast.Expr:
+        expr.type = ty.INT if -(2**31) <= expr.value < 2**31 else ty.LONG
+        return expr
+
+    def _expr_FloatLit(self, expr: ast.FloatLit, scope: Scope) -> ast.Expr:
+        expr.type = ty.DOUBLE
+        return expr
+
+    def _expr_StringLit(self, expr: ast.StringLit, scope: Scope) -> ast.Expr:
+        data = expr.value.encode("latin-1") + b"\0"
+        symbol = ast.Symbol(
+            name=f"__str{self.string_count}",
+            type=ty.ArrayType(ty.CHAR, len(data), const=True),
+            kind="global",
+            is_const=True,
+            init_values=list(data),
+        )
+        self.string_count += 1
+        self._assign_id(symbol)
+        self.program.string_symbols.append(symbol)
+        expr.symbol = symbol
+        expr.type = symbol.type
+        return expr
+
+    def _expr_Ident(self, expr: ast.Ident, scope: Scope) -> ast.Expr:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise SemanticError(f"use of undeclared identifier {expr.name!r}",
+                                expr.location)
+        expr.symbol = symbol
+        expr.type = symbol.type
+        expr.is_lvalue = not isinstance(symbol.type, (ty.FuncType, ty.ArrayType))
+        return expr
+
+    def _expr_Unary(self, expr: ast.Unary, scope: Scope) -> ast.Expr:
+        expr.operand = self._analyze_expr(expr.operand, scope)
+        operand_type = expr.operand.type
+        assert operand_type is not None
+        if expr.op == "&":
+            self._take_address(expr.operand)
+            if isinstance(operand_type, ty.ArrayType):
+                expr.type = ty.PointerType(operand_type.element,
+                                           const=operand_type.const)
+            elif expr.operand.is_lvalue:
+                expr.type = ty.PointerType(operand_type)
+            else:
+                raise SemanticError("cannot take the address of an rvalue",
+                                    expr.location)
+            return expr
+        if expr.op == "*":
+            decayed = operand_type.decay()
+            if not isinstance(decayed, ty.PointerType):
+                raise SemanticError(f"cannot dereference {operand_type}",
+                                    expr.location)
+            if decayed.target.is_void:
+                raise SemanticError("cannot dereference void*", expr.location)
+            expr.type = decayed.target
+            expr.is_lvalue = not isinstance(decayed.target, ty.ArrayType)
+            return expr
+        if expr.op == "!":
+            self._require_scalar(expr.operand)
+            expr.type = ty.INT
+            return expr
+        if expr.op in ("+", "-"):
+            if not operand_type.is_arithmetic:
+                raise SemanticError(f"unary {expr.op} needs an arithmetic operand",
+                                    expr.location)
+            expr.type = ty.promote(operand_type)
+            expr.operand = self._convert(expr.operand, expr.type)
+            return expr
+        if expr.op == "~":
+            if not operand_type.is_integer:
+                raise SemanticError("~ needs an integer operand", expr.location)
+            expr.type = ty.promote(operand_type)
+            expr.operand = self._convert(expr.operand, expr.type)
+            return expr
+        raise SemanticError(f"unknown unary operator {expr.op!r}", expr.location)
+
+    def _take_address(self, operand: ast.Expr) -> None:
+        """Mark the root symbol of an lvalue path as address-taken."""
+        node = operand
+        while True:
+            if isinstance(node, ast.Ident) and node.symbol is not None:
+                node.symbol.address_taken = True
+                return
+            if isinstance(node, ast.Index):
+                node = node.base
+            elif isinstance(node, ast.Unary) and node.op == "*":
+                return  # address derives from a pointer value, not a symbol
+            elif isinstance(node, ast.Cast):
+                node = node.operand
+            else:
+                return
+
+    def _expr_IncDec(self, expr: ast.IncDec, scope: Scope) -> ast.Expr:
+        expr.operand = self._analyze_expr(expr.operand, scope)
+        if not expr.operand.is_lvalue:
+            raise SemanticError(f"{expr.op} needs an lvalue", expr.location)
+        operand_type = expr.operand.type
+        assert operand_type is not None
+        if not (operand_type.is_arithmetic or operand_type.is_pointer):
+            raise SemanticError(f"{expr.op} needs a scalar operand", expr.location)
+        self._mark_written(expr.operand)
+        expr.type = operand_type
+        return expr
+
+    def _expr_Binary(self, expr: ast.Binary, scope: Scope) -> ast.Expr:
+        expr.lhs = self._analyze_expr(expr.lhs, scope)
+        expr.rhs = self._analyze_expr(expr.rhs, scope)
+        lhs_type = expr.lhs.type.decay()  # type: ignore[union-attr]
+        rhs_type = expr.rhs.type.decay()  # type: ignore[union-attr]
+        op = expr.op
+        if op in LOGICAL_OPS:
+            self._require_scalar(expr.lhs)
+            self._require_scalar(expr.rhs)
+            expr.type = ty.INT
+            return expr
+        if op in COMPARE_OPS:
+            if lhs_type.is_arithmetic and rhs_type.is_arithmetic:
+                common = ty.usual_arithmetic(lhs_type, rhs_type)
+                expr.lhs = self._convert(expr.lhs, common)
+                expr.rhs = self._convert(expr.rhs, common)
+            elif ty.common_pointer(lhs_type, rhs_type) is not None:
+                pass
+            elif lhs_type.is_pointer and _is_null_literal(expr.rhs):
+                expr.rhs = self._convert(expr.rhs, lhs_type)
+            elif rhs_type.is_pointer and _is_null_literal(expr.lhs):
+                expr.lhs = self._convert(expr.lhs, rhs_type)
+            else:
+                raise SemanticError(
+                    f"invalid comparison between {lhs_type} and {rhs_type}",
+                    expr.location,
+                )
+            expr.type = ty.INT
+            return expr
+        if op in ("<<", ">>"):
+            if not (lhs_type.is_integer and rhs_type.is_integer):
+                raise SemanticError("shift operands must be integers",
+                                    expr.location)
+            expr.type = ty.promote(lhs_type)
+            expr.lhs = self._convert(expr.lhs, expr.type)
+            expr.rhs = self._convert(expr.rhs, ty.promote(rhs_type))
+            return expr
+        if op in ("+", "-"):
+            if lhs_type.is_pointer and rhs_type.is_integer:
+                expr.type = lhs_type
+                return expr
+            if op == "+" and lhs_type.is_integer and rhs_type.is_pointer:
+                expr.type = rhs_type
+                return expr
+            if op == "-" and lhs_type.is_pointer and rhs_type.is_pointer:
+                if ty.common_pointer(lhs_type, rhs_type) is None:
+                    raise SemanticError("subtracting incompatible pointers",
+                                        expr.location)
+                expr.type = ty.LONG
+                return expr
+        if op in ARITH_OPS:
+            if op in ("%", "&", "|", "^") and not (
+                lhs_type.is_integer and rhs_type.is_integer
+            ):
+                raise SemanticError(f"{op} operands must be integers",
+                                    expr.location)
+            if not (lhs_type.is_arithmetic and rhs_type.is_arithmetic):
+                raise SemanticError(
+                    f"invalid operands to {op}: {lhs_type}, {rhs_type}",
+                    expr.location,
+                )
+            common = ty.usual_arithmetic(lhs_type, rhs_type)
+            expr.lhs = self._convert(expr.lhs, common)
+            expr.rhs = self._convert(expr.rhs, common)
+            expr.type = common
+            return expr
+        raise SemanticError(f"unknown binary operator {op!r}", expr.location)
+
+    def _expr_Assign(self, expr: ast.Assign, scope: Scope) -> ast.Expr:
+        expr.target = self._analyze_expr(expr.target, scope)
+        expr.value = self._analyze_expr(expr.value, scope)
+        if not expr.target.is_lvalue:
+            raise SemanticError("assignment target is not an lvalue",
+                                expr.location)
+        target_type = expr.target.type
+        value_type = expr.value.type
+        assert target_type is not None and value_type is not None
+        if expr.op == "=":
+            if not ty.assignable(target_type, value_type):
+                if not _is_null_constant(expr.value, target_type):
+                    raise SemanticError(
+                        f"cannot assign {value_type} to {target_type}",
+                        expr.location,
+                    )
+            expr.value = self._convert(expr.value, target_type.decay())
+        else:
+            binary_op = expr.op[:-1]
+            if target_type.is_pointer and binary_op in ("+", "-"):
+                if not value_type.decay().is_integer:
+                    raise SemanticError("pointer increment must be an integer",
+                                        expr.location)
+            elif binary_op in ("%", "&", "|", "^", "<<", ">>"):
+                if not (target_type.is_integer and value_type.is_integer):
+                    raise SemanticError(
+                        f"{expr.op} operands must be integers", expr.location
+                    )
+            elif not (target_type.is_arithmetic and value_type.is_arithmetic):
+                raise SemanticError(
+                    f"invalid operands to {expr.op}: {target_type}, {value_type}",
+                    expr.location,
+                )
+        self._mark_written(expr.target)
+        expr.type = target_type
+        return expr
+
+    def _expr_Conditional(self, expr: ast.Conditional, scope: Scope) -> ast.Expr:
+        expr.cond = self._require_scalar(self._analyze_expr(expr.cond, scope))
+        expr.then = self._analyze_expr(expr.then, scope)
+        expr.otherwise = self._analyze_expr(expr.otherwise, scope)
+        then_type = expr.then.type.decay()  # type: ignore[union-attr]
+        else_type = expr.otherwise.type.decay()  # type: ignore[union-attr]
+        if then_type.is_arithmetic and else_type.is_arithmetic:
+            common = ty.usual_arithmetic(then_type, else_type)
+            expr.then = self._convert(expr.then, common)
+            expr.otherwise = self._convert(expr.otherwise, common)
+            expr.type = common
+        else:
+            common_ptr = ty.common_pointer(then_type, else_type)
+            if common_ptr is None:
+                raise SemanticError(
+                    f"incompatible conditional arms: {then_type}, {else_type}",
+                    expr.location,
+                )
+            expr.type = common_ptr
+        return expr
+
+    def _expr_Index(self, expr: ast.Index, scope: Scope) -> ast.Expr:
+        expr.base = self._analyze_expr(expr.base, scope)
+        expr.index = self._analyze_expr(expr.index, scope)
+        base_type = expr.base.type.decay()  # type: ignore[union-attr]
+        index_type = expr.index.type.decay()  # type: ignore[union-attr]
+        if not isinstance(base_type, ty.PointerType):
+            raise SemanticError(f"cannot index into {expr.base.type}",
+                                expr.location)
+        if not index_type.is_integer:
+            raise SemanticError("array index must be an integer", expr.location)
+        expr.type = base_type.target
+        expr.is_lvalue = not isinstance(base_type.target, ty.ArrayType)
+        return expr
+
+    def _expr_Call(self, expr: ast.Call, scope: Scope) -> ast.Expr:
+        if not isinstance(expr.callee, ast.Ident):
+            raise SemanticError("calls through pointers are not supported",
+                                expr.location)
+        expr.callee = self._analyze_expr(expr.callee, scope)
+        callee_type = expr.callee.type
+        if not isinstance(callee_type, ty.FuncType):
+            raise SemanticError(f"{expr.callee} is not a function", expr.location)
+        if len(expr.args) != len(callee_type.params):
+            raise SemanticError(
+                f"call passes {len(expr.args)} arguments, function takes "
+                f"{len(callee_type.params)}", expr.location,
+            )
+        new_args: list[ast.Expr] = []
+        for arg, param_type in zip(expr.args, callee_type.params):
+            arg = self._analyze_expr(arg, scope)
+            assert arg.type is not None
+            if not ty.assignable(param_type, arg.type):
+                if not _is_null_constant(arg, param_type):
+                    raise SemanticError(
+                        f"cannot pass {arg.type} as {param_type}", expr.location
+                    )
+            new_args.append(self._convert(arg, param_type))
+        expr.args = new_args
+        expr.type = callee_type.return_type
+        return expr
+
+    def _expr_Cast(self, expr: ast.Cast, scope: Scope) -> ast.Expr:
+        expr.operand = self._analyze_expr(expr.operand, scope)
+        operand_type = expr.operand.type.decay()  # type: ignore[union-attr]
+        target = expr.target_type
+        if target.is_void:
+            expr.type = ty.VOID
+            return expr
+        if not (target.is_scalar and operand_type.is_scalar):
+            raise SemanticError(
+                f"invalid cast from {operand_type} to {target}", expr.location
+            )
+        if operand_type.is_float and target.is_pointer:
+            raise SemanticError("cannot cast float to pointer", expr.location)
+        if operand_type.is_pointer and target.is_float:
+            raise SemanticError("cannot cast pointer to float", expr.location)
+        expr.type = target
+        return expr
+
+    def _expr_SizeOf(self, expr: ast.SizeOf, scope: Scope) -> ast.Expr:
+        if isinstance(expr.target, ast.Expr):
+            analyzed = self._analyze_expr(expr.target, scope)
+            assert analyzed.type is not None
+            size = analyzed.type.size
+        else:
+            size = expr.target.size
+        lit = ast.IntLit(size, expr.location)
+        lit.type = ty.ULONG
+        return lit
+
+    def _expr_Comma(self, expr: ast.Comma, scope: Scope) -> ast.Expr:
+        expr.lhs = self._analyze_expr(expr.lhs, scope)
+        expr.rhs = self._analyze_expr(expr.rhs, scope)
+        expr.type = expr.rhs.type
+        return expr
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    def _require_scalar(self, expr: ast.Expr) -> ast.Expr:
+        decayed = expr.type.decay()  # type: ignore[union-attr]
+        if not decayed.is_scalar:
+            raise SemanticError(f"expected a scalar, found {expr.type}",
+                                expr.location)
+        return expr
+
+    def _convert(self, expr: ast.Expr, target: ty.Type) -> ast.Expr:
+        """Insert an implicit cast if the expression's type differs."""
+        source = expr.type
+        assert source is not None
+        if source == target:
+            return expr
+        if isinstance(source, ty.ArrayType) and isinstance(target, ty.PointerType):
+            return expr  # decay is handled during lowering
+        cast = ast.Cast(target, expr, expr.location, implicit=True)
+        cast.type = target
+        return cast
+
+    def _mark_written(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.Ident) and target.symbol is not None:
+            target.symbol.is_written = True
+
+
+def _is_null_literal(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.IntLit) and expr.value == 0
+
+
+def _is_null_constant(expr: ast.Expr, target: ty.Type) -> bool:
+    return target.is_pointer and _is_null_literal(expr)
+
+
+def fold_const(expr: ast.Expr) -> int | float | None:
+    """Evaluate a constant expression, or return None if not constant.
+
+    Supports the operators that appear in initializers: literals, unary
+    ``+ - ~ !``, binary arithmetic/bitwise/shift operators, and casts.
+    """
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.Cast):
+        inner = fold_const(expr.operand)
+        if inner is None:
+            return None
+        target = expr.target_type
+        if isinstance(target, ty.IntType):
+            return target.wrap(int(inner))
+        if isinstance(target, ty.FloatType):
+            return float(inner)
+        return None
+    if isinstance(expr, ast.Unary):
+        inner = fold_const(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "+":
+            return inner
+        if expr.op == "~" and isinstance(inner, int):
+            return ~inner
+        if expr.op == "!":
+            return 0 if inner else 1
+        return None
+    if isinstance(expr, ast.Binary):
+        lhs = fold_const(expr.lhs)
+        rhs = fold_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return _fold_binary(expr.op, lhs, rhs)
+        except (ZeroDivisionError, TypeError):
+            return None
+    return None
+
+
+def _fold_binary(op: str, lhs: int | float, rhs: int | float):
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            quotient = abs(lhs) // abs(rhs)
+            return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+        return lhs / rhs
+    if op == "%":
+        remainder = abs(lhs) % abs(rhs)
+        return remainder if lhs >= 0 else -remainder
+    if op == "<<":
+        return lhs << rhs
+    if op == ">>":
+        return lhs >> rhs
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise TypeError(f"cannot fold {op}")
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Run semantic analysis on a parsed program (mutates and returns it)."""
+    return Analyzer(program).run()

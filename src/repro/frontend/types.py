@@ -1,0 +1,255 @@
+"""The MiniC type system.
+
+Types are immutable and interned where convenient; equality is structural.
+The usual C rules the compiler relies on are implemented here: integer
+promotion, the usual arithmetic conversions, array-to-pointer decay, and
+assignment compatibility. Sizes follow an LP64 model (pointers are 8 bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+POINTER_SIZE = 8
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    size: int
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_integer or self.is_float
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arithmetic or self.is_pointer
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay; other types are unchanged."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element, const=self.const)
+        return self
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The ``void`` type; only valid as a return type or pointer target."""
+
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """An integer type of a given byte width and signedness."""
+
+    size: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported integer size {self.size}")
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` modulo 2**bits into this type's range."""
+        value &= (1 << self.bits) - 1
+        if self.signed and value >= 1 << (self.bits - 1):
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:
+        names = {1: "char", 2: "short", 4: "int", 8: "long"}
+        base = names[self.size]
+        return base if self.signed else f"unsigned {base}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """``float`` (4 bytes) or ``double`` (8 bytes)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size not in (4, 8):
+            raise ValueError(f"unsupported float size {self.size}")
+
+    def __str__(self) -> str:
+        return "float" if self.size == 4 else "double"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer to ``target``; ``const`` means the *pointee* is const."""
+
+    target: Type
+    const: bool = False
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return POINTER_SIZE
+
+    def __str__(self) -> str:
+        const = "const " if self.const else ""
+        return f"{const}{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A one-dimensional array; ``length`` is None for unsized declarations."""
+
+    element: Type
+    length: int | None
+    const: bool = False
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        if self.length is None:
+            return 0
+        return self.element.size * self.length
+
+    def __str__(self) -> str:
+        const = "const " if self.const else ""
+        length = "" if self.length is None else str(self.length)
+        return f"{const}{self.element}[{length}]"
+
+
+@dataclass(frozen=True)
+class FuncType(Type):
+    """A function signature."""
+
+    return_type: Type
+    params: tuple[Type, ...]
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return POINTER_SIZE
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.return_type}({params})"
+
+
+VOID = VoidType()
+CHAR = IntType(1, signed=True)
+UCHAR = IntType(1, signed=False)
+SHORT = IntType(2, signed=True)
+USHORT = IntType(2, signed=False)
+INT = IntType(4, signed=True)
+UINT = IntType(4, signed=False)
+LONG = IntType(8, signed=True)
+ULONG = IntType(8, signed=False)
+FLOAT = FloatType(4)
+DOUBLE = FloatType(8)
+BOOL = INT  # comparison results have type int, as in C
+
+
+def promote(ty: Type) -> Type:
+    """Integer promotion: types narrower than int promote to int."""
+    if isinstance(ty, IntType) and ty.size < 4:
+        return INT
+    return ty
+
+
+def usual_arithmetic(lhs: Type, rhs: Type) -> Type:
+    """The usual arithmetic conversions for a binary operator.
+
+    Returns the common type both operands convert to. Raises ``TypeError``
+    for non-arithmetic inputs; callers handle pointer arithmetic separately.
+    """
+    if not (lhs.is_arithmetic and rhs.is_arithmetic):
+        raise TypeError(f"non-arithmetic operands: {lhs}, {rhs}")
+    if lhs.is_float or rhs.is_float:
+        sizes = [t.size for t in (lhs, rhs) if isinstance(t, FloatType)]
+        return DOUBLE if max(sizes) == 8 else FLOAT
+    left = promote(lhs)
+    right = promote(rhs)
+    assert isinstance(left, IntType) and isinstance(right, IntType)
+    if left == right:
+        return left
+    if left.signed == right.signed:
+        return left if left.size >= right.size else right
+    unsigned, signed = (left, right) if not left.signed else (right, left)
+    if unsigned.size >= signed.size:
+        return unsigned
+    return signed
+
+
+def assignable(target: Type, source: Type) -> bool:
+    """May a value of ``source`` type be assigned to an lvalue of ``target``?
+
+    MiniC follows C's rules with one simplification: any arithmetic type
+    converts to any other, any pointer converts to a pointer of the same
+    target type or to/from ``void*``; integer literals convert to pointers
+    only via an explicit cast (checked by the caller for the 0 case).
+    """
+    source = source.decay()
+    if target.is_arithmetic and source.is_arithmetic:
+        return True
+    if isinstance(target, PointerType) and isinstance(source, PointerType):
+        if target.target == source.target:
+            return True
+        if target.target.is_void or source.target.is_void:
+            return True
+        # Allow dropping const on the pointee (warning-level in C).
+        return _same_ignoring_const(target.target, source.target)
+    return target == source
+
+
+def _same_ignoring_const(a: Type, b: Type) -> bool:
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return _same_ignoring_const(a.target, b.target)
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        return a.length == b.length and _same_ignoring_const(a.element, b.element)
+    return a == b
+
+
+def common_pointer(lhs: Type, rhs: Type) -> Type | None:
+    """The common type of two pointers for comparison, or None."""
+    lhs, rhs = lhs.decay(), rhs.decay()
+    if isinstance(lhs, PointerType) and isinstance(rhs, PointerType):
+        if lhs.target == rhs.target or rhs.target.is_void:
+            return lhs
+        if lhs.target.is_void:
+            return rhs
+    return None
+
+
+def format_types(types: Sequence[Type]) -> str:
+    return ", ".join(str(t) for t in types)

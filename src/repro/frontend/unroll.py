@@ -1,0 +1,285 @@
+"""Loop unrolling (one of the scalar optimizations CASH runs, §7.1).
+
+Full unrolling of counted ``for`` loops whose bounds and step are literal
+constants. Unrolling feeds the memory optimizations: after it, the loop
+counter is re-assigned a literal before each body copy, the Pegasus builder
+propagates those constants into the address expressions, and symbolic
+disambiguation (§4.3) plus the redundancy eliminations (§5) act across
+what used to be separate iterations.
+
+The transformation is deliberately conservative; a loop unrolls only when:
+
+- init is ``i = C0``, condition ``i < C1`` / ``i <= C1`` / ``i != C1``,
+  step ``i++`` / ``i += C2`` / ``i = i + C2`` (all constants literal);
+- the body never writes the counter, never takes its address, declares no
+  variables (copies would collide), and contains no break/continue/return;
+- the trip count is positive and at most ``limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ast
+
+
+@dataclass
+class UnrollStats:
+    unrolled: int = 0
+    copies: int = 0
+
+
+def unroll_program(program: ast.Program, limit: int) -> UnrollStats:
+    """Fully unroll eligible constant-trip loops, in place (inside-out)."""
+    stats = UnrollStats()
+    if limit < 2:
+        return stats
+    for func in program.functions:
+        _transform(func.body, limit, stats)
+    return stats
+
+
+def _transform(stmt: ast.Stmt, limit: int, stats: UnrollStats) -> ast.Stmt:
+    """Rewrite ``stmt`` bottom-up, replacing unrollable loops by blocks."""
+    if isinstance(stmt, ast.Block):
+        stmt.stmts = [_transform(s, limit, stats) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.then = _transform(stmt.then, limit, stats)
+        if stmt.otherwise is not None:
+            stmt.otherwise = _transform(stmt.otherwise, limit, stats)
+        return stmt
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        stmt.body = _transform(stmt.body, limit, stats)
+        return stmt
+    if isinstance(stmt, ast.For):
+        stmt.body = _transform(stmt.body, limit, stats)
+        replacement = _try_unroll(stmt, limit, stats)
+        return replacement if replacement is not None else stmt
+    return stmt
+
+
+def _try_unroll(stmt: ast.Stmt, limit: int,
+                stats: UnrollStats) -> ast.Stmt | None:
+    if not isinstance(stmt, ast.For):
+        return None
+    plan = _analyze(stmt)
+    if plan is None:
+        return None
+    counter, values = plan
+    if not 2 <= len(values) <= limit:
+        return None
+    stmts: list[ast.Stmt] = []
+    for value in values:
+        stmts.append(_assign_counter(counter, value, stmt))
+        stmts.append(stmt.body)
+    # Leave the counter with its exit value, as the loop would have.
+    stmts.append(_assign_counter(counter, values[-1] + _step_of(stmt), stmt))
+    stats.unrolled += 1
+    stats.copies += len(values)
+    return ast.Block(stmts, stmt.location)
+
+
+def _assign_counter(counter: ast.Symbol, value: int, stmt: ast.For) -> ast.Stmt:
+    target = ast.Ident(counter.name, stmt.location)
+    target.symbol = counter
+    target.type = counter.type
+    target.is_lvalue = True
+    literal = ast.IntLit(value, stmt.location)
+    literal.type = counter.type
+    assign = ast.Assign("=", target, literal, stmt.location)
+    assign.type = counter.type
+    return ast.ExprStmt(assign, stmt.location)
+
+
+# ---------------------------------------------------------------------------
+# Eligibility analysis
+
+
+def _analyze(stmt: ast.For):
+    counter_init = _counter_init(stmt.init)
+    if counter_init is None:
+        return None
+    counter, start = counter_init
+    step = _step(stmt.step, counter)
+    if step is None or step == 0:
+        return None
+    bound = _bound(stmt.cond, counter)
+    if bound is None:
+        return None
+    op, end = bound
+    values = _trip_values(start, step, op, end)
+    if values is None:
+        return None
+    if not _body_allows_unrolling(stmt.body, counter):
+        return None
+    return counter, values
+
+
+def _counter_init(init: ast.Stmt | None):
+    if isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assign):
+        assign = init.expr
+        if assign.op == "=" and isinstance(assign.target, ast.Ident):
+            value = _literal(assign.value)
+            symbol = assign.target.symbol
+            if value is not None and symbol is not None \
+                    and symbol.type.is_integer and not symbol.address_taken:
+                return symbol, value
+    if isinstance(init, ast.DeclStmt):
+        value = _literal(init.init)
+        symbol = init.symbol
+        if value is not None and symbol.type.is_integer \
+                and not symbol.address_taken:
+            return symbol, value
+    return None
+
+
+def _step(step: ast.Expr | None, counter: ast.Symbol) -> int | None:
+    if isinstance(step, ast.IncDec) and _is_counter(step.operand, counter):
+        return 1 if step.op == "++" else -1
+    if isinstance(step, ast.Assign) and _is_counter(step.target, counter):
+        if step.op in ("+=", "-="):
+            value = _literal(step.value)
+            if value is not None:
+                return value if step.op == "+=" else -value
+        if step.op == "=" and isinstance(step.value, ast.Binary):
+            binary = step.value
+            if binary.op == "+" and _is_counter(binary.lhs, counter):
+                return _literal(binary.rhs)
+    return None
+
+
+def _bound(cond: ast.Expr | None, counter: ast.Symbol):
+    if isinstance(cond, ast.Binary) and _is_counter(cond.lhs, counter):
+        end = _literal(cond.rhs)
+        if end is not None and cond.op in ("<", "<=", ">", ">=", "!="):
+            return cond.op, end
+    return None
+
+
+def _trip_values(start: int, step: int, op: str, end: int) -> list[int] | None:
+    values: list[int] = []
+    current = start
+    for _ in range(1025):  # hard cap against degenerate inputs
+        if op == "<" and not current < end:
+            return values
+        if op == "<=" and not current <= end:
+            return values
+        if op == ">" and not current > end:
+            return values
+        if op == ">=" and not current >= end:
+            return values
+        if op == "!=" and current == end:
+            return values
+        values.append(current)
+        current += step
+    return None
+
+
+def _literal(expr: ast.Expr | None) -> int | None:
+    while isinstance(expr, ast.Cast):
+        expr = expr.operand
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _literal(expr.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _is_counter(expr: ast.Expr, counter: ast.Symbol) -> bool:
+    while isinstance(expr, ast.Cast):
+        expr = expr.operand
+    return isinstance(expr, ast.Ident) and expr.symbol is counter
+
+
+def _step_of(stmt: ast.For) -> int:
+    plan_counter = _counter_init(stmt.init)
+    assert plan_counter is not None
+    return _step(stmt.step, plan_counter[0]) or 0
+
+
+# ---------------------------------------------------------------------------
+# Body restrictions
+
+
+def _body_allows_unrolling(body: ast.Stmt, counter: ast.Symbol) -> bool:
+    checker = _BodyChecker(counter)
+    checker.visit_stmt(body)
+    return checker.ok
+
+
+class _BodyChecker:
+    def __init__(self, counter: ast.Symbol):
+        self.counter = counter
+        self.ok = True
+
+    def visit_stmt(self, stmt: ast.Stmt) -> None:
+        if not self.ok:
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+            self.ok = False
+        elif isinstance(stmt, ast.DeclStmt):
+            # Re-declaring per body copy is fine post-sema: lowering gives
+            # each copy its own register, and memory-resident locals refer
+            # to the same object, exactly as loop iterations would.
+            if stmt.init is not None:
+                self.visit_expr(stmt.init)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    self.visit_expr(decl.init)
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self.visit_stmt(inner)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.visit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.visit_expr(stmt.cond)
+            self.visit_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.visit_stmt(stmt.otherwise)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self.ok = False  # nested unbounded loops: keep it simple
+        elif isinstance(stmt, ast.For):
+            self.ok = False  # inner loops are unrolled on their own pass
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:
+            self.ok = False
+
+    def visit_expr(self, expr: ast.Expr) -> None:
+        if not self.ok:
+            return
+        if isinstance(expr, ast.Assign):
+            if _is_counter(expr.target, self.counter):
+                self.ok = False
+            self.visit_expr(expr.target)
+            self.visit_expr(expr.value)
+        elif isinstance(expr, ast.IncDec):
+            if _is_counter(expr.operand, self.counter):
+                self.ok = False
+            self.visit_expr(expr.operand)
+        elif isinstance(expr, ast.Unary):
+            if expr.op == "&" and _is_counter(expr.operand, self.counter):
+                self.ok = False
+            self.visit_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            self.visit_expr(expr.lhs)
+            self.visit_expr(expr.rhs)
+        elif isinstance(expr, ast.Conditional):
+            self.visit_expr(expr.cond)
+            self.visit_expr(expr.then)
+            self.visit_expr(expr.otherwise)
+        elif isinstance(expr, ast.Index):
+            self.visit_expr(expr.base)
+            self.visit_expr(expr.index)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self.visit_expr(arg)
+        elif isinstance(expr, (ast.Cast, ast.Comma)):
+            children = ([expr.operand] if isinstance(expr, ast.Cast)
+                        else [expr.lhs, expr.rhs])
+            for child in children:
+                self.visit_expr(child)
+        # Literals and identifiers are fine.

@@ -1,0 +1,47 @@
+"""Compilation cache shared by the experiment drivers.
+
+Compiling a kernel at a given optimization level is deterministic; the
+drivers for different figures reuse one compilation per (kernel, level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import CompiledProgram, compile_minic
+from repro.programs import Kernel, all_kernels, get_kernel
+
+_CACHE: dict[tuple[str, str], CompiledProgram] = {}
+
+# A default subset keeps figure regeneration affordable; pass
+# ``kernels="all"`` to a driver for the full suite.
+DEFAULT_SUBSET = (
+    "adpcm_e", "adpcm_d", "compress", "ijpeg", "jpeg_e", "jpeg_d",
+    "li", "mesa", "mpeg2_d", "vortex",
+)
+
+
+@dataclass
+class KernelCompilation:
+    kernel: Kernel
+    program: CompiledProgram
+    level: str
+
+
+def compiled(name: str, level: str) -> KernelCompilation:
+    """Compile (or fetch) one kernel at one optimization level."""
+    kernel = get_kernel(name)
+    key = (name, level)
+    if key not in _CACHE:
+        _CACHE[key] = compile_minic(kernel.source, kernel.entry,
+                                    opt_level=level)
+    return KernelCompilation(kernel=kernel, program=_CACHE[key], level=level)
+
+
+def select_kernels(kernels) -> list[Kernel]:
+    """Resolve a kernel selection: None = default subset, "all", or names."""
+    if kernels is None:
+        return [get_kernel(name) for name in DEFAULT_SUBSET]
+    if kernels == "all":
+        return all_kernels()
+    return [get_kernel(name) for name in kernels]

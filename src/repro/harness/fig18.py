@@ -1,0 +1,89 @@
+"""Figure 18 — memory operations removed by the optimizations.
+
+The paper plots, per benchmark, the percentage of *static* loads and
+stores removed (line graphs; up to ~28% of loads and ~8% of stores) and
+the reduction of *dynamic* memory references (bars). We regenerate both
+series by compiling each kernel unoptimized and fully optimized, counting
+load/store nodes statically, and counting executed memory accesses in the
+dataflow simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.cache import compiled, select_kernels
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Fig18Row:
+    name: str
+    static_loads_before: int
+    static_loads_after: int
+    static_stores_before: int
+    static_stores_after: int
+    dynamic_before: int
+    dynamic_after: int
+
+    @property
+    def static_loads_removed_pct(self) -> float:
+        return _pct(self.static_loads_before, self.static_loads_after)
+
+    @property
+    def static_stores_removed_pct(self) -> float:
+        return _pct(self.static_stores_before, self.static_stores_after)
+
+    @property
+    def dynamic_removed_pct(self) -> float:
+        return _pct(self.dynamic_before, self.dynamic_after)
+
+
+def _pct(before: int, after: int) -> float:
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def figure18(kernels=None) -> list[Fig18Row]:
+    rows = []
+    for kernel in select_kernels(kernels):
+        base = compiled(kernel.name, "none")
+        opt = compiled(kernel.name, "full")
+        base_counts = base.program.static_counts()
+        opt_counts = opt.program.static_counts()
+        base_run = base.program.simulate(list(kernel.args))
+        opt_run = opt.program.simulate(list(kernel.args))
+        kernel.check(base_run.return_value)
+        kernel.check(opt_run.return_value)
+        rows.append(Fig18Row(
+            name=kernel.name,
+            static_loads_before=base_counts["loads"],
+            static_loads_after=opt_counts["loads"],
+            static_stores_before=base_counts["stores"],
+            static_stores_after=opt_counts["stores"],
+            dynamic_before=base_run.memory_operations,
+            dynamic_after=opt_run.memory_operations,
+        ))
+    return rows
+
+
+def render(kernels=None) -> str:
+    table = TextTable(
+        ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
+         "loads", "stores", "dyn before", "dyn after"],
+        title="Figure 18: static and dynamic memory operations removed "
+              "(full vs none)",
+    )
+    for row in figure18(kernels):
+        table.add_row(
+            row.name,
+            f"{row.static_loads_removed_pct:.1f}",
+            f"{row.static_stores_removed_pct:.1f}",
+            f"{row.dynamic_removed_pct:.1f}",
+            f"{row.static_loads_before}->{row.static_loads_after}",
+            f"{row.static_stores_before}->{row.static_stores_after}",
+            row.dynamic_before,
+            row.dynamic_after,
+        )
+    return table.render()

@@ -1,0 +1,68 @@
+"""The §2 motivating example: seven compilers, one function.
+
+The paper compiles ``f`` with gcc, Sun WorkShop, DEC CC, MIPSpro, SGI ORC,
+IBM AIX cc, and CASH; only CASH and the AIX compiler remove all three
+useless accesses to the temporary ``a[i]`` (two stores and one load). We
+can't rerun 2003-era commercial compilers, so the comparison is restated
+as: the unoptimized graph carries the accesses a conventional compiler
+retains; the full pipeline removes exactly the paper's two stores and one
+load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import compile_minic
+from repro.utils.tables import TextTable
+
+SECTION2_SOURCE = """
+void f(unsigned *p, unsigned a[], int i)
+{
+    if (p) a[i] += *p;
+    else a[i] = 1;
+    a[i] <<= a[i+1];
+}
+"""
+
+
+@dataclass
+class Section2Result:
+    loads_before: int
+    loads_after: int
+    stores_before: int
+    stores_after: int
+
+    @property
+    def loads_removed(self) -> int:
+        return self.loads_before - self.loads_after
+
+    @property
+    def stores_removed(self) -> int:
+        return self.stores_before - self.stores_after
+
+
+def section2() -> Section2Result:
+    base = compile_minic(SECTION2_SOURCE, "f", opt_level="none")
+    full = compile_minic(SECTION2_SOURCE, "f", opt_level="full")
+    before = base.static_counts()
+    after = full.static_counts()
+    return Section2Result(
+        loads_before=before["loads"],
+        loads_after=after["loads"],
+        stores_before=before["stores"],
+        stores_after=after["stores"],
+    )
+
+
+def render() -> str:
+    result = section2()
+    table = TextTable(["Configuration", "loads", "stores"],
+                      title="Section 2 example: accesses to the temporary "
+                            "a[i] (paper: CASH removes 2 stores + 1 load)")
+    table.add_row("unoptimized (what most 2003 compilers retain)",
+                  result.loads_before, result.stores_before)
+    table.add_row("CASH-equivalent full pipeline",
+                  result.loads_after, result.stores_after)
+    table.add_row("removed", result.loads_removed, result.stores_removed)
+    return table.render()

@@ -1,0 +1,21 @@
+"""§6 — pipelining loops with fine-grained synchronization.
+
+Three transformations, each replacing a loop's per-class token circuit
+(which serializes iterations) with structures that let iterations overlap:
+
+- :mod:`readonly` (§6.1): classes only read in the loop split into a token
+  *generator* loop and a *collector* loop, so reads from many iterations
+  issue simultaneously;
+- :mod:`monotone` (§6.2): classes whose accesses advance strictly
+  monotonically (Wolfe-style induction analysis) get the same treatment —
+  no two iterations touch the same address;
+- :mod:`decoupling` (§6.3): accesses at a constant dependence distance
+  split into independent loops whose relative slip is bounded dynamically
+  by a **token generator** ``tk(n)``.
+"""
+
+from repro.looppipe.readonly import ReadOnlySplit
+from repro.looppipe.monotone import MonotonePipelining
+from repro.looppipe.decoupling import LoopDecoupling
+
+__all__ = ["ReadOnlySplit", "MonotonePipelining", "LoopDecoupling"]

@@ -1,0 +1,206 @@
+"""Shared machinery for the §6 loop-pipelining transformations.
+
+Each transformation operates on one (loop hyperblock, location class) pair
+and rebuilds the class's token circuit from three standard pieces:
+
+- a **generator** loop: a token merge whose back edge circulates the token
+  immediately (gated only by the loop predicate), so operation issue is
+  decoupled from operation completion;
+- a **collector** loop: a token merge accumulating, per iteration, the
+  previous accumulation plus the iteration's operation tokens — the loop's
+  exit waits for the accumulated token, so termination still means "all
+  side effects of all iterations have occurred" (§6.1);
+- optionally a **token generator** ``tk(n)`` bounding slip (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opt.context import OptContext
+from repro.pegasus.graph import OutPort
+from repro.pegasus import nodes as N
+from repro.pegasus.tokens import TokenRelation, combine_ports
+
+
+@dataclass
+class ClassCircuit:
+    """The token circuit of one class through one loop hyperblock."""
+
+    class_id: int
+    boundary_merge: N.MergeNode
+    entry_port: OutPort          # the eta output entering the loop
+    back_etas: list[N.EtaNode]   # etas feeding the merge's back inputs
+    exit_etas: list[N.EtaNode]   # etas leaving the loop for this class
+
+
+def find_class_circuit(ctx: OptContext, hb_id: int,
+                       class_id: int) -> ClassCircuit | None:
+    """Locate the merge/eta token circuit of ``class_id`` around a loop."""
+    relation = ctx.relations[hb_id]
+    boundary = relation.boundary.get(class_id)
+    if boundary is None or not isinstance(boundary.node, N.MergeNode):
+        return None
+    merge = boundary.node
+    if merge.hyperblock != hb_id or not merge.back_inputs:
+        return None
+    forward_slots = merge.entry_slots()
+    if len(forward_slots) != 1:
+        return None
+    entry_port = merge.inputs[forward_slots[0]]
+    if entry_port is None:
+        return None
+    back_etas = []
+    for slot in sorted(merge.back_inputs):
+        port = merge.inputs[slot]
+        if port is None or not isinstance(port.node, N.EtaNode):
+            return None
+        back_etas.append(port.node)
+    if len(back_etas) != 1:
+        return None  # multi-latch loops keep their serial circuit
+    exit_etas = [
+        node for node in ctx.graph.by_kind(N.EtaNode)
+        if node.hyperblock == hb_id and node.value_class == N.TOKEN
+        and node.location_class == class_id and node not in back_etas
+    ]
+    return ClassCircuit(class_id, merge, entry_port, back_etas, exit_etas)
+
+
+def class_ops(relation: TokenRelation, class_id: int) -> list[N.Node]:
+    return [op for op in relation.ops if class_id in relation.classes[op]]
+
+
+def loop_body_class_profile(ctx: OptContext, header_hb: int,
+                            class_id: int) -> tuple[int, int]:
+    """(op count, write count) of ``class_id`` in the loop body *outside*
+    the header hyperblock.
+
+    A multi-hyperblock loop body can touch the class in regions the header
+    circuit does not see; restructuring the header circuit while another
+    body region writes the class would break cross-iteration ordering.
+    """
+    partition = ctx.build.partition
+    header = partition.hyperblocks[header_hb]
+    loop = header.loop
+    if loop is None:
+        return 0, 0
+    ops = 0
+    writes = 0
+    for hb in partition.hyperblocks:
+        if hb.id == header_hb or hb.entry not in loop.blocks:
+            continue
+        relation = ctx.relations.get(hb.id)
+        if relation is None:
+            continue
+        for op in relation.ops:
+            if class_id in relation.classes[op]:
+                ops += 1
+                if relation.is_write[op]:
+                    writes += 1
+    return ops, writes
+
+
+def only_boundary_deps(relation: TokenRelation, ops: list[N.Node],
+                       class_id: int) -> bool:
+    """Are the class's ops synchronized only with the iteration boundary?
+
+    Intra-iteration token edges between the class's own ops would make the
+    generator transform unsound (it removes nothing but the cross-iteration
+    order); edges to *other* classes' ops are fine — those stay in force.
+    """
+    class_set = set(id(op) for op in ops)
+    for op in ops:
+        for dep in relation.deps[op]:
+            if isinstance(dep, N.Node) and id(dep) in class_set:
+                return False
+    return True
+
+
+def install_generator_collector(ctx: OptContext, hb_id: int,
+                                circuit: ClassCircuit,
+                                issue_sources: dict[int, OutPort] | None = None) -> None:
+    """Replace a class's serializing circuit with generator + collector.
+
+    ``issue_sources`` optionally overrides, per op id, the port the op
+    draws its issue token from (used by loop decoupling to route one group
+    through a ``tk(n)``); ops not listed use the generator merge.
+    """
+    relation = ctx.relations[hb_id]
+    loop_pred = ctx.loop_predicates[hb_id]
+    graph = ctx.graph
+    ops = class_ops(relation, circuit.class_id)
+
+    # Generator loop: the token circulates gated only by the loop predicate.
+    generator = N.MergeNode(None, 2, hb_id, N.TOKEN)
+    generator.location_class = circuit.class_id
+    graph.add(generator)
+    generator_back = graph.add(N.EtaNode(None, generator.out(), loop_pred,
+                                         hb_id, N.TOKEN))
+    generator_back.location_class = circuit.class_id
+    graph.set_input(generator, 0, circuit.entry_port)
+    graph.set_input(generator, 1, generator_back.out())
+    generator.back_inputs.add(1)
+    generator.add_control(graph, loop_pred)
+
+    # Collector loop: accumulate previous iterations + this iteration's ops.
+    collector = N.MergeNode(None, 2, hb_id, N.TOKEN)
+    collector.location_class = circuit.class_id
+    graph.add(collector)
+    op_tokens = [_token_out(op) for op in ops]
+    accumulated = combine_ports(graph, [collector.out()] + op_tokens, hb_id)
+    assert accumulated is not None
+    collector_back = graph.add(N.EtaNode(None, accumulated, loop_pred,
+                                         hb_id, N.TOKEN))
+    collector_back.location_class = circuit.class_id
+    graph.set_input(collector, 0, circuit.entry_port)
+    graph.set_input(collector, 1, collector_back.out())
+    collector.back_inputs.add(1)
+    collector.add_control(graph, loop_pred)
+
+    # Rewrite op dependences: issue tokens now come from the generator (or
+    # a per-group source), not from the old boundary/frontier chain.
+    old_boundary = circuit.boundary_merge.out()
+    for op in ops:
+        source = (issue_sources or {}).get(op.id, generator.out())
+        relation.deps[op] = list(dict.fromkeys(
+            source if (isinstance(dep, OutPort) and dep == old_boundary) else dep
+            for dep in relation.deps[op]
+        ))
+    relation.boundary[circuit.class_id] = generator.out()
+    relation.pipelined.add(circuit.class_id)
+
+    # Exit etas wait for the accumulated token.
+    for eta in circuit.exit_etas:
+        graph.set_input(eta, 0, accumulated)
+
+    ctx.rewire_hyperblock(hb_id)
+
+    # The old serializing circuit is now disconnected: remove it.
+    _remove_circuit(ctx, circuit)
+    ctx.invalidate()
+
+
+def _token_out(op: N.Node) -> OutPort:
+    if isinstance(op, N.LoadNode):
+        return op.out(N.LoadNode.TOKEN_OUT)
+    assert isinstance(op, N.StoreNode)
+    return op.out(N.StoreNode.TOKEN_OUT)
+
+
+def _remove_circuit(ctx: OptContext, circuit: ClassCircuit) -> None:
+    graph = ctx.graph
+    merge = circuit.boundary_merge
+    # Anything still reading the old merge (stale combines) must be gone by
+    # now; sweep orphans first, then detach.
+    ctx.sweep_orphan_combines()
+    if graph.has_uses(merge.out()):
+        return  # conservatively keep the old circuit alive
+    for index in range(len(merge.inputs)):
+        graph.set_input(merge, index, None)
+    graph.remove(merge)
+    for eta in circuit.back_etas:
+        if not graph.has_uses(eta.out()):
+            for index in range(len(eta.inputs)):
+                graph.set_input(eta, index, None)
+            graph.remove(eta)
+    ctx.sweep_orphan_combines()

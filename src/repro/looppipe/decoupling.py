@@ -1,0 +1,132 @@
+"""§6.3 — loop decoupling with token generators.
+
+When dependence analysis shows two access groups at a fixed distance of
+``d`` iterations (Figure 15: ``a[i]`` and ``a[i+3]``, d = 3), the loop is
+"vertically" sliced: each group gets its own independent token loop and the
+groups may slip relative to each other. A **token generator** ``tk(d)``
+dynamically bounds the slip: the constrained group draws its per-iteration
+issue tokens from ``tk``, which holds ``d`` initial credits and gains one
+credit whenever the free group completes an iteration. The free group can
+run arbitrarily far ahead (extra credits accumulate in the counter); the
+constrained group can be at most ``d`` iterations ahead of the free one,
+so no dependence is ever violated (Figure 16).
+
+After decoupling, each slice touches strictly monotone addresses, which is
+exactly the §6.2 situation — the generator/collector structure built here
+is the Figure 17 result.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus.graph import OutPort
+from repro.pegasus import nodes as N
+from repro.pegasus.tokens import combine_ports
+from repro.looppipe.base import (
+    class_ops,
+    find_class_circuit,
+    install_generator_collector,
+    loop_body_class_profile,
+    only_boundary_deps,
+    _token_out,
+)
+
+
+class LoopDecoupling:
+    name = "loop-decoupling"
+
+    def run(self, ctx: OptContext) -> int:
+        transformed = 0
+        for hb_id, relation in ctx.relations.items():
+            if hb_id not in ctx.loop_predicates:
+                continue
+            induction = ctx.induction(hb_id)
+            for class_id in sorted(relation.boundary):
+                if class_id in relation.pipelined:
+                    continue
+                ops = class_ops(relation, class_id)
+                if len(ops) < 2:
+                    continue
+                if not only_boundary_deps(relation, ops, class_id):
+                    continue
+                other_ops, _ = loop_body_class_profile(ctx, hb_id, class_id)
+                if other_ops:
+                    continue  # the body touches the class outside the header
+                plan = self._plan(ctx, induction, relation, ops)
+                if plan is None:
+                    continue
+                circuit = find_class_circuit(ctx, hb_id, class_id)
+                if circuit is None:
+                    continue
+                self._apply(ctx, hb_id, circuit, plan)
+                transformed += 1
+                ctx.count("decoupling.classes")
+                ctx.count("decoupling.distance", plan[2])
+        if transformed:
+            ctx.invalidate()
+        return transformed
+
+    # ------------------------------------------------------------------
+
+    def _plan(self, ctx: OptContext, induction, relation, ops):
+        """Group the class's ops by offset; return (free, constrained, d).
+
+        Requirements: every op decomposes over one common IV with one pace
+        that clears every width; exactly two offset groups; the distance is
+        a positive whole number of iterations.
+        """
+        groups: dict[int, list[N.Node]] = {}
+        shared_iv = None
+        shared_terms = None
+        pace = None
+        for op in ops:
+            decomposition = induction.address_iv_form(ctx.addr_port(op))
+            if decomposition is None:
+                return None
+            iv, coeff, rest = decomposition
+            if shared_iv is None:
+                shared_iv, pace = iv, coeff * iv.step
+                shared_terms = rest.terms
+            elif iv.merge is not shared_iv.merge or coeff * iv.step != pace:
+                return None
+            elif rest.terms != shared_terms:
+                return None  # different bases: offsets are incomparable
+            if abs(pace) < op.width:  # type: ignore[attr-defined]
+                return None
+            groups.setdefault(rest.const, []).append(op)
+        if pace is None or len(groups) != 2:
+            return None
+        offsets = sorted(groups)
+        delta = offsets[1] - offsets[0]
+        if delta % pace != 0:
+            return None  # residues never meet: plain monotone handles it
+        distance = delta // pace
+        if distance == 0:
+            return None
+        # The group whose conflicting access happens in the *later*
+        # iteration is the constrained one.
+        if distance > 0:
+            free, constrained = groups[offsets[1]], groups[offsets[0]]
+        else:
+            free, constrained = groups[offsets[0]], groups[offsets[1]]
+            distance = -distance
+        # Groups must share object roots, else offsets aren't comparable.
+        return free, constrained, distance
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, ctx: OptContext, hb_id: int, circuit, plan) -> None:
+        free, constrained, distance = plan
+        graph = ctx.graph
+        loop_pred = ctx.loop_predicates[hb_id]
+
+        # Per-iteration completion token of the free group feeds tk(d).
+        free_tokens = [_token_out(op) for op in free]
+        free_done = combine_ports(graph, free_tokens, hb_id)
+        assert free_done is not None
+        generator = graph.add(N.TokenGenNode(distance, loop_pred, free_done,
+                                             hb_id))
+
+        issue_sources = {op.id: generator.out() for op in constrained}
+        install_generator_collector(ctx, hb_id, circuit,
+                                    issue_sources=issue_sources)

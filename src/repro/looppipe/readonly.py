@@ -1,0 +1,54 @@
+"""§6.1 — pipelining read-only accesses.
+
+If a memory object accessed in a loop appears in no write set, iterations
+need not serialize on it: the loop is split into a generator loop (tokens
+enabling the reads of all iterations), the reads themselves, and a
+collector loop (ensuring the loop terminates only when all reads of all
+iterations have occurred) — Figures 12→13.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.looppipe.base import (
+    class_ops,
+    find_class_circuit,
+    install_generator_collector,
+    loop_body_class_profile,
+    only_boundary_deps,
+)
+
+
+class ReadOnlySplit:
+    name = "readonly-split"
+
+    def run(self, ctx: OptContext) -> int:
+        transformed = 0
+        for hb_id, relation in ctx.relations.items():
+            if hb_id not in ctx.loop_predicates:
+                continue
+            for class_id in sorted(relation.boundary):
+                if class_id in relation.pipelined:
+                    continue
+                ops = class_ops(relation, class_id)
+                if not ops:
+                    continue
+                if any(relation.is_write[op] for op in ops):
+                    continue
+                if any(not isinstance(op, N.LoadNode) for op in ops):
+                    continue
+                if not only_boundary_deps(relation, ops, class_id):
+                    continue
+                # Reads elsewhere in a multi-hyperblock body are fine
+                # (reads always commute); writes are not.
+                _, other_writes = loop_body_class_profile(ctx, hb_id, class_id)
+                if other_writes:
+                    continue
+                circuit = find_class_circuit(ctx, hb_id, class_id)
+                if circuit is None:
+                    continue
+                install_generator_collector(ctx, hb_id, circuit)
+                transformed += 1
+                ctx.count("readonly-split.classes")
+        return transformed

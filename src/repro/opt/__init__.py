@@ -1,0 +1,12 @@
+"""Optimization passes over Pegasus graphs.
+
+The passes implement §4 (increasing memory parallelism), §5 (removing
+redundant memory accesses) and the scalar support passes the paper lists;
+the loop-pipelining transformations of §6 live in :mod:`repro.looppipe`.
+
+Entry point: :func:`repro.opt.passes.optimize`.
+"""
+
+from repro.opt.passes import optimize, PIPELINES
+
+__all__ = ["optimize", "PIPELINES"]

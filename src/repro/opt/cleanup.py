@@ -1,0 +1,60 @@
+"""Dead-node elimination (the scalar part of the paper's DCE).
+
+Removes, to a fixpoint, nodes whose outputs nothing consumes: pure
+arithmetic, muxes, constants, data etas and merges, and orphaned combines.
+Memory operations, returns, token generators and initial tokens are never
+removed here — predicated-false memory ops are the business of
+:mod:`repro.opt.dead_memops` (§4.1), which keeps the token relation in sync.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+
+_REMOVABLE = (N.BinOpNode, N.UnOpNode, N.CastNode, N.MuxNode, N.ConstNode,
+              N.SymbolAddrNode, N.ParamNode, N.CombineNode, N.EtaNode,
+              N.MergeNode)
+
+
+class Cleanup:
+    name = "cleanup"
+
+    def run(self, ctx: OptContext) -> int:
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in list(ctx.graph):
+                if not isinstance(node, _REMOVABLE):
+                    continue
+                if any(ctx.graph.has_uses(node.out(i))
+                       for i in range(node.num_outputs)):
+                    continue
+                if self._referenced_by_relations(ctx, node):
+                    continue
+                for index in range(len(node.inputs)):
+                    ctx.graph.set_input(node, index, None)
+                ctx.graph.remove(node)
+                removed += 1
+                changed = True
+        if removed:
+            ctx.invalidate()
+            ctx.count("cleanup.removed", removed)
+        return removed
+
+    @staticmethod
+    def _referenced_by_relations(ctx: OptContext, node: N.Node) -> bool:
+        """Is this node a relation boundary or dependence source?"""
+        for relation in ctx.relations.values():
+            for port in relation.boundary.values():
+                if port.node is node:
+                    return True
+            for deps in relation.deps.values():
+                for dep in deps:
+                    if dep is node or (hasattr(dep, "node") and dep.node is node):
+                        return True
+        for port in ctx.loop_predicates.values():
+            if port.node is node:
+                return True
+        return False

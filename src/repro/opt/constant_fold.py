@@ -1,0 +1,288 @@
+"""Constant folding, algebraic simplification, and control simplification.
+
+The scalar support pass the paper lists alongside the memory optimizations.
+Beyond arithmetic folding it performs the graph-shape simplifications the
+memory passes rely on:
+
+- mux arms with constant-false predicates are dropped; a single-armed mux
+  forwards its value (this is how a fully-dominated load disappears after
+  load-after-store forwarding, §5.3);
+- etas with constant-false predicates are deleted and their merge slots
+  shrunk; single-input merges become wires.
+
+Any port replacement goes through :meth:`OptContext.replace_value_uses`
+plus relation-reference fixup, so token bookkeeping stays consistent.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import types as ty
+from repro.opt.context import OptContext
+from repro.pegasus.graph import OutPort
+from repro.pegasus import nodes as N
+from repro.sim import ops as opsem
+
+
+def _power_of_two(value) -> int | None:
+    """log2(value) when value is a positive power of two, else None."""
+    if not isinstance(value, int) or value <= 0:
+        return None
+    if value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+class ConstantFold:
+    name = "constant-fold"
+
+    def run(self, ctx: OptContext) -> int:
+        total = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in list(ctx.graph):
+                if node not in ctx.graph:
+                    continue
+                if self._fold_node(ctx, node):
+                    total += 1
+                    changed = True
+        if total:
+            ctx.count("constant-fold.folded", total)
+        return total
+
+    # ------------------------------------------------------------------
+
+    def _fold_node(self, ctx: OptContext, node: N.Node) -> bool:
+        if isinstance(node, (N.BinOpNode, N.UnOpNode, N.CastNode)):
+            return self._fold_pure(ctx, node)
+        if isinstance(node, N.MuxNode):
+            return self._fold_mux(ctx, node)
+        if isinstance(node, N.EtaNode):
+            return self._fold_eta(ctx, node)
+        if isinstance(node, N.MergeNode):
+            return self._fold_merge(ctx, node)
+        return False
+
+    def _fold_pure(self, ctx: OptContext, node: N.Node) -> bool:
+        values = []
+        for port in node.inputs:
+            assert port is not None
+            if not isinstance(port.node, N.ConstNode):
+                values = None
+                break
+            values.append(port.node.value)
+        if values is not None:
+            if isinstance(node, N.BinOpNode):
+                result = opsem.eval_binop(node.op, node.type, *values)
+            elif isinstance(node, N.UnOpNode):
+                result = opsem.eval_unop(node.op, node.type, values[0])
+            else:
+                assert isinstance(node, N.CastNode)
+                result = opsem.eval_cast(values[0], node.from_type, node.to_type)
+            result_type = getattr(node, "type", None) or node.to_type  # type: ignore[attr-defined]
+            const = ctx.graph.add(N.ConstNode(result, result_type, node.hyperblock))
+            self._replace(ctx, node.out(), const.out())
+            return True
+        return self._fold_algebraic(ctx, node)
+
+    def _fold_algebraic(self, ctx: OptContext, node: N.Node) -> bool:
+        if not isinstance(node, N.BinOpNode):
+            if (isinstance(node, N.UnOpNode) and node.op == "lnot"):
+                inner = node.inputs[0]
+                assert inner is not None
+                if (isinstance(inner.node, N.UnOpNode)
+                        and inner.node.op == "lnot"):
+                    from repro.analysis.predicates import _is_boolean
+                    inner2 = inner.node.inputs[0]
+                    if inner2 is not None and _is_boolean(inner2):
+                        self._replace(ctx, node.out(), inner2)
+                        return True
+            return False
+        lhs, rhs = node.inputs
+        assert lhs is not None and rhs is not None
+        lc = lhs.node.value if isinstance(lhs.node, N.ConstNode) else None
+        rc = rhs.node.value if isinstance(rhs.node, N.ConstNode) else None
+        op = node.op
+        if op == "add":
+            if lc == 0:
+                return self._replace(ctx, node.out(), rhs)
+            if rc == 0:
+                return self._replace(ctx, node.out(), lhs)
+        elif op == "sub" and rc == 0:
+            return self._replace(ctx, node.out(), lhs)
+        elif op == "mul":
+            if lc == 1:
+                return self._replace(ctx, node.out(), rhs)
+            if rc == 1:
+                return self._replace(ctx, node.out(), lhs)
+            # Strength reduction (one of the paper's scalar passes): a
+            # multiply by a power of two is a shift — 1 cycle instead of 3.
+            shift = _power_of_two(rc if rc is not None else lc)
+            if (shift is not None and isinstance(node.type, ty.IntType)
+                    and shift < node.type.bits):
+                operand = lhs if rc is not None else rhs
+                count = ctx.graph.add(
+                    N.ConstNode(shift, node.type, node.hyperblock))
+                shl = ctx.graph.add(N.BinOpNode(
+                    "shl", node.type, operand, count.out(), node.hyperblock))
+                return self._replace(ctx, node.out(), shl.out())
+        elif op == "div" and isinstance(node.type, ty.IntType) \
+                and not node.type.signed:
+            # Unsigned division by a power of two is a logical shift.
+            shift = _power_of_two(rc)
+            if shift is not None and shift < node.type.bits:
+                count = ctx.graph.add(
+                    N.ConstNode(shift, node.type, node.hyperblock))
+                shr = ctx.graph.add(N.BinOpNode(
+                    "shr", node.type, lhs, count.out(), node.hyperblock))
+                return self._replace(ctx, node.out(), shr.out())
+        elif op == "rem" and isinstance(node.type, ty.IntType) \
+                and not node.type.signed:
+            shift = _power_of_two(rc)
+            if shift is not None and shift < node.type.bits:
+                mask = ctx.graph.add(N.ConstNode(
+                    (1 << shift) - 1, node.type, node.hyperblock))
+                masked = ctx.graph.add(N.BinOpNode(
+                    "and", node.type, lhs, mask.out(), node.hyperblock))
+                return self._replace(ctx, node.out(), masked.out())
+        elif op in ("shl", "shr") and rc == 0:
+            return self._replace(ctx, node.out(), lhs)
+        elif op in ("and", "or") and lhs == rhs:
+            return self._replace(ctx, node.out(), lhs)
+        elif op == "and":
+            # Only predicate-style (0/1) operands justify and-with-1 rules.
+            from repro.analysis.predicates import _is_boolean
+            if lc == 1 and _is_boolean(rhs):
+                return self._replace(ctx, node.out(), rhs)
+            if rc == 1 and _is_boolean(lhs):
+                return self._replace(ctx, node.out(), lhs)
+            if lc == 0 or rc == 0:
+                zero = ctx.graph.add(N.ConstNode(0, node.type, node.hyperblock))
+                return self._replace(ctx, node.out(), zero.out())
+        elif op == "or":
+            if lc == 0:
+                return self._replace(ctx, node.out(), rhs)
+            if rc == 0:
+                return self._replace(ctx, node.out(), lhs)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _fold_mux(self, ctx: OptContext, node: N.MuxNode) -> bool:
+        arms = [node.arm(i) for i in range(node.arms)]
+        live = []
+        for pred, value in arms:
+            assert pred is not None and value is not None
+            if isinstance(pred.node, N.ConstNode) and not pred.node.value:
+                continue
+            live.append((pred, value))
+        if len(live) == len(arms):
+            return False
+        if len(live) == 1:
+            # The remaining arm's predicate holds whenever the value is
+            # consumed; the mux is a wire.
+            return self._replace(ctx, node.out(), live[0][1])
+        if not live:
+            zero = ctx.graph.add(N.ConstNode(0, node.type, node.hyperblock))
+            return self._replace(ctx, node.out(), zero.out())
+        replacement = ctx.graph.add(N.MuxNode(live, node.type, node.hyperblock))
+        return self._replace(ctx, node.out(), replacement.out())
+
+    def _fold_eta(self, ctx: OptContext, node: N.EtaNode) -> bool:
+        pred = node.pred_input
+        if pred is None or not isinstance(pred.node, N.ConstNode):
+            return False
+        if pred.node.value:
+            return False  # always fires; still needed for instance gating
+        # Never fires: remove the slots it feeds in merges, then the eta.
+        if any(not isinstance(slot.node, N.MergeNode)
+               for slot in ctx.graph.uses(node.out())):
+            return False
+        while True:
+            consumers = ctx.graph.uses(node.out())
+            if not consumers:
+                break
+            slot = consumers[0]
+            assert isinstance(slot.node, N.MergeNode)
+            self._shrink_merge(ctx, slot.node, slot.index)
+        if not ctx.graph.has_uses(node.out()):
+            for index in range(len(node.inputs)):
+                ctx.graph.set_input(node, index, None)
+            ctx.graph.remove(node)
+            return True
+        return False
+
+    def _shrink_merge(self, ctx: OptContext, merge: N.MergeNode,
+                      drop_slot: int) -> None:
+        if drop_slot not in merge.value_slots():
+            return  # never drop the control slot
+        remaining = [
+            (index, merge.inputs[index]) for index in merge.value_slots()
+            if index != drop_slot
+        ]
+        replacement = N.MergeNode(merge.type, len(remaining), merge.hyperblock,
+                                  merge.value_class)
+        replacement.location_class = merge.location_class
+        ctx.graph.add(replacement)
+        for new_index, (old_index, port) in enumerate(remaining):
+            ctx.graph.set_input(replacement, new_index, port)
+            if old_index in merge.back_inputs:
+                replacement.back_inputs.add(new_index)
+        if merge.has_control and replacement.back_inputs:
+            control = merge.inputs[merge.control_slot]
+            assert control is not None
+            replacement.add_control(ctx.graph, control)
+        self._replace(ctx, merge.out(), replacement.out())
+        self._fold_merge(ctx, replacement)
+
+    def _fold_merge(self, ctx: OptContext, node: N.MergeNode) -> bool:
+        """A merge whose only remaining input is one entry is a wire.
+
+        This only applies once every back input is gone (the loop never
+        repeats); a leftover control input is dropped with the merge.
+        """
+        if node.back_inputs or len(node.value_slots()) != 1:
+            return False
+        only = node.inputs[0]
+        if only is None:
+            return False
+        if node.has_control:
+            control = node.inputs[node.control_slot]
+            if control is None or not isinstance(control.node, N.ConstNode):
+                return False
+            if control.node.value:
+                return False  # would expect back values that cannot come
+        return self._replace(ctx, node.out(), only)
+
+    # ------------------------------------------------------------------
+
+    def _replace(self, ctx: OptContext, old: OutPort, new: OutPort) -> bool:
+        ctx.graph.redirect_uses(old, new)
+        _fix_references(ctx, old, new)
+        # Remove the superseded producer right away — leaving it in place
+        # would make the folding fixpoint re-fold it forever.
+        node = old.node
+        if node in ctx.graph and not any(
+            ctx.graph.has_uses(node.out(i)) for i in range(node.num_outputs)
+        ):
+            for index in range(len(node.inputs)):
+                ctx.graph.set_input(node, index, None)
+            ctx.graph.remove(node)
+        ctx.invalidate()
+        return True
+
+
+def _fix_references(ctx: OptContext, old: OutPort, new: OutPort) -> None:
+    """Update relation boundaries/deps and loop predicates after a replace."""
+    for relation in ctx.relations.values():
+        for class_id, port in list(relation.boundary.items()):
+            if port == old:
+                relation.boundary[class_id] = new
+        for node, deps in relation.deps.items():
+            relation.deps[node] = [
+                new if (isinstance(dep, OutPort) and dep == old) else dep
+                for dep in deps
+            ]
+    for hb_id, port in list(ctx.loop_predicates.items()):
+        if port == old:
+            ctx.loop_predicates[hb_id] = new

@@ -1,0 +1,168 @@
+"""Shared state and plumbing for optimization passes.
+
+The token relation (per hyperblock) is the authoritative description of
+memory ordering; passes edit relations and the context re-synthesizes the
+concrete wiring — memory-op token inputs, exit-eta values, the return
+node's final combine — from them (:meth:`OptContext.rewire_hyperblock`).
+Unused combines left behind are swept by the cleanup pass.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError
+from repro.pegasus.builder import BuildResult
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+from repro.pegasus.tokens import TokenRelation, combine_ports, source_port, wire_tokens
+from repro.analysis.reachability import Reachability
+from repro.analysis.symbolic import AddressAnalysis
+from repro.analysis.induction import LoopInduction
+
+
+class OptContext:
+    """Everything a pass needs: graph, relations, analyses, statistics."""
+
+    def __init__(self, build: BuildResult):
+        self.build = build
+        self.graph: Graph = build.graph
+        self.relations: dict[int, TokenRelation] = build.relations
+        self.pointers = build.pointers
+        self.loop_predicates = build.loop_predicates
+        self.stats: dict[str, int] = {}
+        self._reachability: Reachability | None = None
+        self._addresses: AddressAnalysis | None = None
+        self._induction: dict[int, LoopInduction] = {}
+
+    # ------------------------------------------------------------------
+    # Lazy analyses (invalidated whenever the graph changes)
+
+    @property
+    def reachability(self) -> Reachability:
+        if self._reachability is None:
+            self._reachability = Reachability(self.graph)
+        return self._reachability
+
+    @property
+    def addresses(self) -> AddressAnalysis:
+        if self._addresses is None:
+            self._addresses = AddressAnalysis()
+        return self._addresses
+
+    def induction(self, hyperblock: int) -> LoopInduction:
+        if hyperblock not in self._induction:
+            self._induction[hyperblock] = LoopInduction(
+                self.graph, hyperblock, self.addresses
+            )
+        return self._induction[hyperblock]
+
+    def invalidate(self) -> None:
+        self._reachability = None
+        self._addresses = None
+        self._induction.clear()
+
+    def count(self, what: str, amount: int = 1) -> None:
+        self.stats[what] = self.stats.get(what, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Memory-op accessors
+
+    @staticmethod
+    def addr_port(node: N.Node) -> OutPort:
+        slot = N.LoadNode.ADDR if isinstance(node, N.LoadNode) else N.StoreNode.ADDR
+        port = node.inputs[slot]
+        assert port is not None
+        return port
+
+    @staticmethod
+    def pred_port(node: N.Node) -> OutPort:
+        slot = (N.LoadNode.PRED_IN if isinstance(node, N.LoadNode)
+                else N.StoreNode.PRED_IN)
+        port = node.inputs[slot]
+        assert port is not None
+        return port
+
+    @staticmethod
+    def store_value_port(node: N.StoreNode) -> OutPort:
+        port = node.inputs[N.StoreNode.VALUE_IN]
+        assert port is not None
+        return port
+
+    # ------------------------------------------------------------------
+    # Relation <-> wiring synchronization
+
+    def rewire_hyperblock(self, hyperblock: int) -> None:
+        """Re-synthesize token wiring of one hyperblock from its relation."""
+        relation = self.relations.get(hyperblock)
+        if relation is None:
+            return
+        wire_tokens(self.graph, relation, hyperblock)
+        frontiers: dict[int, OutPort | None] = {}
+        for class_id in relation.boundary:
+            if class_id in relation.pipelined:
+                continue  # §6 transformed this class's exit wiring
+            ports = [source_port(s) for s in relation.exit_frontier(class_id)]
+            frontiers[class_id] = combine_ports(self.graph, ports, hyperblock)
+        for node in self.graph.by_kind(N.EtaNode):
+            if (node.hyperblock == hyperblock and node.value_class == N.TOKEN
+                    and node.location_class is not None
+                    and node.location_class in frontiers):
+                self.graph.set_input(node, 0, frontiers[node.location_class])
+        return_node = self.graph.return_node
+        if return_node is not None and return_node.hyperblock == hyperblock:
+            ports = [p for p in frontiers.values() if p is not None]
+            token = combine_ports(self.graph, ports, hyperblock)
+            if token is not None:
+                self.graph.set_input(return_node, len(return_node.inputs) - 1,
+                                     token)
+        self.sweep_orphan_combines()
+        self.invalidate()
+
+    def sweep_orphan_combines(self) -> None:
+        """Remove combine nodes whose output nothing consumes."""
+        changed = True
+        while changed:
+            changed = False
+            for node in self.graph.by_kind(N.CombineNode):
+                if not self.graph.has_uses(node.out(0)):
+                    for index in range(len(node.inputs)):
+                        self.graph.set_input(node, index, None)
+                    self.graph.remove(node)
+                    changed = True
+
+    def remove_memop(self, node: N.Node) -> None:
+        """Drop a load/store: relation closure is preserved, wiring redone."""
+        relation = self.relations.get(node.hyperblock)
+        if relation is None or node not in relation.deps:
+            raise OptimizationError(f"{node!r} is not in its relation")
+        relation.drop_op(node)
+        relation.reduce()
+        self.rewire_hyperblock(node.hyperblock)
+        # After rewiring, nothing should consume the node's token output.
+        token_out = (node.out(N.LoadNode.TOKEN_OUT)
+                     if isinstance(node, N.LoadNode)
+                     else node.out(N.StoreNode.TOKEN_OUT))
+        for slot in self.graph.uses(token_out):
+            raise OptimizationError(
+                f"{node!r} token still consumed by {slot.node!r} after drop"
+            )
+        if isinstance(node, N.LoadNode) and self.graph.has_uses(node.out(0)):
+            raise OptimizationError(
+                f"{node!r} value still in use; replace uses before removal"
+            )
+        for index in range(len(node.inputs)):
+            self.graph.set_input(node, index, None)
+        self.graph.remove(node)
+
+    def replace_value_uses(self, old: OutPort, new: OutPort) -> int:
+        """Redirect data consumers of ``old`` to ``new``."""
+        count = self.graph.redirect_uses(old, new)
+        self.invalidate()
+        return count
+
+    def memops(self, hyperblock: int | None = None) -> list[N.Node]:
+        result = []
+        for node in self.graph:
+            if node.is_memory_op:
+                if hyperblock is None or node.hyperblock == hyperblock:
+                    result.append(node)
+        return result

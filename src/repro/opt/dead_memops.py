@@ -1,0 +1,43 @@
+"""§4.1 — removing dead memory operations.
+
+A side-effect operation whose predicate is constant false never executes;
+the compiler removes it outright, connecting its token input to its token
+output (here: dropping it from the token relation, which reroutes its
+consumers to its dependences — the same thing expressed on the relation).
+
+Such predicates arise from control-flow simplification and, importantly,
+from store-before-store removal (§5.2), whose "and with the negation"
+rewrite this pass completes.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.analysis import predicates
+
+
+class DeadMemOps:
+    name = "dead-memops"
+
+    def run(self, ctx: OptContext) -> int:
+        removed = 0
+        for hb_id, relation in ctx.relations.items():
+            for node in list(relation.ops):
+                pred = ctx.pred_port(node)
+                if not predicates.is_false(pred):
+                    continue
+                if isinstance(node, N.LoadNode):
+                    # The loaded value is unconditionally garbage; feed the
+                    # deterministic garbage the simulator would produce.
+                    zero = ctx.graph.add(
+                        N.ConstNode(0, node.type, node.hyperblock)
+                    )
+                    ctx.replace_value_uses(node.out(N.LoadNode.VALUE_OUT),
+                                           zero.out())
+                ctx.remove_memop(node)
+                removed += 1
+                ctx.count(f"dead-memops.{'loads' if isinstance(node, N.LoadNode) else 'stores'}")
+        if removed:
+            ctx.invalidate()
+        return removed

@@ -1,0 +1,78 @@
+"""§4.2 — accesses to immutable objects.
+
+Loads whose read set contains only const-qualified objects need no
+serialization: they drop out of the token relation, their token input is
+disconnected, and they generate no token. When the address resolves
+statically to an initialized element of a const object, the load is removed
+entirely and replaced by the constant value.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import types as ty
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.pegasus.graph import OutPort
+
+
+class ImmutableLoads:
+    name = "immutable-loads"
+
+    def run(self, ctx: OptContext) -> int:
+        changed = 0
+        for hb_id, relation in ctx.relations.items():
+            for node in list(relation.ops):
+                if not isinstance(node, N.LoadNode):
+                    continue
+                if not ctx.pointers.is_immutable_access(node.rwset):
+                    continue
+                known = self._known_value(ctx, node)
+                if known is not None:
+                    const = ctx.graph.add(
+                        N.ConstNode(known, node.type, node.hyperblock)
+                    )
+                    ctx.replace_value_uses(node.out(N.LoadNode.VALUE_OUT),
+                                           const.out())
+                    ctx.remove_memop(node)
+                    ctx.count("immutable.folded")
+                else:
+                    relation.drop_op(node)
+                    relation.reduce()
+                    ctx.rewire_hyperblock(hb_id)
+                    node.immutable = True
+                    ctx.graph.set_input(node, N.LoadNode.TOKEN_IN, None)
+                    ctx.count("immutable.untethered")
+                changed += 1
+        if changed:
+            ctx.invalidate()
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def _known_value(self, ctx: OptContext, node: N.LoadNode):
+        """The statically-known loaded value, for const-object constant
+        addresses, or None."""
+        form = ctx.addresses.affine(ctx.addr_port(node))
+        if len(form.terms) != 1:
+            return None
+        key, coeff = form.terms[0]
+        if not (isinstance(key, tuple) and key[0] == "object" and coeff == 1):
+            return None
+        symbol = key[1]
+        if not symbol.is_const or not symbol.init_values:
+            return None
+        offset = form.const
+        element = symbol.type
+        if isinstance(element, ty.ArrayType):
+            element = element.element
+        if element != node.type:
+            return None
+        if offset < 0 or offset % element.size != 0:
+            return None
+        index = offset // element.size
+        if index >= len(symbol.init_values):
+            return None
+        value = symbol.init_values[index]
+        if isinstance(element, ty.IntType) and isinstance(value, (int, float)):
+            return element.wrap(int(value))
+        return value

@@ -1,0 +1,211 @@
+"""§5.4 — loop-invariant load motion.
+
+A load is loop-invariant when *all* of its inputs are: the address (an
+invariant expression), the predicate, and the token — which in relation
+terms means the load depends only on the class's entry token and nothing in
+the loop writes that class. Such a load is lifted in front of the loop
+(the paper creates a loop-header hyperblock; we place the load in the
+predecessor hyperblock, which is that header) and its value circulates
+through a fresh merge/eta pair — rule 2 of the paper's invariance
+definition — so every iteration reads the same register instead of memory.
+
+Loop-invariant *stores* are never detected, exactly as the paper notes:
+their token input is freshly generated each iteration.
+
+Safety: the address must be rooted in a named object, so executing the
+load speculatively (the loop may run zero iterations) cannot fault.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus.graph import OutPort
+from repro.pegasus import nodes as N
+from repro.analysis.symbolic import _object_root
+
+
+class LoopInvariantLoads:
+    name = "licm-loads"
+
+    def run(self, ctx: OptContext) -> int:
+        hoisted = 0
+        for hb_id in list(ctx.relations):
+            if hb_id not in ctx.loop_predicates:
+                continue  # not a loop body
+            for load in list(ctx.relations[hb_id].ops):
+                if isinstance(load, N.LoadNode):
+                    if self._try_hoist(ctx, hb_id, load):
+                        hoisted += 1
+        if hoisted:
+            ctx.count("licm.hoisted", hoisted)
+            ctx.invalidate()
+        return hoisted
+
+    # ------------------------------------------------------------------
+
+    def _try_hoist(self, ctx: OptContext, hb_id: int, load: N.LoadNode) -> bool:
+        relation = ctx.relations[hb_id]
+        classes = relation.classes[load]
+        if len(classes) != 1:
+            return False
+        class_id = next(iter(classes))
+        # Nothing in the loop may write the class — checked across *every*
+        # hyperblock of the loop body, not just the header: a multi-block
+        # body (inlined calls, nested loops) can write the class elsewhere,
+        # making the value genuinely loop-varying.
+        for body_hb in self._loop_body_hyperblocks(ctx, hb_id):
+            body_relation = ctx.relations.get(body_hb)
+            if body_relation is None:
+                continue
+            for op in body_relation.ops:
+                if body_relation.is_write[op] and class_id in body_relation.classes[op]:
+                    return False
+        # The token input must be loop-invariant: only the entry token.
+        boundary = relation.boundary[class_id]
+        for dep in relation.deps[load]:
+            if isinstance(dep, N.Node):
+                return False
+            if dep != boundary:
+                return False
+        induction = ctx.induction(hb_id)
+        addr = ctx.addr_port(load)
+        if not induction.is_invariant_port(addr):
+            return False
+        # The predicate need not be invariant: the hoisted load runs once,
+        # speculatively, when the loop is entered. That is sound because
+        # the address is rooted in a named object (cannot fault), nothing
+        # in the loop writes the class (the value is the same on every
+        # iteration), and iterations where the original predicate was
+        # false never consume the value.
+        if _object_root(ctx.addresses.affine(addr)) is None:
+            return False  # speculative execution must be fault-free
+
+        # Locate the loop's entry edge through the class token merge.
+        boundary_node = boundary.node
+        if not isinstance(boundary_node, N.MergeNode):
+            return False
+        forward_slots = boundary_node.entry_slots()
+        if len(forward_slots) != 1:
+            return False
+        entry_port = boundary_node.inputs[forward_slots[0]]
+        if entry_port is None or not isinstance(entry_port.node, N.EtaNode):
+            return False
+        pre_eta = entry_port.node
+        pred_hb = pre_eta.hyperblock
+        if pred_hb == hb_id or pred_hb not in ctx.relations:
+            return False
+        edge_pred = pre_eta.pred_input
+        if edge_pred is None:
+            return False
+
+        memo: dict[OutPort, OutPort | None] = {}
+        cloned_addr = self._clone_invariant(ctx, addr, hb_id, pred_hb,
+                                            induction, memo)
+        if cloned_addr is None:
+            return False
+
+        # 1. The hoisted load, ordered at the end of the predecessor
+        #    hyperblock's class stream.
+        pre_relation = ctx.relations[pred_hb]
+        hoist_pred = edge_pred
+        pre_deps = list(pre_relation.exit_frontier(class_id))
+        hoisted = N.LoadNode(load.type, cloned_addr, hoist_pred, None,
+                             load.rwset, pred_hb)
+        ctx.graph.add(hoisted)
+        pre_relation.add_op(hoisted, frozenset({class_id}), False, pre_deps)
+        ctx.rewire_hyperblock(pred_hb)
+
+        # 2. Circulate the loaded value through the loop (invariance rule 2).
+        loop_pred = ctx.loop_predicates[hb_id]
+        entry_eta = ctx.graph.add(N.EtaNode(
+            load.type, hoisted.out(N.LoadNode.VALUE_OUT), edge_pred,
+            pred_hb, N.DATA,
+        ))
+        merge = N.MergeNode(load.type, 2, hb_id, N.DATA)
+        ctx.graph.add(merge)
+        back_eta = ctx.graph.add(N.EtaNode(
+            load.type, merge.out(), loop_pred, hb_id, N.DATA,
+        ))
+        ctx.graph.set_input(merge, 0, entry_eta.out())
+        ctx.graph.set_input(merge, 1, back_eta.out())
+        merge.back_inputs.add(1)
+        merge.add_control(ctx.graph, loop_pred)
+
+        # 3. Replace and remove the in-loop load.
+        ctx.replace_value_uses(load.out(N.LoadNode.VALUE_OUT), merge.out())
+        ctx.remove_memop(load)
+        return True
+
+    @staticmethod
+    def _loop_body_hyperblocks(ctx: OptContext, header_hb: int) -> list[int]:
+        """Ids of every hyperblock whose blocks are inside the loop."""
+        partition = ctx.build.partition
+        header = partition.hyperblocks[header_hb]
+        loop = header.loop
+        if loop is None:
+            return [header_hb]
+        return [
+            hb.id for hb in partition.hyperblocks
+            if hb.entry in loop.blocks
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _clone_invariant(self, ctx: OptContext, port: OutPort, hb_id: int,
+                         pred_hb: int, induction, memo) -> OutPort | None:
+        """Rebuild an invariant expression so it is valid before the loop.
+
+        Constants and parameters are wires usable anywhere; an invariant
+        loop merge maps to its pre-loop source (its entry eta's value);
+        pure arithmetic produced inside the loop is cloned into the
+        predecessor hyperblock. Anything else refuses the hoist.
+        """
+        if port in memo:
+            return memo[port]
+        result = self._clone_inner(ctx, port, hb_id, pred_hb, induction, memo)
+        memo[port] = result
+        return result
+
+    def _clone_inner(self, ctx: OptContext, port: OutPort, hb_id: int,
+                     pred_hb: int, induction, memo) -> OutPort | None:
+        node = port.node
+        if isinstance(node, (N.ConstNode, N.ParamNode, N.SymbolAddrNode)):
+            return port
+        if isinstance(node, N.MergeNode) and node.hyperblock == hb_id:
+            if node.id not in induction.invariant_merges:
+                return None
+            forward = [node.inputs[i] for i in node.entry_slots()]
+            if len(forward) != 1 or forward[0] is None:
+                return None
+            source = forward[0]
+            if isinstance(source.node, N.EtaNode):
+                if source.node.hyperblock != pred_hb:
+                    return None
+                return source.node.value_input
+            return None
+        if node.hyperblock == hb_id and isinstance(
+            node, (N.BinOpNode, N.UnOpNode, N.CastNode)
+        ):
+            cloned_inputs = []
+            for input_port in node.inputs:
+                if input_port is None:
+                    return None
+                cloned = self._clone_invariant(ctx, input_port, hb_id,
+                                               pred_hb, induction, memo)
+                if cloned is None:
+                    return None
+                cloned_inputs.append(cloned)
+            if isinstance(node, N.BinOpNode):
+                clone = N.BinOpNode(node.op, node.type, cloned_inputs[0],
+                                    cloned_inputs[1], pred_hb)
+            elif isinstance(node, N.UnOpNode):
+                clone = N.UnOpNode(node.op, node.type, cloned_inputs[0],
+                                   pred_hb)
+            else:
+                clone = N.CastNode(node.from_type, node.to_type,
+                                   cloned_inputs[0], pred_hb)
+            ctx.graph.add(clone)
+            return clone.out()
+        if node.hyperblock == pred_hb:
+            return port  # already available before the loop
+        return None

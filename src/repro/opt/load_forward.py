@@ -1,0 +1,158 @@
+"""§5.3 — load-after-store removal (Figure 9).
+
+A load directly synchronized with stores to the same address bypasses
+memory: a decoded multiplexor selects, at run time, the value of whichever
+store executed; the load's own predicate is strengthened to "none of the
+stores executed". The search walks *chains* of same-address stores (a
+younger store's dependence on an older one), with younger stores masking
+older ones in the mux, so sequences like ``t[i] = a; if (c) t[i] = b;
+... = t[i]`` forward fully. If the stores collectively dominate the load
+(Gupta), the strengthened predicate is constant false and §4.1 removes the
+load — this is the Figure 1B→1C step of the paper's running example.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.analysis import predicates
+
+
+class LoadAfterStore:
+    name = "load-after-store"
+
+    def run(self, ctx: OptContext) -> int:
+        forwarded = 0
+        for hb_id, relation in ctx.relations.items():
+            for node in list(relation.ops):
+                if not isinstance(node, N.LoadNode):
+                    continue
+                if self._forward(ctx, hb_id, node):
+                    forwarded += 1
+        if forwarded:
+            ctx.count("load-after-store.forwarded", forwarded)
+            ctx.invalidate()
+        return forwarded
+
+    # ------------------------------------------------------------------
+
+    def _forward(self, ctx: OptContext, hb_id: int, load: N.LoadNode) -> bool:
+        chain = self._same_address_chain(ctx, hb_id, load)
+        if not chain:
+            return False
+
+        load_value = load.out(N.LoadNode.VALUE_OUT)
+        if not ctx.graph.has_uses(load_value):
+            return False
+        # Cycle check (§5): no forwarded value or predicate may depend on
+        # the load's own result.
+        for store in chain:
+            for port in (ctx.pred_port(store), ctx.store_value_port(store)):
+                if ctx.reachability.port_reaches(load_value, port.node):
+                    return False
+
+        store_preds = [ctx.pred_port(store) for store in chain]
+        any_store = predicates.make_or_all(ctx.graph, store_preds, hb_id)
+        old_pred = ctx.pred_port(load)
+        if predicates.disjoint(old_pred, any_store):
+            return False  # already forwarded (idempotence guard)
+        new_pred = predicates.make_and(
+            ctx.graph, old_pred,
+            predicates.make_not(ctx.graph, any_store, hb_id), hb_id,
+        )
+
+        # Capture existing consumers before creating the mux, so the mux's
+        # own fallback arm is not redirected. Arms are ordered youngest
+        # first and masked by every younger store's predicate, so exactly
+        # the value the load would have read is selected.
+        consumers = list(ctx.graph.uses(load_value))
+        arms = []
+        younger: list = []
+        for store in chain:  # chain is youngest -> oldest
+            pred = ctx.pred_port(store)
+            masked = pred
+            for other in younger:
+                masked = predicates.make_and(
+                    ctx.graph, masked,
+                    predicates.make_not(ctx.graph, other, hb_id), hb_id,
+                )
+            arms.append((masked, ctx.store_value_port(store)))
+            younger.append(pred)
+        arms.append((new_pred, load_value))
+        mux = ctx.graph.add(N.MuxNode(arms, load.type, hb_id))
+        for slot in consumers:
+            ctx.graph.set_input(slot.node, slot.index, mux.out())
+
+        ctx.graph.set_input(load, N.LoadNode.PRED_IN, new_pred)
+        ctx.invalidate()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _same_address_chain(self, ctx: OptContext, hb_id: int,
+                            load: N.LoadNode) -> list[N.StoreNode] | None:
+        """Same-address stores whose values may reach the load.
+
+        The load's *direct* store dependences must all write exactly the
+        loaded address (a may-aliasing direct dependence defeats
+        forwarding entirely); behind each, older same-address stores are
+        collected transitively — stopping at anything else, which the
+        memory-reading fallback arm covers. Returned youngest-first.
+        """
+        relation = ctx.relations[hb_id]
+        direct: list[N.StoreNode] = []
+        for dep in relation.deps[load]:
+            if not isinstance(dep, N.Node):
+                continue
+            if not isinstance(dep, N.StoreNode):
+                return None
+            if not self._matches(ctx, load, dep):
+                return None
+            direct.append(dep)
+        if not direct:
+            return None
+
+        collected: dict[int, N.StoreNode] = {}
+        frontier = list(direct)
+        while frontier:
+            store = frontier.pop()
+            if store.id in collected:
+                continue
+            collected[store.id] = store
+            for dep in relation.deps.get(store, []):
+                if (isinstance(dep, N.StoreNode)
+                        and dep.id not in collected
+                        and self._matches(ctx, load, dep)):
+                    frontier.append(dep)
+
+        # Youngest-first topological order over the chain: a store must be
+        # masked by every store that can execute after it, so older stores
+        # (dependences of younger ones) come later in the arm list.
+        members = list(collected.values())
+        member_ids = set(collected)
+        ordered: list[N.StoreNode] = []
+        remaining = {s.id: s for s in members}
+        while remaining:
+            # Youngest = not a dependence of any other remaining member.
+            dep_ids = set()
+            for store in remaining.values():
+                for dep in relation.deps.get(store, []):
+                    if isinstance(dep, N.Node) and dep.id in remaining:
+                        dep_ids.add(dep.id)
+            youngest = [s for sid, s in sorted(remaining.items())
+                        if sid not in dep_ids]
+            if not youngest:
+                return None  # cyclic relation would be a bug; refuse
+            for store in youngest:
+                ordered.append(store)
+                del remaining[store.id]
+        assert member_ids == {s.id for s in ordered}
+        return ordered
+
+    @staticmethod
+    def _matches(ctx: OptContext, load: N.LoadNode, store: N.StoreNode) -> bool:
+        if store.type != load.type:
+            return False
+        return ctx.addresses.constant_difference(
+            ctx.addr_port(load), ctx.addr_port(store)
+        ) == 0

@@ -1,0 +1,100 @@
+"""§5.1 — merging equivalent memory operations (Figure 7).
+
+Two accesses to the same address with the same dependences merge into one
+whose predicate is the disjunction of the originals. For loads this
+subsumes global common-subexpression elimination (identical predicates),
+partial redundancy elimination, and code hoisting for memory reads; for
+stores it additionally requires the stored values to be the same.
+
+The safety conditions: same symbolic address and width, identical token
+dependences (so no interfering operation separates them), and no cycle —
+neither operation's inputs may depend on the other's outputs (§5's
+reachability test).
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.pegasus.graph import OutPort
+from repro.analysis import predicates
+
+
+class MergeEquivalent:
+    name = "merge-equivalent"
+
+    def run(self, ctx: OptContext) -> int:
+        merged = 0
+        for hb_id in list(ctx.relations):
+            changed = True
+            while changed:
+                changed = False
+                relation = ctx.relations[hb_id]
+                ops = list(relation.ops)
+                for i, first in enumerate(ops):
+                    for second in ops[i + 1:]:
+                        if type(first) is not type(second):
+                            continue
+                        if self._merge_pair(ctx, hb_id, first, second):
+                            merged += 1
+                            changed = True
+                            break
+                    if changed:
+                        break
+        if merged:
+            ctx.count("merge-equivalent.merged", merged)
+            ctx.invalidate()
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def _merge_pair(self, ctx: OptContext, hb_id: int,
+                    keep: N.Node, drop: N.Node) -> bool:
+        relation = ctx.relations[hb_id]
+        if keep.type != drop.type:  # type: ignore[attr-defined]
+            return False
+        if ctx.addresses.constant_difference(
+            ctx.addr_port(keep), ctx.addr_port(drop)
+        ) != 0:
+            return False
+        if not self._same_sources(relation.deps[keep], relation.deps[drop]):
+            return False
+        if isinstance(keep, N.StoreNode):
+            if ctx.store_value_port(keep) != ctx.store_value_port(drop):
+                return False
+        pred_keep = ctx.pred_port(keep)
+        pred_drop = ctx.pred_port(drop)
+        # Cycle check: the surviving op's new predicate (and, for loads, the
+        # redirected consumers) must not create a path through either op.
+        for port in (pred_keep, pred_drop, ctx.addr_port(drop)):
+            if self._depends_on(ctx, port, keep) or self._depends_on(ctx, port, drop):
+                return False
+
+        merged_pred = predicates.make_or(ctx.graph, pred_keep, pred_drop, hb_id)
+        pred_slot = (N.LoadNode.PRED_IN if isinstance(keep, N.LoadNode)
+                     else N.StoreNode.PRED_IN)
+        ctx.graph.set_input(keep, pred_slot, merged_pred)
+
+        if isinstance(keep, N.LoadNode):
+            ctx.replace_value_uses(drop.out(N.LoadNode.VALUE_OUT),
+                                   keep.out(N.LoadNode.VALUE_OUT))
+        relation.replace_op(drop, keep)
+        relation.reduce()
+        ctx.rewire_hyperblock(hb_id)
+        for index in range(len(drop.inputs)):
+            ctx.graph.set_input(drop, index, None)
+        ctx.graph.remove(drop)
+        ctx.invalidate()
+        return True
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _same_sources(a: list, b: list) -> bool:
+        def key(dep):
+            return id(dep) if isinstance(dep, N.Node) else ("port", dep)
+        return {key(d) for d in a} == {key(d) for d in b}
+
+    @staticmethod
+    def _depends_on(ctx: OptContext, port: OutPort, node: N.Node) -> bool:
+        return ctx.reachability.reaches(node, port.node)

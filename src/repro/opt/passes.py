@@ -1,0 +1,133 @@
+"""Pass manager and optimization-level pipelines.
+
+Levels match the paper's evaluation:
+
+- ``basic``: scalar cleanup only (constant folding, DCE);
+- ``medium``: the Figure-19 "Medium" configuration — token-edge removal by
+  address disambiguation (§4.3, with pointer analysis and pragmas already
+  consumed during construction) plus induction-variable pipelining (§6.2);
+- ``full``: adds immutable loads (§4.2), the §5 redundancy eliminations
+  iterated to a fixpoint with dead-memory-op removal (§4.1),
+  loop-invariant load motion (§5.4), read-only loop splitting (§6.1), and
+  loop decoupling (§6.3).
+
+Pipelines verify the graph after every pass; a structural violation names
+the pass that caused it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError, PegasusError
+from repro.pegasus.builder import BuildResult
+from repro.pegasus.verify import verify_graph
+from repro.opt.context import OptContext
+from repro.opt.cleanup import Cleanup
+from repro.opt.constant_fold import ConstantFold
+from repro.opt.dead_memops import DeadMemOps
+from repro.opt.immutable import ImmutableLoads
+from repro.opt.token_removal import TokenRemoval
+from repro.opt.load_forward import LoadAfterStore
+from repro.opt.store_elim import StoreBeforeStore
+from repro.opt.merge_ops import MergeEquivalent
+from repro.opt.licm import LoopInvariantLoads
+
+MAX_FIXPOINT_ROUNDS = 8
+
+
+class Fixpoint:
+    """Runs a pass group repeatedly until no pass reports a change."""
+
+    def __init__(self, *passes, name: str = "fixpoint"):
+        self.passes = list(passes)
+        self.name = name
+
+    def run(self, ctx: OptContext) -> int:
+        total = 0
+        for _ in range(MAX_FIXPOINT_ROUNDS):
+            round_changes = 0
+            for pass_ in self.passes:
+                round_changes += _run_verified(pass_, ctx)
+            total += round_changes
+            if not round_changes:
+                break
+        return total
+
+
+def _looppipe_passes():
+    from repro.looppipe.readonly import ReadOnlySplit
+    from repro.looppipe.monotone import MonotonePipelining
+    from repro.looppipe.decoupling import LoopDecoupling
+    return ReadOnlySplit, MonotonePipelining, LoopDecoupling
+
+
+def build_pipeline(level: str) -> list:
+    if level == "basic":
+        return [ConstantFold(), Cleanup()]
+    ReadOnlySplit, MonotonePipelining, LoopDecoupling = _looppipe_passes()
+    if level == "medium":
+        return [
+            ConstantFold(), Cleanup(),
+            TokenRemoval(), DeadMemOps(),
+            ConstantFold(), Cleanup(),
+            MonotonePipelining(),
+            Cleanup(),
+        ]
+    if level == "full":
+        return [
+            ConstantFold(), Cleanup(),
+            ImmutableLoads(),
+            TokenRemoval(),
+            Fixpoint(LoadAfterStore(), ConstantFold(), StoreBeforeStore(),
+                     DeadMemOps(), MergeEquivalent(), ConstantFold(), Cleanup(),
+                     name="redundancy"),
+            TokenRemoval(),
+            LoopInvariantLoads(),
+            ConstantFold(), Cleanup(),
+            ReadOnlySplit(),
+            LoopDecoupling(),
+            MonotonePipelining(),
+            ConstantFold(), Cleanup(),
+        ]
+    raise OptimizationError(f"unknown optimization level {level!r}")
+
+
+PIPELINES = ("basic", "medium", "full")
+
+
+def optimize(build: BuildResult, level: str = "full") -> OptContext:
+    """Run the pipeline for ``level`` over a built graph (in place)."""
+    ctx = OptContext(build)
+    for pass_ in build_pipeline(level):
+        _run_verified(pass_, ctx)
+    _fix_static_etas(ctx)
+    return ctx
+
+
+def _fix_static_etas(ctx: OptContext) -> None:
+    """Re-establish the eta-trigger invariant after optimization.
+
+    Folding can turn an eta's value and predicate into constant wires;
+    such an eta needs a per-activation trigger (see EtaNode) or it would
+    fire spuriously at start-up.
+    """
+    from repro.pegasus import nodes as N
+    for eta in ctx.graph.by_kind(N.EtaNode):
+        if eta.has_trigger:
+            continue
+        if N.is_static_wire(eta.value_input) and N.is_static_wire(eta.pred_input):
+            relation = ctx.relations.get(eta.hyperblock)
+            if relation is None or not relation.boundary:
+                continue
+            boundary = relation.boundary[min(relation.boundary)]
+            eta.add_trigger(ctx.graph, boundary)
+
+
+def _run_verified(pass_, ctx: OptContext) -> int:
+    changes = pass_.run(ctx)
+    try:
+        verify_graph(ctx.graph)
+    except PegasusError as error:
+        raise OptimizationError(
+            f"pass {pass_.name!r} broke the graph: {error}"
+        ) from error
+    return changes

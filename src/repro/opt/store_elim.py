@@ -1,0 +1,97 @@
+"""§5.2 — redundant (store-before-store) removal (Figure 8).
+
+When a store is followed by other stores to the same address, it needs to
+happen only if none of them overwrites it: its predicate is and-ed with
+the negation of their disjunction. The search walks *chains* of direct
+same-address store→store dependences — soundly, because a direct edge in
+the transitively reduced token graph means no intervening operation (in
+particular no read) touches that address between the two stores. If the
+followers collectively post-dominate the earlier store, its predicate
+becomes constant false and §4.1 deletes it — the Figure 1C→1D step of the
+running example.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+from repro.analysis import predicates
+
+
+class StoreBeforeStore:
+    name = "store-before-store"
+
+    def run(self, ctx: OptContext) -> int:
+        rewritten = 0
+        for hb_id, relation in ctx.relations.items():
+            for store in list(relation.ops):
+                if not isinstance(store, N.StoreNode):
+                    continue
+                if self._strengthen(ctx, hb_id, store):
+                    rewritten += 1
+        if rewritten:
+            ctx.count("store-before-store.rewritten", rewritten)
+            ctx.invalidate()
+        return rewritten
+
+    # ------------------------------------------------------------------
+
+    def _strengthen(self, ctx: OptContext, hb_id: int,
+                    earlier: N.StoreNode) -> bool:
+        followers = self._overwriting_chain(ctx, hb_id, earlier)
+        if not followers:
+            return False
+        earlier_pred = ctx.pred_port(earlier)
+        if predicates.is_false(earlier_pred):
+            return False  # already dead; §4.1 will take it
+        follower_preds = [ctx.pred_port(f) for f in followers]
+        # Cycle check: none of the follower predicates may derive from the
+        # earlier store's token (through loaded values).
+        for pred in follower_preds:
+            if ctx.reachability.reaches(earlier, pred.node):
+                token = earlier.out(N.StoreNode.TOKEN_OUT)
+                if ctx.reachability.port_reaches(token, pred.node):
+                    return False
+        any_follower = predicates.make_or_all(ctx.graph, follower_preds, hb_id)
+        if predicates.disjoint(earlier_pred, any_follower):
+            return False  # already strengthened (idempotence guard)
+        new_pred = predicates.make_and(
+            ctx.graph, earlier_pred,
+            predicates.make_not(ctx.graph, any_follower, hb_id), hb_id,
+        )
+        if new_pred == earlier_pred:
+            return False
+        ctx.graph.set_input(earlier, N.StoreNode.PRED_IN, new_pred)
+        ctx.invalidate()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _overwriting_chain(self, ctx: OptContext, hb_id: int,
+                           earlier: N.StoreNode) -> list[N.StoreNode]:
+        """Same-address stores reachable via direct store→store edges.
+
+        Each hop is a direct dependence between two same-address stores, so
+        no read of the address can sit between them (the reduced token
+        graph would route through it instead); every store collected here
+        overwrites ``earlier`` whenever its predicate holds.
+        """
+        relation = ctx.relations[hb_id]
+        chain: list[N.StoreNode] = []
+        seen: set[int] = set()
+        frontier: list[N.StoreNode] = [earlier]
+        while frontier:
+            current = frontier.pop()
+            for succ in relation.successors(current):
+                if not isinstance(succ, N.StoreNode) or succ.id in seen:
+                    continue
+                if succ.type != earlier.type:
+                    continue
+                if ctx.addresses.constant_difference(
+                    ctx.addr_port(earlier), ctx.addr_port(succ)
+                ) != 0:
+                    continue
+                seen.add(succ.id)
+                chain.append(succ)
+                frontier.append(succ)
+        return chain

@@ -1,0 +1,86 @@
+"""§4.3 — removing unnecessary token edges.
+
+For every directly synchronized pair (one produces a token the other
+consumes), try to prove the two operations never simultaneously access the
+same address; if so, delete the edge and splice the producer's own
+dependences into the consumer so the transitive closure is preserved
+(Figure 5), then restore transitive reduction.
+
+Disambiguation heuristics, exactly the paper's three:
+
+1. symbolic address computation — the difference is a nonzero constant or
+   the roots are distinct objects (:mod:`repro.analysis.symbolic`);
+2. induction-variable analysis — same pace, offset residues
+   (:mod:`repro.analysis.induction`);
+3. pointer analysis / ``#pragma independent`` read-write sets — these are
+   already consumed while *building* the relation (§3.3), so what remains
+   here is a re-check after other passes refine address expressions.
+"""
+
+from __future__ import annotations
+
+from repro.opt.context import OptContext
+from repro.pegasus import nodes as N
+
+
+class TokenRemoval:
+    name = "token-removal"
+
+    def run(self, ctx: OptContext) -> int:
+        removed_total = 0
+        for hb_id, relation in ctx.relations.items():
+            removed_here = 0
+            changed = True
+            while changed:
+                changed = False
+                for node in list(relation.ops):
+                    for dep in list(relation.deps[node]):
+                        if not isinstance(dep, N.Node) or not dep.is_memory_op:
+                            continue
+                        if not self._provably_disjoint(ctx, hb_id, node, dep):
+                            continue
+                        # Figure 5: preserve the transitive closure minus
+                        # only the removed pair. Ancestors of the producer
+                        # must still reach the consumer (splice the
+                        # producer's dependences in), and the producer must
+                        # still reach the consumer's successors (it used to
+                        # do so through the removed edge).
+                        spliced = [d for d in relation.deps[node] if d is not dep]
+                        spliced.extend(relation.deps[dep])
+                        relation.deps[node] = list(dict.fromkeys(spliced))
+                        for succ in relation.ops:
+                            if succ is node or succ is dep:
+                                continue
+                            if any(d is node for d in relation.deps[succ]):
+                                if not any(d is dep for d in relation.deps[succ]):
+                                    relation.deps[succ] = relation.deps[succ] + [dep]
+                        removed_here += 1
+                        changed = True
+                if changed:
+                    relation.reduce()
+            if removed_here:
+                ctx.rewire_hyperblock(hb_id)
+                removed_total += removed_here
+        if removed_total:
+            ctx.count("token-removal.edges", removed_total)
+            ctx.invalidate()
+        return removed_total
+
+    # ------------------------------------------------------------------
+
+    def _provably_disjoint(self, ctx: OptContext, hb_id: int,
+                           a: N.Node, b: N.Node) -> bool:
+        """Can these two ops never touch the same address in one instance?"""
+        addr_a, addr_b = ctx.addr_port(a), ctx.addr_port(b)
+        width_a = a.width  # type: ignore[attr-defined]
+        width_b = b.width  # type: ignore[attr-defined]
+        if ctx.addresses.never_same_address(addr_a, width_a, addr_b, width_b):
+            return True
+        if not ctx.pointers.may_interfere(a.rwset, b.rwset):  # type: ignore[attr-defined]
+            return True
+        if hb_id in ctx.loop_predicates:
+            induction = ctx.induction(hb_id)
+            if induction.never_equal_across_iterations(addr_a, width_a,
+                                                       addr_b, width_b):
+                return True
+        return False

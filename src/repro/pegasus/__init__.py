@@ -1,0 +1,17 @@
+"""Pegasus: the dataflow intermediate representation of CASH (§3).
+
+A Pegasus graph is a directed graph whose nodes are operations and whose
+edges carry either data values, predicate values, or 0-bit synchronization
+*tokens*. Predication (PSSA) replaces intra-hyperblock control flow;
+merge/eta node pairs implement inter-hyperblock transfers including loops;
+token edges form an SSA for memory (§3.2-§3.4).
+
+Build a graph from a flattened CFG with :func:`build_pegasus`.
+"""
+
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes
+from repro.pegasus.builder import build_pegasus
+from repro.pegasus.verify import verify_graph
+
+__all__ = ["Graph", "OutPort", "nodes", "build_pegasus", "verify_graph"]

@@ -1,0 +1,591 @@
+"""Construction of Pegasus graphs from hyperblock-partitioned CFGs (§3).
+
+Per hyperblock, in topological order:
+
+1. block predicates are built from branch conditions (PSSA path predicates);
+2. scalar code is speculated: every side-effect-free instruction becomes an
+   unconditional node; decoded multiplexors merge reaching definitions at
+   control joins;
+3. loads/stores become predicated memory nodes; the §3.3 pairwise rule plus
+   transitive reduction (§3.4) produces their token wiring;
+4. every live-out value and every location class's token leaves through eta
+   nodes gated by the exit-edge predicate, and enters successor hyperblocks
+   through merge nodes (loop back edges fill their merge slots once the
+   latch hyperblock has been built).
+
+The result is the unoptimized Figure-1A-style graph the optimization passes
+then rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PegasusError
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.cfg import ir
+from repro.cfg.hyperblocks import Hyperblock, HyperblockPartition, form_hyperblocks
+from repro.cfg.liveness import Liveness
+from repro.analysis.pointers import PointerAnalysis
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+from repro.pegasus.tokens import TokenRelation, combine_ports, wire_tokens
+
+PREDICATE_PRODUCERS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+
+class BuildResult:
+    """A built graph plus the analyses the optimizer needs."""
+
+    def __init__(self, graph: Graph, partition: HyperblockPartition,
+                 pointers: PointerAnalysis,
+                 relations: dict[int, TokenRelation],
+                 loop_predicates: dict[int, OutPort]):
+        self.graph = graph
+        self.partition = partition
+        self.pointers = pointers
+        # Per-hyperblock token relation (kept in sync by optimizations).
+        self.relations = relations
+        # For loop-body hyperblocks: the predicate that is true when the
+        # loop repeats (the disjunction of back-edge predicates).
+        self.loop_predicates = loop_predicates
+
+
+def build_pegasus(func: ir.Function, globals_: list[ast.Symbol],
+                  entry_points_to: dict[str, list[ast.Symbol]] | None = None) -> BuildResult:
+    """Build the Pegasus graph for a flattened (call-free) function."""
+    return _Builder(func, globals_, entry_points_to).build()
+
+
+class _Builder:
+    def __init__(self, func: ir.Function, globals_: list[ast.Symbol],
+                 entry_points_to):
+        self.func = func
+        self.partition = form_hyperblocks(func)
+        self.pointers = PointerAnalysis(func, globals_, entry_points_to)
+        self.liveness = Liveness(func)
+        self.graph = Graph(func.name)
+        self.graph.num_hyperblocks = len(self.partition.hyperblocks)
+
+        self.classes = self.pointers.classes
+        # At least one token stream always exists: it sequences hyperblock
+        # activations, which constant-valued etas use as their trigger.
+        self.class_ids = list(range(max(1, self.classes.num_classes)))
+
+        # Per-block environments (temp -> port) and predicates.
+        self.env: dict[ir.BasicBlock, dict[ir.Temp, OutPort]] = {}
+        self.block_pred: dict[ir.BasicBlock, OutPort] = {}
+        self.edge_pred: dict[tuple[ir.BasicBlock, ir.BasicBlock], OutPort] = {}
+        # Values/tokens carried on inter-hyperblock edges, per (src, dst).
+        self.edge_values: dict[tuple[ir.BasicBlock, ir.BasicBlock],
+                               dict[ir.Temp, OutPort]] = {}
+        self.edge_tokens: dict[tuple[ir.BasicBlock, ir.BasicBlock],
+                               dict[int, OutPort]] = {}
+        # Merge slots awaiting back-edge etas: (merge, slot, src, dst, key).
+        self.pending_back: list[tuple[N.MergeNode, int, ir.BasicBlock,
+                                      ir.BasicBlock, object]] = []
+        self.relations: dict[int, TokenRelation] = {}
+        self.loop_predicates: dict[int, OutPort] = {}
+        self.back_edges = self.partition.loop_info.back_edges()
+
+        self._const_cache: dict[tuple[object, ty.Type, int], N.ConstNode] = {}
+        self._symaddr_cache: dict[tuple[int, int], N.SymbolAddrNode] = {}
+        self.return_built = False
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> BuildResult:
+        for hyperblock in self.partition.hyperblocks:
+            self._build_hyperblock(hyperblock)
+        self._fill_pending_back_edges()
+        self._wire_loop_controls()
+        if not self.return_built:
+            raise PegasusError(f"{self.func.name}: no return was built")
+        return BuildResult(self.graph, self.partition, self.pointers,
+                           self.relations, self.loop_predicates)
+
+    # ------------------------------------------------------------------
+    # Small node factories
+
+    def const(self, value, type_: ty.Type, hyperblock: int) -> OutPort:
+        key = (value, type_, hyperblock)
+        if key not in self._const_cache:
+            self._const_cache[key] = self.graph.add(
+                N.ConstNode(value, type_, hyperblock)
+            )
+        return self._const_cache[key].out()
+
+    def symaddr(self, symbol: ast.Symbol, hyperblock: int) -> OutPort:
+        key = (id(symbol), hyperblock)
+        if key not in self._symaddr_cache:
+            self._symaddr_cache[key] = self.graph.add(
+                N.SymbolAddrNode(symbol, hyperblock)
+            )
+        return self._symaddr_cache[key].out()
+
+    def true_pred(self, hyperblock: int) -> OutPort:
+        return self.const(1, ty.INT, hyperblock)
+
+    def _and(self, a: OutPort, b: OutPort, hyperblock: int) -> OutPort:
+        if _const_value(a) == 1:
+            return b
+        if _const_value(b) == 1:
+            return a
+        return self.graph.add(N.BinOpNode("and", ty.INT, a, b, hyperblock)).out()
+
+    def _or(self, a: OutPort, b: OutPort, hyperblock: int) -> OutPort:
+        if _const_value(a) == 0:
+            return b
+        if _const_value(b) == 0:
+            return a
+        return self.graph.add(N.BinOpNode("or", ty.INT, a, b, hyperblock)).out()
+
+    def _not(self, a: OutPort, hyperblock: int) -> OutPort:
+        value = _const_value(a)
+        if value is not None:
+            return self.const(0 if value else 1, ty.INT, hyperblock)
+        return self.graph.add(N.UnOpNode("lnot", ty.INT, a, hyperblock)).out()
+
+    def _as_predicate(self, port: OutPort, operand_type: ty.Type,
+                      hyperblock: int) -> OutPort:
+        """Normalize a scalar condition to a 0/1 predicate."""
+        producer = port.node
+        if isinstance(producer, N.BinOpNode) and producer.op in PREDICATE_PRODUCERS:
+            return port
+        if isinstance(producer, N.UnOpNode) and producer.op == "lnot":
+            return port
+        if isinstance(producer, N.ConstNode):
+            return self.const(1 if producer.value else 0, ty.INT, hyperblock)
+        zero = self.const(0, operand_type.decay(), hyperblock)
+        return self.graph.add(
+            N.BinOpNode("ne", operand_type.decay(), port, zero, hyperblock)
+        ).out()
+
+    # ------------------------------------------------------------------
+    # Hyperblock processing
+
+    def _build_hyperblock(self, hb: Hyperblock) -> None:
+        hb_id = hb.id
+        entry_values, entry_tokens = self._hyperblock_inputs(hb)
+
+        # Predicates and environments, walking blocks in topological order
+        # (hb.blocks is in forward RPO by construction).
+        block_set = set(hb.blocks)
+        reach = _intra_reachability(hb, self.back_edges)
+        preds_map = self.func.predecessors()
+
+        for block in hb.blocks:
+            if block is hb.entry:
+                self.block_pred[block] = self.true_pred(hb_id)
+                self.env[block] = dict(entry_values)
+            else:
+                incoming = [
+                    p for p in preds_map[block]
+                    if p in block_set and (p, block) not in self.back_edges
+                ]
+                self.block_pred[block] = self._or_all(
+                    [self.edge_pred[(p, block)] for p in incoming], hb_id
+                )
+                self.env[block] = self._join_envs(block, incoming, hb_id)
+            self._build_block_body(hb, block)
+            self._build_edge_predicates(hb, block)
+
+        # Token wiring: §3.3 pairwise rule + §3.4 transitive reduction.
+        relation = self._build_token_relation(hb, reach, entry_tokens)
+        relation.reduce()
+        wire_tokens(self.graph, relation, hb_id)
+        self.relations[hb_id] = relation
+
+        self._build_exits(hb, relation)
+
+    # ------------------------------------------------------------------
+
+    def _hyperblock_inputs(self, hb: Hyperblock):
+        """Values and class tokens available at the hyperblock entry."""
+        hb_id = hb.id
+        if hb.entry is self.func.entry:
+            values: dict[ir.Temp, OutPort] = {}
+            for index, (symbol, temp) in enumerate(self.func.params):
+                param = self.graph.add(N.ParamNode(symbol.name, temp.type, index))
+                values[temp] = param.out()
+            tokens = {
+                cid: self.graph.add(N.InitialTokenNode(cid)).out()
+                for cid in self.class_ids
+            }
+            return values, tokens
+
+        preds_map = self.func.predecessors()
+        incoming = sorted(preds_map[hb.entry], key=lambda b: b.id)
+        live = self.liveness.live_in[hb.entry]
+        is_loop_header = any((p, hb.entry) in self.back_edges for p in incoming)
+
+        values = {}
+        tokens: dict[int, OutPort] = {}
+        if len(incoming) == 1 and not is_loop_header:
+            edge = (incoming[0], hb.entry)
+            for temp in sorted(live, key=lambda t: t.id):
+                values[temp] = self.edge_values[edge][temp]
+            for cid in self.class_ids:
+                tokens[cid] = self.edge_tokens[edge][cid]
+            return values, tokens
+
+        for temp in sorted(live, key=lambda t: t.id):
+            merge = self.graph.add(
+                N.MergeNode(temp.type, len(incoming), hb_id, N.DATA)
+            )
+            self._fill_merge(merge, incoming, hb.entry, temp)
+            values[temp] = merge.out()
+        for cid in self.class_ids:
+            merge = self.graph.add(N.MergeNode(None, len(incoming), hb_id, N.TOKEN))
+            merge.location_class = cid
+            self._fill_merge(merge, incoming, hb.entry, cid)
+            tokens[cid] = merge.out()
+        return values, tokens
+
+    def _fill_merge(self, merge: N.MergeNode, incoming: list[ir.BasicBlock],
+                    target: ir.BasicBlock, key) -> None:
+        for slot, pred_block in enumerate(incoming):
+            if (pred_block, target) in self.back_edges:
+                merge.back_inputs.add(slot)
+                self.pending_back.append((merge, slot, pred_block, target, key))
+            else:
+                edge = (pred_block, target)
+                table = (self.edge_values if isinstance(key, ir.Temp)
+                         else self.edge_tokens)
+                self.graph.set_input(merge, slot, table[edge][key])
+
+    def _wire_loop_controls(self) -> None:
+        """Give every loop-header merge its per-iteration control stream.
+
+        The control value for iteration j answers "will a back value
+        arrive?" — true when a back edge fires, false when the loop exits.
+        When every back edge and every loop exit originates in the header
+        hyperblock itself (single-hyperblock bodies: plain for/while
+        loops), the disjunction of the back-edge predicates is already a
+        per-iteration value and is used directly. For multi-hyperblock
+        bodies (nested loops, breaks from deeper regions) the decision is
+        made elsewhere, so a *decision stream* is assembled: an eta
+        contributes TRUE on each back edge and FALSE on each loop exit;
+        exactly one contribution fires per iteration, and a merge of them
+        yields the stream.
+        """
+        of_block = self.partition.of_block
+        for hb in self.partition.hyperblocks:
+            header_merges = [
+                node for node in self.graph.by_kind(N.MergeNode)
+                if node.hyperblock == hb.id and node.back_inputs
+                and not node.has_control
+            ]
+            if not header_merges:
+                continue
+            loop = hb.loop
+            if loop is None or loop.header is not hb.entry:
+                raise PegasusError(
+                    f"hyperblock {hb.id} has loop merges but is not a header"
+                )
+            control = self._loop_control_port(hb, loop)
+            self.loop_predicates[hb.id] = control
+            for merge in header_merges:
+                merge.add_control(self.graph, control)
+
+    def _loop_control_port(self, hb: Hyperblock, loop) -> OutPort:
+        back = [(latch, loop.header) for latch in sorted(loop.latches,
+                                                         key=lambda b: b.id)]
+        exits = []
+        for block in sorted(loop.blocks, key=lambda b: b.id):
+            for succ in block.successors():
+                if succ not in loop.blocks:
+                    exits.append((block, succ))
+        sources = {self.partition.of_block[b] for b, _ in back + exits}
+        if sources == {hb}:
+            return self._or_all([self.edge_pred[e] for e in back], hb.id)
+        # The decision is made across several hyperblocks: assemble a
+        # per-iteration stream from pulses on the deciding edges. Exactly
+        # one of (back edges + exit edges) fires per iteration; each edge
+        # already carries etas, whose outputs serve as the pulses.
+        pulses: list[OutPort] = []
+        true_slots: set[int] = set()
+        for index, edge in enumerate(back + exits):
+            if index < len(back):
+                true_slots.add(index)
+            pulses.append(self._edge_pulse(edge))
+        stream = N.ControlStreamNode(len(pulses), true_slots, hb.id)
+        self.graph.add(stream)
+        for slot, pulse in enumerate(pulses):
+            self.graph.set_input(stream, slot, pulse)
+        return stream.out()
+
+    def _edge_pulse(self, edge: tuple[ir.BasicBlock, ir.BasicBlock]) -> OutPort:
+        """A port that fires exactly once whenever ``edge`` is taken."""
+        values = self.edge_values.get(edge, {})
+        for temp in sorted(values, key=lambda t: t.id):
+            return values[temp]  # a live scalar's eta: cheapest pulse
+        tokens = self.edge_tokens.get(edge)
+        if not tokens:
+            raise PegasusError(f"edge {edge[0].name}->{edge[1].name} has no etas")
+        return tokens[min(tokens)]
+
+    def _fill_pending_back_edges(self) -> None:
+        for merge, slot, src, dst, key in self.pending_back:
+            table = (self.edge_values if isinstance(key, ir.Temp)
+                     else self.edge_tokens)
+            edge = (src, dst)
+            if edge not in table or key not in table[edge]:
+                raise PegasusError(
+                    f"back edge {src.name}->{dst.name} missing value for {key}"
+                )
+            self.graph.set_input(merge, slot, table[edge][key])
+
+    # ------------------------------------------------------------------
+
+    def _or_all(self, ports: list[OutPort], hb_id: int) -> OutPort:
+        if not ports:
+            raise PegasusError("block with no incoming forward edges")
+        result = ports[0]
+        for port in ports[1:]:
+            result = self._or(result, port, hb_id)
+        return result
+
+    def _join_envs(self, block: ir.BasicBlock, incoming: list[ir.BasicBlock],
+                   hb_id: int) -> dict[ir.Temp, OutPort]:
+        if len(incoming) == 1:
+            return dict(self.env[incoming[0]])
+        live = self.liveness.live_in[block]
+        result: dict[ir.Temp, OutPort] = {}
+        common = set(self.env[incoming[0]])
+        for pred in incoming[1:]:
+            common &= set(self.env[pred])
+        for temp in sorted(common, key=lambda t: t.id):
+            ports = [self.env[p][temp] for p in incoming]
+            if all(port == ports[0] for port in ports):
+                result[temp] = ports[0]
+            elif temp in live:
+                pairs = [
+                    (self.edge_pred[(p, block)], self.env[p][temp])
+                    for p in incoming
+                ]
+                mux = self.graph.add(N.MuxNode(pairs, temp.type, hb_id))
+                result[temp] = mux.out()
+            # Dead differing temps are dropped.
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _build_block_body(self, hb: Hyperblock, block: ir.BasicBlock) -> None:
+        hb_id = hb.id
+        env = self.env[block]
+        pred = self.block_pred[block]
+        for instr in block.instrs:
+            if isinstance(instr, ir.Copy):
+                env[instr.dest] = self._operand(instr.src, env, hb_id)
+            elif isinstance(instr, ir.BinOp):
+                node = self.graph.add(N.BinOpNode(
+                    instr.op, instr.type,
+                    self._operand(instr.lhs, env, hb_id),
+                    self._operand(instr.rhs, env, hb_id), hb_id,
+                ))
+                env[instr.dest] = node.out()
+            elif isinstance(instr, ir.UnOp):
+                node = self.graph.add(N.UnOpNode(
+                    instr.op, instr.type,
+                    self._operand(instr.src, env, hb_id), hb_id,
+                ))
+                env[instr.dest] = node.out()
+            elif isinstance(instr, ir.CastOp):
+                node = self.graph.add(N.CastNode(
+                    instr.from_type, instr.to_type,
+                    self._operand(instr.src, env, hb_id), hb_id,
+                ))
+                env[instr.dest] = node.out()
+            elif isinstance(instr, ir.Load):
+                node = self.graph.add(N.LoadNode(
+                    instr.type, self._operand(instr.addr, env, hb_id),
+                    pred, None, self.pointers.rwset(instr), hb_id,
+                ))
+                env[instr.dest] = node.out(N.LoadNode.VALUE_OUT)
+                self._record_memop(block, node)
+            elif isinstance(instr, ir.Store):
+                node = self.graph.add(N.StoreNode(
+                    instr.type, self._operand(instr.addr, env, hb_id),
+                    self._operand(instr.src, env, hb_id),
+                    pred, None, self.pointers.rwset(instr), hb_id,
+                ))
+                self._record_memop(block, node)
+            elif isinstance(instr, ir.Call):
+                raise PegasusError(
+                    f"unresolved call to {instr.callee!r}; inline first"
+                )
+            else:
+                raise PegasusError(f"cannot build node for {instr!r}")
+
+    def _record_memop(self, block: ir.BasicBlock, node: N.Node) -> None:
+        self._memops_in_flight.setdefault(block, []).append(node)
+
+    @property
+    def _memops_in_flight(self) -> dict[ir.BasicBlock, list[N.Node]]:
+        if not hasattr(self, "_memops_store"):
+            self._memops_store: dict[ir.BasicBlock, list[N.Node]] = {}
+        return self._memops_store
+
+    def _operand(self, operand: ir.Operand, env: dict[ir.Temp, OutPort],
+                 hb_id: int) -> OutPort:
+        if isinstance(operand, ir.Temp):
+            if operand not in env:
+                raise PegasusError(f"use of unavailable temp {operand}")
+            return env[operand]
+        if isinstance(operand, ir.Const):
+            return self.const(operand.value, operand.type, hb_id)
+        if isinstance(operand, ir.SymAddr):
+            return self.symaddr(operand.symbol, hb_id)
+        raise PegasusError(f"unknown operand {operand!r}")
+
+    # ------------------------------------------------------------------
+
+    def _build_edge_predicates(self, hb: Hyperblock, block: ir.BasicBlock) -> None:
+        hb_id = hb.id
+        pred = self.block_pred[block]
+        term = block.terminator
+        if isinstance(term, ir.Jump):
+            self.edge_pred[(block, term.target)] = pred
+        elif isinstance(term, ir.Branch):
+            cond_port = self._operand(term.cond, self.env[block], hb_id)
+            cond_type = _operand_type(term.cond)
+            cond = self._as_predicate(cond_port, cond_type, hb_id)
+            self.edge_pred[(block, term.if_true)] = self._and(pred, cond, hb_id)
+            self.edge_pred[(block, term.if_false)] = self._and(
+                pred, self._not(cond, hb_id), hb_id
+            )
+        elif isinstance(term, ir.Ret):
+            pass
+        else:
+            raise PegasusError(f"block {block.name} lacks a terminator")
+
+    # ------------------------------------------------------------------
+
+    def _build_token_relation(self, hb: Hyperblock, reach, entry_tokens) -> TokenRelation:
+        relation = TokenRelation(entry_tokens)
+        ordered: list[tuple[ir.BasicBlock, int, N.Node]] = []
+        for block in hb.blocks:
+            for index, node in enumerate(self._memops_in_flight.get(block, [])):
+                ordered.append((block, index, node))
+
+        entries: list[tuple[ir.BasicBlock, int, N.Node, frozenset[int], bool]] = []
+        for block, index, node in ordered:
+            rwset = node.rwset  # type: ignore[attr-defined]
+            classes = self.classes.classes_of_set(rwset)
+            is_write = isinstance(node, N.StoreNode)
+            deps: list = []
+            for prev_block, prev_index, prev_node, prev_classes, prev_write in entries:
+                if not (prev_write or is_write):
+                    continue  # reads always commute
+                if prev_block is block:
+                    pass  # program order within the block
+                elif block not in reach[prev_block]:
+                    continue  # no control-flow path between them
+                if self.pointers.may_interfere(
+                    prev_node.rwset, rwset  # type: ignore[attr-defined]
+                ):
+                    deps.append(prev_node)
+            # The per-class entry token acts as an initial write.
+            for cid in classes:
+                deps.append(entry_tokens[cid])
+            relation.add_op(node, classes, is_write, deps)
+            entries.append((block, index, node, classes, is_write))
+        return relation
+
+    # ------------------------------------------------------------------
+
+    def _build_exits(self, hb: Hyperblock, relation: TokenRelation) -> None:
+        hb_id = hb.id
+        exit_frontiers = {
+            cid: combine_ports(
+                self.graph,
+                [self._source_token(src) for src in relation.exit_frontier(cid)],
+                hb_id,
+            )
+            for cid in self.class_ids
+        }
+
+        for src_block, target_block, target_hb in self.partition.successors(hb):
+            edge = (src_block, target_block)
+            pred = self.edge_pred[edge]
+            live = self.liveness.live_in[target_block]
+            env = self.env[src_block]
+            values: dict[ir.Temp, OutPort] = {}
+            for temp in sorted(live, key=lambda t: t.id):
+                if temp not in env:
+                    raise PegasusError(
+                        f"{temp} live into {target_block.name} but undefined "
+                        f"on edge from {src_block.name}"
+                    )
+                eta = self.graph.add(
+                    N.EtaNode(temp.type, env[temp], pred, hb_id, N.DATA)
+                )
+                if N.is_static_wire(env[temp]) and N.is_static_wire(pred):
+                    eta.add_trigger(self.graph,
+                                    relation.boundary[min(relation.boundary)])
+                values[temp] = eta.out()
+            self.edge_values[edge] = values
+            tokens: dict[int, OutPort] = {}
+            for cid in self.class_ids:
+                eta = self.graph.add(
+                    N.EtaNode(None, exit_frontiers[cid], pred, hb_id, N.TOKEN)
+                )
+                eta.location_class = cid
+                tokens[cid] = eta.out()
+            self.edge_tokens[edge] = tokens
+
+
+        for block in hb.blocks:
+            term = block.terminator
+            if isinstance(term, ir.Ret):
+                token = combine_ports(
+                    self.graph,
+                    [p for p in exit_frontiers.values() if p is not None],
+                    hb_id,
+                )
+                if token is None:
+                    token = self.graph.add(N.InitialTokenNode()).out()
+                value = None
+                type_ = None
+                if term.value is not None:
+                    value = self._operand(term.value, self.env[block], hb_id)
+                    type_ = _operand_type(term.value)
+                node = self.graph.add(N.ReturnNode(type_, value, token, hb_id))
+                self.graph.return_node = node
+                self.return_built = True
+
+    def _source_token(self, source) -> OutPort:
+        from repro.pegasus.tokens import source_port
+        return source_port(source)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _const_value(port: OutPort):
+    node = port.node
+    if isinstance(node, N.ConstNode):
+        return node.value
+    return None
+
+
+def _operand_type(operand: ir.Operand) -> ty.Type:
+    if isinstance(operand, ir.Temp):
+        return operand.type
+    if isinstance(operand, ir.Const):
+        return operand.type
+    return ty.ULONG  # SymAddr
+
+
+def _intra_reachability(hb: Hyperblock, back_edges):
+    """block -> blocks reachable within the hyperblock via forward edges."""
+    block_set = set(hb.blocks)
+    reach: dict[ir.BasicBlock, set[ir.BasicBlock]] = {}
+    for block in reversed(hb.blocks):  # reverse topological order
+        result: set[ir.BasicBlock] = set()
+        for succ in block.successors():
+            if succ in block_set and (block, succ) not in back_edges:
+                result.add(succ)
+                result |= reach.get(succ, set())
+        reach[block] = result
+    return reach

@@ -1,0 +1,173 @@
+"""Core graph data structure for Pegasus.
+
+Nodes own their input connections (lists of :class:`OutPort` references);
+the graph maintains the reverse *uses* index so optimizations can redirect
+every consumer of a port in one call. Back edges (eta → merge around a
+loop) are annotated on the merge's input positions, so "the Pegasus DAG"
+(every reachability computation in the paper ignores back edges, §5) is
+well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import PegasusError
+from repro.utils.ids import IdAllocator
+
+if TYPE_CHECKING:
+    from repro.pegasus.nodes import Node
+
+
+@dataclass(frozen=True)
+class OutPort:
+    """A reference to one output of a node."""
+
+    node: "Node"
+    index: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.node!r}.{self.index}"
+
+
+@dataclass(frozen=True)
+class InPort:
+    """A reference to one input slot of a node."""
+
+    node: "Node"
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.node!r}[in{self.index}]"
+
+
+class Graph:
+    """A Pegasus graph for one procedure."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._ids = IdAllocator()
+        self.nodes: dict[int, "Node"] = {}
+        # Reverse index: producer port -> set of consumer input slots.
+        self._uses: dict[OutPort, set[InPort]] = {}
+        # The procedure's return node, set by the builder.
+        self.return_node: "Node | None" = None
+        # Number of hyperblocks (region ids are 0..n-1).
+        self.num_hyperblocks = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add(self, node: "Node") -> "Node":
+        """Register a node created by the caller and wire its inputs."""
+        node.id = self._ids.allocate()
+        node.graph = self
+        self.nodes[node.id] = node
+        for index, port in enumerate(node.inputs):
+            if port is not None:
+                self._uses.setdefault(port, set()).add(InPort(node, index))
+        return node
+
+    def set_input(self, node: "Node", index: int, port: OutPort | None) -> None:
+        """Connect input slot ``index`` of ``node`` to ``port``."""
+        old = node.inputs[index]
+        if old is not None:
+            self._uses.get(old, set()).discard(InPort(node, index))
+        node.inputs[index] = port
+        if port is not None:
+            if port.node.id not in self.nodes or self.nodes[port.node.id] is not port.node:
+                raise PegasusError(f"connecting to foreign node {port.node!r}")
+            self._uses.setdefault(port, set()).add(InPort(node, index))
+
+    def uses(self, port: OutPort) -> list[InPort]:
+        """Consumers of ``port``, in deterministic (node id, slot) order."""
+        slots = self._uses.get(port, set())
+        return sorted(slots, key=lambda s: (s.node.id, s.index))
+
+    def has_uses(self, port: OutPort) -> bool:
+        return bool(self._uses.get(port))
+
+    def redirect_uses(self, old: OutPort, new: OutPort) -> int:
+        """Reconnect every consumer of ``old`` to ``new``; returns count."""
+        count = 0
+        for slot in self.uses(old):
+            self.set_input(slot.node, slot.index, new)
+            count += 1
+        return count
+
+    def remove(self, node: "Node") -> None:
+        """Remove a node; it must have no remaining consumers."""
+        for index in range(node.num_outputs):
+            port = OutPort(node, index)
+            if self._uses.get(port):
+                raise PegasusError(
+                    f"removing {node!r} whose output {index} still has uses"
+                )
+        for index, port in enumerate(node.inputs):
+            if port is not None:
+                self._uses.get(port, set()).discard(InPort(node, index))
+        for index in range(node.num_outputs):
+            self._uses.pop(OutPort(node, index), None)
+        del self.nodes[node.id]
+        node.graph = None
+
+    # ------------------------------------------------------------------
+    # Traversal
+
+    def __iter__(self) -> Iterator["Node"]:
+        return iter(sorted(self.nodes.values(), key=lambda n: n.id))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: "Node") -> bool:
+        return self.nodes.get(node.id) is node
+
+    def by_kind(self, *kinds: type) -> list["Node"]:
+        """All nodes that are instances of the given classes, in id order."""
+        return [n for n in self if isinstance(n, kinds)]
+
+    def forward_edges(self, node: "Node") -> Iterable[tuple[int, OutPort]]:
+        """(input slot, producer port) pairs, skipping back edges."""
+        back = node.back_input_indices()
+        for index, port in enumerate(node.inputs):
+            if port is not None and index not in back:
+                yield index, port
+
+    def topological_order(self) -> list["Node"]:
+        """Nodes in a topological order of the forward (acyclic) graph."""
+        order: list["Node"] = []
+        state: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: "Node") -> None:
+            stack = [(node, 0)]
+            while stack:
+                current, phase = stack.pop()
+                if phase == 0:
+                    if state.get(current.id) is not None:
+                        continue
+                    state[current.id] = 0
+                    stack.append((current, 1))
+                    for _, port in self.forward_edges(current):
+                        if state.get(port.node.id) is None:
+                            stack.append((port.node, 0))
+                        elif state.get(port.node.id) == 0:
+                            raise PegasusError(
+                                f"cycle through {current!r} and {port.node!r} "
+                                "in the forward graph"
+                            )
+                else:
+                    state[current.id] = 1
+                    order.append(current)
+
+        for node in self:
+            visit(node)
+        return order
+
+    def stats(self) -> dict[str, int]:
+        """Node counts by class name (static measurements, §7.2)."""
+        counts: dict[str, int] = {}
+        for node in self:
+            counts[type(node).__name__] = counts.get(type(node).__name__, 0) + 1
+        return counts

@@ -1,0 +1,516 @@
+"""Pegasus node kinds.
+
+Input/output conventions (matching §3 of the paper):
+
+===============  =============================  =========================
+node             inputs                          outputs
+===============  =============================  =========================
+Const            —                               value
+Param            —                               value
+BinOp/UnOp/Cast  operand value(s)                value
+Mux (decoded)    p0,v0, p1,v1, ...               selected value
+Merge            one value per incoming edge     forwarded value
+Eta              value, predicate                value (iff predicate)
+Combine          n tokens                        one token
+InitialToken     —                               one token (at start)
+Load             address, predicate, token       value, token
+Store            address, value, predicate,      token
+                 token
+TokenGen(n)      predicate, token                token (§6.3)
+Return           [value,] token                  — (ends the procedure)
+===============  =============================  =========================
+
+Loads and stores execute only when their predicate is true; with a false
+predicate they forward a token instantaneously (a load also produces an
+arbitrary value — we use 0). Token inputs may be a Combine's output or,
+for operations with a single dependence, a direct token edge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.frontend import types as ty
+from repro.pegasus.graph import OutPort
+
+if TYPE_CHECKING:
+    from repro.analysis.locations import Location
+    from repro.pegasus.graph import Graph
+
+# Edge value classes.
+DATA = "data"
+PRED = "pred"
+TOKEN = "token"
+
+
+class Node:
+    """Base class: a hardware operator in the spatial program."""
+
+    num_outputs = 1
+
+    def __init__(self, inputs: list[Optional[OutPort]], hyperblock: int = 0):
+        self.id = -1
+        self.graph: "Graph | None" = None
+        self.inputs = inputs
+        self.hyperblock = hyperblock
+        self.source: str | None = None  # diagnostic tag
+
+    def out(self, index: int = 0) -> OutPort:
+        return OutPort(self, index)
+
+    def back_input_indices(self) -> frozenset[int]:
+        """Input slots whose edges are loop back edges (merge only)."""
+        return frozenset()
+
+    def input_kinds(self) -> list[str]:
+        """Value class expected on each input slot."""
+        raise NotImplementedError
+
+    def output_kinds(self) -> list[str]:
+        return [DATA] * self.num_outputs
+
+    @property
+    def is_memory_op(self) -> bool:
+        return isinstance(self, (LoadNode, StoreNode))
+
+    def label(self) -> str:
+        return type(self).__name__.replace("Node", "").lower()
+
+    def __repr__(self) -> str:
+        return f"{self.label()}#{self.id}"
+
+
+class ConstNode(Node):
+    def __init__(self, value, type_: ty.Type, hyperblock: int = 0):
+        super().__init__([], hyperblock)
+        self.value = value
+        self.type = type_
+
+    def input_kinds(self) -> list[str]:
+        return []
+
+    def label(self) -> str:
+        return f"const({self.value})"
+
+
+class ParamNode(Node):
+    def __init__(self, name: str, type_: ty.Type, index: int):
+        super().__init__([], 0)
+        self.name = name
+        self.type = type_
+        self.index = index
+
+    def input_kinds(self) -> list[str]:
+        return []
+
+    def label(self) -> str:
+        return f"param({self.name})"
+
+
+class SymbolAddrNode(Node):
+    """The address of a named memory object (resolved at simulation start)."""
+
+    def __init__(self, symbol, hyperblock: int = 0):
+        super().__init__([], hyperblock)
+        self.symbol = symbol
+        self.type = ty.ULONG
+
+    def input_kinds(self) -> list[str]:
+        return []
+
+    def label(self) -> str:
+        return f"&{self.symbol.name}"
+
+
+class BinOpNode(Node):
+    def __init__(self, op: str, type_: ty.Type, lhs: OutPort, rhs: OutPort,
+                 hyperblock: int = 0):
+        super().__init__([lhs, rhs], hyperblock)
+        self.op = op
+        self.type = type_
+
+    def input_kinds(self) -> list[str]:
+        return [DATA, DATA]
+
+    def label(self) -> str:
+        return self.op
+
+
+class UnOpNode(Node):
+    def __init__(self, op: str, type_: ty.Type, src: OutPort,
+                 hyperblock: int = 0):
+        super().__init__([src], hyperblock)
+        self.op = op
+        self.type = type_
+
+    def input_kinds(self) -> list[str]:
+        return [DATA]
+
+    def label(self) -> str:
+        return self.op
+
+
+class CastNode(Node):
+    def __init__(self, from_type: ty.Type, to_type: ty.Type, src: OutPort,
+                 hyperblock: int = 0):
+        super().__init__([src], hyperblock)
+        self.from_type = from_type
+        self.to_type = to_type
+
+    def input_kinds(self) -> list[str]:
+        return [DATA]
+
+    def label(self) -> str:
+        return f"cast:{self.to_type}"
+
+
+class MuxNode(Node):
+    """Decoded multiplexor: 2n inputs, (predicate, value) per definition."""
+
+    def __init__(self, pairs: list[tuple[OutPort, OutPort]], type_: ty.Type,
+                 hyperblock: int = 0):
+        flat: list[Optional[OutPort]] = []
+        for pred, value in pairs:
+            flat.append(pred)
+            flat.append(value)
+        super().__init__(flat, hyperblock)
+        self.type = type_
+
+    @property
+    def arms(self) -> int:
+        return len(self.inputs) // 2
+
+    def arm(self, index: int) -> tuple[Optional[OutPort], Optional[OutPort]]:
+        """(predicate port, value port) of arm ``index``."""
+        return self.inputs[2 * index], self.inputs[2 * index + 1]
+
+    def input_kinds(self) -> list[str]:
+        return [PRED, DATA] * self.arms
+
+    def label(self) -> str:
+        return f"mux{self.arms}"
+
+
+class MergeNode(Node):
+    """Control-flow join between hyperblocks (triangle pointing up).
+
+    Merges with loop back inputs are *deterministic* (the classic dataflow
+    loop schema): a control input — the loop-repeat predicate, appended as
+    the last slot — decides, after every forwarded value, whether the next
+    value is drawn from a back input (predicate true) or from an entry
+    input (false: the activation ended, a new one may begin). Without this
+    discipline, pipelined outer loops could inject the next activation's
+    entry value while the previous activation still circulates.
+
+    Join merges without back inputs have no control input: their inputs
+    are mutually exclusive per activation and activations are serialized
+    by the surrounding acyclic control structure.
+    """
+
+    def __init__(self, type_: ty.Type | None, arity: int, hyperblock: int = 0,
+                 value_class: str = DATA):
+        super().__init__([None] * arity, hyperblock)
+        self.type = type_
+        self.value_class = value_class
+        self.back_inputs: set[int] = set()
+        self.has_control = False
+        # Control-stream merges assemble a loop's per-iteration
+        # continue/exit decision from eta contributions inside the body;
+        # they are exempt from the "loop merges need a control" rule (their
+        # inputs arrive strictly serialized, one per iteration).
+        self.is_control_stream = False
+        # Token-circuit merges carry the location class they serialize.
+        self.location_class: int | None = None
+
+    def add_control(self, graph, pred: OutPort) -> None:
+        """Append the loop-predicate control input (last slot)."""
+        if self.has_control:
+            raise ValueError(f"{self!r} already has a control input")
+        self.inputs.append(None)
+        self.has_control = True
+        graph.set_input(self, len(self.inputs) - 1, pred)
+
+    @property
+    def control_slot(self) -> int | None:
+        return len(self.inputs) - 1 if self.has_control else None
+
+    def value_slots(self) -> list[int]:
+        """Input slots carrying values (everything but the control)."""
+        count = len(self.inputs) - (1 if self.has_control else 0)
+        return list(range(count))
+
+    def entry_slots(self) -> list[int]:
+        return [i for i in self.value_slots() if i not in self.back_inputs]
+
+    def back_input_indices(self) -> frozenset[int]:
+        # The control predicate is computed inside the loop and flows to
+        # the header: topologically a back edge too.
+        if self.has_control:
+            return frozenset(self.back_inputs | {len(self.inputs) - 1})
+        return frozenset(self.back_inputs)
+
+    def input_kinds(self) -> list[str]:
+        kinds = [self.value_class] * len(self.inputs)
+        if self.has_control:
+            kinds[-1] = PRED
+        return kinds
+
+    def output_kinds(self) -> list[str]:
+        return [self.value_class]
+
+    def label(self) -> str:
+        suffix = f"@c{self.location_class}" if self.location_class is not None else ""
+        return f"merge{suffix}"
+
+
+class EtaNode(Node):
+    """Gated transfer out of a hyperblock (triangle pointing down).
+
+    An eta whose value *and* predicate are both constant wires has no
+    arrival to pace its firing; such etas carry a third *trigger* input —
+    a token from their hyperblock's class-0 stream — so they fire exactly
+    once per hyperblock activation (per iteration, in a loop body).
+    """
+
+    def __init__(self, type_: ty.Type | None, value: Optional[OutPort],
+                 pred: Optional[OutPort], hyperblock: int = 0,
+                 value_class: str = DATA):
+        super().__init__([value, pred], hyperblock)
+        self.type = type_
+        self.value_class = value_class
+        self.has_trigger = False
+        self.location_class: int | None = None
+
+    def add_trigger(self, graph, token: OutPort) -> None:
+        if self.has_trigger:
+            raise ValueError(f"{self!r} already has a trigger")
+        self.inputs.append(None)
+        self.has_trigger = True
+        graph.set_input(self, 2, token)
+
+    @property
+    def value_input(self) -> Optional[OutPort]:
+        return self.inputs[0]
+
+    @property
+    def pred_input(self) -> Optional[OutPort]:
+        return self.inputs[1]
+
+    def input_kinds(self) -> list[str]:
+        kinds = [self.value_class, PRED]
+        if self.has_trigger:
+            kinds.append(TOKEN)
+        return kinds
+
+    def output_kinds(self) -> list[str]:
+        return [self.value_class]
+
+    def label(self) -> str:
+        suffix = f"@c{self.location_class}" if self.location_class is not None else ""
+        return f"eta{suffix}"
+
+
+class ControlStreamNode(Node):
+    """Assembles a loop's per-iteration continue/exit decision (§3.1 aid).
+
+    Each input is a *pulse*: an existing eta output on one back edge or one
+    loop-exit edge (exactly one of them fires per iteration). When slot i
+    fires, the node emits constant 1 if i is a back-edge slot ("a back
+    value is coming") or 0 (the loop exited). The consumed value itself is
+    ignored, so any per-iteration stream on the edge serves — a live
+    scalar's eta or a token eta.
+
+    Every input closes a cycle through the loop, so all slots are back
+    edges topologically.
+    """
+
+    def __init__(self, arity: int, true_slots: set[int], hyperblock: int = 0):
+        super().__init__([None] * arity, hyperblock)
+        self.true_slots = set(true_slots)
+        self.type = ty.INT
+
+    def back_input_indices(self) -> frozenset[int]:
+        return frozenset(range(len(self.inputs)))
+
+    def input_kinds(self) -> list[str]:
+        # Pulses may be data or token values; verification special-cases
+        # this node (see verify._verify_node).
+        return [DATA] * len(self.inputs)
+
+    def output_kinds(self) -> list[str]:
+        return [DATA]
+
+    def label(self) -> str:
+        return "ctrl"
+
+
+class CombineNode(Node):
+    """Token combine ("V"): waits for all inputs, emits one token."""
+
+    def __init__(self, tokens: list[Optional[OutPort]], hyperblock: int = 0):
+        super().__init__(list(tokens), hyperblock)
+
+    def input_kinds(self) -> list[str]:
+        return [TOKEN] * len(self.inputs)
+
+    def output_kinds(self) -> list[str]:
+        return [TOKEN]
+
+    def label(self) -> str:
+        return "V"
+
+
+class InitialTokenNode(Node):
+    """The "*" node: the token present when the procedure starts."""
+
+    def __init__(self, location_class: int | None = None):
+        super().__init__([], 0)
+        self.location_class = location_class
+
+    def input_kinds(self) -> list[str]:
+        return []
+
+    def output_kinds(self) -> list[str]:
+        return [TOKEN]
+
+    def label(self) -> str:
+        return "*"
+
+
+class LoadNode(Node):
+    """A memory read. Outputs: 0 = loaded value, 1 = token."""
+
+    num_outputs = 2
+    ADDR, PRED_IN, TOKEN_IN = 0, 1, 2
+    VALUE_OUT, TOKEN_OUT = 0, 1
+
+    def __init__(self, type_: ty.Type, addr: Optional[OutPort],
+                 pred: Optional[OutPort], token: Optional[OutPort],
+                 rwset: "frozenset[Location]", hyperblock: int = 0):
+        super().__init__([addr, pred, token], hyperblock)
+        self.type = type_
+        self.rwset = rwset
+        self.immutable = False  # §4.2: no serialization needed
+
+    @property
+    def width(self) -> int:
+        return self.type.size if not self.type.is_pointer else 8
+
+    def input_kinds(self) -> list[str]:
+        return [DATA, PRED, TOKEN]
+
+    def output_kinds(self) -> list[str]:
+        return [DATA, TOKEN]
+
+    def label(self) -> str:
+        return "load!" if self.immutable else "load"
+
+
+class StoreNode(Node):
+    """A memory write. Output 0 = token."""
+
+    ADDR, VALUE_IN, PRED_IN, TOKEN_IN = 0, 1, 2, 3
+    TOKEN_OUT = 0
+
+    def __init__(self, type_: ty.Type, addr: Optional[OutPort],
+                 value: Optional[OutPort], pred: Optional[OutPort],
+                 token: Optional[OutPort], rwset: "frozenset[Location]",
+                 hyperblock: int = 0):
+        super().__init__([addr, value, pred, token], hyperblock)
+        self.type = type_
+        self.rwset = rwset
+
+    @property
+    def width(self) -> int:
+        return self.type.size if not self.type.is_pointer else 8
+
+    def input_kinds(self) -> list[str]:
+        return [DATA, DATA, PRED, TOKEN]
+
+    def output_kinds(self) -> list[str]:
+        return [TOKEN]
+
+    def label(self) -> str:
+        return "store"
+
+
+class TokenGenNode(Node):
+    """The token generator tk(n) of loop decoupling (§6.3).
+
+    Maintains a counter initialized to ``count``. A true predicate asks for
+    a token: if credit remains, one is emitted and the counter decremented.
+    Each token received on the token input increments the counter (and
+    satisfies a waiting request, if any). A false predicate (loop complete)
+    resets the counter to ``count``.
+    """
+
+    def __init__(self, count: int, pred: Optional[OutPort],
+                 token: Optional[OutPort], hyperblock: int = 0):
+        super().__init__([pred, token], hyperblock)
+        self.count = count
+
+    def back_input_indices(self) -> frozenset[int]:
+        # The token input may close a cycle (e.g. a true recurrence where
+        # the constrained group's data feeds the free group): the counter's
+        # initial credits break the cycle like a pipeline register, so the
+        # edge is a back edge topologically.
+        return frozenset({1})
+
+    def input_kinds(self) -> list[str]:
+        return [PRED, TOKEN]
+
+    def output_kinds(self) -> list[str]:
+        return [TOKEN]
+
+    def label(self) -> str:
+        return f"tk({self.count})"
+
+
+def is_static_wire(port: Optional[OutPort], depth: int = 32) -> bool:
+    """Is this port a constant wire (always readable, never consumed)?
+
+    Mirrors the dataflow simulator's stickiness rule: constants, parameters
+    and object addresses, closed under pure arithmetic and muxes.
+    """
+    if port is None or depth <= 0:
+        return False
+    node = port.node
+    if isinstance(node, (ConstNode, ParamNode, SymbolAddrNode)):
+        return True
+    if isinstance(node, (BinOpNode, UnOpNode, CastNode, MuxNode)):
+        return all(is_static_wire(p, depth - 1) for p in node.inputs)
+    return False
+
+
+class ReturnNode(Node):
+    """Procedure completion: fires once value (if any) and token arrive."""
+
+    def __init__(self, type_: ty.Type | None, value: Optional[OutPort],
+                 token: Optional[OutPort], hyperblock: int = 0):
+        if type_ is None:
+            super().__init__([token], hyperblock)
+        else:
+            super().__init__([value, token], hyperblock)
+        self.type = type_
+
+    num_outputs = 0
+
+    @property
+    def value_input(self) -> Optional[OutPort]:
+        return self.inputs[0] if self.type is not None else None
+
+    @property
+    def token_input(self) -> Optional[OutPort]:
+        return self.inputs[-1]
+
+    def input_kinds(self) -> list[str]:
+        kinds = [TOKEN]
+        if self.type is not None:
+            kinds.insert(0, DATA)
+        return kinds
+
+    def output_kinds(self) -> list[str]:
+        return []
+
+    def label(self) -> str:
+        return "ret"

@@ -1,0 +1,68 @@
+"""Text and Graphviz dumps of Pegasus graphs, for debugging and docs.
+
+The dot output follows the paper's drawing conventions: dotted edges for
+predicates, dashed edges for tokens, trapezoids for muxes, triangles for
+merge/eta, "V" for combines, "*" for the initial token.
+"""
+
+from __future__ import annotations
+
+from repro.pegasus.graph import Graph
+from repro.pegasus import nodes as N
+
+
+def dump_text(graph: Graph) -> str:
+    """One line per node: id, hyperblock, label, inputs."""
+    lines = [f"graph {graph.name} ({len(graph)} nodes)"]
+    for node in graph:
+        inputs = ", ".join(
+            "-" if port is None else f"{port.node.id}.{port.index}"
+            for port in node.inputs
+        )
+        lines.append(f"  h{node.hyperblock} #{node.id} {node.label()} [{inputs}]")
+    return "\n".join(lines)
+
+
+_SHAPES = {
+    N.MuxNode: "trapezium",
+    N.MergeNode: "triangle",
+    N.EtaNode: "invtriangle",
+    N.CombineNode: "invhouse",
+    N.LoadNode: "box",
+    N.StoreNode: "box",
+    N.TokenGenNode: "doublecircle",
+    N.ReturnNode: "doubleoctagon",
+}
+
+
+def dump_dot(graph: Graph) -> str:
+    """Graphviz source grouped by hyperblock."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    by_hb: dict[int, list[N.Node]] = {}
+    for node in graph:
+        by_hb.setdefault(node.hyperblock, []).append(node)
+    for hb_id in sorted(by_hb):
+        lines.append(f"  subgraph cluster_{hb_id} {{")
+        lines.append(f'    label="hyperblock {hb_id}";')
+        for node in by_hb[hb_id]:
+            shape = _SHAPES.get(type(node), "ellipse")
+            lines.append(
+                f'    n{node.id} [label="{node.label()}#{node.id}" shape={shape}];'
+            )
+        lines.append("  }")
+    for node in graph:
+        kinds = node.input_kinds()
+        back = node.back_input_indices()
+        for index, port in enumerate(node.inputs):
+            if port is None:
+                continue
+            style = ""
+            if kinds[index] == N.TOKEN:
+                style = " [style=dashed]"
+            elif kinds[index] == N.PRED:
+                style = " [style=dotted]"
+            if index in back:
+                style = ' [style=dashed constraint=false color=gray]'
+            lines.append(f"  n{port.node.id} -> n{node.id}{style};")
+    lines.append("}")
+    return "\n".join(lines)

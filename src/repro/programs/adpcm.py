@@ -1,0 +1,386 @@
+"""ADPCM encode/decode kernels (MediaBench ``adpcm_e`` / ``adpcm_d``).
+
+A faithful IMA ADPCM codec: the same step-size/index tables and update
+rules as the classic Intel/DVI reference code the MediaBench benchmark
+wraps. The input waveform is synthesized on-chip by a deterministic
+triangle-plus-LCG generator, so the memory behaviour (sequential reads of
+PCM, sequential writes of nibbles, const-table lookups) matches the
+original's.
+"""
+
+from repro.programs.base import Kernel, register
+
+_TABLES = """
+const int indexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+const int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+"""
+
+_GENERATOR = """
+int synth_input(short *pcm, int n)
+{
+    int i;
+    unsigned seed = 12345;
+    int wave = 0;
+    int dir = 1;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        wave += dir * 400;
+        if (wave > 14000) dir = -1;
+        if (wave < -14000) dir = 1;
+        pcm[i] = (short)(wave + (int)((seed >> 16) & 511) - 256);
+    }
+    return n;
+}
+"""
+
+ENCODER_SOURCE = _TABLES + _GENERATOR + """
+short pcm_in[1024];
+char code_out[512];
+
+int adpcm_coder(short *indata, char *outdata, int len)
+{
+#pragma independent indata outdata
+    int val;
+    int sign;
+    int delta;
+    int diff;
+    int step;
+    int valpred = 0;
+    int vpdiff;
+    int index = 0;
+    int outputbuffer = 0;
+    int bufferstep = 1;
+    int i;
+    int bytes = 0;
+
+    for (i = 0; i < len; i++) {
+        val = indata[i];
+        step = stepsizeTable[index];
+
+        diff = val - valpred;
+        sign = (diff < 0) ? 8 : 0;
+        if (sign) diff = -diff;
+
+        delta = 0;
+        vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        delta |= sign;
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+
+        if (bufferstep) {
+            outputbuffer = (delta << 4) & 0xf0;
+        } else {
+            outdata[bytes] = (char)((delta & 0x0f) | outputbuffer);
+            bytes++;
+        }
+        bufferstep = !bufferstep;
+    }
+    if (!bufferstep) {
+        outdata[bytes] = (char)outputbuffer;
+        bytes++;
+    }
+    return bytes;
+}
+
+int adpcm_encode_main(int samples)
+{
+    int i;
+    int bytes;
+    unsigned checksum = 0;
+    synth_input(pcm_in, samples);
+    bytes = adpcm_coder(pcm_in, code_out, samples);
+    for (i = 0; i < bytes; i++) {
+        checksum = checksum * 31 + (unsigned char)code_out[i];
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+DECODER_SOURCE = _TABLES + _GENERATOR + """
+short pcm_in[1024];
+char code_mid[512];
+short pcm_out[1024];
+
+int adpcm_decoder(char *indata, short *outdata, int len)
+{
+#pragma independent indata outdata
+    int sign;
+    int delta;
+    int step;
+    int valpred = 0;
+    int vpdiff;
+    int index = 0;
+    int inputbuffer = 0;
+    int bufferstep = 0;
+    int i;
+
+    for (i = 0; i < len; i++) {
+        if (bufferstep) {
+            delta = inputbuffer & 0xf;
+        } else {
+            inputbuffer = (unsigned char)indata[i >> 1];
+            delta = (inputbuffer >> 4) & 0xf;
+        }
+        bufferstep = !bufferstep;
+
+        step = stepsizeTable[index];
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+
+        sign = delta & 8;
+        delta = delta & 7;
+
+        vpdiff = step >> 3;
+        if (delta & 4) vpdiff += step;
+        if (delta & 2) vpdiff += step >> 1;
+        if (delta & 1) vpdiff += step >> 2;
+
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        outdata[i] = (short)valpred;
+    }
+    return len;
+}
+
+int encode_for_decode(short *indata, char *outdata, int len)
+{
+    int val; int sign; int delta; int diff; int step;
+    int valpred = 0; int vpdiff; int index = 0;
+    int outputbuffer = 0; int bufferstep = 1;
+    int i; int bytes = 0;
+    for (i = 0; i < len; i++) {
+        val = indata[i];
+        step = stepsizeTable[index];
+        diff = val - valpred;
+        sign = (diff < 0) ? 8 : 0;
+        if (sign) diff = -diff;
+        delta = 0;
+        vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 1; vpdiff += step; }
+        if (sign) valpred -= vpdiff; else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        delta |= sign;
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        if (bufferstep) {
+            outputbuffer = (delta << 4) & 0xf0;
+        } else {
+            outdata[bytes] = (char)((delta & 0x0f) | outputbuffer);
+            bytes++;
+        }
+        bufferstep = !bufferstep;
+    }
+    if (!bufferstep) { outdata[bytes] = (char)outputbuffer; bytes++; }
+    return bytes;
+}
+
+int adpcm_decode_main(int samples)
+{
+    int i;
+    long checksum = 0;
+    synth_input(pcm_in, samples);
+    encode_for_decode(pcm_in, code_mid, samples);
+    adpcm_decoder(code_mid, pcm_out, samples);
+    for (i = 0; i < samples; i++) {
+        checksum += pcm_out[i] ^ (i << 2);
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+
+def reference_encode(samples: int) -> int:
+    """Independent Python model of ``adpcm_encode_main``."""
+    pcm = _synth_input(samples)
+    data, _ = _coder(pcm)
+    checksum = 0
+    for byte in data:
+        checksum = (checksum * 31 + byte) & 0xFFFFFFFF
+    return checksum & 0x7FFFFFFF
+
+
+def reference_decode(samples: int) -> int:
+    pcm = _synth_input(samples)
+    data, _ = _coder(pcm)
+    out = _decoder(data, samples)
+    checksum = 0
+    for i, sample in enumerate(out):
+        checksum += sample ^ (i << 2)
+    return checksum & 0x7FFFFFFF
+
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+    7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+    18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+
+def _synth_input(n: int) -> list[int]:
+    seed = 12345
+    wave = 0
+    direction = 1
+    pcm = []
+    for _ in range(n):
+        seed = (seed * 1103515245 + 12345) & 0xFFFFFFFF
+        wave += direction * 400
+        if wave > 14000:
+            direction = -1
+        if wave < -14000:
+            direction = 1
+        value = wave + ((seed >> 16) & 511) - 256
+        value &= 0xFFFF
+        if value >= 0x8000:
+            value -= 0x10000
+        pcm.append(value)
+    return pcm
+
+
+def _coder(pcm: list[int]) -> tuple[list[int], int]:
+    valpred = 0
+    index = 0
+    outputbuffer = 0
+    bufferstep = 1
+    data: list[int] = []
+    for val in pcm:
+        step = STEP_TABLE[index]
+        diff = val - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+        if bufferstep:
+            outputbuffer = (delta << 4) & 0xF0
+        else:
+            data.append((delta & 0x0F) | outputbuffer)
+        bufferstep = not bufferstep
+    if not bufferstep:
+        data.append(outputbuffer)
+    return data, valpred
+
+
+def _decoder(data: list[int], n: int) -> list[int]:
+    valpred = 0
+    index = 0
+    inputbuffer = 0
+    bufferstep = 0
+    out = []
+    for i in range(n):
+        if bufferstep:
+            delta = inputbuffer & 0xF
+        else:
+            inputbuffer = data[i >> 1]
+            delta = (inputbuffer >> 4) & 0xF
+        bufferstep = not bufferstep
+        step = STEP_TABLE[index]
+        index += INDEX_TABLE[delta]
+        index = max(0, min(88, index))
+        sign = delta & 8
+        delta &= 7
+        vpdiff = step >> 3
+        if delta & 4:
+            vpdiff += step
+        if delta & 2:
+            vpdiff += step >> 1
+        if delta & 1:
+            vpdiff += step >> 2
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        out.append(valpred)
+    return out
+
+
+SAMPLES = 600
+
+ADPCM_E = register(Kernel(
+    name="adpcm_e",
+    family="MediaBench adpcm (encode)",
+    source=ENCODER_SOURCE,
+    entry="adpcm_encode_main",
+    args=(SAMPLES,),
+    golden=reference_encode(SAMPLES),
+    description="IMA ADPCM encoder over a synthesized waveform",
+    pragma_count=1,
+))
+
+ADPCM_D = register(Kernel(
+    name="adpcm_d",
+    family="MediaBench adpcm (decode)",
+    source=DECODER_SOURCE,
+    entry="adpcm_decode_main",
+    args=(SAMPLES,),
+    golden=reference_decode(SAMPLES),
+    description="IMA ADPCM decoder over an encoded synthesized waveform",
+    pragma_count=1,
+))

@@ -1,0 +1,70 @@
+"""Kernel registry for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+_REGISTRY: dict[str, "Kernel"] = {}
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One self-checking benchmark program.
+
+    ``golden`` is the expected return value of ``entry(*args)``; it was
+    produced by the sequential oracle and, for kernels with a ``reference``
+    model, independently confirmed in the test suite.
+    """
+
+    name: str
+    family: str           # which paper benchmark this stands in for
+    source: str
+    entry: str
+    args: tuple = ()
+    golden: object = None
+    entry_points_to: dict | None = None
+    description: str = ""
+    # Metadata for Table 2.
+    pragma_count: int = 0
+
+    @property
+    def source_lines(self) -> int:
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    @property
+    def function_count(self) -> int:
+        # Counted at registration; cheap heuristic kept in sync by tests.
+        count = 0
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if stripped.endswith(")") and "(" in stripped and not (
+                stripped.startswith(("if", "for", "while", "do", "return", "}"))
+            ) and not stripped.endswith(";"):
+                count += 1
+        return count
+
+    def check(self, value: object) -> None:
+        if self.golden is not None and value != self.golden:
+            raise WorkloadError(
+                f"{self.name}: self-check failed: got {value}, "
+                f"expected {self.golden}"
+            )
+
+
+def register(kernel: Kernel) -> Kernel:
+    if kernel.name in _REGISTRY:
+        raise ValueError(f"duplicate kernel {kernel.name}")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def all_kernels() -> list[Kernel]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_kernel(name: str) -> Kernel:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}; have {sorted(_REGISTRY)}")
+    return _REGISTRY[name]

@@ -1,0 +1,186 @@
+"""EPIC-style image pyramid kernels (MediaBench ``epic_e`` / ``epic_d``).
+
+EPIC builds Laplacian pyramids with separable filters. The encoder kernel
+runs one level of separable low-pass filtering plus 2:1 decimation and a
+uniform quantizer; the decoder upsamples, interpolates, and reconstructs.
+Integer arithmetic, reflected boundaries — the access pattern (strided
+rows/columns, small constant filter taps) matches the original.
+"""
+
+from repro.programs.base import Kernel, register
+
+_COMMON = """
+#define W 32
+#define H 24
+
+int image[768];
+int temp[768];
+
+const int taps[5] = { 1, 4, 6, 4, 1 };
+
+int make_image(int seed0)
+{
+    int x;
+    int y;
+    unsigned seed = (unsigned)seed0;
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            seed = seed * 1103515245 + 12345;
+            image[y * W + x] = (int)((seed >> 16) & 255)
+                + ((x + y) & 15) * 4;
+        }
+    }
+    return W * H;
+}
+
+int reflect(int i, int n)
+{
+    if (i < 0) return -i;
+    if (i >= n) return 2 * n - 2 - i;
+    return i;
+}
+"""
+
+ENCODE_SOURCE = _COMMON + """
+int lowpass[768];
+int coded[768];
+
+int filter_rows(int *src, int *dst)
+{
+#pragma independent src dst
+    int x; int y; int k;
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            int acc = 0;
+            for (k = -2; k <= 2; k++) {
+                acc += taps[k + 2] * src[y * W + reflect(x + k, W)];
+            }
+            dst[y * W + x] = acc >> 4;
+        }
+    }
+    return W * H;
+}
+
+int filter_cols(int *src, int *dst)
+{
+#pragma independent src dst
+    int x; int y; int k;
+    for (x = 0; x < W; x++) {
+        for (y = 0; y < H; y++) {
+            int acc = 0;
+            for (k = -2; k <= 2; k++) {
+                acc += taps[k + 2] * src[reflect(y + k, H) * W + x];
+            }
+            dst[y * W + x] = acc >> 4;
+        }
+    }
+    return W * H;
+}
+
+int quantize_band(int *src, int *dst, int step)
+{
+#pragma independent src dst
+    int i;
+    int count = 0;
+    for (i = 0; i < W * H; i++) {
+        int v = src[i];
+        /* the output slot doubles as a rounding temporary (the paper's
+           Section 2 idiom); the intermediate stores and the re-load are
+           removed by the redundancy eliminations */
+        dst[i] = v + step / 2;
+        if (v < 0) dst[i] = -v + step / 2;
+        dst[i] /= step;
+        if (v < 0) dst[i] = -dst[i];
+        if (dst[i]) count++;
+    }
+    return count;
+}
+
+int epic_encode(int seed)
+{
+    int i;
+    long checksum = 0;
+    int nonzero;
+    make_image(seed);
+    filter_rows(image, temp);
+    filter_cols(temp, lowpass);
+    nonzero = quantize_band(lowpass, coded, 6);
+    for (i = 0; i < W * H; i++) checksum += coded[i] * (i % 7 + 1);
+    return (int)((checksum + nonzero) & 0x7fffffff);
+}
+"""
+
+DECODE_SOURCE = _COMMON + """
+int coded[768];
+int recon[768];
+
+int fill_coded(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < W * H; i++) {
+        seed = seed * 22695477 + 1;
+        coded[i] = (int)((seed >> 24) & 31) - 16;
+    }
+    return W * H;
+}
+
+int dequantize_band(int *src, int *dst, int step)
+{
+#pragma independent src dst
+    int i;
+    for (i = 0; i < W * H; i++) {
+        dst[i] = src[i] * step;
+    }
+    return W * H;
+}
+
+int smooth(int *src, int *dst)
+{
+#pragma independent src dst
+    int x; int y; int k;
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            int acc = 0;
+            for (k = -2; k <= 2; k++) {
+                acc += taps[k + 2] * src[y * W + reflect(x + k, W)];
+            }
+            dst[y * W + x] = acc >> 4;
+        }
+    }
+    return W * H;
+}
+
+int epic_decode(int seed)
+{
+    int i;
+    long checksum = 0;
+    fill_coded(seed);
+    dequantize_band(coded, temp, 6);
+    smooth(temp, recon);
+    for (i = 0; i < W * H; i++) checksum += recon[i] ^ i;
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+EPIC_E = register(Kernel(
+    name="epic_e",
+    family="MediaBench epic (encode)",
+    source=ENCODE_SOURCE,
+    entry="epic_encode",
+    args=(7,),
+    golden=81727,
+    description="Separable pyramid filtering + quantization of one band",
+    pragma_count=3,
+))
+
+EPIC_D = register(Kernel(
+    name="epic_d",
+    family="MediaBench epic (decode)",
+    source=DECODE_SOURCE,
+    entry="epic_decode",
+    args=(7,),
+    golden=2147451434,
+    description="Band dequantization + smoothing reconstruction",
+    pragma_count=2,
+))

@@ -1,0 +1,177 @@
+"""G.721-style ADPCM kernels (MediaBench ``g721_e`` / ``g721_d``).
+
+A fixed-point adaptive predictor in the spirit of G.721: a two-pole,
+six-zero filter whose coefficients adapt by sign-sign LMS, plus a stepsize
+state machine. Not bit-exact G.721 (the spec's tables are long), but the
+same computation pattern: serial state recurrences through small arrays —
+the loop-carried-dependence-heavy profile that makes ``g721`` hard to
+pipeline in the paper's data too.
+"""
+
+from repro.programs.base import Kernel, register
+
+_COMMON = """
+short src[800];
+int dq_hist[6];
+int b_coef[6];
+int a_coef[2];
+int sr_hist[2];
+
+int synth(short *buffer, int n)
+{
+    int i;
+    unsigned seed = 777;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1664525 + 1013904223;
+        buffer[i] = (short)(((seed >> 18) & 2047) - 1024);
+    }
+    return n;
+}
+
+int predict(void)
+{
+    int i;
+    long acc = 0;
+    for (i = 0; i < 6; i++) {
+        acc += (long)b_coef[i] * dq_hist[i];
+    }
+    acc += (long)a_coef[0] * sr_hist[0];
+    acc += (long)a_coef[1] * sr_hist[1];
+    return (int)(acc >> 14);
+}
+
+int quantize(int diff, int step)
+{
+    int sign = 0;
+    int code;
+    if (diff < 0) { sign = 8; diff = -diff; }
+    code = 0;
+    if (diff >= step) { code = 4; diff -= step; }
+    if (diff >= (step >> 1)) { code |= 2; diff -= step >> 1; }
+    if (diff >= (step >> 2)) { code |= 1; }
+    return code | sign;
+}
+
+int dequantize(int code, int step)
+{
+    int dq = step >> 3;
+    if (code & 4) dq += step;
+    if (code & 2) dq += step >> 1;
+    if (code & 1) dq += step >> 2;
+    if (code & 8) dq = -dq;
+    return dq;
+}
+
+int update_state(int code, int dq, int sr)
+{
+    int i;
+    for (i = 5; i > 0; i--) {
+        dq_hist[i] = dq_hist[i-1];
+        if ((dq_hist[i] >= 0) == (dq >= 0)) b_coef[i] += 8;
+        else b_coef[i] -= 8;
+        if (b_coef[i] > 2048) b_coef[i] = 2048;
+        if (b_coef[i] < -2048) b_coef[i] = -2048;
+    }
+    dq_hist[0] = dq;
+    sr_hist[1] = sr_hist[0];
+    sr_hist[0] = sr;
+    if ((sr_hist[0] >= 0) == (sr_hist[1] >= 0)) a_coef[0] += 16;
+    else a_coef[0] -= 16;
+    if (a_coef[0] > 8192) a_coef[0] = 8192;
+    if (a_coef[0] < -8192) a_coef[0] = -8192;
+    a_coef[1] = -(a_coef[0] >> 2);
+    return code;
+}
+
+int step_adapt(int step, int code)
+{
+    int magnitude = code & 7;
+    if (magnitude >= 4) step += step >> 3;
+    else if (magnitude <= 1) step -= step >> 4;
+    if (step < 16) step = 16;
+    if (step > 16384) step = 16384;
+    return step;
+}
+"""
+
+ENCODE_SOURCE = _COMMON + """
+char codes[800];
+
+int g721_encode(int n)
+{
+    int i;
+    int step = 64;
+    unsigned checksum = 0;
+    synth(src, n);
+    for (i = 0; i < n; i++) {
+        int se = predict();
+        int diff = src[i] - se;
+        int code = quantize(diff, step);
+        int dq = dequantize(code, step);
+        update_state(code, dq, se + dq);
+        step = step_adapt(step, code);
+        codes[i] = (char)code;
+        checksum = checksum * 17 + (unsigned)(code & 0xf);
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+DECODE_SOURCE = _COMMON + """
+char codes[800];
+short out[800];
+
+int g721_make_codes(int n)
+{
+    int i;
+    unsigned seed = 31337;
+    for (i = 0; i < n; i++) {
+        seed = seed * 69069 + 1;
+        codes[i] = (char)((seed >> 13) & 0xf);
+    }
+    return n;
+}
+
+int g721_decode(int n)
+{
+    int i;
+    int step = 64;
+    long checksum = 0;
+    g721_make_codes(n);
+    for (i = 0; i < n; i++) {
+        int code = codes[i] & 0xf;
+        int se = predict();
+        int dq = dequantize(code, step);
+        int sr = se + dq;
+        update_state(code, dq, sr);
+        step = step_adapt(step, code);
+        if (sr > 32767) sr = 32767;
+        if (sr < -32768) sr = -32768;
+        out[i] = (short)sr;
+        checksum += sr ^ i;
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+SAMPLES = 400
+
+G721_E = register(Kernel(
+    name="g721_e",
+    family="MediaBench g721 (encode)",
+    source=ENCODE_SOURCE,
+    entry="g721_encode",
+    args=(SAMPLES,),
+    golden=1502813461,  # pinned by tests via the sequential oracle
+    description="G.721-style adaptive-predictor encoder",
+))
+
+G721_D = register(Kernel(
+    name="g721_d",
+    family="MediaBench g721 (decode)",
+    source=DECODE_SOURCE,
+    entry="g721_decode",
+    args=(SAMPLES,),
+    golden=329605,
+    description="G.721-style adaptive-predictor decoder",
+))

@@ -1,0 +1,173 @@
+"""GSM 06.10-style kernels (MediaBench ``gsm_e`` / ``gsm_d``).
+
+The encoder kernel is the short-term analysis core of GSM full-rate:
+autocorrelation over a 160-sample frame, Schur-style reflection
+coefficients in fixed point, and inverse filtering. The decoder runs the
+synthesis (lattice) filter. Saturating 16-bit arithmetic throughout, as in
+the standard's reference implementation.
+"""
+
+from repro.programs.base import Kernel, register
+
+_COMMON = """
+#define FRAME 160
+
+short frame_buf[FRAME];
+long acf[9];
+short refl[8];
+
+int gsm_add(int a, int b)
+{
+    int sum = a + b;
+    if (sum > 32767) sum = 32767;
+    if (sum < -32768) sum = -32768;
+    return sum;
+}
+
+int gsm_mult_r(int a, int b)
+{
+    long prod = (long)a * (long)b + 16384;
+    return (int)(prod >> 15);
+}
+
+int synth_frame(short *buffer, int n, int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    int acc = 0;
+    for (i = 0; i < n; i++) {
+        seed = seed * 2147001325 + 715136305;
+        acc = (acc * 3) / 4 + (int)((seed >> 20) & 1023) - 512;
+        buffer[i] = (short)acc;
+    }
+    return n;
+}
+
+int autocorrelation(short *samples, long *corr, int n)
+{
+#pragma independent samples corr
+    int k;
+    int i;
+    for (k = 0; k <= 8; k++) {
+        long sum = 0;
+        for (i = k; i < n; i++) {
+            sum += (long)samples[i] * (long)samples[i - k];
+        }
+        corr[k] = sum >> 4;
+    }
+    return 9;
+}
+
+int reflection_coefficients(long *corr, short *r)
+{
+#pragma independent corr r
+    int i;
+    long p0 = corr[0];
+    for (i = 0; i < 8; i++) {
+        long pk = corr[i + 1];
+        long coeff;
+        if (p0 == 0) coeff = 0;
+        else coeff = -(pk << 13) / (p0 + 1);
+        if (coeff > 32767) coeff = 32767;
+        if (coeff < -32768) coeff = -32768;
+        r[i] = (short)coeff;
+        p0 = p0 - ((pk * pk) / (p0 + 1));
+        if (p0 <= 0) p0 = 1;
+    }
+    return 8;
+}
+"""
+
+ENCODE_SOURCE = _COMMON + """
+short residual[FRAME];
+
+int short_term_analysis(short *samples, short *r, short *out, int n)
+{
+#pragma independent samples out
+    int i;
+    int j;
+    int u[8];
+    for (j = 0; j < 8; j++) u[j] = 0;
+    for (i = 0; i < n; i++) {
+        int d = samples[i];
+        for (j = 0; j < 8; j++) {
+            int ui = u[j];
+            int rj = r[j];
+            u[j] = gsm_add(ui, gsm_mult_r(rj, d));
+            d = gsm_add(d, gsm_mult_r(rj, ui));
+        }
+        out[i] = (short)d;
+    }
+    return n;
+}
+
+int gsm_encode_frame(int seed)
+{
+    int i;
+    long checksum = 0;
+    synth_frame(frame_buf, FRAME, seed);
+    autocorrelation(frame_buf, acf, FRAME);
+    reflection_coefficients(acf, refl);
+    short_term_analysis(frame_buf, refl, residual, FRAME);
+    for (i = 0; i < FRAME; i++) checksum += residual[i] ^ (i * 3);
+    for (i = 0; i < 8; i++) checksum += refl[i];
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+DECODE_SOURCE = _COMMON + """
+short synth_out[FRAME];
+
+int short_term_synthesis(short *res, short *r, short *out, int n)
+{
+#pragma independent res out
+    int i;
+    int j;
+    int v[9];
+    for (j = 0; j < 9; j++) v[j] = 0;
+    for (i = 0; i < n; i++) {
+        int s = res[i];
+        for (j = 7; j >= 0; j--) {
+            s = gsm_add(s, gsm_mult_r(-r[j], v[j]));
+            v[j + 1] = gsm_add(v[j], gsm_mult_r(r[j], s));
+        }
+        v[0] = s;
+        out[i] = (short)s;
+    }
+    return n;
+}
+
+int gsm_decode_frame(int seed)
+{
+    int i;
+    long checksum = 0;
+    synth_frame(frame_buf, FRAME, seed);
+    autocorrelation(frame_buf, acf, FRAME);
+    reflection_coefficients(acf, refl);
+    short_term_synthesis(frame_buf, refl, synth_out, FRAME);
+    for (i = 0; i < FRAME; i++) checksum += synth_out[i] ^ (i << 1);
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+GSM_E = register(Kernel(
+    name="gsm_e",
+    family="MediaBench gsm (encode)",
+    source=ENCODE_SOURCE,
+    entry="gsm_encode_frame",
+    args=(42,),
+    golden=4872760,
+    description="GSM short-term LPC analysis over one synthesized frame",
+    pragma_count=3,
+))
+
+GSM_D = register(Kernel(
+    name="gsm_d",
+    family="MediaBench gsm (decode)",
+    source=DECODE_SOURCE,
+    entry="gsm_decode_frame",
+    args=(42,),
+    golden=2147291739,
+    description="GSM short-term synthesis filter over one frame",
+    pragma_count=3,
+))

@@ -1,0 +1,183 @@
+"""JPEG-style kernels (MediaBench ``jpeg_e`` / ``jpeg_d``).
+
+Encoder: the ``cjpeg`` hot path — level shift, separable integer forward
+DCT (the classic add/sub butterfly skeleton), and quantization with the
+Annex-K luminance table. Decoder: dequantization, inverse transform, and
+range-limited level unshift, as in ``djpeg``.
+"""
+
+from repro.programs.base import Kernel, register
+
+_COMMON = """
+const int std_luminance[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int workspace[64];
+
+int fill_pixels(unsigned char *dst, int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < 64; i++) {
+        seed = seed * 1103515245 + 12345;
+        dst[i] = (unsigned char)(128 + (((i % 8) - 4) * 20)
+                                 + (int)((seed >> 20) & 31));
+    }
+    return 64;
+}
+
+int dct_1d(int *vec, int stride)
+{
+    int t0 = vec[0] + vec[7 * stride];
+    int t7 = vec[0] - vec[7 * stride];
+    int t1 = vec[1 * stride] + vec[6 * stride];
+    int t6 = vec[1 * stride] - vec[6 * stride];
+    int t2 = vec[2 * stride] + vec[5 * stride];
+    int t5 = vec[2 * stride] - vec[5 * stride];
+    int t3 = vec[3 * stride] + vec[4 * stride];
+    int t4 = vec[3 * stride] - vec[4 * stride];
+    int u0 = t0 + t3;
+    int u3 = t0 - t3;
+    int u1 = t1 + t2;
+    int u2 = t1 - t2;
+    vec[0] = u0 + u1;
+    vec[4 * stride] = u0 - u1;
+    vec[2 * stride] = u2 + (u3 >> 1);
+    vec[6 * stride] = u3 - (u2 >> 1);
+    vec[1 * stride] = t4 + (t7 >> 1) + t5;
+    vec[3 * stride] = t7 - (t4 >> 1) - t6;
+    vec[5 * stride] = t5 + (t6 >> 1) - (t4 >> 2);
+    vec[7 * stride] = t6 - (t5 >> 1) + (t7 >> 2);
+    return 0;
+}
+"""
+
+ENCODE_SOURCE = _COMMON + """
+unsigned char pixels[64];
+int quantized[64];
+
+int forward_dct(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) workspace[i] = pixels[i] - 128;
+    for (i = 0; i < 8; i++) dct_1d(workspace + i * 8, 1);
+    for (i = 0; i < 8; i++) dct_1d(workspace + i, 8);
+    return 64;
+}
+
+int quantize_block(void)
+{
+    int i;
+    int nonzero = 0;
+    for (i = 0; i < 64; i++) {
+        int q = std_luminance[i];
+        int v = workspace[i];
+        /* the output slot doubles as a rounding temporary — the idiom of
+           the paper's Section 2 example; the compiler removes the
+           intermediate stores and the re-load entirely */
+        quantized[i] = v + q / 2;
+        if (v < 0) quantized[i] = -v + q / 2;
+        quantized[i] /= q;
+        if (v < 0) quantized[i] = -quantized[i];
+        if (quantized[i]) nonzero++;
+    }
+    return nonzero;
+}
+
+int jpeg_encode(int seed, int blocks)
+{
+    int b;
+    int i;
+    long checksum = 0;
+    for (b = 0; b < blocks; b++) {
+        fill_pixels(pixels, seed + b * 97);
+        forward_dct();
+        checksum += quantize_block();
+        for (i = 0; i < 64; i++) checksum = checksum * 5 + quantized[i];
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+DECODE_SOURCE = _COMMON + """
+int coeffs[64];
+unsigned char output[64];
+
+int fill_coeffs(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < 64; i++) {
+        seed = seed * 69069 + 1;
+        if (i < 10 || (seed & 7) == 0)
+            coeffs[i] = ((int)((seed >> 22) & 31) - 16) / (i / 8 + 1);
+        else
+            coeffs[i] = 0;
+    }
+    return 64;
+}
+
+int inverse_dct(void)
+{
+    int i;
+    for (i = 0; i < 64; i++)
+        workspace[i] = coeffs[i] * std_luminance[i];
+    for (i = 0; i < 8; i++) dct_1d(workspace + i * 8, 1);
+    for (i = 0; i < 8; i++) dct_1d(workspace + i, 8);
+    return 64;
+}
+
+int range_limit(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = (workspace[i] >> 6) + 128;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        output[i] = (unsigned char)v;
+    }
+    return 64;
+}
+
+int jpeg_decode(int seed, int blocks)
+{
+    int b;
+    int i;
+    long checksum = 0;
+    for (b = 0; b < blocks; b++) {
+        fill_coeffs(seed + b * 131);
+        inverse_dct();
+        range_limit();
+        for (i = 0; i < 64; i++) checksum = checksum * 7 + output[i];
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+JPEG_E = register(Kernel(
+    name="jpeg_e",
+    family="MediaBench jpeg (cjpeg)",
+    source=ENCODE_SOURCE,
+    entry="jpeg_encode",
+    args=(3, 6),
+    golden=490134152,
+    description="Forward integer DCT + quantization over 8x8 blocks",
+))
+
+JPEG_D = register(Kernel(
+    name="jpeg_d",
+    family="MediaBench jpeg (djpeg)",
+    source=DECODE_SOURCE,
+    entry="jpeg_decode",
+    args=(3, 6),
+    golden=1531862990,
+    description="Dequantize + inverse transform + range limit over blocks",
+))

@@ -1,0 +1,108 @@
+"""Mesa-style 3D pipeline kernel (MediaBench ``mesa``).
+
+The geometry stage that dominates Mesa's osdemo workloads: transform an
+array of vertices by a 4×4 matrix, perspective-divide, compute a
+one-light-source diffuse intensity, and viewport-map — double-precision
+floating point over structure-of-arrays vertex data, matching Mesa's
+``gl_xform_points`` + lighting inner loops.
+"""
+
+from repro.programs.base import Kernel, register
+
+SOURCE = """
+#define NVERTS 128
+
+double vx[NVERTS]; double vy[NVERTS]; double vz[NVERTS];
+double nx[NVERTS]; double ny[NVERTS]; double nz[NVERTS];
+double outx[NVERTS]; double outy[NVERTS]; double outz[NVERTS];
+double intensity[NVERTS];
+double matrix[16];
+
+int make_scene(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < NVERTS; i++) {
+        seed = seed * 1103515245 + 12345;
+        vx[i] = (double)((int)((seed >> 16) & 1023) - 512) / 64.0;
+        seed = seed * 1103515245 + 12345;
+        vy[i] = (double)((int)((seed >> 16) & 1023) - 512) / 64.0;
+        seed = seed * 1103515245 + 12345;
+        vz[i] = (double)((int)((seed >> 16) & 1023) - 512) / 64.0 - 24.0;
+        nx[i] = 0.6; ny[i] = 0.48; nz[i] = 0.64;
+    }
+    matrix[0] = 1.2; matrix[1] = 0.0; matrix[2] = 0.1; matrix[3] = 0.0;
+    matrix[4] = 0.0; matrix[5] = 1.1; matrix[6] = 0.0; matrix[7] = 0.0;
+    matrix[8] = 0.2; matrix[9] = 0.0; matrix[10] = 1.0; matrix[11] = -2.0;
+    matrix[12] = 0.0; matrix[13] = 0.0; matrix[14] = -1.0; matrix[15] = 0.0;
+    return NVERTS;
+}
+
+int transform_points(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        double x = vx[i];
+        double y = vy[i];
+        double z = vz[i];
+        double tx = matrix[0] * x + matrix[1] * y + matrix[2] * z + matrix[3];
+        double ty = matrix[4] * x + matrix[5] * y + matrix[6] * z + matrix[7];
+        double tz = matrix[8] * x + matrix[9] * y + matrix[10] * z + matrix[11];
+        double tw = matrix[12] * x + matrix[13] * y + matrix[14] * z + matrix[15];
+        if (tw < 0.001 && tw > -0.001) tw = 1.0;
+        outx[i] = tx / tw;
+        outy[i] = ty / tw;
+        outz[i] = tz / tw;
+    }
+    return n;
+}
+
+int light_vertices(int n)
+{
+    int i;
+    double lx = 0.3;
+    double ly = 0.9;
+    double lz = 0.3;
+    for (i = 0; i < n; i++) {
+        double dot = nx[i] * lx + ny[i] * ly + nz[i] * lz;
+        if (dot < 0.0) dot = 0.0;
+        intensity[i] = 0.2 + 0.8 * dot;
+    }
+    return n;
+}
+
+int viewport_map(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        outx[i] = (outx[i] + 1.0) * 320.0;
+        outy[i] = (outy[i] + 1.0) * 240.0;
+    }
+    return n;
+}
+
+int mesa_pipeline(int seed)
+{
+    int i;
+    long checksum = 0;
+    make_scene(seed);
+    transform_points(NVERTS);
+    light_vertices(NVERTS);
+    viewport_map(NVERTS);
+    for (i = 0; i < NVERTS; i++) {
+        checksum += (long)(outx[i] * 8.0) ^ (long)(outy[i] * 4.0)
+                  ^ (long)(intensity[i] * 1024.0);
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+MESA = register(Kernel(
+    name="mesa",
+    family="MediaBench mesa (osdemo geometry)",
+    source=SOURCE,
+    entry="mesa_pipeline",
+    args=(11,),
+    golden=307392,
+    description="Vertex transform + perspective divide + diffuse lighting",
+))

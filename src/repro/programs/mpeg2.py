@@ -1,0 +1,195 @@
+"""MPEG-2-style kernels (MediaBench ``mpeg2_e`` / ``mpeg2_d``).
+
+Encoder: full-search motion estimation — the sum-of-absolute-differences
+loop that dominates ``mpeg2enc`` — over a 16×16 macroblock against a
+synthesized reference window. Decoder: block reconstruction — inverse
+quantization, a separable integer inverse-DCT approximation, saturation,
+and motion-compensated addition, the ``mpeg2dec`` hot path.
+"""
+
+from repro.programs.base import Kernel, register
+
+ENCODE_SOURCE = """
+#define MB 16
+#define WINW 48
+#define WINH 48
+
+unsigned char cur[256];
+unsigned char ref[2304];
+
+int make_frames(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < WINW * WINH; i++) {
+        seed = seed * 1103515245 + 12345;
+        ref[i] = (unsigned char)((seed >> 16) & 255);
+    }
+    for (i = 0; i < MB * MB; i++) {
+        int y = i / MB;
+        int x = i % MB;
+        cur[i] = (unsigned char)(ref[(y + 17) * WINW + (x + 15)] + ((x * y) & 7));
+    }
+    return 0;
+}
+
+int sad_block(unsigned char *block, unsigned char *win, int dx, int dy)
+{
+#pragma independent block win
+    int x;
+    int y;
+    int total = 0;
+    for (y = 0; y < MB; y++) {
+        for (x = 0; x < MB; x++) {
+            int d = block[y * MB + x] - win[(y + dy) * WINW + (x + dx)];
+            if (d < 0) d = -d;
+            total += d;
+        }
+    }
+    return total;
+}
+
+int motion_estimate(int range)
+{
+    int dx;
+    int dy;
+    int best = 1 << 28;
+    int best_dx = 0;
+    int best_dy = 0;
+    for (dy = 0; dy <= range; dy++) {
+        for (dx = 0; dx <= range; dx++) {
+            int cost = sad_block(cur, ref, dx, dy);
+            if (cost < best) {
+                best = cost;
+                best_dx = dx;
+                best_dy = dy;
+            }
+        }
+    }
+    return best * 10000 + best_dy * 100 + best_dx;
+}
+
+int mpeg2_encode(int seed, int range)
+{
+    make_frames(seed);
+    return motion_estimate(range) & 0x7fffffff;
+}
+"""
+
+DECODE_SOURCE = """
+#define BLK 8
+
+int coeffs[64];
+int block_mid[64];
+int spatial[64];
+unsigned char pred[64];
+unsigned char out[64];
+
+const int quant_tbl[64] = {
+    8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83
+};
+
+int fill_block(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < 64; i++) {
+        seed = seed * 69069 + 1;
+        coeffs[i] = ((int)((seed >> 20) & 63) - 32) / ((i / 8) + 1);
+        seed = seed * 69069 + 1;
+        pred[i] = (unsigned char)((seed >> 18) & 255);
+    }
+    return 64;
+}
+
+int dequantize(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) {
+        block_mid[i] = (coeffs[i] * quant_tbl[i]) >> 3;
+    }
+    return 64;
+}
+
+int idct_1d(int *vec, int stride)
+{
+    int s03 = vec[0] + vec[3 * stride];
+    int d03 = vec[0] - vec[3 * stride];
+    int s12 = vec[1 * stride] + vec[2 * stride];
+    int d12 = vec[1 * stride] - vec[2 * stride];
+    int s47 = vec[4 * stride] + vec[7 * stride];
+    int d47 = vec[4 * stride] - vec[7 * stride];
+    int s56 = vec[5 * stride] + vec[6 * stride];
+    int d56 = vec[5 * stride] - vec[6 * stride];
+    vec[0] = s03 + s12 + s47 + s56;
+    vec[1 * stride] = d03 + d12;
+    vec[2 * stride] = d03 - d12 + d47;
+    vec[3 * stride] = s03 - s12;
+    vec[4 * stride] = d47 + d56;
+    vec[5 * stride] = s47 - s56;
+    vec[6 * stride] = d47 - d56 + (s03 >> 2);
+    vec[7 * stride] = s56 - (d12 >> 1);
+    return 0;
+}
+
+int idct_block(void)
+{
+    int i;
+    for (i = 0; i < 8; i++) idct_1d(block_mid + i * 8, 1);
+    for (i = 0; i < 8; i++) idct_1d(block_mid + i, 8);
+    for (i = 0; i < 64; i++) spatial[i] = block_mid[i] >> 3;
+    return 64;
+}
+
+int reconstruct(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = pred[i] + spatial[i];
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        out[i] = (unsigned char)v;
+    }
+    return 64;
+}
+
+int mpeg2_decode(int seed)
+{
+    int i;
+    long checksum = 0;
+    fill_block(seed);
+    dequantize();
+    idct_block();
+    reconstruct();
+    for (i = 0; i < 64; i++) checksum = checksum * 33 + out[i];
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+MPEG2_E = register(Kernel(
+    name="mpeg2_e",
+    family="MediaBench mpeg2 (encode)",
+    source=ENCODE_SOURCE,
+    entry="mpeg2_encode",
+    args=(5, 6),
+    golden=192720006,
+    description="Full-search motion estimation (SAD) over a 16x16 block",
+    pragma_count=1,
+))
+
+MPEG2_D = register(Kernel(
+    name="mpeg2_d",
+    family="MediaBench mpeg2 (decode)",
+    source=DECODE_SOURCE,
+    entry="mpeg2_decode",
+    args=(9,),
+    golden=1891358142,
+    description="Block reconstruction: dequantize, integer IDCT, saturate, add",
+))

@@ -1,0 +1,174 @@
+"""Pegwit-style public-key crypto kernels (``pegwit_e`` / ``pegwit_d``).
+
+Pegwit's run time is dominated by hashing and stream-cipher mixing. The
+encode kernel runs a SHA-1-style compression over synthesized message
+blocks and XOR-encrypts with the rolling digest; the decode kernel inverts
+the stream. Word-oriented rotate/xor/add arithmetic over small state
+arrays, exactly the original's profile.
+"""
+
+from repro.programs.base import Kernel, register
+
+_COMMON = """
+#define BLOCK_WORDS 16
+
+unsigned state[5];
+unsigned sched[80];
+unsigned message[256];
+
+unsigned rotl(unsigned x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+int make_message(int words, int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < words; i++) {
+        seed = seed * 1664525 + 1013904223;
+        message[i] = seed ^ (seed >> 11);
+    }
+    return words;
+}
+
+int sha_init(void)
+{
+    state[0] = 0x67452301;
+    state[1] = 0xefcdab89;
+    state[2] = 0x98badcfe;
+    state[3] = 0x10325476;
+    state[4] = 0xc3d2e1f0;
+    return 5;
+}
+
+int sha_compress(unsigned *block)
+{
+    int t;
+    unsigned a = state[0];
+    unsigned b = state[1];
+    unsigned c = state[2];
+    unsigned d = state[3];
+    unsigned e = state[4];
+    for (t = 0; t < 16; t++) sched[t] = block[t];
+    for (t = 16; t < 80; t++)
+        sched[t] = rotl(sched[t-3] ^ sched[t-8] ^ sched[t-14] ^ sched[t-16], 1);
+    for (t = 0; t < 80; t++) {
+        unsigned f;
+        unsigned k;
+        if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5a827999; }
+        else if (t < 40) { f = b ^ c ^ d; k = 0x6ed9eba1; }
+        else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8f1bbcdc; }
+        else { f = b ^ c ^ d; k = 0xca62c1d6; }
+        f = f + rotl(a, 5) + e + sched[t] + k;
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = f;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    return 5;
+}
+"""
+
+ENCODE_SOURCE = _COMMON + """
+unsigned cipher[256];
+
+int pegwit_encrypt(int words)
+{
+    int i;
+    int w;
+    sha_init();
+    for (i = 0; i + BLOCK_WORDS <= words; i += BLOCK_WORDS) {
+        sha_compress(message + i);
+        for (w = 0; w < BLOCK_WORDS; w++) {
+            cipher[i + w] = message[i + w] ^ state[w % 5] ^ rotl(state[(w+1) % 5], w % 31);
+        }
+    }
+    return i;
+}
+
+int pegwit_encode(int words, int seed)
+{
+    int i;
+    unsigned checksum = 0;
+    make_message(words, seed);
+    pegwit_encrypt(words);
+    for (i = 0; i < words; i++) checksum = checksum * 131 + cipher[i];
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+DECODE_SOURCE = _COMMON + """
+unsigned cipher[256];
+unsigned plain[256];
+
+int pegwit_encrypt2(int words)
+{
+    int i;
+    int w;
+    sha_init();
+    for (i = 0; i + BLOCK_WORDS <= words; i += BLOCK_WORDS) {
+        sha_compress(message + i);
+        for (w = 0; w < BLOCK_WORDS; w++) {
+            cipher[i + w] = message[i + w] ^ state[w % 5] ^ rotl(state[(w+1) % 5], w % 31);
+        }
+    }
+    return i;
+}
+
+int pegwit_decrypt(int words)
+{
+    int i;
+    int w;
+    sha_init();
+    for (i = 0; i + BLOCK_WORDS <= words; i += BLOCK_WORDS) {
+        /* the keystream depends on the plaintext block; recover it */
+        for (w = 0; w < BLOCK_WORDS; w++) plain[i + w] = message[i + w];
+        sha_compress(plain + i);
+        for (w = 0; w < BLOCK_WORDS; w++) {
+            plain[i + w] = cipher[i + w] ^ state[w % 5] ^ rotl(state[(w+1) % 5], w % 31);
+        }
+    }
+    return i;
+}
+
+int pegwit_decode(int words, int seed)
+{
+    int i;
+    unsigned checksum = 0;
+    make_message(words, seed);
+    pegwit_encrypt2(words);
+    pegwit_decrypt(words);
+    for (i = 0; i < words; i++) {
+        checksum = checksum * 131 + plain[i];
+        if (plain[i] != message[i]) checksum += 999999;
+    }
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+PEGWIT_E = register(Kernel(
+    name="pegwit_e",
+    family="MediaBench pegwit (encrypt)",
+    source=ENCODE_SOURCE,
+    entry="pegwit_encode",
+    args=(96, 1234),
+    golden=939792766,
+    description="SHA-1-style hashing + stream encryption of message blocks",
+))
+
+PEGWIT_D = register(Kernel(
+    name="pegwit_d",
+    family="MediaBench pegwit (decrypt)",
+    source=DECODE_SOURCE,
+    entry="pegwit_decode",
+    args=(96, 1234),
+    golden=1898826864,
+    description="Stream decryption with digest-keyed keystream + verify",
+))

@@ -1,0 +1,552 @@
+"""SPECint95-family kernels.
+
+Seven programs matching the paper's Table 2 list:
+
+- ``go`` (099.go): board-influence propagation over a 19×19 Go board;
+- ``m88ksim`` (124.m88ksim): a fetch-decode-execute interpreter over a
+  synthetic register-machine program;
+- ``compress`` (129.compress): LZW compression with a probed hash table;
+- ``li`` (130.li): cons-cell arena with list construction, reversal, and
+  mark-sweep-style traversal (xlisp's memory behaviour);
+- ``ijpeg`` (132.ijpeg): RGB→YCbCr conversion plus 2:1 chroma downsample;
+- ``perl`` (134.perl): string hashing into an open-addressed symbol table
+  with chained probing (perl's hv.c profile);
+- ``vortex`` (147.vortex): an in-memory record store with index insertion
+  and range queries.
+"""
+
+from repro.programs.base import Kernel, register
+
+GO_SOURCE = """
+#define BD 19
+
+int board[361];
+int influence[361];
+
+int setup_board(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < BD * BD; i++) {
+        seed = seed * 1103515245 + 12345;
+        int r = (int)((seed >> 16) & 15);
+        if (r < 3) board[i] = 1;        /* black stone */
+        else if (r < 6) board[i] = -1;  /* white stone */
+        else board[i] = 0;
+        influence[i] = board[i] * 64;
+    }
+    return BD * BD;
+}
+
+int spread_influence(void)
+{
+    int x;
+    int y;
+    int changed = 0;
+    for (y = 0; y < BD; y++) {
+        for (x = 0; x < BD; x++) {
+            int idx = y * BD + x;
+            if (board[idx]) continue;
+            int acc = 0;
+            if (x > 0) acc += influence[idx - 1];
+            if (x < BD - 1) acc += influence[idx + 1];
+            if (y > 0) acc += influence[idx - BD];
+            if (y < BD - 1) acc += influence[idx + BD];
+            acc = acc / 5;
+            if (acc != influence[idx]) {
+                influence[idx] = acc;
+                changed++;
+            }
+        }
+    }
+    return changed;
+}
+
+int count_territory(void)
+{
+    int i;
+    int black = 0;
+    int white = 0;
+    for (i = 0; i < BD * BD; i++) {
+        if (influence[i] > 8) black++;
+        else if (influence[i] < -8) white++;
+    }
+    return black * 1000 + white;
+}
+
+int go_evaluate(int seed, int sweeps)
+{
+    int s;
+    long checksum = 0;
+    setup_board(seed);
+    for (s = 0; s < sweeps; s++) {
+        checksum += spread_influence();
+    }
+    return (int)((checksum * 100000 + count_territory()) & 0x7fffffff);
+}
+"""
+
+M88KSIM_SOURCE = """
+#define PROG_LEN 64
+#define STEPS 2000
+
+unsigned prog[PROG_LEN];
+int regs[16];
+int dmem[64];
+
+int assemble(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < PROG_LEN; i++) {
+        seed = seed * 69069 + 1;
+        /* opcode:4 | rd:4 | rs1:4 | rs2/imm:4 */
+        unsigned op = (seed >> 10) % 7;
+        prog[i] = (op << 12) | (((seed >> 16) & 0xfff));
+    }
+    prog[PROG_LEN - 1] = 6 << 12;  /* jump to 0 */
+    return PROG_LEN;
+}
+
+int simulate(int steps)
+{
+    int pc = 0;
+    int executed = 0;
+    while (executed < steps) {
+        unsigned instr = prog[pc];
+        unsigned op = (instr >> 12) & 0xf;
+        int rd = (int)((instr >> 8) & 0xf);
+        int rs1 = (int)((instr >> 4) & 0xf);
+        int imm = (int)(instr & 0xf);
+        pc++;
+        if (op == 0) regs[rd] = regs[rs1] + regs[imm];
+        else if (op == 1) regs[rd] = regs[rs1] - imm;
+        else if (op == 2) regs[rd] = regs[rs1] ^ (imm << 2);
+        else if (op == 3) regs[rd] = dmem[(regs[rs1] + imm) & 63];
+        else if (op == 4) dmem[(regs[rs1] + imm) & 63] = regs[rd];
+        else if (op == 5) { if (regs[rd] > 0) pc = (pc + imm) % PROG_LEN; }
+        else pc = imm;
+        if (pc >= PROG_LEN) pc = 0;
+        executed++;
+    }
+    return pc;
+}
+
+int m88ksim_run(int seed)
+{
+    int i;
+    long checksum = 0;
+    assemble(seed);
+    for (i = 0; i < 16; i++) regs[i] = i * 3 - 8;
+    for (i = 0; i < 64; i++) dmem[i] = i ^ 21;
+    simulate(STEPS);
+    for (i = 0; i < 16; i++) checksum = checksum * 31 + regs[i];
+    for (i = 0; i < 64; i++) checksum += dmem[i];
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+COMPRESS_SOURCE = """
+#define HSIZE 1024
+#define INPUT_LEN 512
+
+unsigned char input[INPUT_LEN];
+int hash_code[HSIZE];
+int hash_entry[HSIZE];
+int out_codes[INPUT_LEN];
+
+int make_input(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < INPUT_LEN; i++) {
+        seed = seed * 1103515245 + 12345;
+        /* skewed distribution: repetitive text-like input */
+        input[i] = (unsigned char)('a' + ((seed >> 16) % ((i % 3) ? 6 : 26)));
+    }
+    return INPUT_LEN;
+}
+
+int lzw_compress(int len)
+{
+    int i;
+    int next_code = 256;
+    int prefix = input[0];
+    int emitted = 0;
+    for (i = 0; i < HSIZE; i++) { hash_code[i] = -1; hash_entry[i] = -1; }
+    for (i = 1; i < len; i++) {
+        int c = input[i];
+        int key = (prefix << 8) | c;
+        int h = ((key * 2654435761) >> 22) & (HSIZE - 1);
+        int found = -1;
+        while (hash_entry[h] != -1) {
+            if (hash_entry[h] == key) { found = hash_code[h]; break; }
+            h = (h + 1) & (HSIZE - 1);
+        }
+        if (found != -1) {
+            prefix = found;
+        } else {
+            out_codes[emitted] = prefix;
+            emitted++;
+            if (next_code < 4096) {
+                hash_entry[h] = key;
+                hash_code[h] = next_code;
+                next_code++;
+            }
+            prefix = c;
+        }
+    }
+    out_codes[emitted] = prefix;
+    emitted++;
+    return emitted;
+}
+
+int compress_run(int seed)
+{
+    int i;
+    int emitted;
+    long checksum = 0;
+    make_input(seed);
+    emitted = lzw_compress(INPUT_LEN);
+    for (i = 0; i < emitted; i++) checksum = checksum * 17 + out_codes[i];
+    return (int)((checksum + emitted * 100003) & 0x7fffffff);
+}
+"""
+
+LI_SOURCE = """
+#define ARENA 512
+
+int car_field[ARENA];
+int cdr_field[ARENA];
+int marks[ARENA];
+int free_ptr = 0;
+
+int cons(int car_value, int cdr_index)
+{
+    int cell = free_ptr;
+    free_ptr++;
+    car_field[cell] = car_value;
+    cdr_field[cell] = cdr_index;
+    return cell;
+}
+
+int build_list(int n, int seed0)
+{
+    int i;
+    int head = -1;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < n; i++) {
+        seed = seed * 69069 + 1;
+        head = cons((int)((seed >> 16) & 255), head);
+    }
+    return head;
+}
+
+int list_reverse(int head)
+{
+    int prev = -1;
+    while (head != -1) {
+        int next = cdr_field[head];
+        cdr_field[head] = prev;
+        prev = head;
+        head = next;
+    }
+    return prev;
+}
+
+int list_sum(int head)
+{
+    int total = 0;
+    while (head != -1) {
+        total += car_field[head];
+        head = cdr_field[head];
+    }
+    return total;
+}
+
+int mark_from(int head)
+{
+    int count = 0;
+    while (head != -1 && !marks[head]) {
+        marks[head] = 1;
+        count++;
+        head = cdr_field[head];
+    }
+    return count;
+}
+
+int li_run(int seed)
+{
+    int i;
+    int a;
+    int b;
+    int live;
+    long checksum = 0;
+    free_ptr = 0;
+    for (i = 0; i < ARENA; i++) marks[i] = 0;
+    a = build_list(150, seed);
+    b = build_list(200, seed * 3 + 1);
+    a = list_reverse(a);
+    checksum += list_sum(a);
+    checksum += list_sum(b) * 3;
+    live = mark_from(a) + mark_from(b);
+    checksum += live * 7;
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+IJPEG_SOURCE = """
+#define PIXELS 256
+
+unsigned char red[PIXELS];
+unsigned char green[PIXELS];
+unsigned char blue[PIXELS];
+unsigned char luma[PIXELS];
+unsigned char cb_half[128];
+unsigned char cr_half[128];
+
+int make_rgb(int seed0)
+{
+    int i;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < PIXELS; i++) {
+        seed = seed * 1103515245 + 12345;
+        red[i] = (unsigned char)((seed >> 16) & 255);
+        seed = seed * 1103515245 + 12345;
+        green[i] = (unsigned char)((seed >> 16) & 255);
+        seed = seed * 1103515245 + 12345;
+        blue[i] = (unsigned char)((seed >> 16) & 255);
+    }
+    return PIXELS;
+}
+
+int color_convert(void)
+{
+    int i;
+    for (i = 0; i < PIXELS; i++) {
+        int r = red[i];
+        int g = green[i];
+        int b = blue[i];
+        int y = (19595 * r + 38470 * g + 7471 * b) >> 16;
+        luma[i] = (unsigned char)y;
+    }
+    return PIXELS;
+}
+
+int chroma_downsample(void)
+{
+    int i;
+    for (i = 0; i < PIXELS / 2; i++) {
+        int r = (red[2*i] + red[2*i+1]) >> 1;
+        int g = (green[2*i] + green[2*i+1]) >> 1;
+        int b = (blue[2*i] + blue[2*i+1]) >> 1;
+        int cb = ((-11059 * r - 21709 * g + 32768 * b) >> 16) + 128;
+        int cr = ((32768 * r - 27439 * g - 5329 * b) >> 16) + 128;
+        if (cb < 0) cb = 0;
+        if (cb > 255) cb = 255;
+        if (cr < 0) cr = 0;
+        if (cr > 255) cr = 255;
+        cb_half[i] = (unsigned char)cb;
+        cr_half[i] = (unsigned char)cr;
+    }
+    return PIXELS / 2;
+}
+
+int ijpeg_run(int seed)
+{
+    int i;
+    long checksum = 0;
+    make_rgb(seed);
+    color_convert();
+    chroma_downsample();
+    for (i = 0; i < PIXELS; i++) checksum = checksum * 3 + luma[i];
+    for (i = 0; i < PIXELS / 2; i++) checksum += cb_half[i] ^ cr_half[i];
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+PERL_SOURCE = """
+#define TBL 512
+#define NKEYS 160
+
+unsigned char keybuf[1280];
+int key_start[NKEYS];
+int key_len[NKEYS];
+unsigned table_hash[TBL];
+int table_value[TBL];
+int table_used[TBL];
+
+int make_keys(int seed0)
+{
+    int i;
+    int pos = 0;
+    unsigned seed = (unsigned)seed0;
+    for (i = 0; i < NKEYS; i++) {
+        int len = 3 + (int)((seed >> 9) % 6);
+        int j;
+        key_start[i] = pos;
+        key_len[i] = len;
+        for (j = 0; j < len; j++) {
+            seed = seed * 1103515245 + 12345;
+            keybuf[pos] = (unsigned char)('a' + ((seed >> 16) % 16));
+            pos++;
+        }
+        seed = seed * 69069 + 1;
+    }
+    return pos;
+}
+
+unsigned hash_key(int key)
+{
+    int i;
+    unsigned h = 0;
+    int start = key_start[key];
+    int len = key_len[key];
+    for (i = 0; i < len; i++) {
+        h = h * 33 + keybuf[start + i];
+    }
+    return h;
+}
+
+int table_store(int key, int value)
+{
+    unsigned h = hash_key(key);
+    int slot = (int)(h & (TBL - 1));
+    int probes = 0;
+    while (table_used[slot] && table_hash[slot] != h) {
+        slot = (slot + 1) & (TBL - 1);
+        probes++;
+    }
+    table_used[slot] = 1;
+    table_hash[slot] = h;
+    table_value[slot] += value;
+    return probes;
+}
+
+int table_fetch(int key)
+{
+    unsigned h = hash_key(key);
+    int slot = (int)(h & (TBL - 1));
+    while (table_used[slot]) {
+        if (table_hash[slot] == h) return table_value[slot];
+        slot = (slot + 1) & (TBL - 1);
+    }
+    return -1;
+}
+
+int perl_run(int seed)
+{
+    int i;
+    long checksum = 0;
+    make_keys(seed);
+    for (i = 0; i < TBL; i++) { table_used[i] = 0; table_value[i] = 0; }
+    for (i = 0; i < NKEYS; i++) checksum += table_store(i, i * 5 + 1);
+    for (i = 0; i < NKEYS; i++) checksum = checksum * 7 + table_fetch(i);
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+VORTEX_SOURCE = """
+#define NREC 200
+#define IDX 256
+
+int rec_key[NREC];
+int rec_payload[NREC];
+int rec_next[NREC];
+int index_head[IDX];
+int rec_count = 0;
+
+int db_insert(int key, int payload)
+{
+    int bucket = (key * 31) & (IDX - 1);
+    int rec = rec_count;
+    rec_count++;
+    rec_key[rec] = key;
+    rec_payload[rec] = payload;
+    rec_next[rec] = index_head[bucket];
+    index_head[bucket] = rec;
+    return rec;
+}
+
+int db_lookup(int key)
+{
+    int bucket = (key * 31) & (IDX - 1);
+    int rec = index_head[bucket];
+    while (rec != -1) {
+        if (rec_key[rec] == key) return rec_payload[rec];
+        rec = rec_next[rec];
+    }
+    return -1;
+}
+
+int db_range_sum(int lo, int hi)
+{
+    int i;
+    int total = 0;
+    for (i = 0; i < rec_count; i++) {
+        if (rec_key[i] >= lo && rec_key[i] < hi) total += rec_payload[i];
+    }
+    return total;
+}
+
+int vortex_run(int seed)
+{
+    int i;
+    long checksum = 0;
+    unsigned rng = (unsigned)seed;
+    rec_count = 0;
+    for (i = 0; i < IDX; i++) index_head[i] = -1;
+    for (i = 0; i < NREC; i++) {
+        rng = rng * 1103515245 + 12345;
+        db_insert((int)((rng >> 12) & 1023), i * 3 + 7);
+    }
+    for (i = 0; i < NREC; i++) {
+        rng = rng * 69069 + 1;
+        checksum += db_lookup((int)((rng >> 12) & 1023));
+    }
+    checksum += db_range_sum(100, 600);
+    return (int)(checksum & 0x7fffffff);
+}
+"""
+
+GO = register(Kernel(
+    name="go", family="SPECint95 099.go", source=GO_SOURCE,
+    entry="go_evaluate", args=(3, 6), golden=61427173,
+    description="Board influence propagation + territory count",
+))
+
+M88KSIM = register(Kernel(
+    name="m88ksim", family="SPECint95 124.m88ksim", source=M88KSIM_SOURCE,
+    entry="m88ksim_run", args=(91,), golden=322289846,
+    description="Register-machine interpreter (fetch/decode/execute)",
+))
+
+COMPRESS = register(Kernel(
+    name="compress", family="SPECint95 129.compress", source=COMPRESS_SOURCE,
+    entry="compress_run", args=(12,), golden=19331118,
+    description="LZW compression with open-addressed dictionary",
+))
+
+LI = register(Kernel(
+    name="li", family="SPECint95 130.li", source=LI_SOURCE,
+    entry="li_run", args=(5,), golden=95365,
+    description="Cons-cell arena: build, reverse, sum, mark",
+))
+
+IJPEG = register(Kernel(
+    name="ijpeg", family="SPECint95 132.ijpeg", source=IJPEG_SOURCE,
+    entry="ijpeg_run", args=(21,), golden=43507529,
+    description="RGB to YCbCr conversion + 2:1 chroma downsample",
+))
+
+PERL = register(Kernel(
+    name="perl", family="SPECint95 134.perl", source=PERL_SOURCE,
+    entry="perl_run", args=(8,), golden=270373181,
+    description="String hashing into an open-addressed symbol table",
+))
+
+VORTEX = register(Kernel(
+    name="vortex", family="SPECint95 147.vortex", source=VORTEX_SOURCE,
+    entry="vortex_run", args=(77,), golden=43110,
+    description="In-memory record store: hashed insert, lookup, range scan",
+))

@@ -1,0 +1,29 @@
+"""Execution substrates.
+
+Two interpreters share one definition of operation semantics (``ops``) and
+one memory model (``memory_image``):
+
+- :mod:`repro.sim.sequential` executes the three-address CFG in program
+  order — the paper's Figure 10(b) "traditional implementation" and the
+  semantic oracle for differential testing;
+- :mod:`repro.sim.dataflow` executes a Pegasus graph with asynchronous
+  dataflow (spatial) semantics, timing memory accesses through the
+  hierarchy in :mod:`repro.sim.memsys` (§7.3).
+"""
+
+from repro.sim.memory_image import MemoryImage
+from repro.sim.sequential import SequentialInterpreter, SequentialResult
+from repro.sim.dataflow import DataflowSimulator, DataflowResult
+from repro.sim.memsys import MemorySystem, MemoryConfig, PERFECT_MEMORY, REALISTIC_MEMORY
+
+__all__ = [
+    "MemoryImage",
+    "SequentialInterpreter",
+    "SequentialResult",
+    "DataflowSimulator",
+    "DataflowResult",
+    "MemorySystem",
+    "MemoryConfig",
+    "PERFECT_MEMORY",
+    "REALISTIC_MEMORY",
+]

@@ -1,0 +1,52 @@
+"""Per-operation latencies, in cycles.
+
+The paper assigns each hardware operator "the same latency as in a pisa
+architecture SimpleScalar simulator" (§7.3). These values follow
+SimpleScalar's default functional-unit latencies: single-cycle integer ALU
+ops, 3-cycle integer multiply, 20-cycle divide, 2/4/12-cycle FP
+add/multiply/divide. Memory-operation latency is *not* listed here — loads
+and stores are timed by the memory system model.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import types as ty
+
+INT_ALU = 1
+INT_MUL = 3
+INT_DIV = 20
+FLOAT_ADD = 2
+FLOAT_MUL = 4
+FLOAT_DIV = 12
+
+# Dataflow plumbing nodes (mux, merge, eta, combine) are wires plus a
+# little steering logic in hardware; they forward in the same cycle.
+WIRE = 0
+
+
+def binop_latency(op: str, type_: ty.Type) -> int:
+    if isinstance(type_, ty.FloatType):
+        if op in ("add", "sub"):
+            return FLOAT_ADD
+        if op == "mul":
+            return FLOAT_MUL
+        if op == "div":
+            return FLOAT_DIV
+        return FLOAT_ADD  # comparisons
+    if op == "mul":
+        return INT_MUL
+    if op in ("div", "rem"):
+        return INT_DIV
+    return INT_ALU
+
+
+def unop_latency(op: str, type_: ty.Type) -> int:
+    if isinstance(type_, ty.FloatType) and op == "neg":
+        return FLOAT_ADD
+    return INT_ALU
+
+
+def cast_latency(from_type: ty.Type, to_type: ty.Type) -> int:
+    if isinstance(from_type, ty.FloatType) or isinstance(to_type, ty.FloatType):
+        return FLOAT_ADD
+    return INT_ALU

@@ -1,0 +1,146 @@
+"""Value semantics shared by both interpreters.
+
+All integer arithmetic wraps to the instruction's type (two's complement);
+division and remainder truncate toward zero (C99); shift counts are masked
+to the type width (the well-defined hardware behaviour — C leaves oversized
+shifts undefined, so any choice is conforming); ``float`` arithmetic rounds
+results through IEEE binary32.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import SimulationError
+from repro.frontend import types as ty
+
+
+def _round_float(value: float, type_: ty.Type) -> float:
+    if isinstance(type_, ty.FloatType) and type_.size == 4:
+        if math.isinf(value) or math.isnan(value):
+            return value
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    return value
+
+
+def eval_binop(op: str, type_: ty.Type, lhs, rhs):
+    """Evaluate a binary opcode on Python values, honoring C semantics."""
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        return _compare(op, type_, lhs, rhs)
+    if isinstance(type_, ty.FloatType):
+        return _float_arith(op, type_, float(lhs), float(rhs))
+    return _int_arith(op, type_, int(lhs), int(rhs))
+
+
+def _compare(op: str, type_: ty.Type, lhs, rhs) -> int:
+    if isinstance(type_, ty.IntType):
+        lhs = type_.wrap(int(lhs))
+        rhs = type_.wrap(int(rhs))
+    elif type_.is_pointer:
+        lhs = int(lhs) & (2**64 - 1)
+        rhs = int(rhs) & (2**64 - 1)
+    table = {
+        "eq": lhs == rhs, "ne": lhs != rhs,
+        "lt": lhs < rhs, "le": lhs <= rhs,
+        "gt": lhs > rhs, "ge": lhs >= rhs,
+    }
+    return 1 if table[op] else 0
+
+
+def _int_arith(op: str, type_: ty.Type, lhs: int, rhs: int) -> int:
+    if not isinstance(type_, ty.IntType):
+        # Pointer arithmetic is performed as unsigned 64-bit.
+        int_type = ty.ULONG
+    else:
+        int_type = type_
+    lhs = int_type.wrap(lhs)
+    rhs = int_type.wrap(rhs)
+    if op == "add":
+        result = lhs + rhs
+    elif op == "sub":
+        result = lhs - rhs
+    elif op == "mul":
+        result = lhs * rhs
+    elif op == "div":
+        if rhs == 0:
+            raise SimulationError("integer division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        result = quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+    elif op == "rem":
+        if rhs == 0:
+            raise SimulationError("integer remainder by zero")
+        remainder = abs(lhs) % abs(rhs)
+        result = remainder if lhs >= 0 else -remainder
+    elif op == "and":
+        result = lhs & rhs
+    elif op == "or":
+        result = lhs | rhs
+    elif op == "xor":
+        result = lhs ^ rhs
+    elif op == "shl":
+        result = lhs << (rhs & (int_type.bits - 1))
+    elif op == "shr":
+        count = rhs & (int_type.bits - 1)
+        if int_type.signed:
+            result = lhs >> count  # arithmetic: Python >> sign-extends
+        else:
+            result = (lhs & ((1 << int_type.bits) - 1)) >> count
+    else:
+        raise SimulationError(f"unknown integer opcode {op!r}")
+    return int_type.wrap(result)
+
+
+def _float_arith(op: str, type_: ty.FloatType, lhs: float, rhs: float) -> float:
+    if op == "add":
+        result = lhs + rhs
+    elif op == "sub":
+        result = lhs - rhs
+    elif op == "mul":
+        result = lhs * rhs
+    elif op == "div":
+        if rhs == 0.0:
+            result = math.inf if lhs > 0 else (-math.inf if lhs < 0 else math.nan)
+        else:
+            result = lhs / rhs
+    else:
+        raise SimulationError(f"invalid float opcode {op!r}")
+    return _round_float(result, type_)
+
+
+def eval_unop(op: str, type_: ty.Type, value):
+    if op == "neg":
+        if isinstance(type_, ty.FloatType):
+            return _round_float(-float(value), type_)
+        assert isinstance(type_, ty.IntType)
+        return type_.wrap(-int(value))
+    if op == "bnot":
+        assert isinstance(type_, ty.IntType)
+        return type_.wrap(~int(value))
+    if op == "lnot":
+        return 1 if _is_zero(value) else 0
+    raise SimulationError(f"unknown unary opcode {op!r}")
+
+
+def _is_zero(value) -> bool:
+    return value == 0
+
+
+def eval_cast(value, from_type: ty.Type, to_type: ty.Type):
+    """Convert a runtime value between MiniC types."""
+    if isinstance(to_type, ty.FloatType):
+        return _round_float(float(value), to_type)
+    if isinstance(to_type, ty.IntType):
+        if isinstance(from_type, ty.FloatType) or isinstance(value, float):
+            if math.isnan(value) or math.isinf(value):
+                return 0  # C UB; pick a deterministic result
+            value = int(value)  # truncate toward zero
+        return to_type.wrap(int(value))
+    if to_type.is_pointer:
+        return int(value) & (2**64 - 1)
+    raise SimulationError(f"invalid cast to {to_type}")
+
+
+def truthy(value) -> bool:
+    """Branch/predicate interpretation of a scalar value."""
+    return not _is_zero(value)

@@ -1,0 +1,186 @@
+"""Program-order CFG interpreter.
+
+This is the paper's "traditional implementation which executes the memory
+operations in program order" (Figure 10(b)) and the semantic oracle for the
+dataflow simulator: any Pegasus optimization that changes the return value
+or the final memory image relative to this interpreter is a bug.
+
+The cycle model is deliberately simple and serial: each instruction costs
+its operator latency, memory operations additionally pay the memory-system
+latency, one instruction completes before the next begins. That is exactly
+the in-order, non-overlapped schedule the paper's Figure 10(b) depicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.frontend import ast
+from repro.cfg import ir
+from repro.cfg.lower import LoweredProgram
+from repro.sim import latencies, ops
+from repro.sim.memory_image import MemoryImage
+from repro.sim.memsys import MemorySystem, PERFECT_MEMORY
+
+DEFAULT_STEP_LIMIT = 50_000_000
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of a sequential run."""
+
+    return_value: object
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    memory: MemoryImage
+    # Dynamic instruction count per function name (coverage, Table 2).
+    per_function: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memory_operations(self) -> int:
+        return self.loads + self.stores
+
+
+class SequentialInterpreter:
+    """Executes lowered functions in program order against a memory image."""
+
+    def __init__(self, program: LoweredProgram, memory: MemoryImage | None = None,
+                 memsys: MemorySystem | None = None,
+                 step_limit: int = DEFAULT_STEP_LIMIT):
+        self.program = program
+        self.memory = memory if memory is not None else MemoryImage()
+        for symbol in program.globals:
+            self.memory.allocate(symbol)
+        self.memsys = memsys or MemorySystem(PERFECT_MEMORY)
+        self.step_limit = step_limit
+        self._steps = 0
+        self._cycles = 0
+        self._loads = 0
+        self._stores = 0
+        self._branches = 0
+        self._per_function: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, function: str, args: list[object] | None = None) -> SequentialResult:
+        """Execute ``function`` with ``args`` and return the result bundle."""
+        value = self._call(function, args or [])
+        return SequentialResult(
+            return_value=value,
+            cycles=self._cycles,
+            instructions=self._steps,
+            loads=self._loads,
+            stores=self._stores,
+            branches=self._branches,
+            memory=self.memory,
+            per_function=dict(self._per_function),
+        )
+
+    def addr_of(self, name: str) -> int:
+        """Address of a global object, for passing pointers as arguments."""
+        for symbol in self.program.globals:
+            if symbol.name == name:
+                return self.memory.allocate(symbol)
+        raise SimulationError(f"no global named {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def _call(self, name: str, args: list[object]) -> object:
+        func = self.program.functions.get(name)
+        if func is None:
+            raise SimulationError(f"call to undefined function {name!r}")
+        if len(args) != len(func.params):
+            raise SimulationError(
+                f"{name} expects {len(func.params)} arguments, got {len(args)}"
+            )
+        for symbol in func.stack_objects:
+            self.memory.allocate(symbol)
+        regs: dict[ir.Temp, object] = {}
+        for (symbol, temp), value in zip(func.params, args):
+            regs[temp] = value
+        block = func.entry
+        assert block is not None
+        while True:
+            for instr in block.instrs:
+                self._steps += 1
+                self._per_function[func.name] = self._per_function.get(func.name, 0) + 1
+                if self._steps > self.step_limit:
+                    raise SimulationError(
+                        f"step limit exceeded ({self.step_limit}) in {name}"
+                    )
+                self._execute(func, instr, regs)
+            term = block.terminator
+            self._steps += 1  # terminators count too (empty loop bodies!)
+            if self._steps > self.step_limit:
+                raise SimulationError(
+                    f"step limit exceeded ({self.step_limit}) in {name}"
+                )
+            if isinstance(term, ir.Jump):
+                block = term.target
+            elif isinstance(term, ir.Branch):
+                self._branches += 1
+                self._cycles += latencies.INT_ALU
+                cond = self._value(regs, term.cond)
+                block = term.if_true if ops.truthy(cond) else term.if_false
+            elif isinstance(term, ir.Ret):
+                if term.value is None:
+                    return None
+                return self._value(regs, term.value)
+            else:
+                raise SimulationError(f"block {block.name} has no terminator")
+
+    def _value(self, regs: dict[ir.Temp, object], operand: ir.Operand) -> object:
+        if isinstance(operand, ir.Temp):
+            if operand not in regs:
+                raise SimulationError(f"read of undefined temp {operand}")
+            return regs[operand]
+        if isinstance(operand, ir.Const):
+            return operand.value
+        if isinstance(operand, ir.SymAddr):
+            return self.memory.allocate(operand.symbol)
+        raise SimulationError(f"unknown operand {operand!r}")
+
+    def _execute(self, func: ir.Function, instr: ir.Instr,
+                 regs: dict[ir.Temp, object]) -> None:
+        if isinstance(instr, ir.Copy):
+            regs[instr.dest] = self._value(regs, instr.src)
+            self._cycles += latencies.INT_ALU
+        elif isinstance(instr, ir.BinOp):
+            lhs = self._value(regs, instr.lhs)
+            rhs = self._value(regs, instr.rhs)
+            regs[instr.dest] = ops.eval_binop(instr.op, instr.type, lhs, rhs)
+            self._cycles += latencies.binop_latency(instr.op, instr.type)
+        elif isinstance(instr, ir.UnOp):
+            value = self._value(regs, instr.src)
+            regs[instr.dest] = ops.eval_unop(instr.op, instr.type, value)
+            self._cycles += latencies.unop_latency(instr.op, instr.type)
+        elif isinstance(instr, ir.CastOp):
+            value = self._value(regs, instr.src)
+            regs[instr.dest] = ops.eval_cast(value, instr.from_type, instr.to_type)
+            self._cycles += latencies.cast_latency(instr.from_type, instr.to_type)
+        elif isinstance(instr, ir.Load):
+            addr = int(self._value(regs, instr.addr))  # type: ignore[arg-type]
+            regs[instr.dest] = self.memory.read(addr, instr.type)
+            self._loads += 1
+            width = instr.type.size if not instr.type.is_pointer else 8
+            self._cycles += self.memsys.access(self._cycles, addr, width,
+                                               is_write=False)
+        elif isinstance(instr, ir.Store):
+            addr = int(self._value(regs, instr.addr))  # type: ignore[arg-type]
+            value = self._value(regs, instr.src)
+            self.memory.write(addr, value, instr.type)
+            self._stores += 1
+            width = instr.type.size if not instr.type.is_pointer else 8
+            self._cycles += self.memsys.access(self._cycles, addr, width,
+                                               is_write=True)
+        elif isinstance(instr, ir.Call):
+            args = [self._value(regs, a) for a in instr.args]
+            result = self._call(instr.callee, args)
+            if instr.dest is not None:
+                regs[instr.dest] = result
+        else:
+            raise SimulationError(f"cannot execute {instr!r}")

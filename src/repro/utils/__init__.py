@@ -1,0 +1,7 @@
+"""Small shared utilities: deterministic sets, id allocation, text tables."""
+
+from repro.utils.orderedset import OrderedSet
+from repro.utils.ids import IdAllocator
+from repro.utils.tables import TextTable
+
+__all__ = ["OrderedSet", "IdAllocator", "TextTable"]

@@ -1,0 +1,32 @@
+"""Deterministic integer id allocation.
+
+Graph nodes, basic blocks, and memory objects all carry small integer ids;
+each owning container allocates them from its own :class:`IdAllocator` so
+that ids are dense, deterministic, and stable across identical runs.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Hands out consecutive integers starting from ``first``."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, first: int = 0):
+        self._next = first
+
+    def allocate(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The id the next :meth:`allocate` call will return."""
+        return self._next
+
+    def reserve(self, count: int) -> range:
+        """Allocate ``count`` consecutive ids and return them as a range."""
+        start = self._next
+        self._next += count
+        return range(start, self._next)

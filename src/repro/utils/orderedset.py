@@ -1,0 +1,83 @@
+"""An insertion-ordered set.
+
+Compiler passes iterate over sets of nodes and must be deterministic from run
+to run; Python's built-in ``set`` iterates in hash order, which varies with
+object identity. ``OrderedSet`` provides set semantics with insertion-order
+iteration, backed by a ``dict`` (whose ordering guarantee is part of the
+language since Python 3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(Generic[T]):
+    """A set that iterates in insertion order."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[T] = ()):
+        self._items: dict[T, None] = dict.fromkeys(items)
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        del self._items[item]
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest element."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def copy(self) -> "OrderedSet[T]":
+        return OrderedSet(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"
+
+    def __or__(self, other: Iterable[T]) -> "OrderedSet[T]":
+        result = self.copy()
+        result.update(other)
+        return result
+
+    def __and__(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item in other_set)
+
+    def __sub__(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item not in other_set)

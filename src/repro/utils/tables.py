@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark drivers print the same rows the paper's tables and figures
+report; this module renders them with aligned columns so the output is
+readable both in a terminal and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulates rows and renders them with aligned columns."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(name: str, points: Iterable[tuple[object, object]]) -> str:
+    """Render a (x, y) series the way a figure's data would be tabulated."""
+    parts = [f"{name}:"]
+    for x, y in points:
+        parts.append(f"  {x} -> {_format_cell(y)}")
+    return "\n".join(parts)

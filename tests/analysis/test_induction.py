@@ -1,0 +1,201 @@
+"""Induction-variable analysis on built loops (§4.3(2), §6.2, §6.3)."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.cfg.lower import lower_program
+from repro.cfg.inline import inline_program
+from repro.pegasus.builder import build_pegasus
+from repro.pegasus import nodes as N
+from repro.analysis.induction import LoopInduction
+from repro.opt.context import OptContext
+
+
+def build_loop(source: str, entry: str = "f"):
+    lowered = lower_program(parse_program(source))
+    flat = inline_program(lowered, entry)
+    result = build_pegasus(flat, lowered.globals)
+    ctx = OptContext(result)
+    loop_hbs = sorted(ctx.loop_predicates)
+    return ctx, loop_hbs
+
+
+def the_memop(ctx, hb_id, kind):
+    relation = ctx.relations[hb_id]
+    ops = [op for op in relation.ops if isinstance(op, kind)]
+    assert len(ops) >= 1
+    return ops[0]
+
+
+SIMPLE = """
+int a[64];
+int f(int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = i;
+    return a[0];
+}
+"""
+
+STRIDED = """
+int a[64];
+int f(int n) {
+    int i;
+    for (i = 0; i < n; i += 4) a[i] = i;
+    return a[0];
+}
+"""
+
+DOWNWARD = """
+int a[64];
+int f(int n) {
+    int i;
+    for (i = n; i > 0; i--) a[i - 1] = i;
+    return a[0];
+}
+"""
+
+
+class TestBasicIVs:
+    def test_step_one_found(self):
+        ctx, loops = build_loop(SIMPLE)
+        induction = ctx.induction(loops[0])
+        steps = sorted(iv.step for iv in induction.ivs.values())
+        assert 1 in steps
+
+    def test_strided_step(self):
+        ctx, loops = build_loop(STRIDED)
+        induction = ctx.induction(loops[0])
+        assert any(iv.step == 4 for iv in induction.ivs.values())
+
+    def test_negative_step(self):
+        ctx, loops = build_loop(DOWNWARD)
+        induction = ctx.induction(loops[0])
+        assert any(iv.step == -1 for iv in induction.ivs.values())
+
+    def test_invariant_circulation_detected(self):
+        ctx, loops = build_loop("""
+        int a[64];
+        int f(int n, int k) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = k;
+            return a[0];
+        }
+        """)
+        induction = ctx.induction(loops[0])
+        assert induction.invariant_merges, "k must circulate as invariant"
+
+
+class TestMonotonicity:
+    def test_unit_stride_monotone(self):
+        ctx, loops = build_loop(SIMPLE)
+        induction = ctx.induction(loops[0])
+        store = the_memop(ctx, loops[0], N.StoreNode)
+        addr = ctx.addr_port(store)
+        assert induction.is_monotone_non_overlapping(addr, store.width)
+
+    def test_downward_stride_monotone(self):
+        ctx, loops = build_loop(DOWNWARD)
+        induction = ctx.induction(loops[0])
+        store = the_memop(ctx, loops[0], N.StoreNode)
+        assert induction.is_monotone_non_overlapping(
+            ctx.addr_port(store), store.width)
+
+    def test_repeating_address_not_monotone(self):
+        ctx, loops = build_loop("""
+        int a[64];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[(i & 3)] = i;
+            return a[0];
+        }
+        """)
+        induction = ctx.induction(loops[0])
+        store = the_memop(ctx, loops[0], N.StoreNode)
+        assert not induction.is_monotone_non_overlapping(
+            ctx.addr_port(store), store.width)
+
+
+class TestDependenceDistance:
+    def test_figure15_distance(self):
+        ctx, loops = build_loop("""
+        int a[64];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = a[i + 3] + 1;
+            return a[0];
+        }
+        """)
+        hb = loops[0]
+        induction = ctx.induction(hb)
+        load = the_memop(ctx, hb, N.LoadNode)
+        store = the_memop(ctx, hb, N.StoreNode)
+        # Convention: distance(a, b) = d means a at iteration n touches the
+        # address b touches at iteration n + d. The store a[i] reaches the
+        # load's a[i+3] address three iterations later, hence -3/+3.
+        assert induction.dependence_distance(
+            ctx.addr_port(store), store.width,
+            ctx.addr_port(load), load.width,
+        ) == -3
+        assert induction.dependence_distance(
+            ctx.addr_port(load), load.width,
+            ctx.addr_port(store), store.width,
+        ) == 3
+
+    def test_same_offset_distance_zero(self):
+        ctx, loops = build_loop("""
+        int a[64];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = a[i] + 1;
+            return a[0];
+        }
+        """)
+        hb = loops[0]
+        induction = ctx.induction(hb)
+        load = the_memop(ctx, hb, N.LoadNode)
+        store = the_memop(ctx, hb, N.StoreNode)
+        assert induction.dependence_distance(
+            ctx.addr_port(store), 4, ctx.addr_port(load), 4) == 0
+
+    def test_nondivisible_offset_never_conflicts(self):
+        ctx, loops = build_loop("""
+        char a[256];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[4*i] = a[4*i + 2] + 1;
+            return a[0];
+        }
+        """)
+        hb = loops[0]
+        induction = ctx.induction(hb)
+        load = the_memop(ctx, hb, N.LoadNode)
+        store = the_memop(ctx, hb, N.StoreNode)
+        assert induction.dependence_distance(
+            ctx.addr_port(store), 1, ctx.addr_port(load), 1) is None
+        assert induction.never_equal_across_iterations(
+            ctx.addr_port(store), 1, ctx.addr_port(load), 1)
+
+
+class TestCrossIVDisambiguation:
+    def test_lockstep_pointers_with_offset(self):
+        # §4.3(2): same step, starting values one element apart.
+        ctx, loops = build_loop("""
+        int a[64];
+        int f(int n) {
+            int *p = a;
+            int *q = a + 1;
+            int i;
+            for (i = 0; i < n; i++) {
+                *p = *q + 1;
+                p += 2;
+                q += 2;
+            }
+            return a[0];
+        }
+        """)
+        hb = loops[0]
+        induction = ctx.induction(hb)
+        load = the_memop(ctx, hb, N.LoadNode)
+        store = the_memop(ctx, hb, N.StoreNode)
+        assert induction.never_equal_across_iterations(
+            ctx.addr_port(store), 4, ctx.addr_port(load), 4)

@@ -1,0 +1,104 @@
+"""Location model, overlap relation, and class partition (§3.3)."""
+
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.analysis.locations import (
+    UNKNOWN,
+    Location,
+    LocationClasses,
+    object_location,
+    param_location,
+    overlap,
+    sets_overlap,
+)
+
+
+def sym(name, const=False, kind="global"):
+    return ast.Symbol(name=name, type=ty.ArrayType(ty.INT, 4, const=const),
+                      kind=kind, is_const=const)
+
+
+class TestOverlap:
+    def test_same_object_overlaps(self):
+        a = object_location(sym("a"))
+        assert overlap(a, a)
+
+    def test_distinct_objects_disjoint(self):
+        assert not overlap(object_location(sym("a")),
+                           object_location(sym("b")))
+
+    def test_unknown_overlaps_everything(self):
+        assert overlap(UNKNOWN, object_location(sym("a")))
+        assert overlap(UNKNOWN, UNKNOWN)
+
+    def test_param_overlaps_objects_and_params(self):
+        p = param_location(sym("p", kind="param"))
+        q = param_location(sym("q", kind="param"))
+        assert overlap(p, object_location(sym("a")))
+        assert overlap(p, q)
+
+    def test_pragma_breaks_param_pair(self):
+        ps = sym("p", kind="param")
+        qs = sym("q", kind="param")
+        independent = frozenset({frozenset((ps, qs))})
+        assert not overlap(param_location(ps), param_location(qs), independent)
+
+    def test_pragma_breaks_param_object_pair(self):
+        ps = sym("p", kind="param")
+        array = sym("a")
+        independent = frozenset({frozenset((ps, array))})
+        assert not overlap(param_location(ps), object_location(array),
+                           independent)
+
+    def test_sets_overlap_any_pair(self):
+        a = object_location(sym("a"))
+        b = object_location(sym("b"))
+        c = object_location(sym("c"))
+        assert sets_overlap(frozenset({a, b}), frozenset({b, c}))
+        assert not sets_overlap(frozenset({a}), frozenset({c}))
+
+    def test_const_object_flag(self):
+        assert object_location(sym("tbl", const=True)).is_constant_object
+        assert not object_location(sym("buf")).is_constant_object
+        assert not UNKNOWN.is_constant_object
+
+
+class TestClasses:
+    def test_disjoint_objects_get_distinct_classes(self):
+        a = object_location(sym("a"))
+        b = object_location(sym("b"))
+        classes = LocationClasses([a, b])
+        assert classes.num_classes == 2
+        assert classes.class_of(a) != classes.class_of(b)
+
+    def test_param_collapses_classes(self):
+        a = object_location(sym("a"))
+        b = object_location(sym("b"))
+        p = param_location(sym("p", kind="param"))
+        classes = LocationClasses([a, b, p])
+        assert classes.num_classes == 1
+
+    def test_transitive_merge(self):
+        # a-p overlap and p-b overlap put a and b in one class even though
+        # a and b are pairwise disjoint.
+        a = object_location(sym("a"))
+        b = object_location(sym("b"))
+        p = param_location(sym("p", kind="param"))
+        classes = LocationClasses([a, p, b])
+        assert classes.class_of(a) == classes.class_of(b)
+
+    def test_independent_pairs_respected(self):
+        ps = sym("p", kind="param")
+        array = sym("a")
+        independent = frozenset({frozenset((ps, array))})
+        classes = LocationClasses(
+            [object_location(array), param_location(ps)], independent
+        )
+        assert classes.num_classes == 2
+
+    def test_classes_of_set(self):
+        a = object_location(sym("a"))
+        b = object_location(sym("b"))
+        classes = LocationClasses([a, b])
+        ids = classes.classes_of_set(frozenset({a, b}))
+        assert len(ids) == 2

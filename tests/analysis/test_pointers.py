@@ -1,0 +1,117 @@
+"""Pointer analysis over the CFG: origins and read/write sets."""
+
+from repro.frontend import parse_program
+from repro.cfg import ir
+from repro.cfg.lower import lower_program
+from repro.cfg.inline import inline_program
+from repro.analysis.pointers import PointerAnalysis
+from repro.analysis.locations import UNKNOWN
+
+
+def analyze(source: str, entry: str = "f", entry_points_to=None):
+    lowered = lower_program(parse_program(source))
+    flat = inline_program(lowered, entry)
+    mapping = None
+    if entry_points_to:
+        by_name = {s.name: s for s in lowered.globals}
+        mapping = {param: [by_name[n] for n in names]
+                   for param, names in entry_points_to.items()}
+    return flat, PointerAnalysis(flat, lowered.globals, mapping)
+
+
+def memops(flat):
+    return [i for _, i in flat.instructions()
+            if isinstance(i, (ir.Load, ir.Store))]
+
+
+class TestOrigins:
+    def test_global_array_access(self):
+        flat, analysis = analyze("""
+        int a[4];
+        int f(void) { return a[1]; }
+        """)
+        (load,) = memops(flat)
+        names = {loc.symbol.name for loc in analysis.rwset(load)}
+        assert names == {"a"}
+
+    def test_pointer_arithmetic_preserves_origin(self):
+        flat, analysis = analyze("""
+        int a[8];
+        int f(int i) { int *p = a + 2; return p[i]; }
+        """)
+        (load,) = memops(flat)
+        names = {loc.symbol.name for loc in analysis.rwset(load)}
+        assert names == {"a"}
+
+    def test_param_is_its_own_root(self):
+        flat, analysis = analyze("int f(int *p) { return *p; }")
+        (load,) = memops(flat)
+        (loc,) = analysis.rwset(load)
+        assert loc.kind == "param"
+
+    def test_phi_of_two_arrays(self):
+        flat, analysis = analyze("""
+        int a[4]; int b[4];
+        int f(int c) { int *p; if (c) p = a; else p = b; return p[0]; }
+        """)
+        (load,) = memops(flat)
+        names = {loc.symbol.name for loc in analysis.rwset(load)}
+        assert names == {"a", "b"}
+
+    def test_pointer_loaded_from_memory_is_unknown(self):
+        flat, analysis = analyze("""
+        int a[4];
+        int *slot[1];
+        int f(void) { slot[0] = a; return (*slot[0]); }
+        """)
+        loads = [i for _, i in flat.instructions() if isinstance(i, ir.Load)]
+        value_load = loads[-1]
+        assert UNKNOWN in analysis.rwset(value_load)
+
+    def test_entry_points_to_override(self):
+        flat, analysis = analyze(
+            "int a[4]; int f(int *p) { return p[0]; }",
+            entry_points_to={"p": ["a"]},
+        )
+        (load,) = memops(flat)
+        names = {loc.symbol.name for loc in analysis.rwset(load)}
+        assert names == {"a"}
+
+
+class TestInterference:
+    def test_disjoint_arrays_do_not_interfere(self):
+        flat, analysis = analyze("""
+        int a[4]; int b[4];
+        int f(void) { a[0] = 1; return b[0]; }
+        """)
+        store, load = memops(flat)
+        assert not analysis.may_interfere(analysis.rwset(store),
+                                          analysis.rwset(load))
+
+    def test_pragma_disables_interference(self):
+        flat, analysis = analyze("""
+        void f(int *p, int *q) {
+        #pragma independent p q
+            *p = 1;
+            *q = 2;
+        }
+        """)
+        first, second = memops(flat)
+        assert not analysis.may_interfere(analysis.rwset(first),
+                                          analysis.rwset(second))
+
+    def test_immutable_access_detection(self):
+        flat, analysis = analyze("""
+        const int tbl[4] = { 1, 2, 3, 4 };
+        int f(int i) { return tbl[i]; }
+        """)
+        (load,) = memops(flat)
+        assert analysis.is_immutable_access(analysis.rwset(load))
+
+    def test_mutable_access_not_immutable(self):
+        flat, analysis = analyze("""
+        int buf[4];
+        int f(int i) { return buf[i]; }
+        """)
+        (load,) = memops(flat)
+        assert not analysis.is_immutable_access(analysis.rwset(load))

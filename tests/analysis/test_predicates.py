@@ -1,0 +1,123 @@
+"""Predicate boolean algebra: implication, falsity, disjointness (§5)."""
+
+from repro.frontend import types as ty
+from repro.pegasus.graph import Graph
+from repro.pegasus import nodes as N
+from repro.analysis import predicates as P
+
+
+def setup():
+    graph = Graph("preds")
+    x = graph.add(N.BinOpNode("ne", ty.INT,
+                              graph.add(N.ParamNode("a", ty.INT, 0)).out(),
+                              graph.add(N.ConstNode(0, ty.INT)).out()))
+    y = graph.add(N.BinOpNode("ne", ty.INT,
+                              graph.add(N.ParamNode("b", ty.INT, 1)).out(),
+                              graph.add(N.ConstNode(0, ty.INT)).out()))
+    return graph, x.out(), y.out()
+
+
+class TestImplication:
+    def test_self_implication(self):
+        _, x, _ = setup()
+        assert P.implies(x, x)
+
+    def test_and_implies_conjunct(self):
+        graph, x, y = setup()
+        both = P.make_and(graph, x, y, 0)
+        assert P.implies(both, x)
+        assert P.implies(both, y)
+        assert not P.implies(x, both)
+
+    def test_conjunct_implies_or(self):
+        graph, x, y = setup()
+        either = P.make_or(graph, x, y, 0)
+        assert P.implies(x, either)
+        assert not P.implies(either, x)
+
+    def test_implies_any(self):
+        graph, x, y = setup()
+        assert P.implies_any(x, [y, x])
+        assert not P.implies_any(x, [y])
+
+    def test_negation_blocks_implication(self):
+        graph, x, _ = setup()
+        not_x = P.make_not(graph, x, 0)
+        assert not P.implies(x, not_x)
+        assert P.disjoint(x, not_x)
+
+    def test_distinct_atoms_independent(self):
+        _, x, y = setup()
+        assert not P.implies(x, y)
+        assert not P.disjoint(x, y)
+
+
+class TestFalsityAndEquivalence:
+    def test_constant_false(self):
+        graph, _, _ = setup()
+        false = P.const_pred(graph, False, 0)
+        true = P.const_pred(graph, True, 0)
+        assert P.is_false(false)
+        assert P.is_true(true)
+        assert not P.is_false(true)
+
+    def test_x_and_not_x_is_false(self):
+        graph, x, _ = setup()
+        contradiction = P.make_and(graph, x, P.make_not(graph, x, 0), 0)
+        assert P.is_false(contradiction)
+
+    def test_x_or_not_x_is_true(self):
+        graph, x, _ = setup()
+        tautology = P.make_or(graph, x, P.make_not(graph, x, 0), 0)
+        assert P.is_true(tautology)
+
+    def test_de_morgan_equivalence(self):
+        graph, x, y = setup()
+        lhs = P.make_not(graph, P.make_and(graph, x, y, 0), 0)
+        rhs = P.make_or(graph, P.make_not(graph, x, 0),
+                        P.make_not(graph, y, 0), 0)
+        assert P.equivalent(lhs, rhs)
+
+    def test_store_before_store_pattern(self):
+        # §5.2: strengthen p1 with not(p2); if p1 implies p2 the result is
+        # constant false (post-dominance).
+        graph, x, y = setup()
+        p1 = P.make_and(graph, x, y, 0)  # p1 implies p2 = x
+        strengthened = P.make_and(graph, p1, P.make_not(graph, x, 0), 0)
+        assert P.is_false(strengthened)
+
+
+class TestConstructors:
+    def test_make_and_simplifies_constants(self):
+        graph, x, _ = setup()
+        true = P.const_pred(graph, True, 0)
+        false = P.const_pred(graph, False, 0)
+        assert P.make_and(graph, true, x, 0) == x
+        result = P.make_and(graph, false, x, 0)
+        assert isinstance(result.node, N.ConstNode)
+        assert result.node.value == 0
+
+    def test_make_or_simplifies_constants(self):
+        graph, x, _ = setup()
+        false = P.const_pred(graph, False, 0)
+        assert P.make_or(graph, false, x, 0) == x
+
+    def test_double_negation_collapses(self):
+        graph, x, _ = setup()
+        double = P.make_not(graph, P.make_not(graph, x, 0), 0)
+        assert double == x
+
+    def test_atom_cap_is_conservative(self):
+        graph = Graph("cap")
+        ports = []
+        for index in range(P.MAX_ATOMS + 2):
+            ports.append(graph.add(N.BinOpNode(
+                "ne", ty.INT,
+                graph.add(N.ParamNode(f"a{index}", ty.INT, index)).out(),
+                graph.add(N.ConstNode(0, ty.INT)).out(),
+            )).out())
+        big = ports[0]
+        for port in ports[1:]:
+            big = P.make_or(graph, big, port, 0)
+        # Too many atoms: the engine must answer "unknown" (False).
+        assert not P.implies(ports[0], big)

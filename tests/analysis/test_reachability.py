@@ -1,0 +1,78 @@
+"""Cached DAG reachability (§5's cycle-freedom machinery)."""
+
+from repro.frontend import types as ty
+from repro.pegasus.graph import Graph
+from repro.pegasus import nodes as N
+from repro.analysis.reachability import Reachability
+
+
+def chain(graph, length):
+    nodes = [graph.add(N.ConstNode(0, ty.INT))]
+    for _ in range(length):
+        nodes.append(graph.add(N.UnOpNode("neg", ty.INT, nodes[-1].out())))
+    return nodes
+
+
+class TestReachability:
+    def test_reflexive(self):
+        graph = Graph("r")
+        (node,) = chain(graph, 0)
+        reach = Reachability(graph)
+        assert reach.reaches(node, node)
+
+    def test_chain_order(self):
+        graph = Graph("r")
+        nodes = chain(graph, 3)
+        reach = Reachability(graph)
+        assert reach.reaches(nodes[0], nodes[3])
+        assert not reach.reaches(nodes[3], nodes[0])
+
+    def test_diamond(self):
+        graph = Graph("r")
+        top = graph.add(N.ConstNode(1, ty.INT))
+        left = graph.add(N.UnOpNode("neg", ty.INT, top.out()))
+        right = graph.add(N.UnOpNode("bnot", ty.INT, top.out()))
+        join = graph.add(N.BinOpNode("add", ty.INT, left.out(), right.out()))
+        reach = Reachability(graph)
+        assert reach.reaches(top, join)
+        assert not reach.reaches(left, right)
+        assert not reach.reaches(right, left)
+
+    def test_back_edges_ignored(self):
+        graph = Graph("r")
+        merge = N.MergeNode(ty.INT, 2)
+        graph.add(merge)
+        entry = graph.add(N.ConstNode(0, ty.INT))
+        pred = graph.add(N.ConstNode(1, ty.INT))
+        eta = graph.add(N.EtaNode(ty.INT, merge.out(), pred.out()))
+        graph.set_input(merge, 0, entry.out())
+        graph.set_input(merge, 1, eta.out())
+        merge.back_inputs.add(1)
+        merge.add_control(graph, pred.out())
+        reach = Reachability(graph)
+        # Forward: merge reaches the eta; the back edge must not close a
+        # reachability cycle (eta must not reach the merge).
+        assert reach.reaches(merge, eta)
+        assert not reach.reaches(eta, merge)
+
+    def test_multi_output_nodes(self):
+        graph = Graph("r")
+        addr = graph.add(N.ConstNode(0x2000, ty.ULONG))
+        pred = graph.add(N.ConstNode(1, ty.INT))
+        token = graph.add(N.InitialTokenNode(0))
+        load = graph.add(N.LoadNode(ty.INT, addr.out(), pred.out(),
+                                    token.out(), frozenset()))
+        value_user = graph.add(N.UnOpNode("neg", ty.INT, load.out(0)))
+        token_user = graph.add(N.CombineNode([load.out(1)]))
+        reach = Reachability(graph)
+        assert reach.reaches(load, value_user)
+        assert reach.reaches(load, token_user)
+        assert reach.reaches(token, value_user)
+
+    def test_port_reaches(self):
+        graph = Graph("r")
+        nodes = chain(graph, 2)
+        reach = Reachability(graph)
+        assert reach.port_reaches(nodes[0].out(), nodes[2])
+        assert reach.any_reaches([nodes[0]], nodes[2])
+        assert not reach.any_reaches([nodes[2]], nodes[0])

@@ -1,0 +1,125 @@
+"""Symbolic address analysis (§4.3 heuristic 1)."""
+
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.pegasus.graph import Graph
+from repro.pegasus import nodes as N
+from repro.analysis.symbolic import AddressAnalysis, Affine
+
+
+def sym(name):
+    return ast.Symbol(name=name, type=ty.ArrayType(ty.INT, 16), kind="global")
+
+
+class Builder:
+    def __init__(self):
+        self.graph = Graph("sym")
+        self.analysis = AddressAnalysis()
+
+    def const(self, value):
+        return self.graph.add(N.ConstNode(value, ty.LONG)).out()
+
+    def base(self, symbol):
+        return self.graph.add(N.SymbolAddrNode(symbol)).out()
+
+    def param(self, name, index=0):
+        return self.graph.add(N.ParamNode(name, ty.LONG, index)).out()
+
+    def add(self, a, b):
+        return self.graph.add(N.BinOpNode("add", ty.ULONG, a, b)).out()
+
+    def sub(self, a, b):
+        return self.graph.add(N.BinOpNode("sub", ty.ULONG, a, b)).out()
+
+    def mul(self, a, b):
+        return self.graph.add(N.BinOpNode("mul", ty.LONG, a, b)).out()
+
+    def shl(self, a, b):
+        return self.graph.add(N.BinOpNode("shl", ty.LONG, a, b)).out()
+
+    def cast_widen(self, a):
+        return self.graph.add(N.CastNode(ty.INT, ty.LONG, a)).out()
+
+
+class TestAffineForms:
+    def test_constant(self):
+        b = Builder()
+        form = b.analysis.affine(b.const(12))
+        assert form.is_constant and form.const == 12
+
+    def test_addition_and_scaling(self):
+        b = Builder()
+        i = b.param("i")
+        addr = b.add(b.base(sym("a")), b.mul(i, b.const(4)))
+        form = b.analysis.affine(addr)
+        assert form.const == 0
+        coeffs = dict(form.terms)
+        assert coeffs[i] == 4
+
+    def test_shift_scales(self):
+        b = Builder()
+        i = b.param("i")
+        form = b.analysis.affine(b.shl(i, b.const(3)))
+        assert dict(form.terms)[i] == 8
+
+    def test_subtraction_cancels(self):
+        b = Builder()
+        i = b.param("i")
+        lhs = b.add(i, b.const(8))
+        rhs = b.add(i, b.const(4))
+        diff = b.analysis.difference(lhs, rhs)
+        assert diff.is_constant and diff.const == 4
+
+    def test_widening_cast_transparent(self):
+        b = Builder()
+        i = b.param("i")
+        widened = b.cast_widen(i)
+        form = b.analysis.affine(widened)
+        assert dict(form.terms) == {i: 1}
+
+    def test_nonlinear_becomes_atom(self):
+        b = Builder()
+        i = b.param("i")
+        j = b.param("j", 1)
+        product = b.mul(i, j)
+        form = b.analysis.affine(product)
+        assert form.single_term() == (product, 1)
+
+
+class TestDisambiguation:
+    def test_same_base_offset_apart(self):
+        # a[i] vs a[i+1]: constant difference 4 >= width 4 (Figure 1A->B).
+        b = Builder()
+        i = b.param("i")
+        scaled = b.mul(i, b.const(4))
+        a_i = b.add(b.base(sym("a")), scaled)
+        a_i1 = b.add(a_i, b.const(4))
+        assert b.analysis.never_same_address(a_i, 4, a_i1, 4)
+
+    def test_same_address_not_disjoint(self):
+        b = Builder()
+        i = b.param("i")
+        array = sym("a")  # one object: symbols compare by identity
+        addr1 = b.add(b.base(array), i)
+        addr2 = b.add(b.base(array), i)
+        assert not b.analysis.never_same_address(addr1, 4, addr2, 4)
+        assert b.analysis.constant_difference(addr1, addr2) == 0
+
+    def test_offset_smaller_than_width_overlaps(self):
+        b = Builder()
+        base = b.base(sym("a"))
+        near = b.add(base, b.const(2))
+        assert not b.analysis.never_same_address(base, 4, near, 4)
+
+    def test_distinct_objects_disjoint(self):
+        b = Builder()
+        i = b.param("i")
+        a_addr = b.add(b.base(sym("a")), i)
+        b_addr = b.add(b.base(sym("b")), i)
+        assert b.analysis.never_same_address(a_addr, 4, b_addr, 4)
+
+    def test_unknown_pointers_not_disjoint(self):
+        b = Builder()
+        p = b.param("p")
+        q = b.param("q", 1)
+        assert not b.analysis.never_same_address(p, 4, q, 4)

@@ -1,0 +1,164 @@
+"""AST -> CFG lowering tests, validated through the sequential oracle."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.frontend import parse_program
+from repro.cfg import ir
+from repro.cfg.lower import lower_program
+from repro.sim.sequential import SequentialInterpreter
+
+
+def run(source: str, entry: str, args: list):
+    lowered = lower_program(parse_program(source))
+    return SequentialInterpreter(lowered).run(entry, args).return_value
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert run("int f(int a, int b) { return a * b + a - b; }",
+                   "f", [7, 3]) == 25
+
+    def test_register_promotion(self):
+        source = "int f(void) { int a = 1; a += 2; a *= 3; return a; }"
+        lowered = lower_program(parse_program(source))
+        func = lowered.function("f")
+        # A local scalar whose address is never taken produces no memory ops.
+        memops = [i for _, i in func.instructions()
+                  if isinstance(i, (ir.Load, ir.Store))]
+        assert memops == []
+        assert run(source, "f", []) == 9
+
+    def test_address_taken_scalar_spills(self):
+        source = "int f(void) { int a = 5; int *p = &a; *p = 9; return a; }"
+        lowered = lower_program(parse_program(source))
+        func = lowered.function("f")
+        assert func.stack_objects, "address-taken local must live in memory"
+        assert run(source, "f", []) == 9
+
+    def test_wrapping_semantics(self):
+        assert run("int f(void) { char c = 127; c += 1; return c; }",
+                   "f", []) == -128
+        assert run("unsigned f(void) { unsigned u = 0; u -= 1; return u; }",
+                   "f", []) == 2**32 - 1
+
+    def test_division_truncates_toward_zero(self):
+        assert run("int f(int a, int b) { return a / b; }", "f", [-7, 2]) == -3
+        assert run("int f(int a, int b) { return a % b; }", "f", [-7, 2]) == -1
+
+    def test_shift_semantics(self):
+        assert run("int f(int a) { return a >> 1; }", "f", [-8]) == -4
+        assert run("unsigned f(unsigned a) { return a >> 1; }",
+                   "f", [2**32 - 8]) == (2**32 - 8) >> 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int x) { if (x > 0) return 1; else return -1; }"
+        assert run(src, "f", [5]) == 1
+        assert run(src, "f", [-5]) == -1
+
+    def test_short_circuit_and_skips_rhs(self):
+        src = """
+        int g_count = 0;
+        int bump(void) { g_count += 1; return 1; }
+        int f(int x) { if (x && bump()) return g_count; return g_count; }
+        """
+        assert run(src, "f", [0]) == 0
+        assert run(src, "f", [1]) == 1
+
+    def test_short_circuit_or(self):
+        src = """
+        int g_count = 0;
+        int bump(void) { g_count += 1; return 0; }
+        int f(int x) { if (x || bump()) return 100; return g_count; }
+        """
+        assert run(src, "f", [1]) == 100
+        assert run(src, "f", [0]) == 1
+
+    def test_ternary(self):
+        src = "int f(int x) { return x ? 10 : 20; }"
+        assert run(src, "f", [1]) == 10
+        assert run(src, "f", [0]) == 20
+
+    def test_nested_loops_with_break_continue(self):
+        src = """
+        int f(int n) {
+            int s = 0; int i; int j;
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < n; j++) {
+                    if (j == i) continue;
+                    if (j > 3) break;
+                    s += 1;
+                }
+            }
+            return s;
+        }
+        """
+        expected = sum(
+            1 for i in range(6) for j in range(6) if j != i and j <= 3
+        )
+        assert run(src, "f", [6]) == expected
+
+    def test_do_while_executes_once(self):
+        src = "int f(void) { int n = 0; do { n++; } while (0); return n; }"
+        assert run(src, "f", []) == 1
+
+    def test_fall_off_end_returns_zero(self):
+        assert run("int f(void) { }", "f", []) == 0
+
+
+class TestMemory:
+    def test_array_roundtrip(self):
+        src = """
+        int a[4];
+        int f(void) { a[0] = 1; a[1] = 2; a[3] = a[0] + a[1]; return a[3]; }
+        """
+        assert run(src, "f", []) == 3
+
+    def test_pointer_walk(self):
+        src = """
+        int a[5];
+        int f(void) {
+            int *p = a; int i; int s = 0;
+            for (i = 0; i < 5; i++) *p++ = i * i;
+            for (i = 0; i < 5; i++) s += a[i];
+            return s;
+        }
+        """
+        assert run(src, "f", []) == sum(i * i for i in range(5))
+
+    def test_narrow_store_truncates(self):
+        src = """
+        unsigned char b[2];
+        int f(void) { b[0] = 300; return b[0]; }
+        """
+        assert run(src, "f", []) == 300 % 256
+
+    def test_local_array_initializer(self):
+        src = "int f(void) { int t[3] = { 4, 5, 6 }; return t[0]+t[1]+t[2]; }"
+        assert run(src, "f", []) == 15
+
+    def test_compound_assign_through_pointer_single_address_eval(self):
+        src = """
+        int a[4];
+        int g_idx = 0;
+        int next(void) { g_idx += 1; return g_idx - 1; }
+        int f(void) { a[next()] += 5; return a[0] * 100 + g_idx; }
+        """
+        # next() must be evaluated once: a[0] == 5, g_idx == 1.
+        assert run(src, "f", []) == 501
+
+
+class TestCalls:
+    def test_recursion_supported_sequentially(self):
+        src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n-1); }"
+        assert run(src, "fact", [6]) == 720
+
+    def test_void_call(self):
+        src = """
+        int g_x = 0;
+        void set(int v) { g_x = v; }
+        int f(void) { set(42); return g_x; }
+        """
+        assert run(src, "f", []) == 42

@@ -1,0 +1,184 @@
+"""Dominators, loops, hyperblocks, liveness, and the inliner."""
+
+import pytest
+
+from repro.errors import InlineError
+from repro.frontend import parse_program
+from repro.cfg import ir
+from repro.cfg.lower import lower_program, LoweredProgram
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.loops import LoopInfo
+from repro.cfg.liveness import Liveness
+from repro.cfg.hyperblocks import form_hyperblocks
+from repro.cfg.inline import inline_program
+from repro.sim.sequential import SequentialInterpreter
+
+DIAMOND = """
+int f(int x) {
+    int r;
+    if (x > 0) r = 1; else r = 2;
+    return r + x;
+}
+"""
+
+LOOP = """
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}
+"""
+
+NESTED = """
+int f(int n) {
+    int i; int j; int s = 0;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < i; j++)
+            s += j;
+    return s;
+}
+"""
+
+
+def lower(source: str) -> ir.Function:
+    return lower_program(parse_program(source)).function("f")
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        func = lower(DIAMOND)
+        dom = DominatorTree(func)
+        for block in func.reachable_blocks():
+            assert dom.dominates(func.entry, block)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        func = lower(DIAMOND)
+        dom = DominatorTree(func)
+        exit_block = next(b for b in func.blocks
+                          if isinstance(b.terminator, ir.Ret))
+        branch = next(b for b in func.blocks
+                      if isinstance(b.terminator, ir.Branch))
+        arms = branch.successors()
+        for arm in arms:
+            if arm is not exit_block:
+                assert not dom.dominates(arm, exit_block)
+        assert dom.dominates(branch, exit_block)
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        info = LoopInfo(lower(LOOP))
+        assert len(info.loops) == 1
+        assert len(info.loops[0].latches) == 1
+
+    def test_nested_loops_have_parents(self):
+        info = LoopInfo(lower(NESTED))
+        assert len(info.loops) == 2
+        depths = sorted(loop.depth for loop in info.loops)
+        assert depths == [1, 2]
+        inner = max(info.loops, key=lambda l: l.depth)
+        assert inner.parent is not None
+
+    def test_straight_line_has_no_loops(self):
+        info = LoopInfo(lower(DIAMOND))
+        assert info.loops == []
+
+
+class TestHyperblocks:
+    def test_diamond_collapses_to_one_hyperblock(self):
+        partition = form_hyperblocks(lower(DIAMOND))
+        # entry(+diamond) should form a single hyperblock plus none extra
+        # reachable from other regions: the diamond joins back.
+        assert len(partition.hyperblocks) == 1
+
+    def test_loop_body_is_separate_hyperblock(self):
+        partition = form_hyperblocks(lower(LOOP))
+        loop_hbs = [hb for hb in partition.hyperblocks if hb.is_loop_body]
+        assert len(loop_hbs) == 1
+
+    def test_hyperblocks_never_span_loops(self):
+        partition = form_hyperblocks(lower(NESTED))
+        for hb in partition.hyperblocks:
+            loops = {partition.loop_info.loop_of(b) for b in hb.blocks}
+            assert len(loops) == 1
+
+    def test_inter_hyperblock_edges_target_entries(self):
+        partition = form_hyperblocks(lower(NESTED))
+        for hb in partition.hyperblocks:
+            for _, target_block, target_hb in partition.successors(hb):
+                assert target_block is target_hb.entry
+
+
+class TestLiveness:
+    def test_loop_variable_live_around_loop(self):
+        func = lower(LOOP)
+        liveness = Liveness(func)
+        info = LoopInfo(func)
+        header = info.loops[0].header
+        # The accumulator and counter temps must be live into the header.
+        assert len(liveness.live_in[header]) >= 2
+
+    def test_return_value_live_or_local(self):
+        func = lower(DIAMOND)
+        liveness = Liveness(func)
+        exit_block = next(b for b in func.blocks
+                          if isinstance(b.terminator, ir.Ret))
+        ret_value = exit_block.terminator.value
+        defined_here = {i.defs() for i in exit_block.instrs}
+        assert (ret_value in liveness.live_in[exit_block]
+                or ret_value in defined_here)
+
+    def test_nothing_live_out_of_exit(self):
+        func = lower(DIAMOND)
+        liveness = Liveness(func)
+        exit_block = next(b for b in func.blocks
+                          if isinstance(b.terminator, ir.Ret))
+        assert liveness.live_out[exit_block] == frozenset()
+
+
+class TestInliner:
+    def test_flattens_call_chain(self):
+        source = """
+        int h(int x) { return x + 1; }
+        int g(int x) { return h(x) * 2; }
+        int f(int x) { return g(x) + h(x); }
+        """
+        lowered = lower_program(parse_program(source))
+        flat = inline_program(lowered, "f")
+        assert all(not isinstance(i, ir.Call) for _, i in flat.instructions())
+        result = SequentialInterpreter(
+            LoweredProgram({"f": flat}, lowered.globals)
+        ).run("f", [10])
+        assert result.return_value == (10 + 1) * 2 + (10 + 1)
+
+    def test_per_site_stack_objects(self):
+        source = """
+        int scratch(int x) { int t[2]; t[0] = x; t[1] = x * 2; return t[0] + t[1]; }
+        int f(int x) { return scratch(x) + scratch(x + 1); }
+        """
+        lowered = lower_program(parse_program(source))
+        flat = inline_program(lowered, "f")
+        names = [s.name for s in flat.stack_objects]
+        assert len(names) == 2 and len(set(names)) == 2
+
+    def test_recursion_rejected(self):
+        source = "int f(int n) { if (n <= 1) return 1; return n * f(n - 1); }"
+        lowered = lower_program(parse_program(source))
+        with pytest.raises(InlineError):
+            inline_program(lowered, "f")
+
+    def test_mutual_recursion_rejected(self):
+        source = """
+        int g(int n);
+        int f(int n) { if (n <= 0) return 0; return g(n - 1); }
+        int g(int n) { return f(n); }
+        """
+        lowered = lower_program(parse_program(source))
+        with pytest.raises(InlineError):
+            inline_program(lowered, "f")
+
+    def test_undefined_callee_rejected(self):
+        source = "int g(int); int f(void) { return g(1); }"
+        lowered = lower_program(parse_program(source))
+        with pytest.raises(InlineError):
+            inline_program(lowered, "f")

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_minic
+from repro.api import OPT_LEVELS
+
+
+def compile_and_compare(source: str, entry: str, args: list,
+                        levels: tuple[str, ...] = OPT_LEVELS,
+                        entry_points_to: dict | None = None,
+                        check_memory: bool = True):
+    """Differential harness: every opt level must match the oracle.
+
+    Compiles ``source`` at each level, runs both interpreters, and asserts
+    that return values (and final memory images, unless the program is
+    nondeterministic in padding) all agree. Returns the per-level dataflow
+    results keyed by level for further assertions.
+    """
+    results = {}
+    reference = None
+    ref_memory = None
+    for level in levels:
+        program = compile_minic(source, entry, opt_level=level,
+                                entry_points_to=entry_points_to)
+        oracle = program.run_sequential(list(args))
+        spatial = program.simulate(list(args))
+        assert spatial.return_value == oracle.return_value, (
+            f"level {level}: dataflow returned {spatial.return_value}, "
+            f"oracle {oracle.return_value}"
+        )
+        if check_memory:
+            assert spatial.memory.snapshot() == oracle.memory.snapshot(), (
+                f"level {level}: final memory differs from the oracle"
+            )
+        if reference is None:
+            reference = oracle.return_value
+            ref_memory = oracle.memory.snapshot()
+        else:
+            assert oracle.return_value == reference
+            if check_memory:
+                assert oracle.memory.snapshot() == ref_memory
+        results[level] = spatial
+    return results
+
+
+@pytest.fixture
+def differential():
+    return compile_and_compare
+
+
+# The paper's §2 motivating example, verbatim (modulo the array parameter
+# name, which C allows either way).
+SECTION2_SOURCE = """
+void f(unsigned *p, unsigned a[], int i)
+{
+    if (p) a[i] += *p;
+    else a[i] = 1;
+    a[i] <<= a[i+1];
+}
+"""
+
+
+@pytest.fixture
+def section2_source() -> str:
+    return SECTION2_SOURCE

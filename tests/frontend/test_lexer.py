@@ -1,0 +1,144 @@
+"""Lexer and micro-preprocessor tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_and_keyword(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].text == "foo"
+
+    def test_decimal_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.value == (42, "")
+
+    def test_hex_literal(self):
+        token = tokenize("0xff")[0]
+        assert token.value == (255, "")
+
+    def test_suffixed_literal(self):
+        token = tokenize("7ul")[0]
+        assert token.value == (7, "ul")
+
+    def test_float_literal(self):
+        token = tokenize("2.5")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 2.5
+
+    def test_float_exponent(self):
+        token = tokenize("1e3")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 1000.0
+
+    def test_char_literal(self):
+        token = tokenize("'a'")[0]
+        assert token.kind is TokenKind.CHAR_LIT
+        assert token.value == ord("a")
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == ord("\n")
+        assert tokenize(r"'\0'")[0].value == 0
+
+    def test_string_literal(self):
+        token = tokenize('"hi there"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.value == "hi there"
+
+    def test_maximal_munch_punctuators(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("x >= y") == ["x", ">=", "y"]
+        assert texts("p -> q") == ["p", "->", "q"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_line_positions(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestPreprocessor:
+    def test_define_constant(self):
+        tokens = tokenize("#define N 16\nint a[N];")
+        values = [t.value for t in tokens if t.kind is TokenKind.INT_LIT]
+        assert values == [(16, "")]
+
+    def test_define_expands_to_expression(self):
+        assert texts("#define TWO (1 + 1)\nTWO") == ["(", "1", "+", "1", ")"]
+
+    def test_nested_defines(self):
+        src = "#define A B\n#define B 3\nA"
+        token = tokenize(src)[0]
+        assert token.value == (3, "")
+
+    def test_recursive_define_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define A A\nA")
+
+    def test_include_ignored(self):
+        assert texts("#include <stdio.h>\nx") == ["x"]
+
+    def test_pragma_independent(self):
+        tokens = tokenize("#pragma independent p q\n")
+        assert tokens[0].kind is TokenKind.PRAGMA_INDEPENDENT
+        assert tokens[0].names == ("p", "q")
+
+    def test_pragma_independent_needs_two_names(self):
+        with pytest.raises(LexError):
+            tokenize("#pragma independent p\n")
+
+    def test_other_pragmas_ignored(self):
+        assert texts("#pragma once\nx") == ["x"]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#invent things\n")
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define F(x) x\n")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")

@@ -1,0 +1,200 @@
+"""Parser structure tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.frontend.parser import parse_source
+
+
+def first_function(source: str) -> ast.FuncDef:
+    return parse_source(source).functions[0]
+
+
+def first_stmt(body_src: str) -> ast.Stmt:
+    func = first_function("void f(void) { %s }" % body_src)
+    return func.body.stmts[0]
+
+
+def expr_of(source_expr: str) -> ast.Expr:
+    stmt = first_stmt(f"{source_expr};")
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestDeclarations:
+    def test_global_scalar_with_init(self):
+        program = parse_source("int x = 3;")
+        assert program.globals[0].name == "x"
+        assert program.globals[0].type == ty.INT
+
+    def test_global_array(self):
+        program = parse_source("short a[10];")
+        symbol = program.globals[0]
+        assert isinstance(symbol.type, ty.ArrayType)
+        assert symbol.type.length == 10
+        assert symbol.type.element == ty.SHORT
+
+    def test_extern_unsized_array(self):
+        program = parse_source("extern int a[];")
+        assert program.globals[0].type.length is None
+
+    def test_const_array_initializer(self):
+        program = parse_source("const int t[3] = { 1, 2, 3 };")
+        symbol = program.globals[0]
+        assert symbol.type.const
+        assert len(symbol.init_values) == 3
+
+    def test_pointer_declarations(self):
+        func = first_function("void f(int *p, unsigned *q) {}")
+        assert func.params[0].type == ty.PointerType(ty.INT)
+        assert func.params[1].type == ty.PointerType(ty.UINT)
+
+    def test_array_param_decays(self):
+        func = first_function("void f(int a[]) {}")
+        assert func.params[0].type == ty.PointerType(ty.INT)
+
+    def test_multi_declarator_statement(self):
+        stmt = first_stmt("int a = 1, b = 2;")
+        assert isinstance(stmt, ast.DeclGroup)
+        assert [d.symbol.name for d in stmt.decls] == ["a", "b"]
+
+    def test_unsigned_spellings(self):
+        program = parse_source("unsigned u; unsigned int v; unsigned long w;")
+        types = [g.type for g in program.globals]
+        assert types == [ty.UINT, ty.UINT, ty.ULONG]
+
+    def test_prototype_is_not_a_definition(self):
+        program = parse_source("int g(int); int f(void) { return 1; }")
+        assert [f.name for f in program.functions] == ["f"]
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = first_stmt("if (1) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = first_stmt("if (1) if (2) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is None
+        inner = stmt.then
+        assert isinstance(inner, ast.If)
+        assert inner.otherwise is not None
+
+    def test_while(self):
+        assert isinstance(first_stmt("while (1) ;"), ast.While)
+
+    def test_do_while(self):
+        assert isinstance(first_stmt("do ; while (0);"), ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        stmt = first_stmt("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_all_parts_optional(self):
+        stmt = first_stmt("for (;;) break;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        stmt = first_stmt("while (1) { break; }")
+        body = stmt.body
+        assert isinstance(body.stmts[0], ast.Break)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = expr_of("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = expr_of("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.lhs.op == "<<"
+
+    def test_assignment_right_associative(self):
+        func = first_function("void f(void) { int a; int b; a = b = 1; }")
+        expr = func.body.stmts[2].expr
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_conditional_expression(self):
+        expr = expr_of("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_chain(self):
+        expr = expr_of("- - 1")
+        assert isinstance(expr, ast.Unary) and isinstance(expr.operand, ast.Unary)
+
+    def test_prefix_and_postfix_incdec(self):
+        pre = expr_of("++x") if False else None
+        func = first_function("void f(void) { int x; ++x; x++; }")
+        pre = func.body.stmts[1].expr
+        post = func.body.stmts[2].expr
+        assert isinstance(pre, ast.IncDec) and pre.is_prefix
+        assert isinstance(post, ast.IncDec) and not post.is_prefix
+
+    def test_cast_vs_parenthesized_expr(self):
+        cast = expr_of("(int)1")
+        assert isinstance(cast, ast.Cast)
+        grouped = expr_of("(1)")
+        assert isinstance(grouped, ast.IntLit)
+
+    def test_index_chains(self):
+        expr = expr_of("a[1]")
+        assert isinstance(expr, ast.Index)
+
+    def test_call_with_args(self):
+        expr = expr_of("g(1, 2)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(expr_of("sizeof(int)"), ast.SizeOf)
+        assert isinstance(expr_of("sizeof x"), ast.SizeOf)
+
+    def test_comma_expression(self):
+        expr = expr_of("(1, 2)")
+        assert isinstance(expr, ast.Comma)
+
+    def test_address_and_deref(self):
+        expr = expr_of("*&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "*"
+        assert expr.operand.op == "&"
+
+
+class TestPragmas:
+    def test_pragma_inside_function(self):
+        func = first_function(
+            "void f(int *p, int *q) {\n#pragma independent p q\n}"
+        )
+        assert func.pragma_names == [("p", "q")]
+
+    def test_pragma_three_names_makes_three_pairs(self):
+        source = "void f(int *a, int *b, int *c) {\n#pragma independent a b c\n}"
+        from repro.frontend import parse_program
+        func = parse_program(source).functions[0]
+        assert len(func.independent_pairs) == 3
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("void f(void) { int a = 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_source("void f(void) { g(1; }")
+
+    def test_bad_top_level(self):
+        with pytest.raises(ParseError):
+            parse_source("42;")
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_source("int n; int a[n];")

@@ -1,0 +1,195 @@
+"""Semantic analysis tests: scoping, typing, lvalues, annotations."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import parse_program
+from repro.frontend import ast
+from repro.frontend import types as ty
+
+
+def analyze(source: str) -> ast.Program:
+    return parse_program(source)
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(void) { return missing; }")
+
+    def test_redefinition_in_same_scope(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(void) { int a; int a; return 0; }")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        program = analyze("int f(void) { int a = 1; { int a = 2; } return a; }")
+        assert program.function("f")
+
+    def test_block_scope_does_not_leak(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(void) { { int a = 1; } return a; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            analyze("int x; int x;")
+
+    def test_unique_ids_assigned(self):
+        program = analyze("int x; int f(int y) { int z; return x + y + z; }")
+        ids = [program.globals[0].unique_id,
+               program.function("f").params[0].unique_id]
+        assert len(set(ids)) == len(ids)
+        assert all(i >= 0 for i in ids)
+
+
+class TestTyping:
+    def test_expression_types_annotated(self):
+        program = analyze("int f(int a) { return a + 1; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.value.type == ty.INT
+
+    def test_comparison_yields_int(self):
+        program = analyze("int f(long a) { return a < 3; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.value.type == ty.INT
+
+    def test_implicit_widening_cast_inserted(self):
+        program = analyze("long f(int a) { long b = a; return b; }")
+        decl = program.function("f").body.stmts[0]
+        assert isinstance(decl.init, ast.Cast)
+        assert decl.init.implicit
+
+    def test_pointer_plus_int(self):
+        program = analyze("int* f(int *p) { return p + 2; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.value.type == ty.PointerType(ty.INT)
+
+    def test_pointer_minus_pointer_is_long(self):
+        program = analyze("long f(int *p, int *q) { return p - q; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.value.type == ty.LONG
+
+    def test_sizeof_folded(self):
+        program = analyze("int f(void) { return sizeof(long); }")
+        ret = program.function("f").body.stmts[0]
+        value = ret.value
+        while isinstance(value, ast.Cast):
+            value = value.operand
+        assert isinstance(value, ast.IntLit)
+        assert value.value == 8
+
+    def test_string_literal_becomes_global(self):
+        program = analyze('int f(void) { return "ab"[0]; }')
+        names = [g.name for g in program.globals]
+        assert any(name.startswith("__str") for name in names)
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(int a) { return *a; }")
+
+    def test_void_deref_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(void *p) { return *p; }")
+
+    def test_modulo_requires_integers(self):
+        with pytest.raises(SemanticError):
+            analyze("double f(double a) { return a % 2.0; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze("int g(int a) { return a; } int f(void) { return g(); }")
+
+    def test_call_argument_converted(self):
+        program = analyze(
+            "long g(long a) { return a; } long f(int x) { return g(x); }"
+        )
+        call = program.function("f").body.stmts[0].value
+        assert isinstance(call.args[0], ast.Cast)
+
+    def test_null_pointer_constant(self):
+        program = analyze("int f(int *p) { return p == 0; }")
+        assert program.function("f")
+
+
+class TestLvalues:
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(int a) { a + 1 = 2; return a; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int a[3]; void f(int b[3]) { a = b; }")
+
+    def test_address_of_rvalue_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int* f(int a) { return &(a + 1); }")
+
+    def test_incdec_requires_lvalue(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(int a) { (a+1)++; return a; }")
+
+
+class TestAnnotations:
+    def test_address_taken_flag(self):
+        program = analyze("int f(void) { int a = 1; int *p = &a; return *p; }")
+        decl = program.function("f").body.stmts[0]
+        assert decl.symbol.address_taken
+
+    def test_address_not_taken_by_default(self):
+        program = analyze("int f(void) { int a = 1; return a; }")
+        decl = program.function("f").body.stmts[0]
+        assert not decl.symbol.address_taken
+
+    def test_written_flag(self):
+        program = analyze("int f(void) { int a = 1; a = 2; return a; }")
+        decl = program.function("f").body.stmts[0]
+        assert decl.symbol.is_written
+
+    def test_pragma_resolves_to_params(self):
+        program = analyze(
+            "void f(int *p, int *q) {\n#pragma independent p q\n}"
+        )
+        pairs = program.function("f").independent_pairs
+        assert len(pairs) == 1
+        assert {s.name for s in pairs[0]} == {"p", "q"}
+
+    def test_pragma_unknown_name_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("void f(int *p) {\n#pragma independent p nosuch\n}")
+
+
+class TestControlChecks:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze("void f(void) { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze("void f(void) { continue; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(SemanticError):
+            analyze("void f(void) { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(void) { return; }")
+
+
+class TestInitializers:
+    def test_global_init_must_be_constant(self):
+        with pytest.raises(SemanticError):
+            analyze("int g(void); int x = g();")
+
+    def test_constant_expression_folding(self):
+        program = analyze("int x = 3 * 4 + (1 << 2);")
+        assert program.globals[0].init_values == [16]
+
+    def test_string_array_init(self):
+        program = analyze('const char m[] = "ok";')
+        symbol = program.globals[0]
+        assert symbol.type.length == 3  # includes NUL
+        assert symbol.init_values == [111, 107, 0]
+
+    def test_array_initializer_sets_length(self):
+        program = analyze("int t[] = { 5, 6, 7 };")
+        assert program.globals[0].type.length == 3

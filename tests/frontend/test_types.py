@@ -1,0 +1,119 @@
+"""Type-system unit tests."""
+
+import pytest
+
+from repro.frontend import types as ty
+
+
+class TestIntTypes:
+    def test_sizes_and_bits(self):
+        assert ty.CHAR.size == 1 and ty.CHAR.bits == 8
+        assert ty.SHORT.bits == 16
+        assert ty.INT.bits == 32
+        assert ty.LONG.bits == 64
+
+    def test_signed_ranges(self):
+        assert ty.CHAR.min_value == -128 and ty.CHAR.max_value == 127
+        assert ty.UCHAR.min_value == 0 and ty.UCHAR.max_value == 255
+        assert ty.INT.max_value == 2**31 - 1
+
+    def test_wrap_signed(self):
+        assert ty.CHAR.wrap(130) == -126
+        assert ty.CHAR.wrap(-129) == 127
+        assert ty.INT.wrap(2**31) == -(2**31)
+
+    def test_wrap_unsigned(self):
+        assert ty.UCHAR.wrap(256) == 0
+        assert ty.UINT.wrap(-1) == 2**32 - 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ty.IntType(3, signed=True)
+
+
+class TestCompositeTypes:
+    def test_pointer_size(self):
+        assert ty.PointerType(ty.CHAR).size == 8
+
+    def test_array_size(self):
+        assert ty.ArrayType(ty.INT, 10).size == 40
+        assert ty.ArrayType(ty.SHORT, None).size == 0
+
+    def test_array_decay(self):
+        arr = ty.ArrayType(ty.INT, 4, const=True)
+        decayed = arr.decay()
+        assert decayed == ty.PointerType(ty.INT, const=True)
+
+    def test_scalar_decay_is_identity(self):
+        assert ty.INT.decay() == ty.INT
+
+    def test_str_forms(self):
+        assert str(ty.UINT) == "unsigned int"
+        assert str(ty.PointerType(ty.CHAR)) == "char*"
+        assert str(ty.ArrayType(ty.INT, 3)) == "int[3]"
+
+
+class TestPromotion:
+    def test_narrow_ints_promote_to_int(self):
+        assert ty.promote(ty.CHAR) == ty.INT
+        assert ty.promote(ty.USHORT) == ty.INT
+
+    def test_wide_types_unchanged(self):
+        assert ty.promote(ty.UINT) == ty.UINT
+        assert ty.promote(ty.DOUBLE) == ty.DOUBLE
+
+
+class TestUsualArithmetic:
+    def test_same_types(self):
+        assert ty.usual_arithmetic(ty.INT, ty.INT) == ty.INT
+
+    def test_wider_wins(self):
+        assert ty.usual_arithmetic(ty.INT, ty.LONG) == ty.LONG
+
+    def test_unsigned_wins_at_same_width(self):
+        assert ty.usual_arithmetic(ty.INT, ty.UINT) == ty.UINT
+
+    def test_wider_signed_beats_narrower_unsigned(self):
+        assert ty.usual_arithmetic(ty.LONG, ty.UINT) == ty.LONG
+
+    def test_float_dominates(self):
+        assert ty.usual_arithmetic(ty.INT, ty.FLOAT) == ty.FLOAT
+        assert ty.usual_arithmetic(ty.FLOAT, ty.DOUBLE) == ty.DOUBLE
+
+    def test_char_pair_promotes(self):
+        assert ty.usual_arithmetic(ty.CHAR, ty.UCHAR) == ty.INT
+
+    def test_non_arithmetic_rejected(self):
+        with pytest.raises(TypeError):
+            ty.usual_arithmetic(ty.PointerType(ty.INT), ty.INT)
+
+
+class TestAssignability:
+    def test_arithmetic_cross_assign(self):
+        assert ty.assignable(ty.CHAR, ty.LONG)
+        assert ty.assignable(ty.DOUBLE, ty.INT)
+
+    def test_same_pointer(self):
+        p = ty.PointerType(ty.INT)
+        assert ty.assignable(p, p)
+
+    def test_void_pointer_both_ways(self):
+        void_p = ty.PointerType(ty.VOID)
+        int_p = ty.PointerType(ty.INT)
+        assert ty.assignable(void_p, int_p)
+        assert ty.assignable(int_p, void_p)
+
+    def test_const_pointee_drop_allowed(self):
+        const_p = ty.PointerType(ty.INT, const=True)
+        plain_p = ty.PointerType(ty.INT)
+        assert ty.assignable(plain_p, const_p)
+
+    def test_incompatible_pointers(self):
+        assert not ty.assignable(ty.PointerType(ty.INT),
+                                 ty.PointerType(ty.SHORT))
+
+    def test_array_decays_on_assign(self):
+        assert ty.assignable(ty.PointerType(ty.INT), ty.ArrayType(ty.INT, 5))
+
+    def test_int_not_assignable_to_pointer(self):
+        assert not ty.assignable(ty.PointerType(ty.INT), ty.INT)

@@ -1,0 +1,66 @@
+"""Experiment drivers: smoke coverage of every table/figure harness."""
+
+import pytest
+
+from repro.harness import loc, section2, table2, fig18, fig19
+from repro.harness.cache import DEFAULT_SUBSET, compiled, select_kernels
+from repro.programs import all_kernels
+
+
+class TestCache:
+    def test_compilations_are_cached(self):
+        first = compiled("li", "none")
+        second = compiled("li", "none")
+        assert first.program is second.program
+
+    def test_select_kernels_modes(self):
+        assert [k.name for k in select_kernels(None)] == list(DEFAULT_SUBSET)
+        assert len(select_kernels("all")) == len(all_kernels())
+        assert [k.name for k in select_kernels(["mesa"])] == ["mesa"]
+
+
+class TestLoc:
+    def test_rows_cover_paper_table(self):
+        rows = loc.table1()
+        assert len(rows) == 8
+        names = [row.optimization for row in rows]
+        assert "Loop decoupling+monotone loops" in names
+
+    def test_render_mentions_both_columns(self):
+        text = loc.render()
+        assert "paper LOC" in text and "ours LOC" in text
+
+
+class TestSection2:
+    def test_result_shape(self):
+        result = section2.section2()
+        assert result.loads_removed == 1
+        assert result.stores_removed == 2
+
+
+class TestTable2:
+    def test_rows_for_subset(self):
+        rows = table2.table2(kernels=("li", "mesa"))
+        assert [row.name for row in rows] == ["li", "mesa"]
+        assert all(row.coverage_percent == 100.0 for row in rows)
+
+    def test_render_has_total_row(self):
+        text = table2.render(kernels=("li",))
+        assert "Total" in text
+
+
+class TestFig18:
+    def test_single_kernel_row(self):
+        (row,) = fig18.figure18(kernels=("li",))
+        assert row.dynamic_before >= row.dynamic_after
+        assert 0 <= row.static_loads_removed_pct <= 100
+
+
+class TestFig19:
+    def test_single_cell(self):
+        rows = fig19.figure19(kernels=("li",),
+                              memory_systems=(fig19.MEMORY_SYSTEMS[0],))
+        (row,) = rows
+        assert row.baseline_cycles > 0
+        assert set(row.cycles) == set(fig19.LEVELS)
+        assert row.speedup("full") > 0

@@ -1,0 +1,73 @@
+"""Benchmark-suite integration: every kernel, every level, self-checked.
+
+The full matrix (22 kernels x 4 levels x 2 simulators) runs in minutes;
+the default selection keeps CI fast while covering every kernel at least
+once and every level on a representative subset. Set REPRO_ALL_KERNELS=1
+to run the complete matrix.
+"""
+
+import os
+
+import pytest
+
+from repro import compile_minic
+from repro.programs import all_kernels, get_kernel
+from repro.programs.adpcm import reference_decode, reference_encode, SAMPLES
+
+FULL_MATRIX = bool(os.environ.get("REPRO_ALL_KERNELS"))
+
+# Every kernel is validated at "none" (cheap); these get the full matrix.
+DEEP_KERNELS = ("adpcm_e", "compress", "jpeg_d", "li", "mesa", "vortex",
+                "gsm_e", "mpeg2_d")
+
+
+@pytest.mark.parametrize("name", [k.name for k in all_kernels()])
+def test_kernel_oracle_matches_golden(name):
+    kernel = get_kernel(name)
+    program = compile_minic(kernel.source, kernel.entry, opt_level="none")
+    oracle = program.run_sequential(list(kernel.args))
+    kernel.check(oracle.return_value)
+
+
+@pytest.mark.parametrize("name", [k.name for k in all_kernels()]
+                         if FULL_MATRIX else list(DEEP_KERNELS))
+@pytest.mark.parametrize("level", ["none", "medium", "full"])
+def test_kernel_spatial_differential(name, level):
+    kernel = get_kernel(name)
+    program = compile_minic(kernel.source, kernel.entry, opt_level=level)
+    oracle = program.run_sequential(list(kernel.args))
+    spatial = program.simulate(list(kernel.args))
+    kernel.check(oracle.return_value)
+    kernel.check(spatial.return_value)
+    assert spatial.memory.snapshot() == oracle.memory.snapshot()
+
+
+class TestIndependentReferences:
+    """Kernels with independent Python models (beyond the oracle goldens)."""
+
+    def test_adpcm_encoder_model(self):
+        assert get_kernel("adpcm_e").golden == reference_encode(SAMPLES)
+
+    def test_adpcm_decoder_model(self):
+        assert get_kernel("adpcm_d").golden == reference_decode(SAMPLES)
+
+
+class TestSuiteMetadata:
+    def test_suite_covers_papers_programs(self):
+        names = {k.name for k in all_kernels()}
+        expected = {
+            "adpcm_e", "adpcm_d", "gsm_e", "gsm_d", "epic_e", "epic_d",
+            "mpeg2_e", "mpeg2_d", "jpeg_e", "jpeg_d", "pegwit_e", "pegwit_d",
+            "g721_e", "g721_d", "mesa", "go", "m88ksim", "compress", "li",
+            "ijpeg", "perl", "vortex",
+        }
+        assert expected <= names
+
+    def test_every_kernel_is_self_checking(self):
+        for kernel in all_kernels():
+            assert kernel.golden is not None
+
+    def test_source_statistics_positive(self):
+        for kernel in all_kernels():
+            assert kernel.source_lines > 20
+            assert kernel.function_count >= 1

@@ -1,0 +1,228 @@
+"""C semantics corner cases, differentially validated at every level."""
+
+import pytest
+
+
+class TestArithmetic:
+    def test_unsigned_wraparound_loop(self, differential):
+        differential("""
+        unsigned f(int n) {
+            unsigned u = 0xfffffffc;
+            int i;
+            for (i = 0; i < n; i++) u += 3;
+            return u;
+        }
+        """, "f", [4])
+
+    def test_mixed_signed_unsigned_compare(self, differential):
+        differential("""
+        int f(int a) {
+            unsigned u = 7;
+            if (a < (int)u && (unsigned)a < u) return 1;
+            return 0;
+        }
+        """, "f", [-1])
+
+    def test_long_arithmetic(self, differential):
+        differential("""
+        long f(long a, long b) {
+            return a * b + (a >> 3) - (b << 2);
+        }
+        """, "f", [123456789012, -987654321])
+
+    def test_char_sign_extension(self, differential):
+        differential("""
+        int f(void) {
+            char c = (char)200;
+            unsigned char u = (unsigned char)200;
+            return c * 1000 + u;
+        }
+        """, "f", [])
+
+    def test_shift_by_variable(self, differential):
+        differential("""
+        int f(int a, int s) { return (a << s) | ((unsigned)a >> s); }
+        """, "f", [0x1234, 7])
+
+    def test_division_rounding_matrix(self, differential):
+        source = """
+        int f(int a, int b) { return a / b * 100 + a % b; }
+        """
+        for args in ([7, 2], [-7, 2], [7, -2], [-7, -2]):
+            differential(source, "f", args)
+
+
+class TestFloats:
+    def test_float_accumulation(self, differential):
+        differential("""
+        double f(int n) {
+            double s = 0.0;
+            int i;
+            for (i = 0; i < n; i++) s += 1.0 / (i + 1);
+            return s;
+        }
+        """, "f", [10])
+
+    def test_float32_storage_rounds(self, differential):
+        differential("""
+        float cell[1];
+        int f(void) {
+            cell[0] = 16777217.0;
+            return cell[0] == 16777216.0;
+        }
+        """, "f", [])
+
+    def test_float_compare_and_branch(self, differential):
+        differential("""
+        int f(int n) {
+            double x = n * 0.5;
+            if (x > 2.25) return 1;
+            if (x < -2.25) return -1;
+            return 0;
+        }
+        """, "f", [5])
+
+    def test_int_float_conversions(self, differential):
+        differential("""
+        int f(int n) {
+            double d = n;
+            float g = (float)(d / 3.0);
+            return (int)(g * 6.0);
+        }
+        """, "f", [10])
+
+
+class TestPointers:
+    def test_pointer_comparison_drives_loop(self, differential):
+        differential("""
+        int a[8];
+        int f(void) {
+            int *p = a;
+            int *end = a + 8;
+            int s = 0;
+            while (p != end) { *p = s; s += *p + 1; p++; }
+            return s;
+        }
+        """, "f", [])
+
+    def test_pointer_difference(self, differential):
+        differential("""
+        int a[16];
+        long f(int i) {
+            int *p = a + i;
+            return p - a;
+        }
+        """, "f", [5])
+
+    def test_address_of_scalar_aliases(self, differential):
+        differential("""
+        int f(int x) {
+            int v = x;
+            int *p = &v;
+            *p += 3;
+            return v;
+        }
+        """, "f", [4])
+
+    def test_conditional_pointer_select(self, differential):
+        source = """
+        int a[4]; int b[4];
+        int f(int c, int i) {
+            int *p = c ? a : b;
+            p[i] = 9;
+            return a[i] * 10 + b[i];
+        }
+        """
+        differential(source, "f", [0, 2])
+        differential(source, "f", [1, 2])
+
+    def test_null_check_guards_deref(self, differential):
+        source = """
+        int cell[1];
+        int f(int use) {
+            int *p = use ? cell : (int*)0;
+            if (p) { *p = 5; return *p; }
+            return -1;
+        }
+        """
+        differential(source, "f", [1])
+        differential(source, "f", [0])
+
+
+class TestStatements:
+    def test_comma_operator(self, differential):
+        differential("int f(int a) { int b; return (b = a + 1, b * 2); }",
+                     "f", [3])
+
+    def test_ternary_chains(self, differential):
+        differential("""
+        int f(int x) { return x < 0 ? -1 : x == 0 ? 0 : 1; }
+        """, "f", [-5])
+
+    def test_do_while_with_continue(self, differential):
+        differential("""
+        int f(int n) {
+            int i = 0; int s = 0;
+            do {
+                i++;
+                if (i & 1) continue;
+                s += i;
+            } while (i < n);
+            return s;
+        }
+        """, "f", [10])
+
+    def test_deeply_nested_conditions(self, differential):
+        differential("""
+        int f(int a, int b, int c) {
+            int r = 0;
+            if (a) { if (b) { if (c) r = 7; else r = 6; } else r = 5; }
+            else { if (b) r = 4; else r = 3; }
+            return r;
+        }
+        """, "f", [1, 0, 1])
+
+    def test_empty_loop_body(self, differential):
+        differential("""
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) ;
+            return i;
+        }
+        """, "f", [5])
+
+
+class TestWidths:
+    def test_short_array_negative_values(self, differential):
+        differential("""
+        short h[8];
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) h[i] = (short)(-1000 * i);
+            for (i = 0; i < n; i++) s += h[i];
+            return s;
+        }
+        """, "f", [8])
+
+    def test_byte_array_bit_twiddling(self, differential):
+        differential("""
+        unsigned char bits[4];
+        int f(int v) {
+            bits[0] = (unsigned char)v;
+            bits[1] = (unsigned char)(v >> 8);
+            bits[2] = bits[0] ^ bits[1];
+            bits[3] = (unsigned char)(bits[2] << 3);
+            return bits[0] + bits[1] * 256 + bits[2] * 65536 + bits[3];
+        }
+        """, "f", [0x1234])
+
+    def test_mixed_width_aliasing(self, differential):
+        # Write words, read bytes of the same object.
+        differential("""
+        int words[2];
+        int f(void) {
+            unsigned char *bytes = (unsigned char*)words;
+            words[0] = 0x04030201;
+            return bytes[0] + bytes[1] * 10 + bytes[2] * 100 + bytes[3] * 1000;
+        }
+        """, "f", [])

@@ -1,0 +1,180 @@
+"""§6 loop pipelining: read-only split, monotonicity, decoupling."""
+
+import pytest
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
+
+
+def cycles(source, entry, args, level, memsys=None):
+    program = compile_minic(source, entry, opt_level=level)
+    run = program.simulate(list(args),
+                          memsys=MemorySystem(memsys or REALISTIC_MEMORY))
+    oracle = program.run_sequential(list(args))
+    assert run.return_value == oracle.return_value
+    assert run.memory.snapshot() == oracle.memory.snapshot()
+    return run.cycles
+
+
+READONLY = """
+int tbl[64];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) s += tbl[(i * 7) & 63];
+    return s;
+}
+"""
+
+MONOTONE = """
+int src[256]; int dst[256];
+int f(int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i] * 3 + 1;
+    return dst[n-1];
+}
+"""
+
+DECOUPLE = """
+int a[300];
+int f(int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = a[i+3] + 1;
+    return a[n-1];
+}
+"""
+
+CONFLICTING = """
+int a[300];
+int f(int n) {
+    int i;
+    for (i = 1; i < n; i++) a[i] = a[i-1] + 1;
+    return a[n-1];
+}
+"""
+
+
+class TestReadOnlySplit:
+    def test_random_access_reads_pipeline_at_full(self):
+        serialized = cycles(READONLY, "f", [100], "none")
+        pipelined = cycles(READONLY, "f", [100], "full")
+        assert pipelined < serialized / 2
+
+    def test_medium_does_not_apply_readonly(self):
+        # (i*7)&63 is not monotone, so §6.2 cannot catch it; §6.1 is a
+        # full-level optimization, exactly as in the paper's "Medium" set.
+        medium = cycles(READONLY, "f", [100], "medium")
+        serialized = cycles(READONLY, "f", [100], "none")
+        assert medium == pytest.approx(serialized, rel=0.1)
+
+
+class TestMonotone:
+    def test_copy_loop_pipelines_at_medium(self):
+        serialized = cycles(MONOTONE, "f", [100], "none")
+        medium = cycles(MONOTONE, "f", [100], "medium")
+        assert medium < serialized / 3
+
+    def test_loop_carried_dependence_blocks_monotone(self):
+        # a[i] = a[i-1] + 1 is a genuine recurrence: distance 1, no
+        # transformation may overlap iterations.
+        serialized = cycles(CONFLICTING, "f", [100], "none")
+        full = cycles(CONFLICTING, "f", [100], "full")
+        assert full > serialized / 2, "the recurrence must stay serialized"
+
+    def test_downward_loop(self):
+        source = """
+        int dst[128];
+        int f(int n) {
+            int i;
+            for (i = n; i > 0; i--) dst[i-1] = i * 2;
+            return dst[0];
+        }
+        """
+        serialized = cycles(source, "f", [100], "none")
+        medium = cycles(source, "f", [100], "medium")
+        assert medium < serialized
+
+
+class TestDecoupling:
+    def test_token_generator_inserted(self):
+        program = compile_minic(DECOUPLE, "f", opt_level="full")
+        generators = program.graph.by_kind(N.TokenGenNode)
+        assert len(generators) == 1
+        assert generators[0].count == 3
+
+    def test_decoupling_speedup_and_correctness(self):
+        serialized = cycles(DECOUPLE, "f", [200], "none")
+        full = cycles(DECOUPLE, "f", [200], "full")
+        assert full < serialized / 4
+
+    def test_medium_leaves_distance_loops_alone(self):
+        program = compile_minic(DECOUPLE, "f", opt_level="medium")
+        assert not program.graph.by_kind(N.TokenGenNode)
+
+    def test_negative_direction_distance(self):
+        source = """
+        int a[300];
+        int f(int n) {
+            int i;
+            for (i = n; i >= 4; i--) a[i] = a[i-4] + 1;
+            return a[n];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        oracle = program.run_sequential([250])
+        run = program.simulate([250])
+        assert run.return_value == oracle.return_value
+        assert run.memory.snapshot() == oracle.memory.snapshot()
+
+    def test_three_offset_groups_not_decoupled(self, differential):
+        source = """
+        int a[300];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = a[i+3] + a[i+6];
+            return a[n-1];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        assert not program.graph.by_kind(N.TokenGenNode)
+        differential(source, "f", [100])
+
+
+class TestSlipBound:
+    def test_tk_limits_slip(self):
+        """The constrained group must never run more than n ahead."""
+        from repro.sim import dataflow as dfm
+
+        program = compile_minic(DECOUPLE, "f", opt_level="full")
+        stores = [n.id for n in program.graph.by_kind(N.StoreNode)]
+        loads = [n.id for n in program.graph.by_kind(N.LoadNode)
+                 if n.hyperblock in program.build.loop_predicates]
+        assert len(stores) == 1 and len(loads) == 1
+        store_id, load_id = stores[0], loads[0]
+
+        progress = {"store": 0, "load": 0, "max_ahead": -10}
+        orig_store = dfm.DataflowSimulator._fire_store
+        orig_load = dfm.DataflowSimulator._fire_load
+
+        def spy_store(self, node, values, time):
+            if node.id == store_id and values[2]:
+                progress["store"] += 1
+                ahead = progress["store"] - progress["load"]
+                progress["max_ahead"] = max(progress["max_ahead"], ahead)
+            return orig_store(self, node, values, time)
+
+        def spy_load(self, node, values, time):
+            if node.id == load_id and values[1]:
+                progress["load"] += 1
+            return orig_load(self, node, values, time)
+
+        dfm.DataflowSimulator._fire_store = spy_store
+        dfm.DataflowSimulator._fire_load = spy_load
+        try:
+            program.simulate([200])
+        finally:
+            dfm.DataflowSimulator._fire_store = orig_store
+            dfm.DataflowSimulator._fire_load = orig_load
+        # a[i] (the write) may issue at most 3 iterations ahead of a[i+3].
+        assert progress["max_ahead"] <= 3
+        assert progress["store"] == 200

@@ -1,0 +1,133 @@
+"""Chain cases for §5.2/§5.3: sequential same-address store sequences."""
+
+from repro import compile_minic
+
+
+def counts(source, level="full"):
+    return compile_minic(source, "f", opt_level=level).static_counts()
+
+
+class TestStoreChains:
+    def test_quantize_idiom_fully_collapses(self, differential):
+        # The epic/jpeg rounding idiom: an output slot used as temporary.
+        source = """
+        int out[8];
+        int f(int v, int q, int i) {
+            out[i] = v + q / 2;
+            if (v < 0) out[i] = -v + q / 2;
+            out[i] /= q;
+            if (v < 0) out[i] = -out[i];
+            return out[i];
+        }
+        """
+        full = counts(source)
+        assert full["loads"] == 0, "all re-loads forwarded"
+        assert full["stores"] == 2, "both temporary stores removed"
+        for args in ([7, 3, 2], [-7, 3, 2], [0, 5, 0], [-1, 9, 7]):
+            differential(source, "f", args)
+
+    def test_three_deep_unconditional_chain(self, differential):
+        source = """
+        int g_v;
+        int f(int a, int b) {
+            g_v = a;
+            g_v = g_v + b;
+            g_v = g_v * 2;
+            return g_v;
+        }
+        """
+        full = counts(source)
+        assert full["stores"] == 1
+        assert full["loads"] == 0
+        differential(source, "f", [3, 4])
+
+    def test_diamond_then_overwrite(self, differential):
+        # Mutually exclusive stores, then an unconditional overwrite: all
+        # but the last store die (the Figure 1 cascade).
+        source = """
+        int g_v;
+        int f(int c, int x) {
+            if (c) g_v = x; else g_v = -x;
+            g_v = 7;
+            return g_v;
+        }
+        """
+        full = counts(source)
+        assert full["stores"] == 1
+        differential(source, "f", [0, 5])
+        differential(source, "f", [1, 5])
+
+    def test_partial_overwrite_chain_keeps_guards(self, differential):
+        # s1 unconditional, s2 and s3 conditional with different guards:
+        # s1 survives (guards may both be false) but is strengthened.
+        source = """
+        int g_v;
+        int f(int a, int b, int x) {
+            g_v = x;
+            if (a) g_v = 1;
+            if (b) g_v = 2;
+            return g_v;
+        }
+        """
+        for args in ([0, 0, 9], [1, 0, 9], [0, 1, 9], [1, 1, 9]):
+            differential(source, "f", args)
+
+    def test_interleaved_other_object_does_not_block(self, differential):
+        source = """
+        int g_v; int g_w;
+        int f(int x) {
+            g_v = x;
+            g_w = x + 1;
+            g_v = x + 2;
+            return g_v + g_w;
+        }
+        """
+        full = counts(source)
+        assert full["stores"] == 2  # one per object
+        differential(source, "f", [5])
+
+
+class TestLoadChains:
+    def test_forward_through_conditional_store_pair(self, differential):
+        source = """
+        int g_v;
+        int f(int c, int x) {
+            g_v = x;
+            if (c) g_v = x * 2;
+            return g_v;
+        }
+        """
+        full = counts(source)
+        assert full["loads"] == 0
+        differential(source, "f", [0, 5])
+        differential(source, "f", [1, 5])
+
+    def test_aliasing_store_between_blocks_forwarding(self, differential):
+        # *p may alias g_v: the load cannot be (fully) forwarded from the
+        # first store; behaviour must still match the oracle both ways.
+        source = """
+        int g_v;
+        int f(int *p, int x) {
+            g_v = x;
+            *p = 99;
+            return g_v;
+        }
+        int drive(int alias, int x) {
+            int other;
+            return f(alias ? &g_v : &other, x);
+        }
+        """
+        differential(source, "drive", [0, 5])
+        differential(source, "drive", [1, 5])
+
+    def test_chain_through_different_width_stops(self, differential):
+        source = """
+        int words[2];
+        int f(int x) {
+            unsigned char *bytes = (unsigned char*)words;
+            words[0] = x;
+            bytes[0] = 7;
+            return words[0];
+        }
+        """
+        differential(source, "f", [0x11223344])

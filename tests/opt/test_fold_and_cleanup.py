@@ -1,0 +1,89 @@
+"""Scalar support passes: constant folding, algebraic rules, cleanup."""
+
+from repro.frontend import types as ty
+from repro.cfg.lower import lower_program
+from repro.cfg.inline import inline_program
+from repro.frontend import parse_program
+from repro.pegasus.builder import build_pegasus
+from repro.pegasus import nodes as N
+from repro.opt.context import OptContext
+from repro.opt.constant_fold import ConstantFold
+from repro.opt.cleanup import Cleanup
+
+
+def optimize(source: str, entry: str = "f"):
+    lowered = lower_program(parse_program(source))
+    flat = inline_program(lowered, entry)
+    build = build_pegasus(flat, lowered.globals)
+    ctx = OptContext(build)
+    ConstantFold().run(ctx)
+    Cleanup().run(ctx)
+    from repro.pegasus.verify import verify_graph
+    verify_graph(ctx.graph)
+    return ctx
+
+
+def binop_count(ctx, op):
+    return sum(1 for n in ctx.graph.by_kind(N.BinOpNode) if n.op == op)
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        ctx = optimize("int f(void) { return (3 + 4) * 2; }")
+        assert binop_count(ctx, "add") == 0
+        assert binop_count(ctx, "mul") == 0
+
+    def test_add_zero_identity(self):
+        ctx = optimize("int f(int a) { return a + 0; }")
+        assert binop_count(ctx, "add") == 0
+
+    def test_mul_one_identity(self):
+        ctx = optimize("int f(int a) { return a * 1; }")
+        assert binop_count(ctx, "mul") == 0
+
+    def test_folding_preserves_semantics(self, differential):
+        differential("int f(int a) { return (a + 0) * 1 + (2 * 3); }",
+                     "f", [5], levels=("none", "basic"))
+
+    def test_constant_branch_removes_dead_region(self):
+        source = """
+        int f(int a) {
+            if (0) { a = a * 111; }
+            return a;
+        }
+        """
+        folded = optimize(source)
+        muls = binop_count(folded, "mul")
+        assert muls == 0, "the dead arm's compute must be cleaned up"
+
+    def test_wrapping_respected_when_folding(self, differential):
+        differential("int f(void) { char c = 100; return (char)(c + 100); }",
+                     "f", [], levels=("none", "basic"))
+
+
+class TestCleanup:
+    def test_unused_computation_removed(self):
+        source = """
+        int f(int a) {
+            int unused = a * 17 + 4;
+            return a;
+        }
+        """
+        base_ctx = OptContext(_build(source))
+        before = len(base_ctx.graph)
+        Cleanup().run(base_ctx)
+        assert len(base_ctx.graph) < before
+
+    def test_memory_ops_never_cleaned(self):
+        source = """
+        int g_v;
+        int f(int a) { g_v = a; return a; }
+        """
+        ctx = optimize(source)
+        assert len(ctx.graph.by_kind(N.StoreNode)) == 1
+
+
+def _build(source, entry="f"):
+    lowered = lower_program(parse_program(source))
+    flat = inline_program(lowered, entry)
+    return build_pegasus(flat, lowered.globals)

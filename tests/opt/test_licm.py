@@ -1,0 +1,121 @@
+"""§5.4 loop-invariant load motion."""
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+
+
+def loads_in_loops(program):
+    loop_hbs = set(program.build.loop_predicates)
+    return [l for l in program.graph.by_kind(N.LoadNode)
+            if l.hyperblock in loop_hbs]
+
+
+class TestHoisting:
+    def test_invariant_global_load_hoisted(self, differential):
+        source = """
+        int a[64]; int factor = 7;
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += a[i] * factor;
+            return s;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        names = set()
+        for load in loads_in_loops(program):
+            names |= {loc.symbol.name for loc in load.rwset}
+        assert "factor" not in names, "the factor load must leave the loop"
+        differential(source, "f", [10])
+
+    def test_dynamic_count_drops(self):
+        source = """
+        int a[64]; int factor = 7;
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += a[i] * factor;
+            return s;
+        }
+        """
+        base = compile_minic(source, "f", opt_level="none").simulate([50])
+        full = compile_minic(source, "f", opt_level="full").simulate([50])
+        assert full.loads <= base.loads - 49, "one load per iteration saved"
+        assert full.return_value == base.return_value
+
+    def test_zero_trip_loop_safe(self, differential):
+        source = """
+        int a[64]; int factor = 7;
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += a[i] * factor;
+            return s;
+        }
+        """
+        differential(source, "f", [0])
+
+    def test_written_class_not_hoisted(self, differential):
+        source = """
+        int state[4];
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) {
+                s += state[0];
+                state[0] = s & 7;
+            }
+            return s;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        names = set()
+        for load in loads_in_loops(program):
+            names |= {loc.symbol.name for loc in load.rwset}
+        assert "state" in names, "a loop-varying load must stay inside"
+        differential(source, "f", [9])
+
+    def test_write_elsewhere_in_loop_body_blocks_hoist(self, differential):
+        # The write happens in a *different* hyperblock of the same loop
+        # body (after an inner loop) — the pegwit-style trap.
+        source = """
+        int state[4]; int buf[16];
+        int f(int n) {
+            int i; int j; int s = 0;
+            for (i = 0; i < n; i++) {
+                s += state[0];
+                for (j = 0; j < 4; j++) buf[j] = s + j;
+                state[0] = buf[1];
+            }
+            return s;
+        }
+        """
+        differential(source, "f", [6])
+
+    def test_unknown_pointer_not_hoisted(self, differential):
+        # Fault safety: *p has no object root, so it must not be executed
+        # speculatively ahead of the loop guard.
+        source = """
+        int a[64];
+        int f(int *p, int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += a[i] + *p;
+            return s;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        kinds = set()
+        for load in loads_in_loops(program):
+            kinds |= {loc.kind for loc in load.rwset}
+        assert "param" in kinds, "*p must stay in the loop"
+
+    def test_invariant_load_under_pragma(self, differential):
+        source = """
+        int dst[64]; int scale_factor = 3;
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) dst[i] = i * scale_factor;
+            return dst[n-1];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        run = program.simulate([30])
+        # scale_factor read once, dst written 30 times.
+        assert run.loads <= 2
+        differential(source, "f", [30])

@@ -1,0 +1,208 @@
+"""Negative cases: situations where each optimization must NOT fire.
+
+Unsound firing shows up as an oracle divergence; these tests additionally
+pin the static structure so a silently-disabled guard is caught even when
+a benign input happens to produce the right values.
+"""
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+
+
+def counts(source, level="full", **kwargs):
+    return compile_minic(source, "f", opt_level=level, **kwargs).static_counts()
+
+
+class TestForwardingGuards:
+    def test_may_alias_store_blocks_forwarding(self, differential):
+        source = """
+        int g_v;
+        int f(int *p, int x) {
+            g_v = x;
+            *p = x + 1;
+            return g_v;
+        }
+        int drive(int mode, int x) {
+            int spare;
+            return f(mode ? &g_v : &spare, x);
+        }
+        """
+        program = compile_minic(source, "drive", opt_level="full")
+        assert program.static_counts()["loads"] == 1, (
+            "the load must stay: *p may have clobbered g_v"
+        )
+        differential(source, "drive", [0, 7])
+        differential(source, "drive", [1, 7])
+
+    def test_different_width_store_blocks_forwarding(self, differential):
+        source = """
+        int cell[1];
+        int f(int x) {
+            cell[0] = x;
+            *((short*)cell) = 7;
+            return cell[0];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        assert program.static_counts()["loads"] == 1
+        differential(source, "f", [0x11223344])
+
+    def test_value_dependent_predicate_blocks(self, differential):
+        # The second store's predicate depends on the first load's value;
+        # rewriting must not create a combinational cycle.
+        source = """
+        int g_v; int g_w;
+        int f(int x) {
+            g_v = x;
+            if (g_v > 3) g_w = 1;
+            return g_w;
+        }
+        """
+        differential(source, "f", [5])
+        differential(source, "f", [1])
+
+
+class TestStoreEliminationGuards:
+    def test_forwardable_read_between_stores_cascades(self, differential):
+        # The read between the stores is forwardable, so the legal (and
+        # smarter) outcome is a full cascade: forward the read, then the
+        # overwritten store dies. Semantics must hold either way.
+        source = """
+        int g_v;
+        int f(int x) {
+            int seen;
+            g_v = x;
+            seen = g_v;
+            g_v = x + 1;
+            return seen * 100 + g_v;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        assert program.static_counts()["stores"] == 1
+        assert program.static_counts()["loads"] == 0
+        differential(source, "f", [4])
+
+    def test_may_alias_read_between_stores(self, differential):
+        source = """
+        int g_v;
+        int f(int *p, int x) {
+            int seen;
+            g_v = x;
+            seen = *p;
+            g_v = x + 1;
+            return seen * 100 + g_v;
+        }
+        int drive(int mode, int x) {
+            int spare = -5;
+            return f(mode ? &g_v : &spare, x);
+        }
+        """
+        differential(source, "drive", [0, 4])
+        differential(source, "drive", [1, 4])
+
+
+class TestMergeGuards:
+    def test_loads_across_store_not_merged(self):
+        source = """
+        int a[4];
+        int f(int i, int x) {
+            int first = a[i];
+            a[i] = x;
+            return first + a[i];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        # Forwarding may remove the *second* load, but merging the two
+        # loads into one would be wrong; the first load must read memory.
+        assert program.static_counts()["loads"] >= 1
+
+    def test_different_addresses_not_merged(self, differential):
+        source = """
+        int a[8];
+        int f(int i) { return a[i] + a[i + 1]; }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        assert program.static_counts()["loads"] == 2
+        differential(source, "f", [3])
+
+    def test_stores_with_different_values_not_merged(self, differential):
+        source = """
+        int g_v;
+        int f(int c, int x) {
+            if (c) g_v = x; else g_v = x + 1;
+            return g_v;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        assert program.static_counts()["stores"] == 2
+        differential(source, "f", [0, 5])
+        differential(source, "f", [1, 5])
+
+
+class TestLoopGuards:
+    def test_unknown_stride_not_pipelined(self, differential):
+        source = """
+        int a[64];
+        int f(int n, int s) {
+            int i;
+            for (i = 0; i < n; i = i + s) a[i & 63] = i;
+            return a[0];
+        }
+        """
+        differential(source, "f", [40, 3])
+
+    def test_store_via_data_dependent_index(self, differential):
+        source = """
+        int next_idx[16]; int out[16];
+        int f(int n) {
+            int i; int idx = 0;
+            for (i = 0; i < 16; i++) next_idx[i] = (i * 7 + 3) & 15;
+            for (i = 0; i < n; i++) {
+                out[idx] = i;
+                idx = next_idx[idx];
+            }
+            return out[3];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        differential(source, "f", [12])
+
+    def test_pointer_param_loop_stays_ordered_without_pragma(self, differential):
+        source = """
+        int buf[32];
+        int f(int *p, int *q, int n) {
+            int i;
+            for (i = 0; i < n; i++) { p[i] = q[i] + 1; }
+            return p[0];
+        }
+        int drive(int n) { return f(buf, buf + 1, n); }
+        """
+        # p[i] and q[i] overlap at distance 1: must serialize correctly.
+        differential(source, "drive", [20])
+
+    def test_entry_points_to_enables_pipelining(self):
+        source = """
+        int a[128]; int b[128];
+        int f(int *dst, int *src, int n) {
+            int i;
+            for (i = 0; i < n; i++) dst[i] = src[i] * 2;
+            return dst[n-1];
+        }
+        """
+        from repro.sim.memsys import MemorySystem, REALISTIC_2PORT
+        plain = compile_minic(source, "f", opt_level="medium")
+        annotated = compile_minic(source, "f", opt_level="medium",
+                                  entry_points_to={"dst": ["a"], "src": ["b"]})
+        # Simulate with real arrays bound to the parameters.
+        def run(program):
+            memory = program.new_memory()
+            a_addr = memory.addr_of(program.lowered.globals[0])
+            b_addr = memory.addr_of(program.lowered.globals[1])
+            return program.simulate([a_addr, b_addr, 60], memory=memory,
+                                    memsys=MemorySystem(REALISTIC_2PORT))
+        slow = run(plain)
+        fast = run(annotated)
+        assert fast.return_value == slow.return_value
+        assert fast.cycles < slow.cycles, (
+            "points-to annotations must unlock pipelining"
+        )

@@ -1,0 +1,158 @@
+"""§5.1-§5.3: merging, store-before-store, load-after-store."""
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+
+
+def counts(source, level):
+    return compile_minic(source, "f", opt_level=level).static_counts()
+
+
+class TestLoadAfterStore:
+    def test_dominating_store_kills_load(self, differential):
+        source = """
+        int g_v;
+        int f(int x) {
+            g_v = x * 2;
+            return g_v;
+        }
+        """
+        assert counts(source, "none")["loads"] == 1
+        assert counts(source, "full")["loads"] == 0
+        differential(source, "f", [21])
+
+    def test_partial_stores_forward_through_mux(self, differential):
+        # Figure 9: two predicated stores; the load survives with a
+        # strengthened predicate only if the stores don't dominate. Here
+        # they do dominate (if/else covers), so the load dies.
+        source = """
+        int g_v;
+        int f(int x) {
+            if (x) g_v = 1; else g_v = 2;
+            return g_v;
+        }
+        """
+        assert counts(source, "full")["loads"] == 0
+        program = compile_minic(source, "f", opt_level="full")
+        assert program.static_counts()["muxes"] >= 1
+        differential(source, "f", [0])
+        differential(source, "f", [1])
+
+    def test_non_dominating_store_keeps_guarded_load(self, differential):
+        source = """
+        int g_v;
+        int f(int x) {
+            if (x) g_v = 7;
+            return g_v;
+        }
+        """
+        full = counts(source, "full")
+        assert full["loads"] == 1, "load must survive for the not-taken path"
+        differential(source, "f", [0], check_memory=True)
+        differential(source, "f", [1])
+
+    def test_forwarding_skips_mismatched_width(self, differential):
+        source = """
+        unsigned char bytes[8];
+        int f(int x) {
+            bytes[0] = (unsigned char)x;
+            bytes[1] = 0;
+            return bytes[0];
+        }
+        """
+        differential(source, "f", [300])
+
+
+class TestStoreBeforeStore:
+    def test_postdominated_store_removed(self, differential):
+        source = """
+        int g_v;
+        int f(int x) {
+            g_v = x;
+            g_v = x + 1;
+            return 0;
+        }
+        """
+        assert counts(source, "none")["stores"] == 2
+        assert counts(source, "full")["stores"] == 1
+        differential(source, "f", [5])
+
+    def test_conditional_overwrite_strengthens_only(self, differential):
+        source = """
+        int g_v;
+        void f(int x) {
+            g_v = 1;
+            if (x) g_v = 2;
+        }
+        """
+        # The first store must survive (x may be false)...
+        assert counts(source, "full")["stores"] == 2
+        differential(source, "f", [0])
+        differential(source, "f", [1])
+
+    def test_chain_of_three(self, differential):
+        source = """
+        int g_v;
+        int f(int x) {
+            g_v = 1;
+            g_v = 2;
+            g_v = x;
+            return g_v;
+        }
+        """
+        assert counts(source, "full")["stores"] == 1
+        assert counts(source, "full")["loads"] == 0
+        differential(source, "f", [9])
+
+
+class TestMergeEquivalent:
+    def test_cse_identical_loads(self, differential):
+        source = """
+        int a[8];
+        int f(int i) {
+            return a[i] * a[i];
+        }
+        """
+        assert counts(source, "none")["loads"] == 2
+        assert counts(source, "full")["loads"] == 1
+        differential(source, "f", [2])
+
+    def test_hoisting_loads_from_branches(self, differential):
+        # Both arms read a[i]: merged into one load with or-ed predicate.
+        source = """
+        int a[8];
+        int f(int i, int c) {
+            int r;
+            if (c) r = a[i] + 1; else r = a[i] - 1;
+            return r;
+        }
+        """
+        assert counts(source, "full")["loads"] == 1
+        differential(source, "f", [2, 0])
+        differential(source, "f", [2, 1])
+
+    def test_loads_with_intervening_store_not_merged(self, differential):
+        source = """
+        int a[8];
+        int f(int i) {
+            int first = a[i];
+            a[i] = first + 1;
+            return first + a[i];
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        # The second load reads a different memory state: must survive (it
+        # may be forwarded from the store, but never merged with load #1).
+        differential(source, "f", [3])
+
+    def test_identical_stores_merged(self, differential):
+        source = """
+        int g_v;
+        int f(int x, int c) {
+            if (c) g_v = x; else g_v = x;
+            return g_v;
+        }
+        """
+        assert counts(source, "full")["stores"] == 1
+        differential(source, "f", [5, 0])
+        differential(source, "f", [5, 1])

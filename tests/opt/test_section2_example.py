@@ -1,0 +1,42 @@
+"""The paper's §2 example: the headline removal of 2 stores + 1 load."""
+
+from repro import compile_minic
+from repro.harness.section2 import SECTION2_SOURCE, section2
+
+
+class TestSection2:
+    def test_unoptimized_counts(self):
+        program = compile_minic(SECTION2_SOURCE, "f", opt_level="none")
+        counts = program.static_counts()
+        # a[i] += *p loads a[i] and *p; a[i] <<= a[i+1] loads both operands.
+        assert counts["loads"] == 4
+        assert counts["stores"] == 3
+
+    def test_full_pipeline_removes_two_stores_and_one_load(self):
+        result = section2()
+        assert result.stores_removed == 2, "paper: both temporary stores go"
+        assert result.loads_removed == 1, "paper: the temporary load goes"
+        assert result.loads_after == 3
+        assert result.stores_after == 1
+
+    def test_behaviour_preserved(self, differential):
+        driver = SECTION2_SOURCE + """
+        unsigned buffer[8];
+        unsigned value = 5;
+        unsigned drive(int i, int use_p)
+        {
+            int k;
+            for (k = 0; k < 8; k++) buffer[k] = k + 1;
+            f(use_p ? &value : (unsigned*)0, buffer, i);
+            return buffer[i];
+        }
+        """
+        for args in ([3, 1], [3, 0], [0, 1], [6, 0]):
+            differential(driver, "drive", args)
+
+    def test_medium_does_not_remove_redundancy(self):
+        # The removals are §5 optimizations (full); medium only
+        # disambiguates and pipelines.
+        program = compile_minic(SECTION2_SOURCE, "f", opt_level="medium")
+        counts = program.static_counts()
+        assert counts["stores"] == 3

@@ -1,0 +1,182 @@
+"""Pegasus construction: structure of built graphs (§3)."""
+
+import pytest
+
+from repro import compile_minic
+from repro.frontend import parse_program
+from repro.cfg.lower import lower_program
+from repro.cfg.inline import inline_program
+from repro.pegasus.builder import build_pegasus
+from repro.pegasus.verify import verify_graph
+from repro.pegasus import nodes as N
+
+
+def build(source: str, entry: str = "f", entry_points_to=None):
+    lowered = lower_program(parse_program(source))
+    flat = inline_program(lowered, entry)
+    result = build_pegasus(flat, lowered.globals, entry_points_to)
+    verify_graph(result.graph)
+    return result
+
+
+class TestStraightLine:
+    def test_minimal_function(self):
+        result = build("int f(int a) { return a + 1; }")
+        graph = result.graph
+        assert graph.return_node is not None
+        assert len(graph.by_kind(N.ParamNode)) == 1
+        assert len(graph.by_kind(N.InitialTokenNode)) >= 1
+
+    def test_memory_ops_carry_rwsets(self):
+        result = build("int g_v; int f(void) { g_v = 3; return g_v; }")
+        loads = result.graph.by_kind(N.LoadNode)
+        stores = result.graph.by_kind(N.StoreNode)
+        assert len(loads) == 1 and len(stores) == 1
+        assert loads[0].rwset and stores[0].rwset
+
+    def test_load_after_store_direct_token(self):
+        result = build("int g_v; int f(void) { g_v = 3; return g_v; }")
+        load = result.graph.by_kind(N.LoadNode)[0]
+        store = result.graph.by_kind(N.StoreNode)[0]
+        token_in = load.inputs[N.LoadNode.TOKEN_IN]
+        assert token_in is not None and token_in.node is store
+
+    def test_commuting_reads_not_sequentialized(self):
+        # Figure 4: two reads never get a token edge between them.
+        result = build("""
+        int a; int b;
+        int f(void) { return a + b; }
+        """)
+        loads = result.graph.by_kind(N.LoadNode)
+        assert len(loads) == 2
+        for load in loads:
+            token_in = load.inputs[N.LoadNode.TOKEN_IN]
+            assert not isinstance(token_in.node, N.LoadNode)
+
+
+class TestPredication:
+    def test_diamond_becomes_mux(self):
+        result = build("""
+        int f(int x) {
+            int r;
+            if (x > 0) r = x * 2; else r = x - 1;
+            return r;
+        }
+        """)
+        assert len(result.graph.by_kind(N.MuxNode)) == 1
+
+    def test_conditional_store_is_predicated_not_branched(self):
+        result = build("""
+        int g_v;
+        void f(int x) { if (x) g_v = 1; }
+        """)
+        store = result.graph.by_kind(N.StoreNode)[0]
+        pred = store.inputs[N.StoreNode.PRED_IN]
+        assert not isinstance(pred.node, N.ConstNode), (
+            "conditional store must have a non-constant predicate"
+        )
+
+    def test_mutually_exclusive_stores_share_token_consumer(self):
+        # Figure 1A/B: both stores feed the next dependent operation.
+        result = build("""
+        int g_v;
+        int f(int x) {
+            if (x) g_v = 1; else g_v = 2;
+            return g_v;
+        }
+        """)
+        load = result.graph.by_kind(N.LoadNode)[0]
+        token_in = load.inputs[N.LoadNode.TOKEN_IN]
+        assert isinstance(token_in.node, N.CombineNode)
+        sources = {port.node for port in token_in.node.inputs}
+        stores = set(result.graph.by_kind(N.StoreNode))
+        assert stores <= sources
+
+
+class TestLoops:
+    SOURCE = """
+    int f(int k) {
+        int a = 0; int b = 1;
+        while (k) {
+            int t = a + b;
+            a = b; b = t;
+            k = k - 1;
+        }
+        return a;
+    }
+    """
+
+    def test_fibonacci_shape(self):
+        # Figure 2: merges at the loop header, etas on exits/back edges.
+        result = build(self.SOURCE)
+        merges = [m for m in result.graph.by_kind(N.MergeNode)
+                  if m.back_inputs]
+        assert merges, "loop must produce header merges"
+        for merge in merges:
+            assert merge.has_control
+
+    def test_loop_predicate_registered(self):
+        result = build(self.SOURCE)
+        assert result.loop_predicates
+
+    def test_token_circuit_around_loop(self):
+        result = build("""
+        int a[16];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = i;
+            return a[0];
+        }
+        """)
+        token_merges = [
+            m for m in result.graph.by_kind(N.MergeNode)
+            if m.value_class == N.TOKEN and m.back_inputs
+        ]
+        assert token_merges, "loops must carry per-class token circuits"
+
+
+class TestPointsTo:
+    def test_entry_points_to_refines_classes(self):
+        source = """
+        int a[8]; int b[8];
+        int f(int *p, int *q, int n) {
+            int i;
+            for (i = 0; i < n; i++) p[i] = q[i];
+            return p[0];
+        }
+        """
+        conservative = compile_minic(source, "f", opt_level="none")
+        refined = compile_minic(source, "f", opt_level="none",
+                                entry_points_to={"p": ["a"], "q": ["b"]})
+        # Without annotations p and q collapse into one class; with them
+        # the store and load end up in distinct classes.
+        assert (refined.build.pointers.classes.num_classes
+                > conservative.build.pointers.classes.num_classes)
+
+    def test_pragma_splits_classes(self):
+        source_with = """
+        int f(int *p, int *q, int n) {
+        #pragma independent p q
+            int i;
+            for (i = 0; i < n; i++) p[i] = q[i];
+            return p[0];
+        }
+        """
+        source_without = source_with.replace("#pragma independent p q\n", "")
+        with_pragma = build(source_with)
+        without = build(source_without)
+        assert (with_pragma.pointers.classes.num_classes
+                > without.pointers.classes.num_classes)
+
+
+class TestEntryPointsToAPI:
+    def test_points_to_names_resolved(self):
+        source = """
+        int a[8];
+        int f(int *p) { return p[0]; }
+        """
+        program = compile_minic(source, "f", opt_level="none",
+                                entry_points_to={"p": ["a"]})
+        load = program.graph.by_kind(N.LoadNode)[0]
+        names = {loc.symbol.name for loc in load.rwset}
+        assert names == {"a"}

@@ -1,0 +1,113 @@
+"""Graph core: wiring, uses index, topological order, removal."""
+
+import pytest
+
+from repro.errors import PegasusError
+from repro.frontend import types as ty
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+
+
+def make_graph():
+    return Graph("test")
+
+
+class TestWiring:
+    def test_add_assigns_ids(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        b = graph.add(N.ConstNode(2, ty.INT))
+        assert a.id != b.id
+        assert len(graph) == 2
+
+    def test_uses_index_tracks_inputs(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        b = graph.add(N.ConstNode(2, ty.INT))
+        add = graph.add(N.BinOpNode("add", ty.INT, a.out(), b.out()))
+        assert [slot.node for slot in graph.uses(a.out())] == [add]
+
+    def test_set_input_moves_use(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        b = graph.add(N.ConstNode(2, ty.INT))
+        neg = graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+        graph.set_input(neg, 0, b.out())
+        assert not graph.has_uses(a.out())
+        assert graph.has_uses(b.out())
+
+    def test_redirect_uses(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        b = graph.add(N.ConstNode(2, ty.INT))
+        consumers = [graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+                     for _ in range(3)]
+        moved = graph.redirect_uses(a.out(), b.out())
+        assert moved == 3
+        assert not graph.has_uses(a.out())
+        for consumer in consumers:
+            assert consumer.inputs[0] == b.out()
+
+    def test_remove_requires_no_uses(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+        with pytest.raises(PegasusError):
+            graph.remove(a)
+
+    def test_remove_releases_producer(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        neg = graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+        graph.set_input(neg, 0, None)
+        graph.remove(neg)
+        assert not graph.has_uses(a.out())
+        graph.remove(a)
+        assert len(graph) == 0
+
+    def test_connect_foreign_node_rejected(self):
+        graph = make_graph()
+        other = Graph("other")
+        foreign = other.add(N.ConstNode(1, ty.INT))
+        neg = graph.add(N.UnOpNode("neg", ty.INT, None))
+        with pytest.raises(PegasusError):
+            graph.set_input(neg, 0, foreign.out())
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        graph = make_graph()
+        a = graph.add(N.ConstNode(1, ty.INT))
+        b = graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+        c = graph.add(N.UnOpNode("neg", ty.INT, b.out()))
+        order = graph.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_back_edges_ignored(self):
+        graph = make_graph()
+        merge = N.MergeNode(ty.INT, 2)
+        graph.add(merge)
+        eta = graph.add(N.EtaNode(ty.INT, merge.out(),
+                                  graph.add(N.ConstNode(1, ty.INT)).out()))
+        entry = graph.add(N.ConstNode(0, ty.INT))
+        graph.set_input(merge, 0, entry.out())
+        graph.set_input(merge, 1, eta.out())
+        merge.back_inputs.add(1)
+        merge.add_control(graph, graph.add(N.ConstNode(1, ty.INT)).out())
+        graph.topological_order()  # must not raise despite the cycle
+
+    def test_true_cycle_detected(self):
+        graph = make_graph()
+        a = N.UnOpNode("neg", ty.INT, None)
+        graph.add(a)
+        b = graph.add(N.UnOpNode("neg", ty.INT, a.out()))
+        graph.set_input(a, 0, b.out())
+        with pytest.raises(PegasusError):
+            graph.topological_order()
+
+    def test_stats_by_kind(self):
+        graph = make_graph()
+        graph.add(N.ConstNode(1, ty.INT))
+        graph.add(N.ConstNode(2, ty.INT))
+        stats = graph.stats()
+        assert stats["ConstNode"] == 2

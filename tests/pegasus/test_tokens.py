@@ -1,0 +1,131 @@
+"""Token relation mechanics: reduction (§3.4), splicing, frontiers."""
+
+import pytest
+
+from repro.frontend import types as ty
+from repro.pegasus.graph import Graph, OutPort
+from repro.pegasus import nodes as N
+from repro.pegasus.tokens import TokenRelation, combine_ports, wire_tokens
+
+
+def _memop(graph, is_store=False):
+    rwset = frozenset()
+    addr = graph.add(N.ConstNode(0x2000, ty.ULONG)).out()
+    pred = graph.add(N.ConstNode(1, ty.INT)).out()
+    if is_store:
+        value = graph.add(N.ConstNode(7, ty.INT)).out()
+        return graph.add(N.StoreNode(ty.INT, addr, value, pred, None, rwset))
+    return graph.add(N.LoadNode(ty.INT, addr, pred, None, rwset))
+
+
+def setup_relation():
+    graph = Graph("t")
+    initial = graph.add(N.InitialTokenNode(0))
+    relation = TokenRelation({0: initial.out()})
+    return graph, relation, initial.out()
+
+
+class TestReduction:
+    def test_chain_is_already_reduced(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        b = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        relation.add_op(b, frozenset({0}), True, [a])
+        assert relation.reduce() == 0
+        assert relation.deps[b] == [a]
+
+    def test_transitive_edge_removed(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        b = _memop(graph, is_store=True)
+        c = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        relation.add_op(b, frozenset({0}), True, [a])
+        relation.add_op(c, frozenset({0}), True, [a, b])  # a->c redundant
+        assert relation.reduce() == 1
+        assert relation.deps[c] == [b]
+
+    def test_boundary_covered_transitively(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        b = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        relation.add_op(b, frozenset({0}), True, [a, boundary])
+        assert relation.reduce() == 1
+        assert relation.deps[b] == [a]
+
+
+class TestDropAndReplace:
+    def test_drop_op_reroutes_consumers(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        b = _memop(graph)
+        c = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        relation.add_op(b, frozenset({0}), False, [a])
+        relation.add_op(c, frozenset({0}), True, [b])
+        relation.drop_op(b)
+        assert relation.deps[c] == [a]
+        assert b not in relation.deps
+
+    def test_replace_op_substitutes_source(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph)
+        b = _memop(graph)
+        c = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), False, [boundary])
+        relation.add_op(b, frozenset({0}), False, [boundary])
+        relation.add_op(c, frozenset({0}), True, [a, b])
+        relation.replace_op(b, a)
+        assert relation.deps[c] == [a]
+
+
+class TestExitFrontier:
+    def test_untouched_class_yields_boundary(self):
+        _, relation, boundary = setup_relation()
+        assert relation.exit_frontier(0) == [boundary]
+
+    def test_last_writer_is_frontier(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        b = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        relation.add_op(b, frozenset({0}), True, [a])
+        assert relation.exit_frontier(0) == [b]
+
+    def test_parallel_reads_all_in_frontier(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph)
+        b = _memop(graph)
+        relation.add_op(a, frozenset({0}), False, [boundary])
+        relation.add_op(b, frozenset({0}), False, [boundary])
+        frontier = relation.exit_frontier(0)
+        assert set(map(id, frontier)) == {id(a), id(b)}
+
+
+class TestWiring:
+    def test_single_dep_wired_directly(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), True, [boundary])
+        wire_tokens(graph, relation, hyperblock=0)
+        assert a.inputs[N.StoreNode.TOKEN_IN] == boundary
+
+    def test_multiple_deps_get_combine(self):
+        graph, relation, boundary = setup_relation()
+        a = _memop(graph)
+        b = _memop(graph)
+        c = _memop(graph, is_store=True)
+        relation.add_op(a, frozenset({0}), False, [boundary])
+        relation.add_op(b, frozenset({0}), False, [boundary])
+        relation.add_op(c, frozenset({0}), True, [a, b])
+        wire_tokens(graph, relation, hyperblock=0)
+        token_in = c.inputs[N.StoreNode.TOKEN_IN]
+        assert isinstance(token_in.node, N.CombineNode)
+        assert len(token_in.node.inputs) == 2
+
+    def test_combine_ports_dedupes(self):
+        graph, _, boundary = setup_relation()
+        assert combine_ports(graph, [boundary, boundary], 0) == boundary
+        assert combine_ports(graph, [], 0) is None

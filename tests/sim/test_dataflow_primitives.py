@@ -1,0 +1,187 @@
+"""Dataflow execution semantics probed through tiny programs.
+
+These pin the behaviours the §6 structures rely on: controlled loop
+merges sequencing activations, predicated-false memory ops forwarding
+tokens in order, constant-wire etas firing per activation, and the
+credits/demands behaviour of tk(n).
+"""
+
+import pytest
+
+from repro import compile_minic
+from repro.pegasus import nodes as N
+
+
+def run_both(source, entry, args, level="none"):
+    program = compile_minic(source, entry, opt_level=level)
+    oracle = program.run_sequential(list(args))
+    spatial = program.simulate(list(args))
+    assert spatial.return_value == oracle.return_value
+    assert spatial.memory.snapshot() == oracle.memory.snapshot()
+    return program, spatial
+
+
+class TestControlledMerges:
+    def test_nested_loop_activations_do_not_interleave(self):
+        # The inner loop is re-activated once per outer iteration while the
+        # slow memory path lags the fast control path: the regression that
+        # motivated deterministic merges.
+        source = """
+        short a[32];
+        long c[4];
+        int f(int n) {
+            int k; int i; long total = 0;
+            for (i = 0; i < n; i++) a[i] = (short)(i * 3 - 7);
+            for (k = 0; k <= 3; k++) {
+                long sum = 0;
+                for (i = k; i < n; i++) sum += (long)a[i] * (long)a[i - k];
+                c[k] = sum >> 2;
+            }
+            for (k = 0; k <= 3; k++) total += c[k];
+            return (int)total;
+        }
+        """
+        run_both(source, "f", [16])
+
+    def test_zero_trip_inner_loop(self):
+        source = """
+        int acc[8];
+        int f(int n) {
+            int i; int j; int s = 0;
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < i - 4; j++) s += j;
+                acc[i & 7] = s;
+            }
+            return s;
+        }
+        """
+        run_both(source, "f", [8])
+
+    def test_while_true_with_break(self):
+        source = """
+        int f(int n) {
+            int i = 0;
+            while (1) {
+                if (i >= n) break;
+                i += 2;
+            }
+            return i;
+        }
+        """
+        run_both(source, "f", [9])
+        run_both(source, "f", [0])
+
+
+class TestControlStreams:
+    def test_multi_hyperblock_loop_body(self):
+        # Back edge originates in a later hyperblock than the header: the
+        # control stream construction (ControlStreamNode) is exercised.
+        source = """
+        int data[16];
+        int f(int n) {
+            int i = 0; int s = 0;
+            while (i < n) {
+                int j;
+                for (j = 0; j < 3; j++) data[(i + j) & 15] += 1;
+                s += data[i & 15];
+                i++;
+            }
+            return s;
+        }
+        """
+        program, _ = run_both(source, "f", [10])
+        streams = program.graph.by_kind(N.ControlStreamNode)
+        assert streams, "multi-hb loop body must use a control stream"
+
+    def test_early_return_from_loop(self):
+        source = """
+        int t[8];
+        int f(int key, int n) {
+            int i;
+            for (i = 0; i < n; i++) t[i] = i * i;
+            for (i = 0; i < n; i++) {
+                if (t[i] == key) return i;
+            }
+            return -1;
+        }
+        """
+        run_both(source, "f", [16, 8])
+        run_both(source, "f", [999, 8])
+
+
+class TestPredicatedMemops:
+    def test_skipped_ops_keep_order(self):
+        # A mix of taken and skipped stores through one operator: tokens
+        # must come out in issue order (the jpeg regression).
+        source = """
+        int a[64];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i & 1) a[i] = i;
+            }
+            return a[n - 1] + a[n - 2];
+        }
+        """
+        run_both(source, "f", [32])
+
+    def test_speculated_division_no_trap(self):
+        source = """
+        int f(int n, int d) {
+            if (d) return n / d;
+            return -1;
+        }
+        """
+        run_both(source, "f", [10, 0])
+        run_both(source, "f", [10, 3])
+
+
+class TestConstantEtas:
+    def test_constant_result_from_conditional_region(self):
+        # The h2 'return -1' regression: a constant flows out of a
+        # conditionally-activated hyperblock.
+        source = """
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i == 5) return 100;
+            }
+            return -1;
+        }
+        """
+        run_both(source, "f", [3])
+        run_both(source, "f", [8])
+
+    def test_constant_loop_result(self):
+        source = """
+        int g_v;
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) g_v = i;
+            return 7;
+        }
+        """
+        run_both(source, "f", [5])
+        run_both(source, "f", [0])
+
+
+class TestTokenGenerator:
+    def test_multiple_activations_of_decoupled_loop(self):
+        # tk(n) must carry correct credits across loop re-activations.
+        source = """
+        int a[128];
+        int f(int rounds, int n) {
+            int r; int i; int s = 0;
+            for (r = 0; r < rounds; r++) {
+                for (i = 0; i < n; i++) a[i] = a[i + 2] + 1;
+                s += a[0];
+            }
+            return s;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="full")
+        oracle = program.run_sequential([4, 40])
+        spatial = program.simulate([4, 40])
+        assert spatial.return_value == oracle.return_value
+        assert spatial.memory.snapshot() == oracle.memory.snapshot()
+        assert program.graph.by_kind(N.TokenGenNode), "tk(2) expected"

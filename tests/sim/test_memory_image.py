@@ -1,0 +1,124 @@
+"""Memory image: layout, typed access, faults."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.sim.memory_image import MemoryImage, NULL_GUARD
+
+
+def array_symbol(name="a", element=ty.INT, length=8, init=None):
+    return ast.Symbol(name=name, type=ty.ArrayType(element, length),
+                      kind="global", init_values=init)
+
+
+class TestLayout:
+    def test_alignment(self):
+        image = MemoryImage()
+        a = image.allocate(array_symbol("a", ty.CHAR, 3))
+        b = image.allocate(array_symbol("b", ty.LONG, 2))
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 3
+
+    def test_idempotent_allocation(self):
+        image = MemoryImage()
+        symbol = array_symbol()
+        assert image.allocate(symbol) == image.allocate(symbol)
+
+    def test_extern_array_gets_default_extent(self):
+        image = MemoryImage(extern_elements=64)
+        symbol = array_symbol("ext", ty.INT, None)
+        base = image.allocate(symbol)
+        image.write(base + 63 * 4, 7, ty.INT)
+        with pytest.raises(MemoryFault):
+            image.write(base + 64 * 4, 7, ty.INT)
+
+    def test_initializers_applied(self):
+        image = MemoryImage()
+        symbol = array_symbol(init=[5, -6, 7])
+        base = image.allocate(symbol)
+        assert image.read(base, ty.INT) == 5
+        assert image.read(base + 4, ty.INT) == -6
+
+    def test_addr_of_unallocated_faults(self):
+        image = MemoryImage()
+        with pytest.raises(MemoryFault):
+            image.addr_of(array_symbol())
+
+
+class TestAccess:
+    def test_null_guard(self):
+        image = MemoryImage([array_symbol()])
+        with pytest.raises(MemoryFault):
+            image.read(0, ty.INT)
+        with pytest.raises(MemoryFault):
+            image.read(NULL_GUARD - 4, ty.INT)
+
+    def test_out_of_range(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(length=2))
+        with pytest.raises(MemoryFault):
+            image.read(base + 8, ty.INT)
+
+    def test_signed_roundtrip(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.SHORT))
+        image.write(base, -12345, ty.SHORT)
+        assert image.read(base, ty.SHORT) == -12345
+
+    def test_unsigned_roundtrip(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.UINT))
+        image.write(base, 2**32 - 1, ty.UINT)
+        assert image.read(base, ty.UINT) == 2**32 - 1
+
+    def test_narrow_write_truncates(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.UCHAR))
+        image.write(base, 0x1234, ty.UCHAR)
+        assert image.read(base, ty.UCHAR) == 0x34
+
+    def test_little_endian_overlap(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.INT, length=1))
+        image.write(base, 0x04030201, ty.INT)
+        assert image.read(base, ty.UCHAR) == 0x01
+        assert image.read(base + 1, ty.UCHAR) == 0x02
+
+    def test_float_roundtrip(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.DOUBLE))
+        image.write(base, 3.25, ty.DOUBLE)
+        assert image.read(base, ty.DOUBLE) == 3.25
+
+    def test_float32_rounds_on_store(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.FLOAT))
+        image.write(base, 1 + 2**-30, ty.FLOAT)
+        assert image.read(base, ty.FLOAT) == 1.0
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_int_roundtrip_property(self, value):
+        image = MemoryImage()
+        base = image.allocate(array_symbol())
+        image.write(base, value, ty.INT)
+        assert image.read(base, ty.INT) == value
+
+
+class TestHelpers:
+    def test_array_helpers(self):
+        image = MemoryImage()
+        symbol = array_symbol(length=4)
+        image.allocate(symbol)
+        image.write_array(symbol, [1, 2, 3, 4])
+        assert image.read_array(symbol) == [1, 2, 3, 4]
+
+    def test_snapshot_equality(self):
+        first = MemoryImage()
+        second = MemoryImage()
+        symbol = array_symbol(init=[9, 9])
+        for image in (first, second):
+            image.allocate(array_symbol("other"))
+        assert first.snapshot() == second.snapshot()

@@ -1,0 +1,112 @@
+"""Value semantics: wrapping, division, shifts, casts (incl. hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.frontend import types as ty
+from repro.sim import ops
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps(self):
+        assert ops.eval_binop("add", ty.INT, 2**31 - 1, 1) == -(2**31)
+        assert ops.eval_binop("add", ty.UCHAR, 255, 1) == 0
+
+    def test_division_truncates(self):
+        assert ops.eval_binop("div", ty.INT, -7, 2) == -3
+        assert ops.eval_binop("div", ty.INT, 7, -2) == -3
+        assert ops.eval_binop("rem", ty.INT, -7, 2) == -1
+        assert ops.eval_binop("rem", ty.INT, 7, -2) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            ops.eval_binop("div", ty.INT, 1, 0)
+        with pytest.raises(SimulationError):
+            ops.eval_binop("rem", ty.INT, 1, 0)
+
+    def test_shift_count_masked(self):
+        assert ops.eval_binop("shl", ty.INT, 1, 33) == 2
+        assert ops.eval_binop("shl", ty.LONG, 1, 65) == 2
+
+    def test_arithmetic_vs_logical_shift(self):
+        assert ops.eval_binop("shr", ty.INT, -8, 1) == -4
+        assert ops.eval_binop("shr", ty.UINT, ty.UINT.wrap(-8), 1) == \
+            (2**32 - 8) >> 1
+
+    def test_comparisons_respect_signedness(self):
+        assert ops.eval_binop("lt", ty.INT, -1, 1) == 1
+        assert ops.eval_binop("lt", ty.UINT, -1, 1) == 0  # -1 wraps to max
+
+    @given(st.integers(-2**40, 2**40), st.integers(-2**40, 2**40))
+    def test_add_matches_mod_arithmetic(self, a, b):
+        result = ops.eval_binop("add", ty.INT, a, b)
+        assert result == ty.INT.wrap(a + b)
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+    def test_div_identity(self, a, b):
+        if b == 0:
+            return
+        q = ops.eval_binop("div", ty.LONG, a, b)
+        r = ops.eval_binop("rem", ty.LONG, a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestUnary:
+    def test_neg_wraps(self):
+        assert ops.eval_unop("neg", ty.INT, -(2**31)) == -(2**31)
+
+    def test_bnot(self):
+        assert ops.eval_unop("bnot", ty.UCHAR, 0) == 255
+
+    def test_lnot(self):
+        assert ops.eval_unop("lnot", ty.INT, 0) == 1
+        assert ops.eval_unop("lnot", ty.INT, 17) == 0
+        assert ops.eval_unop("lnot", ty.DOUBLE, 0.0) == 1
+
+
+class TestCasts:
+    def test_narrowing(self):
+        assert ops.eval_cast(0x1FF, ty.INT, ty.UCHAR) == 0xFF
+        assert ops.eval_cast(0x80, ty.INT, ty.CHAR) == -128
+
+    def test_float_to_int_truncates(self):
+        assert ops.eval_cast(2.9, ty.DOUBLE, ty.INT) == 2
+        assert ops.eval_cast(-2.9, ty.DOUBLE, ty.INT) == -2
+
+    def test_nan_inf_to_int_deterministic(self):
+        assert ops.eval_cast(math.nan, ty.DOUBLE, ty.INT) == 0
+        assert ops.eval_cast(math.inf, ty.DOUBLE, ty.INT) == 0
+
+    def test_int_to_float32_rounds(self):
+        exact = ops.eval_cast(16777217, ty.LONG, ty.FLOAT)
+        assert exact == 16777216.0  # not representable in binary32
+
+    @given(st.integers(-2**63, 2**63 - 1))
+    def test_int_roundtrip_through_wider(self, value):
+        widened = ops.eval_cast(ty.INT.wrap(value), ty.INT, ty.LONG)
+        back = ops.eval_cast(widened, ty.LONG, ty.INT)
+        assert back == ty.INT.wrap(value)
+
+
+class TestFloats:
+    def test_float32_rounding_applied(self):
+        result = ops.eval_binop("add", ty.FLOAT, 1.0, 2**-30)
+        assert result == 1.0
+
+    def test_double_keeps_precision(self):
+        result = ops.eval_binop("add", ty.DOUBLE, 1.0, 2**-30)
+        assert result != 1.0
+
+    def test_float_division_by_zero_is_inf(self):
+        assert ops.eval_binop("div", ty.DOUBLE, 1.0, 0.0) == math.inf
+        assert math.isnan(ops.eval_binop("div", ty.DOUBLE, 0.0, 0.0))
+
+
+class TestTruthy:
+    def test_values(self):
+        assert ops.truthy(1) and ops.truthy(-3) and ops.truthy(0.5)
+        assert not ops.truthy(0) and not ops.truthy(0.0)

@@ -1,0 +1,93 @@
+"""Sequential-oracle specifics: statistics, recursion, call handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend import parse_program
+from repro.cfg.lower import lower_program
+from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
+from repro.sim.sequential import SequentialInterpreter
+
+
+def interp(source: str, **kwargs) -> SequentialInterpreter:
+    return SequentialInterpreter(lower_program(parse_program(source)),
+                                 **kwargs)
+
+
+class TestCalls:
+    def test_recursion(self):
+        result = interp(
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); }"
+        ).run("fib", [12])
+        assert result.return_value == 144
+
+    def test_mutual_recursion(self):
+        source = """
+        int odd(int n);
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        """
+        assert interp(source).run("even", [10]).return_value == 1
+        assert interp(source).run("even", [7]).return_value == 0
+
+    def test_per_function_instruction_attribution(self):
+        source = """
+        int helper(int x) { return x * 2; }
+        int f(int n) { int i; int s = 0;
+            for (i = 0; i < n; i++) s += helper(i);
+            return s; }
+        """
+        result = interp(source).run("f", [10])
+        assert result.per_function.get("helper", 0) > 0
+        assert result.per_function.get("f", 0) > 0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SimulationError):
+            interp("int f(int a) { return a; }").run("f", [])
+
+    def test_call_to_prototype_only_rejected(self):
+        source = "int g(int); int f(void) { return g(1); }"
+        with pytest.raises(SimulationError):
+            interp(source).run("f", [])
+
+
+class TestStatistics:
+    SOURCE = """
+    int a[16];
+    int f(int n) {
+        int i; int s = 0;
+        for (i = 0; i < n; i++) a[i] = i;
+        for (i = 0; i < n; i++) s += a[i];
+        return s;
+    }
+    """
+
+    def test_load_store_counts(self):
+        result = interp(self.SOURCE).run("f", [8])
+        assert result.stores == 8
+        assert result.loads == 8
+        assert result.memory_operations == 16
+
+    def test_branch_count_scales_with_iterations(self):
+        small = interp(self.SOURCE).run("f", [2])
+        large = interp(self.SOURCE).run("f", [12])
+        assert large.branches > small.branches
+
+    def test_cycles_depend_on_memory_system(self):
+        fast = interp(self.SOURCE).run("f", [16])
+        slow = interp(self.SOURCE,
+                      memsys=MemorySystem(REALISTIC_MEMORY)).run("f", [16])
+        assert slow.cycles > fast.cycles
+
+    def test_addr_of_helper(self):
+        from repro.frontend import types as ty
+        source = "int table[4]; int f(int *p) { return p[2]; }"
+        engine = interp(source)
+        addr = engine.addr_of("table")
+        engine.memory.write(addr + 8, 55, ty.INT)
+        assert engine.run("f", [addr]).return_value == 55
+
+    def test_addr_of_unknown_global(self):
+        with pytest.raises(SimulationError):
+            interp("int f(void) { return 0; }").addr_of("nope")

@@ -1,0 +1,104 @@
+"""Simulator behaviours: statistics, determinism, error handling."""
+
+import pytest
+
+from repro import compile_minic
+from repro.errors import SimulationError
+from repro.sim.memsys import MemorySystem, PERFECT_MEMORY, REALISTIC_MEMORY
+
+COUNT = """
+int a[32];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) a[i] = i;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}
+"""
+
+
+class TestStatistics:
+    def test_dynamic_memop_counts_match_oracle(self):
+        program = compile_minic(COUNT, "f", opt_level="none")
+        oracle = program.run_sequential([16])
+        spatial = program.simulate([16])
+        assert spatial.loads == oracle.loads
+        assert spatial.stores == oracle.stores
+
+    def test_skipped_memops_counted(self):
+        source = """
+        int g_v;
+        int f(int x) { if (x) g_v = 1; return 0; }
+        """
+        program = compile_minic(source, "f", opt_level="none")
+        run = program.simulate([0])
+        assert run.stores == 0
+        assert run.skipped_memops >= 1
+
+    def test_fire_counts_collected(self):
+        program = compile_minic(COUNT, "f", opt_level="none")
+        run = program.simulate([4])
+        assert run.fired == sum(run.fire_counts.values())
+        assert run.fired > 0
+
+    def test_memory_stats_exposed(self):
+        program = compile_minic(COUNT, "f", opt_level="none")
+        run = program.simulate([16], memsys=MemorySystem(REALISTIC_MEMORY))
+        assert run.memory_stats.accesses == run.loads + run.stores
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        program = compile_minic(COUNT, "f", opt_level="full")
+        first = program.simulate([20], memsys=MemorySystem(REALISTIC_MEMORY))
+        second = program.simulate([20], memsys=MemorySystem(REALISTIC_MEMORY))
+        assert first.cycles == second.cycles
+        assert first.return_value == second.return_value
+
+    def test_recompile_is_deterministic(self):
+        a = compile_minic(COUNT, "f", opt_level="full")
+        b = compile_minic(COUNT, "f", opt_level="full")
+        assert len(a.graph) == len(b.graph)
+        assert a.graph.stats() == b.graph.stats()
+
+
+class TestErrors:
+    def test_missing_argument(self):
+        program = compile_minic(COUNT, "f", opt_level="none")
+        with pytest.raises(SimulationError):
+            program.simulate([])
+
+    def test_event_limit_guards_infinite_loops(self):
+        source = "int f(void) { while (1) ; return 0; }"
+        program = compile_minic(source, "f", opt_level="none")
+        with pytest.raises(SimulationError):
+            program.simulate([], event_limit=20_000)
+
+    def test_sequential_step_limit(self):
+        from repro.cfg.lower import lower_program, LoweredProgram
+        from repro.frontend import parse_program
+        from repro.sim.sequential import SequentialInterpreter
+        lowered = lower_program(parse_program(
+            "int f(void) { while (1) ; return 0; }"
+        ))
+        interp = SequentialInterpreter(lowered, step_limit=10_000)
+        with pytest.raises(SimulationError):
+            interp.run("f", [])
+
+
+class TestCycleModel:
+    def test_realistic_slower_than_perfect(self):
+        program = compile_minic(COUNT, "f", opt_level="none")
+        perfect = program.simulate([24], memsys=MemorySystem(PERFECT_MEMORY))
+        realistic = program.simulate([24],
+                                     memsys=MemorySystem(REALISTIC_MEMORY))
+        assert realistic.cycles > perfect.cycles
+
+    def test_spatial_beats_sequential_on_parallel_code(self):
+        # Plenty of ILP: spatial execution should finish well ahead of the
+        # strictly serialized interpreter's cycle model.
+        program = compile_minic(COUNT, "f", opt_level="full")
+        spatial = program.simulate([24], memsys=MemorySystem(PERFECT_MEMORY))
+        serial = program.run_sequential(
+            [24], memsys=MemorySystem(PERFECT_MEMORY))
+        assert spatial.cycles < serial.cycles

@@ -1,0 +1,70 @@
+"""Execution tracing tool."""
+
+from repro import compile_minic
+from repro.sim.dataflow import DataflowSimulator
+from repro.sim.trace import TraceRecorder, busiest_nodes, render_timeline
+
+SOURCE = """
+int a[32];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }
+    return s;
+}
+"""
+
+
+def traced_run(args, level="none"):
+    program = compile_minic(SOURCE, "f", opt_level=level)
+    simulator = DataflowSimulator(program.graph, memory=program.new_memory())
+    recorder = TraceRecorder.attach(simulator)
+    result = simulator.run(list(args))
+    return program, recorder, result
+
+
+class TestRecorder:
+    def test_events_collected(self):
+        _, recorder, result = traced_run([8])
+        assert recorder.events
+        assert len(recorder.events) >= result.fired
+
+    def test_span_covers_run(self):
+        _, recorder, result = traced_run([8])
+        start, end = recorder.span
+        assert start == 0
+        assert end <= result.cycles
+
+    def test_attach_does_not_change_results(self):
+        program = compile_minic(SOURCE, "f")
+        plain = program.simulate([10])
+        _, _, traced = traced_run([10], level="full")
+        assert plain.return_value == traced.return_value
+
+    def test_empty_recorder_span(self):
+        recorder = TraceRecorder()
+        assert recorder.span == (0, 0)
+
+
+class TestReports:
+    def test_busiest_nodes_ranked(self):
+        program, recorder, _ = traced_run([12])
+        ranked = busiest_nodes(recorder, program.graph, top=5)
+        assert len(ranked) == 5
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+        # Loop plumbing fires once per iteration: the busiest node fires at
+        # least n times.
+        assert counts[0] >= 12
+
+    def test_timeline_renders(self):
+        program, recorder, _ = traced_run([12])
+        text = render_timeline(recorder, program.graph, width=40, top=6)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert len(lines) == 7
+        assert all("|" in line for line in lines[1:])
+
+    def test_timeline_empty(self):
+        recorder = TraceRecorder()
+        program = compile_minic(SOURCE, "f")
+        assert render_timeline(recorder, program.graph) == "(no events)"

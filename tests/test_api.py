@@ -1,0 +1,113 @@
+"""Public API surface: compile_minic, CompiledProgram, the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import compile_minic, CompiledProgram, OPT_LEVELS, ReproError
+from repro.errors import FrontendError, InlineError
+
+SOURCE = """
+int a[8];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 2; s += a[i]; }
+    return s;
+}
+"""
+
+
+class TestCompileMinic:
+    def test_levels_exposed(self):
+        assert OPT_LEVELS == ("none", "basic", "medium", "full")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            compile_minic(SOURCE, "f", opt_level="turbo")
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(InlineError):
+            compile_minic(SOURCE, "nosuch")
+
+    def test_frontend_errors_propagate(self):
+        with pytest.raises(FrontendError):
+            compile_minic("int f( {", "f")
+
+    def test_compiled_program_fields(self):
+        program = compile_minic(SOURCE, "f", opt_level="medium")
+        assert isinstance(program, CompiledProgram)
+        assert program.entry == "f"
+        assert program.opt_level == "medium"
+        assert len(program.graph) > 0
+
+    def test_static_counts_keys(self):
+        counts = compile_minic(SOURCE, "f").static_counts()
+        for key in ("nodes", "loads", "stores", "muxes", "combines",
+                    "token_generators"):
+            assert key in counts
+
+    def test_fresh_memory_per_simulation(self):
+        program = compile_minic(SOURCE, "f")
+        first = program.simulate([4])
+        second = program.simulate([4])
+        assert first.return_value == second.return_value
+        assert first.memory is not second.memory
+
+    def test_memory_reuse_when_passed(self):
+        program = compile_minic(SOURCE, "f")
+        image = program.new_memory()
+        result = program.simulate([4], memory=image)
+        assert result.memory is image
+
+
+class TestCli:
+    def run_cli(self, tmp_path, *argv):
+        path = tmp_path / "prog.c"
+        path.write_text(SOURCE)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", str(path), *argv],
+            capture_output=True, text=True,
+        )
+
+    def test_basic_run(self, tmp_path):
+        proc = self.run_cli(tmp_path, "--entry", "f", "--args", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "result  : 12" in proc.stdout
+
+    def test_compare_flag(self, tmp_path):
+        proc = self.run_cli(tmp_path, "--entry", "f", "--args", "5",
+                            "--compare")
+        assert proc.returncode == 0
+        assert "MATCH" in proc.stdout
+
+    def test_dump_graph(self, tmp_path):
+        out = tmp_path / "g.dot"
+        proc = self.run_cli(tmp_path, "--entry", "f", "--args", "1",
+                            "--dump-graph", str(out))
+        assert proc.returncode == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_missing_file(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", str(tmp_path / "nope.c")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+
+
+class TestPrinter:
+    def test_text_dump_mentions_every_node(self):
+        from repro.pegasus.printer import dump_text
+        program = compile_minic(SOURCE, "f")
+        text = dump_text(program.graph)
+        assert f"({len(program.graph)} nodes)" in text
+
+    def test_dot_dump_is_graphviz(self):
+        from repro.pegasus.printer import dump_dot
+        program = compile_minic(SOURCE, "f")
+        dot = dump_dot(program.graph)
+        assert dot.startswith("digraph")
+        assert "subgraph cluster_" in dot
+        assert dot.rstrip().endswith("}")

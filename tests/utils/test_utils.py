@@ -1,0 +1,80 @@
+"""Utility modules: ordered set, id allocation, text tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import IdAllocator, OrderedSet, TextTable
+from repro.utils.tables import render_series
+
+
+class TestOrderedSet:
+    def test_insertion_order_preserved(self):
+        items = OrderedSet([3, 1, 2, 1])
+        assert list(items) == [3, 1, 2]
+
+    def test_set_semantics(self):
+        items = OrderedSet([1, 2])
+        items.add(2)
+        assert len(items) == 2
+        items.discard(5)  # no error
+        items.remove(1)
+        assert list(items) == [2]
+        with pytest.raises(KeyError):
+            items.remove(99)
+
+    def test_pop_first(self):
+        items = OrderedSet("abc")
+        assert items.pop_first() == "a"
+        assert list(items) == ["b", "c"]
+
+    def test_operators(self):
+        a = OrderedSet([1, 2, 3])
+        b = OrderedSet([3, 4])
+        assert list(a | b) == [1, 2, 3, 4]
+        assert list(a & b) == [3]
+        assert list(a - b) == [1, 2]
+
+    def test_equality_with_set(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1]) != OrderedSet([2])
+
+    @given(st.lists(st.integers()))
+    def test_matches_dict_fromkeys(self, values):
+        assert list(OrderedSet(values)) == list(dict.fromkeys(values))
+
+
+class TestIdAllocator:
+    def test_sequence(self):
+        ids = IdAllocator()
+        assert [ids.allocate() for _ in range(3)] == [0, 1, 2]
+        assert ids.peek() == 3
+
+    def test_reserve(self):
+        ids = IdAllocator(10)
+        block = ids.reserve(4)
+        assert list(block) == [10, 11, 12, 13]
+        assert ids.allocate() == 14
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = TextTable(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("longer", 123)
+        lines = table.render().splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_arity_checked(self):
+        table = TextTable(["one"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_float_formatting(self):
+        table = TextTable(["x"])
+        table.add_row(1.23456)
+        assert "1.235" in table.render()
+
+    def test_render_series(self):
+        text = render_series("speed", [("a", 1.0), ("b", 2.0)])
+        assert "speed:" in text and "a -> 1.000" in text
