@@ -1,0 +1,87 @@
+"""Pipeline overhead: what verification policy and caching actually cost.
+
+Two claims the staged driver makes measurable:
+
+- running ``verify_graph`` after every pass of the ``full`` pipeline
+  (the test-suite policy) is a real compile-time tax; the harness policy
+  ``final`` checks once and compiles the same graph faster;
+- the persistent content-addressed cache turns figure regeneration from
+  recompiling every kernel into unpickling it — warm recompilation of the
+  default subset must be at least 5x faster than cold.
+
+Writes ``benchmarks/results/pipeline_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.pipeline import CompilationCache, CompilerDriver, PipelineConfig
+from repro.programs import get_kernel
+from repro.utils.tables import TextTable
+
+from conftest import record
+
+KERNELS = ("adpcm_e", "adpcm_d", "compress", "ijpeg", "jpeg_e", "jpeg_d",
+           "li", "mesa", "mpeg2_d", "vortex")
+LEVEL = "full"
+
+
+def _compile_once(kernel, verify: str, cache=None):
+    config = PipelineConfig.make(opt_level=LEVEL, verify=verify)
+    started = time.perf_counter()
+    program = CompilerDriver(config, cache=cache).compile(kernel.source,
+                                                          kernel.entry)
+    return time.perf_counter() - started, program
+
+
+def measure(tmp_root):
+    rows = []
+    totals = {"every-pass": 0.0, "final": 0.0, "cold": 0.0, "warm": 0.0}
+    cache = CompilationCache(tmp_root)
+    for name in KERNELS:
+        kernel = get_kernel(name)
+        strict, _ = _compile_once(kernel, "every-pass")
+        relaxed, _ = _compile_once(kernel, "final")
+        cold, _ = _compile_once(kernel, "final", cache=cache)
+        warm, program = _compile_once(kernel, "final", cache=cache)
+        assert program.report.cache_status == "hit"
+        totals["every-pass"] += strict
+        totals["final"] += relaxed
+        totals["cold"] += cold
+        totals["warm"] += warm
+        rows.append((name, strict, relaxed, cold, warm))
+    return rows, totals
+
+
+def render(rows, totals) -> str:
+    table = TextTable(
+        ["Kernel", "every-pass ms", "final ms", "cold+cache ms", "warm ms",
+         "verify tax", "warm speedup"],
+        title="Pipeline overhead: verification policy and compilation "
+              "cache (full pipeline)",
+    )
+    for name, strict, relaxed, cold, warm in rows:
+        table.add_row(name, f"{strict * 1e3:.1f}", f"{relaxed * 1e3:.1f}",
+                      f"{cold * 1e3:.1f}", f"{warm * 1e3:.1f}",
+                      f"{strict / relaxed:.2f}x" if relaxed else "-",
+                      f"{cold / warm:.0f}x" if warm else "-")
+    table.add_row("TOTAL", f"{totals['every-pass'] * 1e3:.1f}",
+                  f"{totals['final'] * 1e3:.1f}",
+                  f"{totals['cold'] * 1e3:.1f}",
+                  f"{totals['warm'] * 1e3:.1f}",
+                  f"{totals['every-pass'] / totals['final']:.2f}x",
+                  f"{totals['cold'] / totals['warm']:.0f}x")
+    return table.render()
+
+
+def test_pipeline_overhead(tmp_path):
+    rows, totals = measure(tmp_path / "cache")
+    record("pipeline_overhead", render(rows, totals))
+    # Acceptance: the warm cache is >= 5x cheaper than cold compilation
+    # over the default subset, and the relaxed verification policy does
+    # not cost more than the strict one (it skips ~35 verifier runs).
+    assert totals["cold"] >= 5 * totals["warm"], (totals["cold"],
+                                                  totals["warm"])
+    assert totals["final"] <= totals["every-pass"], (totals["final"],
+                                                     totals["every-pass"])

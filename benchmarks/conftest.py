@@ -4,13 +4,29 @@ Every bench regenerates one of the paper's tables or figures, asserts its
 qualitative shape, benchmarks a representative operation, and records the
 rendered rows under ``benchmarks/results/`` (they are also printed, visible
 with ``pytest -s`` / in the captured-output section on failure).
+
+Unless the caller already chose a cache location, harness compilations
+are shared through a persistent cache under ``benchmarks/.cache`` (see
+:mod:`repro.pipeline.cache`), so rerunning any figure driver is
+warm-cache cheap; delete the directory or set ``$REPRO_CACHE_DIR`` to
+start cold.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_compile_cache():
+    os.environ.setdefault("REPRO_CACHE_DIR", str(CACHE_DIR))
+    yield
 
 
 def record(name: str, text: str) -> None:

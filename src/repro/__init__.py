@@ -14,7 +14,19 @@ Entry point: :func:`compile_minic`.
 from repro.api import CompiledProgram, compile_minic, OPT_LEVELS
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["compile_minic", "CompiledProgram", "OPT_LEVELS", "ReproError",
-           "__version__"]
+           "CompilerDriver", "PipelineConfig", "CompilationReport",
+           "CompilationCache", "__version__"]
+
+
+def __getattr__(name):
+    # The pipeline package imports repro.api; exposing it lazily keeps
+    # ``import repro`` cycle-free while letting callers write
+    # ``repro.CompilerDriver`` / ``repro.PipelineConfig`` directly.
+    if name in ("CompilerDriver", "PipelineConfig", "CompilationReport",
+                "CompilationCache"):
+        import repro.pipeline as pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

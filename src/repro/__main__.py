@@ -5,9 +5,12 @@ Usage::
     python -m repro program.c --entry kernel --args 10 3 --opt full
     python -m repro program.c --entry kernel --dump-graph out.dot
     python -m repro program.c --entry kernel --compare   # vs the oracle
+    python -m repro program.c --entry kernel --report    # pass telemetry
+    python -m repro program.c --entry kernel --verify final --cache
 
 Prints the return value, cycle count, and dynamic operation statistics for
-the selected memory system.
+the selected memory system; ``--report`` adds the per-stage/per-pass
+compilation report (wall time, change counts, IR-size deltas).
 """
 
 from __future__ import annotations
@@ -15,9 +18,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import compile_minic
 from repro.errors import ReproError
 from repro.pegasus.printer import dump_dot, dump_text
+from repro.pipeline import (
+    VERIFY_POLICIES,
+    CompilationCache,
+    CompilerDriver,
+    PipelineConfig,
+)
 from repro.sim.memsys import (
     MemorySystem,
     PERFECT_MEMORY,
@@ -43,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="integer arguments for the entry function")
     parser.add_argument("--opt", default="full",
                         choices=["none", "basic", "medium", "full"])
+    parser.add_argument("--verify", default="every-pass",
+                        choices=list(VERIFY_POLICIES),
+                        help="graph verification policy (default: every-pass)")
+    parser.add_argument("--unroll-limit", type=int, default=0,
+                        help="fully unroll counted loops up to this many "
+                             "iterations (0/1 = off)")
     parser.add_argument("--memory", default="perfect",
                         choices=sorted(MEMORY_SYSTEMS))
     parser.add_argument("--compare", action="store_true",
@@ -51,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the Pegasus graph (.dot or .txt)")
     parser.add_argument("--stats", action="store_true",
                         help="print static graph statistics")
+    parser.add_argument("--report", action="store_true",
+                        help="print the compilation report (per-stage and "
+                             "per-pass wall time, changes, IR-size deltas)")
+    parser.add_argument("--cache", action="store_true",
+                        help="use the persistent compilation cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro-pegasus)")
     return parser
 
 
@@ -59,8 +79,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with open(options.source) as handle:
             source = handle.read()
-        program = compile_minic(source, options.entry, opt_level=options.opt,
-                                filename=options.source)
+        config = PipelineConfig.make(opt_level=options.opt,
+                                     verify=options.verify,
+                                     unroll_limit=options.unroll_limit,
+                                     filename=options.source)
+        cache = CompilationCache() if options.cache else None
+        program = CompilerDriver(config, cache=cache).compile(
+            source, options.entry)
+        if options.report and program.report is not None:
+            print(program.report.render())
+            print()
         if options.dump_graph:
             dump = (dump_dot(program.graph)
                     if options.dump_graph.endswith(".dot")

@@ -21,15 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.frontend import parse_program
 from repro.frontend import ast
 from repro.cfg import ir
-from repro.cfg.lower import LoweredProgram, lower_program
-from repro.cfg.inline import inline_program
-from repro.pegasus.builder import BuildResult, build_pegasus
+from repro.cfg.lower import LoweredProgram
+from repro.pegasus.builder import BuildResult
 from repro.pegasus.graph import Graph
-from repro.pegasus.verify import verify_graph
-from repro.sim.dataflow import DataflowResult, DataflowSimulator
+from repro.sim.dataflow import DEFAULT_EVENT_LIMIT, DataflowResult, DataflowSimulator
 from repro.sim.memory_image import MemoryImage
 from repro.sim.memsys import MemoryConfig, MemorySystem, PERFECT_MEMORY
 from repro.sim.sequential import SequentialInterpreter, SequentialResult
@@ -47,6 +44,9 @@ class CompiledProgram:
     build: BuildResult
     entry: str
     opt_level: str
+    # Per-stage / per-pass instrumentation from the CompilerDriver; None
+    # only for programs constructed by hand.
+    report: object = None
 
     @property
     def graph(self) -> Graph:
@@ -70,14 +70,20 @@ class CompiledProgram:
                  memsys: MemoryConfig | MemorySystem | None = None,
                  memory: MemoryImage | None = None,
                  event_limit: int | None = None) -> DataflowResult:
-        """Execute spatially on the dataflow simulator (§7.3)."""
+        """Execute spatially on the dataflow simulator (§7.3).
+
+        ``event_limit`` bounds the number of simulation events (guarding
+        non-terminating circuits); ``None`` means the simulator default.
+        An explicit ``0`` is honored (every event exceeds it).
+        """
         if isinstance(memsys, MemoryConfig):
             memsys = MemorySystem(memsys)
         simulator = DataflowSimulator(
             self.graph,
             memory=memory if memory is not None else self.new_memory(),
             memsys=memsys or MemorySystem(PERFECT_MEMORY),
-            **({"event_limit": event_limit} if event_limit else {}),
+            event_limit=(DEFAULT_EVENT_LIMIT if event_limit is None
+                         else event_limit),
         )
         return simulator.run(list(args or []))
 
@@ -121,38 +127,18 @@ def compile_minic(source: str, entry: str, opt_level: str = "full",
     harness-level stand-in for whole-program pointer analysis, §7.1).
     ``unroll_limit`` > 1 fully unrolls counted loops of at most that many
     iterations before lowering (one of CASH's scalar optimizations).
+
+    This is a thin compatibility wrapper over
+    :class:`repro.pipeline.driver.CompilerDriver` at the strictest
+    verification policy (``every-pass``); use the driver directly for
+    other policies, instrumentation, or the persistent cache.
     """
     if opt_level not in OPT_LEVELS:
         raise ValueError(f"opt_level must be one of {OPT_LEVELS}")
-    program = parse_program(source, filename)
-    if unroll_limit > 1:
-        from repro.frontend.unroll import unroll_program
-        unroll_program(program, unroll_limit)
-    lowered = lower_program(program)
-    flat = inline_program(lowered, entry)
-    points_to = _resolve_points_to(entry_points_to, lowered)
-    build = build_pegasus(flat, lowered.globals, points_to)
-    verify_graph(build.graph)
-    if opt_level != "none":
-        from repro.opt.passes import optimize
-        optimize(build, level=opt_level)
-        verify_graph(build.graph)
-    return CompiledProgram(
-        source_program=program,
-        lowered=lowered,
-        flat=flat,
-        build=build,
-        entry=entry,
-        opt_level=opt_level,
-    )
-
-
-def _resolve_points_to(entry_points_to: dict[str, list[str]] | None,
-                       lowered: LoweredProgram) -> dict[str, list[ast.Symbol]] | None:
-    if not entry_points_to:
-        return None
-    by_name = {symbol.name: symbol for symbol in lowered.globals}
-    resolved: dict[str, list[ast.Symbol]] = {}
-    for param, names in entry_points_to.items():
-        resolved[param] = [by_name[name] for name in names]
-    return resolved
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.driver import CompilerDriver
+    config = PipelineConfig.make(opt_level=opt_level, verify="every-pass",
+                                 unroll_limit=unroll_limit,
+                                 entry_points_to=entry_points_to,
+                                 filename=filename)
+    return CompilerDriver(config).compile(source, entry)

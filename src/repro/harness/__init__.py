@@ -11,8 +11,18 @@
 
 Each driver returns plain data plus a rendered text table, so the pytest
 benchmarks and the examples can share them.
+
+Compilations are shared through :mod:`repro.harness.cache` — an
+in-process layer over the persistent content-addressed store of
+:mod:`repro.pipeline.cache` — and run at the ``final`` verification
+policy (checked once per compile instead of after every pass).
 """
 
-from repro.harness.cache import KernelCompilation, compiled
+from repro.harness.cache import (
+    KernelCompilation,
+    compile_source_cached,
+    compiled,
+    warm,
+)
 
-__all__ = ["KernelCompilation", "compiled"]
+__all__ = ["KernelCompilation", "compile_source_cached", "compiled", "warm"]

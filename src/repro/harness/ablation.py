@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.api import compile_minic
-from repro.harness.cache import select_kernels
+from repro.harness.cache import HARNESS_VERIFY, compiled, select_kernels
 from repro.opt.context import OptContext
-from repro.opt.passes import _run_verified, _fix_static_etas
+from repro.opt.passes import PassRunner, _fix_static_etas
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.driver import CompilerDriver
 from repro.opt.cleanup import Cleanup
 from repro.opt.constant_fold import ConstantFold
 from repro.opt.dead_memops import DeadMemOps
@@ -78,29 +79,41 @@ class AblationRow:
         return product
 
 
+def _fresh_unoptimized(kernel):
+    """A private ``none``-level compile the variant passes may mutate.
+
+    Cached programs are shared objects, so the in-place pass pipelines
+    below must not run over them; verification still happens once at the
+    end of each variant (the harness policy).
+    """
+    config = PipelineConfig.make(opt_level="none", verify=HARNESS_VERIFY)
+    return CompilerDriver(config).compile(kernel.source, kernel.entry)
+
+
 def ablate(kernels=None, memsys_config=REALISTIC_2PORT) -> list[AblationRow]:
     rows = []
     variants = _variants()
     for kernel in select_kernels(kernels):
-        baseline = compile_minic(kernel.source, kernel.entry, opt_level="none")
+        baseline = compiled(kernel.name, "none").program
         run = baseline.simulate(list(kernel.args),
                                 memsys=MemorySystem(memsys_config))
         kernel.check(run.return_value)
         row = AblationRow(name=kernel.name, baseline_cycles=run.cycles)
         for variant, passes in variants.items():
-            program = compile_minic(kernel.source, kernel.entry,
-                                    opt_level="none")
+            program = _fresh_unoptimized(kernel)
             ctx = OptContext(program.build)
+            runner = PassRunner(ctx, verify=HARNESS_VERIFY)
             for pass_ in passes:
-                _run_verified(pass_, ctx)
+                runner.run(pass_)
             _fix_static_etas(ctx)
+            runner.finish()
             result = program.simulate(list(kernel.args),
                                       memsys=MemorySystem(memsys_config))
             kernel.check(result.return_value)
             row.cycles[variant] = result.cycles
             for stat, count in ctx.stats.items():
                 row.applicability[stat] = row.applicability.get(stat, 0) + count
-        full = compile_minic(kernel.source, kernel.entry, opt_level="full")
+        full = compiled(kernel.name, "full").program
         result = full.simulate(list(kernel.args),
                                memsys=MemorySystem(memsys_config))
         kernel.check(result.return_value)

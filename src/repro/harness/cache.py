@@ -1,17 +1,43 @@
 """Compilation cache shared by the experiment drivers.
 
-Compiling a kernel at a given optimization level is deterministic; the
-drivers for different figures reuse one compilation per (kernel, level).
+Compiling a kernel under a given configuration is deterministic, so the
+drivers for different figures reuse one compilation per *full
+configuration* — the content-addressed fingerprint of (source, entry,
+opt level, unroll limit, points-to), not the old ``(name, level)`` pair
+that silently collided when two configs of the same kernel differed in
+``unroll_limit`` or ``entry_points_to``.
+
+Two layers back the fingerprint:
+
+- an in-process dict, so repeated ``compiled(...)`` calls in one run
+  return the *same* :class:`~repro.api.CompiledProgram` object;
+- the persistent on-disk :class:`~repro.pipeline.cache.CompilationCache`
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pegasus``), so figure
+  regeneration across processes and sessions is warm-cache cheap.
+
+The harness compiles at the ``final`` verification policy — the graph is
+checked once per compilation rather than after all ~17 passes of the
+``full`` pipeline — which measurably cuts cold compile time (see
+``benchmarks/bench_pipeline_overhead.py``); the test suite keeps the
+strict ``every-pass`` default through ``compile_minic``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import CompiledProgram, compile_minic
+from repro.api import CompiledProgram
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.driver import CompilerDriver
 from repro.programs import Kernel, all_kernels, get_kernel
 
-_CACHE: dict[tuple[str, str], CompiledProgram] = {}
+# Verification policy for harness compilations (tests use "every-pass").
+HARNESS_VERIFY = "final"
+
+# In-process layer: fingerprint -> KernelCompilation / CompiledProgram.
+_MEMORY: dict[str, "KernelCompilation"] = {}
+_SOURCE_MEMORY: dict[str, CompiledProgram] = {}
 
 # A default subset keeps figure regeneration affordable; pass
 # ``kernels="all"`` to a driver for the full suite.
@@ -28,14 +54,80 @@ class KernelCompilation:
     level: str
 
 
-def compiled(name: str, level: str) -> KernelCompilation:
-    """Compile (or fetch) one kernel at one optimization level."""
+def _disk() -> CompilationCache:
+    # Resolved per call so a changed $REPRO_CACHE_DIR takes effect.
+    return CompilationCache()
+
+
+def _config(level: str, unroll_limit: int,
+            entry_points_to: dict | None) -> PipelineConfig:
+    return PipelineConfig.make(opt_level=level, verify=HARNESS_VERIFY,
+                               unroll_limit=unroll_limit,
+                               entry_points_to=entry_points_to)
+
+
+def compiled(name: str, level: str, *, unroll_limit: int = 0,
+             entry_points_to: dict | None = None,
+             use_disk: bool = True) -> KernelCompilation:
+    """Compile (or fetch) one kernel under one full configuration."""
     kernel = get_kernel(name)
-    key = (name, level)
-    if key not in _CACHE:
-        _CACHE[key] = compile_minic(kernel.source, kernel.entry,
-                                    opt_level=level)
-    return KernelCompilation(kernel=kernel, program=_CACHE[key], level=level)
+    config = _config(level, unroll_limit, entry_points_to)
+    disk = _disk() if use_disk else None
+    fingerprint = config.fingerprint(kernel.source, kernel.entry)
+    hit = _MEMORY.get(fingerprint)
+    if hit is not None:
+        return hit
+    program = CompilerDriver(config, cache=disk).compile(kernel.source,
+                                                         kernel.entry)
+    compilation = KernelCompilation(kernel=kernel, program=program,
+                                    level=level)
+    _MEMORY[fingerprint] = compilation
+    return compilation
+
+
+def compile_source_cached(source: str, entry: str, level: str = "full", *,
+                          unroll_limit: int = 0,
+                          entry_points_to: dict | None = None,
+                          use_disk: bool = True) -> CompiledProgram:
+    """Driver-compiled program for raw source (e.g. the §2 example),
+    backed by the same two cache layers as :func:`compiled`."""
+    config = _config(level, unroll_limit, entry_points_to)
+    fingerprint = config.fingerprint(source, entry)
+    hit = _SOURCE_MEMORY.get(fingerprint)
+    if hit is not None:
+        return hit
+    disk = _disk() if use_disk else None
+    program = CompilerDriver(config, cache=disk).compile(source, entry)
+    _SOURCE_MEMORY[fingerprint] = program
+    return program
+
+
+def warm(names=None, levels=("none", "medium", "full"), *,
+         parallel: bool = True) -> int:
+    """Pre-populate both cache layers for ``names`` × ``levels``.
+
+    Cold artifacts are compiled in parallel worker processes
+    (:mod:`repro.pipeline.parallel`); warm ones are just loaded.  Returns
+    the number of compilations now held in memory.
+    """
+    from repro.pipeline.parallel import compile_kernels
+
+    kernels = select_kernels(names)
+    programs = compile_kernels([k.name for k in kernels], levels,
+                               verify=HARNESS_VERIFY, parallel=parallel)
+    for (name, level), program in programs.items():
+        kernel = get_kernel(name)
+        config = _config(level, 0, None)
+        fingerprint = config.fingerprint(kernel.source, kernel.entry)
+        _MEMORY.setdefault(fingerprint, KernelCompilation(
+            kernel=kernel, program=program, level=level))
+    return len(programs)
+
+
+def clear_memory() -> None:
+    """Drop the in-process layer (tests; the disk layer is untouched)."""
+    _MEMORY.clear()
+    _SOURCE_MEMORY.clear()
 
 
 def select_kernels(kernels) -> list[Kernel]:

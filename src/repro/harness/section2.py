@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import compile_minic
+from repro.harness.cache import compile_source_cached
 from repro.utils.tables import TextTable
 
 SECTION2_SOURCE = """
@@ -43,8 +43,8 @@ class Section2Result:
 
 
 def section2() -> Section2Result:
-    base = compile_minic(SECTION2_SOURCE, "f", opt_level="none")
-    full = compile_minic(SECTION2_SOURCE, "f", opt_level="full")
+    base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
+    full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
     before = base.static_counts()
     after = full.static_counts()
     return Section2Result(

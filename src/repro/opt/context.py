@@ -22,13 +22,19 @@ from repro.analysis.induction import LoopInduction
 class OptContext:
     """Everything a pass needs: graph, relations, analyses, statistics."""
 
-    def __init__(self, build: BuildResult):
+    def __init__(self, build: BuildResult, report=None):
         self.build = build
         self.graph: Graph = build.graph
         self.relations: dict[int, TokenRelation] = build.relations
         self.pointers = build.pointers
         self.loop_predicates = build.loop_predicates
-        self.stats: dict[str, int] = {}
+        # Pass-applicability statistics.  When a CompilationReport is
+        # attached they ARE the report's counters (one shared dict), so
+        # ``ctx.count(...)`` lands in the report; standalone contexts
+        # (ablation harness, unit tests) keep a private dict.
+        self.report = report
+        self.stats: dict[str, int] = (report.counters if report is not None
+                                      else {})
         self._reachability: Reachability | None = None
         self._addresses: AddressAnalysis | None = None
         self._induction: dict[int, LoopInduction] = {}

@@ -11,11 +11,23 @@ Levels match the paper's evaluation:
   loop-invariant load motion (§5.4), read-only loop splitting (§6.1), and
   loop decoupling (§6.3).
 
-Pipelines verify the graph after every pass; a structural violation names
-the pass that caused it.
+Verification is a *policy* (see :data:`repro.pipeline.config.
+VERIFY_POLICIES`): ``every-pass`` checks the graph after every single pass
+execution and a structural violation names the pass that caused it;
+``levels`` checks after each top-level pipeline element (a fixpoint group
+is one element); ``final`` checks once after the whole pipeline; ``off``
+never checks.  Running ``verify_graph`` after all ~17 executions of the
+``full`` pipeline is a measurable compile-time tax, so the experiment
+harness compiles at ``final`` while the test suite keeps ``every-pass``.
+
+Every pass execution is instrumented: wall time, reported change count,
+and the IR-size delta land in a :class:`~repro.pipeline.report.
+CompilationReport` when one is supplied.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.errors import OptimizationError, PegasusError
 from repro.pegasus.builder import BuildResult
@@ -42,15 +54,81 @@ class Fixpoint:
         self.name = name
 
     def run(self, ctx: OptContext) -> int:
-        total = 0
-        for _ in range(MAX_FIXPOINT_ROUNDS):
-            round_changes = 0
-            for pass_ in self.passes:
-                round_changes += _run_verified(pass_, ctx)
-            total += round_changes
-            if not round_changes:
-                break
-        return total
+        return PassRunner(ctx).run(self)
+
+
+class PassRunner:
+    """Executes passes under a verification policy, recording telemetry.
+
+    One runner drives one pipeline: it owns the policy decision of *when*
+    ``verify_graph`` runs and writes a :class:`PassRecord` per pass
+    execution into the context's report (if any).
+    """
+
+    def __init__(self, ctx: OptContext, verify: str = "every-pass"):
+        self.ctx = ctx
+        self.policy = verify
+        self.report = ctx.report
+
+    def run(self, pass_) -> int:
+        """Run one top-level pipeline element (a pass or a fixpoint)."""
+        if isinstance(pass_, Fixpoint):
+            total = 0
+            for round_index in range(MAX_FIXPOINT_ROUNDS):
+                round_changes = 0
+                for inner in pass_.passes:
+                    label = f"{pass_.name}[{round_index}].{inner.name}"
+                    round_changes += self._execute(inner, label, pass_.name)
+                total += round_changes
+                if not round_changes:
+                    break
+            if self.policy == "levels":
+                self._verify(pass_.name)
+            return total
+        changes = self._execute(pass_, pass_.name, None)
+        if self.policy == "levels":
+            self._verify(pass_.name)
+        return changes
+
+    def finish(self) -> None:
+        """Post-pipeline check (covers ``_fix_static_etas`` rewiring)."""
+        if self.policy != "off":
+            self._verify("<final>")
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, pass_, label: str, group: str | None) -> int:
+        from repro.pipeline.report import IRSnapshot
+
+        before = IRSnapshot.of(self.ctx.graph) if self.report else None
+        started = time.perf_counter()
+        changes = pass_.run(self.ctx)
+        elapsed = time.perf_counter() - started
+        verify_time = 0.0
+        verified = False
+        if self.policy == "every-pass":
+            verify_time = self._verify(pass_.name)
+            verified = True
+        if self.report is not None:
+            self.report.record_pass(
+                label, group, elapsed, changes,
+                before, IRSnapshot.of(self.ctx.graph),
+                verify_time=verify_time, verified=verified,
+            )
+        return changes
+
+    def _verify(self, blame: str) -> float:
+        started = time.perf_counter()
+        try:
+            verify_graph(self.ctx.graph)
+        except PegasusError as error:
+            raise OptimizationError(
+                f"pass {blame!r} broke the graph: {error}"
+            ) from error
+        elapsed = time.perf_counter() - started
+        if self.report is not None:
+            self.report.note_verify(elapsed)
+        return elapsed
 
 
 def _looppipe_passes():
@@ -94,12 +172,20 @@ def build_pipeline(level: str) -> list:
 PIPELINES = ("basic", "medium", "full")
 
 
-def optimize(build: BuildResult, level: str = "full") -> OptContext:
-    """Run the pipeline for ``level`` over a built graph (in place)."""
-    ctx = OptContext(build)
+def optimize(build: BuildResult, level: str = "full", *,
+             verify: str = "every-pass", report=None) -> OptContext:
+    """Run the pipeline for ``level`` over a built graph (in place).
+
+    ``verify`` selects the verification policy; ``report`` (a
+    :class:`~repro.pipeline.report.CompilationReport`) receives per-pass
+    instrumentation and the pass counters.
+    """
+    ctx = OptContext(build, report=report)
+    runner = PassRunner(ctx, verify=verify)
     for pass_ in build_pipeline(level):
-        _run_verified(pass_, ctx)
+        runner.run(pass_)
     _fix_static_etas(ctx)
+    runner.finish()
     return ctx
 
 

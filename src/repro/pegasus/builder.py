@@ -51,16 +51,23 @@ class BuildResult:
 
 
 def build_pegasus(func: ir.Function, globals_: list[ast.Symbol],
-                  entry_points_to: dict[str, list[ast.Symbol]] | None = None) -> BuildResult:
-    """Build the Pegasus graph for a flattened (call-free) function."""
-    return _Builder(func, globals_, entry_points_to).build()
+                  entry_points_to: dict[str, list[ast.Symbol]] | None = None,
+                  partition: HyperblockPartition | None = None) -> BuildResult:
+    """Build the Pegasus graph for a flattened (call-free) function.
+
+    ``partition`` lets a caller that already formed the hyperblocks (the
+    staged pipeline driver, which times the formation separately) pass
+    them in instead of recomputing.
+    """
+    return _Builder(func, globals_, entry_points_to, partition).build()
 
 
 class _Builder:
     def __init__(self, func: ir.Function, globals_: list[ast.Symbol],
-                 entry_points_to):
+                 entry_points_to, partition: HyperblockPartition | None = None):
         self.func = func
-        self.partition = form_hyperblocks(func)
+        self.partition = (partition if partition is not None
+                          else form_hyperblocks(func))
         self.pointers = PointerAnalysis(func, globals_, entry_points_to)
         self.liveness = Liveness(func)
         self.graph = Graph(func.name)

@@ -1,0 +1,142 @@
+"""Persistent, content-addressed compilation cache.
+
+Compiling a kernel is deterministic, so a compiled program is a pure
+function of (source text, entry, output-relevant config).  Artifacts are
+stored on disk under the SHA-256 of exactly that
+(:meth:`~repro.pipeline.config.PipelineConfig.fingerprint`), which makes
+the old in-process ``(name, level)`` cache's failure mode — two configs of
+the same kernel silently sharing one artifact — structurally impossible,
+and makes warm figure regeneration a matter of unpickling.
+
+Layout: ``<root>/ab/abcdef....pkl`` (two-hex-digit fan-out).  Writes are
+atomic (temp file + rename) so concurrent compilations — e.g. the
+``ProcessPoolExecutor`` workers of :mod:`repro.pipeline.parallel` — can
+share one cache directory without locking: last writer wins with an
+identical artifact.
+
+The root is, in order: the explicit ``root`` argument, ``$REPRO_CACHE_DIR``,
+or ``~/.cache/repro-pegasus``.  Corrupt or unreadable entries are treated
+as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.pipeline.config import PipelineConfig
+
+ENV_VAR = "REPRO_CACHE_DIR"
+
+# Pegasus graphs pickle as deep object chains; the default interpreter
+# recursion limit is not enough for the larger kernels.
+_PICKLE_RECURSION_LIMIT = 200_000
+
+
+@contextlib.contextmanager
+def _deep_recursion():
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous, _PICKLE_RECURSION_LIMIT))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+def default_root() -> Path:
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pegasus"
+
+
+class CompilationCache:
+    """Content-addressed on-disk store of pickled compiled programs."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+
+    @staticmethod
+    def key(source: str, entry: str, config: PipelineConfig) -> str:
+        return config.fingerprint(source, entry)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Store operations
+
+    def get(self, key: str):
+        """The cached program for ``key``, or ``None`` on a miss."""
+        path = self.path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with _deep_recursion():
+                program = pickle.loads(data)
+        except Exception:
+            # Corrupt entry (interrupted write from an older layout, a
+            # different interpreter, ...): drop it and recompile.
+            with contextlib.suppress(OSError):
+                path.unlink()
+            self.misses += 1
+            return None
+        self.hits += 1
+        return program
+
+    def put(self, key: str, program) -> Path:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with _deep_recursion():
+            data = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def entries(self) -> list[Path]:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("??/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        entries = self.entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(path.stat().st_size for path in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

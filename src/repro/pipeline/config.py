@@ -1,0 +1,110 @@
+"""Compilation configuration: one immutable value describing a compile.
+
+Everything that can change the produced graph lives here — the
+optimization level, the unroll limit, and the entry points-to map — plus
+two knobs that do *not* affect the output (the verification policy and the
+diagnostic filename) and are therefore excluded from the cache
+fingerprint.
+
+Verification policies (see :mod:`repro.opt.passes`):
+
+- ``every-pass`` — ``verify_graph`` after graph construction and after
+  every individual pass execution, including each pass of every fixpoint
+  round.  A structural violation names the pass that caused it.  This is
+  the seed behavior and the default for tests.
+- ``levels`` — verify after construction and after each top-level
+  pipeline element; passes inside a fixpoint group are only checked once
+  the group converges.
+- ``final`` — verify exactly once, after the whole pipeline finishes.
+- ``off`` — never verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+
+OPT_LEVELS = ("none", "basic", "medium", "full")
+VERIFY_POLICIES = ("every-pass", "levels", "final", "off")
+
+# Bump whenever the pickle layout of compiled programs changes in a way
+# the version number does not capture (e.g. a node gains a slot).
+CACHE_SCHEMA = 1
+
+
+class ConfigError(ReproError):
+    """An invalid :class:`PipelineConfig`."""
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Immutable description of one compilation.
+
+    ``entry_points_to`` is stored in a canonical hashable form (sorted
+    tuple of ``(param, (global, ...))`` pairs); use :meth:`make` to build a
+    config from the loose ``dict`` the public API accepts and
+    :meth:`points_to_dict` to get the dict back.
+    """
+
+    opt_level: str = "full"
+    verify: str = "every-pass"
+    unroll_limit: int = 0
+    entry_points_to: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    filename: str = "<input>"
+
+    def __post_init__(self):
+        if self.opt_level not in OPT_LEVELS:
+            raise ConfigError(f"opt_level must be one of {OPT_LEVELS}, "
+                              f"got {self.opt_level!r}")
+        if self.verify not in VERIFY_POLICIES:
+            raise ConfigError(f"verify must be one of {VERIFY_POLICIES}, "
+                              f"got {self.verify!r}")
+
+    @classmethod
+    def make(cls, opt_level: str = "full", verify: str = "every-pass",
+             unroll_limit: int = 0,
+             entry_points_to: dict[str, list[str]] | None = None,
+             filename: str = "<input>") -> "PipelineConfig":
+        normalized = ()
+        if entry_points_to:
+            normalized = tuple(sorted(
+                (param, tuple(names))
+                for param, names in entry_points_to.items()
+            ))
+        return cls(opt_level=opt_level, verify=verify,
+                   unroll_limit=unroll_limit, entry_points_to=normalized,
+                   filename=filename)
+
+    def points_to_dict(self) -> dict[str, list[str]] | None:
+        if not self.entry_points_to:
+            return None
+        return {param: list(names) for param, names in self.entry_points_to}
+
+    def with_verify(self, policy: str) -> "PipelineConfig":
+        return replace(self, verify=policy)
+
+    # ------------------------------------------------------------------
+    # Content addressing
+
+    def fingerprint(self, source: str, entry: str) -> str:
+        """Cache key: hash of the source plus every output-relevant knob.
+
+        The verification policy and the filename are deliberately left
+        out — they cannot change the produced graph — so e.g. a harness
+        compile at ``verify=final`` hits the artifact a test produced at
+        ``verify=every-pass``.
+        """
+        from repro import __version__
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "source": source,
+            "entry": entry,
+            "opt_level": self.opt_level,
+            "unroll_limit": self.unroll_limit,
+            "entry_points_to": self.entry_points_to,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,218 @@
+"""The staged compiler driver.
+
+The compile path used to be a monolithic ``compile_minic``; here it is
+explicit data — an ordered list of named :class:`Stage` objects
+(``parse → unroll → lower → inline → hyperblocks → build → verify →
+optimize``), each of which transforms a mutable :class:`Compilation`
+state and is timed into the :class:`~repro.pipeline.report.
+CompilationReport`.  ``compile_minic`` remains as a thin compatibility
+wrapper over this driver (same signature, structurally identical
+graphs).
+
+A driver may be given a :class:`~repro.pipeline.cache.CompilationCache`;
+the fingerprint of (source, entry, output-relevant config) is looked up
+before any stage runs, and the finished program is stored after.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.report import CompilationReport, IRSnapshot
+
+
+@dataclass
+class Compilation:
+    """Mutable state threaded through the stages of one compile."""
+
+    source: str
+    entry: str
+    config: PipelineConfig
+    report: CompilationReport
+    program: object = None      # frontend AST after parse
+    lowered: object = None      # LoweredProgram after lower
+    flat: object = None         # flattened ir.Function after inline
+    partition: object = None    # HyperblockPartition after hyperblocks
+    build: object = None        # BuildResult after build
+    opt_context: object = None  # OptContext after optimize
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of the pipeline: a pure description, run by name."""
+
+    name: str
+    run: Callable[[Compilation], dict | None]
+
+    def __repr__(self) -> str:
+        return f"Stage({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Stage implementations.  Each returns an optional detail dict that lands
+# in the stage's report record.
+
+def _stage_parse(state: Compilation) -> dict:
+    from repro.frontend import parse_program
+    state.program = parse_program(state.source, state.config.filename)
+    return {"functions": len(state.program.functions)}
+
+
+def _stage_unroll(state: Compilation) -> dict:
+    limit = state.config.unroll_limit
+    if limit > 1:
+        from repro.frontend.unroll import unroll_program
+        unroll_program(state.program, limit)
+        return {"limit": limit, "applied": True}
+    return {"limit": limit, "applied": False}
+
+
+def _stage_lower(state: Compilation) -> dict:
+    from repro.cfg.lower import lower_program
+    state.lowered = lower_program(state.program)
+    return {"functions": len(state.lowered.functions),
+            "globals": len(state.lowered.globals)}
+
+
+def _stage_inline(state: Compilation) -> dict:
+    from repro.cfg.inline import inline_program
+    state.flat = inline_program(state.lowered, state.entry)
+    return {"blocks": len(state.flat.blocks)}
+
+
+def _stage_hyperblocks(state: Compilation) -> dict:
+    from repro.cfg.hyperblocks import form_hyperblocks
+    state.partition = form_hyperblocks(state.flat)
+    return {"hyperblocks": len(state.partition.hyperblocks)}
+
+
+def _stage_build(state: Compilation) -> dict:
+    from repro.pegasus.builder import build_pegasus
+    points_to = _resolve_points_to(state.config.points_to_dict(),
+                                   state.lowered)
+    state.build = build_pegasus(state.flat, state.lowered.globals,
+                                points_to, partition=state.partition)
+    return {"relations": len(state.build.relations)}
+
+
+def _stage_verify(state: Compilation) -> dict:
+    """Post-construction structural check, subject to the policy.
+
+    Under ``final`` the single check happens after optimization instead —
+    except at ``opt_level="none"``, where the built graph *is* the final
+    graph and is checked here.
+    """
+    policy = state.config.verify
+    run = policy in ("every-pass", "levels") or (
+        policy == "final" and state.config.opt_level == "none")
+    if run:
+        from repro.pegasus.verify import verify_graph
+        started = time.perf_counter()
+        verify_graph(state.build.graph)
+        state.report.note_verify(time.perf_counter() - started)
+    return {"policy": policy, "ran": run}
+
+
+def _stage_optimize(state: Compilation) -> dict:
+    if state.config.opt_level == "none":
+        return {"level": "none", "passes": 0}
+    from repro.opt.passes import optimize
+    state.opt_context = optimize(state.build,
+                                 level=state.config.opt_level,
+                                 verify=state.config.verify,
+                                 report=state.report)
+    return {"level": state.config.opt_level,
+            "passes": len(state.report.passes),
+            "changes": state.report.total_changes}
+
+
+STAGES: tuple[Stage, ...] = (
+    Stage("parse", _stage_parse),
+    Stage("unroll", _stage_unroll),
+    Stage("lower", _stage_lower),
+    Stage("inline", _stage_inline),
+    Stage("hyperblocks", _stage_hyperblocks),
+    Stage("build", _stage_build),
+    Stage("verify", _stage_verify),
+    Stage("optimize", _stage_optimize),
+)
+
+STAGE_NAMES: tuple[str, ...] = tuple(stage.name for stage in STAGES)
+
+# Stages after which a graph exists and its size is worth snapshotting.
+_GRAPH_STAGES = frozenset({"build", "verify", "optimize"})
+
+
+def _resolve_points_to(entry_points_to, lowered):
+    if not entry_points_to:
+        return None
+    by_name = {symbol.name: symbol for symbol in lowered.globals}
+    resolved = {}
+    for param, names in entry_points_to.items():
+        resolved[param] = [by_name[name] for name in names]
+    return resolved
+
+
+class CompilerDriver:
+    """Runs the staged pipeline, instrumented, optionally cached."""
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 cache=None, stages: tuple[Stage, ...] = STAGES):
+        self.config = config if config is not None else PipelineConfig()
+        self.cache = cache
+        self.stages = stages
+
+    def compile(self, source: str, entry: str):
+        """Compile MiniC source text into a ``CompiledProgram``.
+
+        The returned program carries its :class:`CompilationReport` as
+        ``program.report`` (cache hits carry the report of the original
+        compilation, re-marked ``cache_status="hit"``).
+        """
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(source, entry, self.config)
+            cached = self.cache.get(key)
+            if cached is not None:
+                if cached.report is not None:
+                    cached.report.cache_status = "hit"
+                    cached.report.cache_key = key
+                return cached
+        program = self._run_stages(source, entry, key)
+        if self.cache is not None:
+            self.cache.put(key, program)
+        return program
+
+    # ------------------------------------------------------------------
+
+    def _run_stages(self, source: str, entry: str, key: str | None):
+        from repro.api import CompiledProgram
+
+        report = CompilationReport(entry=entry, config=self.config)
+        report.cache_status = "uncached" if self.cache is None else "miss"
+        report.cache_key = key
+        state = Compilation(source=source, entry=entry,
+                            config=self.config, report=report)
+        total_started = time.perf_counter()
+        for stage in self.stages:
+            started = time.perf_counter()
+            detail = stage.run(state) or {}
+            elapsed = time.perf_counter() - started
+            after = (IRSnapshot.of(state.build.graph)
+                     if stage.name in _GRAPH_STAGES and state.build is not None
+                     else None)
+            report.record_stage(stage.name, elapsed, detail=detail,
+                                after=after)
+        report.total_wall_time = time.perf_counter() - total_started
+        return CompiledProgram(
+            source_program=state.program,
+            lowered=state.lowered,
+            flat=state.flat,
+            build=state.build,
+            entry=entry,
+            opt_level=self.config.opt_level,
+            report=report,
+        )

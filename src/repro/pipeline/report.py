@@ -1,0 +1,270 @@
+"""Structured compilation report: what every stage and pass did, and what
+it cost.
+
+The paper's evaluation (Table 1, Figures 18/19, the §7.3 ablations) is
+about per-optimization contribution; the report is the compiler-side half
+of that story.  Every stage of the :class:`~repro.pipeline.driver.
+CompilerDriver` and every optimization pass execution records wall time,
+reported change count, and the IR-size delta (nodes / loads / stores /
+token machinery), so ``python -m repro ... --report`` and the harness can
+show exactly where compile time and graph shrinkage come from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IRSnapshot:
+    """Static size of a Pegasus graph at one instant."""
+
+    nodes: int = 0
+    loads: int = 0
+    stores: int = 0
+    tokens: int = 0  # token machinery: combines + token generators
+
+    @classmethod
+    def of(cls, graph) -> "IRSnapshot":
+        stats = graph.stats()
+        return cls(
+            nodes=len(graph),
+            loads=stats.get("LoadNode", 0),
+            stores=stats.get("StoreNode", 0),
+            tokens=stats.get("CombineNode", 0) + stats.get("TokenGenNode", 0),
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        return {"nodes": self.nodes, "loads": self.loads,
+                "stores": self.stores, "tokens": self.tokens}
+
+
+@dataclass
+class StageRecord:
+    """One named driver stage (parse, lower, build, ...)."""
+
+    name: str
+    wall_time: float = 0.0
+    detail: dict = field(default_factory=dict)
+    after: IRSnapshot | None = None  # graph size, once a graph exists
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_time": self.wall_time,
+            "detail": dict(self.detail),
+            "after": self.after.to_dict() if self.after else None,
+        }
+
+
+@dataclass
+class PassRecord:
+    """One execution of one optimization pass.
+
+    Passes inside a fixpoint group appear once per round, qualified as
+    ``group[round].pass``, so the report shows convergence behavior, not
+    just totals.
+    """
+
+    name: str
+    group: str | None
+    wall_time: float
+    changes: int
+    before: IRSnapshot
+    after: IRSnapshot
+    verify_time: float = 0.0
+    verified: bool = False
+
+    @property
+    def nodes_delta(self) -> int:
+        return self.after.nodes - self.before.nodes
+
+    @property
+    def loads_delta(self) -> int:
+        return self.after.loads - self.before.loads
+
+    @property
+    def stores_delta(self) -> int:
+        return self.after.stores - self.before.stores
+
+    @property
+    def tokens_delta(self) -> int:
+        return self.after.tokens - self.before.tokens
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "wall_time": self.wall_time,
+            "changes": self.changes,
+            "before": self.before.to_dict(),
+            "after": self.after.to_dict(),
+            "verify_time": self.verify_time,
+            "verified": self.verified,
+        }
+
+
+class CompilationReport:
+    """Everything one compilation did, in structured form.
+
+    ``counters`` is the pass-applicability statistics dictionary that used
+    to live in ``OptContext.stats`` — passes still call
+    ``ctx.count("licm.hoisted")`` and the counts land here.
+    """
+
+    def __init__(self, entry: str = "", config=None):
+        self.entry = entry
+        self.config = config
+        self.stages: list[StageRecord] = []
+        self.passes: list[PassRecord] = []
+        self.counters: dict[str, int] = {}
+        self.verify_calls: int = 0
+        self.verify_time: float = 0.0
+        self.total_wall_time: float = 0.0
+        self.cache_status: str = "uncached"  # "uncached" | "miss" | "hit"
+        self.cache_key: str | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    def record_stage(self, name: str, wall_time: float, *,
+                     detail: dict | None = None,
+                     after: IRSnapshot | None = None) -> StageRecord:
+        record = StageRecord(name=name, wall_time=wall_time,
+                             detail=detail or {}, after=after)
+        self.stages.append(record)
+        return record
+
+    def record_pass(self, name: str, group: str | None, wall_time: float,
+                    changes: int, before: IRSnapshot, after: IRSnapshot,
+                    verify_time: float = 0.0,
+                    verified: bool = False) -> PassRecord:
+        record = PassRecord(name=name, group=group, wall_time=wall_time,
+                            changes=changes, before=before, after=after,
+                            verify_time=verify_time, verified=verified)
+        self.passes.append(record)
+        return record
+
+    def note_verify(self, elapsed: float) -> None:
+        self.verify_calls += 1
+        self.verify_time += elapsed
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def stage(self, name: str) -> StageRecord | None:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        return None
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [record.name for record in self.stages]
+
+    @property
+    def final_snapshot(self) -> IRSnapshot | None:
+        for record in reversed(self.stages):
+            if record.after is not None:
+                return record.after
+        return None
+
+    @property
+    def optimize_time(self) -> float:
+        return sum(record.wall_time for record in self.passes)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(record.changes for record in self.passes)
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "opt_level": self.config.opt_level if self.config else None,
+            "verify": self.config.verify if self.config else None,
+            "stages": [record.to_dict() for record in self.stages],
+            "passes": [record.to_dict() for record in self.passes],
+            "counters": dict(self.counters),
+            "verify_calls": self.verify_calls,
+            "verify_time": self.verify_time,
+            "total_wall_time": self.total_wall_time,
+            "cache_status": self.cache_status,
+            "cache_key": self.cache_key,
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+
+    def render(self) -> str:
+        from repro.utils.tables import TextTable
+
+        lines: list[str] = []
+        level = self.config.opt_level if self.config else "?"
+        policy = self.config.verify if self.config else "?"
+        header = (f"compilation report: entry={self.entry!r} "
+                  f"opt={level} verify={policy}")
+        if self.cache_status != "uncached":
+            header += f" cache={self.cache_status}"
+        lines.append(header)
+
+        stage_table = TextTable(["Stage", "ms", "nodes", "detail"],
+                                title="stages")
+        for record in self.stages:
+            nodes = record.after.nodes if record.after else ""
+            detail = " ".join(f"{k}={v}" for k, v in record.detail.items())
+            stage_table.add_row(record.name,
+                                f"{record.wall_time * 1e3:.2f}",
+                                nodes, detail)
+        lines.append(stage_table.render())
+
+        if self.passes:
+            pass_table = TextTable(
+                ["Pass", "ms", "changes", "nodes", "Δnodes", "Δloads",
+                 "Δstores", "Δtokens", "verify ms"],
+                title="optimization passes",
+            )
+            for record in self.passes:
+                pass_table.add_row(
+                    record.name,
+                    f"{record.wall_time * 1e3:.2f}",
+                    record.changes,
+                    record.after.nodes,
+                    record.nodes_delta,
+                    record.loads_delta,
+                    record.stores_delta,
+                    record.tokens_delta,
+                    f"{record.verify_time * 1e3:.2f}" if record.verified
+                    else "-",
+                )
+            lines.append(pass_table.render())
+
+        if self.counters:
+            counter_table = TextTable(["Counter", "count"],
+                                      title="pass counters")
+            for key in sorted(self.counters):
+                counter_table.add_row(key, self.counters[key])
+            lines.append(counter_table.render())
+
+        lines.append(
+            f"total {self.total_wall_time * 1e3:.2f} ms; "
+            f"{self.verify_calls} verifier runs "
+            f"({self.verify_time * 1e3:.2f} ms); "
+            f"{self.total_changes} changes by "
+            f"{len(self.passes)} pass executions"
+        )
+        return "\n\n".join(lines)
+
+
+class Timer:
+    """Tiny perf_counter helper: ``with Timer() as t: ...; t.elapsed``."""
+
+    __slots__ = ("start", "elapsed")
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start

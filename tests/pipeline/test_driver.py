@@ -1,0 +1,100 @@
+"""CompilerDriver: stage ordering and equivalence with compile_minic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_minic
+from repro.api import OPT_LEVELS
+from repro.pegasus.printer import dump_text
+from repro.pipeline import STAGE_NAMES, CompilerDriver, PipelineConfig
+from repro.pipeline.config import ConfigError
+
+SOURCE = """
+int data[32];
+
+int kernel(int n)
+{
+    int i; int total = 0;
+    for (i = 0; i < n; i++) data[i] = i * 3;
+    for (i = 0; i < n; i++) total += data[i];
+    return total;
+}
+"""
+
+
+class TestStages:
+    def test_declared_stage_order(self):
+        assert STAGE_NAMES == ("parse", "unroll", "lower", "inline",
+                               "hyperblocks", "build", "verify", "optimize")
+
+    def test_report_records_every_stage_in_order(self):
+        program = CompilerDriver().compile(SOURCE, "kernel")
+        assert program.report.stage_names == list(STAGE_NAMES)
+
+    def test_stage_details(self):
+        program = CompilerDriver().compile(SOURCE, "kernel")
+        report = program.report
+        assert report.stage("parse").detail["functions"] == 1
+        assert report.stage("hyperblocks").detail["hyperblocks"] >= 3
+        assert report.stage("build").after is not None
+        assert report.stage("optimize").after.nodes == len(program.graph)
+
+    def test_unroll_stage_applies_only_with_limit(self):
+        plain = CompilerDriver().compile(SOURCE, "kernel")
+        assert plain.report.stage("unroll").detail["applied"] is False
+        config = PipelineConfig.make(unroll_limit=8)
+        unrolled = CompilerDriver(config).compile(SOURCE, "kernel")
+        assert unrolled.report.stage("unroll").detail["applied"] is True
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig.make(opt_level="extreme")
+        with pytest.raises(ConfigError):
+            PipelineConfig.make(verify="sometimes")
+
+
+class TestCompileMinicEquivalence:
+    """compile_minic is a wrapper over the driver: graphs must be
+    node-for-node identical at every optimization level, and the driver's
+    relaxed verification policies must not change the graph either."""
+
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_driver_matches_compile_minic(self, level):
+        wrapper = compile_minic(SOURCE, "kernel", opt_level=level)
+        config = PipelineConfig.make(opt_level=level, verify="every-pass")
+        direct = CompilerDriver(config).compile(SOURCE, "kernel")
+        assert dump_text(wrapper.graph) == dump_text(direct.graph)
+
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    @pytest.mark.parametrize("policy", ("levels", "final", "off"))
+    def test_verification_policy_never_changes_the_graph(self, level, policy):
+        strict = compile_minic(SOURCE, "kernel", opt_level=level)
+        config = PipelineConfig.make(opt_level=level, verify=policy)
+        relaxed = CompilerDriver(config).compile(SOURCE, "kernel")
+        assert dump_text(strict.graph) == dump_text(relaxed.graph)
+
+    def test_compile_minic_signature_unchanged(self):
+        program = compile_minic(SOURCE, "kernel", opt_level="medium",
+                                entry_points_to=None, filename="<t>",
+                                unroll_limit=0)
+        oracle = program.run_sequential([10])
+        spatial = program.simulate([10])
+        assert spatial.return_value == oracle.return_value
+
+    def test_compile_minic_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            compile_minic(SOURCE, "kernel", opt_level="aggressive")
+
+
+class TestEventLimitPlumbing:
+    def test_explicit_zero_event_limit_is_honored(self):
+        from repro.errors import SimulationError
+        program = compile_minic(SOURCE, "kernel", opt_level="none")
+        with pytest.raises(SimulationError):
+            program.simulate([4], event_limit=0)
+
+    def test_default_event_limit_still_applies(self):
+        program = compile_minic(SOURCE, "kernel")
+        result = program.simulate([4])
+        assert result.return_value == program.run_sequential([4]).return_value

@@ -1,0 +1,91 @@
+"""CompilationReport schema: every stage and pass is accounted for."""
+
+from __future__ import annotations
+
+import json
+
+from repro.pipeline import CompilerDriver, PipelineConfig
+from repro.pipeline.report import IRSnapshot
+
+SOURCE = """
+int a[16];
+
+int f(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) a[i] = a[i] + a[i];
+    a[0] = a[0];
+    return a[n - 1];
+}
+"""
+
+
+def _full_report():
+    config = PipelineConfig.make(opt_level="full", verify="every-pass")
+    return CompilerDriver(config).compile(SOURCE, "f").report
+
+
+class TestPassRecords:
+    def test_every_pass_has_timing_and_deltas(self):
+        report = _full_report()
+        assert len(report.passes) > 10  # the full pipeline, incl. fixpoint rounds
+        for record in report.passes:
+            assert record.wall_time >= 0.0
+            assert isinstance(record.changes, int) and record.changes >= 0
+            assert isinstance(record.before, IRSnapshot)
+            assert isinstance(record.after, IRSnapshot)
+            # Deltas derive from real snapshots on both sides.
+            assert record.after.nodes - record.before.nodes == record.nodes_delta
+            assert record.verified  # every-pass policy
+
+    def test_fixpoint_rounds_are_qualified(self):
+        report = _full_report()
+        grouped = [r for r in report.passes if r.group == "redundancy"]
+        assert grouped, "the full pipeline contains the redundancy fixpoint"
+        assert all(r.name.startswith("redundancy[") for r in grouped)
+        rounds = {r.name.split("[")[1].split("]")[0] for r in grouped}
+        assert "0" in rounds
+
+    def test_deltas_sum_to_stage_totals(self):
+        report = _full_report()
+        built = report.stage("build").after.nodes
+        final = report.stage("optimize").after.nodes
+        assert built + sum(r.nodes_delta for r in report.passes) == final
+
+
+class TestStageRecords:
+    def test_all_stages_timed(self):
+        report = _full_report()
+        for record in report.stages:
+            assert record.wall_time >= 0.0
+        assert report.total_wall_time >= sum(
+            r.wall_time for r in report.stages) * 0.5
+
+    def test_verify_accounting(self):
+        report = _full_report()
+        # Post-build verify + one per pass + the closing check.
+        assert report.verify_calls == len(report.passes) + 2
+        assert report.verify_time > 0.0
+
+
+class TestCountersAndSerialization:
+    def test_counters_are_the_pass_statistics(self):
+        report = _full_report()
+        # The §2-style removals above must register applicability counts.
+        assert report.counters, "full pipeline on a redundant kernel counts"
+        assert all(isinstance(v, int) for v in report.counters.values())
+
+    def test_to_dict_is_json_serializable(self):
+        report = _full_report()
+        payload = json.dumps(report.to_dict())
+        decoded = json.loads(payload)
+        assert decoded["opt_level"] == "full"
+        assert decoded["verify"] == "every-pass"
+        assert len(decoded["passes"]) == len(report.passes)
+        assert len(decoded["stages"]) == 8
+
+    def test_render_mentions_stages_and_passes(self):
+        text = _full_report().render()
+        assert "stages" in text and "optimization passes" in text
+        assert "Δnodes" in text
+        assert "verifier runs" in text

@@ -1,0 +1,83 @@
+"""Verification-policy matrix: when does verify_graph actually run?
+
+The report's ``verify_calls`` counter is incremented by every policy-
+driven ``verify_graph`` invocation (post-build stage check, per-pass
+checks, the closing check), so it is the observable for this matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pegasus.printer import dump_text
+from repro.pipeline import CompilerDriver, PipelineConfig
+
+SOURCE = """
+int v[8];
+
+int f(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) v[i] = v[i] * 2 + 1;
+    return v[0];
+}
+"""
+
+
+def _compile(policy: str, level: str = "full"):
+    config = PipelineConfig.make(opt_level=level, verify=policy)
+    return CompilerDriver(config).compile(SOURCE, "f")
+
+
+class TestPolicyMatrix:
+    def test_off_never_verifies(self):
+        report = _compile("off").report
+        assert report.verify_calls == 0
+        assert report.verify_time == 0.0
+
+    def test_final_verifies_exactly_once(self):
+        report = _compile("final").report
+        assert report.verify_calls == 1
+
+    def test_final_at_level_none_checks_the_built_graph(self):
+        report = _compile("final", level="none").report
+        assert report.verify_calls == 1
+        assert report.stage("verify").detail["ran"] is True
+
+    def test_every_pass_verifies_after_each_execution(self):
+        report = _compile("every-pass").report
+        # Post-build check + one per pass execution + the closing check.
+        assert report.verify_calls == len(report.passes) + 2
+        assert all(record.verified for record in report.passes)
+
+    def test_levels_sits_between_final_and_every_pass(self):
+        levels = _compile("levels").report
+        every = _compile("every-pass").report
+        assert 1 < levels.verify_calls < every.verify_calls
+        # Inner fixpoint executions are not individually verified.
+        fixpoint_runs = [r for r in levels.passes if r.group is not None]
+        assert fixpoint_runs
+        assert not any(r.verified for r in fixpoint_runs)
+
+    @pytest.mark.parametrize("policy", ("off", "final", "levels"))
+    def test_relaxed_policies_produce_the_same_graph(self, policy):
+        assert dump_text(_compile(policy).graph) == \
+            dump_text(_compile("every-pass").graph)
+
+    def test_policy_is_not_part_of_the_cache_identity(self):
+        strict = PipelineConfig.make(verify="every-pass")
+        relaxed = PipelineConfig.make(verify="final")
+        assert strict.fingerprint(SOURCE, "f") == \
+            relaxed.fingerprint(SOURCE, "f")
+
+
+class TestPolicyCost:
+    def test_verification_time_is_only_paid_when_asked(self):
+        every = _compile("every-pass").report
+        off = _compile("off").report
+        assert every.verify_time > 0.0
+        assert off.verify_time == 0.0
+        # The strict policy runs the verifier tens of times on the full
+        # pipeline; its accounted cost must exceed the single final check.
+        final = _compile("final").report
+        assert every.verify_calls > 10 * final.verify_calls
