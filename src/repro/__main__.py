@@ -7,10 +7,16 @@ Usage::
     python -m repro program.c --entry kernel --compare   # vs the oracle
     python -m repro program.c --entry kernel --report    # pass telemetry
     python -m repro program.c --entry kernel --verify final --cache
+    python -m repro program.c --entry kernel --fault-seed 7   # one perturbed run
+    python -m repro program.c --entry kernel --differential 5 # N-schedule check
+    python -m repro program.c --entry kernel --diagnose --postmortem wedge.json
 
 Prints the return value, cycle count, and dynamic operation statistics for
 the selected memory system; ``--report`` adds the per-stage/per-pass
 compilation report (wall time, change counts, IR-size deltas).
+``--diagnose`` renders deadlock/livelock forensics (the wait-for analysis
+over the Pegasus graph) when a simulation wedges, and ``--postmortem``
+dumps the structured report plus a graph slice as JSON.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import DeadlockError, EventLimitError, ReproError
 from repro.pegasus.printer import dump_dot, dump_text
 from repro.pipeline import (
     VERIFY_POLICIES,
@@ -71,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache", action="store_true",
                         help="use the persistent compilation cache "
                              "($REPRO_CACHE_DIR or ~/.cache/repro-pegasus)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="run under a seeded fault plan (latency "
+                             "jitter/spikes, LSQ stalls, bounded event "
+                             "reordering); timing-only, semantics must "
+                             "not change")
+    parser.add_argument("--differential", type=int, default=0, metavar="N",
+                        help="run N perturbed schedules and diff each "
+                             "against the sequential oracle (exit 1 on "
+                             "any mismatch)")
+    parser.add_argument("--wall-limit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per simulation "
+                             "(cooperative; SimulationTimeout on overrun)")
+    parser.add_argument("--diagnose", action="store_true",
+                        help="on deadlock or event-limit overrun, print "
+                             "the wait-for forensics report")
+    parser.add_argument("--postmortem", metavar="FILE",
+                        help="with --diagnose: also dump the structured "
+                             "report + graph slice as JSON")
     return parser
 
 
@@ -97,8 +123,21 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(dump + "\n")
             print(f"graph written to {options.dump_graph}")
         config = MEMORY_SYSTEMS[options.memory]
+        if options.differential:
+            result = program.check_timing_robustness(
+                list(options.args), seeds=options.differential,
+                memsys=config if not config.perfect else None)
+            print(result.summary())
+            return 0 if result.ok else 1
+        faults = None
+        if options.fault_seed is not None:
+            from repro.resilience.faults import SHAKE_EVERYTHING
+            faults = SHAKE_EVERYTHING.with_seed(options.fault_seed)
+            print(f"faults  : {faults.describe()}")
         result = program.simulate(list(options.args),
-                                  memsys=MemorySystem(config))
+                                  memsys=MemorySystem(config),
+                                  faults=faults,
+                                  wall_limit=options.wall_limit)
         print(f"result  : {result.return_value}")
         print(f"cycles  : {result.cycles}  ({config.name} memory)")
         print(f"memops  : {result.loads} loads, {result.stores} stores, "
@@ -116,7 +155,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
+        if options.diagnose:
+            _diagnose(error, options.postmortem)
         return 2
+
+
+def _diagnose(error: ReproError, postmortem: str | None) -> None:
+    """Render deadlock/livelock forensics for a wedged simulation."""
+    report = getattr(error, "report", None)
+    if isinstance(error, DeadlockError) and report is not None:
+        print()
+        print(report.render())
+        if postmortem:
+            from repro.resilience.forensics import dump_postmortem
+            dump_postmortem(report, postmortem)
+            print(f"post-mortem written to {postmortem}")
+    elif isinstance(error, EventLimitError) and error.hot_nodes:
+        print()
+        print("event-limit forensics (livelock vs long run):")
+        for label, count in error.hot_nodes:
+            print(f"  {label} fired {count} times")
 
 
 if __name__ == "__main__":

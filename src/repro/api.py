@@ -69,12 +69,19 @@ class CompiledProgram:
     def simulate(self, args: list[object] | None = None,
                  memsys: MemoryConfig | MemorySystem | None = None,
                  memory: MemoryImage | None = None,
-                 event_limit: int | None = None) -> DataflowResult:
+                 event_limit: int | None = None,
+                 faults=None,
+                 wall_limit: float | None = None) -> DataflowResult:
         """Execute spatially on the dataflow simulator (§7.3).
 
         ``event_limit`` bounds the number of simulation events (guarding
         non-terminating circuits); ``None`` means the simulator default.
         An explicit ``0`` is honored (every event exceeds it).
+        ``faults`` is an optional
+        :class:`~repro.resilience.faults.FaultPlan` perturbing the timing
+        schedule deterministically; ``wall_limit`` is a wall-clock budget
+        in seconds, enforced cooperatively
+        (:class:`~repro.errors.SimulationTimeout` on overrun).
         """
         if isinstance(memsys, MemoryConfig):
             memsys = MemorySystem(memsys)
@@ -84,8 +91,23 @@ class CompiledProgram:
             memsys=memsys or MemorySystem(PERFECT_MEMORY),
             event_limit=(DEFAULT_EVENT_LIMIT if event_limit is None
                          else event_limit),
+            faults=faults,
+            wall_limit=wall_limit,
         )
         return simulator.run(list(args or []))
+
+    def check_timing_robustness(self, args: list[object] | None = None,
+                                seeds: int = 3, plans=None, memsys=None):
+        """Differential check over perturbed schedules (paper §4/§7 claim).
+
+        Returns a
+        :class:`~repro.resilience.differential.DifferentialResult`; a
+        non-``ok`` result means timing changed semantics — a soundness
+        bug in compilation or simulation.
+        """
+        from repro.resilience.differential import differential_check
+        return differential_check(self, list(args or []), plans,
+                                  seeds=seeds, memsys=memsys)
 
     def run_sequential(self, args: list[object] | None = None,
                        memsys: MemoryConfig | MemorySystem | None = None,

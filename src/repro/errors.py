@@ -87,15 +87,57 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The dataflow simulation stopped making progress before completion."""
+    """The dataflow simulation stopped making progress before completion.
 
-    def __init__(self, message: str, cycle: int, pending: list[str] | None = None):
+    ``pending`` holds structured wait-for entries (one per blocked node;
+    see :class:`repro.resilience.forensics.BlockedNode`) rather than
+    pre-truncated reprs, and ``report`` carries the full
+    :class:`repro.resilience.forensics.DeadlockReport` when the simulator
+    ran the wait-for analysis.
+    """
+
+    def __init__(self, message: str, cycle: int, pending: list | None = None,
+                 report=None):
         self.cycle = cycle
         self.pending = pending or []
+        self.report = report
         detail = f" at cycle {cycle}"
         if self.pending:
-            detail += "; waiting nodes: " + ", ".join(self.pending[:8])
+            detail += "; waiting nodes: " + ", ".join(
+                str(entry) for entry in self.pending[:8])
+            if len(self.pending) > 8:
+                detail += f", ... ({len(self.pending) - 8} more)"
         super().__init__(message + detail)
+
+
+class EventLimitError(SimulationError):
+    """The event budget ran out before the graph produced its return.
+
+    Distinguishes livelocks (a small set of nodes — typically an eta/mu
+    cycle — firing forever) from legitimately long runs: ``hot_nodes``
+    lists the top-k hottest nodes by fire count.
+    """
+
+    def __init__(self, message: str, event_limit: int, cycle: int,
+                 hot_nodes: list[tuple[str, int]] | None = None):
+        self.event_limit = event_limit
+        self.cycle = cycle
+        self.hot_nodes = hot_nodes or []
+        if self.hot_nodes:
+            hottest = ", ".join(f"{label} x{count}"
+                                for label, count in self.hot_nodes)
+            message += f"; hottest nodes: {hottest}"
+        super().__init__(message)
+
+
+class SimulationTimeout(SimulationError):
+    """A simulation exceeded its wall-clock budget (cooperative check)."""
+
+    def __init__(self, message: str, limit: float, elapsed: float):
+        self.limit = limit
+        self.elapsed = elapsed
+        super().__init__(f"{message} (wall limit {limit:.1f}s, "
+                         f"elapsed {elapsed:.1f}s)")
 
 
 class MemoryFault(SimulationError):
@@ -110,3 +152,22 @@ class MemoryFault(SimulationError):
 
 class WorkloadError(ReproError):
     """A benchmark program failed its built-in self-check."""
+
+
+class ParallelCompilationError(ReproError):
+    """One or more kernels failed to compile in a parallel batch.
+
+    Raised only after the batch drains, so one bad kernel cannot destroy
+    the compilations of its neighbours. ``failures`` maps
+    ``(kernel, level)`` to the exception that killed it.
+    """
+
+    def __init__(self, failures: dict[tuple[str, str], BaseException]):
+        self.failures = dict(failures)
+        parts = [f"{name}/{level}: {error}"
+                 for (name, level), error in sorted(
+                     self.failures.items(), key=lambda item: item[0])]
+        count = len(self.failures)
+        super().__init__(
+            f"{count} kernel compilation{'s' if count != 1 else ''} "
+            "failed: " + "; ".join(parts))

@@ -45,37 +45,54 @@ def _pct(before: int, after: int) -> float:
     return 100.0 * (before - after) / before
 
 
-def figure18(kernels=None) -> list[Fig18Row]:
+def _kernel_row(kernel, wall_limit: float | None = None) -> Fig18Row:
+    base = compiled(kernel.name, "none")
+    opt = compiled(kernel.name, "full")
+    base_counts = base.program.static_counts()
+    opt_counts = opt.program.static_counts()
+    base_run = base.program.simulate(list(kernel.args),
+                                     wall_limit=wall_limit)
+    opt_run = opt.program.simulate(list(kernel.args), wall_limit=wall_limit)
+    kernel.check(base_run.return_value)
+    kernel.check(opt_run.return_value)
+    return Fig18Row(
+        name=kernel.name,
+        static_loads_before=base_counts["loads"],
+        static_loads_after=opt_counts["loads"],
+        static_stores_before=base_counts["stores"],
+        static_stores_after=opt_counts["stores"],
+        dynamic_before=base_run.memory_operations,
+        dynamic_after=opt_run.memory_operations,
+    )
+
+
+def figure18(kernels=None, runner=None) -> list[Fig18Row]:
+    """Rows for Figure 18; one per kernel.
+
+    With a :class:`~repro.resilience.harness.ExperimentRunner`, each
+    kernel runs as an isolated, checkpointed job: a crashed or timed-out
+    kernel is dropped from the rows (and reported degraded on the
+    runner) instead of aborting the batch.
+    """
     rows = []
     for kernel in select_kernels(kernels):
-        base = compiled(kernel.name, "none")
-        opt = compiled(kernel.name, "full")
-        base_counts = base.program.static_counts()
-        opt_counts = opt.program.static_counts()
-        base_run = base.program.simulate(list(kernel.args))
-        opt_run = opt.program.simulate(list(kernel.args))
-        kernel.check(base_run.return_value)
-        kernel.check(opt_run.return_value)
-        rows.append(Fig18Row(
-            name=kernel.name,
-            static_loads_before=base_counts["loads"],
-            static_loads_after=opt_counts["loads"],
-            static_stores_before=base_counts["stores"],
-            static_stores_after=opt_counts["stores"],
-            dynamic_before=base_run.memory_operations,
-            dynamic_after=opt_run.memory_operations,
-        ))
+        if runner is None:
+            rows.append(_kernel_row(kernel))
+            continue
+        outcome = runner.run(f"fig18/{kernel.name}", _kernel_row, kernel)
+        if outcome.ok:
+            rows.append(outcome.value)
     return rows
 
 
-def render(kernels=None) -> str:
+def render(kernels=None, runner=None) -> str:
     table = TextTable(
         ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
          "loads", "stores", "dyn before", "dyn after"],
         title="Figure 18: static and dynamic memory operations removed "
               "(full vs none)",
     )
-    for row in figure18(kernels):
+    for row in figure18(kernels, runner=runner):
         table.add_row(
             row.name,
             f"{row.static_loads_removed_pct:.1f}",
@@ -86,4 +103,13 @@ def render(kernels=None) -> str:
             row.dynamic_before,
             row.dynamic_after,
         )
-    return table.render()
+    if runner is not None:
+        for outcome in runner.degraded:
+            table.add_row(outcome.key.split("/", 1)[-1],
+                          "DEGRADED", "-", "-", "-", "-", "-", "-")
+    text = table.render()
+    if runner is not None and runner.degraded:
+        text += "\n" + "\n".join(
+            f"degraded {outcome.key}: {outcome.describe()}"
+            for outcome in runner.degraded)
+    return text

@@ -49,34 +49,65 @@ class Fig19Row:
         return self.baseline_cycles / self.cycles[level]
 
 
+def _cell_row(kernel, config: MemoryConfig, levels,
+              wall_limit: float | None = None) -> Fig19Row:
+    base = compiled(kernel.name, "none")
+    baseline = base.program.simulate(list(kernel.args),
+                                     memsys=MemorySystem(config),
+                                     wall_limit=wall_limit)
+    kernel.check(baseline.return_value)
+    row = Fig19Row(name=kernel.name, memsys=config.name,
+                   baseline_cycles=baseline.cycles)
+    for level in levels:
+        opt = compiled(kernel.name, level)
+        run = opt.program.simulate(list(kernel.args),
+                                   memsys=MemorySystem(config),
+                                   wall_limit=wall_limit)
+        kernel.check(run.return_value)
+        row.cycles[level] = run.cycles
+    return row
+
+
 def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
-             levels=LEVELS) -> list[Fig19Row]:
+             levels=LEVELS, runner=None) -> list[Fig19Row]:
+    """Rows for Figure 19; one per (kernel, memory system).
+
+    With a :class:`~repro.resilience.harness.ExperimentRunner`, every
+    cell is an isolated, checkpointed job keyed
+    ``fig19/<kernel>/<memsys>``: a wedged cell degrades that row only,
+    and a resumed run replays finished cells from the checkpoint.
+    """
     rows = []
     for kernel in select_kernels(kernels):
-        base = compiled(kernel.name, "none")
         for config in memory_systems:
-            baseline = base.program.simulate(list(kernel.args),
-                                             memsys=MemorySystem(config))
-            kernel.check(baseline.return_value)
-            row = Fig19Row(name=kernel.name, memsys=config.name,
-                           baseline_cycles=baseline.cycles)
-            for level in levels:
-                opt = compiled(kernel.name, level)
-                run = opt.program.simulate(list(kernel.args),
-                                           memsys=MemorySystem(config))
-                kernel.check(run.return_value)
-                row.cycles[level] = run.cycles
-            rows.append(row)
+            if runner is None:
+                rows.append(_cell_row(kernel, config, levels))
+                continue
+            outcome = runner.run(f"fig19/{kernel.name}/{config.name}",
+                                 _cell_row, kernel, config, levels)
+            if outcome.ok:
+                rows.append(outcome.value)
     return rows
 
 
-def render(kernels=None, memory_systems=MEMORY_SYSTEMS) -> str:
+def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None) -> str:
     table = TextTable(
         ["Benchmark", "memory", "cycles none"]
         + [f"speedup {level}" for level in LEVELS],
         title="Figure 19: speedup over unoptimized spatial execution",
     )
-    for row in figure19(kernels, memory_systems):
+    for row in figure19(kernels, memory_systems, runner=runner):
         table.add_row(row.name, row.memsys, row.baseline_cycles,
                       *(f"{row.speedup(level):.2f}" for level in LEVELS))
-    return table.render()
+    if runner is not None:
+        for outcome in runner.degraded:
+            parts = outcome.key.split("/")
+            table.add_row(parts[1] if len(parts) > 1 else outcome.key,
+                          parts[2] if len(parts) > 2 else "-",
+                          "DEGRADED", *("-" for _ in LEVELS))
+    text = table.render()
+    if runner is not None and runner.degraded:
+        text += "\n" + "\n".join(
+            f"degraded {outcome.key}: {outcome.describe()}"
+            for outcome in runner.degraded)
+    return text

@@ -42,21 +42,31 @@ class Section2Result:
         return self.stores_before - self.stores_after
 
 
-def section2() -> Section2Result:
-    base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
-    full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
-    before = base.static_counts()
-    after = full.static_counts()
-    return Section2Result(
-        loads_before=before["loads"],
-        loads_after=after["loads"],
-        stores_before=before["stores"],
-        stores_after=after["stores"],
-    )
+def section2(runner=None) -> Section2Result:
+    """The §2 measurement, optionally as one checkpointed, isolated job."""
+    def job() -> Section2Result:
+        base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
+        full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
+        before = base.static_counts()
+        after = full.static_counts()
+        return Section2Result(
+            loads_before=before["loads"],
+            loads_after=after["loads"],
+            stores_before=before["stores"],
+            stores_after=after["stores"],
+        )
+
+    if runner is None:
+        return job()
+    outcome = runner.run("section2", job)
+    return outcome.value if outcome.ok else None
 
 
-def render() -> str:
-    result = section2()
+def render(runner=None) -> str:
+    result = section2(runner=runner)
+    if result is None:
+        failed = runner.degraded[-1]
+        return f"Section 2 example: DEGRADED — {failed.describe()}"
     table = TextTable(["Configuration", "loads", "stores"],
                       title="Section 2 example: accesses to the temporary "
                             "a[i] (paper: CASH removes 2 stores + 1 load)")

@@ -7,6 +7,13 @@ shared on-disk :class:`~repro.pipeline.cache.CompilationCache` (atomic
 renames, no locking) and return only the cache key, so graphs cross the
 process boundary once — via the cache file — instead of twice.
 
+Failure handling is per-job: every job is submitted as its own future,
+worker exceptions are collected per kernel instead of aborting the batch
+(the old ``pool.map`` semantics), crashed workers (``BrokenProcessPool``)
+trigger a bounded in-process retry, and only after the whole batch has
+drained is a :class:`~repro.errors.ParallelCompilationError` raised with
+each failing kernel's name and original exception attached.
+
 Sandboxes and single-core machines where process pools are unavailable or
 pointless fall back to in-process compilation transparently; the result
 dict is identical either way.
@@ -16,7 +23,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.errors import ParallelCompilationError, ReproError
 from repro.pipeline.cache import CompilationCache
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.driver import CompilerDriver
@@ -59,6 +68,11 @@ def compile_kernels(names, levels=("none", "full"), *,
     ``use_kernel_points_to`` applies each kernel's declared
     ``entry_points_to`` annotation (part of the cache key); the default
     matches the figure harness, which compiles without them.
+
+    One bad kernel never aborts the batch: every other compilation
+    completes (and lands in the cache) first, then a single
+    :class:`~repro.errors.ParallelCompilationError` reports all failures
+    with their kernel names.
     """
     from repro.programs import get_kernel
 
@@ -74,25 +88,66 @@ def compile_kernels(names, levels=("none", "full"), *,
     pending = [job for job in jobs
                if not cache.contains(_job_key(cache, job))]
     workers = max_workers or min(len(pending) or 1, os.cpu_count() or 1)
+    # (kernel, level) -> exception raised inside a worker. Jobs that
+    # failed remotely are retried once in-process below (the sequential
+    # fallback), so only deterministic failures survive into the error.
+    worker_failures: dict[tuple[str, str], BaseException] = {}
     if parallel and len(pending) > 1 and workers > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                list(pool.map(_compile_job, pending))
-        except (OSError, PermissionError):
-            # No usable process primitives (restricted sandbox): compile
-            # whatever the pool did not finish in-process below.
-            pass
+        worker_failures = _compile_in_pool(pending, workers)
 
     results: dict[tuple[str, str], object] = {}
+    failures: dict[tuple[str, str], BaseException] = {}
     for job in jobs:
         name, level = job[0], job[1]
         key = _job_key(cache, job)
         program = cache.get(key)
         if program is None:
-            _compile_job(job)
+            try:
+                _compile_job(job)
+            except ReproError as error:
+                # Keep the worker's original exception when there is one
+                # (it carries the first traceback); either way the batch
+                # keeps draining.
+                failures[(name, level)] = worker_failures.get((name, level),
+                                                              error)
+                continue
             program = cache.get(key)
         results[(name, level)] = program
+    if failures:
+        raise ParallelCompilationError(failures)
     return results
+
+
+def _compile_in_pool(pending, workers) -> dict[tuple[str, str], BaseException]:
+    """Fan ``pending`` jobs out over worker processes, one future per job.
+
+    Returns per-(kernel, level) exceptions; never raises. A broken pool
+    (crashed worker, no process primitives) simply leaves the remaining
+    jobs uncompiled — the caller's in-process pass picks them up.
+    """
+    failures: dict[tuple[str, str], BaseException] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_compile_job, job): job for job in pending}
+            for future, job in futures.items():
+                name, level = job[0], job[1]
+                try:
+                    future.result()
+                except BrokenProcessPool:
+                    # The worker died (OOM-kill, segfault): every future
+                    # after this is dead too. Leave them to the
+                    # in-process fallback rather than recording a crash
+                    # that a clean retry may not reproduce.
+                    break
+                except (OSError, PermissionError):
+                    break  # pool infrastructure failed mid-flight
+                except BaseException as error:  # noqa: BLE001
+                    failures[(name, level)] = error
+    except (OSError, PermissionError, NotImplementedError):
+        # No usable process primitives (restricted sandbox): compile
+        # everything in-process in the caller's drain loop.
+        pass
+    return failures
 
 
 def _job_key(cache: CompilationCache, job: tuple) -> str:

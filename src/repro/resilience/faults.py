@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper's central correctness claim (§4, §7) is that the token network
+serializes memory side effects *semantically*: no matter how the spatial
+fabric reorders execution in time, the program computes the same values.
+The dataflow simulator, however, normally explores exactly one timing
+schedule per graph. A :class:`FaultPlan` perturbs that schedule — without
+ever touching functional values — so the differential checker
+(:mod:`repro.resilience.differential`) can exercise many schedules per
+kernel and assert they all agree with the sequential oracle.
+
+Three fault families, all timing-only and all derived from one seed:
+
+- **latency jitter and spikes** on each level of the memory hierarchy
+  (L1/L2/DRAM/TLB, and the perfect-memory path), added on top of the
+  configured service latency;
+- **LSQ stall windows**: an access occasionally waits extra cycles before
+  acquiring a load-store-queue port, modeling arbitration hiccups;
+- **bounded event reordering**: same-cycle event deliveries are shuffled
+  within a window, *preserving per-producer FIFO order* (a hardware
+  operator's output queue cannot reorder against itself, and the
+  simulator's merge semantics rely on per-channel arrival order).
+
+Everything is driven by one ``random.Random(seed)`` consumed in
+simulation order, so a (plan, graph, args) triple replays exactly — a
+failing schedule is a reproducible artifact, not a flake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+
+#: Memory-hierarchy levels that accept latency faults.
+LEVELS = ("perfect", "l1", "l2", "mem", "tlb")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of one perturbed schedule.
+
+    All fields are *maximum extra cycles* or probabilities; a zero field
+    disables that fault family. Plans are immutable and hashable, so they
+    can key caches and parametrize tests.
+    """
+
+    seed: int = 0
+    # Uniform latency jitter, in extra cycles, per hierarchy level.
+    perfect_jitter: int = 0
+    l1_jitter: int = 0
+    l2_jitter: int = 0
+    mem_jitter: int = 0
+    tlb_jitter: int = 0
+    # Rare large spikes (e.g. a DRAM refresh collision).
+    spike_rate: float = 0.0
+    spike_cycles: int = 0
+    # LSQ arbitration stalls.
+    lsq_stall_rate: float = 0.0
+    lsq_stall_cycles: int = 0
+    # Bounded reordering of same-cycle event delivery.
+    reorder_window: int = 0
+
+    def injector(self) -> "FaultInjector":
+        """A fresh stateful injector; one per simulation run."""
+        return FaultInjector(self)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    @property
+    def perturbs_timing(self) -> bool:
+        return any((self.perfect_jitter, self.l1_jitter, self.l2_jitter,
+                    self.mem_jitter, self.tlb_jitter, self.reorder_window))
+
+    def describe(self) -> str:
+        active = []
+        for name in ("perfect_jitter", "l1_jitter", "l2_jitter",
+                     "mem_jitter", "tlb_jitter", "reorder_window"):
+            value = getattr(self, name)
+            if value:
+                active.append(f"{name}={value}")
+        if self.spike_rate:
+            active.append(f"spike={self.spike_rate}x{self.spike_cycles}")
+        if self.lsq_stall_rate:
+            active.append(
+                f"lsq_stall={self.lsq_stall_rate}x{self.lsq_stall_cycles}")
+        detail = ", ".join(active) if active else "no-op"
+        return f"FaultPlan(seed={self.seed}: {detail})"
+
+
+#: A plan that shakes every fault family at once — the default for the
+#: differential property test. Jitter amplitudes are deliberately larger
+#: than every configured hit latency so schedules diverge immediately.
+SHAKE_EVERYTHING = FaultPlan(
+    perfect_jitter=7,
+    l1_jitter=5,
+    l2_jitter=11,
+    mem_jitter=40,
+    tlb_jitter=16,
+    spike_rate=0.02,
+    spike_cycles=200,
+    lsq_stall_rate=0.05,
+    lsq_stall_cycles=9,
+    reorder_window=4,
+)
+
+#: Latency-only variant (no event reordering): isolates hierarchy timing.
+LATENCY_ONLY = replace(SHAKE_EVERYTHING, reorder_window=0)
+
+#: Reorder-only variant: isolates same-cycle delivery order.
+REORDER_ONLY = FaultPlan(reorder_window=8)
+
+
+def default_plans(count: int, base_seed: int = 0,
+                  template: FaultPlan = SHAKE_EVERYTHING) -> list[FaultPlan]:
+    """``count`` distinct plans derived from ``template``, seeds rotating."""
+    return [template.with_seed(base_seed + index) for index in range(count)]
+
+
+class FaultInjector:
+    """The stateful executor of a :class:`FaultPlan` for one run.
+
+    Consumed by :class:`~repro.sim.memsys.MemorySystem` (latency and LSQ
+    faults) and :class:`~repro.sim.dataflow.DataflowSimulator` (event
+    reordering). All draws come from one PRNG in call order, which the
+    deterministic simulator makes reproducible.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = Random(plan.seed)
+        # Per-producer guard for the reorder keys: (time, last key).
+        self._last_key: dict[int, tuple[int, int]] = {}
+        # Observability: how much delay each family injected.
+        self.injected_latency = 0
+        self.injected_stalls = 0
+        self.reordered_events = 0
+
+    # ------------------------------------------------------------------
+    # Memory-hierarchy faults
+
+    _JITTER_FIELDS = {
+        "perfect": "perfect_jitter",
+        "l1": "l1_jitter",
+        "l2": "l2_jitter",
+        "mem": "mem_jitter",
+        "tlb": "tlb_jitter",
+    }
+
+    def memory_extra(self, level: str) -> int:
+        """Extra cycles to add to one access at hierarchy ``level``."""
+        plan = self.plan
+        extra = 0
+        jitter = getattr(plan, self._JITTER_FIELDS[level])
+        if jitter:
+            extra += self._rng.randint(0, jitter)
+        if plan.spike_rate and plan.spike_cycles:
+            if self._rng.random() < plan.spike_rate:
+                extra += plan.spike_cycles
+        self.injected_latency += extra
+        return extra
+
+    def lsq_stall(self) -> int:
+        """Extra cycles an access waits before acquiring an LSQ port."""
+        plan = self.plan
+        if plan.lsq_stall_rate and plan.lsq_stall_cycles:
+            if self._rng.random() < plan.lsq_stall_rate:
+                stall = self._rng.randint(1, plan.lsq_stall_cycles)
+                self.injected_stalls += stall
+                return stall
+        return 0
+
+    # ------------------------------------------------------------------
+    # Event reordering
+
+    def reorder_key(self, producer_id: int, at: int, seq: int) -> int:
+        """A perturbed tie-break key for an event emitted at time ``at``.
+
+        Same-cycle events from *different* producers may swap delivery
+        order (the key jitters within the window); events from the *same*
+        producer at the same timestamp keep their relative order — the
+        key is clamped to stay monotone per producer, preserving each
+        output channel's FIFO discipline.
+        """
+        window = self.plan.reorder_window
+        if window <= 0:
+            return seq
+        key = seq + self._rng.randint(0, window)
+        previous = self._last_key.get(producer_id)
+        if previous is not None and previous[0] == at and key <= previous[1]:
+            key = previous[1] + 1
+        else:
+            if key != seq:
+                self.reordered_events += 1
+        self._last_key[producer_id] = (at, key)
+        return key

@@ -1,0 +1,429 @@
+"""Deadlock and stall forensics over a wedged dataflow simulation.
+
+When the event queue drains before the return node fires, the raw
+simulator state is opaque: queues of values hanging off anonymous nodes.
+This module turns that state into a *wait-for analysis* over the Pegasus
+graph:
+
+- which nodes are **blocked** (some inputs present, others starved) and
+  exactly which input port each is missing — including nodes starved on
+  *empty* ports, which the old ``DeadlockError.pending`` list omitted
+  because it only looked at non-empty queues;
+- for every missing port, the **stuck producer** that never delivered;
+- the **minimal stuck cycle** in the wait-for graph, when the deadlock is
+  a circular token/value dependence rather than a starved chain;
+- a **provenance chain** from the most downstream blocked node (the
+  return, when it is blocked) back through stuck producers.
+
+The analysis is read-only over simulator internals (queues, sticky ports)
+and is built lazily on the error path only, so the happy path pays
+nothing. ``dump_postmortem`` serializes the report plus a graph slice and
+queue states to JSON for offline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.pegasus import nodes as N
+
+#: Cap on how many blocked nodes a report carries in full detail.
+MAX_BLOCKED = 64
+#: Cap on provenance-chain length.
+MAX_CHAIN = 32
+
+
+@dataclass(frozen=True)
+class MissingInput:
+    """One starved input port of a blocked node."""
+
+    slot: int
+    kind: str                      # "data" | "pred" | "token"
+    producer_id: int | None        # None: the port was never connected
+    producer_label: str | None
+
+    def __str__(self) -> str:
+        source = (f"from {self.producer_label}#{self.producer_id}"
+                  if self.producer_id is not None else "unconnected")
+        return f"in{self.slot} [{self.kind}] {source}"
+
+
+@dataclass(frozen=True)
+class BlockedNode:
+    """A node that cannot fire, with the exact ports it is starved on."""
+
+    node_id: int
+    label: str
+    hyperblock: int
+    missing: tuple[MissingInput, ...]
+    queued: tuple[tuple[int, int], ...]   # (slot, queued value count)
+    note: str = ""                        # node-specific detail (merge/tk)
+
+    def __str__(self) -> str:
+        wants = ", ".join(str(m) for m in self.missing) or "nothing"
+        held = ", ".join(f"in{slot}={count}" for slot, count in self.queued)
+        text = f"{self.label}#{self.node_id} waiting on {wants}"
+        if held:
+            text += f" (holding {held})"
+        if self.note:
+            text += f" [{self.note}]"
+        return text
+
+
+@dataclass
+class DeadlockReport:
+    """Structured post-mortem of a wedged (or overrun) simulation."""
+
+    graph_name: str
+    cycle: int
+    fired: int
+    events_drained: bool
+    blocked: list[BlockedNode] = field(default_factory=list)
+    # Node ids forming a minimal cycle in the wait-for graph, in order
+    # (each waits on the next; the last waits on the first). Empty when
+    # the deadlock is a starved chain with no circular dependence.
+    stuck_cycle: list[int] = field(default_factory=list)
+    # (node_id, label, missing port str) hops from the most downstream
+    # blocked node back towards the root cause.
+    provenance: list[tuple[int, str, str]] = field(default_factory=list)
+    truncated_blocked: int = 0
+
+    # ------------------------------------------------------------------
+
+    def blocked_by_id(self, node_id: int) -> BlockedNode | None:
+        for entry in self.blocked:
+            if entry.node_id == node_id:
+                return entry
+        return None
+
+    def render(self) -> str:
+        """Human-readable forensics, for the CLI ``--diagnose`` path."""
+        lines = [
+            f"deadlock forensics for '{self.graph_name}' "
+            f"at cycle {self.cycle} after {self.fired} firings",
+        ]
+        total = len(self.blocked) + self.truncated_blocked
+        lines.append(f"blocked nodes ({total}):")
+        for entry in self.blocked:
+            lines.append(f"  {entry}")
+        if self.truncated_blocked:
+            lines.append(f"  ... {self.truncated_blocked} more")
+        if self.stuck_cycle:
+            labels = []
+            for node_id in self.stuck_cycle:
+                entry = self.blocked_by_id(node_id)
+                labels.append(f"{entry.label}#{node_id}" if entry
+                              else f"#{node_id}")
+            lines.append("stuck cycle: " + " -> ".join(labels)
+                         + f" -> {labels[0]}")
+        else:
+            lines.append("stuck cycle: none (starved chain)")
+        if self.provenance:
+            lines.append("provenance (downstream -> root cause):")
+            for node_id, label, missing in self.provenance:
+                lines.append(f"  {label}#{node_id} starved on {missing}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "cycle": self.cycle,
+            "fired": self.fired,
+            "events_drained": self.events_drained,
+            "blocked": [
+                {
+                    "id": entry.node_id,
+                    "label": entry.label,
+                    "hyperblock": entry.hyperblock,
+                    "missing": [
+                        {"slot": m.slot, "kind": m.kind,
+                         "producer_id": m.producer_id,
+                         "producer_label": m.producer_label}
+                        for m in entry.missing
+                    ],
+                    "queued": dict(entry.queued),
+                    "note": entry.note,
+                }
+                for entry in self.blocked
+            ],
+            "truncated_blocked": self.truncated_blocked,
+            "stuck_cycle": list(self.stuck_cycle),
+            "provenance": [
+                {"id": node_id, "label": label, "missing": missing}
+                for node_id, label, missing in self.provenance
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Analysis
+
+
+def build_deadlock_report(simulator) -> DeadlockReport:
+    """Wait-for analysis over a finished-but-not-done simulator.
+
+    ``simulator`` is a :class:`~repro.sim.dataflow.DataflowSimulator`
+    whose event queue drained (deadlock) or whose event budget ran out;
+    only its read-only state is touched.
+    """
+    graph = simulator.graph
+    waiting: dict[int, BlockedNode] = {}
+    for node in graph:
+        if node.id in simulator._sticky_nodes or not node.inputs:
+            continue
+        entry = _analyze_node(simulator, node)
+        if entry is not None:
+            waiting[node.id] = entry
+    waits_on = {
+        node_id: [m.producer_id for m in entry.missing
+                  if m.producer_id is not None]
+        for node_id, entry in waiting.items()
+    }
+    stuck_cycle = _find_cycle(waits_on)
+    provenance = _provenance(graph, waiting)
+    # The report foregrounds *holders* — nodes sitting on queued values or
+    # a pending decision, plus a starved return — then fills with idle
+    # starved nodes; cycle members and provenance hops are always kept.
+    must_keep = set(stuck_cycle) | {node_id for node_id, _, _ in provenance}
+
+    def is_holder(entry: BlockedNode) -> bool:
+        return bool(entry.queued or entry.note) or isinstance(
+            graph.nodes.get(entry.node_id), N.ReturnNode)
+
+    ordered = sorted(waiting.values(),
+                     key=lambda e: (not is_holder(e), e.node_id))
+    blocked: list[BlockedNode] = []
+    truncated = 0
+    for entry in ordered:
+        if len(blocked) < MAX_BLOCKED or entry.node_id in must_keep:
+            blocked.append(entry)
+        else:
+            truncated += 1
+    blocked.sort(key=lambda e: e.node_id)
+    return DeadlockReport(
+        graph_name=graph.name,
+        cycle=simulator._now,
+        fired=simulator._fired,
+        events_drained=not simulator._events,
+        blocked=blocked,
+        truncated_blocked=truncated,
+        stuck_cycle=stuck_cycle,
+        provenance=provenance,
+    )
+
+
+def _analyze_node(simulator, node) -> BlockedNode | None:
+    """A :class:`BlockedNode` for ``node``, or None if it is not waiting.
+
+    A node is *waiting* when at least one input port cannot be satisfied
+    without further events — whether or not other ports hold queued
+    values. This deliberately includes nodes starved on entirely empty
+    ports (the old ``DeadlockError.pending`` construction only surfaced
+    nodes with non-empty queues, hiding the actual blockers).
+    """
+    state = simulator._state.get(node.id)
+    if state is None:
+        # The simulator never initialized (report requested before run):
+        # analyze against empty queues.
+        from repro.sim.dataflow import _NodeState
+        state = _NodeState(node)
+    queued = tuple((slot, len(queue))
+                   for slot, queue in enumerate(state.queues) if queue)
+    note = ""
+
+    if isinstance(node, N.MergeNode) and node.has_control:
+        missing, note = _merge_missing(simulator, node, state)
+    elif isinstance(node, N.TokenGenNode):
+        if state.tk_demands > 0 and state.tk_credits == 0:
+            missing = [_missing_input(simulator, node, 1)]
+            note = (f"tk demands={state.tk_demands} "
+                    f"credits={state.tk_credits}")
+        else:
+            missing = []
+    elif isinstance(node, (N.ControlStreamNode,)) or (
+            isinstance(node, N.MergeNode) and not node.has_control):
+        # Any-input nodes: a single arrival on any slot fires them, so
+        # they are starved only when *every* slot is empty. With the
+        # event queue drained, every producer is then genuinely stuck.
+        if queued:
+            missing = []
+        else:
+            missing = [_missing_input(simulator, node, slot)
+                       for slot in range(len(node.inputs))
+                       if not _slot_ready(simulator, node, state, slot)]
+            note = "any input suffices"
+    else:
+        # Strict nodes: every non-ready input is a missing port.
+        missing = [
+            _missing_input(simulator, node, slot)
+            for slot in range(len(node.inputs))
+            if not _slot_ready(simulator, node, state, slot)
+        ]
+
+    missing = [m for m in missing if m is not None]
+    if not missing:
+        return None
+    return BlockedNode(
+        node_id=node.id,
+        label=node.label(),
+        hyperblock=node.hyperblock,
+        missing=tuple(missing),
+        queued=queued,
+        note=note,
+    )
+
+
+def _merge_missing(simulator, node, state):
+    """Missing ports of a controlled (loop) merge, with a decision note."""
+    missing = []
+    if state.merge_expect is None:
+        slot = node.control_slot
+        if not _slot_ready(simulator, node, state, slot):
+            missing.append(_missing_input(simulator, node, slot))
+        note = "awaiting control decision"
+    else:
+        expected = (sorted(node.back_inputs) if state.merge_expect == "back"
+                    else node.entry_slots())
+        starved = [slot for slot in expected if not state.queues[slot]]
+        for slot in starved:
+            missing.append(_missing_input(simulator, node, slot))
+        note = f"expecting {state.merge_expect} value"
+    return [m for m in missing if m is not None], note
+
+
+def _slot_ready(simulator, node, state, slot: int) -> bool:
+    port = node.inputs[slot]
+    if port is None:
+        return _optional_slot(node, slot)
+    if port in simulator._sticky:
+        return True
+    return bool(state.queues[slot])
+
+
+def _optional_slot(node, slot: int) -> bool:
+    return isinstance(node, N.LoadNode) and slot == N.LoadNode.TOKEN_IN
+
+
+def _missing_input(simulator, node, slot: int) -> MissingInput | None:
+    port = node.inputs[slot]
+    kinds = node.input_kinds()
+    kind = kinds[slot] if slot < len(kinds) else "data"
+    if port is None:
+        if _optional_slot(node, slot):
+            return None
+        return MissingInput(slot=slot, kind=kind,
+                            producer_id=None, producer_label=None)
+    return MissingInput(slot=slot, kind=kind,
+                        producer_id=port.node.id,
+                        producer_label=port.node.label())
+
+
+def _find_cycle(waits_on: dict[int, list[int]]) -> list[int]:
+    """A minimal cycle in the wait-for graph (shortest found via BFS).
+
+    Edges run blocked-node -> stuck-producer; only edges between nodes
+    that are themselves waiting can close a cycle.
+    """
+    best: list[int] = []
+    for start in sorted(waits_on):
+        # BFS from `start` restricted to waiting nodes; a path returning
+        # to `start` is a cycle. Graphs here are small error-path slices.
+        parents: dict[int, int | None] = {start: None}
+        frontier = [start]
+        found = None
+        while frontier and found is None:
+            next_frontier = []
+            for current in frontier:
+                for producer in waits_on.get(current, ()):
+                    if producer == start:
+                        found = current
+                        break
+                    if producer in waits_on and producer not in parents:
+                        parents[producer] = current
+                        next_frontier.append(producer)
+                if found is not None:
+                    break
+            frontier = next_frontier
+        if found is not None:
+            cycle = [found]
+            while parents[cycle[-1]] is not None:
+                cycle.append(parents[cycle[-1]])
+            cycle.reverse()
+            if not best or len(cycle) < len(best):
+                best = cycle
+    return best
+
+
+def _provenance(graph,
+                waiting: dict[int, BlockedNode]) -> list[tuple[int, str, str]]:
+    """Chain from the most downstream waiting node towards the root cause.
+
+    Starts at the starved return node when there is one (the symptom the
+    user sees), otherwise at the first node holding queued work, and
+    follows missing ports producer-to-producer until the chain leaves the
+    waiting set, cycles, or bottoms out at the stuck producer.
+    """
+    if not waiting:
+        return []
+    start = next((entry for entry in waiting.values()
+                  if isinstance(graph.nodes.get(entry.node_id), N.ReturnNode)),
+                 None)
+    if start is None:
+        start = next((entry for entry in waiting.values() if entry.queued),
+                     next(iter(waiting.values())))
+    chain: list[tuple[int, str, str]] = []
+    seen: set[int] = set()
+    current: BlockedNode | None = start
+    while current is not None and current.node_id not in seen \
+            and len(chain) < MAX_CHAIN:
+        seen.add(current.node_id)
+        if not current.missing:
+            break
+        missing = current.missing[0]
+        chain.append((current.node_id, current.label, str(missing)))
+        current = (waiting.get(missing.producer_id)
+                   if missing.producer_id is not None else None)
+    return chain
+
+
+# ----------------------------------------------------------------------
+# Post-mortem artifact
+
+
+def dump_postmortem(report: DeadlockReport, path, graph=None) -> None:
+    """Write ``report`` (plus an optional graph slice) as JSON to ``path``.
+
+    The slice covers every blocked node and its immediate producers, so
+    offline tooling can reconstruct the stuck neighbourhood without the
+    full (potentially huge) graph.
+    """
+    payload = report.to_json()
+    if graph is not None:
+        wanted: set[int] = set()
+        for entry in report.blocked:
+            wanted.add(entry.node_id)
+            for missing in entry.missing:
+                if missing.producer_id is not None:
+                    wanted.add(missing.producer_id)
+        wanted.update(report.stuck_cycle)
+        slice_nodes = []
+        for node_id in sorted(wanted):
+            node = graph.nodes.get(node_id)
+            if node is None:
+                continue
+            slice_nodes.append({
+                "id": node.id,
+                "label": node.label(),
+                "kind": type(node).__name__,
+                "hyperblock": node.hyperblock,
+                "inputs": [
+                    None if port is None else
+                    {"producer": port.node.id, "out": port.index}
+                    for port in node.inputs
+                ],
+            })
+        payload["graph_slice"] = slice_nodes
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,217 @@
+"""Hardened execution of experiment batches (figures, tables, sweeps).
+
+The figure harnesses used to run every kernel inline: one wedged or
+crashed kernel destroyed the whole batch and all completed work with it.
+This module provides the degradation layer the ROADMAP's
+production-scale north star demands:
+
+- :class:`ExperimentRunner` — runs one job at a time with a wall-clock
+  budget (enforced cooperatively by the simulator's ``wall_limit``),
+  bounded retries, and full per-job error capture; a failing job yields
+  a degraded :class:`JobOutcome` instead of an exception;
+- :class:`Checkpoint` — a pickle-backed journal of completed job values
+  with atomic writes, so an interrupted figure run resumes from where it
+  stopped instead of recomputing (or worse, losing) finished rows.
+
+Jobs are identified by a caller-chosen string key (e.g.
+``"fig19/mesa/realistic-2port"``); a checkpoint hit short-circuits the
+job entirely and is reported as status ``"resumed"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError, SimulationTimeout
+
+#: Job statuses considered successful (a value is present).
+OK_STATUSES = ("ok", "resumed")
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one experiment job."""
+
+    key: str
+    status: str                 # "ok" | "resumed" | "timeout" | "error"
+    value: object = None
+    error: str | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in OK_STATUSES
+
+    @property
+    def degraded(self) -> bool:
+        return not self.ok
+
+    def describe(self) -> str:
+        if self.status == "resumed":
+            return "resumed from checkpoint"
+        if self.status == "ok":
+            return f"ok in {self.elapsed:.2f}s"
+        detail = self.error or "unknown failure"
+        return (f"{self.status.upper()} after {self.attempts} "
+                f"attempt{'s' if self.attempts != 1 else ''}: {detail}")
+
+
+class Checkpoint:
+    """Atomic pickle journal of completed job values, keyed by job key.
+
+    The file holds one ``{key: value}`` dict; every ``record`` rewrites
+    it atomically (temp file + rename), so a crash mid-write can never
+    corrupt previously completed work. Values must be picklable — figure
+    rows (plain dataclasses) are.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._values: dict[str, object] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return
+        try:
+            values = pickle.loads(data)
+        except Exception:
+            # Corrupt journal (interrupted first write, version skew):
+            # start over rather than poison the run.
+            return
+        if isinstance(values, dict):
+            self._values = values
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, key: str):
+        return self._values.get(key)
+
+    def record(self, key: str, value) -> None:
+        self._values[key] = value
+        self._flush()
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = pickle.dumps(self._values, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def clear(self) -> None:
+        self._values = {}
+        with contextlib.suppress(OSError):
+            self.path.unlink()
+
+
+class ExperimentRunner:
+    """Runs experiment jobs with timeout, bounded retry, and checkpointing.
+
+    ``wall_limit`` is the per-attempt budget in seconds; job callables
+    receive it as a ``wall_limit=`` keyword when they accept one (pass it
+    through to ``program.simulate``, which enforces it cooperatively).
+    ``retries`` is how many *extra* attempts a failing job gets; retries
+    exist for environmental flakes — a deterministic ``ReproError``
+    (compile bug, deadlock) is not retried, matching "bounded retry with
+    sequential fallback": the retry runs the same job in-process, there
+    is no parallel context to fall back from here.
+    """
+
+    def __init__(self, wall_limit: float | None = None, retries: int = 0,
+                 checkpoint: Checkpoint | str | Path | None = None):
+        self.wall_limit = wall_limit
+        self.retries = max(0, retries)
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = Checkpoint(checkpoint)
+        self.checkpoint = checkpoint
+        self.outcomes: list[JobOutcome] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, key: str, job, *args, **kwargs) -> JobOutcome:
+        """Execute ``job(*args, **kwargs)`` under this runner's policy."""
+        if self.checkpoint is not None and key in self.checkpoint:
+            outcome = JobOutcome(key=key, status="resumed",
+                                 value=self.checkpoint.get(key))
+            self.outcomes.append(outcome)
+            return outcome
+        if self.wall_limit is not None and _accepts_wall_limit(job):
+            kwargs = dict(kwargs, wall_limit=self.wall_limit)
+        attempts = 0
+        started = time.monotonic()
+        outcome = None
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                value = job(*args, **kwargs)
+            except SimulationTimeout as error:
+                outcome = JobOutcome(key=key, status="timeout",
+                                     error=str(error), attempts=attempts)
+                break  # a cooperative timeout will time out again
+            except ReproError as error:
+                outcome = JobOutcome(key=key, status="error",
+                                     error=f"{type(error).__name__}: {error}",
+                                     attempts=attempts)
+                break  # deterministic failure: retrying cannot help
+            except Exception as error:  # noqa: BLE001 — isolation boundary
+                outcome = JobOutcome(key=key, status="error",
+                                     error=f"{type(error).__name__}: {error}",
+                                     attempts=attempts)
+                continue  # environmental flake: retry within budget
+            outcome = JobOutcome(key=key, status="ok", value=value,
+                                 attempts=attempts)
+            break
+        outcome.elapsed = time.monotonic() - started
+        if outcome.ok and self.checkpoint is not None:
+            self.checkpoint.record(key, outcome.value)
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> list[JobOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.degraded]
+
+    def report(self) -> str:
+        """One line per job — the batch post-mortem."""
+        lines = []
+        for outcome in self.outcomes:
+            lines.append(f"{outcome.key}: {outcome.describe()}")
+        ok = sum(1 for outcome in self.outcomes if outcome.ok)
+        lines.append(f"{ok}/{len(self.outcomes)} jobs completed, "
+                     f"{len(self.degraded)} degraded")
+        return "\n".join(lines)
+
+
+def _accepts_wall_limit(job) -> bool:
+    import inspect
+    try:
+        signature = inspect.signature(job)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind == parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "wall_limit":
+            return True
+    return False

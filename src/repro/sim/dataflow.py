@@ -22,10 +22,16 @@ FIFO queues. Special rules:
 from __future__ import annotations
 
 import heapq
+import time as _time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    EventLimitError,
+    SimulationError,
+    SimulationTimeout,
+)
 from repro.pegasus.graph import Graph, OutPort
 from repro.pegasus import nodes as N
 from repro.sim import latencies, ops
@@ -76,13 +82,28 @@ class _NodeState:
 class DataflowSimulator:
     """Executes one Pegasus graph against a memory image and memory system."""
 
+    #: How often (in events) the wall-clock budget is polled.
+    WALL_CHECK_INTERVAL = 4096
+    #: How many hottest nodes an event-limit overrun reports.
+    HOT_NODE_COUNT = 5
+
     def __init__(self, graph: Graph, memory: MemoryImage | None = None,
                  memsys: MemorySystem | None = None,
-                 event_limit: int = DEFAULT_EVENT_LIMIT):
+                 event_limit: int = DEFAULT_EVENT_LIMIT,
+                 faults=None, wall_limit: float | None = None):
         self.graph = graph
         self.memory = memory if memory is not None else MemoryImage()
         self.memsys = memsys or MemorySystem(PERFECT_MEMORY)
         self.event_limit = event_limit
+        self.wall_limit = wall_limit
+        # Deterministic fault injection (a resilience.faults.FaultPlan):
+        # one injector per run, shared with the memory system so every
+        # fault family draws from the same seeded stream.
+        self.fault_plan = faults
+        self._inject = faults.injector() if faults is not None else None
+        if self._inject is not None and \
+                getattr(self.memsys, "faults", None) is None:
+            self.memsys.faults = self._inject
         self._state: dict[int, _NodeState] = {}
         self._sticky: dict[OutPort, object] = {}
         self._sticky_nodes: set[int] = set()
@@ -121,23 +142,34 @@ class DataflowSimulator:
             if self._all_inputs_constant(node):
                 self._try_fire(node, 0)
         events = 0
+        started = _time.monotonic()
         while self._events and not self._done:
             events += 1
             if events > self.event_limit:
-                raise SimulationError(
-                    f"event limit exceeded ({self.event_limit}) at cycle {self._now}"
+                raise EventLimitError(
+                    f"{self.graph.name}: event limit exceeded "
+                    f"({self.event_limit}) at cycle {self._now}",
+                    self.event_limit, self._now,
+                    hot_nodes=self._hottest_nodes(),
                 )
-            time, _, node, outputs = heapq.heappop(self._events)
+            if self.wall_limit is not None \
+                    and events % self.WALL_CHECK_INTERVAL == 0:
+                elapsed = _time.monotonic() - started
+                if elapsed > self.wall_limit:
+                    raise SimulationTimeout(
+                        f"{self.graph.name}: simulation exceeded its "
+                        f"wall-clock budget at cycle {self._now}",
+                        self.wall_limit, elapsed,
+                    )
+            time, _, _, node, outputs = heapq.heappop(self._events)
             self._now = max(self._now, time)
             self._deliver(node, outputs, time)
         if not self._done:
-            pending = [
-                repr(node) for node in self.graph
-                if any(q for q in self._state[node.id].queues)
-            ]
+            from repro.resilience.forensics import build_deadlock_report
+            report = build_deadlock_report(self)
             raise DeadlockError(
                 f"{self.graph.name}: dataflow execution deadlocked",
-                self._now, pending,
+                self._now, pending=list(report.blocked), report=report,
             )
         return DataflowResult(
             return_value=self._return_value,
@@ -184,7 +216,21 @@ class DataflowSimulator:
 
     def _emit(self, node: N.Node, outputs: dict[int, object], at: int) -> None:
         self._seq += 1
-        heapq.heappush(self._events, (at, self._seq, node, outputs))
+        key = self._seq
+        if self._inject is not None:
+            key = self._inject.reorder_key(node.id, at, self._seq)
+        heapq.heappush(self._events, (at, key, self._seq, node, outputs))
+
+    def _hottest_nodes(self) -> list[tuple[str, int]]:
+        """Top-k nodes by fire count, labelled — livelock forensics."""
+        hottest = sorted(self._fire_counts.items(),
+                         key=lambda item: (-item[1], item[0]))
+        result = []
+        for node_id, count in hottest[:self.HOT_NODE_COUNT]:
+            node = self.graph.nodes.get(node_id)
+            label = f"{node.label()}#{node_id}" if node else f"#{node_id}"
+            result.append((label, count))
+        return result
 
     def _deliver(self, node: N.Node, outputs: dict[int, object], time: int) -> None:
         for out_index, value in outputs.items():

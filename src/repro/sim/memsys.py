@@ -111,6 +111,9 @@ class MemoryStats:
     mem_accesses: int = 0
     tlb_misses: int = 0
     port_stall_cycles: int = 0
+    # Extra cycles added by deterministic fault injection (latency jitter
+    # and spikes + LSQ stall windows); zero when no injector is attached.
+    injected_cycles: int = 0
 
 
 class MemorySystem:
@@ -122,9 +125,13 @@ class MemorySystem:
     the sequential interpreter.
     """
 
-    def __init__(self, config: MemoryConfig):
+    def __init__(self, config: MemoryConfig, faults=None):
         self.config = config
         self.stats = MemoryStats()
+        # Optional deterministic fault injector (duck-typed: a
+        # resilience.faults.FaultInjector). Timing-only: adds cycles to
+        # hierarchy levels and LSQ acquisition, never touches values.
+        self.faults = faults
         self._l1 = _Cache(config.l1_size, config.l1_line, config.l1_assoc)
         self._l2 = _Cache(config.l2_size, config.l2_line, config.l2_assoc)
         self._tlb = _Tlb(config.tlb_entries, config.page_size)
@@ -140,12 +147,20 @@ class MemorySystem:
         """Schedule an access arriving at ``now``; return (start, done)."""
         self.stats.accesses += 1
         if self.config.perfect:
-            return now, now + self.config.perfect_latency
+            extra = self._injected("perfect")
+            return now, now + self.config.perfect_latency + extra
         start = self._acquire_lsq(now)
         latency = self._latency(start, addr, width)
         done = start + latency
         self._inflight.append(done)
         return start, done
+
+    def _injected(self, level: str) -> int:
+        if self.faults is None:
+            return 0
+        extra = self.faults.memory_extra(level)
+        self.stats.injected_cycles += extra
+        return extra
 
     def access(self, now: int, addr: int, width: int, is_write: bool) -> int:
         """Serialized access latency (sequential interpreter)."""
@@ -161,6 +176,11 @@ class MemorySystem:
             free_at = self._inflight[-self.config.lsq_entries]
             now = max(now, free_at)
             self._inflight = [t for t in self._inflight if t > now]
+        # Injected arbitration hiccup: the access waits before bidding.
+        if self.faults is not None:
+            stall = self.faults.lsq_stall()
+            self.stats.injected_cycles += stall
+            now += stall
         # One access per port per cycle.
         port = min(range(len(self._lsq_free)), key=lambda i: self._lsq_free[i])
         start = max(now, self._lsq_free[port])
@@ -172,15 +192,16 @@ class MemorySystem:
         latency = 0
         if not self._tlb.lookup(addr):
             self.stats.tlb_misses += 1
-            latency += self.config.tlb_miss
+            latency += self.config.tlb_miss + self._injected("tlb")
         if self._l1.lookup(addr):
             self.stats.l1_hits += 1
-            return latency + self.config.l1_hit
+            return latency + self.config.l1_hit + self._injected("l1")
         latency += self.config.l1_hit
         if self._l2.lookup(addr):
             self.stats.l2_hits += 1
-            return latency + self.config.l2_hit
+            return latency + self.config.l2_hit + self._injected("l2")
         latency += self.config.l2_hit
+        latency += self._injected("mem")
         # Line fill from memory: first word after mem_latency, the rest of
         # the line streams at word_interval; dual-ported DRAM arbitration.
         self.stats.mem_accesses += 1

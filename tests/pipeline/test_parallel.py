@@ -1,0 +1,109 @@
+"""Parallel kernel compilation: per-job isolation and failure reporting."""
+
+import pytest
+
+from repro.errors import ParallelCompilationError
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.parallel import compile_kernels
+from repro.programs import Kernel
+
+GOOD_SOURCE = """
+int f(int n) { return n * 3 + 1; }
+"""
+
+# Parses, but `return` disagrees with the declared void type: the
+# compiler rejects it deterministically (a ReproError, not a crash).
+BAD_SOURCE = """
+void f(int n) { return n; }
+"""
+
+
+def fake_registry(monkeypatch):
+    kernels = {
+        "goodk": Kernel(name="goodk", family="synthetic",
+                        source=GOOD_SOURCE, entry="f"),
+        "badk": Kernel(name="badk", family="synthetic",
+                       source=BAD_SOURCE, entry="f"),
+    }
+
+    def get_kernel(name):
+        return kernels[name]
+
+    monkeypatch.setattr("repro.programs.get_kernel", get_kernel)
+    return kernels
+
+
+class TestBatchCompletion:
+    def test_all_good_kernels_compile(self, monkeypatch, tmp_path):
+        fake_registry(monkeypatch)
+        results = compile_kernels(["goodk"], levels=("none", "full"),
+                                  cache=CompilationCache(tmp_path),
+                                  parallel=False)
+        assert set(results) == {("goodk", "none"), ("goodk", "full")}
+        assert results[("goodk", "none")].graph is not None
+
+    def test_one_bad_kernel_does_not_abort_the_batch(self, monkeypatch,
+                                                     tmp_path):
+        fake_registry(monkeypatch)
+        cache = CompilationCache(tmp_path)
+        with pytest.raises(ParallelCompilationError) as info:
+            compile_kernels(["goodk", "badk"], levels=("none",),
+                            cache=cache, parallel=False)
+        error = info.value
+        # Only the bad kernel failed, and it is named with its level.
+        assert set(error.failures) == {("badk", "none")}
+        assert "badk/none" in str(error)
+        # The batch drained: the good kernel's artifact landed in cache,
+        # so a retry without the bad kernel is warm.
+        results = compile_kernels(["goodk"], levels=("none",),
+                                  cache=cache, parallel=False)
+        assert ("goodk", "none") in results
+
+    def test_failures_carry_the_original_exception(self, monkeypatch,
+                                                   tmp_path):
+        fake_registry(monkeypatch)
+        with pytest.raises(ParallelCompilationError) as info:
+            compile_kernels(["badk"], levels=("none",),
+                            cache=CompilationCache(tmp_path),
+                            parallel=False)
+        ((key, cause),) = info.value.failures.items()
+        assert key == ("badk", "none")
+        assert isinstance(cause, Exception)
+        assert str(cause) in str(info.value)
+
+    def test_warm_cache_short_circuits(self, monkeypatch, tmp_path):
+        fake_registry(monkeypatch)
+        cache = CompilationCache(tmp_path)
+        first = compile_kernels(["goodk"], levels=("none",), cache=cache,
+                                parallel=False)
+        second = compile_kernels(["goodk"], levels=("none",), cache=cache,
+                                 parallel=False)
+        assert first.keys() == second.keys()
+
+
+class TestRealRegistryParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        # A real (tiny) kernel through the pool path; in sandboxes
+        # without process primitives this transparently falls back to
+        # in-process compilation — the result dict must be identical.
+        cache = CompilationCache(tmp_path)
+        parallel = compile_kernels(["mpeg2_d", "ijpeg"], levels=("none",),
+                                   cache=cache, parallel=True,
+                                   max_workers=2)
+        serial = compile_kernels(["mpeg2_d", "ijpeg"], levels=("none",),
+                                 cache=cache, parallel=False)
+        assert parallel.keys() == serial.keys()
+        assert set(parallel) == {("mpeg2_d", "none"), ("ijpeg", "none")}
+
+
+class TestErrorFormatting:
+    def test_message_lists_every_failure(self):
+        error = ParallelCompilationError({
+            ("go", "full"): ValueError("boom"),
+            ("li", "none"): RuntimeError("bang"),
+        })
+        text = str(error)
+        assert "2 kernel compilations failed" in text
+        assert "go/full: boom" in text
+        assert "li/none: bang" in text
+        assert error.failures[("go", "full")].args == ("boom",)

@@ -1,0 +1,64 @@
+"""Hand-built Pegasus graphs that wedge deterministically.
+
+Shared by the forensics tests and the CI smoke test: small synthetic
+circuits whose deadlock shape (starved chain vs circular wait) is known
+by construction, so assertions can name the exact starved port and stuck
+producer the report must identify.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import types as ty
+from repro.pegasus import nodes as N
+from repro.pegasus.graph import Graph
+
+
+def starved_chain_graph():
+    """A linear token chain whose only token dies in a false-predicate eta.
+
+    ``init -> eta(pred=0) -> combine(held, eta) -> return``: the eta
+    consumes the start token and drops it (predicate is constant false),
+    so the combine holds its other token forever and the return starves.
+    Returns ``(graph, nodes)`` with the named nodes for assertions.
+    """
+    graph = Graph("starved-chain")
+    init = graph.add(N.InitialTokenNode())
+    held = graph.add(N.InitialTokenNode())
+    pred = graph.add(N.ConstNode(0, ty.INT))
+    eta = graph.add(N.EtaNode(None, None, None, value_class=N.TOKEN))
+    graph.set_input(eta, 0, init.out())
+    graph.set_input(eta, 1, pred.out())
+    combine = graph.add(N.CombineNode([None, None]))
+    graph.set_input(combine, 0, held.out())
+    graph.set_input(combine, 1, eta.out())
+    ret = graph.add(N.ReturnNode(None, None, None))
+    graph.set_input(ret, 0, combine.out())
+    graph.return_node = ret
+    return graph, {"init": init, "held": held, "eta": eta,
+                   "combine": combine, "ret": ret}
+
+
+def cyclic_wait_graph():
+    """Two token merges waiting on each other: a circular wait.
+
+    Merge ``a`` (entry from a never-firing eta, back edge from ``b``) and
+    merge ``b`` (fed only by ``a``) form a cycle in the wait-for graph;
+    neither ever receives a value because the eta drops the start token.
+    Returns ``(graph, nodes)``.
+    """
+    graph = Graph("cyclic-wait")
+    init = graph.add(N.InitialTokenNode())
+    pred = graph.add(N.ConstNode(0, ty.INT))
+    eta = graph.add(N.EtaNode(None, None, None, value_class=N.TOKEN))
+    graph.set_input(eta, 0, init.out())
+    graph.set_input(eta, 1, pred.out())
+    a = graph.add(N.MergeNode(None, 2, value_class=N.TOKEN))
+    a.back_inputs.add(1)
+    graph.set_input(a, 0, eta.out())
+    b = graph.add(N.MergeNode(None, 1, value_class=N.TOKEN))
+    graph.set_input(b, 0, a.out())
+    graph.set_input(a, 1, b.out())
+    ret = graph.add(N.ReturnNode(None, None, None))
+    graph.set_input(ret, 0, b.out())
+    graph.return_node = ret
+    return graph, {"eta": eta, "a": a, "b": b, "ret": ret}

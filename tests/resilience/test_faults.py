@@ -1,0 +1,159 @@
+"""FaultPlan / FaultInjector: determinism, bounds, FIFO preservation."""
+
+import pytest
+
+from repro.resilience.faults import (
+    LATENCY_ONLY,
+    REORDER_ONLY,
+    SHAKE_EVERYTHING,
+    FaultPlan,
+    default_plans,
+)
+from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.perturbs_timing
+        assert "no-op" in plan.describe()
+        injector = plan.injector()
+        assert injector.memory_extra("l1") == 0
+        assert injector.lsq_stall() == 0
+        assert injector.reorder_key(1, 0, 5) == 5
+
+    def test_with_seed_replaces_only_the_seed(self):
+        plan = SHAKE_EVERYTHING.with_seed(42)
+        assert plan.seed == 42
+        assert plan.mem_jitter == SHAKE_EVERYTHING.mem_jitter
+        assert plan.reorder_window == SHAKE_EVERYTHING.reorder_window
+
+    def test_plans_are_hashable_cache_keys(self):
+        assert len({SHAKE_EVERYTHING, LATENCY_ONLY, REORDER_ONLY,
+                    SHAKE_EVERYTHING}) == 3
+
+    def test_default_plans_rotate_seeds(self):
+        plans = default_plans(4, base_seed=10)
+        assert [plan.seed for plan in plans] == [10, 11, 12, 13]
+        assert all(plan.mem_jitter == SHAKE_EVERYTHING.mem_jitter
+                   for plan in plans)
+
+    def test_variant_presets(self):
+        assert LATENCY_ONLY.reorder_window == 0
+        assert LATENCY_ONLY.perturbs_timing
+        assert REORDER_ONLY.reorder_window > 0
+        assert REORDER_ONLY.l1_jitter == 0
+
+    def test_describe_names_active_families(self):
+        text = SHAKE_EVERYTHING.describe()
+        for token in ("mem_jitter", "reorder_window", "spike", "lsq_stall"):
+            assert token in text
+
+
+class TestDeterminism:
+    def draws(self, plan, count=200):
+        injector = plan.injector()
+        return ([injector.memory_extra("mem") for _ in range(count)],
+                [injector.lsq_stall() for _ in range(count)],
+                [injector.reorder_key(7, 0, seq) for seq in range(count)])
+
+    def test_same_seed_replays_exactly(self):
+        assert self.draws(SHAKE_EVERYTHING) == self.draws(SHAKE_EVERYTHING)
+
+    def test_different_seeds_diverge(self):
+        assert (self.draws(SHAKE_EVERYTHING)
+                != self.draws(SHAKE_EVERYTHING.with_seed(1)))
+
+    def test_injector_is_fresh_per_call(self):
+        plan = SHAKE_EVERYTHING
+        assert plan.injector() is not plan.injector()
+
+
+class TestLatencyFaults:
+    def test_jitter_is_bounded(self):
+        plan = FaultPlan(mem_jitter=5)
+        injector = plan.injector()
+        extras = [injector.memory_extra("mem") for _ in range(500)]
+        assert all(0 <= extra <= 5 for extra in extras)
+        assert any(extras), "jitter of 5 must inject something in 500 draws"
+
+    def test_spikes_add_on_top_of_jitter(self):
+        plan = FaultPlan(mem_jitter=3, spike_rate=1.0, spike_cycles=100)
+        injector = plan.injector()
+        extra = injector.memory_extra("mem")
+        assert 100 <= extra <= 103
+
+    def test_injected_latency_counter_accrues(self):
+        injector = FaultPlan(mem_jitter=50).injector()
+        total = sum(injector.memory_extra("mem") for _ in range(50))
+        assert injector.injected_latency == total
+
+    def test_levels_are_independent(self):
+        injector = FaultPlan(l1_jitter=9).injector()
+        assert injector.memory_extra("mem") == 0
+        assert injector.memory_extra("tlb") == 0
+
+    def test_unknown_level_is_an_error(self):
+        with pytest.raises(KeyError):
+            FaultPlan().injector().memory_extra("l9")
+
+
+class TestLsqStalls:
+    def test_certain_stall_is_bounded_and_positive(self):
+        injector = FaultPlan(lsq_stall_rate=1.0,
+                             lsq_stall_cycles=7).injector()
+        stalls = [injector.lsq_stall() for _ in range(100)]
+        assert all(1 <= stall <= 7 for stall in stalls)
+        assert injector.injected_stalls == sum(stalls)
+
+    def test_zero_rate_never_stalls(self):
+        injector = FaultPlan(lsq_stall_cycles=7).injector()
+        assert all(injector.lsq_stall() == 0 for _ in range(100))
+
+
+class TestReorderKeys:
+    def test_window_zero_is_identity(self):
+        injector = FaultPlan().injector()
+        assert [injector.reorder_key(3, 0, seq) for seq in range(10)] \
+            == list(range(10))
+
+    def test_same_producer_same_cycle_stays_fifo(self):
+        # The soundness property: a producer's same-cycle emissions must
+        # keep their relative order (merge semantics read channel FIFOs).
+        injector = FaultPlan(reorder_window=16, seed=3).injector()
+        keys = [injector.reorder_key(42, 100, seq) for seq in range(200)]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_new_timestamp_resets_the_clamp(self):
+        injector = FaultPlan(reorder_window=4, seed=1).injector()
+        injector.reorder_key(8, 0, 0)
+        # At a later timestamp the key may legally drop back to ~seq.
+        key = injector.reorder_key(8, 50, 1)
+        assert 1 <= key <= 5
+
+    def test_cross_producer_reordering_happens(self):
+        injector = FaultPlan(reorder_window=8, seed=0).injector()
+        for seq in range(100):
+            injector.reorder_key(seq % 7, 0, seq)
+        assert injector.reordered_events > 0
+
+
+class TestMemorySystemIntegration:
+    def test_faulty_system_accounts_injected_cycles(self):
+        injector = FaultPlan(mem_jitter=20, l1_jitter=20, tlb_jitter=20,
+                             seed=5).injector()
+        memsys = MemorySystem(REALISTIC_MEMORY, faults=injector)
+        now = 0
+        for index in range(200):
+            _, done = memsys.issue(now, 0x2000 + 8 * index, 4, False)
+            now = max(now, done)
+        assert memsys.stats.injected_cycles > 0
+        assert memsys.stats.injected_cycles == (
+            injector.injected_latency + injector.injected_stalls)
+
+    def test_clean_system_reports_zero_injection(self):
+        memsys = MemorySystem(REALISTIC_MEMORY)
+        for index in range(20):
+            memsys.issue(0, 0x2000 + 8 * index, 4, False)
+        assert memsys.stats.injected_cycles == 0

@@ -1,0 +1,182 @@
+"""Deadlock forensics: wait-for analysis, reports, post-mortems."""
+
+import json
+
+import pytest
+
+from repro import compile_minic
+from repro.errors import DeadlockError, EventLimitError
+from repro.resilience.forensics import (
+    BlockedNode,
+    DeadlockReport,
+    build_deadlock_report,
+    dump_postmortem,
+)
+from repro.sim.dataflow import DataflowSimulator
+
+from tests.resilience.fixtures import cyclic_wait_graph, starved_chain_graph
+
+
+def wedge(graph) -> DeadlockError:
+    with pytest.raises(DeadlockError) as info:
+        DataflowSimulator(graph).run([])
+    return info.value
+
+
+class TestStarvedChain:
+    def test_report_attached_to_the_error(self):
+        graph, _ = starved_chain_graph()
+        error = wedge(graph)
+        assert isinstance(error.report, DeadlockReport)
+        assert error.report.graph_name == "starved-chain"
+        assert error.report.events_drained
+
+    def test_pending_is_structured(self):
+        graph, nodes = starved_chain_graph()
+        error = wedge(graph)
+        assert error.pending and all(isinstance(entry, BlockedNode)
+                                     for entry in error.pending)
+        assert {entry.node_id for entry in error.pending} \
+            >= {nodes["combine"].id, nodes["ret"].id}
+
+    def test_names_starved_port_and_stuck_producer(self):
+        # The acceptance criterion: the combine is starved on in1, and the
+        # producer that never delivered is the false-predicate eta.
+        graph, nodes = starved_chain_graph()
+        report = wedge(graph).report
+        entry = report.blocked_by_id(nodes["combine"].id)
+        assert entry is not None
+        (missing,) = entry.missing
+        assert missing.slot == 1
+        assert missing.kind == "token"
+        assert missing.producer_id == nodes["eta"].id
+        assert missing.producer_label == "eta"
+
+    def test_empty_port_nodes_are_reported(self):
+        # The old DeadlockError.pending only showed nodes with non-empty
+        # queues; the actual blocker (the drained eta) has none.
+        graph, nodes = starved_chain_graph()
+        report = wedge(graph).report
+        entry = report.blocked_by_id(nodes["eta"].id)
+        assert entry is not None
+        assert entry.queued == ()
+        assert entry.missing[0].producer_label == "*"
+
+    def test_holders_report_their_queues(self):
+        graph, nodes = starved_chain_graph()
+        report = wedge(graph).report
+        entry = report.blocked_by_id(nodes["combine"].id)
+        assert entry.queued == ((0, 1),)  # the held initial token
+
+    def test_provenance_walks_to_the_root_cause(self):
+        graph, nodes = starved_chain_graph()
+        report = wedge(graph).report
+        ids = [node_id for node_id, _, _ in report.provenance]
+        assert ids == [nodes["ret"].id, nodes["combine"].id,
+                       nodes["eta"].id]
+
+    def test_no_cycle_in_a_starved_chain(self):
+        graph, _ = starved_chain_graph()
+        report = wedge(graph).report
+        assert report.stuck_cycle == []
+        assert "starved chain" in report.render()
+
+    def test_render_is_human_readable(self):
+        graph, _ = starved_chain_graph()
+        error = wedge(graph)
+        text = error.report.render()
+        assert "deadlock forensics for 'starved-chain'" in text
+        assert "blocked nodes" in text
+        assert "provenance" in text
+        assert "eta#" in text
+        # The exception message itself stays useful without the report.
+        assert "waiting nodes:" in str(error)
+
+
+class TestCircularWait:
+    def test_cycle_is_detected_and_minimal(self):
+        graph, nodes = cyclic_wait_graph()
+        report = wedge(graph).report
+        assert sorted(report.stuck_cycle) \
+            == sorted([nodes["a"].id, nodes["b"].id])
+
+    def test_render_shows_the_cycle(self):
+        graph, _ = cyclic_wait_graph()
+        text = wedge(graph).report.render()
+        assert "stuck cycle: " in text
+        assert " -> " in text
+
+    def test_any_input_merges_note_their_semantics(self):
+        graph, nodes = cyclic_wait_graph()
+        report = wedge(graph).report
+        entry = report.blocked_by_id(nodes["a"].id)
+        assert entry.note == "any input suffices"
+        assert len(entry.missing) == 2
+
+
+class TestBuildReportDirectly:
+    def test_report_on_a_live_simulator(self):
+        # build_deadlock_report is read-only: running it mid-simulation
+        # (before anything fired) must not disturb the simulator.
+        graph, _ = starved_chain_graph()
+        simulator = DataflowSimulator(graph)
+        report = build_deadlock_report(simulator)
+        assert report.fired == 0
+        wedge_report = wedge(graph).report
+        assert wedge_report.fired > 0
+
+
+class TestPostmortem:
+    def test_json_artifact_roundtrips(self, tmp_path):
+        graph, nodes = starved_chain_graph()
+        report = wedge(graph).report
+        path = tmp_path / "wedge.json"
+        dump_postmortem(report, path, graph=graph)
+        payload = json.loads(path.read_text())
+        assert payload["graph"] == "starved-chain"
+        assert payload["events_drained"] is True
+        blocked_ids = {entry["id"] for entry in payload["blocked"]}
+        assert nodes["combine"].id in blocked_ids
+        slice_ids = {entry["id"] for entry in payload["graph_slice"]}
+        # The slice covers blocked nodes plus their stuck producers.
+        assert nodes["eta"].id in slice_ids
+        assert nodes["init"].id in slice_ids
+
+    def test_to_json_without_graph_slice(self, tmp_path):
+        graph, _ = starved_chain_graph()
+        report = wedge(graph).report
+        path = tmp_path / "bare.json"
+        dump_postmortem(report, path)
+        payload = json.loads(path.read_text())
+        assert "graph_slice" not in payload
+        assert payload["provenance"]
+
+
+class TestErrorFormatting:
+    def test_deadlock_message_truncates_after_eight(self):
+        entries = [BlockedNode(node_id=index, label=f"n{index}",
+                               hyperblock=0, missing=(), queued=())
+                   for index in range(12)]
+        error = DeadlockError("g: wedged", 5, pending=entries)
+        assert "... (4 more)" in str(error)
+        assert len(error.pending) == 12  # structured data is untruncated
+
+    def test_event_limit_reports_hot_nodes(self):
+        source = """
+        int f(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += i;
+            return s;
+        }
+        """
+        program = compile_minic(source, "f", opt_level="none")
+        with pytest.raises(EventLimitError) as info:
+            program.simulate([1000000], event_limit=2000)
+        error = info.value
+        assert error.event_limit == 2000
+        assert error.hot_nodes
+        assert all(count > 0 for _, count in error.hot_nodes)
+        # Sorted hottest-first, labelled "label#id".
+        counts = [count for _, count in error.hot_nodes]
+        assert counts == sorted(counts, reverse=True)
+        assert "hottest nodes:" in str(error)

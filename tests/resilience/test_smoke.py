@@ -1,0 +1,35 @@
+"""CI fault-injection smoke: fast evidence the resilience stack works.
+
+Run by the dedicated CI job (see ``.github/workflows/ci.yml``): two cheap
+kernels through the full differential check at three seeds, plus one
+forced deadlock through the forensics pipeline. Budget: well under two
+minutes on a cold cache.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.resilience.differential import check_kernel
+from repro.sim.dataflow import DataflowSimulator
+
+from tests.resilience.fixtures import starved_chain_graph
+
+SMOKE_KERNELS = ("mpeg2_d", "ijpeg")
+
+
+@pytest.mark.parametrize("name", SMOKE_KERNELS)
+def test_differential_smoke(name):
+    for result in check_kernel(name, levels=("none", "full"), seeds=3):
+        assert result.ok, result.summary()
+
+
+def test_forced_deadlock_produces_forensics():
+    graph, nodes = starved_chain_graph()
+    with pytest.raises(DeadlockError) as info:
+        DataflowSimulator(graph).run([])
+    report = info.value.report
+    assert report is not None
+    entry = report.blocked_by_id(nodes["combine"].id)
+    assert entry.missing[0].producer_id == nodes["eta"].id
+    assert report.provenance[0][0] == nodes["ret"].id
+    assert "eta#" in report.render()

@@ -107,6 +107,63 @@ class TestAccess:
         assert image.read(base, ty.INT) == value
 
 
+class TestFaultDiagnostics:
+    """MemoryFault carries the address and a reason a human can act on."""
+
+    def test_addr_of_unallocated_names_the_object(self):
+        image = MemoryImage()
+        with pytest.raises(MemoryFault) as info:
+            image.addr_of(array_symbol("frame_buf"))
+        assert "'frame_buf'" in str(info.value)
+        assert "never allocated" in str(info.value)
+        assert info.value.address is None
+
+    def test_null_dereference_reports_address_in_hex(self):
+        image = MemoryImage([array_symbol()])
+        with pytest.raises(MemoryFault) as info:
+            image.read(0x10, ty.INT)
+        assert info.value.address == 0x10
+        assert "null or near-null dereference" in str(info.value)
+        assert "(address 0x10)" in str(info.value)
+
+    def test_near_null_guard_band(self):
+        image = MemoryImage([array_symbol()])
+        with pytest.raises(MemoryFault) as info:
+            image.write(NULL_GUARD - 1, 1, ty.CHAR)
+        assert info.value.address == NULL_GUARD - 1
+
+    def test_out_of_bounds_reports_faulting_address(self):
+        image = MemoryImage()
+        base = image.allocate(array_symbol(length=2))
+        bad = base + 1024
+        with pytest.raises(MemoryFault) as info:
+            image.read(bad, ty.INT)
+        assert info.value.address == bad
+        assert "beyond allocated memory" in str(info.value)
+        assert f"(address {bad:#x})" in str(info.value)
+
+    def test_straddling_read_at_the_top_faults(self):
+        # The access starts in bounds but its width crosses the top.
+        image = MemoryImage()
+        base = image.allocate(array_symbol(element=ty.CHAR, length=10))
+        with pytest.raises(MemoryFault):
+            image.read(base + 8, ty.INT)
+        assert image.read(base + 8, ty.CHAR) is not None
+
+    def test_negative_address_wraps_to_unsigned(self):
+        # Hardware addresses are unsigned: -8 is a huge out-of-range
+        # address, not an index below the heap.
+        image = MemoryImage([array_symbol()])
+        with pytest.raises(MemoryFault) as info:
+            image.read(-8, ty.INT)
+        assert info.value.address == 2**64 - 8
+
+    def test_fault_without_address_has_no_suffix(self):
+        fault = MemoryFault("bad access")
+        assert str(fault) == "bad access"
+        assert fault.address is None
+
+
 class TestHelpers:
     def test_array_helpers(self):
         image = MemoryImage()
