@@ -10,6 +10,8 @@ Usage::
     python -m repro program.c --entry kernel --fault-seed 7   # one perturbed run
     python -m repro program.c --entry kernel --differential 5 # N-schedule check
     python -m repro program.c --entry kernel --diagnose --postmortem wedge.json
+    python -m repro program.c --entry kernel --profile --critical-path
+    python -m repro program.c --entry kernel --trace-out run.json --trace-out run.vcd
 
 Prints the return value, cycle count, and dynamic operation statistics for
 the selected memory system; ``--report`` adds the per-stage/per-pass
@@ -74,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="print the compilation report (per-stage and "
                              "per-pass wall time, changes, IR-size deltas)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the execution: per-opcode/per-node "
+                             "firing counts and occupancy, LSQ and cache "
+                             "breakdowns, critical-path attribution")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print only the dynamic critical-path "
+                             "attribution (implied by --profile)")
+    parser.add_argument("--trace-out", action="append", metavar="FILE",
+                        default=[],
+                        help="write an execution trace: .json -> Chrome/"
+                             "Perfetto trace events, .vcd -> GTKWave "
+                             "waveforms, .jsonl -> metric lines "
+                             "(repeatable)")
     parser.add_argument("--cache", action="store_true",
                         help="use the persistent compilation cache "
                              "($REPRO_CACHE_DIR or ~/.cache/repro-pegasus)")
@@ -134,14 +149,23 @@ def main(argv: list[str] | None = None) -> int:
             from repro.resilience.faults import SHAKE_EVERYTHING
             faults = SHAKE_EVERYTHING.with_seed(options.fault_seed)
             print(f"faults  : {faults.describe()}")
+        observation = None
+        if options.profile or options.critical_path or options.trace_out \
+                or options.diagnose:
+            from repro.observe import Observation
+            observation = Observation(trace=bool(options.trace_out),
+                                      history=256 if options.diagnose else 0)
         result = program.simulate(list(options.args),
                                   memsys=MemorySystem(config),
                                   faults=faults,
-                                  wall_limit=options.wall_limit)
+                                  wall_limit=options.wall_limit,
+                                  profile=observation or False)
         print(f"result  : {result.return_value}")
         print(f"cycles  : {result.cycles}  ({config.name} memory)")
         print(f"memops  : {result.loads} loads, {result.stores} stores, "
               f"{result.skipped_memops} predicated off")
+        if observation is not None:
+            _observe_outputs(observation, program, result, options)
         if options.stats:
             for key, value in program.static_counts().items():
                 print(f"  {key:17s} {value}")
@@ -158,6 +182,29 @@ def main(argv: list[str] | None = None) -> int:
         if options.diagnose:
             _diagnose(error, options.postmortem)
         return 2
+
+
+def _observe_outputs(observation, program, result, options) -> None:
+    """Print/export the requested observability artifacts."""
+    from repro.observe import export_jsonl
+    report = result.profile
+    if options.profile:
+        print()
+        print(report.render())
+    elif options.critical_path and report.critical_path is not None:
+        print()
+        print(report.critical_path.render())
+    for path in options.trace_out:
+        if path.endswith(".vcd"):
+            signals = observation.export_vcd(program.graph, path)
+            print(f"VCD waveforms ({signals} signals) written to {path}")
+        elif path.endswith(".jsonl"):
+            lines = export_jsonl(report, path)
+            print(f"{lines} metric lines written to {path}")
+        else:
+            observation.export_trace(program.graph, path)
+            print(f"Perfetto trace written to {path} "
+                  f"(open at https://ui.perfetto.dev)")
 
 
 def _diagnose(error: ReproError, postmortem: str | None) -> None:

@@ -71,7 +71,9 @@ class CompiledProgram:
                  memory: MemoryImage | None = None,
                  event_limit: int | None = None,
                  faults=None,
-                 wall_limit: float | None = None) -> DataflowResult:
+                 wall_limit: float | None = None,
+                 profile=False,
+                 probes=None) -> DataflowResult:
         """Execute spatially on the dataflow simulator (§7.3).
 
         ``event_limit`` bounds the number of simulation events (guarding
@@ -82,19 +84,41 @@ class CompiledProgram:
         schedule deterministically; ``wall_limit`` is a wall-clock budget
         in seconds, enforced cooperatively
         (:class:`~repro.errors.SimulationTimeout` on overrun).
+
+        ``profile`` turns on the observability subsystem: ``True`` (or an
+        :class:`~repro.observe.Observation` of your own) runs the
+        profiler and critical-path analysis over a probe bus and attaches
+        the resulting :class:`~repro.observe.ProfileReport` as
+        ``result.profile``. ``probes`` attaches a raw
+        :class:`~repro.observe.ProbeBus` without report building (the
+        two compose: an explicit ``probes`` bus hosts the profile's
+        listeners too). Simulation without either stays probe-free —
+        the instrumentation is inert.
         """
         if isinstance(memsys, MemoryConfig):
             memsys = MemorySystem(memsys)
+        memsys = memsys or MemorySystem(PERFECT_MEMORY)
+        observation = None
+        if profile:
+            from repro.observe import Observation
+            observation = (profile if isinstance(profile, Observation)
+                           else Observation(bus=probes))
+            probes = observation.bus
         simulator = DataflowSimulator(
             self.graph,
             memory=memory if memory is not None else self.new_memory(),
-            memsys=memsys or MemorySystem(PERFECT_MEMORY),
+            memsys=memsys,
             event_limit=(DEFAULT_EVENT_LIMIT if event_limit is None
                          else event_limit),
             faults=faults,
             wall_limit=wall_limit,
+            probes=probes,
         )
-        return simulator.run(list(args or []))
+        result = simulator.run(list(args or []))
+        if observation is not None:
+            result.profile = observation.report(
+                self.graph, result, memsys_name=memsys.config.name)
+        return result
 
     def check_timing_robustness(self, args: list[object] | None = None,
                                 seeds: int = 3, plans=None, memsys=None):

@@ -10,7 +10,7 @@ dataflow simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.harness.cache import compiled, select_kernels
 from repro.utils.tables import TextTable
@@ -25,6 +25,10 @@ class Fig18Row:
     static_stores_after: int
     dynamic_before: int
     dynamic_after: int
+    # Critical-path attribution (category -> cycles) for the none/full
+    # runs, filled under attribution=True; sums to the run's cycle count.
+    attribution_before: dict[str, int] = field(default_factory=dict)
+    attribution_after: dict[str, int] = field(default_factory=dict)
 
     @property
     def static_loads_removed_pct(self) -> float:
@@ -45,17 +49,27 @@ def _pct(before: int, after: int) -> float:
     return 100.0 * (before - after) / before
 
 
-def _kernel_row(kernel, wall_limit: float | None = None) -> Fig18Row:
+def _share(categories: dict[str, int]) -> str:
+    total = sum(categories.values())
+    if total == 0:
+        return "-"
+    return f"{100.0 * categories.get('memory', 0) / total:.1f}%"
+
+
+def _kernel_row(kernel, wall_limit: float | None = None,
+                attribution: bool = False) -> Fig18Row:
     base = compiled(kernel.name, "none")
     opt = compiled(kernel.name, "full")
     base_counts = base.program.static_counts()
     opt_counts = opt.program.static_counts()
     base_run = base.program.simulate(list(kernel.args),
-                                     wall_limit=wall_limit)
-    opt_run = opt.program.simulate(list(kernel.args), wall_limit=wall_limit)
+                                     wall_limit=wall_limit,
+                                     profile=attribution)
+    opt_run = opt.program.simulate(list(kernel.args), wall_limit=wall_limit,
+                                   profile=attribution)
     kernel.check(base_run.return_value)
     kernel.check(opt_run.return_value)
-    return Fig18Row(
+    row = Fig18Row(
         name=kernel.name,
         static_loads_before=base_counts["loads"],
         static_loads_after=opt_counts["loads"],
@@ -64,36 +78,47 @@ def _kernel_row(kernel, wall_limit: float | None = None) -> Fig18Row:
         dynamic_before=base_run.memory_operations,
         dynamic_after=opt_run.memory_operations,
     )
+    if attribution:
+        row.attribution_before = \
+            dict(base_run.profile.critical_path.by_category)
+        row.attribution_after = \
+            dict(opt_run.profile.critical_path.by_category)
+    return row
 
 
-def figure18(kernels=None, runner=None) -> list[Fig18Row]:
+def figure18(kernels=None, runner=None, attribution=False) -> list[Fig18Row]:
     """Rows for Figure 18; one per kernel.
 
     With a :class:`~repro.resilience.harness.ExperimentRunner`, each
     kernel runs as an isolated, checkpointed job: a crashed or timed-out
     kernel is dropped from the rows (and reported degraded on the
-    runner) instead of aborting the batch.
+    runner) instead of aborting the batch. ``attribution=True`` profiles
+    each run and fills the per-row critical-path category breakdowns.
     """
     rows = []
     for kernel in select_kernels(kernels):
         if runner is None:
-            rows.append(_kernel_row(kernel))
+            rows.append(_kernel_row(kernel, attribution=attribution))
             continue
-        outcome = runner.run(f"fig18/{kernel.name}", _kernel_row, kernel)
+        outcome = runner.run(f"fig18/{kernel.name}", _kernel_row, kernel,
+                             attribution=attribution)
         if outcome.ok:
             rows.append(outcome.value)
     return rows
 
 
-def render(kernels=None, runner=None) -> str:
+def render(kernels=None, runner=None, attribution=False) -> str:
+    columns = ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
+               "loads", "stores", "dyn before", "dyn after"]
+    if attribution:
+        columns += ["crit.mem none", "crit.mem full"]
     table = TextTable(
-        ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
-         "loads", "stores", "dyn before", "dyn after"],
+        columns,
         title="Figure 18: static and dynamic memory operations removed "
               "(full vs none)",
     )
-    for row in figure18(kernels, runner=runner):
-        table.add_row(
+    for row in figure18(kernels, runner=runner, attribution=attribution):
+        cells = [
             row.name,
             f"{row.static_loads_removed_pct:.1f}",
             f"{row.static_stores_removed_pct:.1f}",
@@ -102,11 +127,15 @@ def render(kernels=None, runner=None) -> str:
             f"{row.static_stores_before}->{row.static_stores_after}",
             row.dynamic_before,
             row.dynamic_after,
-        )
+        ]
+        if attribution:
+            cells += [_share(row.attribution_before),
+                      _share(row.attribution_after)]
+        table.add_row(*cells)
     if runner is not None:
         for outcome in runner.degraded:
             table.add_row(outcome.key.split("/", 1)[-1],
-                          "DEGRADED", "-", "-", "-", "-", "-", "-")
+                          *(["DEGRADED"] + ["-"] * (len(columns) - 2)))
     text = table.render()
     if runner is not None and runner.degraded:
         text += "\n" + "\n".join(

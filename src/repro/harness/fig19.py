@@ -42,15 +42,26 @@ class Fig19Row:
     memsys: str
     baseline_cycles: int
     cycles: dict[str, int] = field(default_factory=dict)
+    # Per-level critical-path attribution (category -> cycles), filled
+    # when the driver runs with attribution=True. The per-category sum
+    # equals the level's cycle count (see repro.observe.critpath).
+    attribution: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def speedup(self, level: str) -> float:
         if self.cycles.get(level, 0) == 0:
             return 0.0
         return self.baseline_cycles / self.cycles[level]
 
+    def category_share(self, level: str, category: str) -> float:
+        categories = self.attribution.get(level)
+        if not categories or self.cycles.get(level, 0) == 0:
+            return 0.0
+        return categories.get(category, 0) / self.cycles[level]
+
 
 def _cell_row(kernel, config: MemoryConfig, levels,
-              wall_limit: float | None = None) -> Fig19Row:
+              wall_limit: float | None = None,
+              attribution: bool = False) -> Fig19Row:
     base = compiled(kernel.name, "none")
     baseline = base.program.simulate(list(kernel.args),
                                      memsys=MemorySystem(config),
@@ -62,49 +73,67 @@ def _cell_row(kernel, config: MemoryConfig, levels,
         opt = compiled(kernel.name, level)
         run = opt.program.simulate(list(kernel.args),
                                    memsys=MemorySystem(config),
-                                   wall_limit=wall_limit)
+                                   wall_limit=wall_limit,
+                                   profile=attribution)
         kernel.check(run.return_value)
         row.cycles[level] = run.cycles
+        if attribution and run.profile is not None:
+            row.attribution[level] = \
+                dict(run.profile.critical_path.by_category)
     return row
 
 
 def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
-             levels=LEVELS, runner=None) -> list[Fig19Row]:
+             levels=LEVELS, runner=None, attribution=False) -> list[Fig19Row]:
     """Rows for Figure 19; one per (kernel, memory system).
 
     With a :class:`~repro.resilience.harness.ExperimentRunner`, every
     cell is an isolated, checkpointed job keyed
     ``fig19/<kernel>/<memsys>``: a wedged cell degrades that row only,
     and a resumed run replays finished cells from the checkpoint.
+    ``attribution=True`` profiles each optimized run and fills
+    ``row.attribution[level]`` with the critical-path category split.
     """
     rows = []
     for kernel in select_kernels(kernels):
         for config in memory_systems:
             if runner is None:
-                rows.append(_cell_row(kernel, config, levels))
+                rows.append(_cell_row(kernel, config, levels,
+                                      attribution=attribution))
                 continue
             outcome = runner.run(f"fig19/{kernel.name}/{config.name}",
-                                 _cell_row, kernel, config, levels)
+                                 _cell_row, kernel, config, levels,
+                                 attribution=attribution)
             if outcome.ok:
                 rows.append(outcome.value)
     return rows
 
 
-def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None) -> str:
+def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
+           attribution=False) -> str:
+    columns = (["Benchmark", "memory", "cycles none"]
+               + [f"speedup {level}" for level in LEVELS])
+    if attribution:
+        columns += ["crit mem%", "crit compute%", "crit token%"]
     table = TextTable(
-        ["Benchmark", "memory", "cycles none"]
-        + [f"speedup {level}" for level in LEVELS],
+        columns,
         title="Figure 19: speedup over unoptimized spatial execution",
     )
-    for row in figure19(kernels, memory_systems, runner=runner):
-        table.add_row(row.name, row.memsys, row.baseline_cycles,
-                      *(f"{row.speedup(level):.2f}" for level in LEVELS))
+    last = LEVELS[-1]
+    for row in figure19(kernels, memory_systems, runner=runner,
+                        attribution=attribution):
+        cells = [row.name, row.memsys, row.baseline_cycles,
+                 *(f"{row.speedup(level):.2f}" for level in LEVELS)]
+        if attribution:
+            cells += [f"{100.0 * row.category_share(last, cat):.1f}"
+                      for cat in ("memory", "compute", "token")]
+        table.add_row(*cells)
     if runner is not None:
         for outcome in runner.degraded:
             parts = outcome.key.split("/")
             table.add_row(parts[1] if len(parts) > 1 else outcome.key,
                           parts[2] if len(parts) > 2 else "-",
-                          "DEGRADED", *("-" for _ in LEVELS))
+                          "DEGRADED", *("-" for _ in columns[3:]))
     text = table.render()
     if runner is not None and runner.degraded:
         text += "\n" + "\n".join(

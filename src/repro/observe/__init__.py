@@ -1,0 +1,111 @@
+"""Observability: probe bus, profiler, critical-path analysis, exporters.
+
+The simulator can only answer "how many cycles" by itself; this package
+answers "why". It is built around a :class:`~repro.observe.probes.ProbeBus`
+— typed hook points inside :class:`~repro.sim.dataflow.DataflowSimulator`
+and :class:`~repro.sim.memsys.MemorySystem` that cost one ``is None``
+test when observation is off — and listeners over it:
+
+- :class:`~repro.observe.profiler.Profiler` → per-opcode/per-node fire
+  counts, busy/occupancy, LSQ and port-wait histograms, cache/TLB
+  breakdowns, folded into a
+  :class:`~repro.observe.profiler.ProfileReport`;
+- :class:`~repro.observe.critpath.CriticalPathTracker` → dynamic
+  critical-path attribution of every cycle to a node and category;
+- :class:`~repro.observe.export.TraceCollector` + exporters → Chrome/
+  Perfetto trace JSON, VCD waveforms, JSONL metrics;
+- :class:`~repro.observe.probes.HistoryRing` → recent-activity ring
+  reused by deadlock forensics.
+
+:class:`Observation` bundles the common combinations::
+
+    obs = Observation(trace=True)
+    result = program.simulate(args, probes=obs.bus)
+    print(obs.report(program.graph, result).render())
+    obs.export_trace(program.graph, "run.json")   # open in Perfetto
+    obs.export_vcd(program.graph, "run.vcd")      # open in GTKWave
+
+or, one level higher, ``program.simulate(args, profile=True)`` returns
+the report on ``DataflowResult.profile``.
+"""
+
+from __future__ import annotations
+
+from repro.observe.critpath import (
+    CriticalPathReport,
+    CriticalPathTracker,
+    ObservabilityError,
+    categorize,
+)
+from repro.observe.export import (
+    TraceCollector,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    export_vcd,
+    validate_trace_events,
+)
+from repro.observe.probes import HistoryRing, ProbeBus
+from repro.observe.profiler import ProfileReport, Profiler, build_report
+
+__all__ = [
+    "CriticalPathReport", "CriticalPathTracker", "HistoryRing",
+    "Observation", "ObservabilityError", "ProbeBus", "ProfileReport",
+    "Profiler", "TraceCollector", "build_report", "categorize",
+    "chrome_trace_events", "export_chrome_trace", "export_jsonl",
+    "export_vcd", "validate_trace_events",
+]
+
+
+class Observation:
+    """One simulation's worth of wired-up observability.
+
+    Builds a probe bus with the requested listeners; pass ``obs.bus`` as
+    the simulator's/``simulate()``'s ``probes`` argument (before the run
+    starts), then ask for :meth:`report` and the exporters afterwards.
+    """
+
+    def __init__(self, profile: bool = True, critical_path: bool = True,
+                 trace: bool = False, history: int = 0,
+                 trace_limit: int = 1_000_000,
+                 max_path_records: int = 4_000_000,
+                 bus: ProbeBus | None = None):
+        self.bus = bus if bus is not None else ProbeBus()
+        self.profiler = self.bus.subscribe(Profiler()) if profile else None
+        self.critpath = (self.bus.subscribe(
+            CriticalPathTracker(max_records=max_path_records))
+            if critical_path else None)
+        self.collector = (self.bus.subscribe(TraceCollector(trace_limit))
+                          if trace else None)
+        self.history = (self.bus.subscribe(HistoryRing(history))
+                        if history else None)
+
+    def report(self, graph, result, memsys_name: str = "") -> ProfileReport:
+        """The :class:`ProfileReport` for a finished run."""
+        if self.profiler is None:
+            raise ObservabilityError("Observation was built without a "
+                                     "profiler (profile=False)")
+        critical = (self.critpath.analyze(graph, result.cycles)
+                    if self.critpath is not None else None)
+        return build_report(self.profiler, graph, result,
+                            critical_path=critical, memsys_name=memsys_name)
+
+    def critical_path(self, graph, cycles: int) -> CriticalPathReport:
+        if self.critpath is None:
+            raise ObservabilityError("Observation was built without "
+                                     "critical_path=True")
+        return self.critpath.analyze(graph, cycles)
+
+    def export_trace(self, graph, path) -> dict:
+        """Write Chrome/Perfetto trace-event JSON; returns the payload."""
+        self._need_collector()
+        return export_chrome_trace(self.collector, graph, path)
+
+    def export_vcd(self, graph, path, top: int = 64) -> int:
+        self._need_collector()
+        return export_vcd(self.collector, graph, path, top=top)
+
+    def _need_collector(self) -> None:
+        if self.collector is None:
+            raise ObservabilityError("Observation was built without "
+                                     "trace=True; no events collected")

@@ -1,0 +1,286 @@
+"""Dynamic critical-path analysis over one dataflow execution.
+
+The simulator's cycle count is bounded by one chain of dependent events:
+each firing happens when its *last-arriving* input lands, and that input
+was produced by an earlier firing. Walking last-arriving inputs backward
+from the return recovers the executed dependence chain that the paper's
+argument is about (§2, §7): is the bound a memory dependence, pipelined
+compute, token serialization, or control steering?
+
+:class:`CriticalPathTracker` is a probe-bus listener. During the run it
+keeps, per firing, the arrival time of the last-arriving consumed input
+and the firing that produced it (resolved eagerly, O(1) per event, via
+shadow queues mirroring the simulator's FIFOs). After the run,
+:meth:`analyze` walks the chain and attributes **every** cycle between 0
+and the cycle count to a (node, category) pair:
+
+- the firing's own service time (``done - start``) goes to its node's
+  category — ``compute`` (ALU/mux/cast), ``memory`` (load/store,
+  including in-order completion delays), ``token`` (combine, token
+  generators, token-class merges/etas), or ``control`` (merges, etas,
+  control streams, return);
+- time a firing spent waiting beyond its inputs' arrival (token-credit
+  starvation in a token generator, queued values awaiting a merge
+  decision) goes to ``token``.
+
+By construction consecutive chain hops abut in time, so the per-category
+totals sum *exactly* to the simulated cycle count — the self-consistency
+the figure harnesses and tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.pegasus import nodes as N
+
+CATEGORIES = ("compute", "memory", "token", "control")
+
+#: How many chain hops a report keeps verbatim (closest to the return).
+MAX_SEGMENTS = 4096
+
+
+class ObservabilityError(ReproError):
+    """An observation could not be completed (e.g. tracker overflow)."""
+
+
+def categorize(node: N.Node) -> str:
+    """The attribution category of one operator."""
+    if isinstance(node, (N.LoadNode, N.StoreNode)):
+        return "memory"
+    if isinstance(node, (N.BinOpNode, N.UnOpNode, N.CastNode, N.MuxNode)):
+        return "compute"
+    if isinstance(node, (N.CombineNode, N.TokenGenNode, N.InitialTokenNode)):
+        return "token"
+    if isinstance(node, (N.MergeNode, N.EtaNode)):
+        if getattr(node, "value_class", None) == N.TOKEN:
+            return "token"
+        return "control"
+    return "control"  # control stream, return
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One hop of the executed critical path (walking backward in time)."""
+
+    node_id: int
+    label: str
+    category: str
+    start: int      # cycle the firing happened (last input arrival)
+    done: int       # cycle its result became visible
+    wait: int       # cycles waited beyond input arrival (token starvation)
+
+    @property
+    def cycles(self) -> int:
+        return (self.done - self.start) + self.wait
+
+
+@dataclass
+class CriticalPathReport:
+    """Where every cycle of the simulated execution went."""
+
+    graph_name: str
+    cycles: int
+    by_category: dict[str, int] = field(default_factory=dict)
+    # node id -> (label, category, attributed cycles, hops on the path)
+    by_node: dict[int, tuple[str, str, int, int]] = field(default_factory=dict)
+    chain_length: int = 0
+    segments: list[Segment] = field(default_factory=list)
+    truncated_segments: int = 0
+
+    def share(self, category: str) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.by_category.get(category, 0) / self.cycles
+
+    def top_nodes(self, count: int = 10) -> list[tuple[str, str, int, int]]:
+        ranked = sorted(self.by_node.values(), key=lambda e: (-e[2], e[0]))
+        return ranked[:count]
+
+    def render(self, top: int = 10) -> str:
+        lines = [f"critical path for '{self.graph_name}': "
+                 f"{self.cycles} cycles over {self.chain_length} firings"]
+        for category in CATEGORIES:
+            attributed = self.by_category.get(category, 0)
+            lines.append(f"  {category:8s} {attributed:10d} cycles "
+                         f"({100.0 * self.share(category):5.1f}%)")
+        if self.by_node:
+            lines.append("hottest operators on the path:")
+            for label, category, cycles, hops in self.top_nodes(top):
+                lines.append(f"  {label:>20s} [{category}] "
+                             f"{cycles} cycles over {hops} firings")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "cycles": self.cycles,
+            "by_category": dict(self.by_category),
+            "by_node": [
+                {"id": node_id, "label": label, "category": category,
+                 "cycles": cycles, "hops": hops}
+                for node_id, (label, category, cycles, hops)
+                in sorted(self.by_node.items())
+            ],
+            "chain_length": self.chain_length,
+            "truncated_segments": self.truncated_segments,
+            "segments": [
+                {"id": s.node_id, "label": s.label, "category": s.category,
+                 "start": s.start, "done": s.done, "wait": s.wait}
+                for s in self.segments
+            ],
+        }
+
+
+# Record layout (a list, mutated once when the emit lands):
+_CAT, _NODE, _START, _DONE, _ARR, _PRED = range(6)
+
+
+class CriticalPathTracker:
+    """Probe listener recovering the executed dependence chain.
+
+    Subscribes to ``fire``/``emit``/``enqueue``/``dequeue``. Per firing it
+    stores ``[category, node id, start, done, last-arrival, predecessor
+    record]`` — constant work per event, memory linear in firings
+    (bounded by ``max_records``).
+    """
+
+    def __init__(self, max_records: int = 4_000_000):
+        self.max_records = max_records
+        self._records: list[list] = []
+        # (consumer id, slot) -> deque of (enqueue time, producer record).
+        self._shadow: dict[tuple[int, int], deque] = {}
+        # Producer id -> deque of (visible-at time, record) emissions
+        # not yet fully delivered; pruned as deliveries advance in time.
+        self._emissions: dict[int, deque] = {}
+        # Consumed-input arrivals buffered between dequeue and fire.
+        self._pending: dict[int, list[tuple[int, int | None]]] = {}
+        self._open: dict[int, int] = {}
+        self._return: int | None = None
+        self._overflow = False
+
+    # ------------------------------------------------------------------
+    # Probe handlers
+
+    def on_enqueue(self, producer: N.Node, consumer: N.Node, slot: int,
+                   time: int) -> None:
+        if self._overflow:
+            return
+        record = None
+        emitted = self._emissions.get(producer.id)
+        if emitted:
+            # Deliveries advance in simulated time: emissions strictly
+            # older than this delivery are fully drained — drop them.
+            while emitted and emitted[0][0] < time:
+                emitted.popleft()
+            if emitted and emitted[0][0] == time:
+                record = emitted[0][1]
+        key = (consumer.id, slot)
+        shadow = self._shadow.get(key)
+        if shadow is None:
+            shadow = self._shadow[key] = deque()
+        shadow.append((time, record))
+
+    def on_dequeue(self, node: N.Node, slot: int, time: int) -> None:
+        if self._overflow:
+            return
+        shadow = self._shadow.get((node.id, slot))
+        entry = shadow.popleft() if shadow else (0, None)
+        self._pending.setdefault(node.id, []).append(entry)
+
+    def on_fire(self, node: N.Node, time: int) -> None:
+        if self._overflow:
+            return
+        if len(self._records) >= self.max_records:
+            self._overflow = True
+            return
+        consumed = self._pending.pop(node.id, None)
+        if consumed:
+            arrival, pred = max(consumed, key=lambda entry: entry[0])
+        else:
+            arrival, pred = 0, None
+        index = len(self._records)
+        self._records.append([categorize(node), node.id, time, time,
+                              arrival, pred])
+        self._open[node.id] = index
+        if isinstance(node, N.ReturnNode):
+            self._return = index
+
+    def on_emit(self, node: N.Node, outputs, at: int) -> None:
+        if self._overflow:
+            return
+        index = self._open.pop(node.id, None)
+        if index is None:
+            # A sourceless emission (initial-token priming): synthesize a
+            # record so downstream consumers have a chain anchor.
+            if len(self._records) >= self.max_records:
+                self._overflow = True
+                return
+            index = len(self._records)
+            self._records.append([categorize(node), node.id, at, at, 0, None])
+        else:
+            self._records[index][_DONE] = at
+        emitted = self._emissions.get(node.id)
+        if emitted is None:
+            emitted = self._emissions[node.id] = deque()
+        emitted.append((at, index))
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, graph, cycles: int) -> CriticalPathReport:
+        """Walk the chain backward from the return firing and attribute
+        every cycle in ``[0, cycles]`` to a node and category."""
+        if self._overflow:
+            raise ObservabilityError(
+                f"critical-path tracker overflowed {self.max_records} "
+                f"firing records; raise max_records or profile a shorter run"
+            )
+        report = CriticalPathReport(
+            graph_name=graph.name, cycles=cycles,
+            by_category={category: 0 for category in CATEGORIES},
+        )
+        if self._return is None:
+            return report  # never completed; nothing to attribute
+        records = self._records
+        index: int | None = self._return
+        # The return's firing *is* the completion; any later bookkeeping
+        # cycles (there normally are none) stay attributed to control.
+        slack = cycles - records[self._return][_DONE]
+        if slack > 0:
+            report.by_category["control"] += slack
+        while index is not None:
+            category, node_id, start, done, arrival, pred = records[index]
+            own = done - start
+            wait = start - arrival
+            report.by_category[category] += own
+            report.by_category["token"] += wait
+            node = graph.nodes.get(node_id)
+            label = f"{node.label()}#{node_id}" if node else f"#{node_id}"
+            old = report.by_node.get(node_id)
+            attributed = own + wait
+            if old is None:
+                report.by_node[node_id] = (label, category, attributed, 1)
+            else:
+                report.by_node[node_id] = (label, category,
+                                           old[2] + attributed, old[3] + 1)
+            report.chain_length += 1
+            if len(report.segments) < MAX_SEGMENTS:
+                report.segments.append(Segment(
+                    node_id=node_id, label=label, category=category,
+                    start=start, done=done, wait=wait))
+            else:
+                report.truncated_segments += 1
+            if pred is not None and pred >= index:
+                raise ObservabilityError(
+                    f"critical-path chain does not move backward at "
+                    f"record {index} (pred {pred})"
+                )
+            if pred is None and arrival > 0:
+                # The chain bottoms out above cycle 0 (an unattributable
+                # arrival, e.g. a token generator's buffered credit):
+                # token plumbing by definition.
+                report.by_category["token"] += arrival
+            index = pred
+        return report

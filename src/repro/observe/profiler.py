@@ -1,0 +1,277 @@
+"""Cycle-accurate profiling of a dataflow execution.
+
+:class:`Profiler` is a probe-bus listener that aggregates, online and in
+O(1) per event:
+
+- per-opcode and per-node firing counts;
+- per-node busy cycles (sum of firing service times — for a pipelined
+  operator this is *throughput-style* occupancy and can exceed the
+  wall-cycle count);
+- LSQ occupancy and port-wait histograms;
+- per-level cache/TLB hit/miss breakdowns (cross-checked against the
+  memory system's own :class:`~repro.sim.memsys.MemoryStats`);
+- per-node peak input-queue depth (how much buffering the circuit would
+  actually need).
+
+:func:`build_report` folds the aggregates plus an optional critical-path
+analysis into a :class:`ProfileReport` — the structured answer to "where
+did the cycles go" that the harnesses, CLI and exporters all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pegasus import nodes as N
+
+MEM_LEVELS = ("perfect", "l1", "l2", "mem")
+
+
+def opcode(node: N.Node) -> str:
+    """The profiling bucket for one operator (its dynamic opcode)."""
+    if isinstance(node, N.BinOpNode):
+        return node.op
+    if isinstance(node, N.UnOpNode):
+        return node.op
+    if isinstance(node, N.CastNode):
+        return "cast"
+    if isinstance(node, N.LoadNode):
+        return "load"
+    if isinstance(node, N.StoreNode):
+        return "store"
+    if isinstance(node, N.MuxNode):
+        return "mux"
+    if isinstance(node, N.MergeNode):
+        return "merge"
+    if isinstance(node, N.EtaNode):
+        return "eta"
+    if isinstance(node, N.CombineNode):
+        return "combine"
+    if isinstance(node, N.TokenGenNode):
+        return "tk"
+    if isinstance(node, N.ControlStreamNode):
+        return "ctrlstream"
+    if isinstance(node, N.ReturnNode):
+        return "return"
+    if isinstance(node, N.InitialTokenNode):
+        return "token0"
+    return type(node).__name__.replace("Node", "").lower()
+
+
+class Profiler:
+    """Online aggregation over the probe stream."""
+
+    def __init__(self):
+        self.fires: dict[int, int] = {}
+        self.busy: dict[int, int] = {}
+        self.lsq_depth_hist: dict[int, int] = {}
+        self.port_wait_hist: dict[int, int] = {}
+        self.mem_level_counts: dict[str, int] = {}
+        self.mem_reads = 0
+        self.mem_writes = 0
+        self.mem_tlb_misses = 0
+        self.mem_latency_total = 0
+        self.queue_depth: dict[tuple[int, int], int] = {}
+        self.max_queue_depth: dict[int, int] = {}
+        self._last_fire: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Probe handlers
+
+    def on_fire(self, node: N.Node, time: int) -> None:
+        self.fires[node.id] = self.fires.get(node.id, 0) + 1
+        self._last_fire[node.id] = time
+
+    def on_emit(self, node: N.Node, outputs, at: int) -> None:
+        started = self._last_fire.get(node.id, at)
+        self.busy[node.id] = self.busy.get(node.id, 0) + (at - started)
+
+    def on_enqueue(self, producer: N.Node, consumer: N.Node, slot: int,
+                   time: int) -> None:
+        key = (consumer.id, slot)
+        depth = self.queue_depth.get(key, 0) + 1
+        self.queue_depth[key] = depth
+        if depth > self.max_queue_depth.get(consumer.id, 0):
+            self.max_queue_depth[consumer.id] = depth
+
+    def on_dequeue(self, node: N.Node, slot: int, time: int) -> None:
+        key = (node.id, slot)
+        depth = self.queue_depth.get(key, 0)
+        if depth > 0:
+            self.queue_depth[key] = depth - 1
+
+    def on_mem_access(self, now: int, start: int, done: int, addr: int,
+                      width: int, is_write: bool, level: str,
+                      tlb_miss: bool) -> None:
+        self.mem_level_counts[level] = self.mem_level_counts.get(level, 0) + 1
+        if is_write:
+            self.mem_writes += 1
+        else:
+            self.mem_reads += 1
+        if tlb_miss:
+            self.mem_tlb_misses += 1
+        self.mem_latency_total += done - now
+
+    def on_lsq(self, now: int, depth: int, port_wait: int) -> None:
+        self.lsq_depth_hist[depth] = self.lsq_depth_hist.get(depth, 0) + 1
+        self.port_wait_hist[port_wait] = \
+            self.port_wait_hist.get(port_wait, 0) + 1
+
+
+@dataclass
+class NodeProfile:
+    node_id: int
+    label: str
+    opcode: str
+    fires: int
+    busy_cycles: int
+    occupancy: float          # busy / simulated cycles; >1 when pipelined
+    max_queue_depth: int
+
+
+@dataclass
+class ProfileReport:
+    """Structured profile of one simulation."""
+
+    graph_name: str
+    cycles: int
+    fired: int
+    memsys_name: str
+    opcode_fires: dict[str, int] = field(default_factory=dict)
+    nodes: list[NodeProfile] = field(default_factory=list)
+    lsq_depth_hist: dict[int, int] = field(default_factory=dict)
+    port_wait_hist: dict[int, int] = field(default_factory=dict)
+    mem_levels: dict[str, int] = field(default_factory=dict)
+    mem_reads: int = 0
+    mem_writes: int = 0
+    mem_tlb_misses: int = 0
+    mem_avg_latency: float = 0.0
+    memory_stats: dict[str, int] = field(default_factory=dict)
+    critical_path: object = None    # CriticalPathReport | None
+
+    def top_nodes(self, count: int = 10) -> list[NodeProfile]:
+        ranked = sorted(self.nodes,
+                        key=lambda n: (-n.busy_cycles, -n.fires, n.node_id))
+        return ranked[:count]
+
+    def render(self, top: int = 10) -> str:
+        lines = [f"profile of '{self.graph_name}' "
+                 f"({self.memsys_name} memory): "
+                 f"{self.cycles} cycles, {self.fired} firings"]
+        ranked_ops = sorted(self.opcode_fires.items(),
+                            key=lambda item: (-item[1], item[0]))
+        lines.append("firings by opcode: " + ", ".join(
+            f"{name}={count}" for name, count in ranked_ops[:12]))
+        lines.append("busiest operators (busy cycles / occupancy / fires "
+                     "/ peak queue):")
+        for node in self.top_nodes(top):
+            lines.append(f"  {node.label:>20s} {node.busy_cycles:8d}  "
+                         f"{node.occupancy:6.2f}  {node.fires:8d}  "
+                         f"{node.max_queue_depth:4d}")
+        total_mem = sum(self.mem_levels.values())
+        if total_mem:
+            breakdown = ", ".join(
+                f"{level}={self.mem_levels.get(level, 0)}"
+                for level in MEM_LEVELS if self.mem_levels.get(level))
+            lines.append(f"memory: {total_mem} accesses "
+                         f"({self.mem_reads} reads, {self.mem_writes} "
+                         f"writes) — {breakdown}; "
+                         f"{self.mem_tlb_misses} TLB misses; "
+                         f"avg latency {self.mem_avg_latency:.1f} cycles")
+        if self.lsq_depth_hist:
+            peak = max(self.lsq_depth_hist)
+            waits = sum(wait * count
+                        for wait, count in self.port_wait_hist.items())
+            lines.append(f"LSQ: peak occupancy {peak}, "
+                         f"{waits} port-wait cycles total")
+        if self.critical_path is not None:
+            lines.append(self.critical_path.render(top))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        payload = {
+            "graph": self.graph_name,
+            "cycles": self.cycles,
+            "fired": self.fired,
+            "memsys": self.memsys_name,
+            "opcode_fires": dict(self.opcode_fires),
+            "nodes": [
+                {"id": n.node_id, "label": n.label, "opcode": n.opcode,
+                 "fires": n.fires, "busy_cycles": n.busy_cycles,
+                 "occupancy": round(n.occupancy, 6),
+                 "max_queue_depth": n.max_queue_depth}
+                for n in self.nodes
+            ],
+            "lsq_depth_hist": {str(k): v
+                               for k, v in self.lsq_depth_hist.items()},
+            "port_wait_hist": {str(k): v
+                               for k, v in self.port_wait_hist.items()},
+            "memory": {
+                "levels": dict(self.mem_levels),
+                "reads": self.mem_reads,
+                "writes": self.mem_writes,
+                "tlb_misses": self.mem_tlb_misses,
+                "avg_latency": round(self.mem_avg_latency, 3),
+                "stats": dict(self.memory_stats),
+            },
+        }
+        if self.critical_path is not None:
+            payload["critical_path"] = self.critical_path.to_json()
+        return payload
+
+
+def build_report(profiler: Profiler, graph, result,
+                 critical_path=None, memsys_name: str = "") -> ProfileReport:
+    """Fold one run's aggregates into a :class:`ProfileReport`.
+
+    ``result`` is the :class:`~repro.sim.dataflow.DataflowResult`;
+    ``critical_path`` an optional
+    :class:`~repro.observe.critpath.CriticalPathReport`.
+    """
+    stats = result.memory_stats
+    total_mem = sum(profiler.mem_level_counts.values())
+    opcode_fires: dict[str, int] = {}
+    nodes: list[NodeProfile] = []
+    cycles = max(1, result.cycles)
+    for node_id, fires in profiler.fires.items():
+        node = graph.nodes.get(node_id)
+        if node is None:
+            continue
+        name = opcode(node)
+        opcode_fires[name] = opcode_fires.get(name, 0) + fires
+        busy = profiler.busy.get(node_id, 0)
+        nodes.append(NodeProfile(
+            node_id=node_id,
+            label=f"{node.label()}#{node_id}",
+            opcode=name,
+            fires=fires,
+            busy_cycles=busy,
+            occupancy=busy / cycles,
+            max_queue_depth=profiler.max_queue_depth.get(node_id, 0),
+        ))
+    nodes.sort(key=lambda n: n.node_id)
+    return ProfileReport(
+        graph_name=graph.name,
+        cycles=result.cycles,
+        fired=result.fired,
+        memsys_name=memsys_name,
+        opcode_fires=opcode_fires,
+        nodes=nodes,
+        lsq_depth_hist=dict(profiler.lsq_depth_hist),
+        port_wait_hist=dict(profiler.port_wait_hist),
+        mem_levels=dict(profiler.mem_level_counts),
+        mem_reads=profiler.mem_reads,
+        mem_writes=profiler.mem_writes,
+        mem_tlb_misses=profiler.mem_tlb_misses,
+        mem_avg_latency=(profiler.mem_latency_total / total_mem
+                         if total_mem else 0.0),
+        memory_stats={
+            "accesses": stats.accesses,
+            "l1_hits": stats.l1_hits,
+            "l2_hits": stats.l2_hits,
+            "mem_accesses": stats.mem_accesses,
+            "tlb_misses": stats.tlb_misses,
+            "port_stall_cycles": stats.port_stall_cycles,
+        },
+        critical_path=critical_path,
+    )

@@ -88,6 +88,12 @@ class DeadlockReport:
     # blocked node back towards the root cause.
     provenance: list[tuple[int, str, str]] = field(default_factory=list)
     truncated_blocked: int = 0
+    # When the wedged simulation carried a probe bus with a HistoryRing
+    # (CLI --diagnose attaches one): the last firings before the wedge,
+    # as (node_id, label, cycle), and each blocked node's last fire
+    # cycle (None if it never fired). Empty/absent without a ring.
+    recent_fires: list[tuple[int, str, int]] = field(default_factory=list)
+    last_fired: dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -106,7 +112,10 @@ class DeadlockReport:
         total = len(self.blocked) + self.truncated_blocked
         lines.append(f"blocked nodes ({total}):")
         for entry in self.blocked:
-            lines.append(f"  {entry}")
+            last = self.last_fired.get(entry.node_id)
+            suffix = (f"  (last fired @{last})" if last is not None
+                      else "  (never fired)" if self.recent_fires else "")
+            lines.append(f"  {entry}{suffix}")
         if self.truncated_blocked:
             lines.append(f"  ... {self.truncated_blocked} more")
         if self.stuck_cycle:
@@ -123,6 +132,11 @@ class DeadlockReport:
             lines.append("provenance (downstream -> root cause):")
             for node_id, label, missing in self.provenance:
                 lines.append(f"  {label}#{node_id} starved on {missing}")
+        if self.recent_fires:
+            lines.append(f"last activity before the wedge "
+                         f"({len(self.recent_fires)} firings):")
+            for node_id, label, cycle in self.recent_fires:
+                lines.append(f"  @{cycle} {label}#{node_id}")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -148,6 +162,11 @@ class DeadlockReport:
                 for entry in self.blocked
             ],
             "truncated_blocked": self.truncated_blocked,
+            "recent_fires": [
+                {"id": node_id, "label": label, "cycle": cycle}
+                for node_id, label, cycle in self.recent_fires
+            ],
+            "last_fired": dict(self.last_fired),
             "stuck_cycle": list(self.stuck_cycle),
             "provenance": [
                 {"id": node_id, "label": label, "missing": missing}
@@ -201,6 +220,20 @@ def build_deadlock_report(simulator) -> DeadlockReport:
         else:
             truncated += 1
     blocked.sort(key=lambda e: e.node_id)
+    # Reuse probe history when the run carried one (e.g. CLI --diagnose):
+    # the last firings before the wedge, and when each blocked node last
+    # fired, separate early casualties from nodes active until the end.
+    recent_fires: list[tuple[int, str, int]] = []
+    last_fired: dict[int, int] = {}
+    ring = _probe_history(simulator)
+    if ring is not None:
+        for node_id, cycle in ring.tail(16):
+            node = graph.nodes.get(node_id)
+            recent_fires.append(
+                (node_id, node.label() if node else "?", cycle))
+        last_fired = {entry.node_id: ring.last_fired[entry.node_id]
+                      for entry in blocked
+                      if entry.node_id in ring.last_fired}
     return DeadlockReport(
         graph_name=graph.name,
         cycle=simulator._now,
@@ -210,7 +243,18 @@ def build_deadlock_report(simulator) -> DeadlockReport:
         truncated_blocked=truncated,
         stuck_cycle=stuck_cycle,
         provenance=provenance,
+        recent_fires=recent_fires,
+        last_fired=last_fired,
     )
+
+
+def _probe_history(simulator):
+    """The simulator's HistoryRing probe listener, if one is attached."""
+    bus = getattr(simulator, "probes", None)
+    if bus is None:
+        return None
+    from repro.observe.probes import HistoryRing
+    return bus.find(HistoryRing)
 
 
 def _analyze_node(simulator, node) -> BlockedNode | None:

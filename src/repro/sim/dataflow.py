@@ -56,6 +56,9 @@ class DataflowResult:
     memory: MemoryImage
     memory_stats: MemoryStats
     fire_counts: dict[int, int] = field(default_factory=dict)
+    # Filled by api.simulate(profile=...): an observe.ProfileReport with
+    # per-opcode/per-node counters and the critical-path attribution.
+    profile: object = None
 
     @property
     def memory_operations(self) -> int:
@@ -90,7 +93,8 @@ class DataflowSimulator:
     def __init__(self, graph: Graph, memory: MemoryImage | None = None,
                  memsys: MemorySystem | None = None,
                  event_limit: int = DEFAULT_EVENT_LIMIT,
-                 faults=None, wall_limit: float | None = None):
+                 faults=None, wall_limit: float | None = None,
+                 probes=None):
         self.graph = graph
         self.memory = memory if memory is not None else MemoryImage()
         self.memsys = memsys or MemorySystem(PERFECT_MEMORY)
@@ -104,6 +108,15 @@ class DataflowSimulator:
         if self._inject is not None and \
                 getattr(self.memsys, "faults", None) is None:
             self.memsys.faults = self._inject
+        # Observability (an observe.probes.ProbeBus). Each hook is cached
+        # as a per-channel attribute that stays None when nothing
+        # subscribed, so every instrumentation site costs one identity
+        # test when observation is off. Subscribe before run().
+        self.probes = probes
+        self._p_fire = None
+        self._p_emit = None
+        self._p_enqueue = None
+        self._p_dequeue = None
         self._state: dict[int, _NodeState] = {}
         self._sticky: dict[OutPort, object] = {}
         self._sticky_nodes: set[int] = set()
@@ -127,6 +140,13 @@ class DataflowSimulator:
     def run(self, args: list[object] | None = None) -> DataflowResult:
         """Execute the graph with entry arguments ``args``."""
         args = args or []
+        if self.probes is not None:
+            self._p_fire = self.probes.fire
+            self._p_emit = self.probes.emit
+            self._p_enqueue = self.probes.enqueue
+            self._p_dequeue = self.probes.dequeue
+            if getattr(self.memsys, "probes", None) is None:
+                self.memsys.probes = self.probes
         for node in self.graph:
             self._state[node.id] = _NodeState(node)
             if isinstance(node, N.SymbolAddrNode):
@@ -215,6 +235,8 @@ class DataflowSimulator:
     # Event plumbing
 
     def _emit(self, node: N.Node, outputs: dict[int, object], at: int) -> None:
+        if self._p_emit is not None:
+            self._p_emit(node, outputs, at)
         self._seq += 1
         key = self._seq
         if self._inject is not None:
@@ -238,6 +260,8 @@ class DataflowSimulator:
             for slot in self.graph.uses(port):
                 state = self._state[slot.node.id]
                 state.queues[slot.index].append(value)
+                if self._p_enqueue is not None:
+                    self._p_enqueue(node, slot.node, slot.index, time)
                 self._try_fire(slot.node, time)
                 if self._done:
                     return
@@ -270,12 +294,14 @@ class DataflowSimulator:
             return True
         return bool(self._state[node.id].queues[index])
 
-    def _take(self, node: N.Node, index: int):
+    def _take(self, node: N.Node, index: int, time: int):
         port = node.inputs[index]
         if port is None:
             return TOKEN
         if port in self._sticky:
             return self._sticky[port]
+        if self._p_dequeue is not None:
+            self._p_dequeue(node, index, time)
         return self._state[node.id].queues[index].popleft()
 
     def _fire_once(self, node: N.Node, time: int) -> bool:
@@ -285,8 +311,10 @@ class DataflowSimulator:
             state = self._state[node.id]
             for index, queue in enumerate(state.queues):
                 if queue:
+                    if self._p_dequeue is not None:
+                        self._p_dequeue(node, index, time)
                     queue.popleft()  # the pulse value itself is irrelevant
-                    self._record_fire(node)
+                    self._record_fire(node, time)
                     decision = 1 if index in node.true_slots else 0
                     self._emit(node, {0: decision}, time + latencies.WIRE)
                     return True
@@ -300,9 +328,8 @@ class DataflowSimulator:
         # Strict nodes: all inputs must be ready.
         if not all(self._input_ready(node, i) for i in range(len(node.inputs))):
             return False
-        values = [self._take(node, i) for i in range(len(node.inputs))]
-        self._fired += 1
-        self._fire_counts[node.id] = self._fire_counts.get(node.id, 0) + 1
+        values = [self._take(node, i, time) for i in range(len(node.inputs))]
+        self._record_fire(node, time)
 
         if isinstance(node, (N.BinOpNode, N.UnOpNode, N.CastNode, N.MuxNode)):
             result = self._evaluate_pure(node, values)
@@ -334,11 +361,13 @@ class DataflowSimulator:
         if not node.has_control:
             # Join merge: inputs are mutually exclusive per activation and
             # activations arrive serialized; forward whatever is present.
-            for queue in state.queues:
+            for index, queue in enumerate(state.queues):
                 if queue:
-                    self._record_fire(node)
-                    self._emit(node, {0: queue.popleft()},
-                               time + latencies.WIRE)
+                    if self._p_dequeue is not None:
+                        self._p_dequeue(node, index, time)
+                    value = queue.popleft()
+                    self._record_fire(node, time)
+                    self._emit(node, {0: value}, time + latencies.WIRE)
                     return True
             return False
         # Loop merge: deterministic, sequenced by the control predicate.
@@ -349,6 +378,8 @@ class DataflowSimulator:
             if port is not None and port in self._sticky:
                 pred = self._sticky[port]
             elif state.queues[slot]:
+                if self._p_dequeue is not None:
+                    self._p_dequeue(node, slot, time)
                 pred = state.queues[slot].popleft()
             else:
                 return False  # decision not available yet
@@ -359,23 +390,39 @@ class DataflowSimulator:
             queue = state.queues[index]
             if queue:
                 state.merge_expect = None
-                self._record_fire(node)
-                self._emit(node, {0: queue.popleft()}, time + latencies.WIRE)
+                if self._p_dequeue is not None:
+                    self._p_dequeue(node, index, time)
+                value = queue.popleft()
+                self._record_fire(node, time)
+                self._emit(node, {0: value}, time + latencies.WIRE)
                 return True
         return False
 
-    def _record_fire(self, node: N.Node) -> None:
+    def _record_fire(self, node: N.Node, time: int) -> None:
+        """The single source of truth for "this operator fired".
+
+        Every firing path funnels through here: the ``fired`` total,
+        ``fire_counts`` (shared with forensics and the trace recorder)
+        and the ``fire`` probe all observe the same stream — nothing
+        re-derives firing data independently.
+        """
         self._fired += 1
         self._fire_counts[node.id] = self._fire_counts.get(node.id, 0) + 1
+        if self._p_fire is not None:
+            self._p_fire(node, time)
 
     def _fire_tokengen(self, node: N.TokenGenNode, time: int) -> bool:
         state = self._state[node.id]
         pred_queue, token_queue = state.queues
         while pred_queue or token_queue:
             if token_queue:
+                if self._p_dequeue is not None:
+                    self._p_dequeue(node, 1, time)
                 token_queue.popleft()
                 state.tk_credits += 1
             if pred_queue:
+                if self._p_dequeue is not None:
+                    self._p_dequeue(node, 0, time)
                 pred_queue.popleft()
                 # Every predicate arrival is one loop-control instance and
                 # demands one token: under full predication the final
@@ -392,8 +439,7 @@ class DataflowSimulator:
             while state.tk_credits > 0 and state.tk_demands > 0:
                 state.tk_credits -= 1
                 state.tk_demands -= 1
-                self._fired += 1
-                self._fire_counts[node.id] = self._fire_counts.get(node.id, 0) + 1
+                self._record_fire(node, time)
                 self._emit(node, {0: TOKEN}, time + latencies.INT_ALU)
         return False
 

@@ -125,13 +125,16 @@ class MemorySystem:
     the sequential interpreter.
     """
 
-    def __init__(self, config: MemoryConfig, faults=None):
+    def __init__(self, config: MemoryConfig, faults=None, probes=None):
         self.config = config
         self.stats = MemoryStats()
         # Optional deterministic fault injector (duck-typed: a
         # resilience.faults.FaultInjector). Timing-only: adds cycles to
         # hierarchy levels and LSQ acquisition, never touches values.
         self.faults = faults
+        # Optional observe.probes.ProbeBus; the dataflow simulator shares
+        # its bus here so mem_access/lsq hooks see every access.
+        self.probes = probes
         self._l1 = _Cache(config.l1_size, config.l1_line, config.l1_assoc)
         self._l2 = _Cache(config.l2_size, config.l2_line, config.l2_assoc)
         self._tlb = _Tlb(config.tlb_entries, config.page_size)
@@ -148,11 +151,18 @@ class MemorySystem:
         self.stats.accesses += 1
         if self.config.perfect:
             extra = self._injected("perfect")
-            return now, now + self.config.perfect_latency + extra
+            done = now + self.config.perfect_latency + extra
+            if self.probes is not None and self.probes.mem_access is not None:
+                self.probes.mem_access(now, now, done, addr, width, is_write,
+                                       "perfect", False)
+            return now, done
         start = self._acquire_lsq(now)
-        latency = self._latency(start, addr, width)
+        latency, level, tlb_miss = self._latency(start, addr, width)
         done = start + latency
         self._inflight.append(done)
+        if self.probes is not None and self.probes.mem_access is not None:
+            self.probes.mem_access(now, start, done, addr, width, is_write,
+                                   level, tlb_miss)
         return start, done
 
     def _injected(self, level: str) -> int:
@@ -186,20 +196,27 @@ class MemorySystem:
         start = max(now, self._lsq_free[port])
         self.stats.port_stall_cycles += start - now
         self._lsq_free[port] = start + 1
+        if self.probes is not None and self.probes.lsq is not None:
+            self.probes.lsq(now, len(self._inflight), start - now)
         return start
 
-    def _latency(self, start: int, addr: int, width: int) -> int:
+    def _latency(self, start: int, addr: int,
+                 width: int) -> tuple[int, str, bool]:
+        """(latency, hierarchy level that served it, tlb missed?)."""
         latency = 0
-        if not self._tlb.lookup(addr):
+        tlb_miss = not self._tlb.lookup(addr)
+        if tlb_miss:
             self.stats.tlb_misses += 1
             latency += self.config.tlb_miss + self._injected("tlb")
         if self._l1.lookup(addr):
             self.stats.l1_hits += 1
-            return latency + self.config.l1_hit + self._injected("l1")
+            return (latency + self.config.l1_hit + self._injected("l1"),
+                    "l1", tlb_miss)
         latency += self.config.l1_hit
         if self._l2.lookup(addr):
             self.stats.l2_hits += 1
-            return latency + self.config.l2_hit + self._injected("l2")
+            return (latency + self.config.l2_hit + self._injected("l2"),
+                    "l2", tlb_miss)
         latency += self.config.l2_hit
         latency += self._injected("mem")
         # Line fill from memory: first word after mem_latency, the rest of
@@ -210,7 +227,7 @@ class MemorySystem:
         port = min(range(len(self._mem_free)), key=lambda i: self._mem_free[i])
         begin = max(start + latency, self._mem_free[port])
         self._mem_free[port] = begin + words * self.config.mem_word_interval
-        return (begin - start) + fill
+        return (begin - start) + fill, "mem", tlb_miss
 
     def reset(self) -> None:
         self.stats = MemoryStats()

@@ -2,9 +2,10 @@
 
 Spatial programs are circuits; understanding a performance result means
 seeing which operators were busy in which cycles. :class:`TraceRecorder`
-wraps a :class:`~repro.sim.dataflow.DataflowSimulator` and records every
-firing; :func:`render_timeline` draws a compact per-node activity strip,
-and :func:`busiest_nodes` ranks operators by activity — typically the
+subscribes to a :class:`~repro.observe.probes.ProbeBus` on a
+:class:`~repro.sim.dataflow.DataflowSimulator` and records every firing;
+:func:`render_timeline` draws a compact per-node activity strip, and
+:func:`busiest_nodes` ranks operators by activity — typically the
 loop-carried recurrence shows up immediately as the densest strip.
 
 Example::
@@ -12,12 +13,22 @@ Example::
     recorder = TraceRecorder.attach(simulator)
     result = simulator.run(args)
     print(render_timeline(recorder, simulator.graph, width=72))
+
+Historical note: the recorder used to monkey-patch the simulator's
+internal firing paths and deduplicate events against the previous entry,
+which silently dropped a legitimate second firing of the same node in
+the same cycle (a pipelined operator draining two queued values). The
+probe bus delivers exactly one ``fire`` event per firing, so every
+firing — including same-node same-cycle re-fires — is recorded, and the
+recorder's counts are the *same* counter backing
+``DataflowResult.fire_counts`` rather than an independent re-derivation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observe.probes import ProbeBus
 from repro.pegasus.graph import Graph
 from repro.pegasus import nodes as N
 from repro.sim.dataflow import DataflowSimulator
@@ -28,36 +39,36 @@ class TraceRecorder:
     """Collects (node id, fire time) events from one simulation."""
 
     events: list[tuple[int, int]] = field(default_factory=list)
-    _detach: object = None
+    # Shared with the simulator after attach(): the one probe-backed
+    # firing counter (also returned as DataflowResult.fire_counts).
+    fire_counts: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def attach(cls, simulator: DataflowSimulator) -> "TraceRecorder":
-        """Instrument ``simulator`` (only it) to record firings."""
+        """Subscribe a recorder to ``simulator``'s probe bus.
+
+        Creates the bus if the simulator has none. Must be called before
+        ``simulator.run()``.
+        """
         recorder = cls()
-        original = simulator._record_fire
-
-        def spy(node):
-            recorder.events.append((node.id, simulator._now))
-            return original(node)
-
-        simulator._record_fire = spy  # type: ignore[method-assign]
-
-        original_fire_once = simulator._fire_once
-
-        def spy_fire_once(node, time):
-            fired_before = simulator._fired
-            outcome = original_fire_once(node, time)
-            # Strict nodes bump the counter inside _fire_once without going
-            # through _record_fire; catch those via the counter delta.
-            if simulator._fired > fired_before and (
-                not recorder.events
-                or recorder.events[-1] != (node.id, time)
-            ):
-                recorder.events.append((node.id, time))
-            return outcome
-
-        simulator._fire_once = spy_fire_once  # type: ignore[method-assign]
+        if simulator.probes is None:
+            simulator.probes = ProbeBus()
+        simulator.probes.subscribe(recorder)
+        recorder.fire_counts = simulator._fire_counts
         return recorder
+
+    def on_fire(self, node: N.Node, time: int) -> None:
+        self.events.append((node.id, time))
+
+    def counts(self) -> dict[int, int]:
+        """Firings per node id — the shared counter when attached, else
+        derived from the recorded events."""
+        if self.fire_counts:
+            return self.fire_counts
+        counts: dict[int, int] = {}
+        for node_id, _ in self.events:
+            counts[node_id] = counts.get(node_id, 0) + 1
+        return counts
 
     @property
     def span(self) -> tuple[int, int]:
@@ -70,9 +81,7 @@ class TraceRecorder:
 def busiest_nodes(recorder: TraceRecorder, graph: Graph,
                   top: int = 10) -> list[tuple[N.Node, int]]:
     """Nodes ranked by firing count, busiest first."""
-    counts: dict[int, int] = {}
-    for node_id, _ in recorder.events:
-        counts[node_id] = counts.get(node_id, 0) + 1
+    counts = recorder.counts()
     ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     return [(graph.nodes[node_id], count)
             for node_id, count in ranked[:top] if node_id in graph.nodes]

@@ -66,6 +66,19 @@ class TestFig19:
         assert set(row.cycles) == set(fig19.LEVELS)
         assert row.speedup("full") > 0
 
+    def test_attribution_columns(self):
+        rows = fig19.figure19(kernels=("li",),
+                              memory_systems=(fig19.MEMORY_SYSTEMS[0],),
+                              attribution=True)
+        (row,) = rows
+        for level in fig19.LEVELS:
+            # The critical-path invariant carries into the harness rows:
+            # the per-category cycles sum to the level's cycle count.
+            assert sum(row.attribution[level].values()) == row.cycles[level]
+        shares = [row.category_share("full", category)
+                  for category in ("memory", "compute", "token", "control")]
+        assert abs(sum(shares) - 1.0) < 1e-9
+
 
 class TestHardenedHarness:
     """Figure runs survive wedged kernels and resume from checkpoints."""

@@ -1,0 +1,49 @@
+"""The issue's acceptance criteria, on real Figure-19 kernels.
+
+For each kernel: the critical-path attribution is self-consistent (the
+per-category cycles sum exactly to the simulated cycle count), and the
+memory category's share does not shrink when moving from perfect memory
+to the realistic two-level hierarchy.
+"""
+
+import pytest
+
+from repro.harness.cache import compiled, get_kernel
+from repro.sim.memsys import (
+    MemorySystem,
+    PERFECT_MEMORY,
+    REALISTIC_MEMORY,
+)
+
+KERNELS = ("adpcm_e", "gsm_e", "li")
+
+
+def profiled(name, config):
+    kernel = get_kernel(name)
+    entry = compiled(name, "full")
+    result = entry.program.simulate(list(kernel.args),
+                                    memsys=MemorySystem(config),
+                                    profile=True)
+    kernel.check(result.return_value)
+    return result
+
+
+@pytest.mark.parametrize("name", KERNELS)
+class TestFig19Kernels:
+    def test_attribution_is_self_consistent(self, name):
+        for config in (PERFECT_MEMORY, REALISTIC_MEMORY):
+            result = profiled(name, config)
+            report = result.profile.critical_path
+            assert sum(report.by_category.values()) == result.cycles, \
+                f"{name}/{config.name}: attribution must telescope"
+            assert report.chain_length > 0
+
+    def test_memory_share_does_not_shrink_with_real_memory(self, name):
+        perfect = profiled(name, PERFECT_MEMORY)
+        realistic = profiled(name, REALISTIC_MEMORY)
+        assert realistic.return_value == perfect.return_value
+        share_perfect = perfect.profile.critical_path.share("memory")
+        share_realistic = realistic.profile.critical_path.share("memory")
+        assert share_realistic >= share_perfect
+        # And the realistic run must actually blame memory for something.
+        assert realistic.profile.critical_path.by_category["memory"] > 0

@@ -1,0 +1,117 @@
+"""Critical-path analysis on hand-computable graphs.
+
+The invariant under test everywhere: the per-category attribution sums
+*exactly* to the simulated cycle count — no cycle is lost or counted
+twice (the telescoping argument in :mod:`repro.observe.critpath`).
+"""
+
+import pytest
+
+from repro import compile_minic
+from repro.harness.section2 import SECTION2_SOURCE
+from repro.observe import CriticalPathReport
+from repro.observe.critpath import CATEGORIES, categorize
+from repro.pegasus import nodes as N
+from repro.sim.memsys import PERFECT_MEMORY, REALISTIC_MEMORY
+
+SECTION2_DRIVER = SECTION2_SOURCE + """
+unsigned buffer[8];
+unsigned value = 5;
+unsigned drive(int i, int use_p)
+{
+    int k;
+    for (k = 0; k < 8; k++) buffer[k] = k + 1;
+    f(use_p ? &value : (unsigned*)0, buffer, i);
+    return buffer[i];
+}
+"""
+
+LOAD_CHAIN = """
+int a[8];
+int chase(int i) { return a[a[i]]; }
+"""
+
+
+def profiled(source, entry, args, memsys=PERFECT_MEMORY, level="full"):
+    program = compile_minic(source, entry, opt_level=level)
+    result = program.simulate(list(args), memsys=memsys, profile=True)
+    return program, result
+
+
+def total(report: CriticalPathReport) -> int:
+    return sum(report.by_category.values())
+
+
+class TestSection2Example:
+    @pytest.mark.parametrize("level", ["none", "full"])
+    @pytest.mark.parametrize("use_p", [1, 0])
+    def test_attribution_sums_to_cycle_count(self, level, use_p):
+        _, result = profiled(SECTION2_DRIVER, "drive", [3, use_p],
+                             level=level)
+        report = result.profile.critical_path
+        assert total(report) == result.cycles == report.cycles
+        assert report.chain_length > 0
+        assert set(report.by_category) == set(CATEGORIES)
+
+    def test_memory_share_rises_with_a_real_memory_system(self):
+        _, perfect = profiled(SECTION2_DRIVER, "drive", [3, 1])
+        _, realistic = profiled(SECTION2_DRIVER, "drive", [3, 1],
+                                memsys=REALISTIC_MEMORY)
+        assert realistic.return_value == perfect.return_value
+        share_perfect = perfect.profile.critical_path.share("memory")
+        share_realistic = realistic.profile.critical_path.share("memory")
+        assert share_realistic > share_perfect
+
+    def test_predicated_false_memop_stays_consistent(self):
+        # With use_p=0 the `*p` load is predicated off: it must not
+        # appear in the memory counts, and attribution still telescopes.
+        _, result = profiled(SECTION2_DRIVER, "drive", [3, 0])
+        assert result.skipped_memops > 0
+        report = result.profile.critical_path
+        assert total(report) == result.cycles
+        stats = result.profile.memory_stats
+        assert stats["accesses"] == result.loads + result.stores
+
+
+class TestLoadChain:
+    """Two dependent loads: the path's memory cost is hand-computable."""
+
+    def test_perfect_memory_attributes_exactly_two_load_cycles(self):
+        # a[a[i]] is a serial chain of two loads; under perfect memory
+        # each costs exactly perfect_latency (1 cycle), and both sit on
+        # the critical path — so the memory category is exactly 2.
+        _, result = profiled(LOAD_CHAIN, "chase", [2])
+        report = result.profile.critical_path
+        assert result.loads == 2 and result.stores == 0
+        assert report.by_category["memory"] == 2 * PERFECT_MEMORY.perfect_latency
+        assert total(report) == result.cycles
+
+    def test_both_loads_appear_on_the_path(self):
+        program, result = profiled(LOAD_CHAIN, "chase", [2])
+        report = result.profile.critical_path
+        load_ids = {node.id for node in program.graph.nodes.values()
+                    if isinstance(node, N.LoadNode)}
+        assert load_ids <= set(report.by_node)
+
+    def test_segments_walk_backward_and_abut(self):
+        _, result = profiled(LOAD_CHAIN, "chase", [2])
+        segments = result.profile.critical_path.segments
+        assert segments, "chain must be non-empty"
+        # Walking backward from the return: each hop completes no later
+        # than the next one starts (consecutive hops abut through waits).
+        for later, earlier in zip(segments, segments[1:]):
+            assert earlier.done <= later.start + later.wait + \
+                (later.done - later.start)
+            assert earlier.start <= later.start
+
+
+class TestCategorize:
+    def test_known_node_kinds(self):
+        from repro.frontend import types as ty
+        assert categorize(N.CombineNode([None])) == "token"
+        assert categorize(N.InitialTokenNode()) == "token"
+        assert categorize(N.ConstNode(0, ty.INT)) == "control"
+        token_merge = N.MergeNode(None, 1, value_class=N.TOKEN)
+        assert categorize(token_merge) == "token"
+        value_merge = N.MergeNode(None, 1)
+        assert categorize(value_merge) == "control"

@@ -1,0 +1,127 @@
+"""Exporters: Perfetto trace-event JSON, VCD waveforms, JSONL metrics."""
+
+import json
+
+import pytest
+
+from repro import compile_minic
+from repro.observe import Observation, validate_trace_events
+from repro.sim.memsys import REALISTIC_MEMORY
+
+SOURCE = """
+int a[32];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def observed():
+    program = compile_minic(SOURCE, "f", opt_level="full")
+    obs = Observation(trace=True)
+    result = program.simulate([8], memsys=REALISTIC_MEMORY, profile=obs)
+    return program, obs, result
+
+
+class TestChromeTrace:
+    def test_payload_passes_the_schema_check(self, observed, tmp_path):
+        program, obs, _ = observed
+        payload = obs.export_trace(program.graph, tmp_path / "run.json")
+        assert validate_trace_events(payload) == []
+
+    def test_written_file_is_valid_json(self, observed, tmp_path):
+        program, obs, _ = observed
+        path = tmp_path / "run.json"
+        obs.export_trace(program.graph, path)
+        payload = json.loads(path.read_text())
+        assert validate_trace_events(payload) == []
+        assert payload["otherData"]["dropped_events"] == 0
+
+    def test_one_duration_event_per_emitting_firing(self, observed):
+        from repro.observe import chrome_trace_events
+        program, obs, result = observed
+        payload = chrome_trace_events(obs.collector, program.graph)
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"
+                    and e["pid"] == 1]
+        # Firings that drop their value (a false-predicate eta) produce
+        # no visible interval, so X events are bounded by firings.
+        assert 0 < len(complete) <= result.fired
+        assert len(complete) == len(obs.collector.fires)
+
+    def test_memory_track_present(self, observed):
+        from repro.observe import chrome_trace_events
+        program, obs, result = observed
+        payload = chrome_trace_events(obs.collector, program.graph)
+        mem = [e for e in payload["traceEvents"]
+               if e["ph"] == "X" and e["pid"] == 2]
+        assert len(mem) == result.loads + result.stores
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counters and all("depth" in e["args"] for e in counters)
+
+    def test_validator_flags_garbage(self):
+        assert validate_trace_events([]) == ["payload is not a JSON object"]
+        assert validate_trace_events({"traceEvents": None})
+        broken = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1,
+                                   "name": "x", "ts": -4, "dur": 1}]}
+        assert any("bad ts" in problem
+                   for problem in validate_trace_events(broken))
+
+
+class TestVCD:
+    def test_file_parses_and_values_fit_widths(self, observed, tmp_path):
+        program, obs, _ = observed
+        path = tmp_path / "run.vcd"
+        signals = obs.export_vcd(program.graph, path)
+        assert signals > 0
+
+        declared = {}
+        current_time = None
+        times = []
+        changes = 0
+        in_header = True
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if in_header:
+                if line.startswith("$var"):
+                    parts = line.split()
+                    assert parts[1] == "wire"
+                    declared[parts[3]] = int(parts[2])
+                if line == "$enddefinitions $end":
+                    in_header = False
+                continue
+            if line.startswith("#"):
+                current_time = int(line[1:])
+                times.append(current_time)
+            elif line.startswith("b"):
+                value, ident = line[1:].split()
+                assert ident in declared
+                assert len(value) <= declared[ident]
+                changes += 1
+        assert len(declared) == signals
+        assert times == sorted(times)
+        assert changes > 0
+
+    def test_top_caps_the_signal_count(self, observed, tmp_path):
+        program, obs, _ = observed
+        signals = obs.export_vcd(program.graph, tmp_path / "top.vcd", top=3)
+        assert signals <= 4  # 3 operators + the LSQ depth signal
+
+
+class TestJSONL:
+    def test_lines_parse_and_cover_the_report(self, observed, tmp_path):
+        from repro.observe import export_jsonl
+        _, _, result = observed
+        path = tmp_path / "run.jsonl"
+        count = export_jsonl(result.profile, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == count
+        kinds = {line["kind"] for line in lines}
+        assert kinds == {"summary", "opcode", "node", "critical_path"}
+        summary = lines[0]
+        assert summary["cycles"] == result.cycles
+        critical = [line for line in lines
+                    if line["kind"] == "critical_path"][0]
+        assert sum(critical["by_category"].values()) == result.cycles

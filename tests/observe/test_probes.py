@@ -1,0 +1,161 @@
+"""Probe bus: typed hooks, multicast, zero cost when off."""
+
+import pytest
+
+from repro import compile_minic
+from repro.observe.probes import HOOKS, HistoryRing, ProbeBus
+from repro.sim.dataflow import DataflowSimulator
+
+SOURCE = """
+int a[32];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }
+    return s;
+}
+"""
+
+
+def simulator(program, bus=None):
+    return DataflowSimulator(program.graph, memory=program.new_memory(),
+                             probes=bus)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_minic(SOURCE, "f", opt_level="none")
+
+
+class TestBusWiring:
+    def test_hooks_start_unwired(self):
+        bus = ProbeBus()
+        assert all(getattr(bus, hook) is None for hook in HOOKS)
+
+    def test_subscribe_wires_only_implemented_hooks(self):
+        class FireOnly:
+            def __init__(self):
+                self.fires = []
+
+            def on_fire(self, node, time):
+                self.fires.append((node.id, time))
+
+        bus = ProbeBus()
+        listener = bus.subscribe(FireOnly())
+        assert bus.fire == listener.on_fire
+        assert all(getattr(bus, hook) is None for hook in HOOKS
+                   if hook != "fire")
+
+    def test_two_listeners_multicast_in_order(self):
+        order = []
+
+        class Tap:
+            def __init__(self, name):
+                self.name = name
+
+            def on_fire(self, node, time):
+                order.append(self.name)
+
+        bus = ProbeBus()
+        bus.subscribe(Tap("first"))
+        bus.subscribe(Tap("second"))
+        bus.fire(None, 0)
+        assert order == ["first", "second"]
+
+    def test_find_by_type(self):
+        bus = ProbeBus()
+        ring = bus.subscribe(HistoryRing(4))
+        assert bus.find(HistoryRing) is ring
+        assert bus.find(ProbeBus) is None
+
+
+class TestSimulatorIntegration:
+    def test_no_bus_leaves_channels_cold(self, program):
+        sim = simulator(program)
+        sim.run([6])
+        assert sim._p_fire is None and sim._p_emit is None
+        assert sim._p_enqueue is None and sim._p_dequeue is None
+
+    def test_empty_bus_is_equivalent_to_none(self, program):
+        # The zero-cost contract: an empty bus keeps every channel None,
+        # so the instrumented simulator takes the exact same branches.
+        sim = simulator(program, ProbeBus())
+        result = sim.run([6])
+        assert sim._p_fire is None and sim._p_enqueue is None
+        plain = simulator(program).run([6])
+        assert result.return_value == plain.return_value
+        assert result.cycles == plain.cycles
+
+    def test_fire_hook_sees_every_firing(self, program):
+        class FireCount:
+            def __init__(self):
+                self.count = 0
+
+            def on_fire(self, node, time):
+                self.count += 1
+
+        bus = ProbeBus()
+        counter = bus.subscribe(FireCount())
+        result = simulator(program, bus).run([6])
+        assert counter.count == result.fired
+
+    def test_enqueues_match_dequeues_on_a_completed_run(self, program):
+        class QueueTap:
+            def __init__(self):
+                self.enqueued = 0
+                self.dequeued = 0
+
+            def on_enqueue(self, producer, consumer, slot, time):
+                self.enqueued += 1
+
+            def on_dequeue(self, node, slot, time):
+                self.dequeued += 1
+
+        bus = ProbeBus()
+        tap = bus.subscribe(QueueTap())
+        simulator(program, bus).run([6])
+        assert tap.enqueued > 0
+        # Sticky constant wires are read without consuming; everything
+        # queued beyond them is drained by the time the return fires.
+        assert tap.dequeued <= tap.enqueued
+
+    def test_memory_hooks_fire_per_access(self, program):
+        from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
+
+        class MemTap:
+            def __init__(self):
+                self.accesses = []
+                self.lsq = []
+
+            def on_mem_access(self, now, start, done, addr, width,
+                              is_write, level, tlb_miss):
+                self.accesses.append((is_write, level))
+
+            def on_lsq(self, now, depth, wait):
+                self.lsq.append(depth)
+
+        bus = ProbeBus()
+        tap = bus.subscribe(MemTap())
+        sim = DataflowSimulator(program.graph, memory=program.new_memory(),
+                                memsys=MemorySystem(REALISTIC_MEMORY),
+                                probes=bus)
+        result = sim.run([6])
+        assert len(tap.accesses) == result.loads + result.stores
+        assert tap.lsq and all(depth >= 0 for depth in tap.lsq)
+        assert {level for _, level in tap.accesses} <= {"l1", "l2", "mem"}
+
+
+class TestHistoryRing:
+    def test_bounded_capacity(self):
+        class Node:
+            def __init__(self, id):
+                self.id = id
+
+            def label(self):
+                return "n"
+
+        ring = HistoryRing(4)
+        for cycle in range(10):
+            ring.on_fire(Node(cycle % 2), cycle)
+        assert len(ring.events) == 4
+        assert ring.tail(2) == [(0, 8), (1, 9)]
+        assert ring.last_fired[0] == 8 and ring.last_fired[1] == 9

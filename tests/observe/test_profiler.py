@@ -1,0 +1,106 @@
+"""Profiler: per-opcode/per-node stats, memory breakdowns, report."""
+
+import json
+
+import pytest
+
+from repro import compile_minic
+from repro.observe import Observation, ProbeBus
+from repro.sim.memsys import MemorySystem, PERFECT_MEMORY, REALISTIC_MEMORY
+
+SOURCE = """
+int a[32];
+int f(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_minic(SOURCE, "f", opt_level="full")
+
+
+@pytest.fixture(scope="module")
+def run(program):
+    return program.simulate([8], memsys=REALISTIC_MEMORY, profile=True)
+
+
+class TestProfileReport:
+    def test_attached_to_the_result(self, run):
+        assert run.profile is not None
+        assert run.profile.cycles == run.cycles
+
+    def test_opcode_fires_sum_to_total(self, run):
+        assert sum(run.profile.opcode_fires.values()) == run.fired
+
+    def test_loads_and_stores_counted(self, run):
+        # Memory-op *firings* include predicated-off ops that skip the
+        # actual access, so they exceed the access counts by exactly those.
+        memop_fires = (run.profile.opcode_fires.get("load", 0)
+                       + run.profile.opcode_fires.get("store", 0))
+        assert memop_fires == run.loads + run.stores + run.skipped_memops
+
+    def test_node_profiles_match_fire_counts(self, run):
+        by_id = {profile.node_id: profile for profile in run.profile.nodes}
+        for node_id, fires in run.fire_counts.items():
+            assert by_id[node_id].fires == fires
+
+    def test_memory_breakdown_covers_every_access(self, run):
+        stats = run.profile.memory_stats
+        assert stats["accesses"] == run.loads + run.stores
+        assert sum(run.profile.mem_levels.values()) == stats["accesses"]
+        assert set(run.profile.mem_levels) <= {"perfect", "l1", "l2", "mem"}
+
+    def test_perfect_memory_is_all_perfect_level(self, program):
+        result = program.simulate([8], memsys=PERFECT_MEMORY, profile=True)
+        assert set(result.profile.mem_levels) == {"perfect"}
+
+    def test_lsq_histogram_present_under_realistic_memory(self, run):
+        assert run.profile.lsq_depth_hist
+        assert all(depth >= 0 for depth in run.profile.lsq_depth_hist)
+
+    def test_render_mentions_the_key_sections(self, run):
+        text = run.profile.render()
+        assert "firings by opcode" in text
+        assert "busiest operators" in text
+        assert "critical path" in text
+
+    def test_to_json_round_trips(self, run):
+        payload = json.loads(json.dumps(run.profile.to_json()))
+        assert payload["cycles"] == run.cycles
+        assert payload["critical_path"]["cycles"] == run.cycles
+
+
+class TestSimulateWiring:
+    def test_profile_false_attaches_nothing(self, program):
+        result = program.simulate([8])
+        assert result.profile is None
+
+    def test_custom_observation_is_honoured(self, program):
+        obs = Observation(trace=True)
+        result = program.simulate([8], profile=obs)
+        assert result.profile is not None
+        assert obs.collector is not None and obs.collector.fires
+
+    def test_explicit_bus_hosts_the_profile_listeners(self, program):
+        bus = ProbeBus()
+        taps = []
+
+        class Tap:
+            def on_fire(self, node, time):
+                taps.append(node.id)
+
+        bus.subscribe(Tap())
+        result = program.simulate([8], profile=True, probes=bus)
+        assert result.profile is not None
+        assert len(taps) == result.fired
+
+    def test_profiling_does_not_change_semantics(self, program):
+        plain = program.simulate([8])
+        profiled = program.simulate([8], profile=True)
+        assert profiled.return_value == plain.return_value
+        assert profiled.cycles == plain.cycles
+        assert profiled.fire_counts == plain.fire_counts

@@ -126,6 +126,39 @@ class TestBuildReportDirectly:
         assert wedge_report.fired > 0
 
 
+class TestProbeHistory:
+    def wedge_with_history(self, graph):
+        from repro.observe import HistoryRing, ProbeBus
+        bus = ProbeBus()
+        bus.subscribe(HistoryRing(64))
+        with pytest.raises(DeadlockError) as info:
+            DataflowSimulator(graph, probes=bus).run([])
+        return info.value.report
+
+    def test_report_reuses_the_probe_history(self):
+        # With a HistoryRing on the bus the report shows what the circuit
+        # did just before the wedge, not only what is stuck now.
+        graph, nodes = starved_chain_graph()
+        report = self.wedge_with_history(graph)
+        assert report.recent_fires
+        assert nodes["eta"].id in report.last_fired
+        text = report.render()
+        assert "last activity before the wedge" in text
+        assert "(last fired @" in text and "(never fired)" in text
+
+    def test_json_includes_the_history(self):
+        graph, _ = starved_chain_graph()
+        report = self.wedge_with_history(graph)
+        payload = report.to_json()
+        assert payload["recent_fires"] and payload["last_fired"]
+
+    def test_no_bus_means_empty_history(self):
+        graph, _ = starved_chain_graph()
+        report = wedge(graph).report
+        assert report.recent_fires == []
+        assert "last activity" not in report.render()
+
+
 class TestPostmortem:
     def test_json_artifact_roundtrips(self, tmp_path):
         graph, nodes = starved_chain_graph()

@@ -44,6 +44,31 @@ class TestRecorder:
         recorder = TraceRecorder()
         assert recorder.span == (0, 0)
 
+    def test_same_cycle_refire_is_not_dropped(self):
+        # Regression: the old recorder deduplicated against the previous
+        # event, silently dropping a second firing of the same node in
+        # the same cycle (a pipelined operator draining two queued
+        # values). The probe bus delivers one event per firing.
+        class Node:
+            id = 7
+
+        recorder = TraceRecorder()
+        recorder.on_fire(Node(), 5)
+        recorder.on_fire(Node(), 5)
+        assert recorder.events == [(7, 5), (7, 5)]
+        assert recorder.counts() == {7: 2}
+
+    def test_counts_share_the_simulator_counter(self):
+        # One probe-backed counter: the recorder's counts and the
+        # result's fire_counts are the same bookkeeping, not parallel
+        # re-derivations that could drift.
+        _, recorder, result = traced_run([8])
+        assert recorder.counts() == result.fire_counts
+        derived: dict[int, int] = {}
+        for node_id, _time in recorder.events:
+            derived[node_id] = derived.get(node_id, 0) + 1
+        assert derived == result.fire_counts
+
 
 class TestReports:
     def test_busiest_nodes_ranked(self):
