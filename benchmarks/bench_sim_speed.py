@@ -1,0 +1,128 @@
+"""Compiled engine vs reference interpreter: identical results, less time.
+
+A Figure-19-style sweep (kernels x optimization levels x memory systems)
+runs every cell on both dataflow executors and asserts two things:
+
+- **equivalence** — every observable ``DataflowResult`` field matches
+  bit-for-bit (the engine is a faithful accelerator, not an
+  approximation);
+- **speed** — the compiled engine beats the interpreter by at least 2x
+  in the aggregate (it typically lands well above 3x; the 2x gate keeps
+  CI robust to noisy shared runners).
+
+Per-cell wall times and speedups land in
+``benchmarks/results/sim_speed.json`` for trend tooling; the smoke test
+is the one the CI ``perf-smoke`` job runs on its own.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.harness.cache import compiled
+from repro.programs import get_kernel
+from repro.sim.memsys import (
+    MemorySystem,
+    PERFECT_MEMORY,
+    REALISTIC_2PORT,
+)
+
+from conftest import record_json
+
+KERNELS = ("adpcm_e", "li", "mesa", "vortex")
+LEVELS = ("none", "full")
+SYSTEMS = (PERFECT_MEMORY, REALISTIC_2PORT)
+
+#: Observable result surface compared across engines. ``memory_stats``
+#: covers the memory hierarchy (accesses, hits, stalls); ``fire_counts``
+#: covers per-node dynamic behavior.
+RESULT_FIELDS = ("return_value", "cycles", "fired", "loads", "stores",
+                 "skipped_memops", "fire_counts", "memory_stats")
+
+
+def _measure(program, args, config, engine: str,
+             repeats: int = 3) -> tuple[object, float]:
+    """Best-of-``repeats`` wall time for one simulation cell.
+
+    The first compiled-engine call also builds (and caches) the graph's
+    ``SimPlan``; taking the best of several runs reports the warm-plan
+    steady state, which is what sweeps pay.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run = program.simulate(list(args), memsys=MemorySystem(config),
+                               engine=engine)
+        best = min(best, time.perf_counter() - start)
+        result = run
+    return result, best
+
+
+def _assert_identical(interp, engine, label: str) -> None:
+    for field in RESULT_FIELDS:
+        got = getattr(engine, field)
+        want = getattr(interp, field)
+        assert got == want, (
+            f"{label}: compiled engine diverged on {field}: "
+            f"{got!r} != {want!r}"
+        )
+
+
+def _cell(name: str, level: str, config) -> dict:
+    kernel = get_kernel(name)
+    program = compiled(name, level).program
+    interp_run, interp_s = _measure(program, kernel.args, config, "interp",
+                                    repeats=2)
+    engine_run, engine_s = _measure(program, kernel.args, config, "compiled")
+    kernel.check(interp_run.return_value)
+    _assert_identical(interp_run, engine_run,
+                      f"{name}/{level}/{config.name}")
+    return {
+        "kernel": name,
+        "level": level,
+        "memsys": config.name,
+        "cycles": engine_run.cycles,
+        "interp_seconds": round(interp_s, 6),
+        "compiled_seconds": round(engine_s, 6),
+        "speedup": round(interp_s / engine_s, 3) if engine_s else 0.0,
+    }
+
+
+def test_sim_speed_smoke(benchmark):
+    """The CI perf gate: one small kernel, exact match, >= 2x."""
+    cell = benchmark.pedantic(
+        lambda: _cell("adpcm_e", "full", REALISTIC_2PORT),
+        rounds=1, iterations=1,
+    )
+    record_json("sim_speed_smoke", cell)
+    assert cell["speedup"] >= 2.0, (
+        f"compiled engine only {cell['speedup']}x over the interpreter"
+    )
+
+
+def test_sim_speed_sweep(benchmark):
+    """The full sweep: every cell identical, aggregate >= 2x (typ. > 3x)."""
+    cells = benchmark.pedantic(
+        lambda: [_cell(name, level, config)
+                 for name in KERNELS
+                 for level in LEVELS
+                 for config in SYSTEMS],
+        rounds=1, iterations=1,
+    )
+    geomean = statistics.geometric_mean(
+        max(cell["speedup"], 0.01) for cell in cells)
+    payload = {
+        "kernels": list(KERNELS),
+        "levels": list(LEVELS),
+        "memory_systems": [config.name for config in SYSTEMS],
+        "cells": cells,
+        "geomean_speedup": round(geomean, 3),
+    }
+    record_json("sim_speed", payload)
+    assert geomean >= 2.0, (
+        f"aggregate speedup {geomean:.2f}x below the 2x floor"
+    )

@@ -14,6 +14,7 @@ start cold.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -34,3 +35,16 @@ def record(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def record_json(name: str, payload) -> None:
+    """Machine-readable sibling of :func:`record`.
+
+    Writes ``benchmarks/results/<name>.json`` (sorted keys, trailing
+    newline) so CI jobs and trend tooling can consume figures without
+    scraping the rendered tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[JSON written to {path}]")

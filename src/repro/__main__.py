@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "iterations (0/1 = off)")
     parser.add_argument("--memory", default="perfect",
                         choices=sorted(MEMORY_SYSTEMS))
+    parser.add_argument("--engine", default=None,
+                        choices=["compiled", "interp"],
+                        help="dataflow executor: the plan-compiled engine "
+                             "or the reference interpreter (default: "
+                             "$REPRO_SIM_ENGINE, else compiled; results "
+                             "are bit-identical)")
     parser.add_argument("--compare", action="store_true",
                         help="also run the sequential oracle and check")
     parser.add_argument("--dump-graph", metavar="FILE",
@@ -141,7 +147,8 @@ def main(argv: list[str] | None = None) -> int:
         if options.differential:
             result = program.check_timing_robustness(
                 list(options.args), seeds=options.differential,
-                memsys=config if not config.perfect else None)
+                memsys=config if not config.perfect else None,
+                engine=options.engine)
             print(result.summary())
             return 0 if result.ok else 1
         faults = None
@@ -159,7 +166,8 @@ def main(argv: list[str] | None = None) -> int:
                                   memsys=MemorySystem(config),
                                   faults=faults,
                                   wall_limit=options.wall_limit,
-                                  profile=observation or False)
+                                  profile=observation or False,
+                                  engine=options.engine)
         print(f"result  : {result.return_value}")
         print(f"cycles  : {result.cycles}  ({config.name} memory)")
         print(f"memops  : {result.loads} loads, {result.stores} stores, "

@@ -19,6 +19,7 @@ decoupling (§6.3).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.frontend import ast
@@ -27,11 +28,27 @@ from repro.cfg.lower import LoweredProgram
 from repro.pegasus.builder import BuildResult
 from repro.pegasus.graph import Graph
 from repro.sim.dataflow import DEFAULT_EVENT_LIMIT, DataflowResult, DataflowSimulator
+from repro.sim.engine import CompiledEngine
 from repro.sim.memory_image import MemoryImage
 from repro.sim.memsys import MemoryConfig, MemorySystem, PERFECT_MEMORY
+from repro.sim.plan import SimPlan, plan_for
 from repro.sim.sequential import SequentialInterpreter, SequentialResult
 
 OPT_LEVELS = ("none", "basic", "medium", "full")
+
+#: Dataflow executors: the compiled engine (default) and the reference
+#: interpreter. Both produce bit-identical results; ``interp`` remains the
+#: executable specification and the differential baseline.
+SIM_ENGINES = ("compiled", "interp")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalize an engine selection (explicit > $REPRO_SIM_ENGINE > default)."""
+    if engine is None:
+        engine = os.environ.get("REPRO_SIM_ENGINE") or "compiled"
+    if engine not in SIM_ENGINES:
+        raise ValueError(f"engine must be one of {SIM_ENGINES}")
+    return engine
 
 
 @dataclass
@@ -51,6 +68,17 @@ class CompiledProgram:
     @property
     def graph(self) -> Graph:
         return self.build.graph
+
+    def sim_plan(self) -> SimPlan:
+        """The (cached) simulation plan for this program's graph.
+
+        Plans live in a per-graph weak cache (:func:`repro.sim.plan.plan_for`)
+        validated against the graph's structural version, so every sweep
+        cell sharing this compilation reuses one plan. They are not part
+        of the pickled program — the persistent compilation cache stores
+        graphs, and plans are rebuilt per process on first simulation.
+        """
+        return plan_for(self.graph)
 
     def new_memory(self, extern_elements: int = 1024) -> MemoryImage:
         """A fresh memory image with globals and stack objects laid out.
@@ -73,7 +101,8 @@ class CompiledProgram:
                  faults=None,
                  wall_limit: float | None = None,
                  profile=False,
-                 probes=None) -> DataflowResult:
+                 probes=None,
+                 engine: str | None = None) -> DataflowResult:
         """Execute spatially on the dataflow simulator (§7.3).
 
         ``event_limit`` bounds the number of simulation events (guarding
@@ -94,7 +123,14 @@ class CompiledProgram:
         two compose: an explicit ``probes`` bus hosts the profile's
         listeners too). Simulation without either stays probe-free —
         the instrumentation is inert.
+
+        ``engine`` picks the executor: ``"compiled"`` (the default) runs
+        the plan-driven :class:`~repro.sim.engine.CompiledEngine`,
+        ``"interp"`` the reference interpreter; ``None`` defers to
+        ``$REPRO_SIM_ENGINE``. Results are bit-identical either way (the
+        equivalence matrix in ``tests/sim/test_engine.py`` enforces it).
         """
+        engine = resolve_engine(engine)
         if isinstance(memsys, MemoryConfig):
             memsys = MemorySystem(memsys)
         memsys = memsys or MemorySystem(PERFECT_MEMORY)
@@ -104,8 +140,10 @@ class CompiledProgram:
             observation = (profile if isinstance(profile, Observation)
                            else Observation(bus=probes))
             probes = observation.bus
-        simulator = DataflowSimulator(
-            self.graph,
+        executor = (CompiledEngine if engine == "compiled"
+                    else DataflowSimulator)
+        simulator = executor(
+            self.sim_plan() if engine == "compiled" else self.graph,
             memory=memory if memory is not None else self.new_memory(),
             memsys=memsys,
             event_limit=(DEFAULT_EVENT_LIMIT if event_limit is None
@@ -121,17 +159,19 @@ class CompiledProgram:
         return result
 
     def check_timing_robustness(self, args: list[object] | None = None,
-                                seeds: int = 3, plans=None, memsys=None):
+                                seeds: int = 3, plans=None, memsys=None,
+                                engine: str | None = None):
         """Differential check over perturbed schedules (paper §4/§7 claim).
 
         Returns a
         :class:`~repro.resilience.differential.DifferentialResult`; a
         non-``ok`` result means timing changed semantics — a soundness
-        bug in compilation or simulation.
+        bug in compilation or simulation. ``engine`` selects the dataflow
+        executor for every schedule (see :meth:`simulate`).
         """
         from repro.resilience.differential import differential_check
         return differential_check(self, list(args or []), plans,
-                                  seeds=seeds, memsys=memsys)
+                                  seeds=seeds, memsys=memsys, engine=engine)
 
     def run_sequential(self, args: list[object] | None = None,
                        memsys: MemoryConfig | MemorySystem | None = None,

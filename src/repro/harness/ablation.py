@@ -90,40 +90,58 @@ def _fresh_unoptimized(kernel):
     return CompilerDriver(config).compile(kernel.source, kernel.entry)
 
 
-def ablate(kernels=None, memsys_config=REALISTIC_2PORT) -> list[AblationRow]:
-    rows = []
-    variants = _variants()
-    for kernel in select_kernels(kernels):
-        baseline = compiled(kernel.name, "none").program
-        run = baseline.simulate(list(kernel.args),
-                                memsys=MemorySystem(memsys_config))
-        kernel.check(run.return_value)
-        row = AblationRow(name=kernel.name, baseline_cycles=run.cycles)
-        for variant, passes in variants.items():
-            program = _fresh_unoptimized(kernel)
-            ctx = OptContext(program.build)
-            runner = PassRunner(ctx, verify=HARNESS_VERIFY)
-            for pass_ in passes:
-                runner.run(pass_)
-            _fix_static_etas(ctx)
-            runner.finish()
-            result = program.simulate(list(kernel.args),
-                                      memsys=MemorySystem(memsys_config))
-            kernel.check(result.return_value)
-            row.cycles[variant] = result.cycles
-            for stat, count in ctx.stats.items():
-                row.applicability[stat] = row.applicability.get(stat, 0) + count
-        full = compiled(kernel.name, "full").program
-        result = full.simulate(list(kernel.args),
-                               memsys=MemorySystem(memsys_config))
+def _ablation_row(kernel, memsys_config=REALISTIC_2PORT) -> AblationRow:
+    """One kernel's ablation: baseline, each variant pipeline, full.
+
+    Module-level (and arguments picklable) so :func:`ablate` can fan the
+    kernels out over worker processes.
+    """
+    baseline = compiled(kernel.name, "none").program
+    run = baseline.simulate(list(kernel.args),
+                            memsys=MemorySystem(memsys_config))
+    kernel.check(run.return_value)
+    row = AblationRow(name=kernel.name, baseline_cycles=run.cycles)
+    for variant, passes in _variants().items():
+        program = _fresh_unoptimized(kernel)
+        ctx = OptContext(program.build)
+        runner = PassRunner(ctx, verify=HARNESS_VERIFY)
+        for pass_ in passes:
+            runner.run(pass_)
+        _fix_static_etas(ctx)
+        runner.finish()
+        result = program.simulate(list(kernel.args),
+                                  memsys=MemorySystem(memsys_config))
         kernel.check(result.return_value)
-        row.full_cycles = result.cycles
-        rows.append(row)
-    return rows
+        row.cycles[variant] = result.cycles
+        for stat, count in ctx.stats.items():
+            row.applicability[stat] = row.applicability.get(stat, 0) + count
+    full = compiled(kernel.name, "full").program
+    result = full.simulate(list(kernel.args),
+                           memsys=MemorySystem(memsys_config))
+    kernel.check(result.return_value)
+    row.full_cycles = result.cycles
+    return row
 
 
-def render(kernels=None) -> str:
-    rows = ablate(kernels)
+def ablate(kernels=None, memsys_config=REALISTIC_2PORT,
+           parallel=False, max_workers=None) -> list[AblationRow]:
+    """Ablation rows, one per kernel.
+
+    ``parallel=True`` runs the kernels in worker processes
+    (:func:`~repro.pipeline.parallel.run_jobs`); the variant pipelines
+    each mutate a private compilation, so kernels are independent and
+    row order is unchanged.
+    """
+    selected = select_kernels(kernels)
+    if parallel:
+        from repro.pipeline.parallel import run_jobs
+        jobs = [(kernel, memsys_config) for kernel in selected]
+        return run_jobs(_ablation_row, jobs, max_workers=max_workers)
+    return [_ablation_row(kernel, memsys_config) for kernel in selected]
+
+
+def render(kernels=None, parallel=False) -> str:
+    rows = ablate(kernels, parallel=parallel)
     variants = list(_variants())
     table = TextTable(
         ["Benchmark"] + [f"x {v}" for v in variants]

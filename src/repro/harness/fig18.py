@@ -86,7 +86,8 @@ def _kernel_row(kernel, wall_limit: float | None = None,
     return row
 
 
-def figure18(kernels=None, runner=None, attribution=False) -> list[Fig18Row]:
+def figure18(kernels=None, runner=None, attribution=False,
+             parallel=False, max_workers=None) -> list[Fig18Row]:
     """Rows for Figure 18; one per kernel.
 
     With a :class:`~repro.resilience.harness.ExperimentRunner`, each
@@ -94,9 +95,18 @@ def figure18(kernels=None, runner=None, attribution=False) -> list[Fig18Row]:
     kernel is dropped from the rows (and reported degraded on the
     runner) instead of aborting the batch. ``attribution=True`` profiles
     each run and fills the per-row critical-path category breakdowns.
+    ``parallel=True`` fans the kernels out over worker processes
+    (:func:`~repro.pipeline.parallel.run_jobs`; mutually exclusive with
+    ``runner``); workers share compilations through the on-disk cache,
+    and row order is unchanged.
     """
+    selected = select_kernels(kernels)
+    if runner is None and parallel:
+        from repro.pipeline.parallel import run_jobs
+        jobs = [(kernel, None, attribution) for kernel in selected]
+        return run_jobs(_kernel_row, jobs, max_workers=max_workers)
     rows = []
-    for kernel in select_kernels(kernels):
+    for kernel in selected:
         if runner is None:
             rows.append(_kernel_row(kernel, attribution=attribution))
             continue
@@ -107,7 +117,8 @@ def figure18(kernels=None, runner=None, attribution=False) -> list[Fig18Row]:
     return rows
 
 
-def render(kernels=None, runner=None, attribution=False) -> str:
+def render(kernels=None, runner=None, attribution=False,
+           parallel=False) -> str:
     columns = ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
                "loads", "stores", "dyn before", "dyn after"]
     if attribution:
@@ -117,7 +128,8 @@ def render(kernels=None, runner=None, attribution=False) -> str:
         title="Figure 18: static and dynamic memory operations removed "
               "(full vs none)",
     )
-    for row in figure18(kernels, runner=runner, attribution=attribution):
+    for row in figure18(kernels, runner=runner, attribution=attribution,
+                        parallel=parallel):
         cells = [
             row.name,
             f"{row.static_loads_removed_pct:.1f}",

@@ -84,7 +84,8 @@ def _cell_row(kernel, config: MemoryConfig, levels,
 
 
 def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
-             levels=LEVELS, runner=None, attribution=False) -> list[Fig19Row]:
+             levels=LEVELS, runner=None, attribution=False,
+             parallel=False, max_workers=None) -> list[Fig19Row]:
     """Rows for Figure 19; one per (kernel, memory system).
 
     With a :class:`~repro.resilience.harness.ExperimentRunner`, every
@@ -93,9 +94,19 @@ def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
     and a resumed run replays finished cells from the checkpoint.
     ``attribution=True`` profiles each optimized run and fills
     ``row.attribution[level]`` with the critical-path category split.
+    ``parallel=True`` fans the cells out over worker processes
+    (:func:`~repro.pipeline.parallel.run_jobs`; mutually exclusive with
+    ``runner``, whose checkpointing is per-process); workers share
+    compilations through the on-disk cache, and row order is unchanged.
     """
+    selected = select_kernels(kernels)
+    if runner is None and parallel:
+        from repro.pipeline.parallel import run_jobs
+        jobs = [(kernel, config, levels, None, attribution)
+                for kernel in selected for config in memory_systems]
+        return run_jobs(_cell_row, jobs, max_workers=max_workers)
     rows = []
-    for kernel in select_kernels(kernels):
+    for kernel in selected:
         for config in memory_systems:
             if runner is None:
                 rows.append(_cell_row(kernel, config, levels,
@@ -110,7 +121,7 @@ def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
 
 
 def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
-           attribution=False) -> str:
+           attribution=False, parallel=False) -> str:
     columns = (["Benchmark", "memory", "cycles none"]
                + [f"speedup {level}" for level in LEVELS])
     if attribution:
@@ -121,7 +132,7 @@ def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
     )
     last = LEVELS[-1]
     for row in figure19(kernels, memory_systems, runner=runner,
-                        attribution=attribution):
+                        attribution=attribution, parallel=parallel):
         cells = [row.name, row.memsys, row.baseline_cycles,
                  *(f"{row.speedup(level):.2f}" for level in LEVELS)]
         if attribution:

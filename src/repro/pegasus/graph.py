@@ -45,6 +45,10 @@ class InPort:
 class Graph:
     """A Pegasus graph for one procedure."""
 
+    # Class-level default so graphs unpickled from caches written before
+    # the revision counter existed still expose it (see __init__).
+    version = 0
+
     def __init__(self, name: str):
         self.name = name
         self._ids = IdAllocator()
@@ -55,6 +59,10 @@ class Graph:
         self.return_node: "Node | None" = None
         # Number of hyperblocks (region ids are 0..n-1).
         self.num_hyperblocks = 0
+        # Structural revision, bumped on every topology change; consumers
+        # that precompute per-graph tables (sim.plan.SimPlan) key their
+        # caches on it so a mutated graph never runs against stale tables.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,6 +71,7 @@ class Graph:
         """Register a node created by the caller and wire its inputs."""
         node.id = self._ids.allocate()
         node.graph = self
+        self.version += 1
         self.nodes[node.id] = node
         for index, port in enumerate(node.inputs):
             if port is not None:
@@ -71,6 +80,7 @@ class Graph:
 
     def set_input(self, node: "Node", index: int, port: OutPort | None) -> None:
         """Connect input slot ``index`` of ``node`` to ``port``."""
+        self.version += 1
         old = node.inputs[index]
         if old is not None:
             self._uses.get(old, set()).discard(InPort(node, index))
@@ -104,6 +114,7 @@ class Graph:
                 raise PegasusError(
                     f"removing {node!r} whose output {index} still has uses"
                 )
+        self.version += 1
         for index, port in enumerate(node.inputs):
             if port is not None:
                 self._uses.get(port, set()).discard(InPort(node, index))

@@ -150,6 +150,52 @@ def _compile_in_pool(pending, workers) -> dict[tuple[str, str], BaseException]:
     return failures
 
 
+#: Sentinel for "this job has not produced a result yet" (None is a
+#: legitimate job result, so it cannot mark pending slots).
+_PENDING = object()
+
+
+def run_jobs(func, jobs, *, max_workers: int | None = None,
+             parallel: bool = True) -> list:
+    """Map ``func`` over argument tuples, process-parallel, in input order.
+
+    The sweep-harness sibling of :func:`compile_kernels`: each element of
+    ``jobs`` is a tuple of positional arguments for one call, every call
+    is submitted as its own future, and the returned list holds the
+    results in input order. ``func`` and every argument/result must
+    pickle (module-level functions and plain dataclasses do).
+
+    Failure handling matches the compilation pool: a crashed worker or
+    missing process primitives silently degrade to in-process execution,
+    and a job that *raises* in a worker is re-run in-process so the
+    exception surfaces in the caller with a local traceback — identical
+    behavior to ``parallel=False``, which runs everything in-process.
+    """
+    jobs = [tuple(job) for job in jobs]
+    results: list = [_PENDING] * len(jobs)
+    workers = max_workers or min(len(jobs) or 1, os.cpu_count() or 1)
+    if parallel and len(jobs) > 1 and workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(func, *job): index
+                           for index, job in enumerate(jobs)}
+                for future, index in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        break  # pool is dead; the rest run in-process
+                    except (OSError, PermissionError):
+                        break  # pool infrastructure failed mid-flight
+                    except BaseException:  # noqa: BLE001 — retried below
+                        pass
+        except (OSError, PermissionError, NotImplementedError):
+            pass  # no process primitives (restricted sandbox)
+    for index, job in enumerate(jobs):
+        if results[index] is _PENDING:
+            results[index] = func(*job)
+    return results
+
+
 def _job_key(cache: CompilationCache, job: tuple) -> str:
     name, level, unroll_limit, entry_points_to, verify, _root = job
     from repro.programs import get_kernel

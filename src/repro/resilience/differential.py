@@ -92,13 +92,15 @@ class DifferentialResult:
 def differential_check(program, args=None, plans=None, *, seeds: int = 3,
                        level: str | None = None,
                        memsys=None, event_limit: int | None = None,
-                       wall_limit: float | None = None) -> DifferentialResult:
+                       wall_limit: float | None = None,
+                       engine: str | None = None) -> DifferentialResult:
     """Run ``program`` under perturbed schedules and diff against the oracle.
 
     ``plans`` overrides the default seeded shake-everything plans;
     ``memsys`` is an optional :class:`~repro.sim.memsys.MemoryConfig`
     applied to every dataflow run (a fresh system per run, so cache state
-    never leaks between schedules).
+    never leaks between schedules); ``engine`` selects the dataflow
+    executor for every schedule (see ``CompiledProgram.simulate``).
     """
     from repro.sim.memsys import MemorySystem
 
@@ -125,6 +127,7 @@ def differential_check(program, args=None, plans=None, *, seeds: int = 3,
                 faults=plan,
                 event_limit=event_limit,
                 wall_limit=wall_limit,
+                engine=engine,
             )
         except Exception as error:  # noqa: BLE001 — recorded, not hidden
             outcome.error = f"{type(error).__name__}: {error}"

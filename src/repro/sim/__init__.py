@@ -9,11 +9,19 @@ one memory model (``memory_image``):
 - :mod:`repro.sim.dataflow` executes a Pegasus graph with asynchronous
   dataflow (spatial) semantics, timing memory accesses through the
   hierarchy in :mod:`repro.sim.memsys` (§7.3).
+
+The dataflow semantics have two executors: the interpreter above (the
+executable specification) and the compiled engine in
+:mod:`repro.sim.engine`, which runs a per-graph
+:class:`~repro.sim.plan.SimPlan` of prebound fire closures and flat
+fanout tables for the same results at a fraction of the per-event cost.
 """
 
 from repro.sim.memory_image import MemoryImage
 from repro.sim.sequential import SequentialInterpreter, SequentialResult
 from repro.sim.dataflow import DataflowSimulator, DataflowResult
+from repro.sim.engine import CompiledEngine
+from repro.sim.plan import SimPlan, plan_for
 from repro.sim.memsys import MemorySystem, MemoryConfig, PERFECT_MEMORY, REALISTIC_MEMORY
 
 __all__ = [
@@ -22,6 +30,9 @@ __all__ = [
     "SequentialResult",
     "DataflowSimulator",
     "DataflowResult",
+    "CompiledEngine",
+    "SimPlan",
+    "plan_for",
     "MemorySystem",
     "MemoryConfig",
     "PERFECT_MEMORY",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -127,7 +127,7 @@ class DataflowSimulator:
         self._loads = 0
         self._stores = 0
         self._skipped = 0
-        self._fire_counts: dict[int, int] = {}
+        self._fire_counts: Counter[int] = Counter()
         self._done = False
         self._return_value: object = None
         # Strict nodes whose every input is a constant wire have no arrival
@@ -139,7 +139,7 @@ class DataflowSimulator:
 
     def run(self, args: list[object] | None = None) -> DataflowResult:
         """Execute the graph with entry arguments ``args``."""
-        args = args or []
+        args = args if args is not None else []
         if self.probes is not None:
             self._p_fire = self.probes.fire
             self._p_emit = self.probes.emit
@@ -245,10 +245,11 @@ class DataflowSimulator:
 
     def _hottest_nodes(self) -> list[tuple[str, int]]:
         """Top-k nodes by fire count, labelled — livelock forensics."""
-        hottest = sorted(self._fire_counts.items(),
-                         key=lambda item: (-item[1], item[0]))
+        hottest = heapq.nlargest(self.HOT_NODE_COUNT,
+                                 self._fire_counts.items(),
+                                 key=lambda item: (item[1], -item[0]))
         result = []
-        for node_id, count in hottest[:self.HOT_NODE_COUNT]:
+        for node_id, count in hottest:
             node = self.graph.nodes.get(node_id)
             label = f"{node.label()}#{node_id}" if node else f"#{node_id}"
             result.append((label, count))
@@ -407,7 +408,7 @@ class DataflowSimulator:
         re-derives firing data independently.
         """
         self._fired += 1
-        self._fire_counts[node.id] = self._fire_counts.get(node.id, 0) + 1
+        self._fire_counts[node.id] += 1
         if self._p_fire is not None:
             self._p_fire(node, time)
 

@@ -165,6 +165,29 @@ class MemorySystem:
                                    level, tlb_miss)
         return start, done
 
+    def perfect_issue(self):
+        """A prebound ``now -> done`` fast path for perfect memory.
+
+        Perfect memory with no faults and no probes reduces :meth:`issue`
+        to ``done = now + perfect_latency`` plus the access counter; the
+        compiled engine binds the returned callable into its load/store
+        closures so the hot path skips the hierarchy bookkeeping and the
+        probe/fault guards entirely. Returns ``None`` whenever the full
+        :meth:`issue` semantics are needed (realistic hierarchy, an
+        injector, or a subscribed probe bus) — callers must re-request it
+        after attaching either.
+        """
+        if not self.config.perfect or self.faults is not None \
+                or self.probes is not None:
+            return None
+        stats = self.stats
+        latency = self.config.perfect_latency
+
+        def issue(now: int) -> int:
+            stats.accesses += 1
+            return now + latency
+        return issue
+
     def _injected(self, level: str) -> int:
         if self.faults is None:
             return 0

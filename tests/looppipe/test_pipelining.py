@@ -171,7 +171,10 @@ class TestSlipBound:
         dfm.DataflowSimulator._fire_store = spy_store
         dfm.DataflowSimulator._fire_load = spy_load
         try:
-            program.simulate([200])
+            # The spies hook the interpreter's fire methods, so pin
+            # the engine (the slip bound itself is engine-agnostic;
+            # tests/sim/test_engine.py proves identical trajectories).
+            program.simulate([200], engine="interp")
         finally:
             dfm.DataflowSimulator._fire_store = orig_store
             dfm.DataflowSimulator._fire_load = orig_load

@@ -1,0 +1,215 @@
+"""Compiled engine vs reference interpreter: the equivalence matrix.
+
+The interpreter (:class:`~repro.sim.dataflow.DataflowSimulator`) is the
+executable specification of dataflow semantics; the compiled engine
+(:class:`~repro.sim.engine.CompiledEngine`) must reproduce it
+bit-for-bit — same cycles, same per-node fire counts, same memory
+hierarchy statistics, same final memory image, same errors — across
+optimization levels, memory systems, probes, fault plans, deadlocks and
+event-limit overruns. Determinism is asserted separately: the same
+(plan, seed, config) twice must give the same answer on both executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_minic
+from repro.api import SIM_ENGINES, resolve_engine
+from repro.errors import DeadlockError, EventLimitError
+from repro.harness.cache import compiled
+from repro.harness.section2 import SECTION2_SOURCE
+from repro.programs import get_kernel
+from repro.resilience.faults import SHAKE_EVERYTHING
+from repro.sim.dataflow import DataflowSimulator
+from repro.sim.engine import CompiledEngine
+from repro.sim.memsys import PERFECT_MEMORY, REALISTIC_2PORT
+from repro.sim.plan import plan_for
+
+from tests.resilience.fixtures import cyclic_wait_graph, starved_chain_graph
+
+SECTION2_DRIVER = SECTION2_SOURCE + """
+unsigned buffer[8];
+unsigned value = 5;
+unsigned drive(int i, int use_p)
+{
+    int k;
+    for (k = 0; k < 8; k++) buffer[k] = k + 1;
+    f(use_p ? &value : (unsigned*)0, buffer, i);
+    return buffer[i];
+}
+"""
+
+KERNELS = ("adpcm_e", "li", "mesa", "vortex")
+SYSTEMS = (PERFECT_MEMORY, REALISTIC_2PORT)
+
+#: The observable DataflowResult surface (memory images compared on top).
+FIELDS = ("return_value", "cycles", "fired", "loads", "stores",
+          "skipped_memops", "fire_counts", "memory_stats")
+
+
+def observe(result) -> dict:
+    seen = {field: getattr(result, field) for field in FIELDS}
+    seen["memory"] = result.memory.snapshot()
+    return seen
+
+
+def run_both(program, args, **kwargs) -> tuple:
+    interp = program.simulate(list(args), engine="interp", **kwargs)
+    engine = program.simulate(list(args), engine="compiled", **kwargs)
+    return interp, engine
+
+
+def assert_equivalent(program, args, **kwargs) -> tuple:
+    interp, engine = run_both(program, args, **kwargs)
+    assert observe(engine) == observe(interp)
+    return interp, engine
+
+
+class TestEngineSelection:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine(None) == "compiled"
+
+    def test_env_var_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "interp")
+        assert resolve_engine(None) == "interp"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "interp")
+        assert resolve_engine("compiled") == "compiled"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            resolve_engine("jit")
+        assert set(SIM_ENGINES) == {"compiled", "interp"}
+
+    def test_simulate_rejects_invalid_engine(self):
+        program = compile_minic("int f(int a) { return a; }", "f",
+                                opt_level="none")
+        with pytest.raises(ValueError, match="engine"):
+            program.simulate([1], engine="jit")
+
+
+class TestSection2Equivalence:
+    @pytest.mark.parametrize("level", ["none", "medium", "full"])
+    @pytest.mark.parametrize("use_p", [1, 0])
+    def test_driver_matches_interpreter(self, level, use_p):
+        program = compile_minic(SECTION2_DRIVER, "drive", opt_level=level)
+        assert_equivalent(program, [3, use_p])
+
+    def test_realistic_memory_matches(self):
+        program = compile_minic(SECTION2_DRIVER, "drive", opt_level="full")
+        assert_equivalent(program, [3, 1],
+                          memsys=REALISTIC_2PORT)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("level", ["none", "full"])
+    def test_kernel_matches_interpreter(self, name, level):
+        kernel = get_kernel(name)
+        program = compiled(name, level).program
+        for config in SYSTEMS:
+            interp, _ = assert_equivalent(program, kernel.args,
+                                          memsys=config)
+            kernel.check(interp.return_value)
+
+    def test_with_probes_attached(self):
+        # Probes force the engine off its fast path; the profile built
+        # over the probe stream must match too (same event order).
+        kernel = get_kernel("li")
+        program = compiled("li", "full").program
+        interp, engine = assert_equivalent(
+            program, kernel.args, memsys=REALISTIC_2PORT,
+            profile=True)
+        assert dict(engine.profile.critical_path.by_category) \
+            == dict(interp.profile.critical_path.by_category)
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_under_fault_injection(self, seed):
+        # Same plan seed => same perturbation draws => same trajectory.
+        kernel = get_kernel("li")
+        program = compiled("li", "full").program
+        interp, engine = assert_equivalent(
+            program, kernel.args, memsys=REALISTIC_2PORT,
+            faults=SHAKE_EVERYTHING.with_seed(seed))
+        assert engine.cycles == interp.cycles
+
+
+class TestErrorParity:
+    @pytest.mark.parametrize("fixture", [starved_chain_graph,
+                                         cyclic_wait_graph])
+    def test_deadlock_reports_match(self, fixture):
+        graph, _ = fixture()
+        with pytest.raises(DeadlockError) as interp_info:
+            DataflowSimulator(graph).run([])
+        with pytest.raises(DeadlockError) as engine_info:
+            CompiledEngine(graph).run([])
+        interp_report = interp_info.value.report
+        engine_report = engine_info.value.report
+        assert engine_info.value.cycle == interp_info.value.cycle
+        assert engine_report.graph_name == interp_report.graph_name
+        assert [(entry.node_id, [m.slot for m in entry.missing])
+                for entry in engine_report.blocked] \
+            == [(entry.node_id, [m.slot for m in entry.missing])
+                for entry in interp_report.blocked]
+
+    def test_event_limit_overrun_matches(self):
+        kernel = get_kernel("li")
+        program = compiled("li", "full").program
+
+        def overrun(engine):
+            with pytest.raises(EventLimitError) as info:
+                program.simulate(list(kernel.args), event_limit=500,
+                                 engine=engine)
+            return info.value
+
+        interp, engine = overrun("interp"), overrun("compiled")
+        assert engine.cycle == interp.cycle
+        assert engine.event_limit == interp.event_limit
+        assert engine.hot_nodes == interp.hot_nodes
+
+    def test_engine_accepts_prebuilt_plan(self):
+        graph, _ = starved_chain_graph()
+        plan = plan_for(graph)
+        assert plan_for(graph) is plan  # cached per graph version
+        with pytest.raises(DeadlockError):
+            CompiledEngine(plan).run([])
+
+
+class TestDeterminism:
+    """Same program, same seed/config, run twice: bit-identical."""
+
+    DETERMINISM_FIELDS = ("return_value", "cycles", "fire_counts",
+                          "memory_stats")
+
+    def _twice(self, program, args, engine, **kwargs):
+        runs = [program.simulate(list(args), engine=engine, **kwargs)
+                for _ in range(2)]
+        first, second = ({field: getattr(run, field)
+                          for field in self.DETERMINISM_FIELDS}
+                         for run in runs)
+        assert second == first, f"{engine} run is not deterministic"
+        return runs[0]
+
+    @pytest.mark.parametrize("engine", SIM_ENGINES)
+    def test_section2_driver(self, engine):
+        program = compile_minic(SECTION2_DRIVER, "drive", opt_level="full")
+        self._twice(program, [3, 1], engine)
+
+    @pytest.mark.parametrize("engine", SIM_ENGINES)
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_fig19_kernels(self, engine, name):
+        kernel = get_kernel(name)
+        program = compiled(name, "full").program
+        run = self._twice(program, kernel.args, engine,
+                          memsys=REALISTIC_2PORT)
+        kernel.check(run.return_value)
+
+    @pytest.mark.parametrize("engine", SIM_ENGINES)
+    def test_seeded_faults_are_reproducible(self, engine):
+        kernel = get_kernel("li")
+        program = compiled("li", "full").program
+        self._twice(program, kernel.args, engine,
+                    faults=SHAKE_EVERYTHING.with_seed(7))
