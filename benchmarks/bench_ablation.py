@@ -12,7 +12,7 @@ import pytest
 
 from repro.harness.ablation import _variants, ablate, render
 
-from conftest import record
+from conftest import record, record_json
 
 KERNELS = ("adpcm_e", "jpeg_d", "li", "mesa", "vortex")
 
@@ -26,6 +26,17 @@ def test_ablation_composition(benchmark, rows):
     benchmark.pedantic(lambda: ablate(kernels=("li",)), rounds=1,
                        iterations=1)
     record("ablation", render(kernels=KERNELS))
+    record_json("ablation", [
+        {
+            "kernel": row.name,
+            "baseline_cycles": row.baseline_cycles,
+            "variant_cycles": dict(row.cycles),
+            "full_cycles": row.full_cycles,
+            "full_speedup": round(row.full_speedup, 3),
+            "applicability": dict(row.applicability),
+        }
+        for row in rows
+    ])
 
     variants = list(_variants())
     for row in rows:

@@ -13,7 +13,7 @@ from repro.pegasus import nodes as N
 from repro.sim.memsys import MemorySystem, REALISTIC_2PORT
 from repro.utils.tables import TextTable
 
-from conftest import record
+from conftest import record, record_json
 
 SOURCE = """
 int a[512];
@@ -52,6 +52,11 @@ def test_fig16_decoupling(benchmark, measurements):
         table.add_row(level, cycles,
                       ", ".join(g.label() for g in generators) or "-")
     record("fig16_decoupling", table.render())
+    record_json("fig16_decoupling", {
+        level: {"cycles": cycles,
+                "token_generators": [g.label() for g in generators]}
+        for level, (cycles, generators) in measurements.items()
+    })
 
     none_cycles, _ = measurements["none"]
     medium_cycles, medium_gens = measurements["medium"]

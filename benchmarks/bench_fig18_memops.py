@@ -9,7 +9,7 @@ import pytest
 
 from repro.harness.fig18 import figure18, render
 
-from conftest import record
+from conftest import record, record_json
 
 
 @pytest.fixture(scope="module")
@@ -21,6 +21,22 @@ def test_fig18_static_and_dynamic_reduction(benchmark, rows):
     benchmark.pedantic(lambda: figure18(kernels=("adpcm_e",)),
                        rounds=1, iterations=1)
     record("fig18_memops", render())
+    record_json("fig18_memops", [
+        {
+            "kernel": row.name,
+            "static_loads": [row.static_loads_before,
+                             row.static_loads_after],
+            "static_stores": [row.static_stores_before,
+                              row.static_stores_after],
+            "dynamic_memops": [row.dynamic_before, row.dynamic_after],
+            "static_loads_removed_pct":
+                round(row.static_loads_removed_pct, 2),
+            "static_stores_removed_pct":
+                round(row.static_stores_removed_pct, 2),
+            "dynamic_removed_pct": round(row.dynamic_removed_pct, 2),
+        }
+        for row in rows
+    ])
 
     # Optimization never adds memory operations.
     for row in rows:

@@ -19,7 +19,7 @@ from repro.sim.memsys import (
     PERFECT_MEMORY, REALISTIC_1PORT, REALISTIC_2PORT, REALISTIC_4PORT,
 )
 
-from conftest import record
+from conftest import record, record_json
 
 KERNELS = ("adpcm_e", "adpcm_d", "ijpeg", "jpeg_d", "li", "mesa", "mpeg2_d",
            "vortex")
@@ -36,6 +36,17 @@ def test_fig19_speedups(benchmark, rows):
         rounds=1, iterations=1,
     )
     record("fig19_speedup", render(kernels=KERNELS))
+    record_json("fig19_speedup", [
+        {
+            "kernel": row.name,
+            "memsys": row.memsys,
+            "baseline_cycles": row.baseline_cycles,
+            "cycles": dict(row.cycles),
+            "speedups": {level: round(row.speedup(level), 3)
+                         for level in LEVELS},
+        }
+        for row in rows
+    ])
 
     for row in rows:
         for level in LEVELS:

@@ -14,7 +14,7 @@ import pytest
 from repro.harness.cache import compiled
 from repro.utils.tables import TextTable
 
-from conftest import record
+from conftest import record, record_json
 
 KERNELS = ("adpcm_e", "compress", "ijpeg", "jpeg_d", "li", "mesa",
            "mpeg2_d", "vortex")
@@ -47,6 +47,8 @@ def test_ir_size_stability(benchmark, sizes):
         table.add_row(name, row["none"], row["medium"], row["full"],
                       f"{delta:.1f}")
     record("ir_size", table.render())
+    record_json("ir_size", {name: dict(row)
+                            for name, row in sizes.items()})
     # No blow-up: optimization may shrink or slightly grow the graph
     # (generator/collector circuits), never quadratically.
     assert worst < 35.0

@@ -3,16 +3,23 @@
 The probe-bus contract (see :mod:`repro.observe.probes`) is that an
 unobserved simulation pays one ``is None`` test per hook site and
 nothing else — an empty bus takes the exact same branches as no bus at
-all. This bench holds the line the CI profile-smoke job enforces: the
-no-probe simulation wall time stays within 5% of the pre-probe-bus
-baseline, approximated here as min-of-N with an empty :class:`ProbeBus`
-attached (machine-identical code path) versus ``probes=None``.
+all. This bench holds the line the CI profile-smoke job enforces, on
+**both** executors (the plan-compiled engine and the reference
+interpreter): the no-probe simulation wall time stays within 5% of the
+pre-probe-bus baseline, approximated here as min-of-N with an empty
+:class:`ProbeBus` attached (machine-identical code path) versus
+``probes=None``.
+
+Telemetry recording (an ambient :class:`TelemetrySession` persisting a
+RunRecord per simulation) is held to the same line: it happens after
+the run finishes, so its cost is one record build plus one appended
+JSONL line, amortized to noise on any non-trivial kernel.
 
 It also reports what full observation actually costs (profiler +
 critical path + trace collector), which is allowed to be expensive —
 that path is opt-in.
 
-Writes ``benchmarks/results/observe_overhead.txt``.
+Writes ``benchmarks/results/observe_overhead_<engine>.{txt,json}``.
 """
 
 from __future__ import annotations
@@ -20,13 +27,18 @@ from __future__ import annotations
 import time
 
 from repro.harness.cache import compiled, get_kernel
-from repro.observe import Observation, ProbeBus
+from repro.observe import Observation, ProbeBus, TelemetrySession
+from repro.observe.store import TelemetryStore
 from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
+
+import pytest
+
 from repro.utils.tables import TextTable
 
-from conftest import record
+from conftest import record, record_json
 
 KERNELS = ("adpcm_e", "gsm_e", "li")
+ENGINES = ("compiled", "interp")
 REPEATS = 5
 #: The CI guard: empty-bus must stay within 5% of no-bus. Min-of-N
 #: timing still jitters on shared runners; the assertion adds margin on
@@ -35,10 +47,12 @@ GUARD = 1.05
 ASSERT_CEILING = 1.15
 
 
-def _run(entry, args, memsys, probes=None, profile=False):
+def _run(entry, args, memsys, probes=None, profile=False,
+         engine=None, telemetry=None):
     started = time.perf_counter()
     result = entry.program.simulate(list(args), memsys=memsys,
-                                    probes=probes, profile=profile)
+                                    probes=probes, profile=profile,
+                                    engine=engine, telemetry=telemetry)
     return time.perf_counter() - started, result
 
 
@@ -46,52 +60,81 @@ def _min_of(repeats, thunk):
     return min(thunk()[0] for _ in range(repeats))
 
 
-def measure():
+def measure(engine: str, store: TelemetryStore):
     rows = []
     for name in KERNELS:
         kernel = get_kernel(name)
         entry = compiled(name, "full")
 
         def bare():
-            return _run(entry, kernel.args, MemorySystem(REALISTIC_MEMORY))
+            return _run(entry, kernel.args, MemorySystem(REALISTIC_MEMORY),
+                        engine=engine)
 
         def empty_bus():
             return _run(entry, kernel.args, MemorySystem(REALISTIC_MEMORY),
-                        probes=ProbeBus())
+                        probes=ProbeBus(), engine=engine)
+
+        def recorded():
+            # The session is ambient, so the timed simulate() call pays
+            # the full --record path: build_run_record + store append.
+            with TelemetrySession(store=store, label=f"bench-{engine}"):
+                return _run(entry, kernel.args,
+                            MemorySystem(REALISTIC_MEMORY), engine=engine)
 
         def observed():
             return _run(entry, kernel.args, MemorySystem(REALISTIC_MEMORY),
-                        profile=Observation(trace=True))
+                        profile=Observation(trace=True), engine=engine)
 
         base = _min_of(REPEATS, bare)
         idle = _min_of(REPEATS, empty_bus)
+        telem = _min_of(REPEATS, recorded)
         full = _min_of(REPEATS, observed)
-        rows.append((name, base, idle, full))
+        rows.append((name, base, idle, telem, full))
     return rows
 
 
-def render(rows) -> str:
+def render(engine, rows) -> str:
     table = TextTable(
         ["Kernel", "no probes ms", "empty bus ms", "idle ratio",
-         "observed ms", "observed ratio"],
-        title=f"Observability overhead (min of {REPEATS}, realistic "
-              f"memory, guard {GUARD:.2f}x)",
+         "recorded ms", "record ratio", "observed ms", "observed ratio"],
+        title=f"Observability overhead, {engine} engine (min of "
+              f"{REPEATS}, realistic memory, guard {GUARD:.2f}x)",
     )
-    for name, base, idle, full in rows:
+    for name, base, idle, telem, full in rows:
         table.add_row(name, f"{base * 1e3:.1f}", f"{idle * 1e3:.1f}",
-                      f"{idle / base:.3f}", f"{full * 1e3:.1f}",
+                      f"{idle / base:.3f}", f"{telem * 1e3:.1f}",
+                      f"{telem / base:.3f}", f"{full * 1e3:.1f}",
                       f"{full / base:.2f}")
     return table.render()
 
 
-def test_unobserved_simulation_is_free(benchmark):
-    rows = measure()
-    record("observe_overhead", render(rows))
-    for name, base, idle, _full in rows:
+@pytest.mark.parametrize("engine", ENGINES)
+def test_unobserved_simulation_is_free(benchmark, engine, tmp_path):
+    store = TelemetryStore(tmp_path / "telemetry")
+    rows = measure(engine, store)
+    record(f"observe_overhead_{engine}", render(engine, rows))
+    record_json(f"observe_overhead_{engine}", [
+        {"kernel": name,
+         "no_probes_s": round(base, 5),
+         "empty_bus_s": round(idle, 5),
+         "recorded_s": round(telem, 5),
+         "observed_s": round(full, 5),
+         "idle_ratio": round(idle / base, 4),
+         "record_ratio": round(telem / base, 4),
+         "observed_ratio": round(full / base, 4)}
+        for name, base, idle, telem, full in rows
+    ])
+    for name, base, idle, telem, _full in rows:
         assert idle <= base * ASSERT_CEILING, \
             f"{name}: empty probe bus costs {idle / base:.2f}x (> guard)"
+        assert telem <= base * ASSERT_CEILING, \
+            f"{name}: telemetry recording costs {telem / base:.2f}x " \
+            f"(> guard)"
+    # Every recorded() repeat persisted one run record.
+    assert len(store.index()) >= len(KERNELS)
 
     kernel = get_kernel(KERNELS[0])
     entry = compiled(KERNELS[0], "full")
     benchmark(lambda: entry.program.simulate(
-        list(kernel.args), memsys=MemorySystem(REALISTIC_MEMORY)))
+        list(kernel.args), memsys=MemorySystem(REALISTIC_MEMORY),
+        engine=engine))

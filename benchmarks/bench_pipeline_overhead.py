@@ -20,7 +20,7 @@ from repro.pipeline import CompilationCache, CompilerDriver, PipelineConfig
 from repro.programs import get_kernel
 from repro.utils.tables import TextTable
 
-from conftest import record
+from conftest import record, record_json
 
 KERNELS = ("adpcm_e", "adpcm_d", "compress", "ijpeg", "jpeg_e", "jpeg_d",
            "li", "mesa", "mpeg2_d", "vortex")
@@ -78,6 +78,18 @@ def render(rows, totals) -> str:
 def test_pipeline_overhead(tmp_path):
     rows, totals = measure(tmp_path / "cache")
     record("pipeline_overhead", render(rows, totals))
+    record_json("pipeline_overhead", {
+        "kernels": [
+            {"kernel": name,
+             "every_pass_s": round(strict, 4),
+             "final_s": round(relaxed, 4),
+             "cold_s": round(cold, 4),
+             "warm_s": round(warm, 4)}
+            for name, strict, relaxed, cold, warm in rows
+        ],
+        "totals": {key: round(value, 4)
+                   for key, value in totals.items()},
+    })
     # Acceptance: the warm cache is >= 5x cheaper than cold compilation
     # over the default subset, and the relaxed verification policy does
     # not cost more than the strict one (it skips ~35 verifier runs).

@@ -9,7 +9,7 @@ cheap).
 from repro.api import compile_minic
 from repro.harness.section2 import SECTION2_SOURCE, render, section2
 
-from conftest import record
+from conftest import record, record_json
 
 
 def test_section2_example(benchmark):
@@ -17,6 +17,12 @@ def test_section2_example(benchmark):
     assert result.stores_removed == 2
     assert result.loads_removed == 1
     record("section2", render())
+    record_json("section2", {
+        "loads": [result.loads_before, result.loads_after],
+        "stores": [result.stores_before, result.stores_after],
+        "loads_removed": result.loads_removed,
+        "stores_removed": result.stores_removed,
+    })
 
 
 def test_section2_compile_time(benchmark):

@@ -8,12 +8,21 @@ every pass stays within small multiples of the paper's size.
 
 from repro.harness.loc import render, table1
 
-from conftest import record
+from conftest import record, record_json
 
 
 def test_table1_loc(benchmark):
     rows = benchmark(table1)
     record("table1_loc", render())
+    record_json("table1_loc", [
+        {
+            "optimization": row.optimization,
+            "paper_loc": row.paper_loc,
+            "our_loc": row.our_loc,
+            "modules": list(row.modules),
+        }
+        for row in rows
+    ])
     for row in rows:
         assert row.our_loc > 0
         # Python with docstrings vs C++: allow up to ~4x the paper's count,

@@ -8,12 +8,24 @@ program list. Benchmarks whole-suite statistics collection.
 from repro.harness.table2 import render, table2
 from repro.programs import all_kernels
 
-from conftest import record
+from conftest import record, record_json
 
 
 def test_table2_statistics(benchmark):
     rows = benchmark(table2, "all")
     record("table2_programs", render("all"))
+    record_json("table2_programs", [
+        {
+            "kernel": row.name,
+            "family": row.family,
+            "functions": row.functions,
+            "lines": row.lines,
+            "pragmas": row.pragmas,
+            "dynamic_instructions": row.dynamic_instructions,
+            "coverage_percent": round(row.coverage_percent, 2),
+        }
+        for row in rows
+    ])
     assert len(rows) == len(all_kernels()) == 22
     assert sum(r.pragmas for r in rows) >= 5, "suite must exercise pragmas"
     assert all(r.dynamic_instructions > 0 for r in rows)

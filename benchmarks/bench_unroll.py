@@ -13,7 +13,7 @@ from repro.api import compile_minic
 from repro.sim.memsys import MemorySystem, REALISTIC_2PORT
 from repro.utils.tables import TextTable
 
-from conftest import record
+from conftest import record, record_json
 
 SOURCE = """
 int coeff[4];
@@ -68,6 +68,11 @@ def test_unroll_synergy(benchmark, variants):
     for label, run in variants.items():
         table.add_row(label, run.cycles, run.loads, run.stores)
     record("unroll_synergy", table.render())
+    record_json("unroll_synergy", {
+        label: {"cycles": run.cycles, "loads": run.loads,
+                "stores": run.stores}
+        for label, run in variants.items()
+    })
 
     rolled = variants["rolled"]
     unrolled = variants["unrolled"]

@@ -16,4 +16,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.__main__:main",
+            "repro-telemetry = repro.__main__:telemetry_main",
+        ],
+    },
 )

@@ -102,7 +102,8 @@ class CompiledProgram:
                  wall_limit: float | None = None,
                  profile=False,
                  probes=None,
-                 engine: str | None = None) -> DataflowResult:
+                 engine: str | None = None,
+                 telemetry=None) -> DataflowResult:
         """Execute spatially on the dataflow simulator (§7.3).
 
         ``event_limit`` bounds the number of simulation events (guarding
@@ -129,6 +130,13 @@ class CompiledProgram:
         ``"interp"`` the reference interpreter; ``None`` defers to
         ``$REPRO_SIM_ENGINE``. Results are bit-identical either way (the
         equivalence matrix in ``tests/sim/test_engine.py`` enforces it).
+
+        ``telemetry`` controls run recording (see
+        :mod:`repro.observe.telemetry`): ``None`` records into the
+        ambient :class:`~repro.observe.telemetry.TelemetrySession` when
+        one is active (and is inert otherwise), an explicit session or
+        :class:`~repro.observe.store.TelemetryStore` records there, and
+        ``False`` suppresses recording entirely.
         """
         engine = resolve_engine(engine)
         if isinstance(memsys, MemoryConfig):
@@ -156,7 +164,29 @@ class CompiledProgram:
         if observation is not None:
             result.profile = observation.report(
                 self.graph, result, memsys_name=memsys.config.name)
+        if telemetry is not False:
+            self._record_telemetry(telemetry, result, engine=engine,
+                                   memsys_name=memsys.config.name,
+                                   args=list(args or []), faults=faults)
         return result
+
+    def _record_telemetry(self, telemetry, result, *, engine, memsys_name,
+                          args, faults) -> None:
+        """Append a run record to the requested or ambient session."""
+        from repro.observe.telemetry import (
+            build_run_record, current_session,
+        )
+        sink = telemetry if telemetry is not None else current_session()
+        if sink is None:
+            return
+        if hasattr(sink, "record_run"):        # a TelemetrySession
+            sink.record_run(self, result, engine=engine,
+                            memsys_name=memsys_name, args=args,
+                            faults=faults)
+        else:                                  # a bare TelemetryStore
+            sink.append(build_run_record(self, result, engine=engine,
+                                         memsys_name=memsys_name,
+                                         args=args, faults=faults))
 
     def check_timing_robustness(self, args: list[object] | None = None,
                                 seeds: int = 3, plans=None, memsys=None,

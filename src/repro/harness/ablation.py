@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import HARNESS_VERIFY, compiled, select_kernels
+from repro.observe.telemetry import telemetry_tags
 from repro.opt.context import OptContext
 from repro.opt.passes import PassRunner, _fix_static_etas
 from repro.pipeline.config import PipelineConfig
@@ -97,29 +98,33 @@ def _ablation_row(kernel, memsys_config=REALISTIC_2PORT) -> AblationRow:
     kernels out over worker processes.
     """
     baseline = compiled(kernel.name, "none").program
-    run = baseline.simulate(list(kernel.args),
-                            memsys=MemorySystem(memsys_config))
-    kernel.check(run.return_value)
-    row = AblationRow(name=kernel.name, baseline_cycles=run.cycles)
-    for variant, passes in _variants().items():
-        program = _fresh_unoptimized(kernel)
-        ctx = OptContext(program.build)
-        runner = PassRunner(ctx, verify=HARNESS_VERIFY)
-        for pass_ in passes:
-            runner.run(pass_)
-        _fix_static_etas(ctx)
-        runner.finish()
-        result = program.simulate(list(kernel.args),
-                                  memsys=MemorySystem(memsys_config))
+    with telemetry_tags(figure="ablation", kernel=kernel.name,
+                        memsys=memsys_config.name):
+        run = baseline.simulate(list(kernel.args),
+                                memsys=MemorySystem(memsys_config))
+        kernel.check(run.return_value)
+        row = AblationRow(name=kernel.name, baseline_cycles=run.cycles)
+        for variant, passes in _variants().items():
+            program = _fresh_unoptimized(kernel)
+            ctx = OptContext(program.build)
+            runner = PassRunner(ctx, verify=HARNESS_VERIFY)
+            for pass_ in passes:
+                runner.run(pass_)
+            _fix_static_etas(ctx)
+            runner.finish()
+            with telemetry_tags(variant=variant):
+                result = program.simulate(list(kernel.args),
+                                          memsys=MemorySystem(memsys_config))
+            kernel.check(result.return_value)
+            row.cycles[variant] = result.cycles
+            for stat, count in ctx.stats.items():
+                row.applicability[stat] = \
+                    row.applicability.get(stat, 0) + count
+        full = compiled(kernel.name, "full").program
+        result = full.simulate(list(kernel.args),
+                               memsys=MemorySystem(memsys_config))
         kernel.check(result.return_value)
-        row.cycles[variant] = result.cycles
-        for stat, count in ctx.stats.items():
-            row.applicability[stat] = row.applicability.get(stat, 0) + count
-    full = compiled(kernel.name, "full").program
-    result = full.simulate(list(kernel.args),
-                           memsys=MemorySystem(memsys_config))
-    kernel.check(result.return_value)
-    row.full_cycles = result.cycles
+        row.full_cycles = result.cycles
     return row
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import compiled, select_kernels
+from repro.observe.telemetry import telemetry_tags
 from repro.utils.tables import TextTable
 
 
@@ -62,11 +63,15 @@ def _kernel_row(kernel, wall_limit: float | None = None,
     opt = compiled(kernel.name, "full")
     base_counts = base.program.static_counts()
     opt_counts = opt.program.static_counts()
-    base_run = base.program.simulate(list(kernel.args),
-                                     wall_limit=wall_limit,
-                                     profile=attribution)
-    opt_run = opt.program.simulate(list(kernel.args), wall_limit=wall_limit,
-                                   profile=attribution)
+    # Under an active TelemetrySession both runs persist tagged
+    # RunRecords, keyed so repro-telemetry can diff sweeps over time.
+    with telemetry_tags(figure="fig18", kernel=kernel.name):
+        base_run = base.program.simulate(list(kernel.args),
+                                         wall_limit=wall_limit,
+                                         profile=attribution)
+        opt_run = opt.program.simulate(list(kernel.args),
+                                       wall_limit=wall_limit,
+                                       profile=attribution)
     kernel.check(base_run.return_value)
     kernel.check(opt_run.return_value)
     row = Fig18Row(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import compiled, select_kernels
+from repro.observe.telemetry import telemetry_tags
 from repro.sim.memsys import (
     MemoryConfig,
     MemorySystem,
@@ -62,24 +63,29 @@ class Fig19Row:
 def _cell_row(kernel, config: MemoryConfig, levels,
               wall_limit: float | None = None,
               attribution: bool = False) -> Fig19Row:
-    base = compiled(kernel.name, "none")
-    baseline = base.program.simulate(list(kernel.args),
-                                     memsys=MemorySystem(config),
-                                     wall_limit=wall_limit)
-    kernel.check(baseline.return_value)
-    row = Fig19Row(name=kernel.name, memsys=config.name,
-                   baseline_cycles=baseline.cycles)
-    for level in levels:
-        opt = compiled(kernel.name, level)
-        run = opt.program.simulate(list(kernel.args),
-                                   memsys=MemorySystem(config),
-                                   wall_limit=wall_limit,
-                                   profile=attribution)
-        kernel.check(run.return_value)
-        row.cycles[level] = run.cycles
-        if attribution and run.profile is not None:
-            row.attribution[level] = \
-                dict(run.profile.critical_path.by_category)
+    # Under an active TelemetrySession every simulate below persists a
+    # tagged RunRecord, so a whole figure sweep becomes one queryable,
+    # diffable run-set (repro-telemetry compare <old> <new>).
+    with telemetry_tags(figure="fig19", kernel=kernel.name,
+                        memsys=config.name):
+        base = compiled(kernel.name, "none")
+        baseline = base.program.simulate(list(kernel.args),
+                                         memsys=MemorySystem(config),
+                                         wall_limit=wall_limit)
+        kernel.check(baseline.return_value)
+        row = Fig19Row(name=kernel.name, memsys=config.name,
+                       baseline_cycles=baseline.cycles)
+        for level in levels:
+            opt = compiled(kernel.name, level)
+            run = opt.program.simulate(list(kernel.args),
+                                       memsys=MemorySystem(config),
+                                       wall_limit=wall_limit,
+                                       profile=attribution)
+            kernel.check(run.return_value)
+            row.cycles[level] = run.cycles
+            if attribution and run.profile is not None:
+                row.attribution[level] = \
+                    dict(run.profile.critical_path.by_category)
     return row
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.cache import compile_source_cached
+from repro.observe.telemetry import telemetry_tags
 from repro.utils.tables import TextTable
 
 SECTION2_SOURCE = """
@@ -45,8 +46,11 @@ class Section2Result:
 def section2(runner=None) -> Section2Result:
     """The §2 measurement, optionally as one checkpointed, isolated job."""
     def job() -> Section2Result:
-        base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
-        full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
+        # Tag so compile records land under "section2" in the telemetry
+        # store when a session is active (cache hits record too).
+        with telemetry_tags(figure="section2", kernel="f"):
+            base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
+            full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
         before = base.static_counts()
         after = full.static_counts()
         return Section2Result(

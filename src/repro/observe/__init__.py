@@ -15,7 +15,13 @@ test when observation is off — and listeners over it:
 - :class:`~repro.observe.export.TraceCollector` + exporters → Chrome/
   Perfetto trace JSON, VCD waveforms, JSONL metrics;
 - :class:`~repro.observe.probes.HistoryRing` → recent-activity ring
-  reused by deadlock forensics.
+  reused by deadlock forensics;
+- :class:`~repro.observe.telemetry.TelemetrySession` +
+  :class:`~repro.observe.store.TelemetryStore` +
+  :mod:`~repro.observe.diff` → durable, schema-versioned
+  :class:`~repro.observe.telemetry.RunRecord` per compile/run in an
+  append-only store under ``.repro/telemetry/``, structured run-set
+  diffs, and the CI regression watchdog.
 
 :class:`Observation` bundles the common combinations::
 
@@ -47,13 +53,35 @@ from repro.observe.export import (
 )
 from repro.observe.probes import HistoryRing, ProbeBus
 from repro.observe.profiler import ProfileReport, Profiler, build_report
+from repro.observe.store import TelemetryStore, TelemetryStoreError
+from repro.observe.telemetry import (
+    RunRecord,
+    TelemetrySession,
+    current_session,
+    telemetry_tags,
+)
+from repro.observe.diff import (
+    ComparisonReport,
+    RunDelta,
+    Thresholds,
+    compare,
+    diff_runs,
+    load_baselines,
+    make_baselines,
+    save_baselines,
+    watchdog,
+)
 
 __all__ = [
-    "CriticalPathReport", "CriticalPathTracker", "HistoryRing",
-    "Observation", "ObservabilityError", "ProbeBus", "ProfileReport",
-    "Profiler", "TraceCollector", "build_report", "categorize",
-    "chrome_trace_events", "export_chrome_trace", "export_jsonl",
-    "export_vcd", "validate_trace_events",
+    "ComparisonReport", "CriticalPathReport", "CriticalPathTracker",
+    "HistoryRing", "Observation", "ObservabilityError", "ProbeBus",
+    "ProfileReport", "Profiler", "RunDelta", "RunRecord",
+    "TelemetrySession", "TelemetryStore", "TelemetryStoreError",
+    "Thresholds", "TraceCollector", "build_report", "categorize",
+    "chrome_trace_events", "compare", "current_session", "diff_runs",
+    "export_chrome_trace", "export_jsonl", "export_vcd",
+    "load_baselines", "make_baselines", "save_baselines",
+    "telemetry_tags", "validate_trace_events", "watchdog",
 ]
 
 

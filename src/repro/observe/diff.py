@@ -1,0 +1,454 @@
+"""Structured deltas between telemetry records, and the regression verdict.
+
+A :class:`~repro.observe.telemetry.RunRecord` is only as useful as the
+comparison it enables: fig19 is *speedup*, the ablation is *per-pass
+contribution*, CI wants *did this PR slow a kernel down*. This module
+computes those comparisons from stored records:
+
+- :func:`compare` pairs two run-sets by
+  :meth:`~repro.observe.telemetry.RunRecord.comparison_key` (kernel,
+  opt level, memory system, arguments) and emits one :class:`RunDelta`
+  per pair — cycle delta with a noise floor, critical-path
+  attribution-share shifts (compute <-> memory <-> token), cache
+  hit-rate changes, per-pass IR-delta drift;
+- :class:`ComparisonReport` folds the deltas into a verdict with
+  configurable :class:`Thresholds` and renders the human/CI summary;
+- :func:`replay_baselines` + :func:`watchdog` re-run a committed
+  baseline set against the current tree and compare — the CI job that
+  lets the bench trajectory police itself.
+
+Cycle counts in this simulator are deterministic per configuration, so
+the noise floor exists for metrics that are not (wall times) and for
+deliberately coarse thresholds; a same-config re-run compares clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.observe.telemetry import RunRecord, SCHEMA_VERSION
+
+#: Critical-path categories whose share shifts are reported.
+ATTRIBUTION_CATEGORIES = ("compute", "memory", "token", "control")
+
+
+class TelemetryDiffError(ReproError):
+    """Records that cannot be compared (schema skew, empty sets, ...)."""
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Configurable regression gates.
+
+    ``cycle_pct`` is the relative growth that flags a regression, but
+    only once the absolute delta clears ``cycle_floor`` (the noise
+    floor keeps tiny kernels from tripping percentage gates).
+    ``hit_rate_drop`` guards the cache; ``attribution_shift`` and
+    ``ir_nodes_drift`` only produce warnings (shape changes worth
+    reading, not failing CI over).
+    """
+
+    cycle_pct: float = 0.05
+    cycle_floor: int = 16
+    hit_rate_drop: float = 0.02
+    attribution_shift: float = 0.10
+    ir_nodes_drift: int = 8
+
+    def cycle_gate(self, baseline_cycles: int) -> float:
+        return max(float(self.cycle_floor),
+                   self.cycle_pct * baseline_cycles)
+
+
+@dataclass
+class RunDelta:
+    """One baseline/current pair, fully diffed."""
+
+    key: tuple
+    baseline: RunRecord
+    current: RunRecord
+    cycles_before: int = 0
+    cycles_after: int = 0
+    regression: bool = False
+    reasons: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    attribution_shifts: dict[str, float] = field(default_factory=dict)
+    hit_rate_before: float | None = None
+    hit_rate_after: float | None = None
+    pass_drift: list[dict] = field(default_factory=list)
+
+    @property
+    def cycle_delta(self) -> int:
+        return self.cycles_after - self.cycles_before
+
+    @property
+    def cycle_pct(self) -> float:
+        if not self.cycles_before:
+            return 0.0
+        return self.cycle_delta / self.cycles_before
+
+    @property
+    def name(self) -> str:
+        kind, kernel, level, memsys, variant, _args = self.key
+        bits = [str(part) for part in (kernel, level, memsys, variant)
+                if part]
+        return "/".join(bits) or kind
+
+    def render(self) -> str:
+        arrow = ("REGRESSION" if self.regression
+                 else "improved" if self.cycle_delta < 0
+                 else "ok")
+        if self.key[0] == "compile":
+            drifted = sum(1 for drift in self.pass_drift)
+            line = (f"{self.name} (compile): "
+                    f"{drifted or 'no'} pass IR-delta drift(s) [{arrow}]")
+        else:
+            line = (f"{self.name}: {self.cycles_before} -> "
+                    f"{self.cycles_after} cycles "
+                    f"({self.cycle_pct:+.1%}) [{arrow}]")
+        for reason in self.reasons:
+            line += f"\n    ! {reason}"
+        for warning in self.warnings:
+            line += f"\n    ~ {warning}"
+        return line
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "baseline_id": self.baseline.run_id,
+            "current_id": self.current.run_id,
+            "cycles_before": self.cycles_before,
+            "cycles_after": self.cycles_after,
+            "cycle_pct": round(self.cycle_pct, 6),
+            "regression": self.regression,
+            "reasons": list(self.reasons),
+            "warnings": list(self.warnings),
+            "attribution_shifts": {k: round(v, 6) for k, v
+                                   in self.attribution_shifts.items()},
+            "hit_rate_before": self.hit_rate_before,
+            "hit_rate_after": self.hit_rate_after,
+            "pass_drift": list(self.pass_drift),
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """Every delta between two run-sets, plus the verdict."""
+
+    deltas: list[RunDelta] = field(default_factory=list)
+    unmatched_baseline: list[RunRecord] = field(default_factory=list)
+    unmatched_current: list[RunRecord] = field(default_factory=list)
+    thresholds: Thresholds = field(default_factory=Thresholds)
+
+    @property
+    def regressions(self) -> list[RunDelta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def improvements(self) -> list[RunDelta]:
+        return [delta for delta in self.deltas
+                if not delta.regression and delta.cycle_delta < 0]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        if not self.deltas and not self.unmatched_baseline \
+                and not self.unmatched_current:
+            return "nothing to compare (no matching runs)"
+        lines = [delta.render() for delta in self.deltas]
+        for record in self.unmatched_baseline:
+            lines.append(f"baseline-only: {record.describe()}")
+        for record in self.unmatched_current:
+            lines.append(f"current-only: {record.describe()}")
+        verdict = ("no regression"
+                   if self.ok else
+                   f"{len(self.regressions)} regression(s) "
+                   f"of {len(self.deltas)} compared run(s)")
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "compared": len(self.deltas),
+            "regressions": len(self.regressions),
+            "deltas": [delta.to_dict() for delta in self.deltas],
+            "unmatched_baseline": [record.describe() for record
+                                   in self.unmatched_baseline],
+            "unmatched_current": [record.describe() for record
+                                  in self.unmatched_current],
+        }
+
+
+# ----------------------------------------------------------------------
+# Pairwise and set-wise comparison
+
+
+def diff_runs(baseline: RunRecord, current: RunRecord,
+              thresholds: Thresholds | None = None) -> RunDelta:
+    """The structured delta of two comparable run records."""
+    thresholds = thresholds or Thresholds()
+    if baseline.schema != current.schema:
+        raise TelemetryDiffError(
+            f"cannot compare schema {baseline.schema} against "
+            f"{current.schema} (this build speaks {SCHEMA_VERSION})")
+    delta = RunDelta(key=current.comparison_key(), baseline=baseline,
+                     current=current,
+                     cycles_before=baseline.cycles or 0,
+                     cycles_after=current.cycles or 0)
+
+    # Cycles: the verdict-driving metric, gated by the noise floor.
+    growth = delta.cycle_delta
+    if delta.cycles_before and \
+            growth > thresholds.cycle_gate(delta.cycles_before):
+        delta.regression = True
+        delta.reasons.append(
+            f"cycles grew {growth} ({delta.cycle_pct:+.1%}), over the "
+            f"{thresholds.cycle_pct:.0%}/{thresholds.cycle_floor}-cycle "
+            f"gate")
+
+    # Cache behaviour.
+    delta.hit_rate_before = baseline.cache_hit_rate()
+    delta.hit_rate_after = current.cache_hit_rate()
+    if delta.hit_rate_before is not None \
+            and delta.hit_rate_after is not None:
+        drop = delta.hit_rate_before - delta.hit_rate_after
+        if drop > thresholds.hit_rate_drop:
+            delta.regression = True
+            delta.reasons.append(
+                f"cache hit rate fell {delta.hit_rate_before:.3f} -> "
+                f"{delta.hit_rate_after:.3f}")
+
+    # Critical-path attribution shifts (compute <-> memory <-> token).
+    before_shares = baseline.attribution_shares()
+    after_shares = current.attribution_shares()
+    if before_shares and after_shares:
+        for category in ATTRIBUTION_CATEGORIES:
+            shift = (after_shares.get(category, 0.0)
+                     - before_shares.get(category, 0.0))
+            if abs(shift) > 1e-9:
+                delta.attribution_shifts[category] = shift
+            if abs(shift) > thresholds.attribution_shift:
+                delta.warnings.append(
+                    f"critical-path {category} share moved "
+                    f"{before_shares.get(category, 0.0):.1%} -> "
+                    f"{after_shares.get(category, 0.0):.1%}")
+
+    # Per-pass IR-delta drift (compile records on either side).
+    delta.pass_drift = _pass_drift(baseline, current, thresholds)
+    for drift in delta.pass_drift:
+        if drift["exceeds"]:
+            delta.warnings.append(
+                f"pass {drift['name']} IR delta drifted "
+                f"{drift['d_nodes_before']} -> {drift['d_nodes_after']} "
+                f"nodes")
+    return delta
+
+
+def _pass_drift(baseline: RunRecord, current: RunRecord,
+                thresholds: Thresholds) -> list[dict]:
+    before = {(p["name"], index): p for index, p in
+              enumerate((baseline.compilation or {}).get("passes") or [])}
+    after = {(p["name"], index): p for index, p in
+             enumerate((current.compilation or {}).get("passes") or [])}
+    drift = []
+    for key in before.keys() & after.keys():
+        b, a = before[key], after[key]
+        if (b["d_nodes"], b["d_loads"], b["d_stores"], b["d_tokens"]) == \
+                (a["d_nodes"], a["d_loads"], a["d_stores"], a["d_tokens"]):
+            continue
+        drift.append({
+            "name": key[0],
+            "d_nodes_before": b["d_nodes"],
+            "d_nodes_after": a["d_nodes"],
+            "d_loads_before": b["d_loads"],
+            "d_loads_after": a["d_loads"],
+            "exceeds": abs(a["d_nodes"] - b["d_nodes"])
+            > thresholds.ir_nodes_drift,
+        })
+    drift.sort(key=lambda item: item["name"])
+    return drift
+
+
+def compare(baseline_records, current_records,
+            thresholds: Thresholds | None = None) -> ComparisonReport:
+    """Pair two run-sets by comparison key and diff every pair.
+
+    When several records on one side share a key (a session that ran the
+    same cell repeatedly), the newest wins. Compile-only records pair
+    with compile records, runs with runs.
+    """
+    thresholds = thresholds or Thresholds()
+    baseline_by_key = _latest_by_key(baseline_records)
+    current_by_key = _latest_by_key(current_records)
+    report = ComparisonReport(thresholds=thresholds)
+    for key in sorted(baseline_by_key.keys() & current_by_key.keys(),
+                      key=repr):
+        report.deltas.append(diff_runs(baseline_by_key[key],
+                                       current_by_key[key], thresholds))
+    for key in sorted(baseline_by_key.keys() - current_by_key.keys(),
+                      key=repr):
+        report.unmatched_baseline.append(baseline_by_key[key])
+    for key in sorted(current_by_key.keys() - baseline_by_key.keys(),
+                      key=repr):
+        report.unmatched_current.append(current_by_key[key])
+    return report
+
+
+def _latest_by_key(records) -> dict[tuple, RunRecord]:
+    by_key: dict[tuple, RunRecord] = {}
+    for record in records:
+        key = record.comparison_key()
+        held = by_key.get(key)
+        if held is None or record.created_at >= held.created_at:
+            by_key[key] = record
+    return by_key
+
+
+# ----------------------------------------------------------------------
+# Baseline files and the watchdog
+
+
+def load_baselines(path: str | Path) -> list[RunRecord]:
+    """Baseline records from a JSON file or a directory of them.
+
+    Each file holds either one record payload or a list of payloads —
+    the format :func:`save_baselines` writes and CI commits under
+    ``benchmarks/results/baselines/``.
+    """
+    path = Path(path)
+    files = sorted(path.glob("*.json")) if path.is_dir() else [path]
+    if not files:
+        raise TelemetryDiffError(f"no baseline files under {path}")
+    records = []
+    for file in files:
+        payload = json.loads(file.read_text())
+        items = payload if isinstance(payload, list) else [payload]
+        records.extend(RunRecord.from_dict(item) for item in items)
+    return records
+
+
+def save_baselines(records, directory: str | Path) -> list[Path]:
+    """Write one ``<kernel>-<level>-<memsys>.json`` per record."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for record in records:
+        name = "-".join(str(part) for part in
+                        (record.kernel, record.opt_level, record.memsys)
+                        if part)
+        path = directory / f"{name or 'baseline'}.json"
+        path.write_text(json.dumps(record.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def _memsys_by_name(name: str | None):
+    from repro.sim.memsys import (
+        PERFECT_MEMORY, REALISTIC_MEMORY, REALISTIC_1PORT,
+        REALISTIC_2PORT, REALISTIC_4PORT,
+    )
+    registry = {config.name: config for config in (
+        PERFECT_MEMORY, REALISTIC_MEMORY, REALISTIC_1PORT,
+        REALISTIC_2PORT, REALISTIC_4PORT)}
+    if name not in registry:
+        raise TelemetryDiffError(
+            f"baseline names unknown memory system {name!r}; "
+            f"known: {sorted(registry)}")
+    return registry[name]
+
+
+def replay_baselines(records, *, wall_limit: float | None = None,
+                     session=None) -> list[RunRecord]:
+    """Re-run each baseline's (kernel, level, memsys) cell on the
+    current tree and return fresh records.
+
+    Baselines must name a kernel from the registry (the ``kernel`` tag);
+    compile-only records and unknown kernels are skipped. When a
+    ``session`` is given the fresh records are also persisted there.
+    """
+    from repro.harness.cache import compiled
+    from repro.observe.telemetry import build_run_record
+    from repro.programs import get_kernel
+    from repro.sim.memsys import MemorySystem
+
+    fresh = []
+    for record in records:
+        if record.kind != "run" or not record.tags.get("kernel"):
+            continue
+        name = record.tags["kernel"]
+        try:
+            kernel = get_kernel(name)
+        except KeyError:
+            continue
+        entry = compiled(name, record.opt_level or "full")
+        config = _memsys_by_name(record.memsys)
+        result = entry.program.simulate(
+            list(kernel.args), memsys=MemorySystem(config),
+            wall_limit=wall_limit, profile=bool(record.critical_path),
+            telemetry=False)
+        kernel.check(result.return_value)
+        current = build_run_record(
+            entry.program, result, engine=None, memsys_name=config.name,
+            args=list(kernel.args), tags={"kernel": name})
+        if session is not None:
+            session.record(current)
+        fresh.append(current)
+    return fresh
+
+
+def make_baselines(kernels, levels=("none", "full"),
+                   memory_systems=None, *, profile: bool = True) -> list[RunRecord]:
+    """Fresh baseline records for ``kernels`` x ``levels`` x memsys."""
+    from repro.harness.cache import compiled
+    from repro.observe.telemetry import build_run_record
+    from repro.programs import get_kernel
+    from repro.sim.memsys import (
+        MemorySystem, PERFECT_MEMORY, REALISTIC_2PORT,
+    )
+    if memory_systems is None:
+        memory_systems = (PERFECT_MEMORY, REALISTIC_2PORT)
+    records = []
+    for name in kernels:
+        kernel = get_kernel(name)
+        for level in levels:
+            entry = compiled(name, level)
+            for config in memory_systems:
+                result = entry.program.simulate(
+                    list(kernel.args), memsys=MemorySystem(config),
+                    profile=profile, telemetry=False)
+                kernel.check(result.return_value)
+                records.append(build_run_record(
+                    entry.program, result, memsys_name=config.name,
+                    args=list(kernel.args), tags={"kernel": name}))
+    return records
+
+
+def watchdog(baseline_path: str | Path,
+             thresholds: Thresholds | None = None,
+             wall_limit: float | None = None,
+             session=None) -> ComparisonReport:
+    """Replay a committed baseline set and compare: the CI regression
+    gate. ``report.ok`` is the pass/fail bit."""
+    baselines = load_baselines(baseline_path)
+    fresh = replay_baselines(baselines, wall_limit=wall_limit,
+                             session=session)
+    return compare(baselines, fresh, thresholds)
+
+
+def perturbed(config, factor: float = 4.0):
+    """A timing-degraded copy of a memory config **with the same name**
+    — the test fixture for an injected regression (the comparison key
+    must still match the baseline's)."""
+    return replace(config,
+                   perfect_latency=max(1, int(config.perfect_latency
+                                              * factor)),
+                   l1_hit=int(config.l1_hit * factor),
+                   l2_hit=int(config.l2_hit * factor),
+                   mem_latency=int(config.mem_latency * factor),
+                   tlb_miss=int(config.tlb_miss * factor))

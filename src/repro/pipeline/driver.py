@@ -16,6 +16,7 @@ before any stage runs, and the finished program is stored after.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -170,9 +171,12 @@ class CompilerDriver:
 
         The returned program carries its :class:`CompilationReport` as
         ``program.report`` (cache hits carry the report of the original
-        compilation, re-marked ``cache_status="hit"``).
+        compilation, re-marked ``cache_status="hit"``). When a
+        :class:`~repro.observe.telemetry.TelemetrySession` is active,
+        the compile (hit or miss) is recorded into it.
         """
         key = None
+        program = None
         if self.cache is not None:
             key = self.cache.key(source, entry, self.config)
             cached = self.cache.get(key)
@@ -180,11 +184,20 @@ class CompilerDriver:
                 if cached.report is not None:
                     cached.report.cache_status = "hit"
                     cached.report.cache_key = key
-                return cached
-        program = self._run_stages(source, entry, key)
-        if self.cache is not None:
-            self.cache.put(key, program)
+                program = cached
+        if program is None:
+            program = self._run_stages(source, entry, key)
+            if self.cache is not None:
+                self.cache.put(key, program)
+        self._record_telemetry(program)
         return program
+
+    @staticmethod
+    def _record_telemetry(program) -> None:
+        from repro.observe.telemetry import current_session
+        session = current_session()
+        if session is not None and session.record_compiles:
+            session.record_compile(program)
 
     # ------------------------------------------------------------------
 
@@ -194,6 +207,7 @@ class CompilerDriver:
         report = CompilationReport(entry=entry, config=self.config)
         report.cache_status = "uncached" if self.cache is None else "miss"
         report.cache_key = key
+        report.source_sha = hashlib.sha256(source.encode()).hexdigest()
         state = Compilation(source=source, entry=entry,
                             config=self.config, report=report)
         total_started = time.perf_counter()

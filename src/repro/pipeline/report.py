@@ -116,6 +116,10 @@ class CompilationReport:
     def __init__(self, entry: str = "", config=None):
         self.entry = entry
         self.config = config
+        # SHA-256 of the source text, stamped by the driver; the
+        # telemetry layer uses it to tell "same kernel, new source"
+        # from "same source, new toolchain".
+        self.source_sha: str | None = None
         self.stages: list[StageRecord] = []
         self.passes: list[PassRecord] = []
         self.counters: dict[str, int] = {}
@@ -181,6 +185,7 @@ class CompilationReport:
     def to_dict(self) -> dict:
         return {
             "entry": self.entry,
+            "source_sha": self.source_sha,
             "opt_level": self.config.opt_level if self.config else None,
             "verify": self.config.verify if self.config else None,
             "stages": [record.to_dict() for record in self.stages],

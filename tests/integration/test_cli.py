@@ -1,0 +1,139 @@
+"""CLI smoke matrix: `repro` and `repro telemetry` end to end.
+
+Drives :func:`repro.__main__.main` in-process across the
+``--profile``/``--critical-path``/``--record`` × ``--engine`` matrix,
+asserting exit code 0 and that each flag leaves its artifact: profile
+output, a telemetry session in the store, trace files. Then walks the
+``repro telemetry`` subcommands over the store the matrix populated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main, telemetry_main
+from repro.observe.store import TelemetryStore
+
+SOURCE = """
+int a[64];
+int kernel(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 3; s += a[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "smoke.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def store_root(tmp_path, monkeypatch):
+    root = tmp_path / "telemetry"
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(root))
+    return root
+
+
+BASE = ["--entry", "kernel", "--args", "24", "--memory", "realistic"]
+
+
+@pytest.mark.parametrize("engine", ["compiled", "interp"])
+@pytest.mark.parametrize("extra", [
+    [],
+    ["--profile"],
+    ["--critical-path"],
+    ["--record"],
+    ["--profile", "--critical-path", "--record"],
+], ids=lambda flags: "+".join(f.lstrip("-") for f in flags) or "plain")
+def test_cli_matrix_exits_zero(source_file, store_root, capsys,
+                               engine, extra):
+    exit_code = main([source_file, *BASE, "--engine", engine, *extra])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "result" in out
+    if "--profile" in extra:
+        assert "fires" in out
+    if "--critical-path" in extra:
+        assert "critical" in out.lower()
+    if "--record" in extra:
+        assert "telemetry:" in out
+        store = TelemetryStore(store_root)
+        records = store.records(kind="run")
+        assert records and records[-1].engine == engine
+        assert records[-1].result["cycles"] > 0
+    else:
+        assert not store_root.exists()
+
+
+def test_record_then_telemetry_subcommands(source_file, store_root,
+                                           capsys):
+    for _ in range(2):
+        assert main([source_file, *BASE, "--record"]) == 0
+    capsys.readouterr()
+
+    store = TelemetryStore(store_root)
+    sessions = sorted(store.sessions())
+    assert len(sessions) == 2
+
+    assert telemetry_main(["list"]) == 0
+    assert "smoke" in capsys.readouterr().out
+
+    assert telemetry_main(["list", "--sessions"]) == 0
+    listing = capsys.readouterr().out
+    for session in sessions:
+        assert session in listing
+
+    run_id = store.index()[-1]["run_id"]
+    assert telemetry_main(["show", run_id[:12]]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+    assert telemetry_main(["show", run_id, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["run_id"] == run_id
+
+    # Identical configs: the comparison must come back clean.
+    assert telemetry_main(["compare", sessions[0], sessions[1]]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+    assert telemetry_main(["gc", "--keep-sessions", "1"]) == 0
+    capsys.readouterr()
+    assert len(TelemetryStore(store_root).sessions()) == 1
+
+
+def test_trace_exports_alongside_record(source_file, store_root,
+                                        tmp_path, capsys):
+    trace = tmp_path / "run.json"
+    vcd = tmp_path / "run.vcd"
+    exit_code = main([source_file, *BASE, "--record",
+                      "--trace-out", str(trace), "--trace-out", str(vcd)])
+    capsys.readouterr()
+    assert exit_code == 0
+    assert trace.exists() and vcd.exists()
+    assert TelemetryStore(store_root).records(kind="run")
+
+
+def test_baseline_and_watchdog_subcommands(tmp_path, store_root, capsys):
+    out_dir = tmp_path / "baselines"
+    assert telemetry_main(["baseline", "--out", str(out_dir),
+                           "--kernels", "li", "--levels", "full",
+                           "--memory", "perfect,realistic-2port"]) == 0
+    capsys.readouterr()
+    files = sorted(out_dir.glob("*.json"))
+    assert len(files) == 2
+
+    assert telemetry_main(["watchdog", "--baselines", str(out_dir)]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+    # Doctor one baseline to claim half the cycles: the replay must
+    # read as a regression and exit nonzero.
+    payload = json.loads(files[0].read_text())
+    payload["result"]["cycles"] //= 2
+    files[0].write_text(json.dumps(payload))
+    assert telemetry_main(["watchdog", "--baselines", str(out_dir)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out

@@ -109,6 +109,57 @@ class TestVCD:
         signals = obs.export_vcd(program.graph, tmp_path / "top.vcd", top=3)
         assert signals <= 4  # 3 operators + the LSQ depth signal
 
+    def test_round_trip_reconstructs_firing_pulses(self, observed,
+                                                   tmp_path):
+        """Replaying the VCD recovers the collector's firing counts.
+
+        Each operator signal pulses to firings-this-cycle and back to
+        zero, so integrating value changes over strictly increasing
+        timestamps must reproduce the per-node per-cycle counts the
+        trace collector measured."""
+        program, obs, _ = observed
+        path = tmp_path / "roundtrip.vcd"
+        obs.export_vcd(program.graph, path)
+
+        name_by_ident = {}
+        changes = {}
+        now = None
+        times = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if line.startswith("$var"):
+                parts = line.split()
+                name_by_ident[parts[3]] = parts[4]
+            elif line.startswith("#"):
+                now = int(line[1:])
+                times.append(now)
+            elif line.startswith("b") and now is not None:
+                raw, ident = line[1:].split()
+                changes.setdefault(ident, []).append((now, int(raw, 2)))
+        assert times == sorted(set(times)), "timestamps must be strictly " \
+            "monotonic"
+
+        expected = {}
+        for node_id, start, _done in obs.collector.fires:
+            per_cycle = expected.setdefault(node_id, {})
+            per_cycle[start] = per_cycle.get(start, 0) + 1
+
+        for ident, events in changes.items():
+            name = name_by_ident[ident]
+            if name == "lsq_depth":
+                continue
+            # A VCD signal is piecewise constant: each value holds from
+            # its timestamp until the next change. Integrating gives the
+            # firings-per-cycle series back.
+            reconstructed = {}
+            for (start, value), (end, _next) in zip(events, events[1:]):
+                for cycle in range(start, end):
+                    if value:
+                        reconstructed[cycle] = value
+            assert events[-1][1] == 0, f"{name} must end quiet"
+            node_id = int(name.rsplit("#", 1)[1])
+            assert reconstructed == expected[node_id], name
+
 
 class TestJSONL:
     def test_lines_parse_and_cover_the_report(self, observed, tmp_path):
