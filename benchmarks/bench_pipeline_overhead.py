@@ -9,6 +9,10 @@ Two claims the staged driver makes measurable:
   recompiling every kernel into unpickling it — warm recompilation of the
   default subset must be at least 5x faster than cold.
 
+Since sweeps now route through :mod:`repro.orchestrate`, the JSON
+payload also records the inline scheduler's per-job dispatch overhead,
+so a regression in orchestration bookkeeping shows up here.
+
 Writes ``benchmarks/results/pipeline_overhead.txt``.
 """
 
@@ -54,6 +58,40 @@ def measure(tmp_root):
     return rows, totals
 
 
+def _noop(i):
+    return i
+
+
+def measure_scheduler_overhead(jobs: int = 300):
+    """Per-job cost of routing work through the inline scheduler.
+
+    Times ``jobs`` no-op jobs dispatched by a Scheduler against the same
+    calls made directly; the difference is pure orchestration tax
+    (topological bookkeeping, result finalization, journal-less path).
+    """
+    from repro.orchestrate.dag import JobDAG
+    from repro.orchestrate.scheduler import Scheduler
+
+    started = time.perf_counter()
+    for i in range(jobs):
+        _noop(i)
+    direct = time.perf_counter() - started
+
+    dag = JobDAG("overhead")
+    for i in range(jobs):
+        dag.job(f"n{i}", _noop, i)
+    started = time.perf_counter()
+    sweep = Scheduler(dag).run()
+    scheduled = time.perf_counter() - started
+    assert sweep.ok
+    return {
+        "jobs": jobs,
+        "direct_s": round(direct, 5),
+        "scheduled_s": round(scheduled, 5),
+        "overhead_us_per_job": round((scheduled - direct) / jobs * 1e6, 1),
+    }
+
+
 def render(rows, totals) -> str:
     table = TextTable(
         ["Kernel", "every-pass ms", "final ms", "cold+cache ms", "warm ms",
@@ -77,6 +115,7 @@ def render(rows, totals) -> str:
 
 def test_pipeline_overhead(tmp_path):
     rows, totals = measure(tmp_path / "cache")
+    scheduler = measure_scheduler_overhead()
     record("pipeline_overhead", render(rows, totals))
     record_json("pipeline_overhead", {
         "kernels": [
@@ -89,6 +128,7 @@ def test_pipeline_overhead(tmp_path):
         ],
         "totals": {key: round(value, 4)
                    for key, value in totals.items()},
+        "scheduler_overhead": scheduler,
     })
     # Acceptance: the warm cache is >= 5x cheaper than cold compilation
     # over the default subset, and the relaxed verification policy does

@@ -20,6 +20,7 @@ setup(
         "console_scripts": [
             "repro = repro.__main__:main",
             "repro-telemetry = repro.__main__:telemetry_main",
+            "repro-sweep = repro.orchestrate.sweeps:sweep_main",
         ],
     },
 )

@@ -37,6 +37,15 @@ The telemetry store has its own subcommand surface (also installed as
 ``compare`` accepts run ids, session ids, or baseline files/directories
 on either side and exits nonzero on a regression verdict; ``watchdog``
 replays a committed baseline set against the current tree.
+
+Figure sweeps run as explicit job DAGs with retry and resume (also
+installed as ``repro-sweep``; see :mod:`repro.orchestrate.sweeps`)::
+
+    python -m repro sweep list
+    python -m repro sweep describe fig19 --kernels li
+    python -m repro sweep run fig19 --executor process --retries 2
+    python -m repro sweep resume fig19
+    python -m repro sweep status fig19
 """
 
 from __future__ import annotations
@@ -151,6 +160,9 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.orchestrate.sweeps import sweep_main
+        return sweep_main(argv[1:])
     options = build_parser().parse_args(argv)
     try:
         with open(options.source) as handle:

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import HARNESS_VERIFY, compiled, select_kernels
+from repro.harness.sweep import compile_warm, gather_rows, run_sweep
 from repro.observe.telemetry import telemetry_tags
+from repro.orchestrate.dag import JobDAG
 from repro.opt.context import OptContext
 from repro.opt.passes import PassRunner, _fix_static_etas
 from repro.pipeline.config import PipelineConfig
@@ -128,25 +130,53 @@ def _ablation_row(kernel, memsys_config=REALISTIC_2PORT) -> AblationRow:
     return row
 
 
+AGGREGATE = "ablation/aggregate"
+
+
+def build_dag(kernels=None, memsys_config=REALISTIC_2PORT) -> JobDAG:
+    """The §7.3 ablation as an explicit compile → cell → aggregate DAG.
+
+    One cell per kernel named ``ablation/<kernel>``; the compile warm-up
+    covers the cached ``none``/``full`` endpoints (variant pipelines
+    compile privately inside the cell), and a transient aggregate
+    collects rows in kernel order.
+    """
+    dag = JobDAG("ablation")
+    cells = []
+    for kernel in select_kernels(kernels):
+        dag.job(f"ablation/compile/{kernel.name}", compile_warm,
+                kernel.name, ("none", "full"), category="compile")
+        name = f"ablation/{kernel.name}"
+        dag.job(name, _ablation_row, kernel, memsys_config,
+                deps=(f"ablation/compile/{kernel.name}",),
+                category="cell")
+        cells.append(name)
+    dag.job(AGGREGATE, gather_rows, deps=tuple(cells),
+            category="aggregate", tolerant=True, pass_deps=True,
+            transient=True)
+    return dag
+
+
 def ablate(kernels=None, memsys_config=REALISTIC_2PORT,
-           parallel=False, max_workers=None) -> list[AblationRow]:
+           parallel=False, max_workers=None,
+           runner=None) -> list[AblationRow]:
     """Ablation rows, one per kernel.
 
-    ``parallel=True`` runs the kernels in worker processes
-    (:func:`~repro.pipeline.parallel.run_jobs`); the variant pipelines
-    each mutate a private compilation, so kernels are independent and
-    row order is unchanged.
+    Declares the :func:`build_dag` job graph and runs it through the
+    sweep scheduler. ``parallel=True`` runs the kernels on the
+    process-pool executor (the variant pipelines each mutate a private
+    compilation, so kernels are independent and row order is unchanged);
+    a :class:`~repro.resilience.harness.ExperimentRunner` journals and
+    degrades per-kernel instead.
     """
-    selected = select_kernels(kernels)
-    if parallel:
-        from repro.pipeline.parallel import run_jobs
-        jobs = [(kernel, memsys_config) for kernel in selected]
-        return run_jobs(_ablation_row, jobs, max_workers=max_workers)
-    return [_ablation_row(kernel, memsys_config) for kernel in selected]
+    dag = build_dag(kernels, memsys_config)
+    sweep = run_sweep(dag, runner=runner, parallel=parallel,
+                      max_workers=max_workers)
+    return sweep.value(AGGREGATE) or []
 
 
-def render(kernels=None, parallel=False) -> str:
-    rows = ablate(kernels, parallel=parallel)
+def render_rows(rows) -> str:
+    """The ablation table for already-computed ``rows``."""
     variants = list(_variants())
     table = TextTable(
         ["Benchmark"] + [f"x {v}" for v in variants]
@@ -162,3 +192,7 @@ def render(kernels=None, parallel=False) -> str:
             f"{row.product_of_parts:.2f}",
         )
     return table.render()
+
+
+def render(kernels=None, parallel=False) -> str:
+    return render_rows(ablate(kernels, parallel=parallel))

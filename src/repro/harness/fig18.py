@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import compiled, select_kernels
+from repro.harness.sweep import compile_warm, gather_rows, run_sweep
 from repro.observe.telemetry import telemetry_tags
+from repro.orchestrate.dag import JobDAG
 from repro.utils.tables import TextTable
 
 
@@ -91,39 +93,56 @@ def _kernel_row(kernel, wall_limit: float | None = None,
     return row
 
 
+AGGREGATE = "fig18/aggregate"
+
+
+def build_dag(kernels=None, attribution=False) -> JobDAG:
+    """The Figure 18 sweep as an explicit compile → cell → aggregate DAG.
+
+    One cell per kernel, named ``fig18/<kernel>`` (the historical
+    checkpoint key), depending on a per-kernel compile warm-up; a
+    transient aggregate collects rows in kernel order.
+    """
+    dag = JobDAG("fig18")
+    selected = select_kernels(kernels)
+    cells = []
+    for kernel in selected:
+        dag.job(f"fig18/compile/{kernel.name}", compile_warm,
+                kernel.name, ("none", "full"), category="compile")
+        name = f"fig18/{kernel.name}"
+        dag.job(name, _kernel_row, kernel,
+                deps=(f"fig18/compile/{kernel.name}",),
+                category="cell", attribution=attribution)
+        cells.append(name)
+    dag.job(AGGREGATE, gather_rows, deps=tuple(cells),
+            category="aggregate", tolerant=True, pass_deps=True,
+            transient=True)
+    return dag
+
+
 def figure18(kernels=None, runner=None, attribution=False,
              parallel=False, max_workers=None) -> list[Fig18Row]:
     """Rows for Figure 18; one per kernel.
 
-    With a :class:`~repro.resilience.harness.ExperimentRunner`, each
-    kernel runs as an isolated, checkpointed job: a crashed or timed-out
-    kernel is dropped from the rows (and reported degraded on the
-    runner) instead of aborting the batch. ``attribution=True`` profiles
-    each run and fills the per-row critical-path category breakdowns.
-    ``parallel=True`` fans the kernels out over worker processes
-    (:func:`~repro.pipeline.parallel.run_jobs`; mutually exclusive with
-    ``runner``); workers share compilations through the on-disk cache,
-    and row order is unchanged.
+    Declares the :func:`build_dag` job graph and runs it through the
+    sweep scheduler. With a
+    :class:`~repro.resilience.harness.ExperimentRunner`, each kernel
+    runs as an isolated, journaled job: a crashed or timed-out kernel is
+    dropped from the rows (and reported degraded on the runner) instead
+    of aborting the batch. ``attribution=True`` profiles each run and
+    fills the per-row critical-path category breakdowns.
+    ``parallel=True`` fans the kernels out over the process-pool
+    executor; workers share compilations through the on-disk cache, and
+    row order is unchanged.
     """
-    selected = select_kernels(kernels)
-    if runner is None and parallel:
-        from repro.pipeline.parallel import run_jobs
-        jobs = [(kernel, None, attribution) for kernel in selected]
-        return run_jobs(_kernel_row, jobs, max_workers=max_workers)
-    rows = []
-    for kernel in selected:
-        if runner is None:
-            rows.append(_kernel_row(kernel, attribution=attribution))
-            continue
-        outcome = runner.run(f"fig18/{kernel.name}", _kernel_row, kernel,
-                             attribution=attribution)
-        if outcome.ok:
-            rows.append(outcome.value)
-    return rows
+    dag = build_dag(kernels, attribution)
+    sweep = run_sweep(dag, runner=runner, parallel=parallel,
+                      max_workers=max_workers)
+    return sweep.value(AGGREGATE) or []
 
 
-def render(kernels=None, runner=None, attribution=False,
-           parallel=False) -> str:
+def render_rows(rows, attribution=False, degraded=()) -> str:
+    """The Figure 18 table for already-computed ``rows``."""
     columns = ["Benchmark", "st.loads -%", "st.stores -%", "dyn.memops -%",
                "loads", "stores", "dyn before", "dyn after"]
     if attribution:
@@ -133,8 +152,7 @@ def render(kernels=None, runner=None, attribution=False,
         title="Figure 18: static and dynamic memory operations removed "
               "(full vs none)",
     )
-    for row in figure18(kernels, runner=runner, attribution=attribution,
-                        parallel=parallel):
+    for row in rows:
         cells = [
             row.name,
             f"{row.static_loads_removed_pct:.1f}",
@@ -149,13 +167,22 @@ def render(kernels=None, runner=None, attribution=False,
             cells += [_share(row.attribution_before),
                       _share(row.attribution_after)]
         table.add_row(*cells)
-    if runner is not None:
-        for outcome in runner.degraded:
-            table.add_row(outcome.key.split("/", 1)[-1],
-                          *(["DEGRADED"] + ["-"] * (len(columns) - 2)))
+    degraded = list(degraded)
+    for outcome in degraded:
+        table.add_row(outcome.key.split("/", 1)[-1],
+                      *(["DEGRADED"] + ["-"] * (len(columns) - 2)))
     text = table.render()
-    if runner is not None and runner.degraded:
+    if degraded:
         text += "\n" + "\n".join(
             f"degraded {outcome.key}: {outcome.describe()}"
-            for outcome in runner.degraded)
+            for outcome in degraded)
     return text
+
+
+def render(kernels=None, runner=None, attribution=False,
+           parallel=False) -> str:
+    rows = figure18(kernels, runner=runner, attribution=attribution,
+                    parallel=parallel)
+    return render_rows(rows, attribution=attribution,
+                       degraded=runner.degraded if runner is not None
+                       else ())

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.cache import compiled, select_kernels
+from repro.harness.sweep import compile_warm, gather_rows, run_sweep
 from repro.observe.telemetry import telemetry_tags
+from repro.orchestrate.dag import JobDAG
 from repro.sim.memsys import (
     MemoryConfig,
     MemorySystem,
@@ -89,45 +91,65 @@ def _cell_row(kernel, config: MemoryConfig, levels,
     return row
 
 
+AGGREGATE = "fig19/aggregate"
+
+
+def build_dag(kernels=None, memory_systems=MEMORY_SYSTEMS, levels=LEVELS,
+              attribution=False) -> JobDAG:
+    """The Figure 19 sweep as an explicit compile → cell → aggregate DAG.
+
+    Cells keep the historical job names ``fig19/<kernel>/<memsys>`` so
+    existing checkpoints remain valid resume identities; each depends on
+    its kernel's ``fig19/compile/<kernel>`` warm-up job, and the
+    transient aggregate collects rows in (kernel × memsys) order.
+    """
+    dag = JobDAG("fig19")
+    selected = select_kernels(kernels)
+    for kernel in selected:
+        dag.job(f"fig19/compile/{kernel.name}", compile_warm,
+                kernel.name, ("none", *levels), category="compile")
+    cells = []
+    for kernel in selected:
+        for config in memory_systems:
+            name = f"fig19/{kernel.name}/{config.name}"
+            dag.job(name, _cell_row, kernel, config, levels,
+                    deps=(f"fig19/compile/{kernel.name}",),
+                    category="cell", attribution=attribution)
+            cells.append(name)
+    dag.job(AGGREGATE, gather_rows, deps=tuple(cells),
+            category="aggregate", tolerant=True, pass_deps=True,
+            transient=True)
+    return dag
+
+
 def figure19(kernels=None, memory_systems=MEMORY_SYSTEMS,
              levels=LEVELS, runner=None, attribution=False,
              parallel=False, max_workers=None) -> list[Fig19Row]:
     """Rows for Figure 19; one per (kernel, memory system).
 
-    With a :class:`~repro.resilience.harness.ExperimentRunner`, every
-    cell is an isolated, checkpointed job keyed
-    ``fig19/<kernel>/<memsys>``: a wedged cell degrades that row only,
-    and a resumed run replays finished cells from the checkpoint.
-    ``attribution=True`` profiles each optimized run and fills
-    ``row.attribution[level]`` with the critical-path category split.
-    ``parallel=True`` fans the cells out over worker processes
-    (:func:`~repro.pipeline.parallel.run_jobs`; mutually exclusive with
-    ``runner``, whose checkpointing is per-process); workers share
-    compilations through the on-disk cache, and row order is unchanged.
+    Declares the :func:`build_dag` job graph and runs it through the
+    sweep scheduler. With a
+    :class:`~repro.resilience.harness.ExperimentRunner`, every cell is
+    an isolated, journaled job keyed ``fig19/<kernel>/<memsys>``: a
+    wedged cell degrades that row only, and a resumed run replays
+    finished cells from the journal. ``attribution=True`` profiles each
+    optimized run and fills ``row.attribution[level]`` with the
+    critical-path category split. ``parallel=True`` fans the cells out
+    over the process-pool executor; workers share compilations through
+    the on-disk cache, and row order is unchanged.
     """
-    selected = select_kernels(kernels)
-    if runner is None and parallel:
-        from repro.pipeline.parallel import run_jobs
-        jobs = [(kernel, config, levels, None, attribution)
-                for kernel in selected for config in memory_systems]
-        return run_jobs(_cell_row, jobs, max_workers=max_workers)
-    rows = []
-    for kernel in selected:
-        for config in memory_systems:
-            if runner is None:
-                rows.append(_cell_row(kernel, config, levels,
-                                      attribution=attribution))
-                continue
-            outcome = runner.run(f"fig19/{kernel.name}/{config.name}",
-                                 _cell_row, kernel, config, levels,
-                                 attribution=attribution)
-            if outcome.ok:
-                rows.append(outcome.value)
-    return rows
+    dag = build_dag(kernels, memory_systems, levels, attribution)
+    sweep = run_sweep(dag, runner=runner, parallel=parallel,
+                      max_workers=max_workers)
+    return sweep.value(AGGREGATE) or []
 
 
-def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
-           attribution=False, parallel=False) -> str:
+def render_rows(rows, attribution=False, degraded=()) -> str:
+    """The Figure 19 table for already-computed ``rows``.
+
+    ``degraded`` is an iterable of failed outcomes (anything with
+    ``.key`` and ``.describe()``) rendered as DEGRADED placeholders.
+    """
     columns = (["Benchmark", "memory", "cycles none"]
                + [f"speedup {level}" for level in LEVELS])
     if attribution:
@@ -137,23 +159,31 @@ def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
         title="Figure 19: speedup over unoptimized spatial execution",
     )
     last = LEVELS[-1]
-    for row in figure19(kernels, memory_systems, runner=runner,
-                        attribution=attribution, parallel=parallel):
+    for row in rows:
         cells = [row.name, row.memsys, row.baseline_cycles,
                  *(f"{row.speedup(level):.2f}" for level in LEVELS)]
         if attribution:
             cells += [f"{100.0 * row.category_share(last, cat):.1f}"
                       for cat in ("memory", "compute", "token")]
         table.add_row(*cells)
-    if runner is not None:
-        for outcome in runner.degraded:
-            parts = outcome.key.split("/")
-            table.add_row(parts[1] if len(parts) > 1 else outcome.key,
-                          parts[2] if len(parts) > 2 else "-",
-                          "DEGRADED", *("-" for _ in columns[3:]))
+    degraded = list(degraded)
+    for outcome in degraded:
+        parts = outcome.key.split("/")
+        table.add_row(parts[1] if len(parts) > 1 else outcome.key,
+                      parts[2] if len(parts) > 2 else "-",
+                      "DEGRADED", *("-" for _ in columns[3:]))
     text = table.render()
-    if runner is not None and runner.degraded:
+    if degraded:
         text += "\n" + "\n".join(
             f"degraded {outcome.key}: {outcome.describe()}"
-            for outcome in runner.degraded)
+            for outcome in degraded)
     return text
+
+
+def render(kernels=None, memory_systems=MEMORY_SYSTEMS, runner=None,
+           attribution=False, parallel=False) -> str:
+    rows = figure19(kernels, memory_systems, runner=runner,
+                    attribution=attribution, parallel=parallel)
+    return render_rows(rows, attribution=attribution,
+                       degraded=runner.degraded if runner is not None
+                       else ())

@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.cache import compile_source_cached
+from repro.harness.sweep import run_sweep
 from repro.observe.telemetry import telemetry_tags
+from repro.orchestrate.dag import JobDAG
 from repro.utils.tables import TextTable
 
 SECTION2_SOURCE = """
@@ -43,34 +45,40 @@ class Section2Result:
         return self.stores_before - self.stores_after
 
 
+def _section2_job() -> Section2Result:
+    """The whole §2 measurement as one cell job (module-level so it can
+    run on any executor; ``compile_source_cached`` is resolved through
+    the module at call time)."""
+    # Tag so compile records land under "section2" in the telemetry
+    # store when a session is active (cache hits record too).
+    with telemetry_tags(figure="section2", kernel="f"):
+        base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
+        full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
+    before = base.static_counts()
+    after = full.static_counts()
+    return Section2Result(
+        loads_before=before["loads"],
+        loads_after=after["loads"],
+        stores_before=before["stores"],
+        stores_after=after["stores"],
+    )
+
+
+def build_dag() -> JobDAG:
+    """A one-job DAG: the measurement is the cell ``section2``."""
+    dag = JobDAG("section2")
+    dag.job("section2", _section2_job, category="cell")
+    return dag
+
+
 def section2(runner=None) -> Section2Result:
-    """The §2 measurement, optionally as one checkpointed, isolated job."""
-    def job() -> Section2Result:
-        # Tag so compile records land under "section2" in the telemetry
-        # store when a session is active (cache hits record too).
-        with telemetry_tags(figure="section2", kernel="f"):
-            base = compile_source_cached(SECTION2_SOURCE, "f", level="none")
-            full = compile_source_cached(SECTION2_SOURCE, "f", level="full")
-        before = base.static_counts()
-        after = full.static_counts()
-        return Section2Result(
-            loads_before=before["loads"],
-            loads_after=after["loads"],
-            stores_before=before["stores"],
-            stores_after=after["stores"],
-        )
-
-    if runner is None:
-        return job()
-    outcome = runner.run("section2", job)
-    return outcome.value if outcome.ok else None
+    """The §2 measurement, optionally as one journaled, isolated job."""
+    sweep = run_sweep(build_dag(), runner=runner)
+    return sweep.value("section2")
 
 
-def render(runner=None) -> str:
-    result = section2(runner=runner)
-    if result is None:
-        failed = runner.degraded[-1]
-        return f"Section 2 example: DEGRADED — {failed.describe()}"
+def render_result(result: Section2Result) -> str:
+    """The §2 table for an already-computed result."""
     table = TextTable(["Configuration", "loads", "stores"],
                       title="Section 2 example: accesses to the temporary "
                             "a[i] (paper: CASH removes 2 stores + 1 load)")
@@ -80,3 +88,11 @@ def render(runner=None) -> str:
                   result.loads_after, result.stores_after)
     table.add_row("removed", result.loads_removed, result.stores_removed)
     return table.render()
+
+
+def render(runner=None) -> str:
+    result = section2(runner=runner)
+    if result is None:
+        failed = runner.degraded[-1]
+        return f"Section 2 example: DEGRADED — {failed.describe()}"
+    return render_result(result)

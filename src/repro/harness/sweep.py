@@ -1,0 +1,81 @@
+"""Shared sweep plumbing for the figure harnesses.
+
+Every harness in this package declares its work as a
+:class:`~repro.orchestrate.dag.JobDAG` — per-kernel ``compile`` jobs
+warm the on-disk cache, ``cell`` jobs measure, and one ``aggregate``
+collects the rows in declaration order. :func:`run_sweep` is the single
+execution entry point: it picks the executor (inline by default, the
+process pool under ``parallel=True``), routes runner-driven runs through
+the runner's scheduler policy (name-keyed journal, retries, wall limit),
+and re-raises job failures for plain calls so ``figure19()`` et al. keep
+their historical raise-through behavior.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.executors import make_executor
+from repro.orchestrate.scheduler import Scheduler, SweepResult
+
+
+def compile_warm(kernel_name: str, levels) -> None:
+    """Compile job: ensure ``kernel_name``'s artifacts exist at ``levels``.
+
+    Cells call :func:`~repro.harness.cache.compiled` themselves; this job
+    only front-loads the compilations so parallel cells start from a warm
+    on-disk cache instead of each compiling the same kernel.
+    """
+    from repro.harness.cache import compiled
+    for level in levels:
+        compiled(kernel_name, level)
+
+
+def gather_rows(*, deps) -> list:
+    """Aggregate job: dependency values in declaration order, sans holes.
+
+    Runs ``tolerant`` + ``pass_deps`` + ``transient``: degraded cells
+    appear as ``None`` and are dropped, so a partially-degraded sweep
+    still aggregates — the scheduler reports the holes.
+    """
+    return [row for row in deps if row is not None]
+
+
+def run_sweep(dag: JobDAG, *, runner=None, parallel: bool = False,
+              max_workers: int | None = None, executor=None,
+              journal=None, retries: int = 0, backoff: float = 0.0,
+              wall_limit: float | None = None, resume: bool = True,
+              strict: bool | None = None) -> SweepResult:
+    """Execute one harness DAG under the appropriate policy.
+
+    With ``runner`` (an :class:`~repro.resilience.harness.
+    ExperimentRunner`), the runner's scheduler runs the DAG — its
+    journal, retry budget, and wall limit apply, jobs are journaled by
+    *name* (so legacy checkpoint keys stay the resume identity), and the
+    measurement outcomes are absorbed into ``runner.outcomes``.
+
+    Without a runner, ``parallel=True`` selects the process-pool
+    executor (``max_workers`` caps it); otherwise jobs run inline.
+    ``strict`` controls failure handling: ``True`` re-raises the first
+    failed job's exception (the historical behavior of the plain figure
+    functions), ``False`` returns the degraded sweep for the caller to
+    report. Default: strict exactly when there is no runner and no
+    journal — ad-hoc calls raise, orchestrated runs degrade gracefully.
+    """
+    if runner is not None:
+        sweep = runner.scheduler(dag).run(resume=resume)
+        runner.absorb(sweep)
+        return sweep
+    if executor is None and parallel:
+        executor = make_executor("process", max_workers=max_workers)
+    scheduler = Scheduler(dag, executor=executor, journal=journal,
+                          retries=retries, backoff=backoff,
+                          wall_limit=wall_limit)
+    sweep = scheduler.run(resume=resume)
+    if strict is None:
+        strict = journal is None
+    if strict:
+        for name in sweep.order:
+            result = sweep.results[name]
+            if result.exception is not None:
+                raise result.exception
+    return sweep

@@ -194,6 +194,10 @@ class TelemetrySession:
         self.label = label
         self.record_compiles = record_compiles
         self.session_id = self._new_session_id(label)
+        # Segment-file override: worker processes of an orchestrated
+        # sweep share the parent's session_id but write their own
+        # segment so concurrent appends never interleave.
+        self.segment: str | None = None
         self.run_ids: list[str] = []
         self._tags: dict = {}
 
@@ -230,7 +234,8 @@ class TelemetrySession:
         record.session = self.session_id
         record.label = self.label
         record.tags = {**self._tags, **record.tags}
-        run_id = self.store.append(record, segment=self.session_id)
+        run_id = self.store.append(record,
+                                   segment=self.segment or self.session_id)
         record.run_id = run_id
         self.run_ids.append(run_id)
         return run_id

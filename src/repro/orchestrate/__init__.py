@@ -1,0 +1,35 @@
+"""Sweep orchestration: explicit job DAGs over the experiment harness.
+
+The package the ROADMAP's "distributed sweep orchestration" item names:
+figure sweeps declare compile → simulate → aggregate job graphs
+(:mod:`~repro.orchestrate.dag`), a scheduler runs them with retry,
+timeout, DEGRADED propagation, and checkpoint/resume
+(:mod:`~repro.orchestrate.scheduler`, :mod:`~repro.orchestrate.journal`)
+over pluggable executors (:mod:`~repro.orchestrate.executors`), and the
+``repro sweep`` CLI (:mod:`~repro.orchestrate.sweeps`) drives the named
+sweeps end to end.
+"""
+
+from repro.orchestrate.dag import DagError, JobDAG, JobSpec
+from repro.orchestrate.executors import (
+    Executor,
+    InlineExecutor,
+    PoolExecutor,
+    make_executor,
+)
+from repro.orchestrate.journal import Journal
+from repro.orchestrate.scheduler import JobResult, Scheduler, SweepResult
+
+__all__ = [
+    "DagError",
+    "Executor",
+    "InlineExecutor",
+    "JobDAG",
+    "JobResult",
+    "JobSpec",
+    "Journal",
+    "PoolExecutor",
+    "Scheduler",
+    "SweepResult",
+    "make_executor",
+]

@@ -1,0 +1,148 @@
+"""Pluggable executor backends for the sweep scheduler.
+
+An executor turns ``submit(fn, *args, **kwargs)`` into a
+:class:`concurrent.futures.Future`; the scheduler is written against
+exactly that surface, so backends are interchangeable:
+
+- :class:`InlineExecutor` runs the job in the calling process before
+  ``submit`` returns (a pre-completed future) — zero isolation, zero
+  overhead, lambdas welcome;
+- :class:`PoolExecutor` fans out over a ``ProcessPoolExecutor``, heals
+  itself after a killed worker (the pool is torn down and rebuilt on the
+  next submit), and degrades to inline execution in sandboxes without
+  process primitives or after repeated pool deaths.
+
+The interface is deliberately sized so a multi-host backend (one that
+ships the payload to a remote agent and returns a future over the
+reply) can slot in without touching the scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+
+#: Pool rebuilds tolerated before PoolExecutor degrades to inline.
+MAX_POOL_DEATHS = 3
+
+
+class Executor:
+    """Backend interface: ``submit`` returns a standard ``Future``."""
+
+    #: Telemetry/report label; mutable so a degraded backend can say so.
+    name = "abstract"
+    #: True when jobs run in another process: payloads must pickle and
+    #: ambient telemetry sessions must be re-established worker-side.
+    remote = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called after a backend-infrastructure failure (dead worker)."""
+
+    def shutdown(self) -> None:
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class InlineExecutor(Executor):
+    """Run each job synchronously in the calling process."""
+
+    name = "inline"
+    remote = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as error:  # noqa: BLE001 — delivered via result()
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+        return future
+
+
+class PoolExecutor(Executor):
+    """Process-pool backend with self-healing and inline degradation."""
+
+    remote = True
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.name = f"process-pool[{self.max_workers}]"
+        self._pool: ProcessPoolExecutor | None = None
+        self._inline: InlineExecutor | None = None
+        self._deaths = 0
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._fallback().submit(fn, *args, **kwargs)
+        try:
+            future = pool.submit(fn, *args, **kwargs)
+        except (RuntimeError, OSError):
+            # Pool died between our health check and the submit.
+            self.reset()
+            return self._fallback().submit(fn, *args, **kwargs)
+        future._repro_remote = True
+        return future
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._inline is not None:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            except (OSError, PermissionError, NotImplementedError):
+                # No process primitives (restricted sandbox).
+                self._degrade("no process primitives")
+                return None
+        return self._pool
+
+    def reset(self) -> None:
+        """Tear down a broken pool; the next submit rebuilds or degrades."""
+        self._deaths += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — already broken
+                pass
+        if self._deaths >= MAX_POOL_DEATHS:
+            self._degrade(f"{self._deaths} pool deaths")
+
+    def _degrade(self, reason: str) -> None:
+        if self._inline is None:
+            self._inline = InlineExecutor()
+            self.name = f"{self.name}->inline ({reason})"
+
+    def _fallback(self) -> InlineExecutor:
+        self._degrade("fallback")
+        return self._inline
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(kind: str | Executor | None, *,
+                  max_workers: int | None = None) -> Executor:
+    """Resolve an executor spec: an instance, ``"inline"``, or
+    ``"process"``/``"process-pool"`` (``None`` means inline)."""
+    if isinstance(kind, Executor):
+        return kind
+    if kind in (None, "inline"):
+        return InlineExecutor()
+    if kind in ("process", "process-pool", "pool"):
+        return PoolExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor {kind!r} "
+                     "(expected 'inline' or 'process')")

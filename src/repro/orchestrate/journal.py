@@ -1,0 +1,197 @@
+"""Incremental journal of job completions: append-only, crash-tolerant.
+
+The old :class:`~repro.resilience.harness.Checkpoint` rewrote its whole
+pickle on every record — O(n²) bytes over a long sweep. The journal
+appends instead: one JSON line per event, values carried as
+base64-encoded pickles, so recording the 1000th cell costs the same as
+recording the first. Two crash scenarios are first-class:
+
+- a process killed *between* records leaves a well-formed file; resume
+  replays every completed job;
+- a process killed *mid-write* leaves a truncated tail; loading stops at
+  the last complete, parseable line and the next append truncates the
+  garbage away, so a torn record can never poison later ones.
+
+Superseded lines (a retried job, a recorded failure) accumulate as dead
+weight; when they outnumber the live entries the journal compacts itself
+into a fresh file atomically (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Journal entries with these statuses carry a resumable value.
+VALUE_STATUSES = ("ok",)
+
+#: Dead lines tolerated before :meth:`Journal.record` auto-compacts.
+COMPACT_FLOOR = 64
+
+
+class Journal:
+    """Append-only {job key -> latest event} log backing sweep resume.
+
+    Keys are caller-chosen strings — the scheduler uses content-addressed
+    job keys so a changed job silently invalidates its old entry, while
+    the :class:`~repro.resilience.harness.Checkpoint` adapter keys by its
+    caller's human-readable names. Only ``status="ok"`` entries carry a
+    value and satisfy :meth:`has_value`; failure statuses are recorded
+    for post-mortems (``repro sweep status``) but never resumed.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        self._lines = 0           # parseable lines currently in the file
+        self._good_offset = 0     # bytes of trustworthy prefix
+        self._tail_dropped = 0    # bytes of torn tail discarded on load
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading
+
+    def _load(self) -> None:
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return
+        offset = 0
+        while True:
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # incomplete tail (torn write): stop trusting here
+            line = data[offset:newline]
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict) or "key" not in entry \
+                        or "status" not in entry:
+                    raise ValueError("not a journal entry")
+            except (ValueError, UnicodeDecodeError):
+                # A complete-but-corrupt line: everything after it is
+                # suspect (interleaved writes, version skew) — discard.
+                break
+            self._entries[entry["key"]] = entry
+            self._lines += 1
+            offset = newline + 1
+        self._good_offset = offset
+        self._tail_dropped = len(data) - offset
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    def record(self, key: str, *, name: str | None = None,
+               status: str = "ok", value=None, attempts: int = 0,
+               elapsed: float = 0.0) -> None:
+        """Append one event; ``value`` is kept only for OK statuses."""
+        entry = {
+            "key": key,
+            "name": name or key,
+            "status": status,
+            "attempts": attempts,
+            "elapsed": round(elapsed, 6),
+        }
+        if status in VALUE_STATUSES:
+            entry["value"] = _encode(value)
+        self._append(entry)
+        self._entries[key] = entry
+        self._lines += 1
+        if self._dead_lines() > max(COMPACT_FLOOR, len(self._entries)):
+            self.compact()
+
+    def _append(self, entry: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        if self._tail_dropped and self.path.exists():
+            # First write after loading a torn file: drop the garbage
+            # tail so the new line starts on a clean boundary.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(self._good_offset)
+        with open(self.path, "a") as handle:
+            handle.write(line)
+        self._good_offset += len(line.encode())
+        self._tail_dropped = 0
+
+    def _dead_lines(self) -> int:
+        return self._lines - len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def get(self, key: str) -> dict | None:
+        """The latest event for ``key`` (any status), or ``None``."""
+        return self._entries.get(key)
+
+    def has_value(self, key: str) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and entry.get("status") in VALUE_STATUSES
+
+    def value(self, key: str):
+        """The recorded value for an OK entry (``None`` otherwise)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.get("status") not in VALUE_STATUSES:
+            return None
+        try:
+            return _decode(entry["value"])
+        except Exception:
+            # Undecodable value (version skew): treat as not recorded.
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.has_value(key)
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries.values()
+                   if entry.get("status") in VALUE_STATUSES)
+
+    def statuses(self) -> dict[str, dict]:
+        """key -> latest event, insertion order preserved."""
+        return dict(self._entries)
+
+    @property
+    def tail_dropped(self) -> int:
+        """Bytes of torn tail found on load (0 for a clean journal)."""
+        return self._tail_dropped
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def compact(self) -> None:
+        """Rewrite the file with only the latest event per key, atomically."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent,
+                                        suffix=".compact.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for entry in self._entries.values():
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        self._lines = len(self._entries)
+        self._good_offset = self.path.stat().st_size
+        self._tail_dropped = 0
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._lines = 0
+        self._good_offset = 0
+        self._tail_dropped = 0
+        with contextlib.suppress(OSError):
+            self.path.unlink()
+
+
+def _encode(value) -> str:
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode()
+
+
+def _decode(blob: str):
+    return pickle.loads(base64.b64decode(blob))

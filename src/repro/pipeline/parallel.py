@@ -1,31 +1,36 @@
 """Parallel kernel compilation over the persistent cache.
 
 Cold figure regeneration compiles the whole benchmark subset serially;
-each kernel is independent, so the compilations fan out over a
-``ProcessPoolExecutor``.  Workers publish finished artifacts through the
-shared on-disk :class:`~repro.pipeline.cache.CompilationCache` (atomic
-renames, no locking) and return only the cache key, so graphs cross the
-process boundary once — via the cache file — instead of twice.
+each kernel is independent, so the compilations fan out over the shared
+process-pool backend (:class:`~repro.orchestrate.executors.PoolExecutor`).
+Workers publish finished artifacts through the shared on-disk
+:class:`~repro.pipeline.cache.CompilationCache` (atomic renames, no
+locking) and return only the cache key, so graphs cross the process
+boundary once — via the cache file — instead of twice.
 
-Failure handling is per-job: every job is submitted as its own future,
-worker exceptions are collected per kernel instead of aborting the batch
-(the old ``pool.map`` semantics), crashed workers (``BrokenProcessPool``)
-trigger a bounded in-process retry, and only after the whole batch has
-drained is a :class:`~repro.errors.ParallelCompilationError` raised with
-each failing kernel's name and original exception attached.
+Failure handling is per-job: every job is submitted as its own future
+and worker exceptions are collected per kernel instead of aborting the
+batch. A job that *raised* in a worker is a deterministic failure and is
+**not** re-executed — the worker's exception is reported directly (the
+old wrapper re-ran every failed job serially in-process, so a bad cell
+executed twice and serialized the tail of the batch; retry policy now
+belongs to the DAG scheduler, :mod:`repro.orchestrate.scheduler`).
+Jobs that never completed because the pool died (crashed worker,
+``BrokenProcessPool``) are finished in-process, and sandboxes without
+process primitives degrade to in-process execution transparently; the
+results are identical either way.
 
-Sandboxes and single-core machines where process pools are unavailable or
-pointless fall back to in-process compilation transparently; the result
-dict is identical either way.
+These two functions remain the public fan-out surface; both are now
+wrappers over the orchestrate pool executor.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import ParallelCompilationError, ReproError
+from repro.orchestrate.executors import PoolExecutor
 from repro.pipeline.cache import CompilationCache
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.driver import CompilerDriver
@@ -72,7 +77,8 @@ def compile_kernels(names, levels=("none", "full"), *,
     One bad kernel never aborts the batch: every other compilation
     completes (and lands in the cache) first, then a single
     :class:`~repro.errors.ParallelCompilationError` reports all failures
-    with their kernel names.
+    with their kernel names. A kernel that failed in a worker is not
+    recompiled in-process — the worker's exception is definitive.
     """
     from repro.programs import get_kernel
 
@@ -88,9 +94,9 @@ def compile_kernels(names, levels=("none", "full"), *,
     pending = [job for job in jobs
                if not cache.contains(_job_key(cache, job))]
     workers = max_workers or min(len(pending) or 1, os.cpu_count() or 1)
-    # (kernel, level) -> exception raised inside a worker. Jobs that
-    # failed remotely are retried once in-process below (the sequential
-    # fallback), so only deterministic failures survive into the error.
+    # (kernel, level) -> exception raised inside a worker. Deterministic
+    # worker failures are reported as-is; only jobs the pool never
+    # finished (broken pool, no process primitives) compile in-process.
     worker_failures: dict[tuple[str, str], BaseException] = {}
     if parallel and len(pending) > 1 and workers > 1:
         worker_failures = _compile_in_pool(pending, workers)
@@ -102,14 +108,15 @@ def compile_kernels(names, levels=("none", "full"), *,
         key = _job_key(cache, job)
         program = cache.get(key)
         if program is None:
+            if (name, level) in worker_failures:
+                # Already ran (and failed) in a worker: report the
+                # original exception instead of executing twice.
+                failures[(name, level)] = worker_failures[(name, level)]
+                continue
             try:
                 _compile_job(job)
             except ReproError as error:
-                # Keep the worker's original exception when there is one
-                # (it carries the first traceback); either way the batch
-                # keeps draining.
-                failures[(name, level)] = worker_failures.get((name, level),
-                                                              error)
+                failures[(name, level)] = error
                 continue
             program = cache.get(key)
         results[(name, level)] = program
@@ -119,40 +126,42 @@ def compile_kernels(names, levels=("none", "full"), *,
 
 
 def _compile_in_pool(pending, workers) -> dict[tuple[str, str], BaseException]:
-    """Fan ``pending`` jobs out over worker processes, one future per job.
+    """Fan ``pending`` jobs out over the pool backend, one future per job.
 
-    Returns per-(kernel, level) exceptions; never raises. A broken pool
-    (crashed worker, no process primitives) simply leaves the remaining
-    jobs uncompiled — the caller's in-process pass picks them up.
+    Returns per-(kernel, level) worker exceptions; never raises. A
+    broken pool (crashed worker) or missing process primitives simply
+    leave the remaining jobs uncompiled — the caller's in-process pass
+    picks up whatever never produced an artifact.
     """
     failures: dict[tuple[str, str], BaseException] = {}
+    executor = PoolExecutor(max_workers=workers)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_compile_job, job): job for job in pending}
-            for future, job in futures.items():
-                name, level = job[0], job[1]
-                try:
-                    future.result()
-                except BrokenProcessPool:
-                    # The worker died (OOM-kill, segfault): every future
-                    # after this is dead too. Leave them to the
-                    # in-process fallback rather than recording a crash
-                    # that a clean retry may not reproduce.
-                    break
-                except (OSError, PermissionError):
-                    break  # pool infrastructure failed mid-flight
-                except BaseException as error:  # noqa: BLE001
-                    failures[(name, level)] = error
-    except (OSError, PermissionError, NotImplementedError):
-        # No usable process primitives (restricted sandbox): compile
-        # everything in-process in the caller's drain loop.
-        pass
+        futures = [(executor.submit(_compile_job, job), job)
+                   for job in pending]
+        for future, job in futures:
+            name, level = job[0], job[1]
+            try:
+                future.result()
+            except BrokenProcessPool:
+                # The worker died (OOM-kill, segfault): every future
+                # after this is dead too. Leave them to the in-process
+                # fallback rather than recording a crash that a clean
+                # retry may not reproduce.
+                break
+            except (OSError, PermissionError):
+                break  # pool infrastructure failed mid-flight
+            except BaseException as error:  # noqa: BLE001
+                failures[(name, level)] = error
+    finally:
+        executor.shutdown()
     return failures
 
 
 #: Sentinel for "this job has not produced a result yet" (None is a
 #: legitimate job result, so it cannot mark pending slots).
 _PENDING = object()
+#: Sentinel for "this job ran in a worker and raised".
+_FAILED = object()
 
 
 def run_jobs(func, jobs, *, max_workers: int | None = None,
@@ -165,34 +174,46 @@ def run_jobs(func, jobs, *, max_workers: int | None = None,
     results in input order. ``func`` and every argument/result must
     pickle (module-level functions and plain dataclasses do).
 
-    Failure handling matches the compilation pool: a crashed worker or
-    missing process primitives silently degrade to in-process execution,
-    and a job that *raises* in a worker is re-run in-process so the
-    exception surfaces in the caller with a local traceback — identical
-    behavior to ``parallel=False``, which runs everything in-process.
+    Failure semantics match ``parallel=False``: a job that raises
+    surfaces its exception in the caller — executed exactly once (the
+    batch still drains first, so every other job completes). Retry is
+    not this wrapper's business; callers that want per-job retry,
+    checkpointing, or degraded continuation declare a DAG and run it
+    through :class:`~repro.orchestrate.scheduler.Scheduler`. A crashed
+    worker or missing process primitives degrade to in-process execution
+    for the jobs that never completed.
     """
     jobs = [tuple(job) for job in jobs]
     results: list = [_PENDING] * len(jobs)
+    first_error: BaseException | None = None
     workers = max_workers or min(len(jobs) or 1, os.cpu_count() or 1)
     if parallel and len(jobs) > 1 and workers > 1:
+        executor = PoolExecutor(max_workers=workers)
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(func, *job): index
-                           for index, job in enumerate(jobs)}
-                for future, index in futures.items():
-                    try:
-                        results[index] = future.result()
-                    except BrokenProcessPool:
-                        break  # pool is dead; the rest run in-process
-                    except (OSError, PermissionError):
-                        break  # pool infrastructure failed mid-flight
-                    except BaseException:  # noqa: BLE001 — retried below
-                        pass
-        except (OSError, PermissionError, NotImplementedError):
-            pass  # no process primitives (restricted sandbox)
+            futures = [(executor.submit(func, *job), index)
+                       for index, job in enumerate(jobs)]
+            for future, index in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    break  # pool is dead; the rest run in-process
+                except (OSError, PermissionError) as error:
+                    # Could be pool infrastructure *or* the job itself;
+                    # either way the job already ran — do not re-run it.
+                    results[index] = _FAILED
+                    if first_error is None:
+                        first_error = error
+                except BaseException as error:  # noqa: BLE001
+                    results[index] = _FAILED
+                    if first_error is None:
+                        first_error = error
+        finally:
+            executor.shutdown()
     for index, job in enumerate(jobs):
         if results[index] is _PENDING:
             results[index] = func(*job)
+    if first_error is not None:
+        raise first_error
     return results
 
 

@@ -1,17 +1,23 @@
-"""Hardened execution of experiment batches (figures, tables, sweeps).
+"""Hardened execution of experiment batches — now adapters over
+:mod:`repro.orchestrate`.
 
-The figure harnesses used to run every kernel inline: one wedged or
-crashed kernel destroyed the whole batch and all completed work with it.
-This module provides the degradation layer the ROADMAP's
-production-scale north star demands:
+This module used to own the retry/timeout/checkpoint machinery itself;
+that machinery now lives in the sweep scheduler
+(:class:`~repro.orchestrate.scheduler.Scheduler`) and its append-only
+:class:`~repro.orchestrate.journal.Journal`, where the figure DAGs share
+it. What remains here is the thin compatibility surface the rest of the
+code (and downstream callers) already speak:
 
-- :class:`ExperimentRunner` — runs one job at a time with a wall-clock
-  budget (enforced cooperatively by the simulator's ``wall_limit``),
-  bounded retries, and full per-job error capture; a failing job yields
-  a degraded :class:`JobOutcome` instead of an exception;
-- :class:`Checkpoint` — a pickle-backed journal of completed job values
-  with atomic writes, so an interrupted figure run resumes from where it
-  stopped instead of recomputing (or worse, losing) finished rows.
+- :class:`ExperimentRunner` — the one-job-at-a-time interface; each
+  ``run`` call is executed as a single-job DAG under the scheduler's
+  policy (cooperative ``wall_limit`` injection, bounded retry for
+  environmental flakes, no retry for deterministic ``ReproError``s or
+  timeouts), and the outcome is reported in the historical
+  :class:`JobOutcome` shape;
+- :class:`Checkpoint` — the journal, keyed by caller-chosen job names.
+  Records *append* now instead of rewriting the whole file (the old
+  pickle checkpoint was O(n²) bytes over a sweep); a torn tail from a
+  crash mid-write is discarded on load and truncated on the next write.
 
 Jobs are identified by a caller-chosen string key (e.g.
 ``"fig19/mesa/realistic-2port"``); a checkpoint hit short-circuits the
@@ -20,15 +26,12 @@ job entirely and is reported as status ``"resumed"``.
 
 from __future__ import annotations
 
-import contextlib
-import os
-import pickle
-import tempfile
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ReproError, SimulationTimeout
+from repro.orchestrate.dag import JobDAG, JobSpec
+from repro.orchestrate.journal import Journal
+from repro.orchestrate.scheduler import JobResult, Scheduler
 
 #: Job statuses considered successful (a value is present).
 OK_STATUSES = ("ok", "resumed")
@@ -62,65 +65,45 @@ class JobOutcome:
         return (f"{self.status.upper()} after {self.attempts} "
                 f"attempt{'s' if self.attempts != 1 else ''}: {detail}")
 
+    @classmethod
+    def from_result(cls, result: JobResult) -> "JobOutcome":
+        # The scheduler's "skipped" (upstream degraded) reports as an
+        # error here: JobOutcome predates DAG-aware statuses.
+        status = "error" if result.status == "skipped" else result.status
+        return cls(key=result.name, status=status, value=result.value,
+                   error=result.error, attempts=result.attempts,
+                   elapsed=result.elapsed)
+
 
 class Checkpoint:
-    """Atomic pickle journal of completed job values, keyed by job key.
+    """Journal of completed job values, keyed by caller-chosen job key.
 
-    The file holds one ``{key: value}`` dict; every ``record`` rewrites
-    it atomically (temp file + rename), so a crash mid-write can never
-    corrupt previously completed work. Values must be picklable — figure
-    rows (plain dataclasses) are.
+    A thin adapter over :class:`~repro.orchestrate.journal.Journal`:
+    every ``record`` appends one line (crash mid-write can tear only the
+    line being written, and the torn tail is discarded on reload);
+    superseded lines are compacted away automatically. Values must be
+    picklable — figure rows (plain dataclasses) are.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
-        self._values: dict[str, object] = {}
-        self._load()
-
-    def _load(self) -> None:
-        try:
-            data = self.path.read_bytes()
-        except OSError:
-            return
-        try:
-            values = pickle.loads(data)
-        except Exception:
-            # Corrupt journal (interrupted first write, version skew):
-            # start over rather than poison the run.
-            return
-        if isinstance(values, dict):
-            self._values = values
+        self.journal = Journal(self.path)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._values
+        return key in self.journal
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self.journal)
 
     def get(self, key: str):
-        return self._values.get(key)
+        return self.journal.value(key)
 
     def record(self, key: str, value) -> None:
-        self._values[key] = value
-        self._flush()
-
-    def _flush(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = pickle.dumps(self._values, protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        self.journal.record(key, name=key, status="ok", value=value,
+                            attempts=1)
 
     def clear(self) -> None:
-        self._values = {}
-        with contextlib.suppress(OSError):
-            self.path.unlink()
+        self.journal.clear()
 
 
 class ExperimentRunner:
@@ -131,9 +114,14 @@ class ExperimentRunner:
     through to ``program.simulate``, which enforces it cooperatively).
     ``retries`` is how many *extra* attempts a failing job gets; retries
     exist for environmental flakes — a deterministic ``ReproError``
-    (compile bug, deadlock) is not retried, matching "bounded retry with
-    sequential fallback": the retry runs the same job in-process, there
-    is no parallel context to fall back from here.
+    (compile bug, deadlock) is not retried.
+
+    Each ``run`` call executes as a single-job DAG under the
+    :class:`~repro.orchestrate.scheduler.Scheduler`, journaled by job
+    *name* so the caller's keys stay the resume identity. Figure
+    harnesses no longer call :meth:`run` — they declare whole DAGs and
+    :meth:`absorb` the sweep result — but the per-job surface remains
+    for ad-hoc hardened execution.
     """
 
     def __init__(self, wall_limit: float | None = None, retries: int = 0,
@@ -147,44 +135,32 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
+    @property
+    def journal(self) -> Journal | None:
+        return self.checkpoint.journal if self.checkpoint is not None \
+            else None
+
+    def scheduler(self, dag: JobDAG) -> Scheduler:
+        """A scheduler carrying this runner's policy (the adapter core)."""
+        return Scheduler(dag, journal=self.journal, retries=self.retries,
+                         wall_limit=self.wall_limit, key_by="name")
+
     def run(self, key: str, job, *args, **kwargs) -> JobOutcome:
         """Execute ``job(*args, **kwargs)`` under this runner's policy."""
-        if self.checkpoint is not None and key in self.checkpoint:
-            outcome = JobOutcome(key=key, status="resumed",
-                                 value=self.checkpoint.get(key))
-            self.outcomes.append(outcome)
-            return outcome
-        if self.wall_limit is not None and _accepts_wall_limit(job):
-            kwargs = dict(kwargs, wall_limit=self.wall_limit)
-        attempts = 0
-        started = time.monotonic()
-        outcome = None
-        while attempts <= self.retries:
-            attempts += 1
-            try:
-                value = job(*args, **kwargs)
-            except SimulationTimeout as error:
-                outcome = JobOutcome(key=key, status="timeout",
-                                     error=str(error), attempts=attempts)
-                break  # a cooperative timeout will time out again
-            except ReproError as error:
-                outcome = JobOutcome(key=key, status="error",
-                                     error=f"{type(error).__name__}: {error}",
-                                     attempts=attempts)
-                break  # deterministic failure: retrying cannot help
-            except Exception as error:  # noqa: BLE001 — isolation boundary
-                outcome = JobOutcome(key=key, status="error",
-                                     error=f"{type(error).__name__}: {error}",
-                                     attempts=attempts)
-                continue  # environmental flake: retry within budget
-            outcome = JobOutcome(key=key, status="ok", value=value,
-                                 attempts=attempts)
-            break
-        outcome.elapsed = time.monotonic() - started
-        if outcome.ok and self.checkpoint is not None:
-            self.checkpoint.record(key, outcome.value)
+        dag = JobDAG(key)
+        dag.add(JobSpec(name=key, fn=job, args=args, kwargs=kwargs,
+                        category="cell"))
+        sweep = self.scheduler(dag).run()
+        outcome = JobOutcome.from_result(sweep[key])
         self.outcomes.append(outcome)
         return outcome
+
+    def absorb(self, sweep, categories=("cell",)) -> None:
+        """Adopt a sweep's measurement outcomes (DAG-declared harnesses)."""
+        for name in sweep.order:
+            result = sweep.results[name]
+            if result.category in categories:
+                self.outcomes.append(JobOutcome.from_result(result))
 
     # ------------------------------------------------------------------
 
@@ -201,17 +177,3 @@ class ExperimentRunner:
         lines.append(f"{ok}/{len(self.outcomes)} jobs completed, "
                      f"{len(self.degraded)} degraded")
         return "\n".join(lines)
-
-
-def _accepts_wall_limit(job) -> bool:
-    import inspect
-    try:
-        signature = inspect.signature(job)
-    except (TypeError, ValueError):
-        return False
-    for parameter in signature.parameters.values():
-        if parameter.kind == parameter.VAR_KEYWORD:
-            return True
-        if parameter.name == "wall_limit":
-            return True
-    return False

@@ -1,0 +1,215 @@
+"""Crash-resume: SIGKILL mid-sweep, torn journal tails, identical rows.
+
+The scheduler's own chaos hook (``REPRO_SWEEP_KILL_AFTER=<n>``) SIGKILLs
+the process after the *n*-th freshly-executed job is journaled — a real
+kill, so these tests drive real subprocesses and assert the whole
+contract: completed cells are not re-executed on resume, a tail torn
+mid-record is discarded (and the cell re-runs), and the resumed sweep's
+rows are identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SCRIPT = """
+import json, os, sys
+from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.journal import Journal
+from repro.orchestrate.scheduler import Scheduler
+
+workdir = sys.argv[1]
+
+def cell(i):
+    with open(os.path.join(workdir, "executions.log"), "a") as handle:
+        handle.write(f"cell/{i}\\n")
+    return {"cell": i, "value": i * i}
+
+def agg(*, deps):
+    return [row for row in deps if row is not None]
+
+dag = JobDAG("crashy")
+for i in range(6):
+    dag.job(f"cell/{i}", cell, i, category="cell")
+dag.job("agg", agg, deps=tuple(f"cell/{i}" for i in range(6)),
+        category="aggregate", tolerant=True, pass_deps=True,
+        transient=True)
+sweep = Scheduler(dag, journal=Journal(os.path.join(workdir, "j"))).run()
+with open(os.path.join(workdir, "rows.json"), "w") as handle:
+    json.dump(sweep.value("agg"), handle, sort_keys=True)
+print(json.dumps(sweep.counts(), sort_keys=True))
+"""
+
+
+def _run(script_path, workdir, *, kill_after=None):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_SWEEP_KILL_AFTER", None)
+    env.pop("REPRO_SWEEP_FLAKE", None)
+    if kill_after is not None:
+        env["REPRO_SWEEP_KILL_AFTER"] = str(kill_after)
+    return subprocess.run(
+        [sys.executable, str(script_path), str(workdir)],
+        env=env, capture_output=True, text=True, timeout=120)
+
+
+@pytest.fixture()
+def script(tmp_path):
+    path = tmp_path / "sweep_script.py"
+    path.write_text(SCRIPT)
+    return path
+
+
+def _executions(workdir) -> list[str]:
+    log = Path(workdir) / "executions.log"
+    if not log.exists():
+        return []
+    return log.read_text().splitlines()
+
+
+class TestKillAndResume:
+    def test_killed_run_resumes_without_rerunning_journaled_cells(
+            self, script, tmp_path):
+        workdir = tmp_path / "run"
+        workdir.mkdir()
+        killed = _run(script, workdir, kill_after=2)
+        assert killed.returncode == -signal.SIGKILL
+        journaled = (workdir / "j").read_text().count('"status": "ok"')
+        assert journaled == 2
+        assert not (workdir / "rows.json").exists()
+
+        resumed = _run(script, workdir)
+        assert resumed.returncode == 0, resumed.stderr
+        counts = json.loads(resumed.stdout)
+        assert counts["resumed"] == 2
+        # ok = 4 re-run cells + the transient aggregate.
+        assert counts["ok"] == 5
+
+        # The two journaled cells executed exactly once across both
+        # runs; every other cell at most twice (once in the killed run,
+        # once after resume).
+        executions = _executions(workdir)
+        journal_text = (workdir / "j").read_text()
+        once = [line for line in set(executions)
+                if executions.count(line) == 1]
+        assert len(once) >= 2
+        for name in once[:2]:
+            assert name in journal_text
+
+    def test_resumed_rows_match_uninterrupted_run(self, script, tmp_path):
+        interrupted = tmp_path / "interrupted"
+        interrupted.mkdir()
+        assert _run(script, interrupted,
+                    kill_after=3).returncode == -signal.SIGKILL
+        assert _run(script, interrupted).returncode == 0
+
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        assert _run(script, clean).returncode == 0
+
+        assert (interrupted / "rows.json").read_bytes() == \
+            (clean / "rows.json").read_bytes()
+
+    def test_torn_journal_tail_is_discarded_and_cell_rerun(
+            self, script, tmp_path):
+        workdir = tmp_path / "run"
+        workdir.mkdir()
+        assert _run(script, workdir,
+                    kill_after=3).returncode == -signal.SIGKILL
+        journal_path = workdir / "j"
+        lines = journal_path.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 3
+        # Tear the last record mid-write: keep the first two intact and
+        # half of the third, no trailing newline.
+        torn = lines[0] + lines[1] + lines[2][: len(lines[2]) // 2]
+        journal_path.write_bytes(torn)
+
+        resumed = _run(script, workdir)
+        assert resumed.returncode == 0, resumed.stderr
+        counts = json.loads(resumed.stdout)
+        assert counts["resumed"] == 2  # the torn third entry is not trusted
+        assert counts["ok"] == 5
+
+        # The journal healed: every line parses and all six cells are
+        # recorded ok.
+        final = journal_path.read_bytes().splitlines()
+        parsed = [json.loads(line) for line in final]
+        ok_keys = {entry["key"] for entry in parsed
+                   if entry["status"] == "ok"}
+        assert len(ok_keys) == 6
+
+        uninterrupted = tmp_path / "clean"
+        uninterrupted.mkdir()
+        assert _run(script, uninterrupted).returncode == 0
+        assert (workdir / "rows.json").read_bytes() == \
+            (uninterrupted / "rows.json").read_bytes()
+
+
+class TestFig19SweepCLI:
+    """The acceptance path: `repro sweep run fig19` killed and resumed."""
+
+    def _sweep(self, cwd, *args, kill_after=None, record=False):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        env.pop("REPRO_SWEEP_KILL_AFTER", None)
+        env.pop("REPRO_SWEEP_FLAKE", None)
+        # Keep the telemetry store local to the working directory.
+        env.pop("REPRO_TELEMETRY_DIR", None)
+        if kill_after is not None:
+            env["REPRO_SWEEP_KILL_AFTER"] = str(kill_after)
+        argv = [sys.executable, "-m", "repro", "sweep", *args,
+                "--kernels", "li"]
+        if record:
+            argv.append("--record")
+        return subprocess.run(argv, cwd=str(cwd), env=env,
+                              capture_output=True, text=True, timeout=300)
+
+    @staticmethod
+    def _table(stdout: str) -> str:
+        # The rendered figure table follows the blank line after the
+        # per-job report.
+        return stdout.split("\n\n", 1)[1]
+
+    def test_kill_resume_rows_bit_identical(self, tmp_path):
+        workdir = tmp_path / "work"
+        workdir.mkdir()
+        killed = self._sweep(workdir, "run", "fig19", kill_after=2,
+                             record=True)
+        assert killed.returncode == -signal.SIGKILL
+
+        resumed = self._sweep(workdir, "resume", "fig19", record=True)
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed from journal" in resumed.stdout
+
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        uninterrupted = self._sweep(clean_dir, "run", "fig19")
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+
+        assert self._table(resumed.stdout) == \
+            self._table(uninterrupted.stdout)
+
+        # Provenance: every cell's RunRecord carries the DAG id, the
+        # attempt count, and the executor backend (runs 1+2 together
+        # cover all four cells exactly once).
+        from repro.observe.store import TelemetryStore
+        store = TelemetryStore(workdir / ".repro" / "telemetry")
+        by_cell = {}
+        for record in store.records():
+            job = record.tags.get("job", "")
+            if job.startswith("fig19/li/") and record.kind == "run":
+                by_cell.setdefault(job, record)
+        assert len(by_cell) == 4
+        dag_ids = set()
+        for record in by_cell.values():
+            assert record.tags["attempt"] >= 1
+            assert record.tags["executor"] == "inline"
+            dag_ids.add(record.tags["dag"])
+        assert len(dag_ids) == 1

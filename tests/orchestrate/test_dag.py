@@ -1,0 +1,99 @@
+"""JobSpec/JobDAG: content keys, validation, topological order."""
+
+import pytest
+
+from repro.orchestrate.dag import DagError, JobDAG, JobSpec
+
+
+def _noop():
+    return None
+
+
+def _other():
+    return None
+
+
+class TestJobSpec:
+    def test_key_is_stable_across_equal_specs(self):
+        a = JobSpec(name="j", fn=_noop, args=(1, 2), kwargs={"k": 3})
+        b = JobSpec(name="j", fn=_noop, args=(1, 2), kwargs={"k": 3})
+        assert a.key == b.key
+
+    def test_key_changes_with_name_fn_args_kwargs_and_deps(self):
+        base = JobSpec(name="j", fn=_noop, args=(1,), kwargs={"k": 3})
+        variants = [
+            JobSpec(name="j2", fn=_noop, args=(1,), kwargs={"k": 3}),
+            JobSpec(name="j", fn=_other, args=(1,), kwargs={"k": 3}),
+            JobSpec(name="j", fn=_noop, args=(2,), kwargs={"k": 3}),
+            JobSpec(name="j", fn=_noop, args=(1,), kwargs={"k": 4}),
+            JobSpec(name="j", fn=_noop, args=(1,), kwargs={"k": 3},
+                    deps=("d",)),
+        ]
+        keys = {base.key} | {spec.key for spec in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_key_ignores_kwarg_order(self):
+        a = JobSpec(name="j", fn=_noop, kwargs={"a": 1, "b": 2})
+        b = JobSpec(name="j", fn=_noop, kwargs={"b": 2, "a": 1})
+        assert a.key == b.key
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(DagError, match="unknown category"):
+            JobSpec(name="j", fn=_noop, category="nonsense")
+
+
+class TestJobDAG:
+    def test_duplicate_names_rejected(self):
+        dag = JobDAG("d")
+        dag.job("a", _noop)
+        with pytest.raises(DagError, match="duplicate"):
+            dag.job("a", _noop)
+
+    def test_unknown_dependency_rejected(self):
+        dag = JobDAG("d")
+        dag.job("a", _noop, deps=("ghost",))
+        with pytest.raises(DagError, match="unknown"):
+            dag.validate()
+
+    def test_cycle_rejected(self):
+        dag = JobDAG("d")
+        dag.job("a", _noop, deps=("b",))
+        dag.job("b", _noop, deps=("a",))
+        with pytest.raises(DagError, match="cycle"):
+            dag.validate()
+
+    def test_topo_order_is_insertion_stable(self):
+        dag = JobDAG("d")
+        dag.job("c1", _noop)
+        dag.job("c2", _noop)
+        dag.job("agg", _noop, deps=("c1", "c2"))
+        dag.job("c3", _noop)
+        names = [spec.name for spec in dag.topo_order()]
+        assert names == ["c1", "c2", "c3", "agg"]
+
+    def test_job_builder_splits_spec_fields_from_job_kwargs(self):
+        dag = JobDAG("d")
+        spec = dag.job("a", _noop, 1, 2, tolerant=True, retries=3,
+                       attribution=True)
+        assert spec.args == (1, 2)
+        assert spec.tolerant is True
+        assert spec.retries == 3
+        assert spec.kwargs == {"attribution": True}
+
+    def test_dag_id_tracks_content(self):
+        dag1 = JobDAG("d")
+        dag1.job("a", _noop, 1)
+        dag2 = JobDAG("d")
+        dag2.job("a", _noop, 1)
+        assert dag1.dag_id == dag2.dag_id
+        dag2.jobs.clear()
+        dag2.job("a", _noop, 2)
+        assert dag1.dag_id != dag2.dag_id
+
+    def test_counts_by_category(self):
+        dag = JobDAG("d")
+        dag.job("compile", _noop, category="compile")
+        dag.job("c1", _noop, category="cell")
+        dag.job("c2", _noop, category="cell")
+        dag.job("agg", _noop, category="aggregate")
+        assert dag.counts() == {"compile": 1, "cell": 2, "aggregate": 1}

@@ -1,0 +1,117 @@
+"""Journal: append-only records, torn tails, compaction."""
+
+from repro.orchestrate.journal import Journal
+
+
+class TestRoundtrip:
+    def test_values_survive_reload(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        journal.record("a", value={"cycles": 10})
+        journal.record("b", value=[1, 2, 3])
+        reloaded = Journal(tmp_path / "j")
+        assert reloaded.value("a") == {"cycles": 10}
+        assert reloaded.value("b") == [1, 2, 3]
+        assert len(reloaded) == 2
+
+    def test_latest_event_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        journal.record("a", value=1)
+        journal.record("a", value=2)
+        assert Journal(tmp_path / "j").value("a") == 2
+
+    def test_failure_statuses_carry_no_value(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        journal.record("a", status="error", value="ignored")
+        reloaded = Journal(tmp_path / "j")
+        assert not reloaded.has_value("a")
+        assert reloaded.value("a") is None
+        assert reloaded.get("a")["status"] == "error"
+        assert len(reloaded) == 0
+
+    def test_appends_not_rewrites(self, tmp_path):
+        """Recording N values costs O(N) bytes total, not O(N^2)."""
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.record("k0", value="x" * 100)
+        first = path.stat().st_size
+        for i in range(1, 50):
+            journal.record(f"k{i}", value="x" * 100)
+        # 50 similar records: the file grows linearly (each append is
+        # about the size of the first record, not the whole prefix).
+        assert path.stat().st_size < first * 55
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_discarded_on_load(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.record("a", value=1)
+        journal.record("b", value=2)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # kill mid-write of the last record
+        reloaded = Journal(path)
+        assert reloaded.value("a") == 1
+        assert not reloaded.has_value("b")
+        assert reloaded.tail_dropped > 0
+
+    def test_next_append_truncates_the_torn_tail(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.record("a", value=1)
+        with open(path, "ab") as handle:
+            handle.write(b'{"key": "torn')
+        reloaded = Journal(path)
+        reloaded.record("b", value=2)
+        # The file is clean again: every line parses.
+        final = Journal(path)
+        assert final.value("a") == 1
+        assert final.value("b") == 2
+        assert final.tail_dropped == 0
+
+    def test_corrupt_middle_line_stops_trust_there(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.record("a", value=1)
+        good = path.read_bytes()
+        path.write_bytes(good + b"not json at all\n" + good.replace(b'"a"', b'"b"'))
+        reloaded = Journal(path)
+        assert reloaded.value("a") == 1
+        assert not reloaded.has_value("b")
+
+    def test_garbage_file_heals(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(b"\x00\x01binary garbage")
+        journal = Journal(path)
+        assert len(journal) == 0
+        journal.record("a", value=1)
+        assert Journal(path).value("a") == 1
+
+
+class TestCompaction:
+    def test_explicit_compact_drops_dead_lines(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        for _ in range(20):
+            journal.record("a", value="x" * 50)
+        size_before = path.stat().st_size
+        journal.compact()
+        assert path.stat().st_size < size_before
+        assert Journal(path).value("a") == "x" * 50
+
+    def test_auto_compaction_bounds_dead_weight(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        for _ in range(200):
+            journal.record("a", value=1)
+        # 200 rewrites of one key auto-compacted: far fewer lines remain.
+        lines = path.read_bytes().count(b"\n")
+        assert lines < 150
+        assert Journal(path).value("a") == 1
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.record("a", value=1)
+        journal.clear()
+        assert not path.exists()
+        assert len(Journal(path)) == 0

@@ -1,10 +1,12 @@
 """Parallel kernel compilation: per-job isolation and failure reporting."""
 
+import os
+
 import pytest
 
 from repro.errors import ParallelCompilationError
 from repro.pipeline.cache import CompilationCache
-from repro.pipeline.parallel import compile_kernels
+from repro.pipeline.parallel import compile_kernels, run_jobs
 from repro.programs import Kernel
 
 GOOD_SOURCE = """
@@ -94,6 +96,93 @@ class TestRealRegistryParallel:
                                  cache=cache, parallel=False)
         assert parallel.keys() == serial.keys()
         assert set(parallel) == {("mpeg2_d", "none"), ("ijpeg", "none")}
+
+
+def _square(x):
+    return x * x
+
+
+def _touch_and_maybe_fail(workdir, index, bad):
+    """Records its execution, then fails when ``index == bad``."""
+    with open(os.path.join(workdir, f"ran-{index}"), "a") as handle:
+        handle.write("x")
+    if index == bad:
+        raise ValueError(f"job {index} is bad")
+    return index
+
+
+class TestRunJobs:
+    def test_results_in_input_order(self):
+        assert run_jobs(_square, [(3,), (1,), (2,)],
+                        max_workers=2) == [9, 1, 4]
+
+    def test_serial_fallback_matches(self):
+        jobs = [(i,) for i in range(5)]
+        assert run_jobs(_square, jobs, parallel=False) == \
+            run_jobs(_square, jobs, max_workers=2)
+
+    def test_failed_jobs_execute_exactly_once(self, tmp_path):
+        """A worker-raised job is reported, never re-run in-process.
+
+        The old wrapper re-executed every failed job serially, so a
+        deterministic failure ran twice; the marker files count actual
+        executions.
+        """
+        jobs = [(str(tmp_path), index, 2) for index in range(4)]
+        with pytest.raises(ValueError, match="job 2 is bad"):
+            run_jobs(_touch_and_maybe_fail, jobs, max_workers=2)
+        for index in range(4):
+            marker = tmp_path / f"ran-{index}"
+            assert marker.read_text() == "x", \
+                f"job {index} executed {len(marker.read_text())} times"
+
+    def test_failure_raises_but_batch_drains_first(self, tmp_path):
+        jobs = [(str(tmp_path), index, 0) for index in range(4)]
+        with pytest.raises(ValueError, match="job 0 is bad"):
+            run_jobs(_touch_and_maybe_fail, jobs, max_workers=2)
+        # Every job after the failing one still ran (no aborted tail).
+        for index in range(4):
+            assert (tmp_path / f"ran-{index}").exists()
+
+    def test_serial_path_raises_too(self, tmp_path):
+        jobs = [(str(tmp_path), index, 1) for index in range(2)]
+        with pytest.raises(ValueError, match="job 1 is bad"):
+            run_jobs(_touch_and_maybe_fail, jobs, parallel=False)
+
+
+class TestCompileFailuresNotRerun:
+    def test_worker_compile_failure_not_recompiled_in_process(
+            self, tmp_path, monkeypatch):
+        """A kernel that failed in a worker is reported, not re-run.
+
+        The pool stage is stubbed to report ``badk`` as a worker-raised
+        failure; the in-process drain must then compile only ``goodk``
+        and surface the worker's original exception for ``badk``.
+        """
+        fake_registry(monkeypatch)
+        import repro.pipeline.parallel as parallel_module
+        from repro.errors import ReproError
+
+        worker_error = ReproError("failed inside the worker")
+        in_process = []
+        real = parallel_module._compile_job
+
+        def fake_pool(pending, workers):
+            return {("badk", "none"): worker_error}
+
+        def counting(job):
+            in_process.append(job[:2])
+            return real(job)
+
+        monkeypatch.setattr(parallel_module, "_compile_in_pool", fake_pool)
+        monkeypatch.setattr(parallel_module, "_compile_job", counting)
+        cache = CompilationCache(tmp_path)
+        with pytest.raises(ParallelCompilationError) as info:
+            compile_kernels(["goodk", "badk"], levels=("none",),
+                            cache=cache, parallel=True, max_workers=2)
+        assert info.value.failures[("badk", "none")] is worker_error
+        # badk was never handed to the in-process compile path.
+        assert in_process == [("goodk", "none")]
 
 
 class TestErrorFormatting:
