@@ -5,13 +5,18 @@ and parallel without making them slow. This bench puts numbers on that
 over a ~200-cell synthetic sweep (cells do a small fixed amount of
 arithmetic so scheduler bookkeeping is visible but not dominant):
 
-- jobs/sec through the inline executor and through the process pool at
-  1, 4, and all-core workers;
+- jobs/sec through the inline executor, the process pool at 1, 4, and
+  all-core workers, and the remote socket worker pool at 2 workers;
 - retry accounting under injected first-attempt flakes (every 20th
   cell), which must converge with ``retries=1`` and count exactly the
   flaked cells;
 - resume cost: replaying a fully-journaled sweep must be much cheaper
-  than executing it (values come from the journal, not the cell fns).
+  than executing it (values come from the journal, not the cell fns);
+- the distributed failure matrix: the same 200-cell sweep on the remote
+  executor with a worker SIGKILLed mid-sweep, a worker stalled past its
+  wall-limit, and a connection reset mid-result-frame — each run must
+  complete with rows bit-identical to the inline baseline and resume as
+  200 replayed cells (no job lost, none double-counted).
 
 Writes ``benchmarks/results/sweep_orchestration.{txt,json}``.
 """
@@ -24,6 +29,7 @@ import time
 from repro.orchestrate.dag import JobDAG
 from repro.orchestrate.executors import make_executor
 from repro.orchestrate.journal import Journal
+from repro.orchestrate.remote import RemoteExecutor
 from repro.orchestrate.scheduler import Scheduler
 from repro.utils.tables import TextTable
 
@@ -31,6 +37,14 @@ from conftest import record, record_json
 
 CELLS = 200
 FLAKE_EVERY = 20  # every 20th cell fails its first attempt
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: Shrunk failure-detection timings so the chaos matrix runs in seconds.
+FAST = dict(heartbeat=0.2, lease_timeout=1.5, wall_grace=0.5)
+
+CHAOS_ENVS = ("REPRO_WORKER_KILL_AFTER", "REPRO_WORKER_STALL",
+              "REPRO_NET_DROP_AFTER")
 
 
 def _cell(i, spin=400):
@@ -63,6 +77,18 @@ def _build(fn, *extra):
     return dag
 
 
+def _remote_executor(chaos=None, workers=2):
+    """A fast-timing RemoteExecutor whose spawned workers can unpickle
+    this bench module (``BENCH_DIR`` on PYTHONPATH) and carry exactly
+    the requested chaos hooks."""
+    env = dict(os.environ)
+    for name in CHAOS_ENVS:
+        env.pop(name, None)
+    env["PYTHONPATH"] = BENCH_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(chaos or {})
+    return RemoteExecutor(workers=workers, spawn_env=env, **FAST)
+
+
 def _timed_run(dag, **kwargs):
     journal = kwargs.pop("journal", None)
     executor = kwargs.pop("executor", None)
@@ -83,14 +109,56 @@ def measure(tmp_root):
     for workers in sorted({1, 4, os.cpu_count() or 1}):
         configs.append((f"process-{workers}", workers))
     throughput = []
+    inline_rows = None
     for label, workers in configs:
         executor = None if workers is None else \
             make_executor("process", max_workers=workers)
         sweep, elapsed = _timed_run(_build(_cell), executor=executor)
         assert sweep.ok, sweep.report()
         assert len(sweep.value("agg")) == CELLS
+        if label == "inline":
+            inline_rows = sweep.value("agg")
         throughput.append((label, CELLS / elapsed, elapsed))
+    sweep, elapsed = _timed_run(_build(_cell),
+                                executor=_remote_executor())
+    assert sweep.ok, sweep.report()
+    assert sweep.value("agg") == inline_rows
+    throughput.append(("remote-2", CELLS / elapsed, elapsed))
     results["throughput"] = throughput
+
+    # Distributed failure matrix: each canonical partial failure
+    # injected into the same sweep on the remote executor. Rows must
+    # come out bit-identical to inline, and resuming the journal must
+    # replay all 200 cells — nothing lost, nothing executed-and-
+    # recorded twice.
+    matrix = [
+        ("worker-kill", {"REPRO_WORKER_KILL_AFTER": "20"}, None),
+        ("worker-stall", {"REPRO_WORKER_STALL": "cell/199"}, 1.0),
+        ("net-drop", {"REPRO_NET_DROP_AFTER": "30"}, None),
+    ]
+    distributed = []
+    for mode, chaos, wall_limit in matrix:
+        # One directory per mode: the journal and its worker shard dir
+        # must not leak across chaos runs.
+        mode_dir = tmp_root / f"chaos-{mode}"
+        mode_dir.mkdir(parents=True)
+        journal_path = mode_dir / "journal"
+        executor = _remote_executor(chaos)
+        sweep, elapsed = _timed_run(_build(_cell), executor=executor,
+                                    journal=Journal(journal_path),
+                                    retries=3, wall_limit=wall_limit)
+        assert sweep.ok, f"{mode}: {sweep.report()}"
+        assert sweep.value("agg") == inline_rows, mode
+        replay = Scheduler(_build(_cell),
+                           journal=Journal(journal_path)).run()
+        assert replay.counts().get("resumed") == CELLS, mode
+        distributed.append({
+            "mode": mode, "wall_s": elapsed, "retries": sweep.retries,
+            "worker_losses": executor.stats["worker_losses"],
+            "revoked": executor.stats["revoked"],
+            "respawns": executor.stats["respawns"],
+        })
+    results["distributed"] = distributed
 
     # Retries: injected first-attempt flakes converge under retries=1.
     flake_dir = tmp_root / "flakes"
@@ -134,6 +202,12 @@ def render(results) -> str:
         f"resume: fresh {resume['fresh_s']:.2f}s vs replay "
         f"{resume['resumed_s']:.2f}s ({resume['speedup']:.0f}x)",
     ]
+    for entry in results["distributed"]:
+        lines.append(
+            f"chaos {entry['mode']}: rows identical in "
+            f"{entry['wall_s']:.2f}s ({entry['worker_losses']} workers "
+            f"lost, {entry['revoked']} leases revoked, "
+            f"{entry['respawns']} respawns, {entry['retries']} retries)")
     return "\n".join(lines)
 
 
@@ -154,6 +228,10 @@ def test_sweep_orchestration(tmp_path):
         "resume": {"fresh_s": round(results["resume"]["fresh_s"], 3),
                    "resumed_s": round(results["resume"]["resumed_s"], 3),
                    "speedup": round(results["resume"]["speedup"], 1)},
+        "distributed": [
+            {**entry, "wall_s": round(entry["wall_s"], 3)}
+            for entry in results["distributed"]
+        ],
     })
     # Acceptance: every injected flake was retried exactly once, and
     # resuming a complete journal beats re-executing the sweep.

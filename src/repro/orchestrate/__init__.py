@@ -5,9 +5,12 @@ figure sweeps declare compile → simulate → aggregate job graphs
 (:mod:`~repro.orchestrate.dag`), a scheduler runs them with retry,
 timeout, DEGRADED propagation, and checkpoint/resume
 (:mod:`~repro.orchestrate.scheduler`, :mod:`~repro.orchestrate.journal`)
-over pluggable executors (:mod:`~repro.orchestrate.executors`), and the
-``repro sweep`` CLI (:mod:`~repro.orchestrate.sweeps`) drives the named
-sweeps end to end.
+over pluggable executors (:mod:`~repro.orchestrate.executors`) — local
+inline, self-healing process pool, or the fault-tolerant socket worker
+pool (:mod:`~repro.orchestrate.remote` / :mod:`~repro.orchestrate.worker`)
+with lease-based job recovery and cross-host journal-shard merge — and
+the ``repro sweep`` CLI (:mod:`~repro.orchestrate.sweeps`) drives the
+named sweeps end to end.
 """
 
 from repro.orchestrate.dag import DagError, JobDAG, JobSpec
@@ -17,7 +20,8 @@ from repro.orchestrate.executors import (
     PoolExecutor,
     make_executor,
 )
-from repro.orchestrate.journal import Journal
+from repro.orchestrate.journal import Journal, merge_shards
+from repro.orchestrate.remote import RemoteExecutor, WorkerLost
 from repro.orchestrate.scheduler import JobResult, Scheduler, SweepResult
 
 __all__ = [
@@ -29,7 +33,10 @@ __all__ = [
     "JobSpec",
     "Journal",
     "PoolExecutor",
+    "RemoteExecutor",
     "Scheduler",
     "SweepResult",
+    "WorkerLost",
     "make_executor",
+    "merge_shards",
 ]

@@ -12,14 +12,16 @@ exactly that surface, so backends are interchangeable:
   next submit), and degrades to inline execution in sandboxes without
   process primitives or after repeated pool deaths.
 
-The interface is deliberately sized so a multi-host backend (one that
-ships the payload to a remote agent and returns a future over the
-reply) can slot in without touching the scheduler.
+The multi-host backend the interface was sized for lives in
+:mod:`repro.orchestrate.remote`: :class:`RemoteExecutor` ships pickled
+payloads to a socket worker pool with lease-based recovery, and
+``make_executor("remote")`` resolves to it.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 from concurrent.futures import Future, ProcessPoolExecutor
 
 #: Pool rebuilds tolerated before PoolExecutor degrades to inline.
@@ -34,12 +36,32 @@ class Executor:
     #: True when jobs run in another process: payloads must pickle and
     #: ambient telemetry sessions must be re-established worker-side.
     remote = False
+    #: True when the backend revokes leases itself (heartbeats, wall
+    #: deadlines); the scheduler then skips its own hard-timeout reaping.
+    leased = False
+    #: True when workers journal completions to per-worker shard files
+    #: the scheduler should merge on resume.
+    shards = False
+    #: True when the scheduler should enforce a hard wall-limit deadline
+    #: by calling :meth:`reap` on overdue futures.
+    reaps_on_timeout = False
+    #: Why the backend fell back to inline execution (None = it didn't);
+    #: propagated into telemetry tags as ``degraded``.
+    degraded_reason: str | None = None
 
-    def submit(self, fn, *args, **kwargs) -> Future:
+    def submit(self, fn, *args, meta=None, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)`` somewhere; ``meta`` carries
+        scheduler-side job identity (content key, attempt, shard dir)
+        for backends that journal or lease — others ignore it."""
         raise NotImplementedError
 
     def reset(self) -> None:
         """Called after a backend-infrastructure failure (dead worker)."""
+
+    def reap(self, future: Future | None = None) -> None:
+        """Kill whatever is (or may be) executing ``future`` — called by
+        the scheduler when a job blows through its hard wall-limit, so a
+        wedged worker process cannot outlive its job."""
 
     def shutdown(self) -> None:
         pass
@@ -57,7 +79,7 @@ class InlineExecutor(Executor):
     name = "inline"
     remote = False
 
-    def submit(self, fn, *args, **kwargs) -> Future:
+    def submit(self, fn, *args, meta=None, **kwargs) -> Future:
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
@@ -73,15 +95,17 @@ class PoolExecutor(Executor):
     """Process-pool backend with self-healing and inline degradation."""
 
     remote = True
+    reaps_on_timeout = True
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers or os.cpu_count() or 1
         self.name = f"process-pool[{self.max_workers}]"
+        self.degraded_reason: str | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._inline: InlineExecutor | None = None
         self._deaths = 0
 
-    def submit(self, fn, *args, **kwargs) -> Future:
+    def submit(self, fn, *args, meta=None, **kwargs) -> Future:
         pool = self._ensure_pool()
         if pool is None:
             return self._fallback().submit(fn, *args, **kwargs)
@@ -108,10 +132,17 @@ class PoolExecutor(Executor):
         return self._pool
 
     def reset(self) -> None:
-        """Tear down a broken pool; the next submit rebuilds or degrades."""
+        """Tear down a broken pool; the next submit rebuilds or degrades.
+
+        The workers are SIGKILLed explicitly: ``shutdown(wait=False)``
+        on a pool with a *wedged* child would leave that child running
+        as an orphan until interpreter exit — a timed-out job must not
+        outlive its sweep.
+        """
         self._deaths += 1
         pool, self._pool = self._pool, None
         if pool is not None:
+            self._kill_workers(pool)
             try:
                 pool.shutdown(wait=False, cancel_futures=True)
             except Exception:  # noqa: BLE001 — already broken
@@ -119,9 +150,25 @@ class PoolExecutor(Executor):
         if self._deaths >= MAX_POOL_DEATHS:
             self._degrade(f"{self._deaths} pool deaths")
 
+    def reap(self, future: Future | None = None) -> None:
+        """Hard wall-limit enforcement: kill the pool's worker processes
+        (one of them is running the overdue job) and rebuild. In-flight
+        siblings fail with ``BrokenProcessPool`` and are retried as
+        transient by the scheduler."""
+        self.reset()
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        for pid in list(getattr(pool, "_processes", None) or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+
     def _degrade(self, reason: str) -> None:
         if self._inline is None:
             self._inline = InlineExecutor()
+            self.degraded_reason = reason
             self.name = f"{self.name}->inline ({reason})"
 
     def _fallback(self) -> InlineExecutor:
@@ -135,14 +182,24 @@ class PoolExecutor(Executor):
 
 
 def make_executor(kind: str | Executor | None, *,
-                  max_workers: int | None = None) -> Executor:
-    """Resolve an executor spec: an instance, ``"inline"``, or
-    ``"process"``/``"process-pool"`` (``None`` means inline)."""
+                  max_workers: int | None = None,
+                  listen: str | tuple[str, int] | None = None) -> Executor:
+    """Resolve an executor spec: an instance, ``"inline"``,
+    ``"process"``/``"process-pool"``, or ``"remote"`` (``None`` means
+    inline). ``listen`` (``"host:port"`` or a tuple) makes the remote
+    coordinator accept workers from other hosts."""
     if isinstance(kind, Executor):
         return kind
     if kind in (None, "inline"):
         return InlineExecutor()
     if kind in ("process", "process-pool", "pool"):
         return PoolExecutor(max_workers=max_workers)
+    if kind in ("remote", "remote-pool", "socket"):
+        from repro.orchestrate.remote import RemoteExecutor
+        if isinstance(listen, str):
+            host, _, port = listen.rpartition(":")
+            listen = (host or "0.0.0.0", int(port))
+        workers = max_workers if max_workers is not None else 2
+        return RemoteExecutor(workers=workers, listen=listen)
     raise ValueError(f"unknown executor {kind!r} "
-                     "(expected 'inline' or 'process')")
+                     "(expected 'inline', 'process', or 'remote')")

@@ -15,6 +15,14 @@ recording the first. Two crash scenarios are first-class:
 Superseded lines (a retried job, a recorded failure) accumulate as dead
 weight; when they outnumber the live entries the journal compacts itself
 into a fresh file atomically (temp file + rename).
+
+Distributed sweeps add a third failure domain: each remote worker
+appends completions to its own **shard** (``shard-<worker>.jsonl`` next
+to the coordinator's journal), so a result that never made it back over
+the wire — the coordinator died, the connection reset mid-frame — still
+survives on disk. :func:`merge_shards` folds those shards into the main
+journal on resume, last-write-wins per content-addressed job key, so a
+sweep interrupted on *either* side of the socket resumes bit-identical.
 """
 
 from __future__ import annotations
@@ -25,10 +33,14 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 #: Journal entries with these statuses carry a resumable value.
 VALUE_STATUSES = ("ok",)
+
+#: Worker shard filename pattern (``<worker id>`` is host-pid unique).
+SHARD_GLOB = "shard-*.jsonl"
 
 #: Dead lines tolerated before :meth:`Journal.record` auto-compacts.
 COMPACT_FLOOR = 64
@@ -87,19 +99,40 @@ class Journal:
 
     def record(self, key: str, *, name: str | None = None,
                status: str = "ok", value=None, attempts: int = 0,
-               elapsed: float = 0.0) -> None:
-        """Append one event; ``value`` is kept only for OK statuses."""
+               elapsed: float = 0.0, error: str | None = None,
+               worker: str | None = None, host: str | None = None,
+               lease: str | None = None, ts: float | None = None) -> None:
+        """Append one event; ``value`` is kept only for OK statuses.
+
+        ``error`` preserves the last failure message for post-mortems
+        (``repro sweep status``); ``worker``/``host``/``lease`` record
+        which lease holder produced the event in a distributed sweep;
+        ``ts`` is the event wall-clock time (defaults to now) and is the
+        tiebreaker :func:`merge_shards` uses for last-write-wins.
+        """
         entry = {
             "key": key,
             "name": name or key,
             "status": status,
             "attempts": attempts,
             "elapsed": round(elapsed, 6),
+            "ts": round(time.time() if ts is None else ts, 6),
         }
+        for field, content in (("error", error), ("worker", worker),
+                               ("host", host), ("lease", lease)):
+            if content is not None:
+                entry[field] = content
         if status in VALUE_STATUSES:
             entry["value"] = _encode(value)
+        self.absorb(entry)
+
+    def absorb(self, entry: dict) -> None:
+        """Append a pre-built entry (a :meth:`record` payload or a line
+        lifted verbatim from another journal's shard)."""
+        if "key" not in entry or "status" not in entry:
+            raise ValueError(f"not a journal entry: {entry!r}")
         self._append(entry)
-        self._entries[key] = entry
+        self._entries[entry["key"]] = entry
         self._lines += 1
         if self._dead_lines() > max(COMPACT_FLOOR, len(self._entries)):
             self.compact()
@@ -186,6 +219,70 @@ class Journal:
         self._tail_dropped = 0
         with contextlib.suppress(OSError):
             self.path.unlink()
+
+
+def shard_path(shard_dir: str | os.PathLike, worker_id: str) -> Path:
+    """Where worker ``worker_id`` journals its completions."""
+    safe = "".join(ch if ch.isalnum() or ch in "-._" else "-"
+                   for ch in worker_id)
+    return Path(shard_dir) / f"shard-{safe}.jsonl"
+
+
+def merge_shards(journal: Journal, shard_dir: str | os.PathLike, *,
+                 cleanup: bool = True) -> int:
+    """Fold per-worker journal shards into ``journal``; returns the
+    number of values merged.
+
+    Shards are the worker-side half of the distributed journal: a worker
+    records each completion locally *before* shipping the result frame,
+    so a coordinator crash or a torn connection cannot lose finished
+    work. On resume the coordinator calls this: every OK value found in
+    a shard wins over an absent or older main-journal entry —
+    last-write-wins per content-addressed job key, by event timestamp
+    (shards are loaded through :class:`Journal`, so a shard with a torn
+    tail heals exactly like the main journal). With ``cleanup`` the
+    consumed shard files are deleted once their values are durably
+    appended to the main journal.
+    """
+    shard_dir = Path(shard_dir)
+    shard_files = sorted(shard_dir.glob(SHARD_GLOB)) \
+        if shard_dir.is_dir() else []
+    winners: dict[str, dict] = {}
+    for path in shard_files:
+        for key, entry in Journal(path).statuses().items():
+            if entry.get("status") not in VALUE_STATUSES:
+                continue
+            current = winners.get(key)
+            if current is None or entry.get("ts", 0) >= current.get("ts", 0):
+                winners[key] = entry
+    merged = 0
+    for key, entry in winners.items():
+        mine = journal.get(key)
+        if mine is not None and mine.get("status") in VALUE_STATUSES \
+                and mine.get("ts", 0) >= entry.get("ts", 0):
+            continue
+        journal.absorb(entry)
+        merged += 1
+    if cleanup:
+        for path in shard_files:
+            with contextlib.suppress(OSError):
+                path.unlink()
+    return merged
+
+
+def read_shards(shard_dir: str | os.PathLike) -> dict[str, dict]:
+    """Read-only merged view of the shards (any status, latest wins) —
+    what ``repro sweep status`` overlays for lease/attempt display."""
+    shard_dir = Path(shard_dir)
+    if not shard_dir.is_dir():
+        return {}
+    view: dict[str, dict] = {}
+    for path in sorted(shard_dir.glob(SHARD_GLOB)):
+        for key, entry in Journal(path).statuses().items():
+            current = view.get(key)
+            if current is None or entry.get("ts", 0) >= current.get("ts", 0):
+                view[key] = entry
+    return view
 
 
 def _encode(value) -> str:

@@ -1,0 +1,578 @@
+"""Distributed sweep execution: the coordinator side of the worker pool.
+
+:class:`RemoteExecutor` is the multi-host backend the executor interface
+was sized for: it speaks length-prefixed pickle frames over plain
+sockets (stdlib only) to a pool of :mod:`repro.orchestrate.worker`
+processes — spawned locally by default, or connecting from other hosts
+with ``python -m repro.orchestrate.worker --connect host:port``.
+
+Partial failure is the steady state, so robustness is structural rather
+than bolted on:
+
+- every dispatched job is held under a revocable **lease**: the worker
+  heartbeats while it runs, and the coordinator revokes the lease when
+  heartbeats stop (dead or wedged worker), when the socket closes or
+  resets mid-frame, or when the job outlives its wall-limit plus grace
+  (a worker that is alive but stuck);
+- a revoked lease fails the job's future with :class:`WorkerLost` — an
+  ``OSError`` — so the scheduler's existing transient-retry
+  classification requeues the job with jittered backoff; the work is
+  retried, never lost;
+- a **late result** from a revoked lease (the worker was merely slow,
+  not dead) is discarded by lease-id mismatch, so a job is never
+  double-counted;
+- locally-spawned workers that die are respawned (with the chaos
+  environment hooks stripped, so an injected crash fires once), bounded
+  by a respawn budget; with the budget exhausted and nobody connected
+  the executor degrades to inline execution, finishing the sweep the
+  same way :class:`~repro.orchestrate.executors.PoolExecutor` does;
+- workers journal every completion to their own shard
+  (``shard-<worker>.jsonl`` beside the coordinator's journal) *before*
+  shipping the result, so work finished during a coordinator crash is
+  recovered by :func:`~repro.orchestrate.journal.merge_shards` on
+  resume.
+
+The deterministic chaos hooks for the failure matrix live in
+:mod:`repro.orchestrate.worker` (``REPRO_WORKER_KILL_AFTER``,
+``REPRO_WORKER_STALL``, ``REPRO_NET_DROP_AFTER``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.orchestrate.executors import Executor, InlineExecutor
+
+#: Seconds between worker heartbeats while a job runs.
+DEFAULT_HEARTBEAT = 1.0
+#: Missed-heartbeat window before a lease is revoked.
+DEFAULT_LEASE_TIMEOUT = 5.0
+#: Grace added to a job's wall-limit before a live-but-stuck worker's
+#: lease is revoked (the cooperative in-job timeout gets first shot).
+DEFAULT_WALL_GRACE = 2.0
+#: Replacement workers spawned per original slot before degrading.
+RESPAWNS_PER_SLOT = 3
+#: Chaos hooks that must not survive into respawned workers: each
+#: injected failure fires once per original worker, deterministically.
+ONESHOT_CHAOS_ENVS = ("REPRO_WORKER_KILL_AFTER", "REPRO_NET_DROP_AFTER")
+
+_LENGTH = struct.Struct(">I")
+
+
+class WorkerLost(OSError):
+    """A lease was revoked: its worker died, hung, or lost its link.
+
+    An ``OSError`` on purpose — the scheduler classifies it transient
+    and requeues the job under the normal retry budget.
+    """
+
+
+# ----------------------------------------------------------------------
+# Framing: 4-byte big-endian length + pickled message dict. Shared by
+# coordinator and worker.
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Blocking read of one frame; ``None`` on a clean or torn EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    data = _recv_exact(sock, length)
+    if data is None:
+        return None
+    return pickle.loads(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameBuffer:
+    """Incremental decoder for the coordinator's non-blocking reads."""
+
+    def __init__(self):
+        self._data = b""
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._data += data
+        messages = []
+        while True:
+            if len(self._data) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack(self._data[:_LENGTH.size])
+            end = _LENGTH.size + length
+            if len(self._data) < end:
+                break  # mid-frame: wait for the rest (or the reset)
+            messages.append(pickle.loads(self._data[_LENGTH.size:end]))
+            self._data = self._data[end:]
+        return messages
+
+
+# ----------------------------------------------------------------------
+# Coordinator bookkeeping
+
+
+@dataclass
+class _Job:
+    job_id: int
+    future: Future
+    payload: tuple          # (fn, args, kwargs)
+    meta: dict
+
+
+@dataclass
+class _Lease:
+    lease_id: str
+    job_id: int
+    worker: str
+    hb_deadline: float
+    wall_deadline: float | None
+
+
+@dataclass
+class _Conn:
+    sock: socket.socket
+    buffer: FrameBuffer = field(default_factory=FrameBuffer)
+    worker: str | None = None        # None until HELLO
+    host: str | None = None
+    pid: int | None = None
+    lease: _Lease | None = None      # the job it is running, if any
+
+    @property
+    def idle(self) -> bool:
+        return self.worker is not None and self.lease is None
+
+
+class RemoteExecutor(Executor):
+    """Socket worker-pool backend with lease-based job recovery.
+
+    ``workers`` local worker processes are spawned against an ephemeral
+    loopback listener by default; pass ``listen=("0.0.0.0", port)`` (and
+    optionally ``workers=0``) to accept workers from other hosts
+    instead, or in addition. ``heartbeat``/``lease_timeout``/
+    ``wall_grace`` tune failure detection — tests shrink them to keep
+    the chaos matrix fast.
+    """
+
+    remote = True
+    #: The scheduler leaves wall-limit enforcement to the lease monitor.
+    leased = True
+    #: Workers journal completions to per-worker shards.
+    shards = True
+
+    def __init__(self, workers: int = 2, *,
+                 listen: tuple[str, int] | None = None,
+                 heartbeat: float = DEFAULT_HEARTBEAT,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 wall_grace: float = DEFAULT_WALL_GRACE,
+                 spawn_env: dict | None = None):
+        self.workers = max(0, workers)
+        self.heartbeat = heartbeat
+        self.lease_timeout = lease_timeout
+        self.wall_grace = wall_grace
+        self.name = f"remote[{self.workers}]"
+        self.degraded_reason: str | None = None
+        self.stats = {"dispatched": 0, "revoked": 0, "worker_losses": 0,
+                      "respawns": 0, "late_results": 0}
+        self._spawn_env = spawn_env
+        self._lock = threading.RLock()
+        self._jobs: dict[int, _Job] = {}
+        self._pending: deque[int] = deque()
+        self._conns: dict[socket.socket, _Conn] = {}
+        self._procs: list[subprocess.Popen] = []
+        self._next_job = 0
+        self._next_lease = 0
+        self._respawn_budget = self.workers * RESPAWNS_PER_SLOT
+        self._inline: InlineExecutor | None = None
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._listener: socket.socket | None = None
+        self.address: tuple[str, int] | None = None
+        try:
+            self._start(listen or ("127.0.0.1", 0))
+        except OSError as error:
+            self._degrade(f"no sockets: {error}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def _start(self, listen: tuple[str, int]) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(listen)
+        listener.listen(16)
+        listener.setblocking(False)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wake_recv, selectors.EVENT_READ,
+                                "wake")
+        for _ in range(self.workers):
+            self._spawn(strip_chaos=False)
+        self._thread = threading.Thread(target=self._loop,
+                                        name="remote-coordinator",
+                                        daemon=True)
+        self._thread.start()
+
+    def _spawn(self, *, strip_chaos: bool) -> None:
+        import repro
+        env = dict(self._spawn_env if self._spawn_env is not None
+                   else os.environ)
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        if strip_chaos:
+            for name in ONESHOT_CHAOS_ENVS:
+                env.pop(name, None)
+        host, port = self.address
+        connect = f"{'127.0.0.1' if host == '0.0.0.0' else host}:{port}"
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.orchestrate.worker",
+                 "--connect", connect,
+                 "--heartbeat", str(self.heartbeat)],
+                env=env, stdout=subprocess.DEVNULL)
+        except OSError as error:
+            self._respawn_budget = 0
+            self._maybe_degrade(f"cannot spawn workers: {error}")
+            return
+        self._procs.append(proc)
+
+    def shutdown(self) -> None:
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._wake()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def reset(self) -> None:
+        """Backend-infrastructure failures are handled internally (lease
+        revocation, respawn); nothing to rebuild here."""
+
+    # ------------------------------------------------------------------
+    # Submission (scheduler thread)
+
+    def submit(self, fn, *args, meta=None, **kwargs) -> Future:
+        with self._lock:
+            if self._inline is not None:
+                return self._inline.submit(fn, *args, **kwargs)
+            future: Future = Future()
+            job_id = self._next_job
+            self._next_job += 1
+            self._jobs[job_id] = _Job(job_id, future, (fn, args, kwargs),
+                                      dict(meta or {}))
+            self._pending.append(job_id)
+        self._wake()
+        return future
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Coordinator loop (IO thread): accept, read, dispatch, monitor.
+
+    def _loop(self) -> None:
+        tick = max(0.05, min(0.25, self.heartbeat / 4))
+        while not self._stopping.is_set():
+            for key, _ in self._selector.select(timeout=tick):
+                if key.data == "accept":
+                    self._accept()
+                elif key.data == "wake":
+                    try:
+                        self._wake_recv.recv(4096)
+                    except OSError:
+                        pass
+                else:
+                    self._read(key.data)
+            with self._lock:
+                self._dispatch()
+                self._check_leases()
+                self._reap_procs()
+        self._teardown()
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Conn(sock)
+        with self._lock:
+            self._conns[sock] = conn
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _read(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as error:
+            self._lose_worker(conn, f"connection error: {error}")
+            return
+        if not data:
+            self._lose_worker(conn, "connection closed")
+            return
+        try:
+            messages = conn.buffer.feed(data)
+        except Exception as error:  # noqa: BLE001 — garbled stream
+            self._lose_worker(conn, f"corrupt frame: {error}")
+            return
+        for message in messages:
+            self._handle(conn, message)
+
+    def _handle(self, conn: _Conn, message: dict) -> None:
+        kind = message.get("kind")
+        with self._lock:
+            if kind == "hello":
+                conn.worker = message.get("worker", "worker-?")
+                conn.host = message.get("host")
+                conn.pid = message.get("pid")
+            elif kind == "heartbeat":
+                lease = conn.lease
+                if lease is not None \
+                        and lease.lease_id == message.get("lease"):
+                    lease.hb_deadline = time.monotonic() \
+                        + self.lease_timeout
+            elif kind == "result":
+                self._finish(conn, message)
+
+    def _finish(self, conn: _Conn, message: dict) -> None:
+        lease = conn.lease
+        job_id = message.get("job_id")
+        if lease is None or lease.job_id != job_id \
+                or lease.lease_id != message.get("lease"):
+            # A result for a lease we already revoked: the job was
+            # requeued elsewhere — dropping the frame is what keeps it
+            # singly-counted.
+            self.stats["late_results"] += 1
+            return
+        conn.lease = None
+        job = self._jobs.pop(job_id, None)
+        if job is None:
+            self.stats["late_results"] += 1
+            return
+        job.future._repro_provenance = {
+            "worker": conn.worker, "host": conn.host,
+            "lease": lease.lease_id,
+        }
+        if message.get("status") == "ok":
+            job.future.set_result(message.get("value"))
+        else:
+            error = message.get("error")
+            if not isinstance(error, BaseException):
+                error = RuntimeError(str(error))
+            job.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Dispatch and failure detection (called under self._lock)
+
+    def _dispatch(self) -> None:
+        idle = [conn for conn in self._conns.values() if conn.idle]
+        while idle and self._pending:
+            job_id = self._pending.popleft()
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            conn = idle.pop()
+            lease_id = f"L{self._next_lease}"
+            self._next_lease += 1
+            now = time.monotonic()
+            wall_limit = job.meta.get("wall_limit")
+            lease = _Lease(
+                lease_id, job_id, conn.worker,
+                hb_deadline=now + self.lease_timeout,
+                wall_deadline=(now + wall_limit + self.wall_grace
+                               if wall_limit else None))
+            frame = {"kind": "job", "job_id": job_id, "lease": lease_id,
+                     "payload": job.payload, "meta": job.meta,
+                     "heartbeat": self.heartbeat}
+            try:
+                conn.sock.setblocking(True)
+                send_frame(conn.sock, frame)
+                conn.sock.setblocking(False)
+            except OSError as error:
+                self._pending.appendleft(job_id)
+                self._lose_worker(conn, f"dispatch failed: {error}")
+                continue
+            conn.lease = lease
+            self.stats["dispatched"] += 1
+        if self._pending and not self._conns and not self._alive_procs():
+            if self._respawn_budget > 0:
+                self.stats["respawns"] += 1
+                self._respawn_budget -= 1
+                self._spawn(strip_chaos=True)
+            else:
+                self._maybe_degrade("no workers left")
+
+    def _check_leases(self) -> None:
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            lease = conn.lease
+            if lease is None:
+                continue
+            if now > lease.hb_deadline:
+                self._revoke(conn, "missed heartbeats")
+            elif lease.wall_deadline is not None \
+                    and now > lease.wall_deadline:
+                self._revoke(conn, "wall-limit exceeded")
+
+    def _revoke(self, conn: _Conn, reason: str) -> None:
+        self.stats["revoked"] += 1
+        self._lose_worker(conn, f"lease revoked: {reason}")
+
+    def _lose_worker(self, conn: _Conn, reason: str) -> None:
+        """Tear one worker down and requeue its job via WorkerLost."""
+        with self._lock:
+            if self._conns.pop(conn.sock, None) is None:
+                return  # already handled
+            self.stats["worker_losses"] += 1
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            self._kill_proc(conn.pid)
+            lease, conn.lease = conn.lease, None
+            if lease is not None:
+                job = self._jobs.pop(lease.job_id, None)
+                if job is not None:
+                    error = WorkerLost(
+                        f"worker {conn.worker or '?'} lost ({reason}); "
+                        f"job {job.meta.get('name', lease.job_id)} "
+                        f"requeued")
+                    job.future._repro_provenance = {
+                        "worker": conn.worker, "host": conn.host,
+                        "lease": lease.lease_id,
+                    }
+                    job.future.set_exception(error)
+            if self._respawn_budget > 0 and not self._stopping.is_set():
+                self.stats["respawns"] += 1
+                self._respawn_budget -= 1
+                self._spawn(strip_chaos=True)
+
+    def _kill_proc(self, pid: int | None) -> None:
+        for proc in list(self._procs):
+            if pid is not None and proc.pid != pid:
+                continue
+            if pid is None:
+                continue
+            try:
+                proc.kill()
+            except OSError:
+                pass
+            try:
+                proc.wait(timeout=5)
+            except Exception:  # noqa: BLE001 — best effort
+                pass
+            self._procs.remove(proc)
+
+    def _reap_procs(self) -> None:
+        connected = {conn.pid for conn in self._conns.values()}
+        for proc in list(self._procs):
+            if proc.poll() is not None and proc.pid not in connected:
+                # Died before (or without) a socket to report through.
+                self._procs.remove(proc)
+                if self._respawn_budget > 0 and not self._stopping.is_set():
+                    self.stats["respawns"] += 1
+                    self._respawn_budget -= 1
+                    self._spawn(strip_chaos=True)
+
+    def _alive_procs(self) -> int:
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    # ------------------------------------------------------------------
+    # Degradation (mirrors PoolExecutor: finish the sweep no matter what)
+
+    def _maybe_degrade(self, reason: str) -> None:
+        self._degrade(reason)
+        while self._pending:
+            job_id = self._pending.popleft()
+            job = self._jobs.pop(job_id, None)
+            if job is None:
+                continue
+            fn, args, kwargs = job.payload
+            try:
+                job.future.set_result(fn(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 — via future
+                job.future.set_exception(error)
+
+    def _degrade(self, reason: str) -> None:
+        if self._inline is None:
+            self._inline = InlineExecutor()
+            self.degraded_reason = reason
+            self.name = f"{self.name}->inline ({reason})"
+
+    # ------------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        with self._lock:
+            for conn in list(self._conns.values()):
+                try:
+                    conn.sock.setblocking(True)
+                    conn.sock.settimeout(1.0)
+                    send_frame(conn.sock, {"kind": "shutdown"})
+                except OSError:
+                    pass
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+            self._conns.clear()
+            for proc in list(self._procs):
+                try:
+                    proc.kill()
+                    proc.wait(timeout=5)
+                except Exception:  # noqa: BLE001 — best effort
+                    pass
+            self._procs.clear()
+            for job in self._jobs.values():
+                if not job.future.done():
+                    job.future.set_exception(
+                        WorkerLost("executor shut down"))
+            self._jobs.clear()
+            self._pending.clear()
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass

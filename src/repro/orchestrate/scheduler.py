@@ -5,10 +5,14 @@ Execution policy, in one place instead of hand-rolled per figure:
 - **ready-set dispatch** — every job whose dependencies completed OK is
   submitted to the executor; completions unlock dependents incrementally
   (no barrier between waves);
-- **bounded retry with backoff** — transient failures (a killed worker,
-  an OSError) are retried up to ``retries`` times with linear backoff;
-  deterministic failures (any :class:`~repro.errors.ReproError`) and
-  cooperative timeouts are terminal on the first attempt;
+- **bounded retry with jittered backoff** — transient failures (a
+  killed worker, a revoked lease, an OSError) are retried up to
+  ``retries`` times; the sleep before attempt *n* is drawn uniformly
+  from ``[0, backoff * (n - 1)]`` (full jitter, seeded per job key so
+  it is deterministic yet decorrelated — N workers retrying one flaky
+  job do not stampede in lockstep); deterministic failures (any
+  :class:`~repro.errors.ReproError`) and cooperative timeouts are
+  terminal on the first attempt;
 - **DEGRADED propagation** — a job whose dependency degraded is skipped
   (transitively) rather than run against missing inputs; ``tolerant``
   jobs (aggregates) run anyway with ``None`` for each degraded input;
@@ -25,21 +29,26 @@ Two chaos hooks exist for CI and the crash-resume tests (and nothing
 else): ``REPRO_SWEEP_KILL_AFTER=<n>`` SIGKILLs the scheduler process
 after the *n*-th freshly-executed job is journaled, and
 ``REPRO_SWEEP_FLAKE=<substr>`` makes the first attempt of every matching
-job raise an injected ``OSError``.
+job raise an injected ``OSError``. The distributed failure matrix has
+its own worker-side hooks (``REPRO_WORKER_KILL_AFTER``,
+``REPRO_WORKER_STALL``, ``REPRO_NET_DROP_AFTER``) — see
+:mod:`repro.orchestrate.worker`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ReproError, SimulationTimeout
 from repro.orchestrate.dag import JobDAG, JobSpec
 from repro.orchestrate.executors import Executor, InlineExecutor
-from repro.orchestrate.journal import Journal
+from repro.orchestrate.journal import Journal, merge_shards
 
 #: Statuses carrying a value.
 OK_STATUSES = ("ok", "resumed")
@@ -47,6 +56,11 @@ OK_STATUSES = ("ok", "resumed")
 #: Environment chaos hooks (see module docstring).
 KILL_AFTER_ENV = "REPRO_SWEEP_KILL_AFTER"
 FLAKE_ENV = "REPRO_SWEEP_FLAKE"
+
+#: Filled by :mod:`repro.orchestrate.worker` in remote worker processes
+#: (worker id, host, lease id); :func:`_run_job` folds it into the
+#: telemetry tags so every RunRecord names the lease that produced it.
+_worker_provenance: dict = {}
 
 
 @dataclass
@@ -64,6 +78,11 @@ class JobResult:
     #: The original exception object for failed jobs (never journaled;
     #: lets strict callers re-raise instead of wrapping the message).
     exception: BaseException | None = None
+    #: Distributed provenance: which worker/host executed the final
+    #: attempt, under which lease (None on in-process executors).
+    worker: str | None = None
+    host: str | None = None
+    lease: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -79,7 +98,8 @@ class JobResult:
         if self.status == "ok":
             retried = (f" ({self.attempts} attempts)"
                        if self.attempts > 1 else "")
-            return f"ok in {self.elapsed:.2f}s{retried}"
+            where = f" on {self.worker}" if self.worker else ""
+            return f"ok in {self.elapsed:.2f}s{retried}{where}"
         if self.status == "skipped":
             return f"SKIPPED: {self.error or 'upstream degraded'}"
         detail = self.error or "unknown failure"
@@ -141,20 +161,28 @@ class Scheduler:
     """Run a :class:`~repro.orchestrate.dag.JobDAG` under one policy.
 
     ``retries`` is the number of *extra* attempts a transiently-failing
-    job gets (per-spec override wins); ``backoff`` seconds are slept
-    before attempt *n* as ``backoff * (n - 1)``. ``wall_limit`` is the
-    cooperative per-attempt budget, injected as a ``wall_limit=`` kwarg
-    into jobs that accept one. ``journal`` enables checkpoint/resume;
-    ``key_by="name"`` journals by job name instead of content key (the
-    legacy-checkpoint compatibility mode the
-    :class:`~repro.resilience.harness.ExperimentRunner` adapter uses).
+    job gets (per-spec override wins); the sleep before attempt *n* is
+    drawn uniformly from ``[0, backoff * (n - 1)]`` — full jitter over
+    the linear ceiling, seeded by ``jitter_seed`` and the job's content
+    key, so the spread is deterministic per job yet decorrelated across
+    jobs. ``wall_limit`` is the cooperative per-attempt budget, injected
+    as a ``wall_limit=`` kwarg into jobs that accept one; on executors
+    that cannot be trusted to honor it (the process pool), a job
+    ``hard_grace`` seconds past its wall-limit has its worker reaped and
+    is recorded ``timeout``. ``journal`` enables checkpoint/resume —
+    resuming first folds any per-worker journal shards from a previous
+    distributed run into the main journal; ``key_by="name"`` journals by
+    job name instead of content key (the legacy-checkpoint compatibility
+    mode the :class:`~repro.resilience.harness.ExperimentRunner` adapter
+    uses).
     """
 
     def __init__(self, dag: JobDAG, executor: Executor | None = None,
                  journal: Journal | str | os.PathLike | None = None,
                  *, retries: int = 0, backoff: float = 0.0,
                  wall_limit: float | None = None,
-                 key_by: str = "content"):
+                 key_by: str = "content", jitter_seed: int = 0,
+                 hard_grace: float = 5.0):
         self.dag = dag
         self.executor = executor if executor is not None else InlineExecutor()
         if isinstance(journal, (str, os.PathLike)):
@@ -163,12 +191,34 @@ class Scheduler:
         self.retries = max(0, retries)
         self.backoff = max(0.0, backoff)
         self.wall_limit = wall_limit
+        self.jitter_seed = jitter_seed
+        self.hard_grace = max(0.0, hard_grace)
         if key_by not in ("content", "name"):
             raise ValueError(f"key_by must be 'content' or 'name', "
                              f"not {key_by!r}")
         self.key_by = key_by
         kill_after = os.environ.get(KILL_AFTER_ENV)
         self._kill_after = int(kill_after) if kill_after else None
+
+    def _backoff_delay(self, spec: JobSpec, attempt: int) -> float:
+        """Full-jitter retry delay before ``attempt`` (0 for the first).
+
+        Deterministic for a given ``jitter_seed`` + job key + attempt,
+        but decorrelated across jobs: a fleet of workers retrying the
+        same transiently-failing sweep spreads out instead of stampeding
+        in lockstep.
+        """
+        if attempt <= 1 or not self.backoff:
+            return 0.0
+        ceiling = self.backoff * (attempt - 1)
+        rng = random.Random(f"{self.jitter_seed}\x1f{spec.key}\x1f{attempt}")
+        return rng.uniform(0.0, ceiling)
+
+    def _shard_dir(self) -> Path | None:
+        """Where this sweep's per-worker journal shards live."""
+        if self.journal is None:
+            return None
+        return self.journal.path.parent / self.dag.name
 
     # ------------------------------------------------------------------
 
@@ -184,8 +234,16 @@ class Scheduler:
         attempts: dict[str, int] = {}
         started: dict[str, float] = {}
         outstanding: dict = {}  # future -> spec
+        deadlines: dict = {}    # future -> hard wall-limit deadline
         session_spec = self._worker_session_spec()
         executed_ok = 0
+        shard_dir = self._shard_dir()
+
+        if resume and self.journal is not None and shard_dir is not None:
+            # A previous (distributed) run may have finished work whose
+            # results never crossed the wire: fold the per-worker shards
+            # in first so the replay scan below sees them.
+            merge_shards(self.journal, shard_dir)
 
         if resume and self.journal is not None:
             for spec in order:
@@ -205,19 +263,34 @@ class Scheduler:
             attempt = attempts.get(spec.name, 0) + 1
             attempts[spec.name] = attempt
             started.setdefault(spec.name, time.monotonic())
-            if self.backoff and attempt > 1:
-                time.sleep(self.backoff * (attempt - 1))
+            delay = self._backoff_delay(spec, attempt)
+            if delay:
+                time.sleep(delay)
             tags = {"dag": dag_id, "job": spec.name, "attempt": attempt,
                     "executor": self.executor.name}
+            degraded = getattr(self.executor, "degraded_reason", None)
+            if degraded:
+                tags["degraded"] = degraded
             kwargs = dict(spec.kwargs)
             if spec.pass_deps:
                 kwargs["deps"] = [results[dep].value if results[dep].ok
                                   else None for dep in spec.deps]
             wall_limit = (spec.wall_limit if spec.wall_limit is not None
                           else self.wall_limit)
+            meta = {"key": self._key(spec), "name": spec.name,
+                    "attempt": attempt, "dag": dag_id,
+                    "wall_limit": wall_limit}
+            if shard_dir is not None and not spec.transient \
+                    and getattr(self.executor, "shards", False):
+                meta["shard_dir"] = str(shard_dir)
             future = self.executor.submit(_run_job, spec.fn, spec.args,
                                           kwargs, wall_limit, tags,
-                                          session_spec)
+                                          session_spec, meta=meta)
+            if wall_limit is not None \
+                    and getattr(self.executor, "reaps_on_timeout", False) \
+                    and not getattr(self.executor, "leased", False):
+                deadlines[future] = time.monotonic() + wall_limit \
+                    + self.hard_grace
             outstanding[future] = spec
 
         def finalize(spec: JobSpec, result: JobResult) -> None:
@@ -228,7 +301,11 @@ class Scheduler:
                                     status=result.status,
                                     value=result.value,
                                     attempts=result.attempts,
-                                    elapsed=result.elapsed)
+                                    elapsed=result.elapsed,
+                                    error=result.error,
+                                    worker=result.worker,
+                                    host=result.host,
+                                    lease=result.lease)
             if result.status == "ok":
                 nonlocal executed_ok
                 executed_ok += 1
@@ -258,9 +335,35 @@ class Scheduler:
                 submitted_names.add(spec.name)
             if not outstanding:
                 continue  # skip-propagation made progress; re-scan
-            done, _ = wait(list(outstanding), return_when=FIRST_COMPLETED)
+            timeout = None
+            pending_deadlines = [deadlines[future] for future in outstanding
+                                 if future in deadlines]
+            if pending_deadlines:
+                timeout = max(0.0, min(pending_deadlines) - time.monotonic())
+            done, _ = wait(list(outstanding), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in [f for f in outstanding
+                           if f not in done
+                           and deadlines.get(f, now + 1) <= now]:
+                # Hard wall-limit: the job blew through its cooperative
+                # budget plus grace — reap whatever process is running
+                # it (no orphaned workers) and record the timeout.
+                spec = outstanding.pop(future)
+                deadlines.pop(future, None)
+                self.executor.reap(future)
+                finalize(spec, JobResult(
+                    name=spec.name, status="timeout",
+                    error=f"hard wall-limit: no result "
+                          f"{self.hard_grace:.1f}s past the "
+                          f"{spec.wall_limit or self.wall_limit}s budget; "
+                          f"worker reaped",
+                    attempts=attempts[spec.name],
+                    elapsed=now - started[spec.name],
+                    executor=self.executor.name, category=spec.category))
             for future in done:
                 spec = outstanding.pop(future)
+                deadlines.pop(future, None)
                 self._complete(spec, future, attempts, started,
                                submit, finalize)
         return sweep
@@ -272,8 +375,12 @@ class Scheduler:
         """Classify one finished future: finalize or retry."""
         attempt = attempts[spec.name]
         elapsed = time.monotonic() - started[spec.name]
+        provenance = getattr(future, "_repro_provenance", None) or {}
         base = dict(name=spec.name, attempts=attempt, elapsed=elapsed,
-                    executor=self.executor.name, category=spec.category)
+                    executor=self.executor.name, category=spec.category,
+                    worker=provenance.get("worker"),
+                    host=provenance.get("host"),
+                    lease=provenance.get("lease"))
         try:
             value = future.result()
         except SimulationTimeout as error:
@@ -331,6 +438,10 @@ class Scheduler:
 
 def _run_job(fn, args, kwargs, wall_limit, tags, session_spec):
     _maybe_flake(tags)
+    if _worker_provenance:
+        # Running inside a remote worker: tag the RunRecords with the
+        # worker id, host, and lease that produced them.
+        tags = {**tags, **_worker_provenance}
     if wall_limit is not None and _accepts_wall_limit(fn) \
             and "wall_limit" not in kwargs:
         kwargs = dict(kwargs, wall_limit=wall_limit)

@@ -17,6 +17,14 @@ killed run — machine crash, ^C, OOM — picks up where it left off:
 ``resume`` (or simply re-running) replays finished cells from the
 journal and executes only the remainder. ``--fresh`` clears the journal
 first; ``status`` reports it without executing anything.
+
+``--executor remote --workers N`` fans the cells out over a
+fault-tolerant socket worker pool (leases, heartbeats, per-worker
+journal shards — see :mod:`repro.orchestrate.remote`); add
+``--listen HOST:PORT`` to accept additional workers from other hosts.
+Resuming merges any journal shards left by a previous distributed run,
+so a sweep interrupted on either side of the socket still resumes
+bit-identical.
 """
 
 from __future__ import annotations
@@ -28,9 +36,9 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.dag import JobDAG, JobSpec
 from repro.orchestrate.executors import make_executor
-from repro.orchestrate.journal import Journal
+from repro.orchestrate.journal import Journal, read_shards
 from repro.orchestrate.scheduler import Scheduler, SweepResult
 
 #: Default journal directory for named sweeps.
@@ -153,10 +161,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         if not execution:
             return
         cmd.add_argument("--executor", default="inline",
-                         choices=["inline", "process"],
+                         choices=["inline", "process", "remote"],
                          help="job execution backend (default: inline)")
         cmd.add_argument("--workers", type=int, default=None, metavar="N",
-                         help="process-pool size (with --executor process)")
+                         help="pool size: process-pool workers, or local "
+                              "worker processes spawned by the remote "
+                              "coordinator (default: 2 for remote)")
+        cmd.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="with --executor remote: accept workers "
+                              "from other hosts on this address "
+                              "(they join with `python -m "
+                              "repro.orchestrate.worker --connect ...`)")
         cmd.add_argument("--retries", type=int, default=1, metavar="N",
                          help="extra attempts per transiently-failing job "
                               "(default: 1)")
@@ -248,30 +263,67 @@ def _sweep_describe(options) -> int:
 
 
 def _sweep_status(options) -> int:
-    """Map the DAG's (content-addressed) job keys against the journal."""
+    """Map the DAG's (content-addressed) job keys against the journal.
+
+    The main journal is overlaid with any per-worker shards (a
+    distributed sweep in flight, or one whose coordinator died), so the
+    operator sees attempt counts, the current lease holder of every
+    in-flight job, and the last failure message without reading raw
+    journal shards.
+    """
     _, dag = _build(options)
     path = _journal_path(options)
-    if not path.exists():
+    shard_dir = path.parent / dag.name
+    if not path.exists() and not shard_dir.is_dir():
         print(f"no journal at {path}: nothing completed")
         return 0
     journal = Journal(path)
+    shards = read_shards(shard_dir)
+
+    def entry_for(spec: JobSpec) -> dict | None:
+        mine = journal.get(spec.key)
+        shard = shards.get(spec.key)
+        if mine is None or shard is None:
+            return mine or shard
+        return shard if shard.get("ts", 0) >= mine.get("ts", 0) else mine
+
+    def complete(spec: JobSpec) -> bool:
+        entry = entry_for(spec)
+        return entry is not None and entry.get("status") == "ok"
+
     total = sum(1 for spec in dag if not spec.transient)
-    done = sum(1 for spec in dag
-               if not spec.transient and journal.has_value(spec.key))
+    done = sum(1 for spec in dag if not spec.transient and complete(spec))
     print(f"sweep {dag.name}: {done}/{total} journaled jobs complete "
           f"({path})")
     if journal.tail_dropped:
         print("  note: a torn tail from an interrupted write will be "
               "discarded on the next run")
+    if shards:
+        print(f"  note: {len(shards)} worker-shard entr"
+              f"{'y' if len(shards) == 1 else 'ies'} not yet merged "
+              f"(folded into the journal on the next run)")
     counts: dict[str, int] = {}
     lines = []
     for spec in dag.topo_order():
         if spec.transient:
             continue
-        entry = journal.get(spec.key)
+        entry = entry_for(spec)
         status = entry["status"] if entry is not None else "pending"
         counts[status] = counts.get(status, 0) + 1
-        lines.append(f"  [{status:8s}] {spec.name}")
+        line = f"  [{status:8s}] {spec.name}"
+        if entry is not None:
+            attempts = entry.get("attempts", 0)
+            if attempts > 1:
+                line += f"  x{attempts}"
+            worker = entry.get("worker")
+            if status == "leased" and worker:
+                line += (f"  held by {worker} "
+                         f"(lease {entry.get('lease', '?')})")
+            elif worker:
+                line += f"  ({worker})"
+            if entry.get("error"):
+                line += f"  last: {entry['error']}"
+        lines.append(line)
     print("  " + ", ".join(f"{count} {status}" for status, count
                            in sorted(counts.items())))
     for line in lines:
@@ -290,7 +342,8 @@ def _sweep_run(options) -> int:
     journal = Journal(path)
     if getattr(options, "fresh", False):
         journal.clear()
-    executor = make_executor(options.executor, max_workers=options.workers)
+    executor = make_executor(options.executor, max_workers=options.workers,
+                             listen=options.listen)
     session = nullcontext(None)
     if options.record:
         from repro.observe.telemetry import TelemetrySession
@@ -298,8 +351,11 @@ def _sweep_run(options) -> int:
     scheduler = Scheduler(dag, executor=executor, journal=journal,
                           retries=options.retries, backoff=options.backoff,
                           wall_limit=options.wall_limit)
-    with session as active:
-        sweep = scheduler.run()
+    try:
+        with session as active:
+            sweep = scheduler.run()
+    finally:
+        executor.shutdown()
     print(sweep.report())
     if options.record and active is not None:
         print(f"telemetry: {len(active.run_ids)} record(s) in session "

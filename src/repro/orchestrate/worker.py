@@ -1,0 +1,247 @@
+"""Remote sweep worker: ``python -m repro.orchestrate.worker``.
+
+One process, one socket, one job at a time. The worker connects to a
+:class:`~repro.orchestrate.remote.RemoteExecutor` coordinator
+(``--connect host:port``), announces itself, and then loops: receive a
+job frame, heartbeat while the job runs, journal the completion to this
+worker's own shard, ship the result back. The ordering is the crash
+contract:
+
+1. record ``leased`` in the shard (who holds the job, since when);
+2. run the job under the scheduler's usual wrapper (wall-limit
+   injection, telemetry session rebuild, provenance tags);
+3. record the outcome in the shard — the completion is now durable on
+   this host even if everything after this point dies;
+4. send the result frame to the coordinator.
+
+A worker killed between 3 and 4 loses nothing: the coordinator revokes
+the lease and retries, and on resume
+:func:`~repro.orchestrate.journal.merge_shards` recovers the journaled
+value (last-write-wins, so the retry's identical value is not counted
+twice).
+
+Three deterministic chaos hooks reproduce the distributed failure
+matrix in tests and CI:
+
+- ``REPRO_WORKER_KILL_AFTER=<n>`` — SIGKILL this worker after its
+  *n*-th completion is journaled, *before* the result is sent (the
+  worst-ordered crash);
+- ``REPRO_WORKER_STALL=<substr>`` — wedge first attempts of matching
+  jobs (heartbeats continue, the job never finishes) so the
+  coordinator's wall-limit lease revocation fires;
+- ``REPRO_NET_DROP_AFTER=<n>`` — hard-close the socket halfway through
+  the *n*-th result frame (a connection reset mid-frame).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import signal
+import socket
+import struct
+import sys
+import threading
+import time
+
+from repro.orchestrate import scheduler as _scheduler
+from repro.orchestrate.journal import Journal, shard_path
+from repro.orchestrate.remote import _LENGTH, recv_frame, send_frame
+
+#: Chaos hooks (see module docstring).
+KILL_AFTER_ENV = "REPRO_WORKER_KILL_AFTER"
+STALL_ENV = "REPRO_WORKER_STALL"
+NET_DROP_ENV = "REPRO_NET_DROP_AFTER"
+
+#: How long a stalled job sleeps — far past any test's lease timeout.
+STALL_SECONDS = 3600.0
+
+
+class Worker:
+    """The worker loop state: socket, shard journals, chaos counters."""
+
+    def __init__(self, sock: socket.socket, *, heartbeat: float = 1.0,
+                 shard_dir: str | None = None):
+        self.sock = sock
+        self.heartbeat = heartbeat
+        self.default_shard_dir = shard_dir
+        self.host = socket.gethostname()
+        self.worker_id = f"{self.host}-{os.getpid()}"
+        self.send_lock = threading.Lock()
+        self.completed = 0
+        self.results_sent = 0
+        self._shards: dict[str, Journal] = {}
+        kill_after = os.environ.get(KILL_AFTER_ENV)
+        self.kill_after = int(kill_after) if kill_after else None
+        net_drop = os.environ.get(NET_DROP_ENV)
+        self.net_drop_after = int(net_drop) if net_drop else None
+        self.stall_needle = os.environ.get(STALL_ENV) or None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        send_frame(self.sock, {"kind": "hello", "worker": self.worker_id,
+                               "host": self.host, "pid": os.getpid()})
+        while True:
+            try:
+                message = recv_frame(self.sock)
+            except OSError:
+                return 1
+            if message is None or message.get("kind") == "shutdown":
+                return 0
+            if message.get("kind") == "job":
+                try:
+                    self._job(message)
+                except OSError:
+                    # The coordinator went away mid-send; nothing left
+                    # to report to. The shard already has the result.
+                    return 1
+
+    # ------------------------------------------------------------------
+
+    def _job(self, message: dict) -> None:
+        job_id = message["job_id"]
+        lease = message["lease"]
+        fn, args, kwargs = message["payload"]
+        meta = message.get("meta", {})
+        interval = message.get("heartbeat", self.heartbeat)
+        shard = self._shard(meta.get("shard_dir") or self.default_shard_dir)
+        key = meta.get("key")
+        name = meta.get("name", key)
+        attempt = int(meta.get("attempt", 1))
+
+        if shard is not None and key:
+            shard.record(key, name=name, status="leased", attempts=attempt,
+                         worker=self.worker_id, host=self.host, lease=lease)
+
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=self._beat, args=(job_id, lease, interval, stop),
+            daemon=True)
+        beater.start()
+        if self.stall_needle and name and self.stall_needle in name \
+                and attempt == 1:
+            # Chaos: wedge, heartbeats still flowing — only the
+            # wall-limit deadline can catch this.
+            time.sleep(STALL_SECONDS)
+
+        started = time.monotonic()
+        _scheduler._worker_provenance.update(
+            worker=self.worker_id, host=self.host, lease=lease)
+        try:
+            value = fn(*args, **kwargs)
+            status, error = "ok", None
+        except BaseException as exc:  # noqa: BLE001 — shipped upstream
+            value, status, error = None, "error", exc
+        finally:
+            _scheduler._worker_provenance.clear()
+            stop.set()
+        elapsed = time.monotonic() - started
+
+        if status == "ok" and not _picklable(value):
+            status, error = "error", RuntimeError(
+                f"job {name!r} returned an unpicklable value")
+        if error is not None and not _picklable(error):
+            error = RuntimeError(f"{type(error).__name__}: {error}")
+
+        if shard is not None and key:
+            shard.record(key, name=name, status=status, value=value,
+                         attempts=attempt, elapsed=elapsed,
+                         error=None if error is None else
+                         f"{type(error).__name__}: {error}",
+                         worker=self.worker_id, host=self.host, lease=lease)
+        self.completed += 1
+        if self.kill_after is not None and self.completed >= self.kill_after:
+            # Chaos: die with the result journaled but never sent.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        frame = {"kind": "result", "job_id": job_id, "lease": lease,
+                 "status": status, "value": value, "error": error,
+                 "worker": self.worker_id, "host": self.host}
+        self.results_sent += 1
+        if self.net_drop_after is not None \
+                and self.results_sent >= self.net_drop_after:
+            self._drop_mid_frame(frame)
+        with self.send_lock:
+            send_frame(self.sock, frame)
+
+    def _beat(self, job_id: int, lease: str, interval: float,
+              stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            with self.send_lock:
+                try:
+                    send_frame(self.sock, {"kind": "heartbeat",
+                                           "job_id": job_id,
+                                           "lease": lease})
+                except OSError:
+                    return
+
+    def _drop_mid_frame(self, frame: dict) -> None:
+        """Chaos: send half a result frame, then reset the connection."""
+        data = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        with self.send_lock:
+            try:
+                self.sock.sendall(_LENGTH.pack(len(data))
+                                  + data[:max(1, len(data) // 2)])
+                self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                     struct.pack("ii", 1, 0))
+                self.sock.close()
+            except OSError:
+                pass
+        sys.exit(1)
+
+    def _shard(self, shard_dir: str | None) -> Journal | None:
+        if not shard_dir:
+            return None
+        journal = self._shards.get(shard_dir)
+        if journal is None:
+            journal = Journal(shard_path(shard_dir, self.worker_id))
+            self._shards[shard_dir] = journal
+        return journal
+
+
+def _picklable(value) -> bool:
+    try:
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:  # noqa: BLE001 — anything unpicklable
+        return False
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrate.worker",
+        description="Connect to a sweep coordinator and execute jobs.")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="heartbeat interval while a job runs")
+    parser.add_argument("--shard-dir", default=None, metavar="DIR",
+                        help="journal shard directory (normally supplied "
+                             "per-job by the coordinator)")
+    options = parser.parse_args(argv)
+    host, _, port = options.connect.rpartition(":")
+    try:
+        sock = socket.create_connection((host or "127.0.0.1", int(port)),
+                                        timeout=30)
+    except OSError as error:
+        print(f"worker: cannot connect to {options.connect}: {error}",
+              file=sys.stderr)
+        return 2
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    worker = Worker(sock, heartbeat=options.heartbeat,
+                    shard_dir=options.shard_dir)
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,11 @@
-"""Journal: append-only records, torn tails, compaction."""
+"""Journal: append-only records, torn tails, compaction, shard merge."""
 
-from repro.orchestrate.journal import Journal
+from repro.orchestrate.journal import (
+    Journal,
+    merge_shards,
+    read_shards,
+    shard_path,
+)
 
 
 class TestRoundtrip:
@@ -115,3 +120,92 @@ class TestCompaction:
         journal.clear()
         assert not path.exists()
         assert len(Journal(path)) == 0
+
+
+class TestShardMerge:
+    """merge_shards: fold per-worker shards into the main journal,
+    last-write-wins per job key by event timestamp."""
+
+    def _shard(self, tmp_path, worker):
+        return Journal(shard_path(tmp_path / "shards", worker))
+
+    def test_shard_values_recovered_into_main_journal(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        shard = self._shard(tmp_path, "host-1")
+        shard.record("a", value=1, worker="host-1")
+        shard.record("b", value=2, worker="host-1")
+        merged = merge_shards(journal, tmp_path / "shards")
+        assert merged == 2
+        assert journal.value("a") == 1
+        assert journal.value("b") == 2
+        # Provenance rides along verbatim.
+        assert journal.get("a")["worker"] == "host-1"
+        # Durable: a reload sees the merged values too.
+        assert Journal(tmp_path / "j").value("b") == 2
+
+    def test_latest_timestamp_wins_across_shards(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        self._shard(tmp_path, "w1").record("a", value="old", ts=100.0)
+        self._shard(tmp_path, "w2").record("a", value="new", ts=200.0)
+        assert merge_shards(journal, tmp_path / "shards") == 1
+        assert journal.value("a") == "new"
+
+    def test_newer_main_journal_entry_is_kept(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        journal.record("a", value="mine", ts=300.0)
+        self._shard(tmp_path, "w1").record("a", value="stale", ts=100.0)
+        assert merge_shards(journal, tmp_path / "shards") == 0
+        assert journal.value("a") == "mine"
+
+    def test_leased_and_error_entries_are_not_merged(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        shard = self._shard(tmp_path, "w1")
+        shard.record("held", status="leased", worker="w1", lease="L0")
+        shard.record("bad", status="error", error="boom")
+        assert merge_shards(journal, tmp_path / "shards") == 0
+        assert journal.get("held") is None
+        assert journal.get("bad") is None
+
+    def test_cleanup_unlinks_consumed_shards(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        self._shard(tmp_path, "w1").record("a", value=1)
+        self._shard(tmp_path, "w2").record("b", value=2)
+        merge_shards(journal, tmp_path / "shards")
+        assert not list((tmp_path / "shards").glob("shard-*.jsonl"))
+
+    def test_cleanup_false_keeps_shards(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        self._shard(tmp_path, "w1").record("a", value=1)
+        merge_shards(journal, tmp_path / "shards", cleanup=False)
+        assert len(list((tmp_path / "shards").glob("shard-*.jsonl"))) == 1
+
+    def test_torn_shard_tail_heals_like_the_main_journal(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        shard = self._shard(tmp_path, "w1")
+        shard.record("a", value=1)
+        shard.record("b", value=2)
+        data = shard.path.read_bytes()
+        shard.path.write_bytes(data[:-5])  # worker died mid-write
+        assert merge_shards(journal, tmp_path / "shards") == 1
+        assert journal.value("a") == 1
+        assert not journal.has_value("b")
+
+    def test_missing_shard_dir_is_a_noop(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        assert merge_shards(journal, tmp_path / "nowhere") == 0
+
+    def test_shard_path_sanitizes_worker_ids(self, tmp_path):
+        path = shard_path(tmp_path, "host/../evil:9")
+        assert path.parent == tmp_path
+        assert path.name == "shard-host-..-evil-9.jsonl"
+
+    def test_read_shards_overlays_any_status(self, tmp_path):
+        shard = self._shard(tmp_path, "w1")
+        shard.record("a", status="leased", worker="w1", lease="L3",
+                     ts=100.0)
+        shard.record("b", value=2, ts=100.0)
+        self._shard(tmp_path, "w2").record("a", value=1, ts=200.0)
+        view = read_shards(tmp_path / "shards")
+        assert view["a"]["status"] == "ok"  # newest event wins
+        assert view["b"]["status"] == "ok"
+        assert read_shards(tmp_path / "nowhere") == {}

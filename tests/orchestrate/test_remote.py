@@ -1,0 +1,336 @@
+"""RemoteExecutor: the distributed failure matrix, end to end.
+
+Every test here runs real worker subprocesses over real sockets. The
+chaos hooks (``REPRO_WORKER_KILL_AFTER``, ``REPRO_WORKER_STALL``,
+``REPRO_NET_DROP_AFTER``) inject the three canonical partial failures —
+a worker SIGKILLed after journaling but before sending, a worker that
+wedges while its heartbeats keep flowing, and a connection reset halfway
+through a result frame — and each one must degrade to a retried job:
+the sweep completes with rows bit-identical to an inline run, and no
+job is lost or double-counted.
+"""
+
+import json
+import os
+import pickle
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.executors import make_executor
+from repro.orchestrate.journal import Journal, shard_path
+from repro.orchestrate.remote import (
+    _LENGTH,
+    FrameBuffer,
+    RemoteExecutor,
+    WorkerLost,
+    recv_frame,
+    send_frame,
+)
+from repro.orchestrate.scheduler import Scheduler
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = str(ROOT / "src")
+
+CHAOS_ENVS = ("REPRO_WORKER_KILL_AFTER", "REPRO_WORKER_STALL",
+              "REPRO_NET_DROP_AFTER", "REPRO_SWEEP_KILL_AFTER",
+              "REPRO_SWEEP_FLAKE")
+
+#: Failure-detection timings shrunk so the chaos matrix runs in seconds.
+FAST = dict(heartbeat=0.2, lease_timeout=1.5, wall_grace=0.5)
+
+
+def _cell(i):
+    return {"cell": i, "value": i * i}
+
+
+def _gather(*, deps):
+    return [row for row in deps if row is not None]
+
+
+def _dag(n=10):
+    dag = JobDAG("remote-test")
+    for i in range(n):
+        dag.job(f"cell/{i}", _cell, i, category="cell")
+    dag.job("agg", _gather, deps=tuple(f"cell/{i}" for i in range(n)),
+            category="aggregate", tolerant=True, pass_deps=True,
+            transient=True)
+    return dag
+
+
+def _inline_rows(n=10):
+    return Scheduler(_dag(n)).run().value("agg")
+
+
+@pytest.fixture()
+def worker_env(monkeypatch):
+    """Spawned workers unpickle this module's functions by reference, so
+    they need the repo root (the ``tests`` package) and ``src`` on their
+    PYTHONPATH; also scrub any chaos hooks leaking in from outside."""
+    parts = [str(ROOT), SRC]
+    existing = os.environ.get("PYTHONPATH")
+    if existing:
+        parts.append(existing)
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(parts))
+    for name in CHAOS_ENVS:
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+class TestFraming:
+    def test_buffer_reassembles_frames_fed_in_tiny_pieces(self):
+        message = {"kind": "result", "value": list(range(50))}
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        stream = (_LENGTH.pack(len(data)) + data) * 2
+        buffer = FrameBuffer()
+        decoded = []
+        for start in range(0, len(stream), 7):
+            decoded.extend(buffer.feed(stream[start:start + 7]))
+        assert decoded == [message, message]
+
+    def test_partial_frame_stays_buffered(self):
+        message = {"kind": "heartbeat"}
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        stream = _LENGTH.pack(len(data)) + data
+        buffer = FrameBuffer()
+        assert buffer.feed(stream[:-1]) == []
+        assert buffer.feed(stream[-1:]) == [message]
+
+    def test_send_recv_roundtrip_over_a_real_socket(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"kind": "hello", "worker": "w"})
+            assert recv_frame(right) == {"kind": "hello", "worker": "w"}
+            left.close()
+            assert recv_frame(right) is None  # clean EOF
+        finally:
+            right.close()
+
+
+class TestRemoteBasic:
+    def test_rows_bit_identical_to_inline(self, worker_env):
+        executor = RemoteExecutor(workers=2, **FAST)
+        sweep = Scheduler(_dag(), executor=executor).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        assert sweep.value("agg") == _inline_rows()
+        assert sweep.executor == "remote[2]"
+        assert executor.stats["dispatched"] >= 11  # 10 cells + aggregate
+
+    def test_results_carry_worker_provenance(self, worker_env, tmp_path):
+        executor = RemoteExecutor(workers=2, **FAST)
+        journal = Journal(tmp_path / "j")
+        sweep = Scheduler(_dag(4), executor=executor,
+                          journal=journal).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        result = sweep["cell/0"]
+        assert result.worker and result.host
+        assert result.lease and result.lease.startswith("L")
+        assert result.worker in sweep.report()
+        # The journal records the lease holder for post-mortems...
+        entry = journal.get(_dag(4).jobs["cell/0"].key)
+        assert entry["worker"] == result.worker
+        assert entry["lease"] == result.lease
+        # ...and the workers journaled to their own shards first.
+        shard_dir = tmp_path / "remote-test"
+        shards = sorted(shard_dir.glob("shard-*.jsonl"))
+        assert shards, "workers wrote no journal shards"
+        shard_entries = Journal(shards[0]).statuses()
+        assert any(e.get("status") == "ok" for e in shard_entries.values())
+
+    def test_shutdown_leaves_no_worker_processes(self, worker_env):
+        executor = RemoteExecutor(workers=2, **FAST)
+        sweep = Scheduler(_dag(4), executor=executor).run()
+        pids = [proc.pid for proc in executor._procs]
+        assert sweep.ok and pids
+        executor.shutdown()
+        assert executor._procs == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+    def test_make_executor_resolves_remote(self, worker_env):
+        executor = make_executor("remote", max_workers=1,
+                                 listen="127.0.0.1:0")
+        try:
+            assert isinstance(executor, RemoteExecutor)
+            assert executor.workers == 1
+            assert executor.address[0] == "127.0.0.1"
+            assert executor.address[1] > 0  # ephemeral port resolved
+        finally:
+            executor.shutdown()
+
+    def test_no_workers_degrades_to_inline(self, worker_env):
+        executor = RemoteExecutor(workers=0, **FAST)
+        sweep = Scheduler(_dag(4), executor=executor).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        assert sweep.value("agg") == _inline_rows(4)
+        assert executor.degraded_reason == "no workers left"
+        assert "->inline" in executor.name
+
+
+class TestChaosMatrix:
+    """Each injected failure must degrade to a retried job — the sweep
+    completes with rows identical to inline, nothing lost."""
+
+    def _run(self, retries=3, wall_limit=None, cells=10):
+        executor = RemoteExecutor(workers=2, **FAST)
+        sweep = Scheduler(_dag(cells), executor=executor,
+                          retries=retries, wall_limit=wall_limit).run()
+        executor.shutdown()
+        return sweep, executor
+
+    def test_worker_sigkill_mid_job_is_retried_not_lost(self, worker_env):
+        # The worst-ordered crash: the worker dies after journaling its
+        # 3rd completion but before sending the result frame.
+        worker_env.setenv("REPRO_WORKER_KILL_AFTER", "3")
+        sweep, executor = self._run()
+        assert sweep.ok, sweep.report()
+        assert sweep.value("agg") == _inline_rows()
+        assert executor.stats["worker_losses"] >= 1
+        assert executor.stats["respawns"] >= 1
+        assert sweep.retries >= 1  # the in-flight job was requeued
+
+    def test_stalled_worker_caught_by_wall_deadline(self, worker_env):
+        # The worker wedges on cell/5 attempt 1 while heartbeats keep
+        # flowing — only the lease's wall-limit deadline can catch it.
+        worker_env.setenv("REPRO_WORKER_STALL", "cell/5")
+        sweep, executor = self._run(wall_limit=1.0)
+        assert sweep.ok, sweep.report()
+        assert sweep.value("agg") == _inline_rows()
+        assert executor.stats["revoked"] >= 1
+        stalled = sweep["cell/5"]
+        assert stalled.status == "ok"
+        assert stalled.attempts >= 2
+
+    def test_connection_reset_mid_result_frame(self, worker_env):
+        # Half a result frame then a hard RST: the coordinator must
+        # treat the torn stream as a lost worker and requeue.
+        worker_env.setenv("REPRO_NET_DROP_AFTER", "4")
+        sweep, executor = self._run()
+        assert sweep.ok, sweep.report()
+        assert sweep.value("agg") == _inline_rows()
+        assert executor.stats["worker_losses"] >= 1
+        assert sweep.retries >= 1
+
+    def test_chaos_run_never_double_counts_a_job(self, worker_env,
+                                                 tmp_path):
+        worker_env.setenv("REPRO_WORKER_KILL_AFTER", "2")
+        executor = RemoteExecutor(workers=2, **FAST)
+        sweep = Scheduler(_dag(8), executor=executor, retries=3,
+                          journal=Journal(tmp_path / "j")).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        # Resuming replays every cell from the journal (shards merged,
+        # last-write-wins): one value per key, no re-execution.
+        worker_env.delenv("REPRO_WORKER_KILL_AFTER", raising=False)
+        resumed = Scheduler(_dag(8), journal=Journal(tmp_path / "j")).run()
+        assert resumed.counts()["resumed"] == 8
+        assert resumed.value("agg") == sweep.value("agg")
+
+
+class TestShardMergeOnResume:
+    def test_scheduler_folds_shards_into_the_journal(self, tmp_path):
+        # A previous distributed run finished cell/1 on a worker whose
+        # result never crossed the wire: only the shard has it.
+        dag = _dag(2)
+        journal = Journal(tmp_path / "j")
+        shard_dir = tmp_path / dag.name
+        shard = Journal(shard_path(shard_dir, "otherhost-123"))
+        shard.record(dag.jobs["cell/1"].key, name="cell/1",
+                     value={"cell": 1, "value": 1}, attempts=1,
+                     worker="otherhost-123", host="otherhost")
+        sweep = Scheduler(dag, journal=journal).run()
+        assert sweep["cell/1"].status == "resumed"
+        assert sweep["cell/1"].value == {"cell": 1, "value": 1}
+        assert sweep["cell/0"].status == "ok"  # not in any journal: ran
+        assert not list(shard_dir.glob("shard-*.jsonl"))  # consumed
+
+
+COORDINATOR_SCRIPT = """
+import json, os, sys
+from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.journal import Journal
+from repro.orchestrate.remote import RemoteExecutor
+from repro.orchestrate.scheduler import Scheduler
+from tests.orchestrate.test_remote import _cell, _gather
+
+workdir, mode = sys.argv[1], sys.argv[2]
+
+dag = JobDAG("crashy")
+for i in range(8):
+    dag.job(f"cell/{i}", _cell, i, category="cell")
+dag.job("agg", _gather, deps=tuple(f"cell/{i}" for i in range(8)),
+        category="aggregate", tolerant=True, pass_deps=True,
+        transient=True)
+
+executor = None
+if mode == "remote":
+    executor = RemoteExecutor(workers=2, heartbeat=0.2,
+                              lease_timeout=1.5, wall_grace=0.5)
+sweep = Scheduler(dag, executor=executor,
+                  journal=Journal(os.path.join(workdir, "j")),
+                  retries=3).run()
+if executor is not None:
+    executor.shutdown()
+with open(os.path.join(workdir, "rows.json"), "w") as handle:
+    json.dump(sweep.value("agg"), handle, sort_keys=True)
+print(json.dumps(sweep.counts(), sort_keys=True))
+"""
+
+
+class TestCoordinatorCrash:
+    """SIGKILL the *coordinator* mid-sweep: work finished on workers
+    survives in their shards and is merged on resume."""
+
+    def _run(self, script, workdir, mode, *, kill_after=None):
+        env = dict(os.environ,
+                   PYTHONPATH=os.pathsep.join([str(ROOT), SRC]))
+        for name in CHAOS_ENVS:
+            env.pop(name, None)
+        if kill_after is not None:
+            env["REPRO_SWEEP_KILL_AFTER"] = str(kill_after)
+        return subprocess.run(
+            [sys.executable, str(script), str(workdir), mode],
+            env=env, capture_output=True, text=True, timeout=120)
+
+    def test_killed_coordinator_resumes_from_worker_shards(self, tmp_path):
+        script = tmp_path / "coordinator.py"
+        script.write_text(COORDINATOR_SCRIPT)
+        workdir = tmp_path / "run"
+        workdir.mkdir()
+
+        killed = self._run(script, workdir, "remote", kill_after=3)
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        shard_dir = workdir / "crashy"
+        assert list(shard_dir.glob("shard-*.jsonl")), \
+            "workers left no shards behind"
+        assert not (workdir / "rows.json").exists()
+
+        resumed = self._run(script, workdir, "inline")
+        assert resumed.returncode == 0, resumed.stderr
+        counts = json.loads(resumed.stdout)
+        assert counts.get("resumed", 0) >= 3
+        assert not list(shard_dir.glob("shard-*.jsonl"))  # merged away
+
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        uninterrupted = self._run(script, clean, "inline")
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+        assert (workdir / "rows.json").read_bytes() == \
+            (clean / "rows.json").read_bytes()
+
+
+class TestWorkerLostClassification:
+    def test_worker_lost_is_an_oserror(self):
+        # The whole recovery story hangs on this: WorkerLost must be
+        # classified transient by the scheduler's retry logic.
+        assert issubclass(WorkerLost, OSError)

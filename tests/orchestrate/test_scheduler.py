@@ -1,6 +1,7 @@
 """Scheduler: dispatch, retry, DEGRADED propagation, resume, executors."""
 
 import os
+import time
 
 import pytest
 
@@ -46,6 +47,13 @@ def _flaky(marker, payload):
 
 def _record_wall_limit(wall_limit=None):
     return wall_limit
+
+
+def _write_pid_and_hang(path):
+    """Pool-worker job that records its pid then wedges forever."""
+    with open(path, "w") as handle:
+        handle.write(str(os.getpid()))
+    time.sleep(600)
 
 
 def _session_probe():
@@ -325,3 +333,134 @@ class TestTelemetryIntegration:
         # Worker wrote its own segment file, suffixed with its pid.
         assert segment is not None and segment.startswith(session_id)
         assert segment != session_id
+
+
+class TestRetryJitter:
+    """Full jitter on the linear backoff ceiling: deterministic under a
+    seed, bounded, decorrelated across jobs."""
+
+    def _scheduler(self, n=12, **kwargs):
+        dag = JobDAG("d")
+        for i in range(n):
+            dag.job(f"j{i}", _value, i)
+        kwargs.setdefault("backoff", 0.5)
+        return Scheduler(dag, **kwargs)
+
+    def test_first_attempt_never_sleeps(self):
+        scheduler = self._scheduler()
+        spec = scheduler.dag.jobs["j0"]
+        assert scheduler._backoff_delay(spec, 1) == 0.0
+
+    def test_zero_backoff_disables_jitter(self):
+        scheduler = self._scheduler(backoff=0.0)
+        spec = scheduler.dag.jobs["j0"]
+        assert scheduler._backoff_delay(spec, 3) == 0.0
+
+    def test_delay_bounded_by_linear_ceiling(self):
+        scheduler = self._scheduler()
+        for spec in scheduler.dag:
+            for attempt in range(2, 6):
+                delay = scheduler._backoff_delay(spec, attempt)
+                assert 0.0 <= delay <= 0.5 * (attempt - 1)
+
+    def test_deterministic_for_a_given_seed(self):
+        first = self._scheduler(jitter_seed=7)
+        second = self._scheduler(jitter_seed=7)
+        for name in first.dag.jobs:
+            spec1, spec2 = first.dag.jobs[name], second.dag.jobs[name]
+            assert first._backoff_delay(spec1, 2) == \
+                second._backoff_delay(spec2, 2)
+
+    def test_different_seeds_draw_different_delays(self):
+        base = self._scheduler(jitter_seed=0)
+        other = self._scheduler(jitter_seed=1)
+        spec_b = base.dag.jobs["j0"]
+        spec_o = other.dag.jobs["j0"]
+        assert base._backoff_delay(spec_b, 2) != \
+            other._backoff_delay(spec_o, 2)
+
+    def test_decorrelated_across_jobs_no_stampede(self):
+        # Twelve jobs retrying the same attempt must spread across the
+        # window, not sleep in lockstep: that is the point of jitter.
+        scheduler = self._scheduler()
+        delays = [scheduler._backoff_delay(spec, 2)
+                  for spec in scheduler.dag]
+        assert len(set(delays)) == len(delays)
+        spread = max(delays) - min(delays)
+        assert spread > 0.1  # spans a real fraction of the 0.5s window
+
+    def test_decorrelated_across_attempts(self):
+        scheduler = self._scheduler()
+        spec = scheduler.dag.jobs["j0"]
+        ratios = {round(scheduler._backoff_delay(spec, n) / (n - 1), 9)
+                  for n in range(2, 6)}
+        assert len(ratios) > 1  # not the same fraction of each ceiling
+
+
+class TestHardWallLimitReaping:
+    def test_timed_out_pool_job_leaves_no_orphan_process(self, tmp_path):
+        # A wedged pool worker ignores its cooperative wall-limit; the
+        # scheduler must reap it (status "timeout") and the worker
+        # process must not outlive the sweep.
+        executor = PoolExecutor(max_workers=1)
+        probe_dag = JobDAG("probe")
+        probe_dag.job("ping", _value, 1)
+        probe = Scheduler(probe_dag, executor=executor).run()
+        if executor.degraded_reason is not None or not probe.ok:
+            executor.shutdown()
+            pytest.skip("no process pool available")
+
+        pid_file = tmp_path / "pid"
+        dag = JobDAG("d")
+        dag.job("hang", _write_pid_and_hang, str(pid_file))
+        sweep = Scheduler(dag, executor=executor, wall_limit=1.0,
+                          hard_grace=1.0).run()
+        executor.shutdown()
+
+        result = sweep["hang"]
+        assert result.status == "timeout"
+        assert "worker reaped" in result.error
+        pid = int(pid_file.read_text())
+        # The reaped worker dies promptly — poll a little for the kernel.
+        for _ in range(50):
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                break
+            time.sleep(0.1)
+        else:
+            os.kill(pid, 9)
+            pytest.fail(f"worker {pid} outlived its timed-out job")
+
+
+class TestPoolDegradation:
+    def test_degrades_inline_with_degraded_provenance_tag(
+            self, tmp_path, monkeypatch):
+        from repro.observe.store import TelemetryStore
+        from repro.observe.telemetry import TelemetrySession
+        from repro.orchestrate import executors as executors_module
+
+        class _NoPool:
+            def __init__(self, *args, **kwargs):
+                raise NotImplementedError("no process primitives here")
+
+        monkeypatch.setattr(executors_module, "ProcessPoolExecutor",
+                            _NoPool)
+        executor = PoolExecutor(max_workers=2)
+        dag = JobDAG("d")
+        dag.job("a", _value, 1)
+        # The probe runs after "a", by which point the first submit has
+        # already tripped the degradation — its tags must say so.
+        dag.job("probe", _session_probe, deps=("a",))
+        session = TelemetrySession(store=TelemetryStore(tmp_path / "t"))
+        with session:
+            sweep = Scheduler(dag, executor=executor).run()
+        executor.shutdown()
+
+        assert sweep.ok
+        assert sweep.value("a") == 1
+        assert executor.degraded_reason == "no process primitives"
+        assert "->inline" in executor.name
+        _session_id, tags, _segment = sweep.value("probe")
+        assert tags["degraded"] == "no process primitives"
+        assert "->inline" in tags["executor"]
