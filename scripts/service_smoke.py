@@ -1,0 +1,170 @@
+"""CI smoke for the compile service (`.github/workflows/ci.yml`,
+``service-smoke`` job).
+
+Three acts against a real ``repro serve`` subprocess:
+
+1. 16 concurrent mixed requests — half identical — all succeed, and
+   the telemetry provenance proves the identical half cost exactly one
+   compile execution (one ``cache_status="miss"`` record);
+2. a drained shutdown exits 0 after finishing in-flight work;
+3. a second server is SIGKILLed mid-request and the client surfaces a
+   clean ServiceError instead of hanging or mis-parsing.
+
+Import-safe on purpose: the server's process pool uses a forkserver
+context, whose workers re-import the main module.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.observe.store import TelemetryStore            # noqa: E402
+from repro.service.client import ServiceClient            # noqa: E402
+from repro.service.protocol import ServiceError           # noqa: E402
+
+SOURCE = """
+int a[64];
+int kernel(int n)
+{
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 2; s = s + a[i]; }
+    return s;
+}
+"""
+
+OTHER_SOURCE = SOURCE.replace("i * 2", "i * 3").replace("kernel", "other")
+
+SPIN_SOURCE = """
+int spin(int n)
+{
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { s = s + i; }
+    return s;
+}
+"""
+
+
+def start_server(root: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(root / "cache"),
+         "--telemetry-dir", str(root / "telemetry"),
+         "--drain-grace", "15"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    line = proc.stdout.readline()
+    assert "listening on" in line, f"server did not start: {line!r}"
+    port = int(line.split("listening on", 1)[1]
+               .split()[0].rsplit(":", 1)[1])
+    print(f"server up on port {port}")
+    return proc, port
+
+
+def mixed_load_with_dedup(root: Path, port: int) -> None:
+    """16 concurrent requests, 8 identical + 8 distinct; prove dedup."""
+
+    def one(i: int):
+        client = ServiceClient(port=port, client_id=f"smoke-{i}")
+        if i < 8:   # the identical half
+            return client.simulate(SOURCE, "kernel", args=[6], wait=True)
+        return client.simulate(OTHER_SOURCE, "other", args=[i - 4],
+                               wait=True)
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        outcomes = list(pool.map(one, range(16)))
+
+    assert len(outcomes) == 16
+    identical = outcomes[:8]
+    assert {o.value for o in identical} == {30}, identical
+    assert len({o.request_id for o in outcomes}) == 16, \
+        "request ids must be unique (no duplicated jobs)"
+    for i, outcome in enumerate(outcomes[8:], start=8):
+        n = i - 4
+        assert outcome.value == 3 * n * (n - 1) // 2, (n, outcome.value)
+
+    # Provenance: the identical half cost exactly one compile.
+    store = TelemetryStore(root / "telemetry")
+    records = store.records()
+    misses = [r for r in records
+              if r.kind == "compile" and r.entry == "kernel"
+              and (r.compilation or {}).get("cache_status") == "miss"]
+    assert len(misses) == 1, \
+        f"{len(misses)} miss records for 8 identical submissions"
+    coalesced = [r for r in records
+                 if r.kind == "compile" and r.entry == "kernel"
+                 and (r.compilation or {}).get("cache_status")
+                 in ("deduped", "warm")]
+    assert len(coalesced) == 7, f"{len(coalesced)} coalesced records"
+    health = ServiceClient(port=port).health()
+    assert health["stats"]["failed"] == 0
+    assert health["stats"]["compiles_executed"] == 2  # kernel + other
+    print("mixed load ok: 16/16 completed, dedup proven "
+          f"(1 miss, {len(coalesced)} coalesced)")
+
+
+def drained_shutdown(proc, port: int) -> None:
+    reply = ServiceClient(port=port).shutdown(drain=True)
+    assert reply["ok"] is True
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 0, \
+        f"drained shutdown exited {proc.returncode}:\n{out}"
+    assert "drained" in out
+    print("drained shutdown ok: exit 0")
+
+
+def kill_mid_request(root: Path) -> None:
+    proc, port = start_server(root)
+    try:
+        client = ServiceClient(port=port, timeout=60)
+        client.compile(SPIN_SOURCE, "spin")
+        killer = threading.Timer(1.0, proc.kill)
+        killer.start()
+        try:
+            client.simulate(SPIN_SOURCE, "spin", args=[500_000_000],
+                            event_limit=10**15)
+        except ServiceError as error:
+            message = str(error)
+            assert ("ended before the job completed" in message
+                    or "failed mid-stream" in message), message
+            print(f"kill mid-request ok: clean client error ({message})")
+        else:
+            raise AssertionError("client reported success from a "
+                                 "SIGKILLed server")
+        finally:
+            killer.cancel()
+        assert proc.wait(timeout=15) != 0
+    finally:
+        proc.stdout.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="svc-smoke-") as tmp:
+        root = Path(tmp)
+        proc, port = start_server(root)
+        try:
+            mixed_load_with_dedup(root, port)
+            drained_shutdown(proc, port)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=15)
+        kill_mid_request(root / "second")
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ setup(
             "repro = repro.__main__:main",
             "repro-telemetry = repro.__main__:telemetry_main",
             "repro-sweep = repro.orchestrate.sweeps:sweep_main",
+            "repro-serve = repro.service.cli:serve_main",
+            "repro-submit = repro.service.cli:submit_main",
         ],
     },
 )

@@ -45,7 +45,19 @@ installed as ``repro-sweep``; see :mod:`repro.orchestrate.sweeps`)::
     python -m repro sweep describe fig19 --kernels li
     python -m repro sweep run fig19 --executor process --retries 2
     python -m repro sweep resume fig19
-    python -m repro sweep status fig19
+    python -m repro sweep status fig19 --json
+
+Compilation-as-a-service (also installed as ``repro-serve``; see
+:mod:`repro.service`)::
+
+    python -m repro serve --port 8577 --workers 4
+    python -m repro submit program.c --entry kernel --args 20
+    python -m repro cache stat program.c --entry kernel --opt full
+
+``serve`` runs the async compile/simulate server (request dedup against
+the shared artifact store, compile batching, 429 backpressure, drained
+shutdown); ``submit`` streams one job's NDJSON events from a running
+server; ``cache stat`` probes artifact warmth without compiling.
 """
 
 from __future__ import annotations
@@ -63,19 +75,9 @@ from repro.pipeline import (
     CompilerDriver,
     PipelineConfig,
 )
-from repro.sim.memsys import (
-    MemorySystem,
-    PERFECT_MEMORY,
-    REALISTIC_MEMORY,
-)
+from repro.sim.memsys import MemorySystem, NAMED_SYSTEMS
 
-MEMORY_SYSTEMS = {
-    "perfect": PERFECT_MEMORY,
-    "realistic": REALISTIC_MEMORY,
-    "realistic-1port": REALISTIC_MEMORY.with_ports(1),
-    "realistic-2port": REALISTIC_MEMORY.with_ports(2),
-    "realistic-4port": REALISTIC_MEMORY.with_ports(4),
-}
+MEMORY_SYSTEMS = NAMED_SYSTEMS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +165,15 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "sweep":
         from repro.orchestrate.sweeps import sweep_main
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.service.cli import submit_main
+        return submit_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.service.cli import cache_main
+        return cache_main(argv[1:])
     options = build_parser().parse_args(argv)
     try:
         with open(options.source) as handle:

@@ -235,7 +235,9 @@ class CompiledProgram:
 def compile_minic(source: str, entry: str, opt_level: str = "full",
                   entry_points_to: dict[str, list[str]] | None = None,
                   filename: str = "<input>",
-                  unroll_limit: int = 0) -> CompiledProgram:
+                  unroll_limit: int = 0,
+                  cache=None,
+                  cache_only: bool = False) -> CompiledProgram | None:
     """Compile MiniC source text: the whole pipeline in one call.
 
     ``entry_points_to`` optionally maps pointer-parameter names of the
@@ -244,17 +246,28 @@ def compile_minic(source: str, entry: str, opt_level: str = "full",
     ``unroll_limit`` > 1 fully unrolls counted loops of at most that many
     iterations before lowering (one of CASH's scalar optimizations).
 
+    ``cache`` attaches a persistent
+    :class:`~repro.pipeline.cache.CompilationCache` (``True`` for the
+    default location). ``cache_only`` makes the call a warmth probe: a
+    cached artifact is returned, a miss returns ``None`` without
+    compiling — how the compile service answers "is this warm?" for
+    free (``repro cache stat`` is the CLI face of the same probe).
+
     This is a thin compatibility wrapper over
     :class:`repro.pipeline.driver.CompilerDriver` at the strictest
     verification policy (``every-pass``); use the driver directly for
-    other policies, instrumentation, or the persistent cache.
+    other policies, instrumentation, or cache control.
     """
     if opt_level not in OPT_LEVELS:
         raise ValueError(f"opt_level must be one of {OPT_LEVELS}")
+    from repro.pipeline.cache import CompilationCache
     from repro.pipeline.config import PipelineConfig
     from repro.pipeline.driver import CompilerDriver
     config = PipelineConfig.make(opt_level=opt_level, verify="every-pass",
                                  unroll_limit=unroll_limit,
                                  entry_points_to=entry_points_to,
                                  filename=filename)
-    return CompilerDriver(config).compile(source, entry)
+    if cache is True or (cache is None and cache_only):
+        cache = CompilationCache()
+    return CompilerDriver(config, cache=cache or None).compile(
+        source, entry, cache_only=cache_only)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -78,6 +79,13 @@ class TelemetryStore:
         self.root = Path(root)
         self.index_path = self.root / "index.jsonl"
         self.segments_dir = self.root / "segments"
+        # Serializes appends from concurrent threads/asyncio tasks of
+        # one process: the duplicate check and the two file appends are
+        # one atomic step, so segment lines never interleave and an
+        # identical record racing itself is still written exactly once.
+        # (Separate *processes* write separate segment files instead —
+        # see TelemetrySession.segment.)
+        self._append_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Writing
@@ -94,15 +102,16 @@ class TelemetryStore:
         payload = dict(payload, run_id=run_id)
         if not isinstance(record, dict):
             record.run_id = run_id
-        if self._find(run_id) is not None:
-            return run_id
-        self.segments_dir.mkdir(parents=True, exist_ok=True)
-        segment_name = f"{_safe_segment(segment)}.jsonl"
-        with open(self.segments_dir / segment_name, "a") as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        with open(self.index_path, "a") as handle:
-            handle.write(json.dumps(_index_line(payload, segment_name),
-                                    sort_keys=True) + "\n")
+        with self._append_lock:
+            if self._find(run_id) is not None:
+                return run_id
+            self.segments_dir.mkdir(parents=True, exist_ok=True)
+            segment_name = f"{_safe_segment(segment)}.jsonl"
+            with open(self.segments_dir / segment_name, "a") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            with open(self.index_path, "a") as handle:
+                handle.write(json.dumps(_index_line(payload, segment_name),
+                                        sort_keys=True) + "\n")
         return run_id
 
     # ------------------------------------------------------------------

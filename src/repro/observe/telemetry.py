@@ -31,6 +31,7 @@ simulation. Explicit control is also available:
 
 from __future__ import annotations
 
+import contextvars
 import os
 import time
 from contextlib import contextmanager
@@ -199,7 +200,20 @@ class TelemetrySession:
         # segment so concurrent appends never interleave.
         self.segment: str | None = None
         self.run_ids: list[str] = []
-        self._tags: dict = {}
+        # Tags live in a ContextVar, not a plain attribute: concurrent
+        # asyncio tasks (the compile service) and threads entered via
+        # ``asyncio.to_thread`` each see their own tag overlay, so two
+        # in-flight requests tagging the same session cannot cross-talk.
+        # ``to_thread``/task creation copy the caller's context, so tags
+        # set in a request handler propagate into its worker thread.
+        self._tags_var: contextvars.ContextVar[dict | None] = \
+            contextvars.ContextVar(f"repro-tags-{self.session_id}",
+                                   default=None)
+
+    @property
+    def _tags(self) -> dict:
+        """The tag overlay of the *current* task/thread context."""
+        return self._tags_var.get() or {}
 
     @staticmethod
     def _new_session_id(label: str | None) -> str:
@@ -219,13 +233,17 @@ class TelemetrySession:
 
     @contextmanager
     def tags(self, **tags):
-        """Merge ``tags`` into every record made inside the block."""
-        previous = self._tags
-        self._tags = {**previous, **tags}
+        """Merge ``tags`` into every record made inside the block.
+
+        Context-local: the merge is visible to the current asyncio task
+        (and anything it runs via ``asyncio.to_thread``) but not to
+        sibling tasks recording into the same session concurrently.
+        """
+        token = self._tags_var.set({**self._tags, **tags})
         try:
             yield self
         finally:
-            self._tags = previous
+            self._tags_var.reset(token)
 
     # ------------------------------------------------------------------
 

@@ -97,10 +97,16 @@ class PoolExecutor(Executor):
     remote = True
     reaps_on_timeout = True
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, mp_context=None):
         self.max_workers = max_workers or os.cpu_count() or 1
         self.name = f"process-pool[{self.max_workers}]"
         self.degraded_reason: str | None = None
+        #: Optional multiprocessing context. Long-running hosts with
+        #: open sockets (the compile service) pass a forkserver context
+        #: so workers never inherit client connection fds — a forked
+        #: worker holding a duplicate fd keeps the peer's EOF from ever
+        #: arriving after the server closes its copy.
+        self.mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._inline: InlineExecutor | None = None
         self._deaths = 0
@@ -124,8 +130,10 @@ class PoolExecutor(Executor):
         if self._pool is None:
             try:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.max_workers)
-            except (OSError, PermissionError, NotImplementedError):
+                    max_workers=self.max_workers,
+                    mp_context=self.mp_context)
+            except (OSError, PermissionError, NotImplementedError,
+                    ValueError):
                 # No process primitives (restricted sandbox).
                 self._degrade("no process primitives")
                 return None

@@ -182,8 +182,13 @@ class Scheduler:
                  *, retries: int = 0, backoff: float = 0.0,
                  wall_limit: float | None = None,
                  key_by: str = "content", jitter_seed: int = 0,
-                 hard_grace: float = 5.0):
+                 hard_grace: float = 5.0, tags: dict | None = None):
         self.dag = dag
+        #: Extra telemetry tags stamped on every job execution of this
+        #: run (the compile service tags {service, client, request});
+        #: they ride the same path as the dag/job/attempt tags, so they
+        #: survive the process boundary into pool and remote workers.
+        self.extra_tags = dict(tags or {})
         self.executor = executor if executor is not None else InlineExecutor()
         if isinstance(journal, (str, os.PathLike)):
             journal = Journal(journal)
@@ -266,7 +271,8 @@ class Scheduler:
             delay = self._backoff_delay(spec, attempt)
             if delay:
                 time.sleep(delay)
-            tags = {"dag": dag_id, "job": spec.name, "attempt": attempt,
+            tags = {**self.extra_tags,
+                    "dag": dag_id, "job": spec.name, "attempt": attempt,
                     "executor": self.executor.name}
             degraded = getattr(self.executor, "degraded_reason", None)
             if degraded:

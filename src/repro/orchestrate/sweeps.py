@@ -204,6 +204,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     status_cmd = commands.add_parser(
         "status", help="journal contents: what completed, what remains")
     common(status_cmd, execution=False)
+    status_cmd.add_argument("--json", action="store_true",
+                            help="machine-readable status (one JSON "
+                                 "object; dashboards and CI poll this)")
     return parser
 
 
@@ -262,71 +265,90 @@ def _sweep_describe(options) -> int:
     return 0
 
 
-def _sweep_status(options) -> int:
-    """Map the DAG's (content-addressed) job keys against the journal.
-
-    The main journal is overlaid with any per-worker shards (a
-    distributed sweep in flight, or one whose coordinator died), so the
-    operator sees attempt counts, the current lease holder of every
-    in-flight job, and the last failure message without reading raw
-    journal shards.
-    """
+def _status_report(options) -> dict:
+    """Structured sweep status: the DAG's (content-addressed) job keys
+    mapped against the journal, overlaid with any per-worker shards (a
+    distributed sweep in flight, or one whose coordinator died)."""
     _, dag = _build(options)
     path = _journal_path(options)
     shard_dir = path.parent / dag.name
-    if not path.exists() and not shard_dir.is_dir():
-        print(f"no journal at {path}: nothing completed")
-        return 0
-    journal = Journal(path)
-    shards = read_shards(shard_dir)
+    report = {
+        "sweep": dag.name,
+        "dag": dag.dag_id,
+        "journal": str(path),
+        "journal_exists": path.exists() or shard_dir.is_dir(),
+        "torn_tail": False,
+        "unmerged_shards": 0,
+        "jobs": [],
+    }
+    entry_for = None
+    if report["journal_exists"]:
+        journal = Journal(path)
+        shards = read_shards(shard_dir)
+        report["torn_tail"] = bool(journal.tail_dropped)
+        report["unmerged_shards"] = len(shards)
 
-    def entry_for(spec: JobSpec) -> dict | None:
-        mine = journal.get(spec.key)
-        shard = shards.get(spec.key)
-        if mine is None or shard is None:
-            return mine or shard
-        return shard if shard.get("ts", 0) >= mine.get("ts", 0) else mine
+        def entry_for(spec: JobSpec) -> dict | None:
+            mine = journal.get(spec.key)
+            shard = shards.get(spec.key)
+            if mine is None or shard is None:
+                return mine or shard
+            return shard if shard.get("ts", 0) >= mine.get("ts", 0) \
+                else mine
 
-    def complete(spec: JobSpec) -> bool:
-        entry = entry_for(spec)
-        return entry is not None and entry.get("status") == "ok"
-
-    total = sum(1 for spec in dag if not spec.transient)
-    done = sum(1 for spec in dag if not spec.transient and complete(spec))
-    print(f"sweep {dag.name}: {done}/{total} journaled jobs complete "
-          f"({path})")
-    if journal.tail_dropped:
-        print("  note: a torn tail from an interrupted write will be "
-              "discarded on the next run")
-    if shards:
-        print(f"  note: {len(shards)} worker-shard entr"
-              f"{'y' if len(shards) == 1 else 'ies'} not yet merged "
-              f"(folded into the journal on the next run)")
     counts: dict[str, int] = {}
-    lines = []
     for spec in dag.topo_order():
         if spec.transient:
             continue
-        entry = entry_for(spec)
+        entry = entry_for(spec) if entry_for is not None else None
         status = entry["status"] if entry is not None else "pending"
         counts[status] = counts.get(status, 0) + 1
-        line = f"  [{status:8s}] {spec.name}"
+        job = {"name": spec.name, "category": spec.category,
+               "status": status}
         if entry is not None:
-            attempts = entry.get("attempts", 0)
-            if attempts > 1:
-                line += f"  x{attempts}"
-            worker = entry.get("worker")
-            if status == "leased" and worker:
-                line += (f"  held by {worker} "
-                         f"(lease {entry.get('lease', '?')})")
-            elif worker:
-                line += f"  ({worker})"
-            if entry.get("error"):
-                line += f"  last: {entry['error']}"
-        lines.append(line)
+            for field in ("attempts", "worker", "host", "lease", "error"):
+                if entry.get(field):
+                    job[field] = entry[field]
+        report["jobs"].append(job)
+    report["counts"] = counts
+    report["total"] = len(report["jobs"])
+    report["complete"] = counts.get("ok", 0)
+    return report
+
+
+def _sweep_status(options) -> int:
+    report = _status_report(options)
+    if options.json:
+        import json
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not report["journal_exists"]:
+        print(f"no journal at {report['journal']}: nothing completed")
+        return 0
+    print(f"sweep {report['sweep']}: {report['complete']}/"
+          f"{report['total']} journaled jobs complete "
+          f"({report['journal']})")
+    if report["torn_tail"]:
+        print("  note: a torn tail from an interrupted write will be "
+              "discarded on the next run")
+    if report["unmerged_shards"]:
+        count = report["unmerged_shards"]
+        print(f"  note: {count} worker-shard entr"
+              f"{'y' if count == 1 else 'ies'} not yet merged "
+              f"(folded into the journal on the next run)")
     print("  " + ", ".join(f"{count} {status}" for status, count
-                           in sorted(counts.items())))
-    for line in lines:
+                           in sorted(report["counts"].items())))
+    for job in report["jobs"]:
+        line = f"  [{job['status']:8s}] {job['name']}"
+        if job.get("attempts", 0) > 1:
+            line += f"  x{job['attempts']}"
+        worker = job.get("worker")
+        if job["status"] == "leased" and worker:
+            line += f"  held by {worker} (lease {job.get('lease', '?')})"
+        elif worker:
+            line += f"  ({worker})"
+        if job.get("error"):
+            line += f"  last: {job['error']}"
         print(line)
     return 0
 

@@ -97,7 +97,21 @@ class CompilationCache:
         return program
 
     def put(self, key: str, program) -> Path:
+        """Atomically publish ``program`` under ``key``.
+
+        Safe under concurrent warmers of the same key: the artifact is
+        written to a same-directory temp file and ``os.replace``d into
+        place (readers see the old complete file or the new complete
+        file, never a torn write), and the temp file is fsynced first so
+        a crash cannot leave a truncated artifact behind the rename.
+        When an artifact for ``key`` already exists it is left alone —
+        the key is content-addressed, so any existing entry is already
+        the identical artifact and N racing warmers cost one write, not
+        N (``tests/pipeline/test_cache_stress.py`` hammers this).
+        """
         path = self.path(key)
+        if path.exists():
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
         with _deep_recursion():
             data = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
@@ -105,6 +119,8 @@ class CompilationCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             with contextlib.suppress(OSError):
@@ -124,13 +140,26 @@ class CompilationCache:
         return sorted(self.root.glob("??/*.pkl"))
 
     def clear(self) -> int:
-        """Delete every cached artifact; returns how many were removed."""
+        """Delete every cached artifact; returns how many were removed.
+
+        Also sweeps any ``*.tmp`` droppings a crashed writer left behind
+        (a process killed between ``mkstemp`` and ``os.replace``).
+        """
         removed = 0
         for path in self.entries():
             with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
+        for tmp in self.stale_tmp():
+            with contextlib.suppress(OSError):
+                tmp.unlink()
         return removed
+
+    def stale_tmp(self) -> list[Path]:
+        """Temp files from interrupted writes (crash mid-``put``)."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("??/*.tmp"))
 
     def stats(self) -> dict[str, int]:
         entries = self.entries()

@@ -166,7 +166,8 @@ class CompilerDriver:
         self.cache = cache
         self.stages = stages
 
-    def compile(self, source: str, entry: str):
+    def compile(self, source: str, entry: str, *,
+                cache_only: bool = False):
         """Compile MiniC source text into a ``CompiledProgram``.
 
         The returned program carries its :class:`CompilationReport` as
@@ -174,6 +175,12 @@ class CompilerDriver:
         compilation, re-marked ``cache_status="hit"``). When a
         :class:`~repro.observe.telemetry.TelemetrySession` is active,
         the compile (hit or miss) is recorded into it.
+
+        ``cache_only`` turns the call into a warmth probe: a cached
+        artifact is loaded and returned as usual, but a miss returns
+        ``None`` instead of compiling — the compile service and
+        ``repro cache stat`` use this to answer "is this artifact warm?"
+        without ever doing the work. A probe miss records nothing.
         """
         key = None
         program = None
@@ -186,11 +193,20 @@ class CompilerDriver:
                     cached.report.cache_key = key
                 program = cached
         if program is None:
+            if cache_only:
+                return None
             program = self._run_stages(source, entry, key)
             if self.cache is not None:
                 self.cache.put(key, program)
         self._record_telemetry(program)
         return program
+
+    def cache_key(self, source: str, entry: str) -> str:
+        """The content address this compile would live under (works
+        with or without an attached cache)."""
+        from repro.pipeline.cache import CompilationCache
+        cache = self.cache if self.cache is not None else CompilationCache()
+        return cache.key(source, entry, self.config)
 
     @staticmethod
     def _record_telemetry(program) -> None:

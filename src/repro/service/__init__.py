@@ -1,0 +1,36 @@
+"""Compilation-as-a-service: the async compile/simulate front-end.
+
+The library compiles MiniC to spatial dataflow graphs and simulates
+them; this package puts a long-running request front-end on that
+pipeline so many clients can drive it at once:
+
+- :mod:`repro.service.server` — a stdlib-only asyncio HTTP/JSON server
+  (``repro serve``) that accepts concurrent compile and
+  compile+simulate jobs, dedupes identical requests in-flight and
+  against the content-addressed compilation cache, batches cache-miss
+  compiles onto the shared process pool, and routes simulations through
+  the orchestrate :class:`~repro.orchestrate.scheduler.Scheduler` so
+  they inherit its retry/timeout semantics;
+- :mod:`repro.service.client` — the blocking client library
+  (``repro submit`` is its CLI face);
+- :mod:`repro.service.protocol` — the request schema, validation, and
+  content keys both sides share.
+
+Every job is recorded as a telemetry RunRecord tagged
+``{service, client, request}``, so provenance questions ("how many
+compile executions did N identical submissions cost?") are answered
+from the store. See ``docs/service.md`` for the protocol and the
+failure model.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import JobRequest, ServiceError
+from repro.service.server import CompileService, ServiceConfig
+
+__all__ = [
+    "CompileService",
+    "JobRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+]

@@ -1,0 +1,264 @@
+"""The blocking client for the compile service (``repro submit``).
+
+Stdlib sockets, nothing else: one TCP connection per job, a JSON body
+out, an NDJSON event stream back read line-by-line until EOF. The
+stream contract makes failure detection trivial — a healthy job always
+ends with a ``done`` event, so a stream that ends without one (server
+killed mid-request, network cut) surfaces as a clean
+:class:`~repro.service.protocol.ServiceError` instead of a half-parsed
+mystery.
+
+Typical use::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8577)
+    outcome = client.simulate(source, entry="kernel", args=[20])
+    print(outcome.value, outcome.result["cycles"])
+
+Backpressure (HTTP 429) raises by default; ``submit(..., wait=True)``
+sleeps the server's ``Retry-After`` hint and retries instead, which is
+what a load generator wants.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    EVENT_COMPILE,
+    EVENT_DONE,
+    EVENT_ERROR,
+    EVENT_RESULT,
+    JobRequest,
+    ServiceError,
+)
+
+
+@dataclass
+class JobOutcome:
+    """Everything one job's event stream said."""
+
+    kind: str
+    request_id: str | None = None
+    compile: dict | None = None      # the `compile` event payload
+    result: dict | None = None       # the `result` event payload
+    elapsed: float | None = None     # server-side, from `done`
+    events: list = field(default_factory=list)
+
+    @property
+    def value(self):
+        """The simulated return value (None for compile-only jobs)."""
+        return (self.result or {}).get("return_value")
+
+    @property
+    def key(self) -> str | None:
+        """The artifact's content address in the shared cache."""
+        return (self.compile or {}).get("key")
+
+    @property
+    def cache(self) -> str | None:
+        """How the compile was satisfied: miss/hit/warm/deduped/cold."""
+        return (self.compile or {}).get("cache")
+
+
+class ServiceClient:
+    """Blocking HTTP/NDJSON client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 120.0, client_id: str | None = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Stamped into every request (the ``client`` provenance tag).
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    # High-level verbs
+
+    def compile(self, source: str, entry: str, *, wait: bool = False,
+                **knobs) -> JobOutcome:
+        """Ensure ``(source, entry, knobs)`` is compiled server-side."""
+        return self.submit(self._request("compile", source, entry, knobs),
+                           wait=wait)
+
+    def simulate(self, source: str, entry: str,
+                 args: list[int] | tuple = (), *, wait: bool = False,
+                 **knobs) -> JobOutcome:
+        """Compile (or reuse) and execute spatially; returns the row."""
+        knobs = dict(knobs, args=list(args))
+        return self.submit(self._request("simulate", source, entry, knobs),
+                           wait=wait)
+
+    def submit(self, request: JobRequest, *, wait: bool = False,
+               max_wait: float = 60.0) -> JobOutcome:
+        """Run one validated request to completion.
+
+        ``wait=True`` turns 429 backpressure into sleep-and-retry
+        (bounded by ``max_wait`` of accumulated sleeping); otherwise the
+        429 surfaces as a :class:`ServiceError` with ``status`` and
+        ``retry_after`` set.
+        """
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self._run(request)
+            except ServiceError as error:
+                if not wait or error.status != 429 \
+                        or time.monotonic() >= deadline:
+                    raise
+                time.sleep(error.retry_after or 0.05)
+
+    def events(self, request: JobRequest):
+        """Yield the raw event stream of one job (advanced use)."""
+        yield from self._stream(f"/v1/{request.kind}",
+                                self._payload(request))
+
+    # ------------------------------------------------------------------
+    # Control-plane verbs
+
+    def health(self) -> dict:
+        """The server's ``/v1/health`` body (stats, load, identity)."""
+        return self._request_json("GET", "/v1/health", None)
+
+    def cache_stat(self, source: str, entry: str, **knobs) -> dict:
+        """Probe artifact warmth without compiling anything."""
+        request = self._request("compile", source, entry, knobs)
+        return self._request_json("POST", "/v1/cache/stat",
+                                  self._payload(request))
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Ask the server to stop (draining in-flight jobs first)."""
+        return self._request_json("POST", "/v1/shutdown", {"drain": drain})
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _request(self, kind: str, source: str, entry: str,
+                 knobs: dict) -> JobRequest:
+        payload = {"source": source, "entry": entry,
+                   "client": self.client_id, **knobs}
+        return JobRequest.from_payload(payload, kind)
+
+    @staticmethod
+    def _payload(request: JobRequest) -> dict:
+        return {key: value for key, value in request.to_payload().items()
+                if value not in (None, [], {}, ())}
+
+    def _run(self, request: JobRequest) -> JobOutcome:
+        outcome = JobOutcome(kind=request.kind)
+        done = False
+        for event in self._stream(f"/v1/{request.kind}",
+                                  self._payload(request)):
+            outcome.events.append(event)
+            name = event.get("event")
+            if name == EVENT_ERROR:
+                raise ServiceError(
+                    f"job failed server-side: {event.get('error')}")
+            if outcome.request_id is None and "request" in event:
+                outcome.request_id = event["request"]
+            if name == EVENT_COMPILE:
+                outcome.compile = event
+            elif name == EVENT_RESULT:
+                outcome.result = event
+            elif name == EVENT_DONE:
+                outcome.elapsed = event.get("elapsed")
+                done = True
+        if not done:
+            raise ServiceError(
+                f"stream from {self.host}:{self.port} ended before the "
+                f"job completed (server killed or connection cut after "
+                f"{len(outcome.events)} event(s))")
+        return outcome
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{error}") from None
+
+    def _send(self, sock: socket.socket, method: str, path: str,
+              payload: dict | None) -> None:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        sock.sendall(head.encode() + body)
+
+    def _stream(self, path: str, payload: dict):
+        """POST and yield NDJSON events until EOF."""
+        sock = self._connect()
+        try:
+            self._send(sock, "POST", path, payload)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            if status != 200:
+                self._raise_error(status, headers, reader)
+            for line in reader:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except OSError as error:
+            raise ServiceError(f"connection to {self.host}:{self.port} "
+                               f"failed mid-stream: {error}") from None
+        finally:
+            sock.close()
+
+    def _request_json(self, method: str, path: str,
+                      payload: dict | None) -> dict:
+        sock = self._connect()
+        try:
+            self._send(sock, method, path, payload)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            if status != 200:
+                self._raise_error(status, headers, reader)
+            return json.loads(self._read_body(headers, reader) or b"{}")
+        except OSError as error:
+            raise ServiceError(f"connection to {self.host}:{self.port} "
+                               f"failed: {error}") from None
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _read_head(reader) -> tuple[int, dict]:
+        line = reader.readline().decode("latin-1").strip()
+        parts = line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed response: {line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                return status, headers
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    def _read_body(headers: dict, reader) -> bytes:
+        length = headers.get("content-length")
+        if length is not None:
+            return reader.read(int(length))
+        return reader.read()
+
+    def _raise_error(self, status: int, headers: dict, reader) -> None:
+        body = self._read_body(headers, reader)
+        try:
+            message = json.loads(body).get("error") or body.decode()
+        except ValueError:
+            message = body.decode("latin-1", "replace") or f"HTTP {status}"
+        retry_after = headers.get("retry-after")
+        raise ServiceError(
+            f"server refused the request ({status}): {message}",
+            status=status,
+            retry_after=float(retry_after) if retry_after else None)

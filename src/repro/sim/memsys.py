@@ -57,6 +57,26 @@ REALISTIC_1PORT = REALISTIC_MEMORY.with_ports(1)
 REALISTIC_2PORT = REALISTIC_MEMORY.with_ports(2)
 REALISTIC_4PORT = REALISTIC_MEMORY.with_ports(4)
 
+#: Every memory system addressable by name — the single registry behind
+#: the CLI ``--memory`` choices and the service protocol's ``memsys``
+#: request field.
+NAMED_SYSTEMS: dict[str, MemoryConfig] = {
+    "perfect": PERFECT_MEMORY,
+    "realistic": REALISTIC_MEMORY,
+    "realistic-1port": REALISTIC_1PORT,
+    "realistic-2port": REALISTIC_2PORT,
+    "realistic-4port": REALISTIC_4PORT,
+}
+
+
+def named_system(name: str) -> MemoryConfig:
+    """Resolve a memory-system name; raises ``KeyError`` with choices."""
+    try:
+        return NAMED_SYSTEMS[name]
+    except KeyError:
+        raise KeyError(f"unknown memory system {name!r} "
+                       f"(one of {sorted(NAMED_SYSTEMS)})") from None
+
 
 class _Cache:
     """A set-associative, line-grained LRU cache (timing only)."""

@@ -1,0 +1,60 @@
+"""``repro sweep status --json``: machine-readable sweep state."""
+
+import json
+
+from repro.orchestrate import sweeps
+from repro.orchestrate.journal import Journal
+
+
+def status_json(capsys, journal) -> dict:
+    rc = sweeps.sweep_main(["status", "fig19", "--kernels", "li",
+                            "--journal", str(journal), "--json"])
+    assert rc == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_status_json_without_journal(tmp_path, capsys):
+    report = status_json(capsys, tmp_path / "fig19.journal")
+    assert report["sweep"] == "fig19"
+    assert report["journal_exists"] is False
+    assert report["complete"] == 0
+    assert report["total"] == len(report["jobs"]) > 0
+    assert {job["status"] for job in report["jobs"]} == {"pending"}
+    assert report["counts"] == {"pending": report["total"]}
+    for job in report["jobs"]:
+        assert set(job) == {"name", "category", "status"}
+
+
+def test_status_json_reflects_journal(tmp_path, capsys):
+    journal_path = tmp_path / "fig19.journal"
+    options = sweeps.build_sweep_parser().parse_args(
+        ["status", "fig19", "--kernels", "li",
+         "--journal", str(journal_path)])
+    _, dag = sweeps._build(options)
+    specs = [spec for spec in dag.topo_order() if not spec.transient]
+
+    journal = Journal(journal_path)
+    journal.record(specs[0].key, name=specs[0].name, status="ok",
+                   value=None, attempts=1)
+    journal.record(specs[1].key, name=specs[1].name, status="failed",
+                   attempts=2, error="boom", worker="w0")
+
+    report = status_json(capsys, journal_path)
+    assert report["journal_exists"] is True
+    assert report["complete"] == 1
+    assert report["counts"]["ok"] == 1
+    assert report["counts"]["failed"] == 1
+    assert report["counts"]["pending"] == report["total"] - 2
+    by_name = {job["name"]: job for job in report["jobs"]}
+    assert by_name[specs[0].name]["status"] == "ok"
+    assert by_name[specs[0].name]["attempts"] == 1
+    failed = by_name[specs[1].name]
+    assert failed["status"] == "failed"
+    assert failed["error"] == "boom"
+    assert failed["worker"] == "w0"
+    # The text rendering still works on the same state.
+    rc = sweeps.sweep_main(["status", "fig19", "--kernels", "li",
+                            "--journal", str(journal_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1/" in out and "journaled jobs complete" in out

@@ -1,0 +1,107 @@
+"""Multi-process hammer on the compilation cache's publish path.
+
+Several worker processes concurrently ``put``/``get`` a small shared
+key set into one store root. The atomic same-directory rename publish
+must guarantee that readers only ever observe complete artifacts (a
+torn pickle would unpickle to garbage or fail), that racing warmers of
+an existing key skip the rewrite, and that no ``*.tmp`` droppings
+survive a clean run.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.pipeline.cache import CompilationCache
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+WORKERS = 4
+ROUNDS = 60
+KEYS = 8
+
+# Each payload is self-validating: a reader that ever saw a torn or
+# mixed write would fail the digest check.
+WORKER_SCRIPT = """\
+import hashlib
+import sys
+
+from repro.pipeline.cache import CompilationCache
+
+root, worker = sys.argv[1], int(sys.argv[2])
+rounds, keys = int(sys.argv[3]), int(sys.argv[4])
+cache = CompilationCache(root)
+for i in range(rounds):
+    slot = (worker + i) % keys
+    key = hashlib.sha256(f"stress-{slot}".encode()).hexdigest()
+    blob = f"w{worker}-r{i}-" + "x" * 8192
+    cache.put(key, {"slot": slot, "blob": blob,
+                    "digest": hashlib.sha256(blob.encode()).hexdigest()})
+    got = cache.get(key)
+    assert got is not None, f"round {i}: {key[:12]} vanished"
+    assert got["slot"] == slot, f"round {i}: wrong artifact under key"
+    assert hashlib.sha256(got["blob"].encode()).hexdigest() \\
+        == got["digest"], f"round {i}: torn artifact"
+print(f"worker {worker}: {rounds} rounds ok")
+"""
+
+
+def test_concurrent_put_get_stress(tmp_path):
+    script = tmp_path / "worker.py"
+    script.write_text(WORKER_SCRIPT)
+    root = tmp_path / "store"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, str(script), str(root), str(worker),
+             str(ROUNDS), str(KEYS)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        for worker in range(WORKERS)
+    ]
+    for proc in procs:
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 0, out
+
+    cache = CompilationCache(root)
+    # Every key holds exactly one complete, self-consistent artifact.
+    assert cache.stats()["entries"] == KEYS
+    for slot in range(KEYS):
+        key = hashlib.sha256(f"stress-{slot}".encode()).hexdigest()
+        got = cache.get(key)
+        assert got is not None
+        assert got["slot"] == slot
+        assert hashlib.sha256(got["blob"].encode()).hexdigest() \
+            == got["digest"]
+    # No interrupted-write droppings from a clean run.
+    assert cache.stale_tmp() == []
+
+
+def test_put_skips_rewrite_of_existing_key(tmp_path):
+    cache = CompilationCache(tmp_path / "store")
+    key = hashlib.sha256(b"skip").hexdigest()
+    path = cache.put(key, {"v": 1})
+    before = path.stat().st_mtime_ns
+    again = cache.put(key, {"v": 2})
+    assert again == path
+    # Content-addressed: an existing entry is never rewritten, so N
+    # racing warmers cost one write.
+    assert path.stat().st_mtime_ns == before
+    assert cache.get(key) == {"v": 1}
+
+
+def test_interrupted_write_leaves_recoverable_droppings(tmp_path):
+    cache = CompilationCache(tmp_path / "store")
+    key = hashlib.sha256(b"torn").hexdigest()
+    cache.put(key, {"v": 1})
+    # Simulate a writer killed between mkstemp and rename.
+    dropping = cache.path(key).parent / "deadbeef.tmp"
+    dropping.write_bytes(b"partial")
+    assert cache.stale_tmp() == [dropping]
+    # The published artifact is unaffected.
+    assert cache.get(key) == {"v": 1}
+    cache.clear()
+    assert cache.stale_tmp() == []

@@ -1,0 +1,120 @@
+"""Wire-schema validation and content-key semantics."""
+
+import pytest
+
+from repro.pipeline.cache import CompilationCache
+from repro.service.protocol import JobRequest, ServiceError
+
+SOURCE = """
+int a[64];
+int kernel(int n)
+{
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 2; s = s + a[i]; }
+    return s;
+}
+"""
+
+
+def make(payload=None, kind="compile", **extra):
+    base = {"source": SOURCE, "entry": "kernel"}
+    base.update(payload or {})
+    base.update(extra)
+    return JobRequest.from_payload(base, kind)
+
+
+def test_minimal_compile_request_defaults():
+    request = make()
+    assert request.kind == "compile"
+    assert request.opt_level == "full"
+    assert request.verify == "final"
+    assert request.args == ()
+    assert request.memsys == "perfect"
+    assert request.cache_only is False
+
+
+def test_roundtrip_through_payload():
+    request = make(kind="simulate", args=[3, 4], memsys="realistic",
+                   engine="interp", event_limit=1000, wall_limit=2.5,
+                   client="t", unroll_limit=4,
+                   entry_points_to={"p": ["a"]})
+    again = JobRequest.from_payload(request.to_payload(), "simulate")
+    assert again == request
+
+
+def test_unknown_kind_is_404():
+    with pytest.raises(ServiceError) as excinfo:
+        make(kind="transpile")
+    assert excinfo.value.status == 404
+
+
+@pytest.mark.parametrize("payload", [
+    {"source": ""},
+    {"source": 42},
+    {"entry": "not an identifier"},
+    {"entry": None},
+    {"opt_level": "extreme"},
+    {"verify": "sometimes"},
+    {"unroll_limit": -1},
+    {"unroll_limit": "four"},
+    {"entry_points_to": ["p"]},
+    {"entry_points_to": {"p": [1]}},
+    {"args": [1, "two"]},
+    {"args": [True]},          # bools are not simulation integers
+    {"args": 7},
+    {"memsys": "imaginary"},
+    {"engine": "verilog"},
+    {"event_limit": -5},
+    {"event_limit": 1.5},
+    {"wall_limit": 0},
+    {"wall_limit": -1.0},
+    {"client": 99},
+])
+def test_invalid_payloads_are_400(payload):
+    with pytest.raises(ServiceError) as excinfo:
+        make(payload, kind="simulate")
+    assert excinfo.value.status == 400
+
+
+def test_non_object_body_is_400():
+    with pytest.raises(ServiceError) as excinfo:
+        JobRequest.from_payload([1, 2], "compile")
+    assert excinfo.value.status == 400
+
+
+def test_compile_key_is_the_cache_fingerprint(tmp_path):
+    cache = CompilationCache(tmp_path)
+    request = make()
+    assert request.compile_key(cache) == cache.key(
+        SOURCE, "kernel", request.pipeline_config())
+
+
+def test_compile_key_ignores_run_knobs(tmp_path):
+    cache = CompilationCache(tmp_path)
+    compiled = make().compile_key(cache)
+    simulated = make(kind="simulate", args=[9], memsys="realistic",
+                     event_limit=10).compile_key(cache)
+    assert compiled == simulated
+
+
+def test_compile_key_tracks_output_relevant_config(tmp_path):
+    cache = CompilationCache(tmp_path)
+    assert make().compile_key(cache) != \
+        make({"opt_level": "none"}).compile_key(cache)
+    assert make().compile_key(cache) != \
+        make({"unroll_limit": 8}).compile_key(cache)
+
+
+def test_simulate_key_separates_every_run_knob(tmp_path):
+    cache = CompilationCache(tmp_path)
+    base = make(kind="simulate", args=[4])
+    ckey = base.compile_key(cache)
+    skey = base.simulate_key(ckey)
+    assert make(kind="simulate", args=[4]).simulate_key(ckey) == skey
+    for variant in (make(kind="simulate", args=[5]),
+                    make(kind="simulate", args=[4], memsys="realistic"),
+                    make(kind="simulate", args=[4], engine="interp"),
+                    make(kind="simulate", args=[4], event_limit=100),
+                    make(kind="simulate", args=[4], wall_limit=1.0)):
+        assert variant.simulate_key(ckey) != skey
+    assert base.simulate_key("other-artifact") != skey
