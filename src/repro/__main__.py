@@ -100,9 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--memory", default="perfect",
                         choices=sorted(MEMORY_SYSTEMS))
     parser.add_argument("--engine", default=None,
-                        choices=["compiled", "interp"],
-                        help="dataflow executor: the plan-compiled engine "
-                             "or the reference interpreter (default: "
+                        choices=["compiled", "codegen", "interp"],
+                        help="dataflow executor: the plan-compiled engine, "
+                             "the per-plan code generator, or the "
+                             "reference interpreter (default: "
                              "$REPRO_SIM_ENGINE, else compiled; results "
                              "are bit-identical)")
     parser.add_argument("--compare", action="store_true",

@@ -98,12 +98,13 @@ def differential_check(program, args=None, plans=None, *, seeds: int = 3,
 
     ``plans`` overrides the default seeded shake-everything plans;
     ``memsys`` is an optional :class:`~repro.sim.memsys.MemoryConfig`
-    applied to every dataflow run (a fresh system per run, so cache state
-    never leaks between schedules); ``engine`` selects the dataflow
-    executor for every schedule (see ``CompiledProgram.simulate``).
+    applied to every dataflow run (each schedule still observes cold
+    hierarchy state, so cache contents never leak between schedules);
+    ``engine`` selects the dataflow executor for every schedule (see
+    ``CompiledProgram.simulate``; default ``codegen`` — the fault matrix
+    runs as one batch through ``CompiledProgram.simulate_batch``, with
+    the perturbed schedules on the instrumented path).
     """
-    from repro.sim.memsys import MemorySystem
-
     args = list(args or [])
     if plans is None:
         plans = default_plans(seeds)
@@ -117,20 +118,22 @@ def differential_check(program, args=None, plans=None, *, seeds: int = 3,
     result.oracle_stores = oracle.stores
     oracle_memory = oracle.memory.snapshot()
 
+    schedule_plans = [None, *plans]
+    runs = program.simulate_batch(
+        [list(args) for _ in schedule_plans],
+        memsys=memsys,
+        engine=engine,
+        event_limit=event_limit,
+        wall_limit=wall_limit,
+        faults=schedule_plans,
+        return_exceptions=True,
+    )
+
     reference: ScheduleOutcome | None = None
-    for plan in [None, *plans]:
+    for plan, run in zip(schedule_plans, runs):
         outcome = ScheduleOutcome(plan=plan)
-        try:
-            run = program.simulate(
-                list(args),
-                memsys=MemorySystem(memsys) if memsys is not None else None,
-                faults=plan,
-                event_limit=event_limit,
-                wall_limit=wall_limit,
-                engine=engine,
-            )
-        except Exception as error:  # noqa: BLE001 — recorded, not hidden
-            outcome.error = f"{type(error).__name__}: {error}"
+        if isinstance(run, Exception):
+            outcome.error = f"{type(run).__name__}: {run}"
             result.schedules.append(outcome)
             continue
         outcome.return_value = run.return_value

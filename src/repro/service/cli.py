@@ -145,7 +145,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
     parser.add_argument("--unroll-limit", type=int, default=0)
     parser.add_argument("--memory", default="perfect", dest="memsys")
     parser.add_argument("--engine", default=None,
-                        choices=["compiled", "interp"])
+                        choices=["compiled", "codegen", "interp"])
     parser.add_argument("--event-limit", type=int, default=None)
     parser.add_argument("--wall-limit", type=float, default=None)
     parser.add_argument("--cache-only", action="store_true",

@@ -21,11 +21,13 @@ computes it once:
 - the priming lists (initial tokens, fully-constant strict nodes) and the
   symbol nodes whose objects must be allocated before evaluation.
 
-Plans are cached per graph in :func:`plan_for`, keyed weakly on the graph
-object and validated against ``graph.version`` so sweeps that simulate the
-same compilation many times (fig18/fig19, ablation, differential checks)
-plan once, while a graph mutated by a later pass is transparently
-re-planned. The plan holds node references and closures, so it is never
+Plans are cached per graph in :func:`plan_for` — a bounded LRU keyed on
+the graph object and validated against ``graph.version`` — so sweeps that
+simulate the same compilation many times (fig18/fig19, ablation,
+differential checks) plan once, while a graph mutated by a later pass is
+transparently re-planned and a long-lived service worker cannot
+accumulate unbounded plans (or the codegen modules hanging off them).
+The plan holds node references and closures, so it is never
 pickled — the persistent compilation cache stores graphs only, and plans
 are rebuilt per process (microseconds, amortized over millions of events).
 
@@ -36,7 +38,7 @@ interpreter remains the executable specification.
 
 from __future__ import annotations
 
-import weakref
+from collections import OrderedDict
 
 from repro.errors import SimulationError
 from repro.pegasus.graph import Graph, OutPort
@@ -290,24 +292,52 @@ class SimPlan:
 # ----------------------------------------------------------------------
 # Per-graph cache
 
-_PLANS: "weakref.WeakKeyDictionary[Graph, SimPlan]" = \
-    weakref.WeakKeyDictionary()
+#: Most plans a process keeps alive at once. A weak map looks tempting
+#: here, but a plan strongly references its graph (``plan.graph``), so a
+#: WeakKeyDictionary value pins its own key forever — and the codegen
+#: engine hangs a generated module off each plan, so a long-lived
+#: ``repro serve`` worker would accumulate one compiled module per graph
+#: it ever simulated. A small LRU bounds that: sweeps touch a handful of
+#: graphs repeatedly, so 64 is generous. Read dynamically (tests shrink
+#: it via monkeypatch).
+PLAN_CACHE_LIMIT = 64
+
+_PLANS: "OrderedDict[int, SimPlan]" = OrderedDict()
 
 
 def plan_for(graph: Graph) -> SimPlan:
     """The (possibly cached) :class:`SimPlan` for ``graph``.
 
-    Cached weakly per graph object and invalidated by ``graph.version``,
-    so repeated simulations of one compilation share a plan while graphs
-    mutated by optimization passes are re-planned on next use.
+    Cached per graph object (an LRU bounded by :data:`PLAN_CACHE_LIMIT`)
+    and invalidated by ``graph.version``, so repeated simulations of one
+    compilation share a plan — and its generated codegen module — while
+    graphs mutated by optimization passes are re-planned on next use.
     """
-    plan = _PLANS.get(graph)
-    if plan is None or plan.version != graph.version:
+    key = id(graph)
+    plan = _PLANS.get(key)
+    # The identity guard (`plan.graph is graph`) defends against id()
+    # reuse after a previously-cached graph was garbage collected.
+    if plan is None or plan.graph is not graph \
+            or plan.version != graph.version:
         plan = SimPlan(graph)
-        _PLANS[graph] = plan
+        _PLANS[key] = plan
+        while len(_PLANS) > PLAN_CACHE_LIMIT:
+            _PLANS.popitem(last=False)
+    else:
+        _PLANS.move_to_end(key)
     return plan
 
 
 def invalidate_plan(graph: Graph) -> None:
     """Drop the cached plan for ``graph`` (mutation done behind its back)."""
-    _PLANS.pop(graph, None)
+    _PLANS.pop(id(graph), None)
+
+
+def plan_cache_info() -> tuple[int, int]:
+    """``(entries, limit)`` of the process-wide plan cache."""
+    return len(_PLANS), PLAN_CACHE_LIMIT
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan cache (releases plans and their generated modules)."""
+    _PLANS.clear()

@@ -137,6 +137,40 @@ def test_distinct_requests_all_execute(service):
     assert service.stats.sim_deduped == 0
 
 
+def test_engines_dedup_separately(service, client):
+    """codegen and compiled submissions are distinct sim identities —
+    they dedup within an engine, never across engines — and return
+    identical rows (the engines are bit-identical by construction)."""
+    codegen = client.simulate(SOURCE, "kernel", args=[7], engine="codegen")
+    compiled_run = client.simulate(SOURCE, "kernel", args=[7],
+                                   engine="compiled")
+    assert service.stats.sims_executed == 2
+    assert service.stats.sim_deduped == 0
+    assert codegen.result["engine"] == "codegen"
+    assert compiled_run.result["engine"] == "compiled"
+    stripped = {key: value for key, value in codegen.result.items()
+                if key != "engine"}
+    assert stripped == {key: value
+                        for key, value in compiled_run.result.items()
+                        if key != "engine"}
+
+    # Identical concurrent codegen submissions DO dedup (in-flight
+    # collapse keyed by simulate_key, which includes the engine).
+    N = 8
+
+    def one(i):
+        peer = ServiceClient(port=service.port, client_id=f"cg{i}")
+        return peer.simulate(SOURCE, "kernel", args=[9],
+                             engine="codegen", wait=True)
+
+    with ThreadPoolExecutor(max_workers=N) as pool:
+        outcomes = list(pool.map(one, range(N)))
+    assert {outcome.value for outcome in outcomes} == {72}
+    executed_now = service.stats.sims_executed - 2
+    assert executed_now + service.stats.sim_deduped == N
+    assert service.stats.sim_deduped >= 1
+
+
 def test_cache_only_probe_never_compiles(service, client):
     probe = client.cache_stat(SOURCE, "kernel")
     assert probe["warm"] is False
