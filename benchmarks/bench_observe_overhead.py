@@ -15,6 +15,14 @@ RunRecord per simulation) is held to the same line: it happens after
 the run finishes, so its cost is one record build plus one appended
 JSONL line, amortized to noise on any non-trivial kernel.
 
+Distributed tracing and live metrics are held to the same contract
+from the other side: with a :class:`Tracer` active the simulation pays
+one ``run:<entry>`` span (two shard appends), and with a metrics
+registry enabled it pays one counter increment and one histogram
+observation — both must stay within the 5% line. (When neither is
+enabled the cost is one ``is None`` test per site, the same guard the
+probe bus holds.)
+
 It also reports what full observation actually costs (profiler +
 critical path + trace collector), which is allowed to be expensive —
 that path is opt-in.
@@ -28,7 +36,9 @@ import time
 
 from repro.harness.cache import compiled, get_kernel
 from repro.observe import Observation, ProbeBus, TelemetrySession
+from repro.observe.metrics import disable_metrics, enable_metrics
 from repro.observe.store import TelemetryStore
+from repro.observe.tracing import Tracer
 from repro.sim.memsys import MemorySystem, REALISTIC_MEMORY
 
 import pytest
@@ -60,7 +70,7 @@ def _min_of(repeats, thunk):
     return min(thunk()[0] for _ in range(repeats))
 
 
-def measure(engine: str, store: TelemetryStore):
+def measure(engine: str, store: TelemetryStore, trace_dir):
     rows = []
     for name in KERNELS:
         kernel = get_kernel(name)
@@ -81,6 +91,21 @@ def measure(engine: str, store: TelemetryStore):
                 return _run(entry, kernel.args,
                             MemorySystem(REALISTIC_MEMORY), engine=engine)
 
+        def traced():
+            # One run:<entry> span per simulation: two appended shard
+            # lines, no per-cycle work.
+            with Tracer(trace_dir):
+                return _run(entry, kernel.args,
+                            MemorySystem(REALISTIC_MEMORY), engine=engine)
+
+        def metered():
+            registry = enable_metrics()
+            try:
+                return _run(entry, kernel.args,
+                            MemorySystem(REALISTIC_MEMORY), engine=engine)
+            finally:
+                disable_metrics(registry)
+
         def observed():
             return _run(entry, kernel.args, MemorySystem(REALISTIC_MEMORY),
                         profile=Observation(trace=True), engine=engine)
@@ -88,22 +113,25 @@ def measure(engine: str, store: TelemetryStore):
         base = _min_of(REPEATS, bare)
         idle = _min_of(REPEATS, empty_bus)
         telem = _min_of(REPEATS, recorded)
+        spans = _min_of(REPEATS, traced)
+        meters = _min_of(REPEATS, metered)
         full = _min_of(REPEATS, observed)
-        rows.append((name, base, idle, telem, full))
+        rows.append((name, base, idle, telem, spans, meters, full))
     return rows
 
 
 def render(engine, rows) -> str:
     table = TextTable(
-        ["Kernel", "no probes ms", "empty bus ms", "idle ratio",
-         "recorded ms", "record ratio", "observed ms", "observed ratio"],
+        ["Kernel", "no probes ms", "idle ratio", "record ratio",
+         "traced ratio", "metrics ratio", "observed ms",
+         "observed ratio"],
         title=f"Observability overhead, {engine} engine (min of "
               f"{REPEATS}, realistic memory, guard {GUARD:.2f}x)",
     )
-    for name, base, idle, telem, full in rows:
-        table.add_row(name, f"{base * 1e3:.1f}", f"{idle * 1e3:.1f}",
-                      f"{idle / base:.3f}", f"{telem * 1e3:.1f}",
-                      f"{telem / base:.3f}", f"{full * 1e3:.1f}",
+    for name, base, idle, telem, spans, meters, full in rows:
+        table.add_row(name, f"{base * 1e3:.1f}", f"{idle / base:.3f}",
+                      f"{telem / base:.3f}", f"{spans / base:.3f}",
+                      f"{meters / base:.3f}", f"{full * 1e3:.1f}",
                       f"{full / base:.2f}")
     return table.render()
 
@@ -111,27 +139,38 @@ def render(engine, rows) -> str:
 @pytest.mark.parametrize("engine", ENGINES)
 def test_unobserved_simulation_is_free(benchmark, engine, tmp_path):
     store = TelemetryStore(tmp_path / "telemetry")
-    rows = measure(engine, store)
+    trace_dir = tmp_path / "traces"
+    rows = measure(engine, store, trace_dir)
     record(f"observe_overhead_{engine}", render(engine, rows))
     record_json(f"observe_overhead_{engine}", [
         {"kernel": name,
          "no_probes_s": round(base, 5),
          "empty_bus_s": round(idle, 5),
          "recorded_s": round(telem, 5),
+         "traced_s": round(spans, 5),
+         "metrics_s": round(meters, 5),
          "observed_s": round(full, 5),
          "idle_ratio": round(idle / base, 4),
          "record_ratio": round(telem / base, 4),
+         "traced_ratio": round(spans / base, 4),
+         "metrics_ratio": round(meters / base, 4),
          "observed_ratio": round(full / base, 4)}
-        for name, base, idle, telem, full in rows
+        for name, base, idle, telem, spans, meters, full in rows
     ])
-    for name, base, idle, telem, _full in rows:
+    for name, base, idle, telem, spans, meters, _full in rows:
         assert idle <= base * ASSERT_CEILING, \
             f"{name}: empty probe bus costs {idle / base:.2f}x (> guard)"
         assert telem <= base * ASSERT_CEILING, \
             f"{name}: telemetry recording costs {telem / base:.2f}x " \
             f"(> guard)"
-    # Every recorded() repeat persisted one run record.
+        assert spans <= base * ASSERT_CEILING, \
+            f"{name}: tracing costs {spans / base:.2f}x (> guard)"
+        assert meters <= base * ASSERT_CEILING, \
+            f"{name}: metrics cost {meters / base:.2f}x (> guard)"
+    # Every recorded() repeat persisted one run record, and every
+    # traced() repeat left its run span in a shard.
     assert len(store.index()) >= len(KERNELS)
+    assert list(trace_dir.glob("shard-*.jsonl"))
 
     kernel = get_kernel(KERNELS[0])
     entry = compiled(KERNELS[0], "full")

@@ -5,6 +5,10 @@ with 1, 8, and 64 concurrent clients issuing warm-artifact simulation
 jobs, then proves the dedup invariant at full concurrency: 64 identical
 submissions cost exactly one compile execution, shown by RunRecord
 provenance, with zero dropped and zero duplicated jobs.
+
+A final ``/v1/metrics`` scrape must be Prometheus-parseable and its
+request counter must equal the jobs the server says it received — the
+live metrics path is exercised by the same load the bench measures.
 """
 
 import shutil
@@ -16,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.observe.metrics import parse_prometheus, sum_series
 from repro.service.client import ServiceClient
 from repro.service.server import CompileService, ServiceConfig
 
@@ -140,6 +145,20 @@ def test_service_throughput(benchmark, service):
         in ("deduped", "warm")]
     assert len(answered_without_compile) == clients - 1
 
+    # ------------------------------------------------------------------
+    # Live metrics under load: one scrape, standard exposition format,
+    # and the request counter agrees with the server's own accounting.
+    text, content_type = warmup.metrics()
+    assert content_type.startswith("text/plain")
+    assert "version=0.0.4" in content_type
+    parsed = parse_prometheus(text)
+    scraped_requests = sum_series(parsed, "repro_requests_total")
+    assert scraped_requests == service.stats.received, \
+        (scraped_requests, service.stats.received)
+    assert parsed["repro_request_seconds_count"] == scraped_requests
+    assert sum_series(parsed, "repro_requests_failed_total") == 0.0
+    assert sum_series(parsed, "repro_requests_in_flight") == 0.0
+
     stats = service.stats.to_dict()
     payload = {
         "levels": levels,
@@ -151,6 +170,11 @@ def test_service_throughput(benchmark, service):
             "coalesced_records": len(answered_without_compile),
         },
         "server_stats": stats,
+        "metrics_scrape": {
+            "requests_total": scraped_requests,
+            "request_seconds_count":
+                parsed["repro_request_seconds_count"],
+        },
     }
     record_json("service_throughput", payload)
     for level in levels:

@@ -3,9 +3,10 @@
 
 Three acts against a real ``repro serve`` subprocess:
 
-1. 16 concurrent mixed requests — half identical — all succeed, and
-   the telemetry provenance proves the identical half cost exactly one
-   compile execution (one ``cache_status="miss"`` record);
+1. 16 concurrent mixed requests — half identical — all succeed, the
+   telemetry provenance proves the identical half cost exactly one
+   compile execution (one ``cache_status="miss"`` record), and a
+   ``/v1/metrics`` scrape shows live dedup and batch counters agreeing;
 2. a drained shutdown exits 0 after finishing in-flight work;
 3. a second server is SIGKILLed mid-request and the client surfaces a
    clean ServiceError instead of hanging or mis-parsing.
@@ -25,6 +26,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.observe.metrics import parse_prometheus, sum_series  # noqa: E402
 from repro.observe.store import TelemetryStore            # noqa: E402
 from repro.service.client import ServiceClient            # noqa: E402
 from repro.service.protocol import ServiceError           # noqa: E402
@@ -108,8 +110,22 @@ def mixed_load_with_dedup(root: Path, port: int) -> None:
     health = ServiceClient(port=port).health()
     assert health["stats"]["failed"] == 0
     assert health["stats"]["compiles_executed"] == 2  # kernel + other
+
+    # The live metrics endpoint must agree with the provenance trail.
+    text, content_type = ServiceClient(port=port).metrics()
+    assert content_type.startswith("text/plain"), content_type
+    assert "version=0.0.4" in content_type, content_type
+    parsed = parse_prometheus(text)
+    # Only jobs count as requests; health and metrics scrapes do not.
+    assert sum_series(parsed, "repro_requests_total") == 16
+    dedup = sum_series(parsed, "repro_compile_dedup_total")
+    assert dedup > 0, "no dedup counted on /v1/metrics"
+    batches = sum_series(parsed, "repro_compile_batches_total")
+    assert batches > 0, "no compile batches counted on /v1/metrics"
+    assert sum_series(parsed, "repro_compiles_executed_total") == 2
     print("mixed load ok: 16/16 completed, dedup proven "
-          f"(1 miss, {len(coalesced)} coalesced)")
+          f"(1 miss, {len(coalesced)} coalesced), metrics scrape ok "
+          f"(dedup={dedup:g}, batches={batches:g})")
 
 
 def drained_shutdown(proc, port: int) -> None:

@@ -46,6 +46,14 @@ installed as ``repro-sweep``; see :mod:`repro.orchestrate.sweeps`)::
     python -m repro sweep run fig19 --executor process --retries 2
     python -m repro sweep resume fig19
     python -m repro sweep status fig19 --json
+    python -m repro sweep status fig19 --watch
+
+Distributed traces (``--trace`` on ``sweep run`` and ``serve``) merge
+per-process span shards into one Perfetto timeline::
+
+    python -m repro trace list
+    python -m repro trace show fig19
+    python -m repro trace export fig19 --out fig19-trace.json
 
 Compilation-as-a-service (also installed as ``repro-serve``; see
 :mod:`repro.service`)::
@@ -166,6 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "sweep":
         from repro.orchestrate.sweeps import sweep_main
         return sweep_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.observe.tracing import trace_main
+        return trace_main(argv[1:])
     if argv and argv[0] == "serve":
         from repro.service.cli import serve_main
         return serve_main(argv[1:])

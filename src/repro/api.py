@@ -20,6 +20,7 @@ decoupling (§6.3).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 from repro.frontend import ast
@@ -171,7 +172,18 @@ class CompiledProgram:
             wall_limit=wall_limit,
             probes=probes,
         )
-        result = simulator.run(list(args or []))
+        from repro.observe.metrics import metrics
+        from repro.observe.tracing import span
+        registry = metrics()
+        sim_started = time.perf_counter() if registry is not None else 0.0
+        with span(f"run:{self.entry}", engine=engine,
+                  memsys=memsys.config.name):
+            result = simulator.run(list(args or []))
+        if registry is not None:
+            registry.counter("repro_simulations_total", engine=engine).inc()
+            registry.histogram("repro_simulation_seconds",
+                               engine=engine).observe(
+                time.perf_counter() - sim_started)
         if observation is not None:
             result.profile = observation.report(
                 self.graph, result, memsys_name=memsys.config.name)

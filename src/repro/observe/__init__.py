@@ -21,7 +21,14 @@ test when observation is off — and listeners over it:
   :mod:`~repro.observe.diff` → durable, schema-versioned
   :class:`~repro.observe.telemetry.RunRecord` per compile/run in an
   append-only store under ``.repro/telemetry/``, structured run-set
-  diffs, and the CI regression watchdog.
+  diffs, and the CI regression watchdog;
+- :mod:`~repro.observe.tracing` → distributed spans with ambient
+  context that crosses process boundaries, one journal shard per
+  process, merged into a single Perfetto timeline
+  (``repro trace show/export``);
+- :mod:`~repro.observe.metrics` → live counters/gauges/histograms,
+  snapshotted per worker and merged, served as Prometheus exposition
+  text on the service's ``/v1/metrics``.
 
 :class:`Observation` bundles the common combinations::
 
@@ -71,17 +78,42 @@ from repro.observe.diff import (
     save_baselines,
     watchdog,
 )
+from repro.observe.metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    merge_snapshots,
+    metrics,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observe.tracing import (
+    Span,
+    Tracer,
+    adopt_context,
+    current_trace_id,
+    current_tracer,
+    export_trace,
+    propagation_context,
+    read_trace,
+    span,
+    trace_events,
+)
 
 __all__ = [
     "ComparisonReport", "CriticalPathReport", "CriticalPathTracker",
-    "HistoryRing", "Observation", "ObservabilityError", "ProbeBus",
-    "ProfileReport", "Profiler", "RunDelta", "RunRecord",
-    "TelemetrySession", "TelemetryStore", "TelemetryStoreError",
-    "Thresholds", "TraceCollector", "build_report", "categorize",
-    "chrome_trace_events", "compare", "current_session", "diff_runs",
-    "export_chrome_trace", "export_jsonl", "export_vcd",
-    "load_baselines", "make_baselines", "save_baselines",
-    "telemetry_tags", "validate_trace_events", "watchdog",
+    "HistoryRing", "MetricsRegistry", "Observation", "ObservabilityError",
+    "ProbeBus", "ProfileReport", "Profiler", "RunDelta", "RunRecord",
+    "Span", "TelemetrySession", "TelemetryStore", "TelemetryStoreError",
+    "Thresholds", "TraceCollector", "Tracer", "adopt_context",
+    "build_report", "categorize", "chrome_trace_events", "compare",
+    "current_session", "current_trace_id", "current_tracer", "diff_runs",
+    "disable_metrics", "enable_metrics", "export_chrome_trace",
+    "export_jsonl", "export_trace", "export_vcd", "load_baselines",
+    "make_baselines", "merge_snapshots", "metrics", "parse_prometheus",
+    "propagation_context", "read_trace", "render_prometheus",
+    "save_baselines", "span", "telemetry_tags", "trace_events",
+    "validate_trace_events", "watchdog",
 ]
 
 

@@ -1,0 +1,338 @@
+"""Live metrics: process-local counters/gauges/histograms, mergeable
+across workers, rendered as Prometheus exposition text.
+
+Telemetry RunRecords answer questions *after* a run set finishes; the
+metrics registry answers "what is the system doing right now" — queue
+depths, cache hit/miss and dedup counts, batch sizes, lease
+revocations, retry totals, job-latency histograms — with the same
+ambient discipline as tracing and telemetry:
+
+- instrumented code calls :func:`metrics` and guards on ``None``; when
+  no registry is enabled the whole subsystem costs one function call
+  and one ``is None`` test per site;
+- :func:`enable_metrics` pushes a :class:`MetricsRegistry` onto the
+  ambient stack (the compile service does this for its lifetime; the
+  remote sweep worker does it at startup);
+- a registry :meth:`~MetricsRegistry.snapshot` is a plain JSON dict
+  tagged with identity (host, pid, worker, ...); snapshots from many
+  workers merge with :func:`merge_snapshots` (counters and histograms
+  sum, gauges keep the newest) — the cross-process story mirrors the
+  journal-shard merge, but for rates instead of results;
+- :func:`render_prometheus` emits text/plain exposition format
+  (version 0.0.4) for the service's ``GET /v1/metrics`` endpoint, and
+  :func:`parse_prometheus` is the minimal reader the tests and CI
+  scrapes use to assert on it.
+
+Metric identity is ``(name, sorted(labels))``; histograms use fixed
+cumulative buckets (seconds, exponential) so worker snapshots merge
+bucket-by-bucket without resampling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+#: The exposition content type ``GET /v1/metrics`` serves.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default histogram bucket upper bounds, in seconds.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: Worker metrics snapshots land beside journal shards as
+#: ``metrics-<worker>.json``.
+SNAPSHOT_GLOB = "metrics-*.json"
+
+SCHEMA_VERSION = 1
+
+# Innermost-active-registry stack (per process).
+_ACTIVE: list["MetricsRegistry"] = []
+
+
+def metrics() -> "MetricsRegistry | None":
+    """The ambient registry, or None (metrics inert) — the one-call
+    guard every instrumented site uses."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def enable_metrics(registry: "MetricsRegistry | None" = None
+                   ) -> "MetricsRegistry":
+    """Push (and return) an ambient registry; nests like sessions."""
+    registry = registry if registry is not None else MetricsRegistry()
+    _ACTIVE.append(registry)
+    return registry
+
+
+def disable_metrics(registry: "MetricsRegistry | None" = None) -> None:
+    """Pop the innermost registry (or the given one, wherever it is)."""
+    if registry is None:
+        if _ACTIVE:
+            _ACTIVE.pop()
+    elif registry in _ACTIVE:
+        _ACTIVE.remove(registry)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, in-flight jobs)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Thread-safe name+labels -> instrument map for one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, object] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def _get(self, kind, name: str, labels: dict, **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            instrument = self._metrics.get(key)
+            if instrument is None:
+                instrument = kind(**kwargs)
+                self._metrics[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: tuple = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, tags: dict | None = None) -> dict:
+        """The registry as one JSON-safe dict, identity-tagged."""
+        rows = []
+        with self._lock:
+            items = list(self._metrics.items())
+        for (name, labels), instrument in sorted(items):
+            row = {"name": name, "labels": dict(labels)}
+            if isinstance(instrument, Counter):
+                row.update(type="counter", value=instrument.value)
+            elif isinstance(instrument, Gauge):
+                row.update(type="gauge", value=instrument.value)
+            else:
+                row.update(type="histogram",
+                           buckets=list(instrument.buckets),
+                           counts=list(instrument.counts),
+                           sum=instrument.sum, count=instrument.count)
+            rows.append(row)
+        return {"schema": SCHEMA_VERSION, "ts": round(time.time(), 6),
+                "host": socket.gethostname(), "pid": os.getpid(),
+                "tags": dict(tags or {}), "metrics": rows}
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold worker snapshots into one: counters and histograms sum,
+    gauges keep the value from the newest snapshot carrying them."""
+    merged: dict[tuple, dict] = {}
+    newest: dict[tuple, float] = {}
+    for snap in snapshots:
+        ts = snap.get("ts", 0)
+        for row in snap.get("metrics", []):
+            key = (row["name"], tuple(sorted(row.get("labels",
+                                                     {}).items())))
+            current = merged.get(key)
+            if current is None:
+                merged[key] = {**row, "labels": dict(row.get("labels", {}))}
+                if row["type"] == "histogram":
+                    merged[key]["counts"] = list(row["counts"])
+                newest[key] = ts
+                continue
+            if row["type"] == "counter":
+                current["value"] += row["value"]
+            elif row["type"] == "gauge":
+                if ts >= newest[key]:
+                    current["value"] = row["value"]
+            elif row["type"] == "histogram" \
+                    and list(row.get("buckets", [])) \
+                    == list(current.get("buckets", [])):
+                current["counts"] = [a + b for a, b in
+                                     zip(current["counts"], row["counts"])]
+                current["sum"] += row["sum"]
+                current["count"] += row["count"]
+            newest[key] = max(newest[key], ts)
+    return {"schema": SCHEMA_VERSION, "ts": round(time.time(), 6),
+            "tags": {"merged_from": len(snapshots)},
+            "metrics": [merged[key] for key in sorted(merged)]}
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+
+
+def _prom_name(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "_:" else "_"
+                   for ch in name)
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = {**(extra or {}), **labels}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(str(k))}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A snapshot (or merged snapshot) as exposition-format text."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for row in snapshot.get("metrics", []):
+        name = _prom_name(row["name"])
+        labels = row.get("labels", {})
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {row['type']}")
+        if row["type"] in ("counter", "gauge"):
+            lines.append(f"{name}{_prom_labels(labels)} "
+                         f"{_prom_value(row['value'])}")
+            continue
+        cumulative = 0
+        for bound, count in zip(list(row["buckets"]) + [math.inf],
+                                row["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket"
+                f"{_prom_labels(labels, {'le': _prom_value(bound)})} "
+                f"{cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_value(row['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {row['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Minimal exposition reader for tests and CI scrapes:
+    ``name{labels}`` -> value, comments skipped, labels kept verbatim
+    (already sorted by the renderer)."""
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        values[series] = float(value) if value != "+Inf" else math.inf
+    return values
+
+
+def sum_series(parsed: dict[str, float], name: str) -> float:
+    """Sum a parsed metric across label sets (``name`` and
+    ``name{...}`` series; ``_bucket``/``_sum``/``_count`` excluded
+    unless named explicitly)."""
+    total = 0.0
+    for series, value in parsed.items():
+        base = series.split("{", 1)[0]
+        if base == name:
+            total += value
+    return total
+
+
+# ----------------------------------------------------------------------
+# Worker snapshot files (beside journal shards)
+
+
+def snapshot_path(directory: str | os.PathLike, worker_id: str) -> Path:
+    safe = "".join(ch if ch.isalnum() or ch in "-._" else "-"
+                   for ch in worker_id)
+    return Path(directory) / f"metrics-{safe}.json"
+
+
+def write_snapshot(directory: str | os.PathLike, worker_id: str,
+                   tags: dict | None = None) -> Path | None:
+    """Atomically dump the ambient registry's snapshot; None when
+    metrics are inert (the guard lives here so callers stay one line)."""
+    registry = metrics()
+    if registry is None:
+        return None
+    path = snapshot_path(directory, worker_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(registry.snapshot(tags)) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshots(directory: str | os.PathLike) -> dict:
+    """Merge every ``metrics-*.json`` under ``directory`` (unreadable
+    or torn files skipped — a snapshot is a cache, not a journal)."""
+    directory = Path(directory)
+    snapshots = []
+    if directory.is_dir():
+        for path in sorted(directory.glob(SNAPSHOT_GLOB)):
+            try:
+                snapshots.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+    return merge_snapshots(snapshots)

@@ -277,6 +277,22 @@ class RemoteExecutor(Executor):
         """Backend-infrastructure failures are handled internally (lease
         revocation, respawn); nothing to rebuild here."""
 
+    #: stats key -> live-metrics counter mirrored by :meth:`_bump`.
+    _STAT_METRICS = {
+        "dispatched": "repro_jobs_dispatched_total",
+        "revoked": "repro_lease_revocations_total",
+        "worker_losses": "repro_worker_losses_total",
+        "respawns": "repro_worker_respawns_total",
+        "late_results": "repro_late_results_total",
+    }
+
+    def _bump(self, stat: str) -> None:
+        self.stats[stat] += 1
+        from repro.observe.metrics import metrics
+        registry = metrics()
+        if registry is not None:
+            registry.counter(self._STAT_METRICS[stat]).inc()
+
     # ------------------------------------------------------------------
     # Submission (scheduler thread)
 
@@ -376,12 +392,12 @@ class RemoteExecutor(Executor):
             # A result for a lease we already revoked: the job was
             # requeued elsewhere — dropping the frame is what keeps it
             # singly-counted.
-            self.stats["late_results"] += 1
+            self._bump("late_results")
             return
         conn.lease = None
         job = self._jobs.pop(job_id, None)
         if job is None:
-            self.stats["late_results"] += 1
+            self._bump("late_results")
             return
         job.future._repro_provenance = {
             "worker": conn.worker, "host": conn.host,
@@ -427,10 +443,10 @@ class RemoteExecutor(Executor):
                 self._lose_worker(conn, f"dispatch failed: {error}")
                 continue
             conn.lease = lease
-            self.stats["dispatched"] += 1
+            self._bump("dispatched")
         if self._pending and not self._conns and not self._alive_procs():
             if self._respawn_budget > 0:
-                self.stats["respawns"] += 1
+                self._bump("respawns")
                 self._respawn_budget -= 1
                 self._spawn(strip_chaos=True)
             else:
@@ -449,7 +465,7 @@ class RemoteExecutor(Executor):
                 self._revoke(conn, "wall-limit exceeded")
 
     def _revoke(self, conn: _Conn, reason: str) -> None:
-        self.stats["revoked"] += 1
+        self._bump("revoked")
         self._lose_worker(conn, f"lease revoked: {reason}")
 
     def _lose_worker(self, conn: _Conn, reason: str) -> None:
@@ -457,7 +473,7 @@ class RemoteExecutor(Executor):
         with self._lock:
             if self._conns.pop(conn.sock, None) is None:
                 return  # already handled
-            self.stats["worker_losses"] += 1
+            self._bump("worker_losses")
             try:
                 self._selector.unregister(conn.sock)
             except (KeyError, ValueError):
@@ -481,7 +497,7 @@ class RemoteExecutor(Executor):
                     }
                     job.future.set_exception(error)
             if self._respawn_budget > 0 and not self._stopping.is_set():
-                self.stats["respawns"] += 1
+                self._bump("respawns")
                 self._respawn_budget -= 1
                 self._spawn(strip_chaos=True)
 
@@ -508,7 +524,7 @@ class RemoteExecutor(Executor):
                 # Died before (or without) a socket to report through.
                 self._procs.remove(proc)
                 if self._respawn_budget > 0 and not self._stopping.is_set():
-                    self.stats["respawns"] += 1
+                    self._bump("respawns")
                     self._respawn_budget -= 1
                     self._spawn(strip_chaos=True)
 

@@ -228,7 +228,19 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def run(self, *, resume: bool = True) -> SweepResult:
-        """Execute the DAG; returns one :class:`JobResult` per job."""
+        """Execute the DAG; returns one :class:`JobResult` per job.
+
+        Under an active :class:`~repro.observe.tracing.Tracer` the whole
+        run is one root span (``sweep:<name>``); each submit captures
+        the ambient trace position and ships it to the worker, so every
+        job attempt — pool or remote — parents under this root.
+        """
+        from repro.observe.tracing import span
+        with span(f"sweep:{self.dag.name}", dag=self.dag.dag_id,
+                  executor=self.executor.name, **self.extra_tags):
+            return self._run(resume=resume)
+
+    def _run(self, *, resume: bool) -> SweepResult:
         self.dag.validate()
         order = self.dag.topo_order()
         dag_id = self.dag.dag_id
@@ -243,6 +255,8 @@ class Scheduler:
         session_spec = self._worker_session_spec()
         executed_ok = 0
         shard_dir = self._shard_dir()
+        from repro.observe.metrics import metrics
+        from repro.observe.tracing import propagation_context
 
         if resume and self.journal is not None and shard_dir is not None:
             # A previous (distributed) run may have finished work whose
@@ -291,7 +305,8 @@ class Scheduler:
                 meta["shard_dir"] = str(shard_dir)
             future = self.executor.submit(_run_job, spec.fn, spec.args,
                                           kwargs, wall_limit, tags,
-                                          session_spec, meta=meta)
+                                          session_spec,
+                                          propagation_context(), meta=meta)
             if wall_limit is not None \
                     and getattr(self.executor, "reaps_on_timeout", False) \
                     and not getattr(self.executor, "leased", False):
@@ -301,6 +316,16 @@ class Scheduler:
 
         def finalize(spec: JobSpec, result: JobResult) -> None:
             results[spec.name] = result
+            registry = metrics()
+            if registry is not None:
+                registry.counter("repro_sweep_jobs_total",
+                                 status=result.status).inc()
+                if result.attempts > 1:
+                    registry.counter("repro_sweep_retries_total").inc(
+                        result.attempts - 1)
+                if result.status == "ok":
+                    registry.histogram("repro_job_seconds").observe(
+                        result.elapsed)
             if self.journal is not None and not spec.transient \
                     and result.status != "resumed":
                 self.journal.record(self._key(spec), name=spec.name,
@@ -442,7 +467,8 @@ class Scheduler:
 # process that actually runs the job.
 
 
-def _run_job(fn, args, kwargs, wall_limit, tags, session_spec):
+def _run_job(fn, args, kwargs, wall_limit, tags, session_spec,
+             trace_ctx=None):
     _maybe_flake(tags)
     if _worker_provenance:
         # Running inside a remote worker: tag the RunRecords with the
@@ -452,6 +478,7 @@ def _run_job(fn, args, kwargs, wall_limit, tags, session_spec):
             and "wall_limit" not in kwargs:
         kwargs = dict(kwargs, wall_limit=wall_limit)
     from repro.observe.telemetry import telemetry_tags
+    from repro.observe.tracing import adopt_context, span
     if session_spec is not None and os.getpid() != session_spec["pid"]:
         # Worker process of a recorded sweep: rebuild the parent's
         # session identity so RunRecords land in the same run-set. Each
@@ -468,10 +495,12 @@ def _run_job(fn, args, kwargs, wall_limit, tags, session_spec):
         session.session_id = session_spec["session_id"]
         session.segment = f"{session_spec['session_id']}.w{os.getpid()}"
         with session:
-            with telemetry_tags(**tags):
-                return fn(*args, **kwargs)
-    with telemetry_tags(**tags):
-        return fn(*args, **kwargs)
+            with adopt_context(trace_ctx), telemetry_tags(**tags):
+                with span(f"job:{tags['job']}", **tags):
+                    return fn(*args, **kwargs)
+    with adopt_context(trace_ctx), telemetry_tags(**tags):
+        with span(f"job:{tags['job']}", **tags):
+            return fn(*args, **kwargs)
 
 
 def _maybe_flake(tags) -> None:

@@ -184,6 +184,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--record", action="store_true",
                          help="record every job into the telemetry store "
                               "(tags: dag, job, attempt, executor)")
+        cmd.add_argument("--trace", action="store_true",
+                         help="record a distributed trace (sweep root + "
+                              "one span per job attempt, across all "
+                              "workers) and export merged Perfetto JSON "
+                              "on completion")
+        cmd.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="trace shard directory (default: "
+                              "$REPRO_TRACE_DIR or .repro/traces)")
         cmd.add_argument("--no-render", action="store_true",
                          help="print only the job report, not the table")
 
@@ -207,6 +215,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     status_cmd.add_argument("--json", action="store_true",
                             help="machine-readable status (one JSON "
                                  "object; dashboards and CI poll this)")
+    status_cmd.add_argument("--watch", action="store_true",
+                            help="redraw periodically until the sweep "
+                                 "completes, overlaying live metrics "
+                                 "merged from the worker snapshots")
+    status_cmd.add_argument("--interval", type=float, default=2.0,
+                            metavar="SECONDS",
+                            help="watch redraw period (default: 2)")
     return parser
 
 
@@ -276,6 +291,7 @@ def _status_report(options) -> dict:
         "sweep": dag.name,
         "dag": dag.dag_id,
         "journal": str(path),
+        "shard_dir": str(shard_dir),
         "journal_exists": path.exists() or shard_dir.is_dir(),
         "torn_tail": False,
         "unmerged_shards": 0,
@@ -317,14 +333,21 @@ def _status_report(options) -> dict:
 
 
 def _sweep_status(options) -> int:
+    if getattr(options, "watch", False) and not options.json:
+        return _sweep_watch(options)
     report = _status_report(options)
     if options.json:
         import json
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    _print_status(report)
+    return 0
+
+
+def _print_status(report: dict) -> None:
     if not report["journal_exists"]:
         print(f"no journal at {report['journal']}: nothing completed")
-        return 0
+        return
     print(f"sweep {report['sweep']}: {report['complete']}/"
           f"{report['total']} journaled jobs complete "
           f"({report['journal']})")
@@ -350,7 +373,44 @@ def _sweep_status(options) -> int:
         if job.get("error"):
             line += f"  last: {job['error']}"
         print(line)
-    return 0
+
+
+def _metrics_overlay(shard_dir) -> list[str]:
+    """Worker metrics snapshots under ``shard_dir``, merged to one line
+    per series (the live half of ``status --watch``)."""
+    from repro.observe.metrics import read_snapshots
+    merged = read_snapshots(shard_dir)
+    lines = []
+    for row in merged.get("metrics", []):
+        labels = ",".join(f"{key}={value}" for key, value
+                          in sorted(row["labels"].items()))
+        series = row["name"] + (f"{{{labels}}}" if labels else "")
+        if row["type"] == "histogram":
+            mean = row["sum"] / row["count"] if row["count"] else 0.0
+            lines.append(f"  {series}: n={row['count']} mean={mean:.3f}s")
+        else:
+            lines.append(f"  {series}: {row['value']:g}")
+    return lines
+
+
+def _sweep_watch(options) -> int:
+    import time
+    while True:
+        report = _status_report(options)
+        print("\x1b[2J\x1b[H", end="")
+        _print_status(report)
+        overlay = _metrics_overlay(report["shard_dir"])
+        if overlay:
+            print("live metrics (merged worker snapshots):")
+            for line in overlay:
+                print(line)
+        if report["journal_exists"] and report["total"] \
+                and report["complete"] >= report["total"]:
+            return 0
+        try:
+            time.sleep(options.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _sweep_run(options) -> int:
@@ -370,11 +430,15 @@ def _sweep_run(options) -> int:
     if options.record:
         from repro.observe.telemetry import TelemetrySession
         session = TelemetrySession(label=f"sweep-{options.sweep}")
+    tracing = nullcontext(None)
+    if options.trace:
+        from repro.observe.tracing import Tracer
+        tracing = Tracer(options.trace_dir)
     scheduler = Scheduler(dag, executor=executor, journal=journal,
                           retries=options.retries, backoff=options.backoff,
                           wall_limit=options.wall_limit)
     try:
-        with session as active:
+        with session as active, tracing as tracer:
             sweep = scheduler.run()
     finally:
         executor.shutdown()
@@ -382,6 +446,14 @@ def _sweep_run(options) -> int:
     if options.record and active is not None:
         print(f"telemetry: {len(active.run_ids)} record(s) in session "
               f"{active.session_id} -> {active.store.root}")
+    if tracer is not None and tracer.traces:
+        # Merge every process's shard and write one Perfetto JSON file
+        # for the sweep's trace.
+        from repro.observe.tracing import export_trace
+        out = tracer.root / f"{dag.name}-{tracer.traces[-1][:12]}.json"
+        _, payload = export_trace(tracer.root, tracer.traces[-1], out)
+        print(f"trace: {payload['otherData']['spans']} spans from "
+              f"{payload['otherData']['processes']} process(es) -> {out}")
     if not options.no_render:
         print()
         print(_render(sweep_def, sweep, options))

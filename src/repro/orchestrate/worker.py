@@ -72,6 +72,11 @@ class Worker:
         self.completed = 0
         self.results_sent = 0
         self._shards: dict[str, Journal] = {}
+        # Workers always meter themselves; snapshots land beside the
+        # journal shards after every job (same durability ordering), so
+        # the coordinator's `sweep status --watch` can merge live rates.
+        from repro.observe.metrics import enable_metrics
+        self.metrics = enable_metrics()
         kill_after = os.environ.get(KILL_AFTER_ENV)
         self.kill_after = int(kill_after) if kill_after else None
         net_drop = os.environ.get(NET_DROP_ENV)
@@ -151,6 +156,14 @@ class Worker:
                          error=None if error is None else
                          f"{type(error).__name__}: {error}",
                          worker=self.worker_id, host=self.host, lease=lease)
+        self.metrics.counter("repro_worker_jobs_total", status=status).inc()
+        self.metrics.histogram("repro_worker_job_seconds").observe(elapsed)
+        shard_dir = meta.get("shard_dir") or self.default_shard_dir
+        if shard_dir:
+            from repro.observe.metrics import write_snapshot
+            write_snapshot(shard_dir, self.worker_id,
+                           tags={"worker": self.worker_id,
+                                 "host": self.host})
         self.completed += 1
         if self.kill_after is not None and self.completed >= self.kill_after:
             # Chaos: die with the result journaled but never sent.

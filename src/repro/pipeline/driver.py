@@ -182,6 +182,8 @@ class CompilerDriver:
         ``repro cache stat`` use this to answer "is this artifact warm?"
         without ever doing the work. A probe miss records nothing.
         """
+        from repro.observe.metrics import metrics
+
         key = None
         program = None
         if self.cache is not None:
@@ -198,6 +200,12 @@ class CompilerDriver:
             program = self._run_stages(source, entry, key)
             if self.cache is not None:
                 self.cache.put(key, program)
+        registry = metrics()
+        if registry is not None:
+            status = (getattr(program.report, "cache_status", None)
+                      or "uncached")
+            registry.counter("repro_compile_cache_total",
+                             status=status).inc()
         self._record_telemetry(program)
         return program
 
@@ -219,6 +227,7 @@ class CompilerDriver:
 
     def _run_stages(self, source: str, entry: str, key: str | None):
         from repro.api import CompiledProgram
+        from repro.observe.tracing import span
 
         report = CompilationReport(entry=entry, config=self.config)
         report.cache_status = "uncached" if self.cache is None else "miss"
@@ -227,15 +236,19 @@ class CompilerDriver:
         state = Compilation(source=source, entry=entry,
                             config=self.config, report=report)
         total_started = time.perf_counter()
-        for stage in self.stages:
-            started = time.perf_counter()
-            detail = stage.run(state) or {}
-            elapsed = time.perf_counter() - started
-            after = (IRSnapshot.of(state.build.graph)
-                     if stage.name in _GRAPH_STAGES and state.build is not None
-                     else None)
-            report.record_stage(stage.name, elapsed, detail=detail,
-                                after=after)
+        with span(f"compile:{entry}", entry=entry,
+                  opt_level=self.config.opt_level):
+            for stage in self.stages:
+                started = time.perf_counter()
+                with span(f"stage:{stage.name}"):
+                    detail = stage.run(state) or {}
+                elapsed = time.perf_counter() - started
+                after = (IRSnapshot.of(state.build.graph)
+                         if stage.name in _GRAPH_STAGES
+                         and state.build is not None
+                         else None)
+                report.record_stage(stage.name, elapsed, detail=detail,
+                                    after=after)
         report.total_wall_time = time.perf_counter() - total_started
         return CompiledProgram(
             source_program=state.program,

@@ -71,6 +71,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "$REPRO_TELEMETRY_DIR or .repro/telemetry)")
     parser.add_argument("--no-record", action="store_true",
                         help="do not record jobs into the telemetry store")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a distributed trace per request "
+                             "(export with `repro trace`)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="trace shard directory (default: "
+                             "$REPRO_TRACE_DIR or .repro/traces)")
     parser.add_argument("--drain-grace", type=float, default=30.0,
                         metavar="SECONDS",
                         help="how long shutdown waits for in-flight jobs")
@@ -89,7 +95,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         sim_executor=options.sim_executor, retries=options.retries,
         wall_limit=options.wall_limit, cache_root=options.cache_dir,
         telemetry_root=options.telemetry_dir,
-        record=not options.no_record, drain_grace=options.drain_grace)
+        record=not options.no_record, trace=options.trace,
+        trace_dir=options.trace_dir, drain_grace=options.drain_grace)
     service = CompileService(config)
 
     def _terminate(signum, frame):
@@ -110,6 +117,9 @@ def serve_main(argv: list[str] | None = None) -> int:
               + (f" (session {service.session.session_id})"
                  if service.session is not None else ""),
               flush=True)
+        if service.tracer is not None:
+            print(f"{config.name}: tracing to {service.tracer.root}",
+                  flush=True)
         service._thread.join()
     except KeyboardInterrupt:
         service.stop(drain=True)

@@ -135,6 +135,28 @@ class ServiceClient:
         """Ask the server to stop (draining in-flight jobs first)."""
         return self._request_json("POST", "/v1/shutdown", {"drain": drain})
 
+    def metrics(self) -> tuple[str, str]:
+        """Scrape ``/v1/metrics``: ``(exposition_text, content_type)``.
+
+        Parse the text with
+        :func:`repro.observe.metrics.parse_prometheus` (or any real
+        Prometheus scraper — it is standard exposition format 0.0.4).
+        """
+        sock = self._connect()
+        try:
+            self._send(sock, "GET", "/v1/metrics", None)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            if status != 200:
+                self._raise_error(status, headers, reader)
+            body = self._read_body(headers, reader)
+            return body.decode(), headers.get("content-type", "")
+        except OSError as error:
+            raise ServiceError(f"connection to {self.host}:{self.port} "
+                               f"failed: {error}") from None
+        finally:
+            sock.close()
+
     # ------------------------------------------------------------------
     # Internals
 

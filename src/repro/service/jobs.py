@@ -45,7 +45,8 @@ def _worker_session(session_spec: dict | None):
 
 
 def compile_artifact(payload: dict, cache_root: str,
-                     session_spec: dict | None, tags: dict) -> dict:
+                     session_spec: dict | None, tags: dict,
+                     trace_ctx: dict | None = None) -> dict:
     """Ensure the artifact for ``payload`` exists in the shared cache.
 
     Runs in a pool worker (or inline when the pool degraded). Returns a
@@ -53,9 +54,12 @@ def compile_artifact(payload: dict, cache_root: str,
     key. The compile is recorded as a RunRecord (kind="compile") under
     the service session, tagged with the leader request's identity —
     the provenance trail that proves N identical submissions cost one
-    compile execution.
+    compile execution. ``trace_ctx`` is the leader request's trace
+    position: adopted here, the driver's compile/stage spans parent
+    under the request span even from a pool worker.
     """
     from repro.observe.telemetry import telemetry_tags
+    from repro.observe.tracing import adopt_context
     from repro.pipeline.cache import CompilationCache
     from repro.pipeline.driver import CompilerDriver
 
@@ -63,7 +67,7 @@ def compile_artifact(payload: dict, cache_root: str,
     config = request.pipeline_config()
     cache = CompilationCache(cache_root)
     with _worker_session(session_spec):
-        with telemetry_tags(**tags):
+        with adopt_context(trace_ctx), telemetry_tags(**tags):
             program = CompilerDriver(config, cache=cache).compile(
                 request.source, request.entry)
     report = program.report

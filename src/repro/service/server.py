@@ -139,6 +139,11 @@ class ServiceConfig:
     #: Telemetry store root (None = $REPRO_TELEMETRY_DIR / default).
     telemetry_root: str | None = None
     record: bool = True
+    #: Distributed tracing: record a span tree per request (root
+    #: ``request:<id>`` down through scheduler/pipeline spans) into
+    #: ``trace_dir`` shards.
+    trace: bool = False
+    trace_dir: str | None = None
     #: How long a draining shutdown waits for in-flight jobs.
     drain_grace: float = 30.0
 
@@ -148,11 +153,18 @@ class CompileService:
     :meth:`start_in_thread` (tests, bench, notebooks)."""
 
     def __init__(self, config: ServiceConfig | None = None):
+        from repro.observe.metrics import MetricsRegistry
         from repro.pipeline.cache import CompilationCache
 
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
         self.cache = CompilationCache(self.config.cache_root)
+        #: Live counters/gauges/histograms, served on ``/v1/metrics``.
+        #: Per-service (not global) so parallel test services don't
+        #: bleed into each other; made ambient for the server's
+        #: lifetime so scheduler/pipeline instrumentation lands here.
+        self.metrics = MetricsRegistry()
+        self.tracer = None             # Tracer when config.trace
         self.session = None            # TelemetrySession when recording
         self.port: int | None = None   # bound port once listening
         self._server: asyncio.Server | None = None
@@ -196,10 +208,16 @@ class CompileService:
             self._thread.join(timeout=self.config.drain_grace + 10)
 
     async def _main(self) -> None:
+        from repro.observe.metrics import disable_metrics, enable_metrics
         from repro.observe.store import TelemetryStore
         from repro.observe.telemetry import TelemetrySession
         from repro.orchestrate.executors import PoolExecutor
 
+        enable_metrics(self.metrics)
+        if self.config.trace:
+            from repro.observe.tracing import Tracer
+            self.tracer = Tracer(self.config.trace_dir)
+            self.tracer.__enter__()
         self._loop = asyncio.get_running_loop()
         self._loop.set_default_executor(
             ThreadPoolExecutor(max_workers=self.config.sim_threads,
@@ -231,6 +249,9 @@ class CompileService:
             self._pool.shutdown()
             if self.session is not None:
                 self.session.__exit__(None, None, None)
+            if self.tracer is not None:
+                self.tracer.__exit__(None, None, None)
+            disable_metrics(self.metrics)
 
     def _install_signal_handlers(self) -> None:
         import signal
@@ -308,6 +329,8 @@ class CompileService:
                      writer) -> None:
         if path == "/v1/health" and method == "GET":
             return await self._send_json(writer, 200, self.describe())
+        if path == "/v1/metrics" and method == "GET":
+            return await self._send_metrics(writer)
         if method != "POST":
             raise ServiceError(f"{method} not supported here", status=405)
         payload = self._parse_body(body)
@@ -343,11 +366,14 @@ class CompileService:
     # Job handling
 
     async def _handle_job(self, kind: str, payload: dict, writer) -> None:
+        from repro.observe.tracing import span
+
         request = JobRequest.from_payload(payload, kind)  # 400 on bad input
         if self._draining:
             raise ServiceError("server is draining", status=503)
         if self._active >= self.config.max_queue:
             self.stats.rejected += 1
+            self.metrics.counter("repro_requests_rejected_total").inc()
             return await self._send_json(
                 writer, 429,
                 {"error": f"admission queue full "
@@ -359,61 +385,88 @@ class CompileService:
         self._counter += 1
         request_id = f"r{self._counter:06d}"
         started = time.monotonic()
+        self.metrics.counter("repro_requests_total", kind=kind).inc()
+        self.metrics.gauge("repro_requests_in_flight").inc()
         try:
-            self._send_stream_head(writer)
-            await self._emit(writer, {
-                "event": EVENT_ACCEPTED, "request": request_id,
-                "kind": kind, "protocol": PROTOCOL_VERSION})
-            key = request.compile_key(self.cache)
-            if kind == "compile" and request.cache_only:
-                summary = {"key": key,
-                           "cache": ("warm" if self.cache.contains(key)
-                                     else "cold")}
-            else:
-                summary = await self._ensure_compile(key, request,
-                                                     request_id)
-            await self._emit(writer, {"event": EVENT_COMPILE, **summary})
-            if kind == "simulate":
-                row = await self._ensure_sim(key, request, request_id)
-                await self._emit(writer, {"event": EVENT_RESULT, **row})
-            self.stats.completed += 1
-            await self._emit(writer, {
-                "event": EVENT_DONE, "request": request_id,
-                "elapsed": round(time.monotonic() - started, 6)})
+            # The request root span: everything downstream — dedup
+            # decision, batcher compile, scheduler sim attempt — parents
+            # under it (ensure_future/to_thread snapshot the contextvar).
+            with span(f"request:{request_id}", kind=kind,
+                      request=request_id, service=self.config.name,
+                      client=request.client or "anonymous"):
+                self._send_stream_head(writer)
+                await self._emit(writer, {
+                    "event": EVENT_ACCEPTED, "request": request_id,
+                    "kind": kind, "protocol": PROTOCOL_VERSION})
+                key = request.compile_key(self.cache)
+                if kind == "compile" and request.cache_only:
+                    summary = {"key": key,
+                               "cache": ("warm" if self.cache.contains(key)
+                                         else "cold")}
+                else:
+                    summary = await self._ensure_compile(key, request,
+                                                         request_id)
+                await self._emit(writer,
+                                 {"event": EVENT_COMPILE, **summary})
+                if kind == "simulate":
+                    row = await self._ensure_sim(key, request, request_id)
+                    await self._emit(writer,
+                                     {"event": EVENT_RESULT, **row})
+                self.stats.completed += 1
+                await self._emit(writer, {
+                    "event": EVENT_DONE, "request": request_id,
+                    "elapsed": round(time.monotonic() - started, 6)})
         except (ServiceError, Exception) as error:  # noqa: BLE001
             self.stats.failed += 1
+            self.metrics.counter("repro_requests_failed_total").inc()
             with contextlib.suppress(ConnectionError, BrokenPipeError):
                 await self._emit(writer, {
                     "event": EVENT_ERROR, "request": request_id,
                     "error": f"{type(error).__name__}: {error}"})
         finally:
             self._active -= 1
+            self.metrics.gauge("repro_requests_in_flight").dec()
+            self.metrics.histogram("repro_request_seconds").observe(
+                time.monotonic() - started)
 
     # -- compile path ---------------------------------------------------
 
     async def _ensure_compile(self, key: str, request: JobRequest,
                               request_id: str) -> dict:
         """Artifact for ``key`` on disk + its compile summary."""
+        from repro.observe.tracing import propagation_context
+
         inflight = self._inflight_compiles.get(key)
         if inflight is not None:
             # Coalesce onto the in-flight leader. shield(): this
             # follower disconnecting must not cancel shared work.
             self.stats.compile_deduped += 1
+            self.metrics.counter("repro_compile_dedup_total",
+                                 role="follower").inc()
             summary = dict(await asyncio.shield(inflight))
             summary["cache"] = "deduped"
             self._note_compile(request, request_id, "deduped")
             return summary
         if self.cache.contains(key):
             self.stats.cache_warm += 1
+            self.metrics.counter("repro_cache_warm_total").inc()
             self._note_compile(request, request_id, "warm")
             return {"key": key, "cache": "warm", "entry": request.entry,
                     "opt_level": request.opt_level}
         # This request is the leader: everyone with the same key who
         # arrives before the batcher resolves the future rides along.
+        # Provenance (tags + trace position) is captured here, in the
+        # request's own context — the batcher task that executes the
+        # compile has no request context of its own.
+        self.metrics.counter("repro_compile_dedup_total",
+                             role="leader").inc()
         future = self._loop.create_future()
         future.add_done_callback(_consume_exception)
         self._inflight_compiles[key] = future
-        await self._compile_queue.put((key, request, request_id, future))
+        await self._compile_queue.put(
+            (key, request, request_id, future,
+             self._request_tags(request, request_id),
+             propagation_context()))
         return await asyncio.shield(future)
 
     async def _batcher(self) -> None:
@@ -434,18 +487,24 @@ class CompileService:
             self.stats.largest_batch = max(self.stats.largest_batch,
                                            len(batch))
             self.stats.batch_sizes.append(len(batch))
+            self.metrics.counter("repro_compile_batches_total").inc()
+            self.metrics.histogram("repro_compile_batch_size",
+                                   buckets=(1, 2, 4, 8, 16, 32)).observe(
+                len(batch))
             for entry in batch:
                 asyncio.ensure_future(self._execute_compile(*entry))
 
     async def _execute_compile(self, key: str, request: JobRequest,
-                               request_id: str, future) -> None:
+                               request_id: str, future, tags=None,
+                               trace_ctx=None) -> None:
         """Run one leader compile on the pool; settle its future."""
         from concurrent.futures.process import BrokenProcessPool
 
-        tags = self._request_tags(request, request_id)
+        if tags is None:
+            tags = self._request_tags(request, request_id)
         submit = lambda: self._pool.submit(  # noqa: E731
             jobs.compile_artifact, request.to_payload(),
-            str(self.cache.root), self._session_spec(), tags)
+            str(self.cache.root), self._session_spec(), tags, trace_ctx)
         try:
             try:
                 summary = await asyncio.wrap_future(
@@ -457,6 +516,7 @@ class CompileService:
                 summary = await asyncio.wrap_future(
                     await asyncio.to_thread(submit))
             self.stats.compiles_executed += 1
+            self.metrics.counter("repro_compiles_executed_total").inc()
         except BaseException as error:
             self._inflight_compiles.pop(key, None)
             if not future.done():
@@ -476,6 +536,7 @@ class CompileService:
         inflight = self._inflight_sims.get(skey)
         if inflight is not None:
             self.stats.sim_deduped += 1
+            self.metrics.counter("repro_sim_dedup_total").inc()
             row = dict(await asyncio.shield(inflight))
             row["deduped"] = True
             self._note_sim(request, request_id, row)
@@ -545,10 +606,16 @@ class CompileService:
     # Telemetry provenance
 
     def _request_tags(self, request: JobRequest, request_id: str) -> dict:
-        return {"service": self.config.name,
+        from repro.observe.tracing import current_trace_id
+        tags = {"service": self.config.name,
                 "client": request.client or "anonymous",
                 "request": request_id,
                 "kind": request.kind}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # RunRecords and trace spans cross-reference by this key.
+            tags["trace_id"] = trace_id
+        return tags
 
     def _session_spec(self) -> dict | None:
         if self.session is None:
@@ -633,5 +700,21 @@ class CompileService:
                 f"Connection: close\r\n")
         if retry_after is not None:
             head += f"Retry-After: {retry_after}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+
+    async def _send_metrics(self, writer) -> None:
+        """``GET /v1/metrics``: the live registry as Prometheus text."""
+        from repro.observe.metrics import (
+            PROMETHEUS_CONTENT_TYPE,
+            render_prometheus,
+        )
+        text = render_prometheus(self.metrics.snapshot(
+            tags={"service": self.config.name}))
+        body = text.encode()
+        head = (f"HTTP/1.1 200 OK\r\n"
+                f"Content-Type: {PROMETHEUS_CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n")
         writer.write(head.encode() + b"\r\n" + body)
         await writer.drain()

@@ -1,0 +1,252 @@
+"""The metrics registry: instruments, worker-snapshot merging, and the
+Prometheus exposition round trip.
+
+The ambient discipline mirrors tracing and telemetry — ``metrics()``
+returns None unless someone enabled a registry, so instrumented sites
+cost one call and one ``is None`` test when metrics are off.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.observe.metrics import (
+    DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    merge_snapshots,
+    metrics,
+    parse_prometheus,
+    read_snapshots,
+    render_prometheus,
+    snapshot_path,
+    sum_series,
+    write_snapshot,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = enable_metrics()
+    yield reg
+    disable_metrics(reg)
+
+
+class TestAmbientStack:
+    def test_inert_by_default(self):
+        assert metrics() is None
+
+    def test_enable_nests_and_disable_pops(self):
+        outer = enable_metrics()
+        inner = enable_metrics()
+        try:
+            assert metrics() is inner
+            disable_metrics(inner)
+            assert metrics() is outer
+        finally:
+            disable_metrics(outer)
+        assert metrics() is None
+
+    def test_disable_removes_a_specific_registry_anywhere(self):
+        outer = enable_metrics()
+        inner = enable_metrics()
+        disable_metrics(outer)  # not the innermost
+        assert metrics() is inner
+        disable_metrics(inner)
+        assert metrics() is None
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, registry):
+        counter = registry.counter("repro_things_total", kind="a")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_and_labels_is_the_same_instrument(self, registry):
+        a = registry.counter("repro_things_total", kind="a")
+        again = registry.counter("repro_things_total", kind="a")
+        other = registry.counter("repro_things_total", kind="b")
+        assert a is again and a is not other
+
+    def test_label_order_does_not_split_series(self, registry):
+        one = registry.counter("repro_x_total", a="1", b="2")
+        two = registry.counter("repro_x_total", b="2", a="1")
+        assert one is two
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("repro_in_flight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1.0
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_and_overflow(self, registry):
+        hist = registry.histogram("repro_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 99.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1]  # le=0.1, le=1.0, +Inf
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(100.05)
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def worker():
+            seen.append(reg.counter("repro_racy_total"))
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+
+class TestSnapshotsAndMerge:
+    def test_snapshot_is_json_safe_and_tagged(self, registry):
+        registry.counter("repro_a_total").inc()
+        registry.histogram("repro_b_seconds").observe(0.2)
+        snap = registry.snapshot(tags={"worker": "w1"})
+        json.dumps(snap)  # round-trippable, no custom types
+        assert snap["tags"] == {"worker": "w1"}
+        assert snap["host"] and snap["pid"]
+        types = {row["name"]: row["type"] for row in snap["metrics"]}
+        assert types == {"repro_a_total": "counter",
+                        "repro_b_seconds": "histogram"}
+
+    def test_merge_sums_counters_and_histograms(self):
+        def snap(count, ts):
+            reg = MetricsRegistry()
+            reg.counter("repro_jobs_total", status="ok").inc(count)
+            hist = reg.histogram("repro_job_seconds", buckets=(1.0, 5.0))
+            hist.observe(0.5)
+            out = reg.snapshot()
+            out["ts"] = ts
+            return out
+
+        merged = merge_snapshots([snap(2, 1.0), snap(3, 2.0)])
+        rows = {row["name"]: row for row in merged["metrics"]}
+        assert rows["repro_jobs_total"]["value"] == 5.0
+        assert rows["repro_job_seconds"]["counts"] == [2, 0, 0]
+        assert rows["repro_job_seconds"]["count"] == 2
+        assert merged["tags"] == {"merged_from": 2}
+
+    def test_merge_keeps_the_newest_gauge(self):
+        def snap(depth, ts):
+            reg = MetricsRegistry()
+            reg.gauge("repro_queue_depth").set(depth)
+            out = reg.snapshot()
+            out["ts"] = ts
+            return out
+
+        # Delivery order must not matter, only the snapshot timestamps.
+        merged = merge_snapshots([snap(9, 5.0), snap(3, 1.0)])
+        (row,) = merged["metrics"]
+        assert row["value"] == 9.0
+
+    def test_mismatched_histogram_buckets_are_not_summed(self):
+        def snap(buckets):
+            reg = MetricsRegistry()
+            reg.histogram("repro_h_seconds", buckets=buckets).observe(0.1)
+            return reg.snapshot()
+
+        merged = merge_snapshots([snap((1.0,)), snap((1.0, 2.0))])
+        (row,) = merged["metrics"]
+        assert row["buckets"] == [1.0]  # first wins, second dropped
+        assert row["count"] == 1
+
+
+class TestPrometheusRoundTrip:
+    def test_content_type_is_exposition_0_0_4(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_render_types_labels_and_values(self, registry):
+        registry.counter("repro_reqs_total", kind="simulate").inc(3)
+        registry.gauge("repro_in_flight").set(2)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_reqs_total counter" in text
+        assert "# TYPE repro_in_flight gauge" in text
+        assert 'repro_reqs_total{kind="simulate"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self, registry):
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_seconds_count 2" in text
+
+    def test_parse_inverts_render(self, registry):
+        registry.counter("repro_reqs_total", kind="a").inc(2)
+        registry.counter("repro_reqs_total", kind="b").inc(5)
+        hist = registry.histogram("repro_s_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert parsed['repro_reqs_total{kind="a"}'] == 2.0
+        assert parsed['repro_reqs_total{kind="b"}'] == 5.0
+        assert parsed['repro_s_seconds_bucket{le="+Inf"}'] == 1.0
+        assert sum_series(parsed, "repro_reqs_total") == 7.0
+        # _bucket/_sum/_count are distinct series, not the base name.
+        assert sum_series(parsed, "repro_s_seconds") == 0.0
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("repro_odd_total",
+                         path='a"b' + chr(92) + "c").inc()
+        text = render_prometheus(registry.snapshot())
+        assert chr(92) + chr(34) in text  # the quote arrives escaped
+        parsed = parse_prometheus(text)
+        assert sum_series(parsed, "repro_odd_total") == 1.0
+
+
+class TestSnapshotFiles:
+    def test_write_is_a_noop_when_metrics_are_inert(self, tmp_path):
+        assert metrics() is None
+        assert write_snapshot(tmp_path, "w1") is None
+        assert not list(tmp_path.glob("metrics-*.json"))
+
+    def test_write_then_read_merges_worker_files(self, tmp_path, registry):
+        registry.counter("repro_worker_jobs_total", status="ok").inc(4)
+        path = write_snapshot(tmp_path, "vm-101", tags={"worker": "vm-101"})
+        assert path == snapshot_path(tmp_path, "vm-101")
+        # A second worker's snapshot, written by another registry.
+        other = MetricsRegistry()
+        other.counter("repro_worker_jobs_total", status="ok").inc(2)
+        enable_metrics(other)
+        try:
+            write_snapshot(tmp_path, "vm-102")
+        finally:
+            disable_metrics(other)
+        merged = read_snapshots(tmp_path)
+        parsed = parse_prometheus(render_prometheus(merged))
+        assert sum_series(parsed, "repro_worker_jobs_total") == 6.0
+
+    def test_torn_snapshot_files_are_skipped(self, tmp_path, registry):
+        registry.counter("repro_ok_total").inc()
+        write_snapshot(tmp_path, "good")
+        (tmp_path / "metrics-torn.json").write_text('{"schema": 1, "metr')
+        merged = read_snapshots(tmp_path)
+        (row,) = merged["metrics"]
+        assert row["name"] == "repro_ok_total"
+        assert merged["tags"] == {"merged_from": 1}
+
+    def test_worker_ids_are_sanitized_into_filenames(self, tmp_path):
+        path = snapshot_path(tmp_path, "host:1/evil")
+        assert path.name == "metrics-host-1-evil.json"
+
+    def test_default_buckets_cover_sub_ms_to_a_minute(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert math.inf not in DEFAULT_BUCKETS  # +Inf is implicit

@@ -1,0 +1,352 @@
+"""Distributed tracing: ambient spans, cross-process propagation,
+crash evidence.
+
+The span API must be a strict no-op when no tracer is active (the
+zero-cost guard every instrumented call site relies on), and when
+tracing *is* on, spans written by pool workers, remote workers, and
+the coordinator must merge into one parent-linked tree — even when a
+worker is SIGKILLed mid-run and leaves a torn shard tail behind.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observe.export import validate_trace_events
+from repro.observe.tracing import (
+    SPAN_OPEN,
+    Span,
+    Tracer,
+    adopt_context,
+    current_trace_id,
+    current_tracer,
+    export_trace,
+    find_trace_id,
+    list_traces,
+    propagation_context,
+    read_trace,
+    render_tree,
+    span,
+    span_children,
+    trace_events,
+    trace_main,
+)
+from repro.orchestrate.dag import JobDAG
+from repro.orchestrate.executors import PoolExecutor
+from repro.orchestrate.remote import RemoteExecutor
+from repro.orchestrate.scheduler import Scheduler
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = str(ROOT / "src")
+
+CHAOS_ENVS = ("REPRO_WORKER_KILL_AFTER", "REPRO_WORKER_STALL",
+              "REPRO_NET_DROP_AFTER", "REPRO_SWEEP_KILL_AFTER",
+              "REPRO_SWEEP_FLAKE")
+
+#: Failure-detection timings shrunk so the chaos tests run in seconds.
+FAST = dict(heartbeat=0.2, lease_timeout=1.5, wall_grace=0.5)
+
+
+def _cell(i):
+    return {"cell": i, "value": i * i}
+
+
+def _dag(n=4):
+    dag = JobDAG("trace-test")
+    for i in range(n):
+        dag.job(f"cell/{i}", _cell, i, category="cell")
+    return dag
+
+
+@pytest.fixture()
+def worker_env(monkeypatch):
+    """Spawned workers unpickle this module's functions by reference,
+    so they need the repo root and ``src`` on their PYTHONPATH; also
+    scrub chaos hooks leaking in from outside."""
+    parts = [str(ROOT), SRC]
+    existing = os.environ.get("PYTHONPATH")
+    if existing:
+        parts.append(existing)
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(parts))
+    for name in CHAOS_ENVS:
+        monkeypatch.delenv(name, raising=False)
+    return monkeypatch
+
+
+class TestAmbientSpans:
+    def test_span_is_a_noop_without_a_tracer(self):
+        assert current_tracer() is None
+        with span("anything", job="j") as item:
+            assert item is None
+        assert current_trace_id() is None
+
+    def test_root_span_mints_a_trace_children_parent_under_it(self, tmp_path):
+        with Tracer(tmp_path) as tracer:
+            with span("sweep:demo", dag="d1") as root:
+                assert current_trace_id() == root.trace
+                with span("job:one", job="one") as child:
+                    assert child.trace == root.trace
+                    assert child.parent == root.span
+            assert tracer.traces == [root.trace]
+        # Outside the tracer everything is inert again.
+        assert current_trace_id() is None
+        spans = read_trace(tmp_path, root.trace)
+        assert [s.name for s in spans] == ["sweep:demo", "job:one"]
+        assert all(not s.open for s in spans)
+        assert spans[0].parent is None
+        assert spans[1].parent == spans[0].span
+
+    def test_exception_marks_the_span_failed_and_reraises(self, tmp_path):
+        with Tracer(tmp_path):
+            with pytest.raises(ValueError, match="boom"):
+                with span("job:bad"):
+                    raise ValueError("boom")
+        (item,) = read_trace(tmp_path)
+        assert item.ok is False
+        assert item.error == "ValueError: boom"
+        assert not item.open  # still finished: end_ns recorded
+
+    def test_none_tags_are_dropped(self, tmp_path):
+        with Tracer(tmp_path):
+            with span("job:x", job="x", lease=None, attempt=1) as item:
+                assert item.tags == {"job": "x", "attempt": 1}
+
+    def test_sibling_spans_share_a_parent_not_each_other(self, tmp_path):
+        with Tracer(tmp_path):
+            with span("root") as root:
+                with span("a") as a:
+                    pass
+                with span("b") as b:
+                    pass
+        assert a.parent == root.span
+        assert b.parent == root.span  # not under "a": cursor restored
+
+    def test_tracer_env_var_names_the_default_root(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "via-env"))
+        assert Tracer().root == (tmp_path / "via-env").resolve()
+
+
+class TestShardsAndHealing:
+    def test_every_process_gets_its_own_shard_file(self, tmp_path):
+        with Tracer(tmp_path) as tracer:
+            with span("solo"):
+                pass
+        shards = list(tmp_path.glob("shard-*.jsonl"))
+        assert len(shards) == 1
+        assert shards[0].name == f"shard-{tracer.host}-{os.getpid()}.jsonl"
+
+    def test_torn_shard_tail_heals_on_read(self, tmp_path):
+        with Tracer(tmp_path):
+            with span("survivor"):
+                pass
+        (shard,) = tmp_path.glob("shard-*.jsonl")
+        # A SIGKILL mid-append leaves half a JSON line at the tail.
+        with open(shard, "a") as handle:
+            handle.write('{"key": "torn-span", "status": "span", "na')
+        spans = read_trace(tmp_path)
+        assert [s.name for s in spans] == ["survivor"]
+
+    def test_open_entry_surfaces_as_an_unfinished_span(self, tmp_path):
+        # A process that dies mid-span leaves only the span-open entry.
+        tracer = Tracer(tmp_path)
+        dead = Span(trace="t" * 16, span="s" * 16, parent=None,
+                    name="job:died", start_ns=1000, tags={"job": "died"})
+        tracer.write(dead, SPAN_OPEN)
+        (item,) = read_trace(tmp_path)
+        assert item.open and item.end_ns is None
+        assert item.duration_ns == 0
+        payload = trace_events([item])
+        assert validate_trace_events(payload) == []
+        (event,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 0 and event["args"]["open"] is True
+
+    def test_done_entry_supersedes_the_open_one(self, tmp_path):
+        with Tracer(tmp_path):
+            with span("job:finished"):
+                pass
+        (shard,) = tmp_path.glob("shard-*.jsonl")
+        lines = [json.loads(line)
+                 for line in shard.read_text().splitlines()]
+        assert [line["status"] for line in lines] == ["span-open", "span"]
+        (item,) = read_trace(tmp_path)  # merged: latest status wins
+        assert not item.open
+
+
+class TestPropagation:
+    def test_context_roundtrip_parents_across_the_boundary(self, tmp_path):
+        with Tracer(tmp_path):
+            with span("sweep:root") as root:
+                ctx = propagation_context()
+        assert ctx == {"dir": str(Path(tmp_path).resolve()),
+                       "trace": root.trace, "span": root.span}
+        # "The other process": no ambient tracer of its own.
+        with adopt_context(ctx):
+            with span("job:far") as far:
+                assert far.trace == root.trace
+                assert far.parent == root.span
+        assert current_tracer() is None  # adopted tracer popped again
+
+    def test_adopt_none_is_a_noop(self):
+        with adopt_context(None):
+            with span("untraced") as item:
+                assert item is None
+
+    def test_untraced_sweep_propagates_nothing(self):
+        sweep = Scheduler(_dag(2)).run()
+        assert sweep.ok
+        assert propagation_context() is None
+
+    def test_pool_executor_jobs_parent_under_the_sweep_root(self, tmp_path,
+                                                            worker_env):
+        executor = PoolExecutor(max_workers=2)
+        with Tracer(tmp_path) as tracer:
+            sweep = Scheduler(_dag(4), executor=executor).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        spans = read_trace(tmp_path, tracer.traces[-1])
+        (root,) = [s for s in spans if s.parent is None]
+        assert root.name == "sweep:trace-test"
+        jobs = [s for s in spans if s.name.startswith("job:")]
+        assert len(jobs) == 4
+        assert all(j.parent == root.span for j in jobs)
+        if executor.degraded_reason is None:
+            # Real pool workers wrote shards of their own.
+            assert {(s.host, s.pid) for s in jobs} != {(root.host, root.pid)}
+
+    def test_remote_executor_trace_merges_all_processes(self, tmp_path,
+                                                        worker_env):
+        executor = RemoteExecutor(workers=2, **FAST)
+        with Tracer(tmp_path) as tracer:
+            sweep = Scheduler(_dag(6), executor=executor).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        spans = read_trace(tmp_path, tracer.traces[-1])
+        (root,) = [s for s in spans if s.parent is None]
+        jobs = [s for s in spans if s.name.startswith("job:")]
+        assert len(jobs) == 6
+        assert all(j.parent == root.span for j in jobs)
+        # Identity tags on every job attempt.
+        for job in jobs:
+            assert job.tags["job"].startswith("cell/")
+            assert job.tags["attempt"] == 1
+            assert job.tags["worker"] and job.tags["lease"]
+        # Coordinator + at least one worker process in the merged view.
+        processes = {(s.host, s.pid) for s in spans}
+        assert (root.host, root.pid) in processes
+        assert len(processes) >= 2
+        payload = trace_events(spans)
+        assert validate_trace_events(payload) == []
+
+    def test_sigkilled_worker_leaves_a_healable_trace(self, tmp_path,
+                                                      worker_env):
+        # The worker dies (SIGKILL, no atexit) after its 2nd completion;
+        # whatever it managed to append must still merge and validate.
+        worker_env.setenv("REPRO_WORKER_KILL_AFTER", "2")
+        executor = RemoteExecutor(workers=2, **FAST)
+        with Tracer(tmp_path) as tracer:
+            sweep = Scheduler(_dag(8), executor=executor, retries=3).run()
+        executor.shutdown()
+        assert sweep.ok, sweep.report()
+        assert executor.stats["worker_losses"] >= 1
+        spans = read_trace(tmp_path, tracer.traces[-1])
+        jobs = [s for s in spans if s.name.startswith("job:")]
+        # Retried attempts may add extra job spans; every cell appears.
+        assert {j.tags["job"] for j in jobs} == \
+            {f"cell/{i}" for i in range(8)}
+        payload = trace_events(spans)
+        assert validate_trace_events(payload) == []
+
+
+class TestMergeAndRender:
+    def _populate(self, tmp_path):
+        with Tracer(tmp_path) as tracer:
+            with span("sweep:alpha", dag="dag-a"):
+                with span("job:a1", job="a1"):
+                    pass
+        return tracer.traces[-1]
+
+    def test_find_trace_id_by_prefix_name_and_tag(self, tmp_path):
+        trace_id = self._populate(tmp_path)
+        assert find_trace_id(tmp_path, trace_id[:6]) == trace_id
+        assert find_trace_id(tmp_path, "sweep:alpha") == trace_id
+        assert find_trace_id(tmp_path, "alpha") == trace_id
+        assert find_trace_id(tmp_path, "dag-a") == trace_id
+        with pytest.raises(ReproError, match="no trace matches"):
+            find_trace_id(tmp_path, "nonesuch")
+        with pytest.raises(ReproError, match="no traces"):
+            find_trace_id(tmp_path / "empty", "alpha")
+
+    def test_ambiguous_name_resolves_to_the_newest_run(self, tmp_path):
+        first = self._populate(tmp_path)
+        second = self._populate(tmp_path)
+        assert first != second
+        assert find_trace_id(tmp_path, "alpha") == second
+
+    def test_orphan_spans_graft_under_the_synthetic_root(self):
+        orphan = Span(trace="t", span="child", parent="gone-parent",
+                      name="job:x", start_ns=5)
+        children = span_children([orphan])
+        assert children == {None: [orphan]}
+        assert "job:x" in render_tree([orphan])
+
+    def test_list_traces_summarizes_per_trace(self, tmp_path):
+        self._populate(tmp_path)
+        (summary,) = list_traces(tmp_path)
+        assert summary["root"] == "sweep:alpha"
+        assert summary["spans"] == 2
+        assert summary["open"] == 0
+        assert summary["tags"] == {"dag": "dag-a"}
+
+    def test_export_writes_valid_perfetto_json(self, tmp_path):
+        self._populate(tmp_path)
+        out = tmp_path / "trace.json"
+        trace_id, payload = export_trace(tmp_path, "alpha", out)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert validate_trace_events(on_disk) == []
+        assert on_disk["otherData"]["traces"] == [trace_id]
+        # Process metadata events name each track.
+        names = [e["args"]["name"] for e in on_disk["traceEvents"]
+                 if e["ph"] == "M"]
+        assert len(names) == on_disk["otherData"]["processes"]
+
+    def test_timestamps_are_relative_microseconds(self, tmp_path):
+        self._populate(tmp_path)
+        payload = trace_events(read_trace(tmp_path))
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+
+
+class TestTraceCLI:
+    def _populate(self, tmp_path):
+        with Tracer(tmp_path) as tracer:
+            with span("sweep:beta", dag="dag-b"):
+                with span("job:b1", job="b1"):
+                    pass
+        return tracer.traces[-1]
+
+    def test_list_show_export(self, tmp_path, capsys):
+        trace_id = self._populate(tmp_path)
+        assert trace_main(["--dir", str(tmp_path), "list"]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert trace_main(["--dir", str(tmp_path), "show", "beta"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep:beta" in out and "  job:b1" in out
+        target = tmp_path / "beta.json"
+        assert trace_main(["--dir", str(tmp_path), "export", "beta",
+                           "--out", str(target)]) == 0
+        assert validate_trace_events(json.loads(target.read_text())) == []
+
+    def test_unknown_needle_exits_2(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert trace_main(["--dir", str(tmp_path), "show", "zzz"]) == 2
+        assert "no trace matches" in capsys.readouterr().err
+
+    def test_empty_dir_lists_nothing(self, tmp_path, capsys):
+        assert trace_main(["--dir", str(tmp_path), "list"]) == 0
+        assert "no traces found" in capsys.readouterr().out

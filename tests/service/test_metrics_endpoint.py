@@ -1,0 +1,141 @@
+"""``GET /v1/metrics`` and request tracing on the compile service.
+
+The endpoint must speak real Prometheus exposition format (a stock
+scraper should work unmodified), its counters must move with the
+traffic and never backwards, and — when the service is started with
+``trace=True`` — every request's RunRecords and its root span must
+share one ``trace_id``, the cross-reference key between the telemetry
+store and the trace timeline.
+"""
+
+import pytest
+
+from repro.observe.metrics import parse_prometheus, sum_series
+from repro.observe.tracing import read_trace
+from repro.service.client import ServiceClient
+from repro.service.server import CompileService, ServiceConfig
+
+SOURCE = """
+int a[64];
+int kernel(int n)
+{
+    int i; int s = 0;
+    for (i = 0; i < n; i++) { a[i] = i * 2; s = s + a[i]; }
+    return s;
+}
+"""
+
+
+def make_service(tmp_path, **overrides):
+    config = ServiceConfig(
+        port=0, name="svc-metrics",
+        cache_root=str(tmp_path / "cache"),
+        telemetry_root=str(tmp_path / "telemetry"),
+        workers=2, drain_grace=5.0,
+        **overrides)
+    return CompileService(config).start_in_thread()
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = make_service(tmp_path)
+    yield svc
+    svc.stop(drain=True)
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(port=service.port, client_id="pytest")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_prometheus_exposition_0_0_4(self, service, client):
+        text, content_type = client.metrics()
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        # Parseable even before any traffic (possibly empty).
+        parse_prometheus(text)
+
+    def test_request_counter_tracks_received_and_is_monotonic(
+            self, service, client):
+        client.simulate(SOURCE, "kernel", args=[4])
+        first = parse_prometheus(client.metrics()[0])
+        requests_before = sum_series(first, "repro_requests_total")
+        assert requests_before == service.stats.received
+        client.simulate(SOURCE, "kernel", args=[5])
+        client.compile(SOURCE, "kernel")
+        second = parse_prometheus(client.metrics()[0])
+        assert sum_series(second, "repro_requests_total") \
+            == service.stats.received == requests_before + 2
+        # No counter series moved backwards between scrapes.
+        for series, value in first.items():
+            if series.endswith("_total") or series.endswith("_count") \
+                    or "_bucket{" in series:
+                assert second.get(series, 0) >= value, series
+
+    def test_kind_label_splits_the_request_counter(self, service, client):
+        client.simulate(SOURCE, "kernel", args=[4])
+        client.compile(SOURCE, "kernel")
+        parsed = parse_prometheus(client.metrics()[0])
+        assert parsed['repro_requests_total{kind="simulate"}'] == 1.0
+        assert parsed['repro_requests_total{kind="compile"}'] == 1.0
+
+    def test_cache_and_dedup_counters_move_with_the_cache(self, service,
+                                                          client):
+        client.compile(SOURCE, "kernel")          # miss: leader compile
+        client.compile(SOURCE, "kernel")          # warm disk hit
+        parsed = parse_prometheus(client.metrics()[0])
+        assert parsed['repro_compile_dedup_total{role="leader"}'] == 1.0
+        assert sum_series(parsed, "repro_cache_warm_total") == 1.0
+        assert sum_series(parsed, "repro_compiles_executed_total") == 1.0
+        assert sum_series(parsed, "repro_compile_batches_total") >= 1.0
+
+    def test_latency_histogram_accounts_every_request(self, service,
+                                                      client):
+        client.simulate(SOURCE, "kernel", args=[4])
+        client.compile(SOURCE, "kernel")
+        parsed = parse_prometheus(client.metrics()[0])
+        assert parsed["repro_request_seconds_count"] == 2.0
+        assert parsed['repro_request_seconds_bucket{le="+Inf"}'] == 2.0
+        assert parsed["repro_request_seconds_sum"] > 0.0
+
+    def test_in_flight_gauge_settles_to_zero(self, service, client):
+        client.simulate(SOURCE, "kernel", args=[4])
+        parsed = parse_prometheus(client.metrics()[0])
+        assert sum_series(parsed, "repro_requests_in_flight") == 0.0
+
+
+class TestRequestTracing:
+    def test_run_record_and_root_span_share_a_trace_id(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        service = make_service(tmp_path, trace=True,
+                               trace_dir=str(trace_dir))
+        try:
+            client = ServiceClient(port=service.port, client_id="pytest")
+            outcome = client.simulate(SOURCE, "kernel", args=[4])
+            assert outcome.value is not None
+            spans = read_trace(trace_dir)
+            (root,) = [s for s in spans if s.parent is None]
+            assert root.name == f"request:{outcome.request_id}"
+            assert root.tags["kind"] == "simulate"
+            assert root.tags["client"] == "pytest"
+            # Downstream work parented under the request, same trace.
+            assert {s.trace for s in spans} == {root.trace}
+            assert any(s.name.startswith("job:") for s in spans)
+            # The cross-reference: telemetry RunRecords carry the same
+            # trace_id the spans do.
+            records = [r for r in service.session.records()
+                       if r.tags.get("request") == outcome.request_id]
+            assert records, "request left no telemetry records"
+            assert {r.tags.get("trace_id") for r in records} \
+                == {root.trace}
+        finally:
+            service.stop(drain=True)
+
+    def test_untraced_service_writes_no_spans(self, service, client,
+                                              tmp_path):
+        client.simulate(SOURCE, "kernel", args=[4])
+        assert service.tracer is None
+        records = service.session.records()
+        assert records
+        assert all("trace_id" not in r.tags for r in records)
